@@ -1,0 +1,79 @@
+#pragma once
+/// \file common.hpp
+/// \brief Shared helpers for the figure-reproduction harness.
+///
+/// Every bench binary reproduces one table or figure of the paper: it
+/// prints the same rows/series the paper reports (simulated substrate, so
+/// shapes - winners, factors, crossovers - are the comparison target, not
+/// absolute numbers; see EXPERIMENTS.md) and writes a CSV artifact next to
+/// the binary under bench_out/.
+
+#include "core/edp.hpp"
+#include "core/policy.hpp"
+#include "sim/driver.hpp"
+#include "sim/workload.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <filesystem>
+#include <iostream>
+#include <string>
+
+namespace gsph::bench {
+
+/// Standard trace resolutions: real physics stays laptop-sized; the scale
+/// substitution (DESIGN.md) carries the counts to paper size.
+inline sim::WorkloadTrace turbulence_trace(double particles_per_gpu, int n_steps = 10,
+                                           int real_nside = 10)
+{
+    sim::WorkloadSpec spec;
+    spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+    spec.particles_per_gpu = particles_per_gpu;
+    spec.n_steps = n_steps;
+    spec.real_nside = real_nside;
+    return sim::record_trace(spec);
+}
+
+inline sim::WorkloadTrace evrard_trace(double particles_per_gpu, int n_steps = 10,
+                                       int real_nside = 10)
+{
+    sim::WorkloadSpec spec;
+    spec.kind = sim::WorkloadKind::kEvrardCollapse;
+    spec.particles_per_gpu = particles_per_gpu;
+    spec.n_steps = n_steps;
+    spec.real_nside = real_nside;
+    return sim::record_trace(spec);
+}
+
+/// 450^3 particles: the paper's miniHPC sweep size.
+inline constexpr double kParticles450 = 450.0 * 450.0 * 450.0;
+/// Table I production scales.
+inline constexpr double kTurbParticlesPerGpu = 150e6;
+inline constexpr double kEvrardParticlesPerGpu = 80e6;
+
+inline void print_header(const std::string& experiment, const std::string& paper_ref,
+                         const std::string& note)
+{
+    std::cout << "================================================================\n"
+              << experiment << "\n"
+              << "Reproduces: " << paper_ref << "\n"
+              << note << "\n"
+              << "================================================================\n";
+}
+
+/// Write a CSV artifact under bench_out/ (best effort; prints the location).
+inline void write_artifact(const util::CsvWriter& csv, const std::string& name)
+{
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    const std::string path = "bench_out/" + name;
+    if (csv.write_file(path)) {
+        std::cout << "[artifact] " << path << "\n";
+    }
+}
+
+inline std::string ratio(double value) { return util::format_fixed(value, 3); }
+inline std::string pct(double fraction) { return util::format_percent(fraction, 2); }
+
+} // namespace gsph::bench

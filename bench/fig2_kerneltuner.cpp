@@ -1,0 +1,65 @@
+/// Reproduces Fig. 2: GPU frequencies per function optimized for the best
+/// EDP outcome, Subsonic Turbulence, 450^3 particles, KernelTuner sweep
+/// over the 1005-1410 MHz band on the miniHPC A100.
+
+#include "common.hpp"
+
+#include "tuning/kernel_tuner.hpp"
+
+using namespace gsph;
+
+int main()
+{
+    bench::print_header(
+        "Fig. 2 - Best-EDP GPU frequency per SPH function (KernelTuner)",
+        "Figure 2",
+        "Brute-force sweep of the compute clock per kernel; expected shape:\n"
+        "compute-bound pair kernels (MomentumEnergy, IADVelocityDivCurl) keep\n"
+        "high clocks, light/memory-bound functions sit at the 1005 MHz floor.");
+
+    const auto trace = bench::turbulence_trace(bench::kParticles450, 8, 10);
+    const auto spec = sim::mini_hpc().gpu;
+    const auto band = tuning::paper_frequency_band(spec);
+
+    std::cout << "Sweep band:";
+    for (double f : band) std::cout << ' ' << util::format_fixed(f, 0);
+    std::cout << " MHz\n\n";
+
+    const auto sweep = tuning::sweep_sph_functions(trace, spec);
+
+    util::Table table({"Function", "Best-EDP clock [MHz]", "Best-energy clock [MHz]",
+                       "EDP vs 1410", "Energy vs 1410", "Time vs 1410"});
+    util::CsvWriter csv({"function", "best_edp_mhz", "best_energy_mhz", "edp_ratio",
+                         "energy_ratio", "time_ratio"});
+
+    for (const auto& entry : sweep) {
+        // Ratios of the chosen config vs the max-clock config.
+        const tuning::TuneConfig* at_max = nullptr;
+        const tuning::TuneConfig* chosen = nullptr;
+        for (const auto& c : entry.result.configs) {
+            const double f = c.params.at("core_freq_mhz");
+            if (f == band.back()) at_max = &c;
+            if (f == entry.best_edp_mhz) chosen = &c;
+        }
+        if (!at_max || !chosen) continue;
+        const double edp_ratio = chosen->edp / at_max->edp;
+        const double energy_ratio = chosen->energy_j / at_max->energy_j;
+        const double time_ratio = chosen->time_s / at_max->time_s;
+
+        table.add_row({sph::to_string(entry.fn),
+                       util::format_fixed(entry.best_edp_mhz, 0),
+                       util::format_fixed(entry.best_energy_mhz, 0),
+                       bench::ratio(edp_ratio), bench::ratio(energy_ratio),
+                       bench::ratio(time_ratio)});
+        csv.add_row({sph::to_string(entry.fn), util::format_fixed(entry.best_edp_mhz, 0),
+                     util::format_fixed(entry.best_energy_mhz, 0), bench::ratio(edp_ratio),
+                     bench::ratio(energy_ratio), bench::ratio(time_ratio)});
+    }
+    table.print(std::cout);
+
+    std::cout << "\nManDyn frequency table derived from this sweep:\n"
+              << tuning::table_from_sweep(sweep, spec.default_app_clock_mhz).serialize();
+
+    bench::write_artifact(csv, "fig2_kerneltuner.csv");
+    return 0;
+}

@@ -1,0 +1,67 @@
+/// Reproduces Fig. 5: breakdown of energy consumption by SPH-EXA function
+/// per device, for both workloads on LUMI-G and CSCS-A100.
+
+#include "common.hpp"
+
+using namespace gsph;
+
+namespace {
+
+void breakdown(const char* label, const sim::SystemSpec& system,
+               const sim::WorkloadTrace& trace, util::CsvWriter& csv)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 32;
+    cfg.setup_s = 30.0;
+    cfg.n_steps = 15;
+    const auto r = sim::run_instrumented(system, trace, cfg);
+
+    double gpu_total = 0.0, cpu_total = 0.0;
+    for (const auto& a : r.per_function) {
+        gpu_total += a.gpu_energy_j;
+        cpu_total += a.cpu_energy_j;
+    }
+
+    util::Table table({"Function", "GPU energy %", "CPU energy %", "Time %",
+                       "GPU energy [kJ]"});
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& a = r.per_function[static_cast<std::size_t>(f)];
+        if (a.calls == 0) continue;
+        const auto fn = static_cast<sph::SphFunction>(f);
+        table.add_row({sph::to_string(fn), bench::pct(a.gpu_energy_j / gpu_total),
+                       bench::pct(a.cpu_energy_j / cpu_total),
+                       bench::pct(a.time_s / r.makespan_s()),
+                       util::format_fixed(a.gpu_energy_j / 1e3, 1)});
+        csv.add_row({label, sph::to_string(fn), util::format_fixed(a.gpu_energy_j, 0),
+                     util::format_fixed(a.cpu_energy_j, 0),
+                     util::format_fixed(a.time_s, 3)});
+    }
+    std::cout << label << " (GPU total " << util::format_si(gpu_total, "J", 2) << "):\n";
+    table.print(std::cout);
+    std::cout << '\n';
+}
+
+} // namespace
+
+int main()
+{
+    bench::print_header(
+        "Fig. 5 - Energy breakdown by SPH function per device (32 ranks)",
+        "Figure 5",
+        "Expected shape: MomentumEnergy and IADVelocityDivCurl dominate (the\n"
+        "boxed functions in the paper's legend); CPU shares track function\n"
+        "duration (the host idles at near-constant power); MomentumEnergy's\n"
+        "GPU share is ~25% on CSCS-A100 but ~46% on LUMI-G.");
+
+    const auto turb = bench::turbulence_trace(bench::kTurbParticlesPerGpu, 10, 10);
+    const auto evrard = bench::evrard_trace(bench::kEvrardParticlesPerGpu, 10, 10);
+
+    util::CsvWriter csv({"case", "function", "gpu_j", "cpu_j", "time_s"});
+    breakdown("CSCS-A100-Turb", sim::cscs_a100(), turb, csv);
+    breakdown("LUMI-Turb", sim::lumi_g(), turb, csv);
+    breakdown("CSCS-A100-Evr", sim::cscs_a100(), evrard, csv);
+    breakdown("LUMI-Evr", sim::lumi_g(), evrard, csv);
+
+    bench::write_artifact(csv, "fig5_function_breakdown.csv");
+    return 0;
+}

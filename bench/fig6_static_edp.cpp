@@ -1,0 +1,66 @@
+/// Reproduces Fig. 6: effect of statically down-scaling the GPU frequency
+/// on the EDP of Subsonic Turbulence for different particle counts per GPU
+/// (450^3 down to 200^3) on a single miniHPC A100.
+
+#include "common.hpp"
+
+using namespace gsph;
+
+int main()
+{
+    bench::print_header(
+        "Fig. 6 - Normalized EDP vs static GPU frequency and problem size",
+        "Figure 6",
+        "Expected shape: EDP (normalized to the 1410 MHz run of the same\n"
+        "size) decreases as the clock drops; the under-utilized 200^3 case\n"
+        "drops fastest and favours the lowest clocks (e.g. 1110 MHz).");
+
+    const std::vector<int> sides = {450, 400, 350, 300, 250, 200};
+    const std::vector<double> freqs = {1410, 1320, 1215, 1110, 1005};
+
+    // One physics trace reused for every size: only the scale changes.
+    const auto base_trace = bench::turbulence_trace(bench::kParticles450, 8, 10);
+
+    std::vector<std::string> headers = {"Clock [MHz]"};
+    for (int side : sides) headers.push_back(std::to_string(side) + "^3");
+    util::Table table(headers);
+    util::CsvWriter csv({"clock_mhz", "nside", "edp_ratio", "time_ratio", "energy_ratio"});
+
+    // Baselines per size at 1410.
+    std::vector<sim::RunResult> baselines;
+    for (int side : sides) {
+        sim::WorkloadTrace trace = base_trace;
+        trace.particles_per_gpu = static_cast<double>(side) * side * side;
+        sim::RunConfig cfg;
+        cfg.n_ranks = 1;
+        cfg.setup_s = 10.0;
+        auto baseline = core::make_baseline_policy();
+        baselines.push_back(core::run_with_policy(sim::mini_hpc(), trace, cfg, *baseline));
+    }
+
+    for (double f : freqs) {
+        std::vector<std::string> row = {util::format_fixed(f, 0)};
+        for (std::size_t s = 0; s < sides.size(); ++s) {
+            sim::WorkloadTrace trace = base_trace;
+            trace.particles_per_gpu =
+                static_cast<double>(sides[s]) * sides[s] * sides[s];
+            sim::RunConfig cfg;
+            cfg.n_ranks = 1;
+            cfg.setup_s = 10.0;
+            auto policy = core::make_static_policy(f);
+            const auto r = core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy);
+            const double edp_ratio = r.gpu_edp() / baselines[s].gpu_edp();
+            row.push_back(bench::ratio(edp_ratio));
+            csv.add_row({util::format_fixed(f, 0), std::to_string(sides[s]),
+                         bench::ratio(edp_ratio),
+                         bench::ratio(r.makespan_s() / baselines[s].makespan_s()),
+                         bench::ratio(r.gpu_energy_j / baselines[s].gpu_energy_j)});
+        }
+        table.add_row(row);
+    }
+    table.print(std::cout);
+
+    std::cout << "\n(Each column is normalized to its own 1410 MHz baseline.)\n";
+    bench::write_artifact(csv, "fig6_static_edp.csv");
+    return 0;
+}

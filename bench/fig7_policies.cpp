@@ -1,0 +1,75 @@
+/// Reproduces Fig. 7 and the §IV-D headline numbers: time-to-solution,
+/// energy and EDP for static clocks 1005-1410 MHz, native DVFS and ManDyn,
+/// Subsonic Turbulence at 450^3 particles on a single miniHPC A100.
+
+#include "common.hpp"
+
+using namespace gsph;
+
+int main()
+{
+    bench::print_header(
+        "Fig. 7 - Static vs DVFS vs ManDyn (450^3 turbulence, one A100)",
+        "Figure 7 and Section IV-D",
+        "Expected shape: static down-scaling trades large slowdowns for\n"
+        "energy; DVFS matches baseline time but costs MORE energy; ManDyn\n"
+        "saves ~8% energy at <3% slowdown and has the best EDP.");
+
+    const auto trace = bench::turbulence_trace(bench::kParticles450, 10, 10);
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 10.0;
+
+    struct Entry {
+        std::string name;
+        std::unique_ptr<core::FrequencyPolicy> policy;
+    };
+    std::vector<Entry> entries;
+    for (double f : {1005.0, 1110.0, 1215.0, 1320.0}) {
+        entries.push_back({util::format_fixed(f, 0), core::make_static_policy(f)});
+    }
+    entries.push_back({"1410 (baseline)", core::make_baseline_policy()});
+    entries.push_back({"DVFS", core::make_native_dvfs_policy()});
+    entries.push_back(
+        {"ManDyn", core::make_mandyn_policy(core::reference_a100_turbulence_table())});
+
+    std::vector<core::PolicyMetrics> metrics;
+    std::vector<sim::RunResult> runs;
+    for (auto& e : entries) {
+        runs.push_back(core::run_with_policy(sim::mini_hpc(), trace, cfg, *e.policy));
+        metrics.push_back(core::metrics_from(e.name, runs.back()));
+    }
+    const core::PolicyMetrics baseline = metrics[4]; // "1410 (baseline)"
+    core::normalize_against(baseline, metrics);
+
+    util::Table table({"Configuration", "Time [norm]", "GPU energy [norm]",
+                       "GPU EDP [norm]", "Time [s]", "GPU energy [kJ]"});
+    util::CsvWriter csv({"config", "time_ratio", "energy_ratio", "edp_ratio", "time_s",
+                         "gpu_energy_j"});
+    for (const auto& m : metrics) {
+        table.add_row({m.name, bench::ratio(m.time_ratio), bench::ratio(m.gpu_energy_ratio),
+                       bench::ratio(m.gpu_edp_ratio), util::format_fixed(m.time_s, 2),
+                       util::format_fixed(m.gpu_energy_j / 1e3, 2)});
+        csv.add_row({m.name, bench::ratio(m.time_ratio), bench::ratio(m.gpu_energy_ratio),
+                     bench::ratio(m.gpu_edp_ratio), util::format_fixed(m.time_s, 3),
+                     util::format_fixed(m.gpu_energy_j, 1)});
+    }
+    table.print(std::cout);
+
+    // The Section IV-D summary block.
+    const auto summary = core::summarize_mandyn(runs[4], runs[6], runs[0]);
+    std::cout << "\nSection IV-D headline numbers (paper value in parentheses):\n"
+              << "  ManDyn performance loss:      " << bench::pct(summary.performance_loss)
+              << "  (<= 2.95 %)\n"
+              << "  ManDyn energy reduction:      " << bench::pct(summary.energy_reduction)
+              << "  (up to 7.82 % per GPU)\n"
+              << "  ManDyn EDP reduction:         " << bench::pct(summary.edp_reduction)
+              << "  (~4 %)\n"
+              << "  Static-1005 EDP reduction:    "
+              << bench::pct(1.0 - metrics[0].gpu_edp_ratio) << "  (~2.5 %)\n"
+              << "  ManDyn speedup vs static-1005:"
+              << bench::pct(summary.speedup_vs_static_low) << "  (~16 %)\n";
+
+    bench::write_artifact(csv, "fig7_policies.csv");
+    return 0;
+}

@@ -1,0 +1,127 @@
+/// google-benchmark microbenchmarks of the SPH substrate itself: neighbour
+/// search, kernel evaluations, octree construction, gravity traversal and a
+/// full time-step.  These measure host throughput of the real physics (not
+/// simulated device time).
+
+#include "sph/functions.hpp"
+#include "sph/ic.hpp"
+#include "sph/kernel.hpp"
+
+#include <benchmark/benchmark.h>
+
+namespace {
+
+using namespace gsph;
+
+sph::SphSimulation make_sim(int nside)
+{
+    sph::TurbulenceParams p;
+    p.nside = nside;
+    p.ng_target = 60;
+    return sph::make_subsonic_turbulence(p);
+}
+
+void BM_KernelEvaluation(benchmark::State& state)
+{
+    const auto& kern = sph::default_kernel();
+    double q = 0.0;
+    double sum = 0.0;
+    for (auto _ : state) {
+        sum += kern.w(q, 1.0) + kern.dw_dr(q, 1.0);
+        q += 1e-4;
+        if (q > 2.0) q = 0.0;
+    }
+    benchmark::DoNotOptimize(sum);
+}
+BENCHMARK(BM_KernelEvaluation);
+
+void BM_MortonKey(benchmark::State& state)
+{
+    const sph::Box box = sph::Box::cube(0.0, 1.0, true);
+    double x = 0.1;
+    std::uint64_t acc = 0;
+    for (auto _ : state) {
+        acc ^= sph::morton_key({x, 0.5, 0.25}, box);
+        x += 1e-7;
+        if (x > 1.0) x = 0.0;
+    }
+    benchmark::DoNotOptimize(acc);
+}
+BENCHMARK(BM_MortonKey);
+
+void BM_NeighborSearch(benchmark::State& state)
+{
+    auto sim = make_sim(static_cast<int>(state.range(0)));
+    sim.domain_decomp_and_sync();
+    sph::NeighborList nl;
+    for (auto _ : state) {
+        const std::size_t pairs =
+            sph::find_all_neighbors(sim.particles(), sim.box(), nl);
+        benchmark::DoNotOptimize(pairs);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(sim.particles().size()));
+}
+BENCHMARK(BM_NeighborSearch)->Arg(8)->Arg(12)->Arg(16);
+
+void BM_OctreeBuild(benchmark::State& state)
+{
+    auto sim = make_sim(static_cast<int>(state.range(0)));
+    sim.domain_decomp_and_sync(); // sort once
+    sph::Octree tree;
+    for (auto _ : state) {
+        tree.build(sim.particles(), sim.box(), 16);
+        benchmark::DoNotOptimize(tree.node_count());
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(sim.particles().size()));
+}
+BENCHMARK(BM_OctreeBuild)->Arg(8)->Arg(16);
+
+void BM_MomentumEnergy(benchmark::State& state)
+{
+    auto sim = make_sim(static_cast<int>(state.range(0)));
+    sim.domain_decomp_and_sync();
+    sim.find_neighbors();
+    sim.xmass();
+    sim.normalization_gradh();
+    sim.equation_of_state();
+    sim.iad_velocity_div_curl();
+    sim.av_switches();
+    for (auto _ : state) {
+        const auto work = sim.momentum_energy();
+        benchmark::DoNotOptimize(work.flops);
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(sim.neighbors().total_pairs()));
+}
+BENCHMARK(BM_MomentumEnergy)->Arg(8)->Arg(12);
+
+void BM_GravityBarnesHut(benchmark::State& state)
+{
+    sph::EvrardParams p;
+    p.n_particles = static_cast<int>(state.range(0));
+    auto sim = sph::make_evrard_collapse(p);
+    sim.domain_decomp_and_sync();
+    for (auto _ : state) {
+        const auto work = sim.gravity();
+        benchmark::DoNotOptimize(work.flops);
+    }
+    state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GravityBarnesHut)->Arg(1000)->Arg(4000);
+
+void BM_FullTimeStep(benchmark::State& state)
+{
+    auto sim = make_sim(static_cast<int>(state.range(0)));
+    for (auto _ : state) {
+        sim.step();
+    }
+    state.SetItemsProcessed(state.iterations() *
+                            static_cast<std::int64_t>(sim.particles().size()));
+}
+BENCHMARK(BM_FullTimeStep)->Arg(8)->Arg(12);
+
+} // namespace
+
+BENCHMARK_MAIN();

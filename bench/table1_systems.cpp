@@ -1,0 +1,60 @@
+/// Reproduces Table I: simulation and computing-system parameters.
+
+#include "common.hpp"
+
+#include "util/units.hpp"
+
+using namespace gsph;
+
+int main()
+{
+    bench::print_header(
+        "Table I - Simulation and computing system parameters",
+        "Table I",
+        "Workload parameters and per-node hardware of the three test systems.");
+
+    {
+        util::Table table({"Simulation", "Particles/GPU", "Time-steps", "Gravity"});
+        table.add_row({"Subsonic Turbulence", "150 million (production), 450^3..200^3 (miniHPC)",
+                       "100", "no"});
+        table.add_row({"Evrard Collapse", "80 million", "100", "yes"});
+        table.print(std::cout);
+    }
+
+    util::Table table({"System", "CPU", "GPUs per node", "GPU compute clock", "GPU memory clock",
+                       "pm_counters accel files"});
+    for (const auto& system : {sim::lumi_g(), sim::cscs_a100(), sim::mini_hpc()}) {
+        const auto& gpu = system.gpu;
+        table.add_row({system.name,
+                       system.cpu.name + " (" + std::to_string(system.cpu.total_cores()) +
+                           " cores)",
+                       std::to_string(system.gpus_per_node) + " x " + gpu.name,
+                       util::format_fixed(gpu.default_app_clock_mhz, 0) + " MHz",
+                       util::format_fixed(gpu.memory_clock_mhz, 0) + " MHz",
+                       std::to_string(system.gpus_per_node / system.gcds_per_accel_file)});
+    }
+    table.print(std::cout);
+
+    util::Table power({"System", "GPU idle", "GPU peak (model)", "CPU idle", "Aux (Other)"});
+    for (const auto& system : {sim::lumi_g(), sim::cscs_a100(), sim::mini_hpc()}) {
+        const auto& g = system.gpu;
+        const double peak = g.idle_w + g.sm_dynamic_w + g.issue_w + g.mem_dynamic_w;
+        power.add_row({system.name, util::format_fixed(g.idle_w, 0) + " W",
+                       util::format_fixed(peak, 0) + " W",
+                       util::format_fixed(system.cpu.package_idle_w, 0) + " W",
+                       util::format_fixed(system.aux_power_w, 0) + " W"});
+    }
+    power.print(std::cout);
+
+    util::CsvWriter csv({"system", "cpu", "cores", "gpus_per_node", "gpu", "compute_mhz",
+                         "memory_mhz", "accel_files"});
+    for (const auto& system : {sim::lumi_g(), sim::cscs_a100(), sim::mini_hpc()}) {
+        csv.add_row({system.name, system.cpu.name, std::to_string(system.cpu.total_cores()),
+                     std::to_string(system.gpus_per_node), system.gpu.name,
+                     util::format_fixed(system.gpu.default_app_clock_mhz, 0),
+                     util::format_fixed(system.gpu.memory_clock_mhz, 0),
+                     std::to_string(system.gpus_per_node / system.gcds_per_accel_file)});
+    }
+    bench::write_artifact(csv, "table1_systems.csv");
+    return 0;
+}

@@ -1,0 +1,145 @@
+#include "core/clock_backend.hpp"
+
+#include "nvmlsim/nvml.hpp"
+#include "rocmsmi/rocm_smi.hpp"
+
+#include <stdexcept>
+#include <vector>
+
+namespace gsph::core {
+
+const char* to_string(ClockStatus status)
+{
+    switch (status) {
+        case ClockStatus::kOk: return "ok";
+        case ClockStatus::kPermissionDenied: return "permission denied";
+        case ClockStatus::kInvalidArgument: return "invalid argument";
+        case ClockStatus::kUnavailable: return "unavailable";
+    }
+    return "unknown";
+}
+
+namespace {
+
+class NvmlClockBackend final : public ClockBackend {
+public:
+    explicit NvmlClockBackend(int n_ranks)
+        : devices_(static_cast<std::size_t>(n_ranks), nullptr)
+    {
+        nvmlsim::nvmlInit();
+    }
+    ~NvmlClockBackend() override { nvmlsim::nvmlShutdown(); }
+
+    ClockStatus set_cap_mhz(int rank, double mhz) override
+    {
+        const ClockStatus rs = resolve(rank);
+        if (rs != ClockStatus::kOk) return rs;
+        auto& dev = devices_[static_cast<std::size_t>(rank)];
+        unsigned int mem_mhz = 0;
+        nvmlsim::nvmlDeviceGetApplicationsClock(dev, nvmlsim::NVML_CLOCK_MEM, &mem_mhz);
+        return map(nvmlsim::nvmlDeviceSetApplicationsClocks(
+            dev, mem_mhz, static_cast<unsigned int>(mhz)));
+    }
+
+    ClockStatus reset(int rank) override
+    {
+        const ClockStatus rs = resolve(rank);
+        if (rs != ClockStatus::kOk) return rs;
+        return map(nvmlsim::nvmlDeviceResetApplicationsClocks(
+            devices_[static_cast<std::size_t>(rank)]));
+    }
+
+    std::string name() const override { return "nvml"; }
+
+private:
+    ClockStatus resolve(int rank)
+    {
+        if (rank < 0 || rank >= static_cast<int>(devices_.size())) {
+            return ClockStatus::kInvalidArgument;
+        }
+        auto& dev = devices_[static_cast<std::size_t>(rank)];
+        if (dev) return ClockStatus::kOk;
+        return map(nvmlsim::getNvmlDevice(static_cast<unsigned int>(rank), &dev));
+    }
+
+    static ClockStatus map(nvmlsim::nvmlReturn_t rc)
+    {
+        switch (rc) {
+            case nvmlsim::NVML_SUCCESS: return ClockStatus::kOk;
+            case nvmlsim::NVML_ERROR_NO_PERMISSION: return ClockStatus::kPermissionDenied;
+            case nvmlsim::NVML_ERROR_INVALID_ARGUMENT:
+            case nvmlsim::NVML_ERROR_NOT_FOUND: return ClockStatus::kInvalidArgument;
+            default: return ClockStatus::kUnavailable;
+        }
+    }
+
+    std::vector<nvmlsim::nvmlDevice_t> devices_;
+};
+
+class RocmClockBackend final : public ClockBackend {
+public:
+    explicit RocmClockBackend(int n_ranks) : n_ranks_(n_ranks) { rocmsmi::rsmi_init(0); }
+    ~RocmClockBackend() override { rocmsmi::rsmi_shut_down(); }
+
+    ClockStatus set_cap_mhz(int rank, double mhz) override
+    {
+        if (rank < 0 || rank >= n_ranks_) return ClockStatus::kInvalidArgument;
+        const auto dv = static_cast<std::uint32_t>(rank);
+        rocmsmi::rsmi_frequencies_t table;
+        auto rc = rocmsmi::rsmi_dev_gpu_clk_freq_get(dv, rocmsmi::RSMI_CLK_TYPE_SYS,
+                                                     &table);
+        if (rc != rocmsmi::RSMI_STATUS_SUCCESS) return map(rc);
+        const std::uint64_t mask = rocmsmi::bitmask_for_cap_mhz(table, mhz);
+        return map(rocmsmi::rsmi_dev_gpu_clk_freq_set(dv, rocmsmi::RSMI_CLK_TYPE_SYS,
+                                                      mask));
+    }
+
+    ClockStatus reset(int rank) override
+    {
+        if (rank < 0 || rank >= n_ranks_) return ClockStatus::kInvalidArgument;
+        return map(
+            rocmsmi::rsmi_dev_perf_level_set_auto(static_cast<std::uint32_t>(rank)));
+    }
+
+    std::string name() const override { return "rocm-smi"; }
+
+private:
+    static ClockStatus map(rocmsmi::rsmi_status_t rc)
+    {
+        switch (rc) {
+            case rocmsmi::RSMI_STATUS_SUCCESS: return ClockStatus::kOk;
+            case rocmsmi::RSMI_STATUS_PERMISSION: return ClockStatus::kPermissionDenied;
+            case rocmsmi::RSMI_STATUS_INVALID_ARGS: return ClockStatus::kInvalidArgument;
+            case rocmsmi::RSMI_STATUS_NOT_FOUND: return ClockStatus::kInvalidArgument;
+            default: return ClockStatus::kUnavailable;
+        }
+    }
+
+    int n_ranks_;
+};
+
+} // namespace
+
+std::unique_ptr<ClockBackend> make_nvml_clock_backend(int n_ranks)
+{
+    if (n_ranks <= 0) throw std::invalid_argument("clock backend: n_ranks <= 0");
+    return std::make_unique<NvmlClockBackend>(n_ranks);
+}
+
+std::unique_ptr<ClockBackend> make_rocm_clock_backend(int n_ranks)
+{
+    if (n_ranks <= 0) throw std::invalid_argument("clock backend: n_ranks <= 0");
+    return std::make_unique<RocmClockBackend>(n_ranks);
+}
+
+std::unique_ptr<ClockBackend> make_clock_backend(gpusim::Vendor vendor, int n_ranks)
+{
+    switch (vendor) {
+        case gpusim::Vendor::kNvidia: return make_nvml_clock_backend(n_ranks);
+        case gpusim::Vendor::kAmd: return make_rocm_clock_backend(n_ranks);
+        case gpusim::Vendor::kIntel: return make_nvml_clock_backend(n_ranks);
+    }
+    return make_nvml_clock_backend(n_ranks);
+}
+
+} // namespace gsph::core

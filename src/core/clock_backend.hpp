@@ -1,0 +1,50 @@
+#pragma once
+/// \file clock_backend.hpp
+/// \brief Vendor-neutral application-clock control.
+///
+/// The paper's instrumentation calls NVML directly; its future work is the
+/// "adaptation of the proposed method on AMD and Intel GPUs".  This layer
+/// abstracts the vendor call surface so the same FrequencyController drives
+/// NVIDIA devices through nvmlDeviceSetApplicationsClocks, AMD devices
+/// through rocm_smi frequency-level bitmasks, and Intel-class devices (no
+/// vendor facade modelled yet) through the device API directly.
+
+#include "gpusim/device_spec.hpp"
+
+#include <memory>
+#include <string>
+
+namespace gsph::core {
+
+enum class ClockStatus {
+    kOk = 0,
+    kPermissionDenied, ///< user-level clock control not granted
+    kInvalidArgument,  ///< bad rank / clock outside the supported range
+    kUnavailable,      ///< library not initialized / device not found
+};
+
+const char* to_string(ClockStatus status);
+
+/// One rank = one device; backends resolve the device lazily on first use so
+/// they can be constructed before the simulation binding exists.
+class ClockBackend {
+public:
+    virtual ~ClockBackend() = default;
+
+    /// Cap/lock the compute clock of `rank`'s device at `mhz` (memory clock
+    /// untouched, per the paper's methodology).
+    virtual ClockStatus set_cap_mhz(int rank, double mhz) = 0;
+    /// Restore the device default (reset application clocks / perf auto).
+    virtual ClockStatus reset(int rank) = 0;
+    virtual std::string name() const = 0;
+};
+
+/// NVML backend (nvmlDeviceSetApplicationsClocks), the paper's §III-D path.
+std::unique_ptr<ClockBackend> make_nvml_clock_backend(int n_ranks);
+/// rocm_smi backend (rsmi_dev_gpu_clk_freq_set with level bitmasks).
+std::unique_ptr<ClockBackend> make_rocm_clock_backend(int n_ranks);
+/// Select by device vendor (Intel-class devices currently route through the
+/// NVML-style facade of the simulator).
+std::unique_ptr<ClockBackend> make_clock_backend(gpusim::Vendor vendor, int n_ranks);
+
+} // namespace gsph::core

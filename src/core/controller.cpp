@@ -1,0 +1,44 @@
+#include "core/controller.hpp"
+
+#include <stdexcept>
+
+namespace gsph::core {
+
+FrequencyController::FrequencyController(FrequencyTable table, int n_ranks,
+                                         std::unique_ptr<ClockBackend> backend)
+    : table_(table),
+      backend_(backend ? std::move(backend) : make_nvml_clock_backend(n_ranks)),
+      current_mhz_(static_cast<std::size_t>(n_ranks), -1.0)
+{
+    if (n_ranks <= 0) throw std::invalid_argument("FrequencyController: n_ranks <= 0");
+}
+
+ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
+{
+    if (rank < 0 || rank >= static_cast<int>(current_mhz_.size())) {
+        return ClockStatus::kInvalidArgument;
+    }
+    const double target = table_.get(fn);
+    if (current_mhz_[static_cast<std::size_t>(rank)] == target) {
+        ++skipped_calls_;
+        return ClockStatus::kOk;
+    }
+    const ClockStatus status = backend_->set_cap_mhz(rank, target);
+    ++backend_calls_;
+    if (status == ClockStatus::kOk) {
+        current_mhz_[static_cast<std::size_t>(rank)] = target;
+    }
+    return status;
+}
+
+void FrequencyController::restore_all()
+{
+    for (std::size_t r = 0; r < current_mhz_.size(); ++r) {
+        if (current_mhz_[r] < 0.0) continue; // never touched
+        backend_->reset(static_cast<int>(r));
+        ++backend_calls_;
+        current_mhz_[r] = -1.0;
+    }
+}
+
+} // namespace gsph::core

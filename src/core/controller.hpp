@@ -1,0 +1,53 @@
+#pragma once
+/// \file controller.hpp
+/// \brief The ManDyn frequency controller (the paper's §III-D).
+///
+/// Before each SPH function the instrumentation sets the function's
+/// sweet-spot clock from the FrequencyTable on the GPU driven by this rank
+/// (one rank = one GPU), keeping the memory clock as-is.  Clock control
+/// goes through a vendor ClockBackend: NVML on NVIDIA (the paper's path),
+/// rocm_smi frequency-level bitmasks on AMD (the paper's future work).
+/// Redundant calls for consecutive functions sharing a clock are skipped:
+/// every applications-clock change costs a PLL relock.
+
+#include "core/clock_backend.hpp"
+#include "core/frequency_table.hpp"
+#include "sph/functions.hpp"
+
+#include <memory>
+#include <vector>
+
+namespace gsph::core {
+
+class FrequencyController {
+public:
+    /// `n_ranks` GPU-driving ranks.  `backend` defaults to NVML (the
+    /// paper's instrumentation); pass make_rocm_clock_backend or
+    /// make_clock_backend(vendor, ...) for other devices.
+    FrequencyController(FrequencyTable table, int n_ranks,
+                        std::unique_ptr<ClockBackend> backend = nullptr);
+
+    FrequencyController(const FrequencyController&) = delete;
+    FrequencyController& operator=(const FrequencyController&) = delete;
+
+    /// Set the clock for `fn` on the GPU of `rank`; no-op when the clock
+    /// already matches.
+    ClockStatus apply(int rank, sph::SphFunction fn);
+
+    /// Restore every touched device to its default clocks.
+    void restore_all();
+
+    const FrequencyTable& table() const { return table_; }
+    const ClockBackend& backend() const { return *backend_; }
+    long backend_calls() const { return backend_calls_; }
+    long skipped_calls() const { return skipped_calls_; }
+
+private:
+    FrequencyTable table_;
+    std::unique_ptr<ClockBackend> backend_;
+    std::vector<double> current_mhz_; ///< last clock set per rank (<0: unknown)
+    long backend_calls_ = 0;
+    long skipped_calls_ = 0;
+};
+
+} // namespace gsph::core

@@ -1,0 +1,63 @@
+#include "core/edp.hpp"
+
+#include <stdexcept>
+
+namespace gsph::core {
+
+PolicyMetrics metrics_from(const std::string& name, const sim::RunResult& run)
+{
+    PolicyMetrics m;
+    m.name = name;
+    m.time_s = run.makespan_s();
+    m.gpu_energy_j = run.gpu_energy_j;
+    m.node_energy_j = run.node_energy_j;
+    m.gpu_edp = run.gpu_edp();
+    m.node_edp = run.edp();
+    return m;
+}
+
+void normalize_against(const PolicyMetrics& baseline, std::vector<PolicyMetrics>& entries)
+{
+    if (baseline.time_s <= 0.0 || baseline.gpu_energy_j <= 0.0) {
+        throw std::invalid_argument("normalize_against: degenerate baseline");
+    }
+    for (auto& e : entries) {
+        e.time_ratio = e.time_s / baseline.time_s;
+        e.gpu_energy_ratio = e.gpu_energy_j / baseline.gpu_energy_j;
+        e.node_energy_ratio = e.node_energy_j / baseline.node_energy_j;
+        e.gpu_edp_ratio = e.gpu_edp / baseline.gpu_edp;
+        e.node_edp_ratio = e.node_edp / baseline.node_edp;
+    }
+}
+
+std::vector<FunctionRatios> function_ratios(const sim::RunResult& baseline,
+                                            const sim::RunResult& run)
+{
+    std::vector<FunctionRatios> out;
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& base = baseline.per_function[static_cast<std::size_t>(f)];
+        const auto& cur = run.per_function[static_cast<std::size_t>(f)];
+        if (base.calls == 0 || base.time_s <= 0.0 || base.gpu_energy_j <= 0.0) continue;
+        FunctionRatios r;
+        r.fn = static_cast<sph::SphFunction>(f);
+        r.time_ratio = cur.time_s / base.time_s;
+        r.energy_ratio = cur.gpu_energy_j / base.gpu_energy_j;
+        r.edp_ratio = r.time_ratio * r.energy_ratio;
+        out.push_back(r);
+    }
+    return out;
+}
+
+ManDynSummary summarize_mandyn(const sim::RunResult& baseline,
+                               const sim::RunResult& mandyn,
+                               const sim::RunResult& static_low)
+{
+    ManDynSummary s;
+    s.performance_loss = mandyn.makespan_s() / baseline.makespan_s() - 1.0;
+    s.energy_reduction = 1.0 - mandyn.gpu_energy_j / baseline.gpu_energy_j;
+    s.edp_reduction = 1.0 - mandyn.gpu_edp() / baseline.gpu_edp();
+    s.speedup_vs_static_low = static_low.makespan_s() / mandyn.makespan_s() - 1.0;
+    return s;
+}
+
+} // namespace gsph::core

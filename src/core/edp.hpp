@@ -1,0 +1,57 @@
+#pragma once
+/// \file edp.hpp
+/// \brief Energy-delay analysis helpers used by reports and benches.
+
+#include "sim/driver.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gsph::core {
+
+/// Time/energy/EDP of one configuration, plus the same normalized to a
+/// baseline (the paper normalizes everything to the 1410 MHz run).
+struct PolicyMetrics {
+    std::string name;
+    double time_s = 0.0;
+    double gpu_energy_j = 0.0;
+    double node_energy_j = 0.0;
+    double gpu_edp = 0.0;
+    double node_edp = 0.0;
+
+    // ratios vs baseline (1.0 = identical)
+    double time_ratio = 1.0;
+    double gpu_energy_ratio = 1.0;
+    double node_energy_ratio = 1.0;
+    double gpu_edp_ratio = 1.0;
+    double node_edp_ratio = 1.0;
+};
+
+/// Extract metrics from a run result.
+PolicyMetrics metrics_from(const std::string& name, const sim::RunResult& run);
+
+/// Fill the *_ratio fields of every entry relative to `baseline`.
+void normalize_against(const PolicyMetrics& baseline, std::vector<PolicyMetrics>& entries);
+
+/// Per-function time/energy/EDP ratios vs a baseline run (paper Fig. 8).
+struct FunctionRatios {
+    sph::SphFunction fn;
+    double time_ratio = 1.0;
+    double energy_ratio = 1.0;
+    double edp_ratio = 1.0;
+};
+std::vector<FunctionRatios> function_ratios(const sim::RunResult& baseline,
+                                            const sim::RunResult& run);
+
+/// The paper's §IV-D headline numbers for a ManDyn-vs-baseline comparison.
+struct ManDynSummary {
+    double performance_loss = 0.0;    ///< (t/t_base - 1); paper: <= 2.95 %
+    double energy_reduction = 0.0;    ///< (1 - E/E_base) per GPU; paper: up to 7.82 %
+    double edp_reduction = 0.0;       ///< (1 - EDP/EDP_base); paper: ~4 %
+    double speedup_vs_static_low = 0.0; ///< (t_static/t_mandyn - 1); paper: ~16 %
+};
+ManDynSummary summarize_mandyn(const sim::RunResult& baseline,
+                               const sim::RunResult& mandyn,
+                               const sim::RunResult& static_low);
+
+} // namespace gsph::core

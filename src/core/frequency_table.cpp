@@ -1,0 +1,113 @@
+#include "core/frequency_table.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::core {
+
+FrequencyTable::FrequencyTable(double default_mhz)
+{
+    if (default_mhz <= 0.0) throw std::invalid_argument("FrequencyTable: bad default");
+    clocks_.fill(default_mhz);
+}
+
+void FrequencyTable::set(sph::SphFunction fn, double mhz)
+{
+    if (mhz <= 0.0) throw std::invalid_argument("FrequencyTable::set: bad clock");
+    clocks_[static_cast<std::size_t>(fn)] = mhz;
+}
+
+double FrequencyTable::get(sph::SphFunction fn) const
+{
+    return clocks_[static_cast<std::size_t>(fn)];
+}
+
+double FrequencyTable::min_clock() const
+{
+    return *std::min_element(clocks_.begin(), clocks_.end());
+}
+
+double FrequencyTable::max_clock() const
+{
+    return *std::max_element(clocks_.begin(), clocks_.end());
+}
+
+std::string FrequencyTable::serialize() const
+{
+    std::ostringstream os;
+    os << "function,clock_mhz\n";
+    for (int i = 0; i < sph::kSphFunctionCount; ++i) {
+        os << sph::to_string(static_cast<sph::SphFunction>(i)) << ','
+           << util::format_fixed(clocks_[static_cast<std::size_t>(i)], 0) << '\n';
+    }
+    return os.str();
+}
+
+FrequencyTable FrequencyTable::parse(const std::string& text)
+{
+    FrequencyTable table(1.0);
+    std::array<bool, sph::kSphFunctionCount> seen{};
+    std::istringstream is(text);
+    std::string line;
+    bool header_skipped = false;
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        if (!header_skipped) {
+            header_skipped = true;
+            if (util::starts_with(line, "function,")) continue;
+        }
+        const auto parts = util::split(line, ',');
+        if (parts.size() != 2) {
+            throw std::invalid_argument("FrequencyTable::parse: bad line '" + line + "'");
+        }
+        bool matched = false;
+        for (int i = 0; i < sph::kSphFunctionCount; ++i) {
+            const auto fn = static_cast<sph::SphFunction>(i);
+            if (parts[0] == sph::to_string(fn)) {
+                table.set(fn, std::stod(parts[1]));
+                seen[static_cast<std::size_t>(i)] = true;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched) {
+            throw std::invalid_argument("FrequencyTable::parse: unknown function '" +
+                                        parts[0] + "'");
+        }
+    }
+    for (int i = 0; i < sph::kSphFunctionCount; ++i) {
+        if (!seen[static_cast<std::size_t>(i)]) {
+            throw std::invalid_argument(std::string("FrequencyTable::parse: missing ") +
+                                        sph::to_string(static_cast<sph::SphFunction>(i)));
+        }
+    }
+    return table;
+}
+
+FrequencyTable reference_a100_turbulence_table()
+{
+    using F = sph::SphFunction;
+    FrequencyTable t(1410.0);
+    // Best-EDP clocks from the KernelTuner sweep (bench/fig2): the
+    // compute-bound pair kernels keep near-max clocks, memory-bound and
+    // lightweight functions take the bottom of the 1005-1410 MHz band.
+    t.set(F::kMomentumEnergy, 1350.0);
+    t.set(F::kIadVelocityDivCurl, 1275.0);
+    t.set(F::kGravity, 1350.0);
+    t.set(F::kFindNeighbors, 1005.0);
+    t.set(F::kXMass, 1005.0);
+    t.set(F::kNormalizationGradh, 1005.0);
+    t.set(F::kEquationOfState, 1005.0);
+    t.set(F::kAVswitches, 1005.0);
+    t.set(F::kUpdateQuantities, 1005.0);
+    t.set(F::kUpdateSmoothingLength, 1005.0);
+    t.set(F::kDomainDecompAndSync, 1005.0);
+    t.set(F::kEnergyConservation, 1005.0);
+    t.set(F::kTimestep, 1005.0);
+    return t;
+}
+
+} // namespace gsph::core

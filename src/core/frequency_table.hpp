@@ -1,0 +1,45 @@
+#pragma once
+/// \file frequency_table.hpp
+/// \brief Per-function GPU clock table used by the ManDyn policy.
+///
+/// The table maps every SPH function to the application clock the
+/// instrumentation sets before launching it.  Tables are produced offline
+/// by the KernelTuner sweep (src/tuning) optimizing EDP — the paper's
+/// Fig. 2 — or loaded from a saved artifact.
+
+#include "sph/functions.hpp"
+
+#include <array>
+#include <string>
+
+namespace gsph::core {
+
+class FrequencyTable {
+public:
+    /// All functions default to `default_mhz` (pass the device's max clock
+    /// for a neutral table).
+    explicit FrequencyTable(double default_mhz = 1410.0);
+
+    void set(sph::SphFunction fn, double mhz);
+    double get(sph::SphFunction fn) const;
+
+    double min_clock() const;
+    double max_clock() const;
+
+    /// Serialize as "function,clock_mhz" CSV lines (the saved-artifact
+    /// format); parse throws std::invalid_argument on malformed input.
+    std::string serialize() const;
+    static FrequencyTable parse(const std::string& text);
+
+    bool operator==(const FrequencyTable& other) const = default;
+
+private:
+    std::array<double, sph::kSphFunctionCount> clocks_{};
+};
+
+/// The sweet-spot table the KernelTuner finds for Subsonic Turbulence at
+/// 450^3 particles on the miniHPC A100 (regenerate with bench/fig2); kept
+/// here so examples and tests can run ManDyn without re-tuning.
+FrequencyTable reference_a100_turbulence_table();
+
+} // namespace gsph::core

@@ -1,0 +1,184 @@
+#include "core/online_tuner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <stdexcept>
+
+namespace gsph::core {
+
+bool FunctionLearner::exploration_done(int samples_per_clock) const
+{
+    if (clocks.empty()) return false;
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+        if (samples[i] < samples_per_clock) return false;
+    }
+    return true;
+}
+
+int FunctionLearner::next_candidate(int samples_per_clock) const
+{
+    // Round-robin across under-sampled candidates, lowest sample count
+    // first (keeps exploration balanced if a run is cut short).
+    int best = -1;
+    int best_samples = std::numeric_limits<int>::max();
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+        if (samples[i] < samples_per_clock && samples[i] < best_samples) {
+            best = static_cast<int>(i);
+            best_samples = samples[i];
+        }
+    }
+    return best;
+}
+
+double FunctionLearner::best_edp_clock() const
+{
+    double best_clock = clocks.empty() ? 0.0 : clocks.front();
+    double best_edp = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+        if (samples[i] == 0) continue;
+        const double n = static_cast<double>(samples[i]);
+        const double edp = (energy_j[i] / n) * (time_s[i] / n);
+        if (edp < best_edp) {
+            best_edp = edp;
+            best_clock = clocks[i];
+        }
+    }
+    return best_clock;
+}
+
+OnlineManDynPolicy::OnlineManDynPolicy(OnlineTunerConfig config, gpusim::Vendor vendor)
+    : config_(std::move(config)), vendor_(vendor)
+{
+    if (config_.candidate_clocks.empty()) {
+        throw std::invalid_argument("OnlineManDyn: no candidate clocks");
+    }
+    if (config_.samples_per_clock < 1) {
+        throw std::invalid_argument("OnlineManDyn: samples_per_clock < 1");
+    }
+    std::sort(config_.candidate_clocks.begin(), config_.candidate_clocks.end());
+    for (auto& learner : learners_) {
+        learner.clocks = config_.candidate_clocks;
+        learner.energy_j.assign(learner.clocks.size(), 0.0);
+        learner.time_s.assign(learner.clocks.size(), 0.0);
+        learner.samples.assign(learner.clocks.size(), 0);
+    }
+}
+
+void OnlineManDynPolicy::configure(sim::RunConfig& run_config) const
+{
+    run_config.clock_policy = gpusim::ClockPolicy::kLockedAppClock;
+    run_config.app_clock_mhz = config_.candidate_clocks.back(); // start at top
+}
+
+void OnlineManDynPolicy::attach(sim::RunHooks& hooks, int n_ranks)
+{
+    backend_ = make_clock_backend(vendor_, n_ranks);
+    rank_current_mhz_.assign(static_cast<std::size_t>(n_ranks), -1.0);
+    probe_.reset();
+
+    auto prev_before = hooks.before_function;
+    auto prev_after = hooks.after_function;
+    hooks.before_function = [this, prev_before](int rank, gpusim::GpuDevice& dev,
+                                                sph::SphFunction fn) {
+        before(rank, dev, fn);
+        if (prev_before) prev_before(rank, dev, fn);
+    };
+    hooks.after_function = [this, prev_after](int rank, gpusim::GpuDevice& dev,
+                                              sph::SphFunction fn,
+                                              const gpusim::KernelResult& res) {
+        after(rank, dev, fn);
+        if (prev_after) prev_after(rank, dev, fn, res);
+    };
+}
+
+void OnlineManDynPolicy::before(int rank, gpusim::GpuDevice& dev, sph::SphFunction fn)
+{
+    FunctionLearner& learner = learners_[static_cast<std::size_t>(fn)];
+
+    double target;
+    if (learner.converged) {
+        target = learner.chosen_mhz;
+    }
+    else if (rank == 0) {
+        // Measurement rank: warm up, then cycle candidates.
+        if (learner.calls_seen < config_.warmup_calls) {
+            target = learner.clocks.back();
+            learner.active_candidate = -1;
+        }
+        else {
+            const int candidate = learner.next_candidate(config_.samples_per_clock);
+            learner.active_candidate = candidate;
+            target = candidate >= 0 ? learner.clocks[static_cast<std::size_t>(candidate)]
+                                    : learner.clocks.back();
+        }
+    }
+    else {
+        // Non-measurement ranks follow the current best estimate to bound
+        // the exploration cost of large jobs.
+        target = learner.calls_seen > 0 ? learner.best_edp_clock()
+                                        : learner.clocks.back();
+    }
+
+    if (rank_current_mhz_[static_cast<std::size_t>(rank)] != target) {
+        if (backend_->set_cap_mhz(rank, target) == ClockStatus::kOk) {
+            rank_current_mhz_[static_cast<std::size_t>(rank)] = target;
+        }
+    }
+
+    if (rank == 0) {
+        if (!probe_) {
+            probe_ = vendor_ == gpusim::Vendor::kAmd ? pmt::CreateRocm(0)
+                                                     : pmt::CreateNvml(0);
+        }
+        (void)dev;
+        open_state_ = probe_->Read();
+    }
+}
+
+void OnlineManDynPolicy::after(int rank, gpusim::GpuDevice& /*dev*/, sph::SphFunction fn)
+{
+    if (rank != 0) return;
+    FunctionLearner& learner = learners_[static_cast<std::size_t>(fn)];
+    ++learner.calls_seen;
+    if (learner.converged) return;
+
+    if (learner.active_candidate >= 0 && probe_) {
+        const pmt::State end = probe_->Read();
+        const auto idx = static_cast<std::size_t>(learner.active_candidate);
+        learner.energy_j[idx] += pmt::Pmt::joules(open_state_, end);
+        learner.time_s[idx] += pmt::Pmt::seconds(open_state_, end);
+        ++learner.samples[idx];
+    }
+    if (learner.exploration_done(config_.samples_per_clock)) {
+        learner.converged = true;
+        learner.chosen_mhz = learner.best_edp_clock();
+    }
+}
+
+FrequencyTable OnlineManDynPolicy::learned_table(double default_mhz) const
+{
+    FrequencyTable table(default_mhz);
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& learner = learners_[static_cast<std::size_t>(f)];
+        if (learner.converged) {
+            table.set(static_cast<sph::SphFunction>(f), learner.chosen_mhz);
+        }
+    }
+    return table;
+}
+
+bool OnlineManDynPolicy::all_converged() const
+{
+    for (const auto& learner : learners_) {
+        if (learner.calls_seen > 0 && !learner.converged) return false;
+    }
+    return true;
+}
+
+std::unique_ptr<OnlineManDynPolicy> make_online_mandyn_policy(OnlineTunerConfig config,
+                                                              gpusim::Vendor vendor)
+{
+    return std::make_unique<OnlineManDynPolicy>(std::move(config), vendor);
+}
+
+} // namespace gsph::core

@@ -1,0 +1,92 @@
+#pragma once
+/// \file online_tuner.hpp
+/// \brief Online ManDyn: learn the per-function clock table during the run.
+///
+/// The paper's ManDyn needs an offline KernelTuner sweep before production
+/// runs.  This extension removes that step: during the first steps of the
+/// run each function *explores* the candidate clocks (one clock per call,
+/// measured through the same PMT/NVML probes the paper instruments), and
+/// once every candidate has `samples_per_clock` measurements the function
+/// *exploits* the best-EDP clock for the rest of the run.
+///
+/// Exploration costs a bounded, front-loaded overhead (candidate clocks
+/// worse than the optimum run a few times each); for 100-step production
+/// runs with 5 candidates and 2 samples the exploration window is 10 steps.
+
+#include "core/clock_backend.hpp"
+#include "core/frequency_table.hpp"
+#include "core/policy.hpp"
+#include "pmt/pmt.hpp"
+#include "sim/driver.hpp"
+#include "sph/functions.hpp"
+
+#include <array>
+#include <memory>
+#include <vector>
+
+namespace gsph::core {
+
+struct OnlineTunerConfig {
+    /// Candidate clocks (MHz); empty = the paper's 1005-1410 band scaled to
+    /// the device is supplied by the caller.
+    std::vector<double> candidate_clocks;
+    int samples_per_clock = 2;
+    /// Skip this many initial calls per function (cold-start transients:
+    /// first-touch allocations, tree depth settling).
+    int warmup_calls = 1;
+};
+
+/// Per-function learning state (exposed for inspection/tests).
+struct FunctionLearner {
+    std::vector<double> clocks;          ///< candidates
+    std::vector<double> energy_j;        ///< accumulated per candidate
+    std::vector<double> time_s;          ///< accumulated per candidate
+    std::vector<int> samples;            ///< samples per candidate
+    int calls_seen = 0;
+    int active_candidate = -1; ///< candidate being measured (-1: none)
+    bool converged = false;
+    double chosen_mhz = 0.0;
+
+    bool exploration_done(int samples_per_clock) const;
+    int next_candidate(int samples_per_clock) const; ///< -1 when done
+    double best_edp_clock() const;
+};
+
+/// A FrequencyPolicy that starts with no table and converges to one.
+class OnlineManDynPolicy final : public FrequencyPolicy {
+public:
+    OnlineManDynPolicy(OnlineTunerConfig config,
+                       gpusim::Vendor vendor = gpusim::Vendor::kNvidia);
+
+    std::string name() const override { return "OnlineManDyn"; }
+    void configure(sim::RunConfig& run_config) const override;
+    void attach(sim::RunHooks& hooks, int n_ranks) override;
+
+    /// The table learned so far (converged functions at their choice,
+    /// others at the device default).
+    FrequencyTable learned_table(double default_mhz) const;
+    bool all_converged() const;
+    const FunctionLearner& learner(sph::SphFunction fn) const
+    {
+        return learners_[static_cast<std::size_t>(fn)];
+    }
+
+private:
+    void before(int rank, gpusim::GpuDevice& dev, sph::SphFunction fn);
+    void after(int rank, gpusim::GpuDevice& dev, sph::SphFunction fn);
+
+    OnlineTunerConfig config_;
+    gpusim::Vendor vendor_;
+    std::unique_ptr<ClockBackend> backend_;
+    std::array<FunctionLearner, sph::kSphFunctionCount> learners_{};
+    // Rank-0 is the measurement rank (homogeneous weak scaling, as in the
+    // paper's per-rank measurements); learned clocks apply to every rank.
+    std::unique_ptr<pmt::Pmt> probe_;
+    pmt::State open_state_{};
+    std::vector<double> rank_current_mhz_;
+};
+
+std::unique_ptr<OnlineManDynPolicy> make_online_mandyn_policy(
+    OnlineTunerConfig config = {}, gpusim::Vendor vendor = gpusim::Vendor::kNvidia);
+
+} // namespace gsph::core

@@ -1,0 +1,42 @@
+#include "core/pareto.hpp"
+
+namespace gsph::core {
+
+bool dominates(const ParetoPoint& a, const ParetoPoint& b)
+{
+    const bool no_worse = a.time_s <= b.time_s && a.energy_j <= b.energy_j;
+    const bool strictly_better = a.time_s < b.time_s || a.energy_j < b.energy_j;
+    return no_worse && strictly_better;
+}
+
+std::vector<ParetoPoint> pareto_front(const std::vector<ParetoPoint>& points)
+{
+    std::vector<ParetoPoint> out = points;
+    for (auto& p : out) {
+        p.on_front = true;
+        p.dominated_by.clear();
+        for (const auto& q : points) {
+            if (&q != &p && q.name != p.name && dominates(q, p)) {
+                p.on_front = false;
+                p.dominated_by.push_back(q.name);
+            }
+        }
+    }
+    return out;
+}
+
+std::vector<ParetoPoint> pareto_front(const std::vector<PolicyMetrics>& metrics)
+{
+    std::vector<ParetoPoint> points;
+    points.reserve(metrics.size());
+    for (const auto& m : metrics) {
+        ParetoPoint p;
+        p.name = m.name;
+        p.time_s = m.time_s;
+        p.energy_j = m.gpu_energy_j;
+        points.push_back(std::move(p));
+    }
+    return pareto_front(points);
+}
+
+} // namespace gsph::core

@@ -1,0 +1,36 @@
+#pragma once
+/// \file pareto.hpp
+/// \brief Pareto analysis of (time, energy) policy outcomes.
+///
+/// The paper motivates ManDyn as a way to identify "Pareto-optimal
+/// solutions that provide acceptable performance and lower energy
+/// consumption" (§IV-D).  This helper computes the Pareto front over a set
+/// of evaluated configurations: a configuration dominates another when it
+/// is no worse in both time and energy and strictly better in at least one.
+
+#include "core/edp.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gsph::core {
+
+struct ParetoPoint {
+    std::string name;
+    double time_s = 0.0;
+    double energy_j = 0.0;
+    bool on_front = false;
+    /// Names of the configurations that dominate this one (empty on-front).
+    std::vector<std::string> dominated_by;
+};
+
+/// Marks each point with its front membership; the input order is kept.
+std::vector<ParetoPoint> pareto_front(const std::vector<ParetoPoint>& points);
+
+/// Convenience over policy metrics (uses time_s and gpu_energy_j).
+std::vector<ParetoPoint> pareto_front(const std::vector<PolicyMetrics>& metrics);
+
+/// True if a dominates b (<= in both dimensions, < in at least one).
+bool dominates(const ParetoPoint& a, const ParetoPoint& b);
+
+} // namespace gsph::core

@@ -1,0 +1,183 @@
+#include "core/policy.hpp"
+
+#include "nvmlsim/nvml.hpp"
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace gsph::core {
+
+void FrequencyPolicy::attach(sim::RunHooks&, int) {}
+
+namespace {
+
+class BaselinePolicy final : public FrequencyPolicy {
+public:
+    std::string name() const override { return "Baseline"; }
+    void configure(sim::RunConfig& config) const override
+    {
+        config.clock_policy = gpusim::ClockPolicy::kLockedAppClock;
+        config.app_clock_mhz = -1.0; // system default (Table I)
+    }
+};
+
+class StaticPolicy final : public FrequencyPolicy {
+public:
+    explicit StaticPolicy(double mhz) : mhz_(mhz)
+    {
+        if (mhz <= 0.0) throw std::invalid_argument("StaticPolicy: bad clock");
+    }
+    std::string name() const override
+    {
+        return "Static-" + util::format_fixed(mhz_, 0);
+    }
+    void configure(sim::RunConfig& config) const override
+    {
+        config.clock_policy = gpusim::ClockPolicy::kLockedAppClock;
+        config.app_clock_mhz = mhz_;
+    }
+
+private:
+    double mhz_;
+};
+
+class NativeDvfsPolicy final : public FrequencyPolicy {
+public:
+    std::string name() const override { return "DVFS"; }
+    void configure(sim::RunConfig& config) const override
+    {
+        config.clock_policy = gpusim::ClockPolicy::kNativeDvfs;
+        config.app_clock_mhz = -1.0;
+    }
+};
+
+class ManDynPolicy final : public FrequencyPolicy {
+public:
+    ManDynPolicy(FrequencyTable table, gpusim::Vendor vendor)
+        : table_(table), vendor_(vendor)
+    {
+    }
+
+    std::string name() const override { return "ManDyn"; }
+
+    void configure(sim::RunConfig& config) const override
+    {
+        // ManDyn runs with locked application clocks that the controller
+        // re-targets before every function; start at the table's maximum.
+        config.clock_policy = gpusim::ClockPolicy::kLockedAppClock;
+        config.app_clock_mhz = table_.max_clock();
+    }
+
+    void attach(sim::RunHooks& hooks, int n_ranks) override
+    {
+        controller_ = std::make_unique<FrequencyController>(
+            table_, n_ranks, make_clock_backend(vendor_, n_ranks));
+        auto* ctl = controller_.get();
+        auto previous = hooks.before_function; // compose with existing hooks
+        hooks.before_function = [ctl, previous](int rank, gpusim::GpuDevice& dev,
+                                                sph::SphFunction fn) {
+            ctl->apply(rank, fn);
+            if (previous) previous(rank, dev, fn);
+        };
+    }
+
+    const FrequencyController* controller() const { return controller_.get(); }
+
+private:
+    FrequencyTable table_;
+    gpusim::Vendor vendor_;
+    std::unique_ptr<FrequencyController> controller_;
+};
+
+class PowerCapPolicy final : public FrequencyPolicy {
+public:
+    explicit PowerCapPolicy(double watts) : watts_(watts)
+    {
+        if (watts <= 0.0) throw std::invalid_argument("PowerCapPolicy: bad limit");
+    }
+
+    ~PowerCapPolicy() override
+    {
+        for (int i = 0; i < nvml_inits_; ++i) nvmlsim::nvmlShutdown();
+    }
+
+    std::string name() const override
+    {
+        return "PowerCap-" + util::format_fixed(watts_, 0) + "W";
+    }
+
+    void configure(sim::RunConfig& config) const override
+    {
+        config.clock_policy = gpusim::ClockPolicy::kLockedAppClock;
+        config.app_clock_mhz = -1.0; // default clocks; the cap throttles
+    }
+
+    void attach(sim::RunHooks& hooks, int n_ranks) override
+    {
+        nvmlsim::nvmlInit();
+        ++nvml_inits_;
+        applied_.assign(static_cast<std::size_t>(n_ranks), false);
+        auto previous = hooks.before_function;
+        const double watts = watts_;
+        auto* applied = &applied_;
+        hooks.before_function = [watts, applied, previous](int rank,
+                                                           gpusim::GpuDevice& dev,
+                                                           sph::SphFunction fn) {
+            if (!(*applied)[static_cast<std::size_t>(rank)]) {
+                nvmlsim::nvmlDevice_t handle = nullptr;
+                if (nvmlsim::getNvmlDevice(static_cast<unsigned int>(rank), &handle) ==
+                    nvmlsim::NVML_SUCCESS) {
+                    nvmlsim::nvmlDeviceSetPowerManagementLimit(
+                        handle, static_cast<unsigned int>(watts * 1000.0));
+                }
+                (*applied)[static_cast<std::size_t>(rank)] = true;
+            }
+            if (previous) previous(rank, dev, fn);
+        };
+    }
+
+private:
+    double watts_;
+    std::vector<bool> applied_;
+    int nvml_inits_ = 0;
+};
+
+} // namespace
+
+std::unique_ptr<FrequencyPolicy> make_baseline_policy()
+{
+    return std::make_unique<BaselinePolicy>();
+}
+
+std::unique_ptr<FrequencyPolicy> make_static_policy(double mhz)
+{
+    return std::make_unique<StaticPolicy>(mhz);
+}
+
+std::unique_ptr<FrequencyPolicy> make_native_dvfs_policy()
+{
+    return std::make_unique<NativeDvfsPolicy>();
+}
+
+std::unique_ptr<FrequencyPolicy> make_mandyn_policy(FrequencyTable table,
+                                                    gpusim::Vendor vendor)
+{
+    return std::make_unique<ManDynPolicy>(table, vendor);
+}
+
+std::unique_ptr<FrequencyPolicy> make_power_cap_policy(double watts)
+{
+    return std::make_unique<PowerCapPolicy>(watts);
+}
+
+sim::RunResult run_with_policy(const sim::SystemSpec& system,
+                               const sim::WorkloadTrace& trace, sim::RunConfig config,
+                               FrequencyPolicy& policy)
+{
+    policy.configure(config);
+    sim::RunHooks hooks;
+    policy.attach(hooks, config.n_ranks);
+    return sim::run_instrumented(system, trace, config, hooks);
+}
+
+} // namespace gsph::core

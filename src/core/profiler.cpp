@@ -1,0 +1,90 @@
+#include "core/profiler.hpp"
+
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace gsph::core {
+
+EnergyProfiler::EnergyProfiler(int n_ranks)
+    : n_ranks_(n_ranks),
+      sensors_(static_cast<std::size_t>(n_ranks)),
+      open_state_(static_cast<std::size_t>(n_ranks)),
+      per_rank_(static_cast<std::size_t>(n_ranks))
+{
+    if (n_ranks <= 0) throw std::invalid_argument("EnergyProfiler: n_ranks <= 0");
+}
+
+void EnergyProfiler::ensure_sensor(int rank)
+{
+    auto& sensor = sensors_[static_cast<std::size_t>(rank)];
+    if (!sensor) sensor = pmt::CreateNvml(static_cast<unsigned int>(rank));
+}
+
+void EnergyProfiler::attach(sim::RunHooks& hooks)
+{
+    auto prev_before = hooks.before_function;
+    auto prev_after = hooks.after_function;
+
+    hooks.before_function = [this, prev_before](int rank, gpusim::GpuDevice& dev,
+                                                sph::SphFunction fn) {
+        if (prev_before) prev_before(rank, dev, fn); // controller first
+        ensure_sensor(rank);
+        open_state_[static_cast<std::size_t>(rank)] =
+            sensors_[static_cast<std::size_t>(rank)]->Read();
+    };
+
+    hooks.after_function = [this, prev_after](int rank, gpusim::GpuDevice& dev,
+                                              sph::SphFunction fn,
+                                              const gpusim::KernelResult& res) {
+        const pmt::State end = sensors_[static_cast<std::size_t>(rank)]->Read();
+        const pmt::State& start = open_state_[static_cast<std::size_t>(rank)];
+        const std::size_t fi = static_cast<std::size_t>(fn);
+
+        FunctionEnergy& rank_slot = per_rank_[static_cast<std::size_t>(rank)][fi];
+        const double joules = pmt::Pmt::joules(start, end);
+        const double seconds = pmt::Pmt::seconds(start, end);
+        rank_slot.gpu_energy_j += joules;
+        rank_slot.time_s += seconds;
+        ++rank_slot.calls;
+
+        totals_[fi].gpu_energy_j += joules;
+        totals_[fi].time_s += seconds;
+        ++totals_[fi].calls;
+
+        if (prev_after) prev_after(rank, dev, fn, res);
+    };
+}
+
+double EnergyProfiler::total_gpu_energy_j() const
+{
+    double total = 0.0;
+    for (const auto& f : totals_) total += f.gpu_energy_j;
+    return total;
+}
+
+double EnergyProfiler::total_time_s() const
+{
+    double total = 0.0;
+    for (const auto& f : totals_) total += f.time_s;
+    return total / static_cast<double>(n_ranks_);
+}
+
+util::CsvWriter EnergyProfiler::report_csv() const
+{
+    util::CsvWriter csv({"rank", "function", "calls", "time_s", "gpu_energy_j"});
+    for (int r = 0; r < n_ranks_; ++r) {
+        for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+            const FunctionEnergy& e =
+                per_rank_[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)];
+            if (e.calls == 0) continue;
+            csv.add_row({std::to_string(r),
+                         sph::to_string(static_cast<sph::SphFunction>(f)),
+                         std::to_string(e.calls), util::format_fixed(e.time_s, 6),
+                         util::format_fixed(e.gpu_energy_j, 3)});
+        }
+    }
+    return csv;
+}
+
+} // namespace gsph::core

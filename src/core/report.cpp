@@ -1,0 +1,105 @@
+#include "core/report.hpp"
+
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace gsph::core {
+
+util::Table device_breakdown_table(const sim::RunResult& run)
+{
+    util::Table table({"Device", "Energy [MJ]", "Share"});
+    const double total = run.node_energy_j;
+    auto row = [&](const char* label, double joules) {
+        table.add_row({label, util::format_fixed(units::joules_to_megajoules(joules), 4),
+                       total > 0.0 ? util::format_percent(joules / total, 1)
+                                   : std::string("n/a")});
+    };
+    row("GPU", run.gpu_energy_j);
+    row("CPU", run.cpu_energy_j);
+    row("Memory", run.memory_energy_j);
+    row("Other", run.other_energy_j);
+    table.add_separator();
+    row("Node", run.node_energy_j);
+    return table;
+}
+
+util::Table function_breakdown_table(const sim::RunResult& run)
+{
+    util::Table table({"Function", "Time [s]", "Time %", "GPU energy [kJ]",
+                       "GPU energy %", "Mean clock [MHz]"});
+    double gpu_total = 0.0;
+    for (const auto& a : run.per_function) gpu_total += a.gpu_energy_j;
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& a = run.per_function[static_cast<std::size_t>(f)];
+        if (a.calls == 0) continue;
+        table.add_row({sph::to_string(static_cast<sph::SphFunction>(f)),
+                       util::format_fixed(a.time_s, 3),
+                       util::format_percent(a.time_s / run.makespan_s(), 1),
+                       util::format_fixed(a.gpu_energy_j / 1e3, 2),
+                       gpu_total > 0.0
+                           ? util::format_percent(a.gpu_energy_j / gpu_total, 1)
+                           : std::string("n/a"),
+                       util::format_fixed(a.mean_clock_mhz(), 0)});
+    }
+    return table;
+}
+
+util::Table policy_comparison_table(const std::vector<PolicyMetrics>& normalized)
+{
+    util::Table table({"Policy", "Time [norm]", "GPU energy [norm]", "GPU EDP [norm]",
+                       "Node EDP [norm]"});
+    for (const auto& m : normalized) {
+        table.add_row({m.name, util::format_fixed(m.time_ratio, 3),
+                       util::format_fixed(m.gpu_energy_ratio, 3),
+                       util::format_fixed(m.gpu_edp_ratio, 3),
+                       util::format_fixed(m.node_edp_ratio, 3)});
+    }
+    return table;
+}
+
+std::string ascii_bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                            int width, const std::string& unit)
+{
+    if (rows.empty()) return "";
+    std::size_t label_width = 0;
+    double max_value = 0.0;
+    for (const auto& [label, value] : rows) {
+        label_width = std::max(label_width, label.size());
+        max_value = std::max(max_value, value);
+    }
+    std::ostringstream os;
+    for (const auto& [label, value] : rows) {
+        const int bar =
+            max_value > 0.0
+                ? static_cast<int>(value / max_value * static_cast<double>(width) + 0.5)
+                : 0;
+        os << util::pad_right(label, label_width) << " |" << std::string(bar, '#')
+           << std::string(width - bar, ' ') << "| "
+           << (unit.empty() ? util::format_fixed(value, 3)
+                            : util::format_si(value, unit, 2))
+           << '\n';
+    }
+    return os.str();
+}
+
+std::string mandyn_summary_text(const sim::RunResult& baseline,
+                                const sim::RunResult& mandyn)
+{
+    const double time_loss = mandyn.makespan_s() / baseline.makespan_s() - 1.0;
+    const double energy_saved = 1.0 - mandyn.gpu_energy_j / baseline.gpu_energy_j;
+    const double edp_saved = 1.0 - mandyn.gpu_edp() / baseline.gpu_edp();
+    std::ostringstream os;
+    os << "Dynamic GPU frequency setting through code instrumentation decreases "
+          "the energy consumption of the simulation by "
+       << util::format_percent(energy_saved, 2) << " per GPU while the performance "
+       << (time_loss >= 0.0 ? "loss" : "gain") << " is limited to "
+       << util::format_percent(std::fabs(time_loss), 2) << " ("
+       << util::format_percent(edp_saved, 2) << " EDP reduction).";
+    return os.str();
+}
+
+} // namespace gsph::core

@@ -1,0 +1,35 @@
+#pragma once
+/// \file report.hpp
+/// \brief Reusable renderers for run results (the report the paper's
+/// instrumentation generates "that users can analyze to develop
+/// energy-efficient code").
+
+#include "core/edp.hpp"
+#include "sim/driver.hpp"
+#include "util/table.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gsph::core {
+
+/// Fig. 4-style device breakdown of a run's loop window.
+util::Table device_breakdown_table(const sim::RunResult& run);
+
+/// Fig. 5-style per-function breakdown (GPU energy, CPU share, time share).
+util::Table function_breakdown_table(const sim::RunResult& run);
+
+/// Fig. 7-style normalized policy comparison.
+util::Table policy_comparison_table(const std::vector<PolicyMetrics>& normalized);
+
+/// Horizontal ASCII bar chart: one row per (label, value); bars are scaled
+/// to the maximum value and annotated with the formatted value.
+std::string ascii_bar_chart(const std::vector<std::pair<std::string, double>>& rows,
+                            int width = 50, const std::string& unit = "");
+
+/// One-paragraph executive summary of a ManDyn-vs-baseline comparison,
+/// in the style of the paper's abstract numbers.
+std::string mandyn_summary_text(const sim::RunResult& baseline,
+                                const sim::RunResult& mandyn);
+
+} // namespace gsph::core

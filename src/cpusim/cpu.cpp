@@ -1,0 +1,92 @@
+#include "cpusim/cpu.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsph::cpusim {
+
+void CpuSpec::validate() const
+{
+    if (name.empty()) throw std::invalid_argument("CpuSpec: empty name");
+    if (sockets <= 0 || cores_per_socket <= 0)
+        throw std::invalid_argument("CpuSpec '" + name + "': bad core counts");
+    if (package_idle_w < 0 || per_core_active_w < 0 || dram_idle_w < 0 || dram_active_w < 0)
+        throw std::invalid_argument("CpuSpec '" + name + "': negative power");
+}
+
+CpuSpec epyc_7a53()
+{
+    CpuSpec s;
+    s.name = "epyc-7a53";
+    s.sockets = 1;
+    s.cores_per_socket = 64;
+    s.package_idle_w = 100.0;
+    s.per_core_active_w = 2.4;
+    s.dram_idle_w = 40.0; // 512 GB DDR4
+    s.dram_active_w = 45.0;
+    return s;
+}
+
+CpuSpec epyc_7113()
+{
+    CpuSpec s;
+    s.name = "epyc-7113";
+    s.sockets = 1;
+    s.cores_per_socket = 64;
+    s.package_idle_w = 95.0;
+    s.per_core_active_w = 2.2;
+    s.dram_idle_w = 30.0;
+    s.dram_active_w = 40.0;
+    return s;
+}
+
+CpuSpec xeon_6258r_dual()
+{
+    CpuSpec s;
+    s.name = "xeon-6258r-dual";
+    s.sockets = 2;
+    s.cores_per_socket = 28;
+    s.package_idle_w = 120.0; // two sockets
+    s.per_core_active_w = 3.4;
+    s.dram_idle_w = 60.0; // 1.5 TB
+    s.dram_active_w = 50.0;
+    return s;
+}
+
+CpuSpec cpu_by_name(const std::string& name)
+{
+    const std::string key = util::to_lower(name);
+    if (key == "epyc-7a53") return epyc_7a53();
+    if (key == "epyc-7113") return epyc_7113();
+    if (key == "xeon-6258r-dual") return xeon_6258r_dual();
+    throw std::invalid_argument("unknown CPU spec: " + name);
+}
+
+CpuDevice::CpuDevice(CpuSpec spec) : spec_(std::move(spec)) { spec_.validate(); }
+
+double CpuDevice::package_power_w(double busy_cores, double utilization) const
+{
+    const double cores = std::clamp(busy_cores, 0.0, static_cast<double>(spec_.total_cores()));
+    const double util = std::clamp(utilization, 0.0, 1.0);
+    return spec_.package_idle_w + cores * util * spec_.per_core_active_w;
+}
+
+double CpuDevice::dram_power_w(double mem_activity) const
+{
+    return spec_.dram_idle_w + std::clamp(mem_activity, 0.0, 1.0) * spec_.dram_active_w;
+}
+
+void CpuDevice::advance(double dt, double busy_cores, double utilization, double mem_activity)
+{
+    if (dt <= 0.0) return;
+    const double pkg = package_power_w(busy_cores, utilization);
+    const double dram = dram_power_w(mem_activity);
+    package_energy_.add(pkg * dt);
+    dram_energy_.add(dram * dt);
+    last_power_w_ = pkg + dram;
+    now_s_ += dt;
+}
+
+} // namespace gsph::cpusim

@@ -1,0 +1,72 @@
+#pragma once
+/// \file cpu.hpp
+/// \brief Host CPU and node-DRAM power/energy model.
+///
+/// In SPH-EXA all simulation data lives on the GPU and the CPU is mostly
+/// idle while kernels execute; its energy is therefore roughly proportional
+/// to elapsed time (the paper's Fig. 5 explains the per-function CPU energy
+/// exactly this way).  The model is a package power with a small activity
+/// term (MPI progress engine, kernel-launch driver work) plus a DRAM domain,
+/// exposed through RAPL-style monotonically increasing energy counters.
+
+#include "util/stats.hpp"
+
+#include <string>
+
+namespace gsph::cpusim {
+
+struct CpuSpec {
+    std::string name;
+    int sockets = 1;
+    int cores_per_socket = 64;
+
+    double package_idle_w = 95.0;   ///< all sockets, OS-idle with DVFS active
+    double per_core_active_w = 2.2; ///< incremental power per busy core
+    double dram_idle_w = 25.0;      ///< node DRAM background (refresh)
+    double dram_active_w = 35.0;    ///< incremental at full host memory traffic
+
+    int total_cores() const { return sockets * cores_per_socket; }
+    void validate() const;
+};
+
+/// AMD EPYC 7A53 "Trento", 64 cores, 512 GB (LUMI-G node host, Table I).
+CpuSpec epyc_7a53();
+/// AMD EPYC 7113, 64 cores (CSCS-A100 node host, Table I).
+CpuSpec epyc_7113();
+/// 2x Intel Xeon Gold 6258R, 28 cores each, 1.5 TB (miniHPC, Table I).
+CpuSpec xeon_6258r_dual();
+
+CpuSpec cpu_by_name(const std::string& name);
+
+/// A running CPU with its own simulated clock and RAPL-style counters.
+class CpuDevice {
+public:
+    explicit CpuDevice(CpuSpec spec);
+
+    /// Advance `dt` seconds with `busy_cores` cores active at `utilization`
+    /// (0..1) and `mem_activity` (0..1) host-DRAM traffic.
+    void advance(double dt, double busy_cores = 0.0, double utilization = 1.0,
+                 double mem_activity = 0.05);
+
+    double now() const { return now_s_; }
+    /// RAPL package domain: joules since construction (monotone).
+    double package_energy_j() const { return package_energy_.value(); }
+    /// RAPL DRAM domain: joules since construction (monotone).
+    double dram_energy_j() const { return dram_energy_.value(); }
+    double energy_j() const { return package_energy_j() + dram_energy_j(); }
+
+    double package_power_w(double busy_cores, double utilization) const;
+    double dram_power_w(double mem_activity) const;
+    double last_power_w() const { return last_power_w_; }
+
+    const CpuSpec& spec() const { return spec_; }
+
+private:
+    CpuSpec spec_;
+    double now_s_ = 0.0;
+    util::KahanSum package_energy_;
+    util::KahanSum dram_energy_;
+    double last_power_w_ = 0.0;
+};
+
+} // namespace gsph::cpusim

@@ -1,0 +1,229 @@
+#include "gpusim/device.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsph::gpusim {
+
+GpuDevice::GpuDevice(GpuDeviceSpec spec, int index)
+    : spec_(std::move(spec)),
+      index_(index),
+      power_model_(spec_),
+      governor_(spec_),
+      app_clock_mhz_(spec_.default_app_clock_mhz),
+      mem_clock_mhz_(spec_.memory_clock_mhz),
+      current_clock_mhz_(spec_.min_compute_mhz)
+{
+    spec_.validate();
+    // PowerModel/DvfsGovernor hold a pointer into spec_, which now lives in
+    // this object; re-bind them to the member copy.
+    power_model_ = PowerModel(spec_);
+    governor_ = DvfsGovernor(spec_);
+}
+
+void GpuDevice::set_clock_policy(ClockPolicy policy)
+{
+    policy_ = policy;
+    if (policy_ == ClockPolicy::kNativeDvfs) {
+        governor_.set_cap_mhz(spec_.max_compute_mhz);
+        current_clock_mhz_ = governor_.current_mhz();
+    }
+    else {
+        current_clock_mhz_ = spec_.min_compute_mhz; // parked until next kernel
+    }
+}
+
+void GpuDevice::set_application_clocks(double mem_mhz, double compute_mhz)
+{
+    if (compute_mhz <= 0.0) {
+        throw std::invalid_argument("set_application_clocks: non-positive clock");
+    }
+    app_clock_mhz_ = spec_.quantize_clock(compute_mhz);
+    mem_clock_mhz_ = mem_mhz > 0.0 ? mem_mhz : spec_.memory_clock_mhz;
+    governor_.set_cap_mhz(app_clock_mhz_);
+    if (policy_ == ClockPolicy::kLockedAppClock) {
+        // The locked clock takes effect at the next kernel.
+    }
+}
+
+void GpuDevice::set_power_limit_w(double watts)
+{
+    power_limit_w_ = watts;
+}
+
+double GpuDevice::default_power_limit_w() const
+{
+    return spec_.idle_w + spec_.sm_dynamic_w + spec_.issue_w + spec_.mem_dynamic_w;
+}
+
+double GpuDevice::throttle_for_power(const KernelWork& work, double requested_mhz,
+                                     bool governor_managed) const
+{
+    if (power_limit_w_ <= 0.0) return requested_mhz;
+    const double mem_scale = mem_clock_mhz_ / spec_.memory_clock_mhz;
+    double f = spec_.quantize_clock(requested_mhz);
+    while (f > spec_.min_compute_mhz) {
+        const KernelTiming t = price_kernel(spec_, work, f, mem_scale);
+        const PowerBreakdown p = power_model_.busy_power(t, f, governor_managed);
+        if (p.total_w <= power_limit_w_) break;
+        f = spec_.quantize_clock(f - spec_.clock_step_mhz);
+    }
+    return f;
+}
+
+void GpuDevice::reset_application_clocks()
+{
+    app_clock_mhz_ = spec_.default_app_clock_mhz;
+    mem_clock_mhz_ = spec_.memory_clock_mhz;
+    governor_.set_cap_mhz(spec_.max_compute_mhz);
+}
+
+void GpuDevice::record(double time, double clock_mhz, double power_w)
+{
+    if (!tracing_) return;
+    clock_trace_.append(time, clock_mhz);
+    power_trace_.append(time, power_w);
+}
+
+void GpuDevice::account(double dt, double power_w)
+{
+    energy_.add(power_w * dt);
+    last_power_w_ = power_w;
+}
+
+void GpuDevice::clear_traces()
+{
+    clock_trace_.clear();
+    power_trace_.clear();
+}
+
+KernelResult GpuDevice::execute(const KernelWork& work)
+{
+    kernels_launched_ += std::max<std::int64_t>(work.launches, 1);
+    return policy_ == ClockPolicy::kLockedAppClock ? execute_locked(work)
+                                                   : execute_governed(work);
+}
+
+KernelResult GpuDevice::execute_locked(const KernelWork& work)
+{
+    const double f = throttle_for_power(work, app_clock_mhz_, false);
+    const double mem_scale = mem_clock_mhz_ / spec_.memory_clock_mhz;
+    const KernelTiming t = price_kernel(spec_, work, f, mem_scale);
+
+    KernelResult r;
+    r.timing = t;
+    r.start_s = now_s_;
+    r.mean_clock_mhz = f;
+
+    current_clock_mhz_ = f;
+    record(now_s_, f, 0.0);
+
+    const PowerBreakdown busy = power_model_.busy_power(t, f, /*governor_managed=*/false);
+    const PowerBreakdown gap = power_model_.idle_power(f, /*governor_managed=*/false);
+
+    // Busy portion at busy power; launch-overhead gaps at near-idle power.
+    account(t.busy_s, busy.total_w);
+    account(t.overhead_s, gap.total_w);
+    const double duration = t.total_s;
+    now_s_ += duration;
+    r.end_s = now_s_;
+    r.energy_j = busy.total_w * t.busy_s + gap.total_w * t.overhead_s;
+    r.mean_power_w = duration > 0.0 ? r.energy_j / duration : 0.0;
+    record(now_s_, f, busy.total_w);
+    return r;
+}
+
+KernelResult GpuDevice::execute_governed(const KernelWork& work)
+{
+    const double mem_scale = mem_clock_mhz_ / spec_.memory_clock_mhz;
+
+    KernelResult r;
+    r.start_s = now_s_;
+
+    governor_.on_kernel_launch();
+    const long transitions_before = governor_.transition_count();
+
+    double progress = 0.0;           // fraction of the batch completed
+    double clock_time_integral = 0.0; // for the time-weighted mean clock
+    double energy = 0.0;
+    KernelTiming rep{}; // representative timing (priced at current clock)
+
+    // Launch re-boosts: batches with many launches keep re-triggering the
+    // launch boost roughly uniformly through the batch duration.
+    const double launches = static_cast<double>(std::max<std::int64_t>(work.launches, 1));
+
+    int guard_iterations = 0;
+    while (progress < 1.0 && ++guard_iterations < 2'000'000) {
+        const double f = throttle_for_power(work, governor_.current_mhz(), true);
+        const KernelTiming t = price_kernel(spec_, work, f, mem_scale);
+        rep = t;
+        if (t.total_s <= 0.0) break;
+
+        const double remaining_s = (1.0 - progress) * t.total_s;
+        const double dt = std::min(spec_.governor.tick_s, remaining_s);
+        progress += dt / t.total_s;
+
+        const PowerBreakdown busy = power_model_.busy_power(t, f, /*governor_managed=*/true);
+        const PowerBreakdown gap = power_model_.idle_power(f, /*governor_managed=*/true);
+        const double busy_frac = t.total_s > 0.0 ? t.busy_s / t.total_s : 1.0;
+        const double p = busy.total_w * busy_frac + gap.total_w * (1.0 - busy_frac);
+
+        account(dt, p);
+        energy += p * dt;
+        clock_time_integral += f * dt;
+        record(now_s_, f, p);
+        now_s_ += dt;
+
+        governor_.step(dt, /*running=*/true, t.utilization);
+        if (launches > 1.0 && dt >= spec_.governor.tick_s * 0.5) {
+            governor_.on_kernel_launch(); // next launches in the batch re-boost
+        }
+        current_clock_mhz_ = governor_.current_mhz();
+    }
+
+    const long transitions = governor_.transition_count() - transitions_before;
+    const double transition_j = static_cast<double>(transitions) * spec_.transition_energy_j;
+    energy += transition_j;
+    energy_.add(transition_j);
+
+    r.end_s = now_s_;
+    r.energy_j = energy;
+    const double duration = r.end_s - r.start_s;
+    r.mean_clock_mhz = duration > 0.0 ? clock_time_integral / duration
+                                      : governor_.current_mhz();
+    r.mean_power_w = duration > 0.0 ? energy / duration : 0.0;
+    r.timing = rep;
+    r.timing.total_s = duration;
+    record(now_s_, current_clock_mhz_, last_power_w_);
+    return r;
+}
+
+void GpuDevice::idle(double seconds)
+{
+    if (seconds <= 0.0) return;
+    if (policy_ == ClockPolicy::kLockedAppClock) {
+        current_clock_mhz_ = spec_.min_compute_mhz; // park
+        const PowerBreakdown p = power_model_.idle_power(current_clock_mhz_, false);
+        record(now_s_, current_clock_mhz_, p.total_w);
+        account(seconds, p.total_w);
+        now_s_ += seconds;
+        record(now_s_, current_clock_mhz_, p.total_w);
+        return;
+    }
+    // Governor mode: clock decays in ticks toward the idle target.
+    double remaining = seconds;
+    while (remaining > 0.0) {
+        const double dt = std::min(spec_.governor.tick_s, remaining);
+        const double f = governor_.current_mhz();
+        const PowerBreakdown p = power_model_.idle_power(f, true);
+        account(dt, p.total_w);
+        record(now_s_, f, p.total_w);
+        now_s_ += dt;
+        remaining -= dt;
+        governor_.step(dt, /*running=*/false, 0.0);
+        current_clock_mhz_ = governor_.current_mhz();
+    }
+    record(now_s_, current_clock_mhz_, last_power_w_);
+}
+
+} // namespace gsph::gpusim

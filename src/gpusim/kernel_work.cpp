@@ -1,0 +1,37 @@
+#include "gpusim/kernel_work.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsph::gpusim {
+
+void KernelWork::merge(const KernelWork& other)
+{
+    const double wa = dram_bytes + flops;
+    const double wb = other.dram_bytes + other.flops;
+    const double total = wa + wb;
+    if (total > 0.0) {
+        gather_fraction = (gather_fraction * wa + other.gather_fraction * wb) / total;
+        flop_efficiency = (flop_efficiency * wa + other.flop_efficiency * wb) / total;
+    }
+    flops += other.flops;
+    dram_bytes += other.dram_bytes;
+    launches += other.launches;
+    threads = std::max(threads, other.threads);
+}
+
+KernelWork scaled(const KernelWork& work, double s)
+{
+    KernelWork out = work;
+    out.flops *= s;
+    out.dram_bytes *= s;
+    out.threads = static_cast<std::int64_t>(std::llround(static_cast<double>(work.threads) * s));
+    // Kernel launch counts grow with the number of thread blocks only through
+    // batching limits; model as sqrt growth, min 1.
+    out.launches = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(std::llround(static_cast<double>(work.launches) *
+                                                  std::sqrt(std::max(1.0, s)))));
+    return out;
+}
+
+} // namespace gsph::gpusim

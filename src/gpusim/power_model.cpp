@@ -1,0 +1,43 @@
+#include "gpusim/power_model.hpp"
+
+#include <algorithm>
+
+namespace gsph::gpusim {
+
+PowerBreakdown PowerModel::busy_power(const KernelTiming& timing, double mhz,
+                                      bool governor_managed) const
+{
+    const GpuDeviceSpec& s = *spec_;
+    const double guard = governor_managed ? (1.0 + s.governor.voltage_guard) : 1.0;
+    const double dyn = s.dynamic_power_factor(mhz) * guard;
+
+    PowerBreakdown p;
+    p.idle_w = s.idle_w;
+    p.sm_w = s.sm_dynamic_w * timing.compute_activity * dyn;
+    p.issue_w = s.issue_w * dyn; // busy: fetch/issue/L2 active regardless of mix
+    // The HBM stacks sit in their own clock domain, but the L2 slices and
+    // memory coalescers are in the core domain: ~30% of the "memory" power
+    // follows the core clock's dynamic factor.
+    const double mem_scale = 0.7 + 0.3 * s.dynamic_power_factor(mhz);
+    p.mem_w = s.mem_dynamic_w * timing.memory_activity * mem_scale;
+    p.total_w = p.idle_w + p.sm_w + p.issue_w + p.mem_w;
+    return p;
+}
+
+PowerBreakdown PowerModel::idle_power(double mhz, bool governor_managed) const
+{
+    const GpuDeviceSpec& s = *spec_;
+    const double guard = governor_managed ? (1.0 + s.governor.voltage_guard) : 1.0;
+    // Idle leakage grows mildly with the parked clock's voltage state.
+    const double fhat = std::clamp(mhz / s.max_compute_mhz, 0.0, 1.0);
+    const double v = s.v0 + s.v_slope * fhat;
+    const double vmin = s.v0 + s.v_slope * (s.min_compute_mhz / s.max_compute_mhz);
+    const double leak_scale = (v * v) / (vmin * vmin);
+
+    PowerBreakdown p;
+    p.idle_w = s.idle_w * (0.7 + 0.3 * leak_scale * guard);
+    p.total_w = p.idle_w;
+    return p;
+}
+
+} // namespace gsph::gpusim

@@ -1,0 +1,48 @@
+#pragma once
+/// \file roofline.hpp
+/// \brief Kernel execution-time model.
+///
+/// Execution time at compute clock f combines three terms:
+///   t_compute  = flops / (peak(f) * flop_eff * occ_c)   — scales with 1/f
+///   t_memory   = bytes / (bw_eff * BW * occ_bw)          — clock-insensitive
+///   t_overhead = launches * launch_overhead              — clock-insensitive
+/// with partial compute/memory overlap:
+///   t_busy = max(t_c, t_m) + (1 - overlap) * min(t_c, t_m)
+/// Occupancy factors occ_c/occ_bw ramp with resident thread count, making
+/// under-filled devices latency-limited and clock-insensitive (the paper's
+/// Fig. 6 small-problem regime).
+
+#include "gpusim/device_spec.hpp"
+#include "gpusim/kernel_work.hpp"
+
+namespace gsph::gpusim {
+
+/// Result of pricing one kernel batch at a fixed clock.
+struct KernelTiming {
+    double total_s = 0.0;    ///< t_busy + t_overhead
+    double busy_s = 0.0;     ///< on-device execution time
+    double compute_s = 0.0;  ///< compute roofline term
+    double memory_s = 0.0;   ///< memory roofline term
+    double overhead_s = 0.0; ///< launch overhead
+
+    /// Duty cycles used by the power model, in [0, 1]:
+    double compute_activity = 0.0; ///< SM math-pipe activity while busy
+    double memory_activity = 0.0;  ///< DRAM activity while busy
+    /// GPU-utilization metric as an external monitor (or the DVFS governor)
+    /// would estimate it; drives the governor's target clock.
+    double utilization = 0.0;
+};
+
+/// Price `work` on `spec` at compute clock `mhz` and memory clock scale
+/// `mem_scale` (actual/default memory clock, normally 1).
+KernelTiming price_kernel(const GpuDeviceSpec& spec, const KernelWork& work, double mhz,
+                          double mem_scale = 1.0);
+
+/// Effective DRAM bandwidth for `work` on `spec` (mixing stream/gather
+/// efficiency and occupancy), bytes/s at default memory clock.
+double effective_bandwidth(const GpuDeviceSpec& spec, const KernelWork& work);
+
+/// Effective FP64 throughput for `work` on `spec` at clock `mhz`, flops/s.
+double effective_compute(const GpuDeviceSpec& spec, const KernelWork& work, double mhz);
+
+} // namespace gsph::gpusim

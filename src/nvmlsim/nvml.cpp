@@ -1,0 +1,278 @@
+#include "nvmlsim/nvml.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace gsph::nvmlsim {
+
+namespace {
+
+struct NvmlState {
+    std::vector<gpusim::GpuDevice*> devices;
+    int init_refcount = 0;
+    bool user_clocks_allowed = false;
+};
+
+NvmlState& state()
+{
+    static NvmlState s;
+    return s;
+}
+
+gpusim::GpuDevice* resolve(nvmlDevice_t device)
+{
+    auto* dev = reinterpret_cast<gpusim::GpuDevice*>(device);
+    const auto& devices = state().devices;
+    if (std::find(devices.begin(), devices.end(), dev) == devices.end()) return nullptr;
+    return dev;
+}
+
+bool initialized() { return state().init_refcount > 0; }
+
+} // namespace
+
+void bind_devices(std::vector<gpusim::GpuDevice*> devices)
+{
+    state().devices = std::move(devices);
+}
+
+void unbind_devices()
+{
+    // Note: the nvmlInit refcount is deliberately left alone -- binding
+    // lifetime (which simulated devices exist) is independent of library
+    // initialization (who called nvmlInit), exactly as with real NVML where
+    // the library outlives any one consumer.
+    state().devices.clear();
+    state().user_clocks_allowed = false;
+}
+
+void set_user_clock_permission(bool allowed) { state().user_clocks_allowed = allowed; }
+bool user_clock_permission() { return state().user_clocks_allowed; }
+
+ScopedNvmlBinding::ScopedNvmlBinding(std::vector<gpusim::GpuDevice*> devices,
+                                     bool allow_user_clocks)
+{
+    bind_devices(std::move(devices));
+    set_user_clock_permission(allow_user_clocks);
+}
+
+ScopedNvmlBinding::~ScopedNvmlBinding() { unbind_devices(); }
+
+const char* nvmlErrorString(nvmlReturn_t result)
+{
+    switch (result) {
+        case NVML_SUCCESS: return "Success";
+        case NVML_ERROR_UNINITIALIZED: return "Uninitialized";
+        case NVML_ERROR_INVALID_ARGUMENT: return "Invalid argument";
+        case NVML_ERROR_NOT_SUPPORTED: return "Not supported";
+        case NVML_ERROR_NO_PERMISSION: return "Insufficient permissions";
+        case NVML_ERROR_NOT_FOUND: return "Not found";
+        case NVML_ERROR_INSUFFICIENT_SIZE: return "Insufficient size";
+        default: return "Unknown error";
+    }
+}
+
+nvmlReturn_t nvmlInit()
+{
+    ++state().init_refcount;
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlShutdown()
+{
+    if (state().init_refcount <= 0) return NVML_ERROR_UNINITIALIZED;
+    --state().init_refcount;
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetCount(unsigned int* count)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    if (!count) return NVML_ERROR_INVALID_ARGUMENT;
+    *count = static_cast<unsigned int>(state().devices.size());
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetHandleByIndex(unsigned int index, nvmlDevice_t* device)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    if (!device) return NVML_ERROR_INVALID_ARGUMENT;
+    if (index >= state().devices.size()) return NVML_ERROR_NOT_FOUND;
+    *device = reinterpret_cast<nvmlDevice_t>(state().devices[index]);
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetName(nvmlDevice_t device, char* name, unsigned int length)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !name || length == 0) return NVML_ERROR_INVALID_ARGUMENT;
+    const std::string& n = dev->spec().name;
+    if (n.size() + 1 > length) return NVML_ERROR_INSUFFICIENT_SIZE;
+    std::memcpy(name, n.c_str(), n.size() + 1);
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetIndex(nvmlDevice_t device, unsigned int* index)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !index) return NVML_ERROR_INVALID_ARGUMENT;
+    const auto& devices = state().devices;
+    const auto it = std::find(devices.begin(), devices.end(), dev);
+    *index = static_cast<unsigned int>(it - devices.begin());
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetClockInfo(nvmlDevice_t device, nvmlClockType_t type,
+                                    unsigned int* clock_mhz)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !clock_mhz) return NVML_ERROR_INVALID_ARGUMENT;
+    switch (type) {
+        case NVML_CLOCK_GRAPHICS:
+        case NVML_CLOCK_SM:
+            *clock_mhz = static_cast<unsigned int>(std::lround(dev->current_clock_mhz()));
+            return NVML_SUCCESS;
+        case NVML_CLOCK_MEM:
+            *clock_mhz = static_cast<unsigned int>(std::lround(dev->memory_clock_mhz()));
+            return NVML_SUCCESS;
+    }
+    return NVML_ERROR_INVALID_ARGUMENT;
+}
+
+nvmlReturn_t nvmlDeviceGetApplicationsClock(nvmlDevice_t device, nvmlClockType_t type,
+                                            unsigned int* clock_mhz)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !clock_mhz) return NVML_ERROR_INVALID_ARGUMENT;
+    switch (type) {
+        case NVML_CLOCK_GRAPHICS:
+        case NVML_CLOCK_SM:
+            *clock_mhz = static_cast<unsigned int>(std::lround(dev->application_clock_mhz()));
+            return NVML_SUCCESS;
+        case NVML_CLOCK_MEM:
+            *clock_mhz = static_cast<unsigned int>(std::lround(dev->memory_clock_mhz()));
+            return NVML_SUCCESS;
+    }
+    return NVML_ERROR_INVALID_ARGUMENT;
+}
+
+nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device, unsigned int mem_mhz,
+                                             unsigned int graphics_mhz)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || graphics_mhz == 0) return NVML_ERROR_INVALID_ARGUMENT;
+    if (!state().user_clocks_allowed) return NVML_ERROR_NO_PERMISSION;
+    const auto& spec = dev->spec();
+    if (graphics_mhz < spec.min_compute_mhz || graphics_mhz > spec.max_compute_mhz) {
+        return NVML_ERROR_INVALID_ARGUMENT;
+    }
+    dev->set_application_clocks(static_cast<double>(mem_mhz),
+                                static_cast<double>(graphics_mhz));
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceResetApplicationsClocks(nvmlDevice_t device)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev) return NVML_ERROR_INVALID_ARGUMENT;
+    if (!state().user_clocks_allowed) return NVML_ERROR_NO_PERMISSION;
+    dev->reset_application_clocks();
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetPowerUsage(nvmlDevice_t device, unsigned int* milliwatts)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !milliwatts) return NVML_ERROR_INVALID_ARGUMENT;
+    *milliwatts = static_cast<unsigned int>(std::lround(dev->power_w() * 1000.0));
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetPowerManagementLimit(nvmlDevice_t device,
+                                               unsigned int* milliwatts)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !milliwatts) return NVML_ERROR_INVALID_ARGUMENT;
+    const double limit =
+        dev->power_limit_w() > 0.0 ? dev->power_limit_w() : dev->default_power_limit_w();
+    *milliwatts = static_cast<unsigned int>(std::lround(limit * 1000.0));
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceSetPowerManagementLimit(nvmlDevice_t device,
+                                               unsigned int milliwatts)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev) return NVML_ERROR_INVALID_ARGUMENT;
+    if (!state().user_clocks_allowed) return NVML_ERROR_NO_PERMISSION;
+    const double watts = static_cast<double>(milliwatts) / 1000.0;
+    // Constraint window: [idle + a margin, TDP].
+    if (watts < dev->spec().idle_w + 20.0 || watts > dev->default_power_limit_w()) {
+        return NVML_ERROR_INVALID_ARGUMENT;
+    }
+    dev->set_power_limit_w(watts);
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetPowerManagementLimitConstraints(nvmlDevice_t device,
+                                                          unsigned int* min_mw,
+                                                          unsigned int* max_mw)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !min_mw || !max_mw) return NVML_ERROR_INVALID_ARGUMENT;
+    *min_mw = static_cast<unsigned int>(std::lround((dev->spec().idle_w + 20.0) * 1000.0));
+    *max_mw = static_cast<unsigned int>(std::lround(dev->default_power_limit_w() * 1000.0));
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetTotalEnergyConsumption(nvmlDevice_t device,
+                                                 unsigned long long* millijoules)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !millijoules) return NVML_ERROR_INVALID_ARGUMENT;
+    *millijoules = static_cast<unsigned long long>(std::llround(dev->energy_j() * 1000.0));
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t nvmlDeviceGetSupportedGraphicsClocks(nvmlDevice_t device, unsigned int mem_mhz,
+                                                  unsigned int* count, unsigned int* clocks)
+{
+    if (!initialized()) return NVML_ERROR_UNINITIALIZED;
+    auto* dev = resolve(device);
+    if (!dev || !count) return NVML_ERROR_INVALID_ARGUMENT;
+    (void)mem_mhz; // single memory P-state in the model
+    const auto supported = dev->spec().supported_clocks();
+    if (!clocks) {
+        *count = static_cast<unsigned int>(supported.size());
+        return NVML_ERROR_INSUFFICIENT_SIZE;
+    }
+    if (*count < supported.size()) {
+        *count = static_cast<unsigned int>(supported.size());
+        return NVML_ERROR_INSUFFICIENT_SIZE;
+    }
+    for (std::size_t i = 0; i < supported.size(); ++i) {
+        clocks[i] = static_cast<unsigned int>(std::lround(supported[i]));
+    }
+    *count = static_cast<unsigned int>(supported.size());
+    return NVML_SUCCESS;
+}
+
+nvmlReturn_t getNvmlDevice(unsigned int rank_local_index, nvmlDevice_t* device)
+{
+    // One MPI rank drives one GPU; the local rank index is the device index.
+    return nvmlDeviceGetHandleByIndex(rank_local_index, device);
+}
+
+} // namespace gsph::nvmlsim

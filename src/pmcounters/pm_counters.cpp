@@ -1,0 +1,160 @@
+#include "pmcounters/pm_counters.hpp"
+
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsph::pmcounters {
+
+PmCounters::PmCounters(PmCountersConfig config, cpusim::CpuDevice* cpu,
+                       std::vector<gpusim::GpuDevice*> gpus)
+    : config_(config), cpu_(cpu), gpus_(std::move(gpus))
+{
+    if (!cpu_) throw std::invalid_argument("PmCounters: null CPU");
+    if (config_.sample_hz <= 0.0) throw std::invalid_argument("PmCounters: bad sample rate");
+    if (config_.gcds_per_accel_file < 1)
+        throw std::invalid_argument("PmCounters: bad gcds_per_accel_file");
+    if (!gpus_.empty() &&
+        static_cast<int>(gpus_.size()) % config_.gcds_per_accel_file != 0) {
+        throw std::invalid_argument("PmCounters: GPU count not divisible by GCDs per file");
+    }
+    published_ = capture(0.0);
+    previous_ = published_;
+    next_tick_ = 1.0 / config_.sample_hz;
+}
+
+int PmCounters::accel_file_count() const
+{
+    return static_cast<int>(gpus_.size()) / config_.gcds_per_accel_file;
+}
+
+PmCounters::Snapshot PmCounters::capture(double now) const
+{
+    Snapshot s;
+    s.time = now;
+    s.cpu_energy_j = cpu_->package_energy_j();
+    s.memory_energy_j = cpu_->dram_energy_j();
+    const int files = accel_file_count();
+    s.accel_energy_j.assign(static_cast<std::size_t>(std::max(files, 0)), 0.0);
+    double accel_total = 0.0;
+    for (std::size_t g = 0; g < gpus_.size(); ++g) {
+        const std::size_t file = g / static_cast<std::size_t>(config_.gcds_per_accel_file);
+        s.accel_energy_j[file] += gpus_[g]->energy_j();
+        accel_total += gpus_[g]->energy_j();
+    }
+    const double aux_energy = config_.aux_power_w * now;
+    s.node_energy_j = s.cpu_energy_j + s.memory_energy_j + accel_total + aux_energy;
+    return s;
+}
+
+void PmCounters::sample_to(double now)
+{
+    if (now < published_.time) {
+        throw std::invalid_argument("PmCounters: time went backwards");
+    }
+    const double period = 1.0 / config_.sample_hz;
+    bool ticked = false;
+    while (next_tick_ <= now + 1e-12) {
+        ticked = true;
+        next_tick_ += period;
+    }
+    if (!ticked) return;
+
+    Snapshot snap = capture(now);
+    snap.freshness = published_.freshness + 1;
+
+    // Power = energy delta over the sampling window (the BMC computes it the
+    // same way).
+    const double dt = snap.time - published_.time;
+    if (dt > 0.0) {
+        snap.node_power_w = (snap.node_energy_j - published_.node_energy_j) / dt;
+        snap.cpu_power_w = (snap.cpu_energy_j - published_.cpu_energy_j) / dt;
+        snap.memory_power_w = (snap.memory_energy_j - published_.memory_energy_j) / dt;
+        snap.accel_power_w.resize(snap.accel_energy_j.size());
+        for (std::size_t i = 0; i < snap.accel_energy_j.size(); ++i) {
+            const double prev =
+                i < published_.accel_energy_j.size() ? published_.accel_energy_j[i] : 0.0;
+            snap.accel_power_w[i] = (snap.accel_energy_j[i] - prev) / dt;
+        }
+    }
+    previous_ = published_;
+    published_ = std::move(snap);
+}
+
+double PmCounters::accel_energy_j(int file_index) const
+{
+    if (file_index < 0 ||
+        file_index >= static_cast<int>(published_.accel_energy_j.size())) {
+        throw std::out_of_range("PmCounters: accel file index");
+    }
+    return published_.accel_energy_j[static_cast<std::size_t>(file_index)];
+}
+
+double PmCounters::other_energy_j() const
+{
+    double accel = 0.0;
+    for (double e : published_.accel_energy_j) accel += e;
+    return published_.node_energy_j - published_.cpu_energy_j - published_.memory_energy_j -
+           accel;
+}
+
+std::vector<std::string> PmCounters::list_files() const
+{
+    std::vector<std::string> files = {"energy",       "power",        "cpu_energy",
+                                      "cpu_power",    "memory_energy", "memory_power",
+                                      "freshness",    "generation",    "raw_scan_hz"};
+    for (int i = 0; i < accel_file_count(); ++i) {
+        files.push_back("accel" + std::to_string(i) + "_energy");
+        files.push_back("accel" + std::to_string(i) + "_power");
+    }
+    return files;
+}
+
+std::optional<std::string> PmCounters::read_file(const std::string& name) const
+{
+    auto joules = [](double j) {
+        return std::to_string(static_cast<long long>(std::llround(j))) + " J";
+    };
+    auto watts = [](double w) {
+        return std::to_string(static_cast<long long>(std::llround(w))) + " W";
+    };
+
+    if (name == "energy") return joules(published_.node_energy_j);
+    if (name == "power") return watts(published_.node_power_w);
+    if (name == "cpu_energy") return joules(published_.cpu_energy_j);
+    if (name == "cpu_power") return watts(published_.cpu_power_w);
+    if (name == "memory_energy") return joules(published_.memory_energy_j);
+    if (name == "memory_power") return watts(published_.memory_power_w);
+    if (name == "freshness") return std::to_string(published_.freshness);
+    if (name == "generation") return std::string("1");
+    if (name == "raw_scan_hz") {
+        return std::to_string(static_cast<long long>(std::llround(config_.sample_hz)));
+    }
+    if (util::starts_with(name, "accel")) {
+        // accel<i>_energy / accel<i>_power
+        const std::size_t us = name.find('_');
+        if (us == std::string::npos) return std::nullopt;
+        const std::string idx_str = name.substr(5, us - 5);
+        const std::string kind = name.substr(us + 1);
+        try {
+            const int idx = std::stoi(idx_str);
+            if (idx < 0 || idx >= accel_file_count()) return std::nullopt;
+            if (kind == "energy") {
+                return joules(published_.accel_energy_j[static_cast<std::size_t>(idx)]);
+            }
+            if (kind == "power") {
+                const auto& pw = published_.accel_power_w;
+                const double w =
+                    static_cast<std::size_t>(idx) < pw.size() ? pw[static_cast<std::size_t>(idx)] : 0.0;
+                return watts(w);
+            }
+        }
+        catch (const std::exception&) {
+            return std::nullopt;
+        }
+    }
+    return std::nullopt;
+}
+
+} // namespace gsph::pmcounters

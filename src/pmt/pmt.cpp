@@ -1,0 +1,205 @@
+#include "pmt/pmt.hpp"
+
+#include "cpusim/cpu.hpp"
+#include "nvmlsim/nvml.hpp"
+#include "pmcounters/pm_counters.hpp"
+#include "rocmsmi/rocm_smi.hpp"
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+#include <stdexcept>
+
+namespace gsph::pmt {
+
+namespace {
+
+class NvmlPmt final : public Pmt {
+public:
+    explicit NvmlPmt(unsigned int device_index) : index_(device_index)
+    {
+        nvmlsim::nvmlInit();
+        const auto rc = nvmlsim::nvmlDeviceGetHandleByIndex(index_, &device_);
+        if (rc != nvmlsim::NVML_SUCCESS) {
+            nvmlsim::nvmlShutdown();
+            throw std::invalid_argument(std::string("pmt nvml: ") +
+                                        nvmlsim::nvmlErrorString(rc));
+        }
+    }
+    ~NvmlPmt() override { nvmlsim::nvmlShutdown(); }
+
+    State Read() const override
+    {
+        State s = last_;
+        unsigned long long mj = 0;
+        if (nvmlsim::nvmlDeviceGetTotalEnergyConsumption(device_, &mj) ==
+            nvmlsim::NVML_SUCCESS) {
+            s.joules = units::millijoules_to_joules(static_cast<double>(mj));
+        }
+        // NVML has no time query; PMT uses the host clock.  The simulated
+        // equivalent of the host clock is the device's simulated time (ranks
+        // and their GPU share one timeline).
+        s.timestamp_s = device_time();
+        last_ = s;
+        return s;
+    }
+
+    std::string name() const override { return "nvml"; }
+
+private:
+    double device_time() const
+    {
+        // The opaque handle is backed by a GpuDevice in nvmlsim.
+        return reinterpret_cast<const gpusim::GpuDevice*>(device_)->now();
+    }
+
+    unsigned int index_;
+    nvmlsim::nvmlDevice_t device_ = nullptr;
+    mutable State last_;
+};
+
+class RocmPmt final : public Pmt {
+public:
+    explicit RocmPmt(unsigned int device_index) : index_(device_index)
+    {
+        rocmsmi::rsmi_init(0);
+        std::uint32_t count = 0;
+        if (rocmsmi::rsmi_num_monitor_devices(&count) != rocmsmi::RSMI_STATUS_SUCCESS ||
+            index_ >= count) {
+            rocmsmi::rsmi_shut_down();
+            throw std::invalid_argument("pmt rocm: bad device index");
+        }
+    }
+    ~RocmPmt() override { rocmsmi::rsmi_shut_down(); }
+
+    State Read() const override
+    {
+        State s = last_;
+        std::uint64_t counter = 0;
+        float resolution = 0.0f;
+        std::uint64_t ts_ns = 0;
+        if (rocmsmi::rsmi_dev_energy_count_get(index_, &counter, &resolution, &ts_ns) ==
+            rocmsmi::RSMI_STATUS_SUCCESS) {
+            s.joules = static_cast<double>(counter) * static_cast<double>(resolution) *
+                       1e-6;
+            s.timestamp_s = static_cast<double>(ts_ns) * 1e-9;
+        }
+        last_ = s;
+        return s;
+    }
+
+    std::string name() const override { return "rocm"; }
+
+private:
+    std::uint32_t index_;
+    mutable State last_;
+};
+
+class RaplPmt final : public Pmt {
+public:
+    explicit RaplPmt(const cpusim::CpuDevice* cpu) : cpu_(cpu)
+    {
+        if (!cpu_) throw std::invalid_argument("pmt rapl: null CPU");
+    }
+
+    State Read() const override
+    {
+        return State{cpu_->now(), cpu_->package_energy_j() + cpu_->dram_energy_j()};
+    }
+    std::string name() const override { return "rapl"; }
+
+private:
+    const cpusim::CpuDevice* cpu_;
+};
+
+class CrayPmt final : public Pmt {
+public:
+    explicit CrayPmt(const pmcounters::PmCounters* counters) : counters_(counters)
+    {
+        if (!counters_) throw std::invalid_argument("pmt cray: null pm_counters");
+    }
+
+    State Read() const override
+    {
+        return State{counters_->last_sample_time(), counters_->node_energy_j()};
+    }
+    std::string name() const override { return "cray"; }
+
+private:
+    const pmcounters::PmCounters* counters_;
+};
+
+class DummyPmt final : public Pmt {
+public:
+    State Read() const override { return State{}; }
+    std::string name() const override { return "dummy"; }
+};
+
+class CompositePmt final : public Pmt {
+public:
+    CompositePmt(std::vector<std::unique_ptr<Pmt>> children, std::string name)
+        : children_(std::move(children)), name_(std::move(name))
+    {
+        for (const auto& c : children_) {
+            if (!c) throw std::invalid_argument("pmt composite: null child");
+        }
+    }
+
+    State Read() const override
+    {
+        State s;
+        for (const auto& c : children_) {
+            const State child = c->Read();
+            s.joules += child.joules;
+            s.timestamp_s = std::max(s.timestamp_s, child.timestamp_s);
+        }
+        return s;
+    }
+    std::string name() const override { return name_; }
+
+private:
+    std::vector<std::unique_ptr<Pmt>> children_;
+    std::string name_;
+};
+
+} // namespace
+
+std::unique_ptr<Pmt> CreateNvml(unsigned int device_index)
+{
+    return std::make_unique<NvmlPmt>(device_index);
+}
+
+std::unique_ptr<Pmt> CreateRocm(unsigned int device_index)
+{
+    return std::make_unique<RocmPmt>(device_index);
+}
+
+std::unique_ptr<Pmt> CreateRapl(const cpusim::CpuDevice* cpu)
+{
+    return std::make_unique<RaplPmt>(cpu);
+}
+
+std::unique_ptr<Pmt> CreateCray(const pmcounters::PmCounters* counters)
+{
+    return std::make_unique<CrayPmt>(counters);
+}
+
+std::unique_ptr<Pmt> CreateDummy() { return std::make_unique<DummyPmt>(); }
+
+std::unique_ptr<Pmt> CreateComposite(std::vector<std::unique_ptr<Pmt>> children,
+                                     std::string name)
+{
+    return std::make_unique<CompositePmt>(std::move(children), std::move(name));
+}
+
+std::unique_ptr<Pmt> Create(const std::string& backend, const SensorContext& context)
+{
+    const std::string key = util::to_lower(backend);
+    if (key == "nvml") return CreateNvml(context.nvml_device_index);
+    if (key == "rocm" || key == "rocm-smi") return CreateRocm(context.nvml_device_index);
+    if (key == "rapl") return CreateRapl(context.cpu);
+    if (key == "cray") return CreateCray(context.counters);
+    if (key == "dummy") return CreateDummy();
+    throw std::invalid_argument("pmt: unknown back-end '" + backend + "'");
+}
+
+} // namespace gsph::pmt

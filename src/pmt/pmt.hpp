@@ -1,0 +1,95 @@
+#pragma once
+/// \file pmt.hpp
+/// \brief Power Measurement Toolkit (PMT) compatible interface.
+///
+/// PMT (Corda, Veenboer, Tolley; HUST'22) gives applications one interface
+/// over many power sensors: read a State before and after a region, then ask
+/// for seconds/joules/watts between the two states.  This module reproduces
+/// that interface over the simulated sensor surfaces:
+///
+///   - "nvml"  : one GPU, through the nvmlsim API (energy counter)
+///   - "rapl"  : host CPU package + DRAM domains
+///   - "cray"  : whole node through pm_counters (10 Hz, stale reads and all)
+///   - "dummy" : constant-zero sensor for plumbing tests
+///
+/// A Composite sensor sums several instances (e.g. rank = GPU + CPU share),
+/// mirroring how the paper reports per-rank energy.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace gsph::cpusim {
+class CpuDevice;
+}
+namespace gsph::pmcounters {
+class PmCounters;
+}
+
+namespace gsph::pmt {
+
+/// One sensor reading: a timestamp and the cumulative energy at that time.
+struct State {
+    double timestamp_s = 0.0;
+    double joules = 0.0;
+};
+
+class Pmt {
+public:
+    virtual ~Pmt() = default;
+
+    /// Take a reading.  Never throws; sensors that cannot read return their
+    /// last known state.
+    virtual State Read() const = 0;
+    virtual std::string name() const = 0;
+
+    static double seconds(const State& first, const State& second)
+    {
+        return second.timestamp_s - first.timestamp_s;
+    }
+    static double joules(const State& first, const State& second)
+    {
+        return second.joules - first.joules;
+    }
+    static double watts(const State& first, const State& second)
+    {
+        const double dt = seconds(first, second);
+        return dt > 0.0 ? joules(first, second) / dt : 0.0;
+    }
+};
+
+/// GPU sensor through the NVML API; `device_index` is the NVML enumeration
+/// index.  Requires nvmlsim devices to be bound (nvmlInit is handled
+/// internally, matching the real PMT NVML back-end).
+std::unique_ptr<Pmt> CreateNvml(unsigned int device_index);
+
+/// AMD GPU sensor through the rocm_smi energy counter ("for GPUs [PMT]
+/// relies on NVML for Nvidia and rocm-smi for AMD", paper §II-A).
+/// Requires rocmsmi devices to be bound.
+std::unique_ptr<Pmt> CreateRocm(unsigned int device_index);
+
+/// CPU sensor over the RAPL-style package + DRAM counters.
+std::unique_ptr<Pmt> CreateRapl(const cpusim::CpuDevice* cpu);
+
+/// Node sensor over Cray pm_counters (published, i.e. 10 Hz-quantized,
+/// values — validation tests rely on this staleness being modelled).
+std::unique_ptr<Pmt> CreateCray(const pmcounters::PmCounters* counters);
+
+/// Constant-zero sensor.
+std::unique_ptr<Pmt> CreateDummy();
+
+/// Sum of several sensors; timestamp is the max of the children's.
+std::unique_ptr<Pmt> CreateComposite(std::vector<std::unique_ptr<Pmt>> children,
+                                     std::string name = "composite");
+
+/// PMT-style string factory.  `index` selects the GPU for "nvml"; the
+/// pointers provide the sensor surfaces for "rapl"/"cray".  Throws
+/// std::invalid_argument for unknown back-end names or missing context.
+struct SensorContext {
+    unsigned int nvml_device_index = 0;  ///< also the rocm-smi device index
+    const cpusim::CpuDevice* cpu = nullptr;
+    const pmcounters::PmCounters* counters = nullptr;
+};
+std::unique_ptr<Pmt> Create(const std::string& backend, const SensorContext& context = {});
+
+} // namespace gsph::pmt

@@ -1,0 +1,202 @@
+#include "rocmsmi/rocm_smi.hpp"
+
+#include "util/units.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsph::rocmsmi {
+
+namespace {
+
+struct RsmiState {
+    std::vector<gpusim::GpuDevice*> devices;
+    int init_refcount = 0;
+    bool clock_writes_allowed = false;
+};
+
+RsmiState& state()
+{
+    static RsmiState s;
+    return s;
+}
+
+bool initialized() { return state().init_refcount > 0; }
+
+gpusim::GpuDevice* device_at(std::uint32_t index)
+{
+    auto& devices = state().devices;
+    if (index >= devices.size()) return nullptr;
+    return devices[index];
+}
+
+/// Synthesized DPM frequency table: <= 16 ascending levels spanning the
+/// device's clock range (real ASICs expose a similar discrete table).
+rsmi_frequencies_t table_for(const gpusim::GpuDeviceSpec& spec, double current_mhz)
+{
+    rsmi_frequencies_t out;
+    constexpr std::uint32_t kLevels = 16;
+    const double span = spec.max_compute_mhz - spec.min_compute_mhz;
+    for (std::uint32_t i = 0; i < kLevels; ++i) {
+        const double mhz = spec.quantize_clock(
+            spec.min_compute_mhz + span * static_cast<double>(i) / (kLevels - 1));
+        // De-duplicate after quantization.
+        const std::uint64_t hz = static_cast<std::uint64_t>(units::mhz_to_hz(mhz));
+        if (out.num_supported > 0 && out.frequency[out.num_supported - 1] == hz) continue;
+        out.frequency[out.num_supported++] = hz;
+    }
+    // Current level: nearest table entry.
+    const std::uint64_t cur_hz =
+        static_cast<std::uint64_t>(units::mhz_to_hz(current_mhz));
+    std::uint32_t best = 0;
+    std::uint64_t best_err = ~std::uint64_t{0};
+    for (std::uint32_t i = 0; i < out.num_supported; ++i) {
+        const std::uint64_t err = out.frequency[i] > cur_hz ? out.frequency[i] - cur_hz
+                                                            : cur_hz - out.frequency[i];
+        if (err < best_err) {
+            best_err = err;
+            best = i;
+        }
+    }
+    out.current = best;
+    return out;
+}
+
+} // namespace
+
+void bind_devices(std::vector<gpusim::GpuDevice*> devices)
+{
+    state().devices = std::move(devices);
+}
+
+void unbind_devices()
+{
+    state().devices.clear();
+    state().clock_writes_allowed = false;
+}
+
+void set_clock_write_permission(bool allowed) { state().clock_writes_allowed = allowed; }
+
+ScopedRocmBinding::ScopedRocmBinding(std::vector<gpusim::GpuDevice*> devices,
+                                     bool allow_clock_writes)
+{
+    bind_devices(std::move(devices));
+    set_clock_write_permission(allow_clock_writes);
+}
+
+ScopedRocmBinding::~ScopedRocmBinding() { unbind_devices(); }
+
+rsmi_status_t rsmi_init(std::uint64_t /*init_flags*/)
+{
+    ++state().init_refcount;
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_shut_down()
+{
+    if (state().init_refcount <= 0) return RSMI_STATUS_INIT_ERROR;
+    --state().init_refcount;
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_num_monitor_devices(std::uint32_t* num_devices)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    if (!num_devices) return RSMI_STATUS_INVALID_ARGS;
+    *num_devices = static_cast<std::uint32_t>(state().devices.size());
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_dev_power_ave_get(std::uint32_t dv_ind, std::uint32_t /*sensor_ind*/,
+                                     std::uint64_t* power_uw)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    auto* dev = device_at(dv_ind);
+    if (!dev) return RSMI_STATUS_NOT_FOUND;
+    if (!power_uw) return RSMI_STATUS_INVALID_ARGS;
+    *power_uw = static_cast<std::uint64_t>(std::llround(dev->power_w() * 1e6));
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_dev_energy_count_get(std::uint32_t dv_ind, std::uint64_t* counter,
+                                        float* resolution, std::uint64_t* timestamp_ns)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    auto* dev = device_at(dv_ind);
+    if (!dev) return RSMI_STATUS_NOT_FOUND;
+    if (!counter || !resolution || !timestamp_ns) return RSMI_STATUS_INVALID_ARGS;
+    const double uj = dev->energy_j() * 1e6;
+    *counter = static_cast<std::uint64_t>(uj / kEnergyCounterResolutionUj);
+    *resolution = static_cast<float>(kEnergyCounterResolutionUj);
+    *timestamp_ns = static_cast<std::uint64_t>(dev->now() * 1e9);
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_dev_gpu_clk_freq_get(std::uint32_t dv_ind, rsmi_clk_type_t clk_type,
+                                        rsmi_frequencies_t* frequencies)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    auto* dev = device_at(dv_ind);
+    if (!dev) return RSMI_STATUS_NOT_FOUND;
+    if (!frequencies) return RSMI_STATUS_INVALID_ARGS;
+    switch (clk_type) {
+        case RSMI_CLK_TYPE_SYS:
+            *frequencies = table_for(dev->spec(), dev->current_clock_mhz());
+            return RSMI_STATUS_SUCCESS;
+        case RSMI_CLK_TYPE_MEM: {
+            rsmi_frequencies_t out;
+            out.num_supported = 1;
+            out.current = 0;
+            out.frequency[0] =
+                static_cast<std::uint64_t>(units::mhz_to_hz(dev->memory_clock_mhz()));
+            *frequencies = out;
+            return RSMI_STATUS_SUCCESS;
+        }
+    }
+    return RSMI_STATUS_NOT_SUPPORTED;
+}
+
+rsmi_status_t rsmi_dev_gpu_clk_freq_set(std::uint32_t dv_ind, rsmi_clk_type_t clk_type,
+                                        std::uint64_t freq_bitmask)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    auto* dev = device_at(dv_ind);
+    if (!dev) return RSMI_STATUS_NOT_FOUND;
+    if (clk_type != RSMI_CLK_TYPE_SYS) return RSMI_STATUS_NOT_SUPPORTED;
+    if (!state().clock_writes_allowed) return RSMI_STATUS_PERMISSION;
+
+    const rsmi_frequencies_t table = table_for(dev->spec(), dev->current_clock_mhz());
+    // Highest enabled level acts as the cap.
+    int highest = -1;
+    for (std::uint32_t i = 0; i < table.num_supported; ++i) {
+        if (freq_bitmask & (1ULL << i)) highest = static_cast<int>(i);
+    }
+    if (highest < 0) return RSMI_STATUS_INVALID_ARGS;
+    const double cap_mhz =
+        units::hz_to_mhz(static_cast<double>(table.frequency[highest]));
+    dev->set_application_clocks(dev->memory_clock_mhz(), cap_mhz);
+    return RSMI_STATUS_SUCCESS;
+}
+
+rsmi_status_t rsmi_dev_perf_level_set_auto(std::uint32_t dv_ind)
+{
+    if (!initialized()) return RSMI_STATUS_INIT_ERROR;
+    auto* dev = device_at(dv_ind);
+    if (!dev) return RSMI_STATUS_NOT_FOUND;
+    if (!state().clock_writes_allowed) return RSMI_STATUS_PERMISSION;
+    dev->reset_application_clocks();
+    return RSMI_STATUS_SUCCESS;
+}
+
+std::uint64_t bitmask_for_cap_mhz(const rsmi_frequencies_t& freqs, double mhz)
+{
+    std::uint64_t mask = 0;
+    const std::uint64_t cap_hz = static_cast<std::uint64_t>(units::mhz_to_hz(mhz));
+    for (std::uint32_t i = 0; i < freqs.num_supported; ++i) {
+        if (freqs.frequency[i] <= cap_hz) mask |= (1ULL << i);
+    }
+    if (mask == 0 && freqs.num_supported > 0) mask = 1; // lowest level at least
+    return mask;
+}
+
+} // namespace gsph::rocmsmi

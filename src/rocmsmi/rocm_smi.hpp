@@ -1,0 +1,103 @@
+#pragma once
+/// \file rocm_smi.hpp
+/// \brief rocm_smi_lib-compatible API over simulated AMD GPUs.
+///
+/// The paper's future work is "the adaptation of the proposed method on AMD
+/// and Intel GPUs"; this module provides the AMD half: the subset of
+/// rocm_smi_lib (the library PMT's AMD back-end wraps) needed for energy
+/// measurement and clock control on the MI250X model.
+///
+/// Fidelity notes, matching the real library:
+///  - clock control uses *frequency-level bitmasks*
+///    (rsmi_dev_gpu_clk_freq_set): the device exposes a discrete frequency
+///    table and the caller enables a subset; the highest enabled level acts
+///    as the effective cap (the firmware governor still manages below it);
+///  - energy is reported via a counter with a resolution multiplier
+///    (rsmi_dev_energy_count_get), in 15.259 uJ units like current ASICs;
+///  - power is in microwatts (rsmi_dev_power_ave_get).
+
+#include "gpusim/device.hpp"
+
+#include <cstdint>
+#include <vector>
+
+namespace gsph::rocmsmi {
+
+enum rsmi_status_t {
+    RSMI_STATUS_SUCCESS = 0,
+    RSMI_STATUS_INVALID_ARGS = 1,
+    RSMI_STATUS_NOT_SUPPORTED = 2,
+    RSMI_STATUS_PERMISSION = 3,
+    RSMI_STATUS_INIT_ERROR = 8,
+    RSMI_STATUS_NOT_FOUND = 10,
+};
+
+enum rsmi_clk_type_t {
+    RSMI_CLK_TYPE_SYS = 0, ///< compute (GFX) clock
+    RSMI_CLK_TYPE_MEM = 4,
+};
+
+/// Discrete frequency table (rsmi_frequencies_t): `frequency[i]` in Hz,
+/// ascending; `current` indexes the active level.
+inline constexpr std::uint32_t RSMI_MAX_NUM_FREQUENCIES = 32;
+struct rsmi_frequencies_t {
+    std::uint32_t num_supported = 0;
+    std::uint32_t current = 0;
+    std::uint64_t frequency[RSMI_MAX_NUM_FREQUENCIES] = {};
+};
+
+/// Energy-counter resolution in microjoules per tick (ASIC constant).
+inline constexpr double kEnergyCounterResolutionUj = 15.259;
+
+// --- simulation bindings ----------------------------------------------------
+
+/// Attach simulated devices (normally the AMD ones of a cluster).
+void bind_devices(std::vector<gpusim::GpuDevice*> devices);
+void unbind_devices();
+/// Clock control requires write access to the SMI (root or render-group);
+/// mirror that with an explicit grant.
+void set_clock_write_permission(bool allowed);
+
+class ScopedRocmBinding {
+public:
+    explicit ScopedRocmBinding(std::vector<gpusim::GpuDevice*> devices,
+                               bool allow_clock_writes = true);
+    ~ScopedRocmBinding();
+    ScopedRocmBinding(const ScopedRocmBinding&) = delete;
+    ScopedRocmBinding& operator=(const ScopedRocmBinding&) = delete;
+};
+
+// --- rocm_smi call surface ---------------------------------------------------
+
+rsmi_status_t rsmi_init(std::uint64_t init_flags);
+rsmi_status_t rsmi_shut_down();
+
+rsmi_status_t rsmi_num_monitor_devices(std::uint32_t* num_devices);
+
+/// Average socket power in microwatts.
+rsmi_status_t rsmi_dev_power_ave_get(std::uint32_t dv_ind, std::uint32_t sensor_ind,
+                                     std::uint64_t* power_uw);
+
+/// Energy accumulator: `counter` ticks of `resolution` microjoules each;
+/// `timestamp_ns` is the device timestamp of the reading.
+rsmi_status_t rsmi_dev_energy_count_get(std::uint32_t dv_ind, std::uint64_t* counter,
+                                        float* resolution, std::uint64_t* timestamp_ns);
+
+/// Frequency table + current level for a clock domain.
+rsmi_status_t rsmi_dev_gpu_clk_freq_get(std::uint32_t dv_ind, rsmi_clk_type_t clk_type,
+                                        rsmi_frequencies_t* frequencies);
+
+/// Restrict the allowed frequency levels to `freq_bitmask` (bit i enables
+/// level i of the table).  The highest enabled level becomes the effective
+/// application-clock cap.  Requires clock write permission.
+rsmi_status_t rsmi_dev_gpu_clk_freq_set(std::uint32_t dv_ind, rsmi_clk_type_t clk_type,
+                                        std::uint64_t freq_bitmask);
+
+/// Re-enable every level (performance level "auto").
+rsmi_status_t rsmi_dev_perf_level_set_auto(std::uint32_t dv_ind);
+
+/// Helper used by the ManDyn AMD backend: the bitmask that enables all
+/// levels up to and including the highest level <= mhz.
+std::uint64_t bitmask_for_cap_mhz(const rsmi_frequencies_t& freqs, double mhz);
+
+} // namespace gsph::rocmsmi

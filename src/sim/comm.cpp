@@ -1,0 +1,49 @@
+#include "sim/comm.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsph::sim {
+
+CommModel::CommModel(const SystemSpec& system, int n_ranks)
+    : latency_s_(system.net_latency_s),
+      bw_bytes_per_s_(system.net_bw_bytes_per_s),
+      n_ranks_(std::max(n_ranks, 1))
+{
+}
+
+double CommModel::allreduce_s(std::size_t bytes) const
+{
+    if (n_ranks_ <= 1) return 2e-6; // local reduction + host round-trip
+    const double hops = std::ceil(std::log2(static_cast<double>(n_ranks_)));
+    // Software overhead per hop dominates small reductions (~8-20 us end to
+    // end in practice once GPU->host staging is included).
+    const double per_hop = latency_s_ + 4e-6;
+    return hops * per_hop + static_cast<double>(bytes) / bw_bytes_per_s_ * hops;
+}
+
+double CommModel::halo_exchange_s(std::size_t bytes) const
+{
+    if (n_ranks_ <= 1) return 0.0;
+    constexpr int kNeighbors = 6; // SFC-adjacent subdomains
+    return kNeighbors * (latency_s_ + 10e-6) +
+           static_cast<double>(bytes) / bw_bytes_per_s_;
+}
+
+std::size_t CommModel::halo_bytes_measured(double surface_prefactor, double n_particles,
+                                           int fields)
+{
+    const double halo_particles =
+        surface_prefactor * std::pow(std::max(n_particles, 1.0), 2.0 / 3.0);
+    return static_cast<std::size_t>(halo_particles * static_cast<double>(fields) * 8.0);
+}
+
+std::size_t CommModel::halo_bytes(double n_particles, int fields)
+{
+    // Surface-to-volume: ~ 1.5 layers of a cubic subdomain's 6 faces.
+    const double side = std::cbrt(std::max(n_particles, 1.0));
+    const double halo_particles = 6.0 * 1.5 * side * side;
+    return static_cast<std::size_t>(halo_particles * static_cast<double>(fields) * 8.0);
+}
+
+} // namespace gsph::sim

@@ -1,0 +1,49 @@
+#pragma once
+/// \file comm.hpp
+/// \brief MPI communication cost model (hockney-style).
+///
+/// The GPU idles during MPI phases; the model only needs durations.
+/// Collectives use log-tree latency terms; halo exchanges use a latency +
+/// bandwidth term over the surface data volume.
+
+#include "sim/system.hpp"
+
+#include <cstddef>
+
+namespace gsph::sim {
+
+class CommModel {
+public:
+    explicit CommModel(const SystemSpec& system, int n_ranks);
+
+    /// MPI_Allreduce of `bytes` over all ranks.
+    double allreduce_s(std::size_t bytes) const;
+
+    /// Host-side processing around an end-of-step collective (device-to-host
+    /// readback, reduction logic, dt bookkeeping) during which the GPU sits
+    /// idle.  Independent of rank count; this is what makes the clock dip at
+    /// every step boundary in the paper's Fig. 9 even on a single GPU.
+    double collective_host_overhead_s() const { return 0.012; }
+
+    /// Per-rank halo exchange of `bytes` with ~6 SFC-neighbour ranks.
+    double halo_exchange_s(std::size_t bytes) const;
+
+    /// Bytes a rank's halo occupies for `n_particles` local particles with
+    /// `fields` doubles exchanged per particle: surface scaling n^(2/3)
+    /// with an assumed prefactor.
+    static std::size_t halo_bytes(double n_particles, int fields);
+
+    /// Same with a *measured* surface prefactor (halo particles ~=
+    /// prefactor * n^(2/3)), from sph::analyze_sfc_decomposition.
+    static std::size_t halo_bytes_measured(double surface_prefactor, double n_particles,
+                                           int fields);
+
+    int n_ranks() const { return n_ranks_; }
+
+private:
+    double latency_s_;
+    double bw_bytes_per_s_;
+    int n_ranks_;
+};
+
+} // namespace gsph::sim

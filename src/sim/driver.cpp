@@ -1,0 +1,235 @@
+#include "sim/driver.hpp"
+
+#include "nvmlsim/nvml.hpp"
+#include "pmt/pmt.hpp"
+#include "rocmsmi/rocm_smi.hpp"
+#include "util/rng.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+
+namespace gsph::sim {
+
+namespace {
+
+/// Deterministic per-(rank, step, call) work jitter in [1-j, 1+j].
+double work_jitter(double j, int rank, int step, int call)
+{
+    if (j <= 0.0) return 1.0;
+    util::SplitMix64 sm(0x9e3779b9ULL ^ (static_cast<std::uint64_t>(rank) << 40) ^
+                        (static_cast<std::uint64_t>(step) << 16) ^
+                        static_cast<std::uint64_t>(call));
+    const double u =
+        static_cast<double>(sm.next() >> 11) * 0x1.0p-53; // uniform [0,1)
+    return 1.0 + j * (2.0 * u - 1.0);
+}
+
+struct NodeBaseline {
+    double cpu_j = 0.0;
+    double dram_j = 0.0;
+    double aux_t = 0.0;
+    std::vector<double> gpu_j;
+};
+
+} // namespace
+
+RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
+                           const RunConfig& config, const RunHooks& hooks)
+{
+    if (trace.steps.empty()) throw std::invalid_argument("run_instrumented: empty trace");
+    const int n_steps = config.n_steps > 0 ? config.n_steps : trace.n_steps();
+    const double scale = trace.work_scale();
+
+    Cluster cluster(system, config.n_ranks);
+    CommModel comm(system, config.n_ranks);
+
+    // Optional management-library bindings for hooks / PMT back-ends.  Both
+    // vendor facades see the same devices; each only matters on its vendor's
+    // hardware, mirroring a node image with both libraries installed.
+    std::optional<nvmlsim::ScopedNvmlBinding> nvml_binding;
+    std::optional<rocmsmi::ScopedRocmBinding> rocm_binding;
+    if (config.bind_nvml) {
+        nvml_binding.emplace(cluster.all_gpus(), /*allow_user_clocks=*/true);
+        rocm_binding.emplace(cluster.all_gpus(), /*allow_clock_writes=*/true);
+    }
+
+    // Configure devices.
+    for (auto* gpu : cluster.all_gpus()) {
+        gpu->set_clock_policy(config.clock_policy);
+        if (config.app_clock_mhz > 0.0) {
+            gpu->set_application_clocks(system.gpu.memory_clock_mhz, config.app_clock_mhz);
+        }
+    }
+    if (config.enable_rank0_trace) cluster.rank_gpu(0).enable_tracing(true);
+
+    RunResult result;
+    result.system_name = system.name;
+    result.workload_name = trace.workload_name;
+    result.n_ranks = config.n_ranks;
+    result.n_steps = n_steps;
+
+    // --- job start + setup phase (Slurm accounts for this, PMT does not) ---
+    std::vector<slurmsim::JobRecord> records;
+    slurmsim::Job job("1001", trace.workload_name, cluster.all_counters());
+    job.start(0.0);
+
+    if (config.setup_s > 0.0) {
+        for (int n = 0; n < cluster.n_nodes(); ++n) {
+            // Setup keeps the host busy (I/O, allocation) while GPUs idle.
+            cluster.node(n).sync_to(config.setup_s, /*cpu_utilization=*/0.5,
+                                    /*mem_activity=*/0.35);
+        }
+    }
+    result.loop_start_s = config.setup_s;
+
+    // Loop-window baselines (ground truth).
+    std::vector<NodeBaseline> baselines(static_cast<std::size_t>(cluster.n_nodes()));
+    for (int n = 0; n < cluster.n_nodes(); ++n) {
+        Node& node = cluster.node(n);
+        NodeBaseline& b = baselines[static_cast<std::size_t>(n)];
+        b.cpu_j = node.cpu().package_energy_j();
+        b.dram_j = node.cpu().dram_energy_j();
+        b.aux_t = result.loop_start_s;
+        for (int g = 0; g < node.gpu_count(); ++g) b.gpu_j.push_back(node.gpu(g).energy_j());
+    }
+
+    // PMT node sensors (read the 10 Hz pm_counters surface).
+    std::vector<std::unique_ptr<pmt::Pmt>> node_sensors;
+    std::vector<pmt::State> pmt_start;
+    for (int n = 0; n < cluster.n_nodes(); ++n) {
+        node_sensors.push_back(pmt::CreateCray(&cluster.node(n).counters()));
+        pmt_start.push_back(node_sensors.back()->Read());
+    }
+
+    const std::size_t halo_bytes =
+        trace.halo_surface_prefactor > 0.0
+            ? CommModel::halo_bytes_measured(trace.halo_surface_prefactor,
+                                             trace.particles_per_gpu, /*fields=*/10)
+            : CommModel::halo_bytes(trace.particles_per_gpu, /*fields=*/10);
+
+    // --- the time-stepping loop -------------------------------------------
+    auto& agg = result.per_function;
+    for (int s = 0; s < n_steps; ++s) {
+        result.step_start_times.push_back(cluster.rank_gpu(0).now());
+        const StepRecord& rec = trace.steps[static_cast<std::size_t>(s) %
+                                            trace.steps.size()];
+        int call_index = 0;
+        for (const FunctionRecord& fr : rec.functions) {
+            const std::size_t fi = static_cast<std::size_t>(fr.fn);
+            for (int r = 0; r < config.n_ranks; ++r) {
+                gpusim::GpuDevice& dev = cluster.rank_gpu(r);
+                if (hooks.before_function) hooks.before_function(r, dev, fr.fn);
+
+                const double jit = work_jitter(config.rank_jitter, r, s, call_index);
+                const gpusim::KernelWork work = gpusim::scaled(fr.work, scale * jit);
+                const gpusim::KernelResult res = dev.execute(work);
+
+                const double duration = res.end_s - res.start_s;
+                agg[fi].time_s += duration;
+                agg[fi].gpu_energy_j += res.energy_j;
+                agg[fi].clock_time_product += res.mean_clock_mhz * duration;
+                ++agg[fi].calls;
+
+                if (hooks.after_function) hooks.after_function(r, dev, fr.fn, res);
+            }
+
+            // Communication attributed to the function that caused it.
+            if (fr.fn == sph::SphFunction::kDomainDecompAndSync &&
+                config.n_ranks > 1) {
+                const double t_halo = comm.halo_exchange_s(halo_bytes);
+                for (int r = 0; r < config.n_ranks; ++r) {
+                    gpusim::GpuDevice& dev = cluster.rank_gpu(r);
+                    const double e0 = dev.energy_j();
+                    dev.idle(t_halo);
+                    agg[fi].time_s += t_halo;
+                    agg[fi].gpu_energy_j += dev.energy_j() - e0;
+                    agg[fi].clock_time_product += dev.current_clock_mhz() * t_halo;
+                }
+            }
+            if (sph::is_collective(fr.fn)) {
+                // Barrier semantics: everyone waits for the slowest rank,
+                // then pays the allreduce plus the host-side readback and
+                // reduction logic (GPUs idle; their clocks decay -> the
+                // Fig. 9 end-of-step dips).
+                const double t_sync = cluster.max_gpu_time() +
+                                      comm.allreduce_s(/*bytes=*/64) +
+                                      comm.collective_host_overhead_s();
+                for (int r = 0; r < config.n_ranks; ++r) {
+                    gpusim::GpuDevice& dev = cluster.rank_gpu(r);
+                    const double pad = t_sync - dev.now();
+                    if (pad <= 0.0) continue;
+                    const double e0 = dev.energy_j();
+                    dev.idle(pad);
+                    agg[fi].time_s += pad;
+                    agg[fi].gpu_energy_j += dev.energy_j() - e0;
+                    agg[fi].clock_time_product += dev.current_clock_mhz() * pad;
+                }
+            }
+            ++call_index;
+        }
+
+        // End of step: host/sampler catch up on every node.
+        const double t_step = cluster.max_gpu_time();
+        cluster.sync_all_to(t_step);
+        if (hooks.after_step) hooks.after_step(s);
+    }
+
+    result.loop_end_s = cluster.max_gpu_time();
+    cluster.sync_all_to(result.loop_end_s);
+
+    // Mean over ranks for the time/clock aggregates (they were summed).
+    for (auto& a : agg) {
+        a.time_s /= static_cast<double>(config.n_ranks);
+        a.clock_time_product /= static_cast<double>(config.n_ranks);
+    }
+
+    // --- ground-truth loop-window energies ----------------------------------
+    for (int n = 0; n < cluster.n_nodes(); ++n) {
+        Node& node = cluster.node(n);
+        const NodeBaseline& b = baselines[static_cast<std::size_t>(n)];
+        result.cpu_energy_j += node.cpu().package_energy_j() - b.cpu_j;
+        result.memory_energy_j += node.cpu().dram_energy_j() - b.dram_j;
+        result.other_energy_j += system.aux_power_w * (result.loop_end_s - b.aux_t);
+        for (int g = 0; g < node.gpu_count(); ++g) {
+            result.gpu_energy_j +=
+                node.gpu(g).energy_j() - b.gpu_j[static_cast<std::size_t>(g)];
+        }
+    }
+    result.node_energy_j = result.gpu_energy_j + result.cpu_energy_j +
+                           result.memory_energy_j + result.other_energy_j;
+
+    // Apportion CPU + other to functions by duration share (the paper's
+    // observation: the host consumes energy proportional to function time).
+    double total_fn_time = 0.0;
+    for (const auto& a : agg) total_fn_time += a.time_s;
+    if (total_fn_time > 0.0) {
+        for (auto& a : agg) {
+            const double share = a.time_s / total_fn_time;
+            a.cpu_energy_j = share * (result.cpu_energy_j + result.memory_energy_j);
+            a.other_energy_j = share * result.other_energy_j;
+        }
+    }
+
+    // --- PMT loop-window measurement -----------------------------------------
+    for (std::size_t n = 0; n < node_sensors.size(); ++n) {
+        const pmt::State end = node_sensors[n]->Read();
+        result.pmt_loop_energy_j += pmt::Pmt::joules(pmt_start[n], end);
+    }
+
+    // --- teardown + job end ---------------------------------------------------
+    const double t_final = result.loop_end_s + config.teardown_s;
+    cluster.sync_all_to(t_final);
+    result.total_wall_s = t_final;
+    job.finish(t_final);
+    result.slurm = job.record();
+
+    if (config.enable_rank0_trace) {
+        result.rank0_clock_trace = cluster.rank_gpu(0).clock_trace();
+    }
+    return result;
+}
+
+} // namespace gsph::sim

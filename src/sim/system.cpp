@@ -1,0 +1,78 @@
+#include "sim/system.hpp"
+
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace gsph::sim {
+
+void SystemSpec::validate() const
+{
+    if (name.empty()) throw std::invalid_argument("SystemSpec: empty name");
+    cpu.validate();
+    gpu.validate();
+    if (gpus_per_node <= 0) throw std::invalid_argument("SystemSpec: gpus_per_node");
+    if (gcds_per_accel_file <= 0 || gpus_per_node % gcds_per_accel_file != 0) {
+        throw std::invalid_argument("SystemSpec: gcds_per_accel_file");
+    }
+    if (aux_power_w < 0.0) throw std::invalid_argument("SystemSpec: aux power");
+    if (net_latency_s < 0.0 || net_bw_bytes_per_s <= 0.0) {
+        throw std::invalid_argument("SystemSpec: network");
+    }
+}
+
+SystemSpec lumi_g()
+{
+    SystemSpec s;
+    s.name = "LUMI-G";
+    s.cpu = cpusim::epyc_7a53();
+    s.gpu = gpusim::mi250x_gcd();
+    s.gpus_per_node = 8;       // 8 GCDs = 4 MI250X cards
+    s.gcds_per_accel_file = 2; // pm_counters reports per card
+    s.aux_power_w = 340.0;     // Slingshot NICs, board, fans share
+    s.net_latency_s = 2e-6;
+    s.net_bw_bytes_per_s = 25e9; // Slingshot-11, per-rank effective
+    s.validate();
+    return s;
+}
+
+SystemSpec cscs_a100()
+{
+    SystemSpec s;
+    s.name = "CSCS-A100";
+    s.cpu = cpusim::epyc_7113();
+    s.gpu = gpusim::a100_sxm4_80g();
+    s.gpus_per_node = 4;
+    s.gcds_per_accel_file = 1;
+    s.aux_power_w = 210.0;
+    s.net_latency_s = 2e-6;
+    s.net_bw_bytes_per_s = 25e9;
+    s.validate();
+    return s;
+}
+
+SystemSpec mini_hpc()
+{
+    SystemSpec s;
+    s.name = "miniHPC";
+    s.cpu = cpusim::xeon_6258r_dual();
+    s.gpu = gpusim::a100_pcie_40g();
+    s.gpus_per_node = 2;
+    s.gcds_per_accel_file = 1;
+    s.aux_power_w = 110.0;
+    s.net_latency_s = 5e-6;
+    s.net_bw_bytes_per_s = 12.5e9; // 100 GbE
+    s.validate();
+    return s;
+}
+
+SystemSpec system_by_name(const std::string& name)
+{
+    const std::string key = util::to_lower(name);
+    if (key == "lumi-g" || key == "lumi") return lumi_g();
+    if (key == "cscs-a100" || key == "cscs") return cscs_a100();
+    if (key == "minihpc" || key == "mini-hpc") return mini_hpc();
+    throw std::invalid_argument("unknown system: " + name);
+}
+
+} // namespace gsph::sim

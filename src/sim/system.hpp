@@ -1,0 +1,39 @@
+#pragma once
+/// \file system.hpp
+/// \brief The three computing systems of the paper's Table I.
+
+#include "cpusim/cpu.hpp"
+#include "gpusim/device_spec.hpp"
+
+#include <string>
+
+namespace gsph::sim {
+
+struct SystemSpec {
+    std::string name;
+    cpusim::CpuSpec cpu;
+    gpusim::GpuDeviceSpec gpu; ///< one schedulable device (a GCD on LUMI-G)
+    int gpus_per_node = 4;     ///< schedulable devices per node
+    /// How many devices share one pm_counters accel file (2 on LUMI-G:
+    /// pm_counters reports per MI250X *card*, each card = 2 GCDs).
+    int gcds_per_accel_file = 1;
+    double aux_power_w = 100.0; ///< NIC/fans/board: the "Other" share
+
+    // interconnect (per-rank effective figures)
+    double net_latency_s = 3e-6;
+    double net_bw_bytes_per_s = 12.5e9; ///< ~100 Gb/s effective per rank
+
+    int ranks_per_node() const { return gpus_per_node; }
+    void validate() const;
+};
+
+/// LUMI-G: 1x EPYC 7A53 + 8 GCDs (4x MI250X), AMD clocks 1700/1600 MHz.
+SystemSpec lumi_g();
+/// CSCS-A100: 1x EPYC 7113 + 4x A100-SXM4-80GB, clocks 1410/1593 MHz.
+SystemSpec cscs_a100();
+/// miniHPC: 2x Xeon 6258R + 2x A100-PCIE-40GB, clocks 1410/1593 MHz.
+SystemSpec mini_hpc();
+
+SystemSpec system_by_name(const std::string& name);
+
+} // namespace gsph::sim

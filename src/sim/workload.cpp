@@ -1,0 +1,166 @@
+#include "sim/workload.hpp"
+
+#include "sph/decomposition.hpp"
+#include "util/strings.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::sim {
+
+const char* to_string(WorkloadKind kind)
+{
+    switch (kind) {
+        case WorkloadKind::kSubsonicTurbulence: return "SubsonicTurbulence";
+        case WorkloadKind::kEvrardCollapse: return "EvrardCollapse";
+        case WorkloadKind::kSedovBlast: return "SedovBlast";
+    }
+    return "Unknown";
+}
+
+sph::SphSimulation make_simulation(const WorkloadSpec& spec)
+{
+    switch (spec.kind) {
+        case WorkloadKind::kSubsonicTurbulence: {
+            sph::TurbulenceParams p;
+            p.nside = spec.real_nside;
+            p.seed = spec.seed;
+            return sph::make_subsonic_turbulence(p);
+        }
+        case WorkloadKind::kSedovBlast: {
+            sph::SedovParams p;
+            p.nside = spec.real_nside;
+            p.seed = spec.seed;
+            return sph::make_sedov_blast(p);
+        }
+        case WorkloadKind::kEvrardCollapse: break;
+    }
+    sph::EvrardParams p;
+    p.n_particles = spec.real_nside * spec.real_nside * spec.real_nside;
+    p.seed = spec.seed;
+    return sph::make_evrard_collapse(p);
+}
+
+WorkloadTrace record_trace(const WorkloadSpec& spec, sph::StepDiagnostics* final_diag)
+{
+    if (spec.n_steps <= 0) throw std::invalid_argument("record_trace: n_steps <= 0");
+    if (spec.particles_per_gpu <= 0.0) {
+        throw std::invalid_argument("record_trace: particles_per_gpu <= 0");
+    }
+
+    sph::SphSimulation simulation = make_simulation(spec);
+
+    WorkloadTrace trace;
+    trace.workload_name = to_string(spec.kind);
+    trace.kind = spec.kind;
+    trace.n_particles_real = static_cast<double>(simulation.particles().size());
+    trace.particles_per_gpu = spec.particles_per_gpu;
+    trace.steps.reserve(static_cast<std::size_t>(spec.n_steps));
+
+    for (int s = 0; s < spec.n_steps; ++s) {
+        StepRecord record;
+        simulation.step([&record](sph::SphFunction fn, const gpusim::KernelWork& work) {
+            record.functions.push_back(FunctionRecord{fn, work});
+        });
+        trace.steps.push_back(std::move(record));
+    }
+    // Measure the halo surface of an SFC decomposition of the final state
+    // (8 parts; the prefactor is scale-invariant).  Caveat: at laptop-sized
+    // parts nearly every particle sits on the surface, so this bounds the
+    // prefactor from below.
+    const auto decomp = sph::analyze_sfc_decomposition(simulation, 8);
+    trace.halo_surface_prefactor = decomp.surface_prefactor;
+    if (final_diag) *final_diag = simulation.diagnostics();
+    return trace;
+}
+
+double WorkloadTrace::total_flops() const
+{
+    double total = 0.0;
+    for (const auto& step : steps) {
+        for (const auto& f : step.functions) total += f.work.flops;
+    }
+    return total;
+}
+
+std::string WorkloadTrace::serialize() const
+{
+    std::ostringstream os;
+    os.precision(17);
+    os << "# greensph workload trace v1\n"
+       << "workload," << workload_name << '\n'
+       << "kind," << static_cast<int>(kind) << '\n'
+       << "n_particles_real," << n_particles_real << '\n'
+       << "particles_per_gpu," << particles_per_gpu << '\n'
+       << "halo_surface_prefactor," << halo_surface_prefactor << '\n'
+       << "step,function,flops,dram_bytes,gather_fraction,flop_efficiency,launches,"
+          "threads\n";
+    for (std::size_t s = 0; s < steps.size(); ++s) {
+        for (const auto& fr : steps[s].functions) {
+            os << s << ',' << static_cast<int>(fr.fn) << ',' << fr.work.flops << ','
+               << fr.work.dram_bytes << ',' << fr.work.gather_fraction << ','
+               << fr.work.flop_efficiency << ',' << fr.work.launches << ','
+               << fr.work.threads << '\n';
+        }
+    }
+    return os.str();
+}
+
+WorkloadTrace WorkloadTrace::parse(const std::string& text)
+{
+    std::istringstream is(text);
+    std::string line;
+    if (!std::getline(is, line) || line != "# greensph workload trace v1") {
+        throw std::invalid_argument("WorkloadTrace::parse: bad magic line");
+    }
+    WorkloadTrace trace;
+    auto expect_field = [&](const char* key) -> std::string {
+        if (!std::getline(is, line)) {
+            throw std::invalid_argument(std::string("WorkloadTrace::parse: missing ") +
+                                        key);
+        }
+        const auto parts = util::split(line, ',');
+        if (parts.size() != 2 || parts[0] != key) {
+            throw std::invalid_argument("WorkloadTrace::parse: expected '" +
+                                        std::string(key) + "', got '" + line + "'");
+        }
+        return parts[1];
+    };
+    trace.workload_name = expect_field("workload");
+    trace.kind = static_cast<WorkloadKind>(std::stoi(expect_field("kind")));
+    trace.n_particles_real = std::stod(expect_field("n_particles_real"));
+    trace.particles_per_gpu = std::stod(expect_field("particles_per_gpu"));
+    trace.halo_surface_prefactor = std::stod(expect_field("halo_surface_prefactor"));
+    if (!std::getline(is, line) || !util::starts_with(line, "step,function,")) {
+        throw std::invalid_argument("WorkloadTrace::parse: missing column header");
+    }
+    while (std::getline(is, line)) {
+        if (line.empty()) continue;
+        const auto parts = util::split(line, ',');
+        if (parts.size() != 8) {
+            throw std::invalid_argument("WorkloadTrace::parse: bad row '" + line + "'");
+        }
+        const std::size_t step = static_cast<std::size_t>(std::stoul(parts[0]));
+        if (step >= trace.steps.size()) trace.steps.resize(step + 1);
+        const int fn_id = std::stoi(parts[1]);
+        if (fn_id < 0 || fn_id >= sph::kSphFunctionCount) {
+            throw std::invalid_argument("WorkloadTrace::parse: bad function id");
+        }
+        FunctionRecord fr;
+        fr.fn = static_cast<sph::SphFunction>(fn_id);
+        fr.work.name = sph::to_string(fr.fn);
+        fr.work.flops = std::stod(parts[2]);
+        fr.work.dram_bytes = std::stod(parts[3]);
+        fr.work.gather_fraction = std::stod(parts[4]);
+        fr.work.flop_efficiency = std::stod(parts[5]);
+        fr.work.launches = std::stoll(parts[6]);
+        fr.work.threads = std::stoll(parts[7]);
+        trace.steps[step].functions.push_back(std::move(fr));
+    }
+    if (trace.steps.empty()) {
+        throw std::invalid_argument("WorkloadTrace::parse: no steps");
+    }
+    return trace;
+}
+
+} // namespace gsph::sim

@@ -1,0 +1,95 @@
+#include "slurmsim/slurm.hpp"
+
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::slurmsim {
+
+Job::Job(std::string job_id, std::string job_name,
+         std::vector<const pmcounters::PmCounters*> nodes)
+    : job_id_(std::move(job_id)), job_name_(std::move(job_name)), nodes_(std::move(nodes))
+{
+    if (nodes_.empty()) throw std::invalid_argument("slurm Job: no nodes");
+    for (const auto* n : nodes_) {
+        if (!n) throw std::invalid_argument("slurm Job: null node");
+    }
+}
+
+void Job::start(double time_s)
+{
+    if (started_) throw std::logic_error("slurm Job: started twice");
+    started_ = true;
+    start_time_ = time_s;
+    baseline_j_.clear();
+    baseline_j_.reserve(nodes_.size());
+    for (const auto* n : nodes_) baseline_j_.push_back(n->node_energy_j());
+}
+
+void Job::finish(double time_s)
+{
+    if (!started_) throw std::logic_error("slurm Job: finish before start");
+    if (finished_) throw std::logic_error("slurm Job: finished twice");
+    finished_ = true;
+    end_time_ = time_s;
+    final_j_.clear();
+    final_j_.reserve(nodes_.size());
+    for (const auto* n : nodes_) final_j_.push_back(n->node_energy_j());
+}
+
+double Job::consumed_energy_j() const
+{
+    if (!finished_) return 0.0;
+    double total = 0.0;
+    for (std::size_t i = 0; i < nodes_.size(); ++i) {
+        total += final_j_[i] - baseline_j_[i];
+    }
+    // Slurm stores integral joules.
+    return std::floor(total);
+}
+
+JobRecord Job::record() const
+{
+    JobRecord r;
+    r.job_id = job_id_;
+    r.job_name = job_name_;
+    r.elapsed_s = finished_ ? elapsed_s() : 0.0;
+    r.consumed_energy_j = consumed_energy_j();
+    r.n_nodes = static_cast<int>(nodes_.size());
+    r.completed = finished_;
+    return r;
+}
+
+std::string format_consumed_energy(double joules)
+{
+    if (joules >= 1e6) return util::format_fixed(joules / 1e6, 2) + "M";
+    if (joules >= 1e3) return util::format_fixed(joules / 1e3, 2) + "K";
+    return util::format_fixed(joules, 0);
+}
+
+std::string format_sacct(const std::vector<JobRecord>& records)
+{
+    std::ostringstream os;
+    os << util::pad_right("JobID", 12) << util::pad_right("JobName", 20)
+       << util::pad_right("Elapsed", 12) << util::pad_right("NNodes", 8)
+       << "ConsumedEnergy\n";
+    os << std::string(12, '-').substr(0, 11) << ' ' << std::string(20, '-').substr(0, 19)
+       << ' ' << std::string(12, '-').substr(0, 11) << ' '
+       << std::string(8, '-').substr(0, 7) << ' ' << std::string(14, '-') << '\n';
+    for (const auto& r : records) {
+        const int h = static_cast<int>(r.elapsed_s) / 3600;
+        const int m = (static_cast<int>(r.elapsed_s) % 3600) / 60;
+        const int s = static_cast<int>(r.elapsed_s) % 60;
+        char elapsed[32];
+        std::snprintf(elapsed, sizeof(elapsed), "%02d:%02d:%02d", h, m, s);
+        os << util::pad_right(r.job_id, 12) << util::pad_right(r.job_name, 20)
+           << util::pad_right(elapsed, 12)
+           << util::pad_right(std::to_string(r.n_nodes), 8)
+           << format_consumed_energy(r.consumed_energy_j) << '\n';
+    }
+    return os.str();
+}
+
+} // namespace gsph::slurmsim

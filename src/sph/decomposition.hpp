@@ -1,0 +1,37 @@
+#pragma once
+/// \file decomposition.hpp
+/// \brief SFC domain-decomposition analysis.
+///
+/// SPH-EXA distributes particles over ranks as contiguous ranges of the
+/// space-filling curve.  This helper partitions a (key-sorted) simulation
+/// into `n_parts` such ranges and *measures* the halo surface: the
+/// particles of each part that interact with particles of other parts and
+/// therefore have to be exchanged each step.  The measured surface
+/// prefactor feeds the communication model, replacing an assumed
+/// surface-to-volume constant with the actual geometry of the SFC cuts.
+
+#include "sph/functions.hpp"
+
+#include <vector>
+
+namespace gsph::sph {
+
+struct DecompositionStats {
+    int n_parts = 0;
+    std::vector<std::size_t> part_sizes;  ///< particles per part
+    std::vector<std::size_t> halo_counts; ///< boundary particles per part
+    double mean_halo_fraction = 0.0;      ///< mean halo_count / part_size
+
+    /// Surface prefactor c with halo_count ~= c * part_size^(2/3); the
+    /// scale-invariant quantity used to extrapolate halo volumes to
+    /// production particle counts.
+    double surface_prefactor = 0.0;
+};
+
+/// Analyze an SFC decomposition of `sim` into `n_parts` contiguous ranges.
+/// The simulation must have current neighbour lists (run
+/// domain_decomp_and_sync + find_neighbors first); throws std::logic_error
+/// otherwise and std::invalid_argument for a non-positive part count.
+DecompositionStats analyze_sfc_decomposition(const SphSimulation& sim, int n_parts);
+
+} // namespace gsph::sph

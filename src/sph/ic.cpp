@@ -1,0 +1,218 @@
+#include "sph/ic.hpp"
+
+#include "util/rng.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace gsph::sph {
+
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+} // namespace
+
+double smoothing_length_for(double ng, double n_density)
+{
+    // ng neighbours inside radius 2h: (4/3) pi (2h)^3 n = ng.
+    return 0.5 * std::cbrt(3.0 * ng / (4.0 * kPi * n_density));
+}
+
+SphSimulation make_subsonic_turbulence(const TurbulenceParams& params, SphConfig config)
+{
+    if (params.nside < 2) throw std::invalid_argument("turbulence: nside < 2");
+    const int n_side = params.nside;
+    const std::size_t n = static_cast<std::size_t>(n_side) * n_side * n_side;
+    const double L = params.box_size;
+    const double dx = L / n_side;
+
+    Box box = Box::cube(0.0, L, /*periodic=*/true);
+
+    ParticleSet ps;
+    ps.resize(n);
+
+    const double mass = params.rho0 * L * L * L / static_cast<double>(n);
+    const double n_density = static_cast<double>(n) / (L * L * L);
+    const double h0 = smoothing_length_for(params.ng_target, n_density);
+
+    util::Rng rng(params.seed);
+
+    // Lattice with a small sub-cell jitter (avoids the pathological exact
+    // lattice where IAD tensors become singular along axes).
+    std::size_t idx = 0;
+    for (int iz = 0; iz < n_side; ++iz) {
+        for (int iy = 0; iy < n_side; ++iy) {
+            for (int ix = 0; ix < n_side; ++ix, ++idx) {
+                ps.x[idx] = (ix + 0.5 + 0.12 * (rng.uniform() - 0.5)) * dx;
+                ps.y[idx] = (iy + 0.5 + 0.12 * (rng.uniform() - 0.5)) * dx;
+                ps.z[idx] = (iz + 0.5 + 0.12 * (rng.uniform() - 0.5)) * dx;
+                ps.m[idx] = mass;
+                ps.h[idx] = h0;
+                ps.u[idx] = params.u0;
+            }
+        }
+    }
+
+    // Divergence-free velocity field: sum of solenoidal Fourier modes with
+    // amplitude ~ |k|^-2 (large-scale driven spectrum), random phases and
+    // polarizations.
+    struct Mode {
+        Vec3 k;
+        Vec3 pol; ///< perpendicular to k (solenoidal)
+        double amp;
+        double phase;
+    };
+    std::vector<Mode> modes;
+    modes.reserve(static_cast<std::size_t>(params.n_modes));
+    const double two_pi_over_l = 2.0 * kPi / L;
+    int guard = 0;
+    while (static_cast<int>(modes.size()) < params.n_modes && ++guard < 10000) {
+        const int kx = static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(2 * params.k_max + 1))) -
+                       params.k_max;
+        const int ky = static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(2 * params.k_max + 1))) -
+                       params.k_max;
+        const int kz = static_cast<int>(rng.uniform_index(
+                           static_cast<std::uint64_t>(2 * params.k_max + 1))) -
+                       params.k_max;
+        const double kmag2 = static_cast<double>(kx * kx + ky * ky + kz * kz);
+        if (kmag2 < params.k_min * params.k_min || kmag2 > params.k_max * params.k_max) {
+            continue;
+        }
+        Mode m;
+        m.k = Vec3{static_cast<double>(kx), static_cast<double>(ky),
+                   static_cast<double>(kz)} *
+              two_pi_over_l;
+        // Random direction projected perpendicular to k -> solenoidal.
+        Vec3 e{rng.gaussian(), rng.gaussian(), rng.gaussian()};
+        const Vec3 khat = m.k / m.k.norm();
+        e -= khat * e.dot(khat);
+        if (e.norm() < 1e-12) continue;
+        m.pol = e / e.norm();
+        m.amp = 1.0 / kmag2; // |k|^-2 spectrum
+        m.phase = rng.uniform(0.0, 2.0 * kPi);
+        modes.push_back(m);
+    }
+
+    double v2_sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        Vec3 v{0.0, 0.0, 0.0};
+        const Vec3 x = ps.pos(i);
+        for (const Mode& m : modes) {
+            v += m.pol * (m.amp * std::cos(m.k.dot(x) + m.phase));
+        }
+        ps.vx[i] = v.x;
+        ps.vy[i] = v.y;
+        ps.vz[i] = v.z;
+        v2_sum += v.norm2();
+    }
+
+    // Normalize RMS velocity to mach_rms * c0 and remove bulk momentum.
+    const double gamma = config.gamma;
+    const double c0 = std::sqrt(gamma * (gamma - 1.0) * params.u0);
+    const double v_rms = std::sqrt(v2_sum / static_cast<double>(n));
+    const double scale = v_rms > 0.0 ? params.mach_rms * c0 / v_rms : 0.0;
+    double px = 0.0, py = 0.0, pz = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+        ps.vx[i] *= scale;
+        ps.vy[i] *= scale;
+        ps.vz[i] *= scale;
+        px += ps.vx[i];
+        py += ps.vy[i];
+        pz += ps.vz[i];
+    }
+    const double inv_n = 1.0 / static_cast<double>(n);
+    for (std::size_t i = 0; i < n; ++i) {
+        ps.vx[i] -= px * inv_n;
+        ps.vy[i] -= py * inv_n;
+        ps.vz[i] -= pz * inv_n;
+    }
+
+    config.gravity = false;
+    config.ng_target = params.ng_target;
+    return SphSimulation(std::move(ps), box, config);
+}
+
+SphSimulation make_evrard_collapse(const EvrardParams& params, SphConfig config)
+{
+    if (params.n_particles < 16) throw std::invalid_argument("evrard: too few particles");
+    const std::size_t n = static_cast<std::size_t>(params.n_particles);
+    const double R = params.radius;
+    const double M = params.total_mass;
+
+    // Open box with room for the bounce after maximum compression.
+    Box box = Box::cube(-1.6 * R, 1.6 * R, /*periodic=*/false);
+
+    ParticleSet ps;
+    ps.resize(n);
+
+    util::Rng rng(params.seed);
+    const double mp = M / static_cast<double>(n);
+
+    for (std::size_t i = 0; i < n; ++i) {
+        // rho ~ 1/r  =>  enclosed mass fraction xi = (r/R)^2  =>  r = R sqrt(xi).
+        const double xi = rng.uniform();
+        const double r = R * std::sqrt(xi);
+        // Uniform direction.
+        const double mu = rng.uniform(-1.0, 1.0);
+        const double phi = rng.uniform(0.0, 2.0 * kPi);
+        const double s = std::sqrt(std::max(0.0, 1.0 - mu * mu));
+        ps.x[i] = r * s * std::cos(phi);
+        ps.y[i] = r * s * std::sin(phi);
+        ps.z[i] = r * mu;
+        ps.m[i] = mp;
+        ps.u[i] = params.u0;
+        // Local density rho = M / (2 pi R^2 r); number density rho/mp.
+        const double rho_local = M / (2.0 * kPi * R * R * std::max(r, 0.05 * R));
+        ps.h[i] = smoothing_length_for(params.ng_target, rho_local / mp);
+    }
+
+    config.gravity = true;
+    config.grav.G = 1.0;
+    config.grav.softening = 0.02 * R;
+    config.ng_target = params.ng_target;
+    return SphSimulation(std::move(ps), box, config);
+}
+
+SphSimulation make_sedov_blast(const SedovParams& params, SphConfig config)
+{
+    if (params.nside < 4) throw std::invalid_argument("sedov: nside < 4");
+    // Start from the turbulence lattice machinery with zero velocity field.
+    TurbulenceParams lattice;
+    lattice.nside = params.nside;
+    lattice.box_size = params.box_size;
+    lattice.rho0 = params.rho0;
+    lattice.u0 = params.u_background;
+    lattice.mach_rms = 0.0;
+    lattice.seed = params.seed;
+    lattice.ng_target = params.ng_target;
+    config.gravity = false;
+    config.ng_target = params.ng_target;
+    SphSimulation sim = make_subsonic_turbulence(lattice, config);
+
+    // Deposit the blast energy kernel-weighted around the box centre, as
+    // the standard Sedov initialization does.
+    ParticleSet& ps = sim.particles();
+    const double dx = params.box_size / params.nside;
+    const double h_inj = params.injection_spacing_multiple * dx;
+    const KernelTable& kern = default_kernel();
+    const Vec3 center{0.5 * params.box_size, 0.5 * params.box_size,
+                      0.5 * params.box_size};
+
+    double weight_sum = 0.0;
+    std::vector<double> weights(ps.size(), 0.0);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double r = sim.box().min_image(ps.pos(i), center).norm();
+        weights[i] = kern.w(r, h_inj);
+        weight_sum += weights[i] * ps.m[i];
+    }
+    if (weight_sum <= 0.0) {
+        throw std::logic_error("sedov: injection region contains no particles");
+    }
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        ps.u[i] += params.blast_energy * weights[i] / weight_sum;
+    }
+    return sim;
+}
+
+} // namespace gsph::sph

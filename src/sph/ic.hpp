@@ -1,0 +1,69 @@
+#pragma once
+/// \file ic.hpp
+/// \brief Initial conditions for the paper's two workloads.
+///
+/// - Subsonic Turbulence: periodic unit box, uniform-density lattice with a
+///   divergence-free random velocity field at a subsonic RMS Mach number.
+///   (No gravity; the paper runs it with 150 M particles/GPU.)
+/// - Evrard Collapse: the standard self-gravitating gas sphere with
+///   rho(r) = M / (2 pi R^2 r), cold start (u = 0.05 in G=M=R=1 units);
+///   exercises the Gravity function absent from the turbulence run.
+
+#include "sph/functions.hpp"
+
+#include <cstdint>
+
+namespace gsph::sph {
+
+struct TurbulenceParams {
+    int nside = 16;          ///< particles per box edge (N = nside^3)
+    double box_size = 1.0;
+    double rho0 = 1.0;
+    double u0 = 1.0;         ///< specific internal energy (sets sound speed)
+    double mach_rms = 0.3;   ///< subsonic RMS Mach number of the initial field
+    int n_modes = 24;        ///< Fourier modes in the stirring field
+    int k_min = 1, k_max = 3; ///< mode wavenumber shell (units of 2 pi / L)
+    std::uint64_t seed = 42;
+    int ng_target = 100;
+};
+
+struct EvrardParams {
+    int n_particles = 4096;
+    double radius = 1.0;
+    double total_mass = 1.0;
+    double u0 = 0.05;       ///< canonical cold start
+    std::uint64_t seed = 1337;
+    int ng_target = 100;
+};
+
+/// Sedov-Taylor point blast: uniform-density periodic box with the blast
+/// energy deposited in a kernel-smoothed central region.  Not one of the
+/// paper's two workloads, but the standard SPH-EXA shock test; exercises
+/// the artificial-viscosity switches hard.
+struct SedovParams {
+    int nside = 16;
+    double box_size = 1.0;
+    double rho0 = 1.0;
+    double blast_energy = 1.0;
+    double u_background = 1e-6;
+    /// Radius (in units of the lattice spacing) of the injection region.
+    double injection_spacing_multiple = 2.0;
+    std::uint64_t seed = 99;
+    int ng_target = 100;
+};
+
+/// Build a ready-to-run turbulence simulation (periodic box, no gravity).
+SphSimulation make_subsonic_turbulence(const TurbulenceParams& params,
+                                       SphConfig config = {});
+
+/// Build a ready-to-run Evrard collapse (open box, gravity enabled).
+SphSimulation make_evrard_collapse(const EvrardParams& params, SphConfig config = {});
+
+/// Build a ready-to-run Sedov blast (periodic box, no gravity).
+SphSimulation make_sedov_blast(const SedovParams& params, SphConfig config = {});
+
+/// Smoothing length that yields ~ng neighbours at local number density
+/// `n_density` (particles per unit volume), support radius 2h.
+double smoothing_length_for(double ng, double n_density);
+
+} // namespace gsph::sph

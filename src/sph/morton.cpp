@@ -1,0 +1,20 @@
+#include "sph/morton.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace gsph::sph {
+
+std::uint64_t morton_key(const Vec3& pos, const Box& box)
+{
+    auto grid = [](double v, double lo, double len) -> std::uint64_t {
+        const double t = std::clamp((v - lo) / len, 0.0, 1.0);
+        const double scaled = t * static_cast<double>(kMortonMaxCoord);
+        return static_cast<std::uint64_t>(std::min(
+            static_cast<double>(kMortonMaxCoord), std::max(0.0, std::floor(scaled))));
+    };
+    return morton_encode(grid(pos.x, box.lo.x, box.lx()), grid(pos.y, box.lo.y, box.ly()),
+                         grid(pos.z, box.lo.z, box.lz()));
+}
+
+} // namespace gsph::sph

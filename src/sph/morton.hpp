@@ -1,0 +1,60 @@
+#pragma once
+/// \file morton.hpp
+/// \brief 3D Morton (Z-order) space-filling-curve keys, 21 bits per axis.
+///
+/// SPH-EXA's Cornerstone octree orders particles along an SFC; the domain
+/// decomposition function computes these keys, sorts particles by them and
+/// builds the octree from the sorted key array.
+
+#include "sph/types.hpp"
+
+#include <cstdint>
+
+namespace gsph::sph {
+
+inline constexpr int kMortonBitsPerAxis = 21;
+inline constexpr std::uint64_t kMortonMaxCoord = (1ULL << kMortonBitsPerAxis) - 1;
+
+/// Spread the low 21 bits of `v` so consecutive bits land 3 apart.
+constexpr std::uint64_t morton_expand(std::uint64_t v)
+{
+    v &= kMortonMaxCoord;
+    v = (v | v << 32) & 0x1f00000000ffffULL;
+    v = (v | v << 16) & 0x1f0000ff0000ffULL;
+    v = (v | v << 8) & 0x100f00f00f00f00fULL;
+    v = (v | v << 4) & 0x10c30c30c30c30c3ULL;
+    v = (v | v << 2) & 0x1249249249249249ULL;
+    return v;
+}
+
+/// Inverse of morton_expand.
+constexpr std::uint64_t morton_compact(std::uint64_t v)
+{
+    v &= 0x1249249249249249ULL;
+    v = (v ^ (v >> 2)) & 0x10c30c30c30c30c3ULL;
+    v = (v ^ (v >> 4)) & 0x100f00f00f00f00fULL;
+    v = (v ^ (v >> 8)) & 0x1f0000ff0000ffULL;
+    v = (v ^ (v >> 16)) & 0x1f00000000ffffULL;
+    v = (v ^ (v >> 32)) & kMortonMaxCoord;
+    return v;
+}
+
+/// Interleave integer grid coordinates into a 63-bit Morton key.
+constexpr std::uint64_t morton_encode(std::uint64_t ix, std::uint64_t iy, std::uint64_t iz)
+{
+    return morton_expand(ix) | (morton_expand(iy) << 1) | (morton_expand(iz) << 2);
+}
+
+struct MortonCoords {
+    std::uint64_t ix = 0, iy = 0, iz = 0;
+};
+
+constexpr MortonCoords morton_decode(std::uint64_t key)
+{
+    return {morton_compact(key), morton_compact(key >> 1), morton_compact(key >> 2)};
+}
+
+/// Key for a position inside `box` (positions outside are clamped).
+std::uint64_t morton_key(const Vec3& pos, const Box& box);
+
+} // namespace gsph::sph

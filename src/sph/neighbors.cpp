@@ -1,0 +1,152 @@
+#include "sph/neighbors.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsph::sph {
+
+CellGrid::CellGrid(const Box& box, double cutoff, std::size_t n_particles)
+    : box_(box), cutoff_(cutoff)
+{
+    if (cutoff <= 0.0) throw std::invalid_argument("CellGrid: non-positive cutoff");
+    // Aim for O(1) particles per cell but never let cells be smaller than
+    // the cutoff (27-stencil correctness).
+    auto dim = [&](double len) {
+        int n = static_cast<int>(std::floor(len / cutoff));
+        n = std::max(n, 1);
+        // Avoid pathological cell counts for tiny particle sets.
+        const int target = std::max(1, static_cast<int>(std::cbrt(static_cast<double>(
+                                           std::max<std::size_t>(n_particles, 1)))));
+        return std::min(n, 4 * target);
+    };
+    nx_ = dim(box_.lx());
+    ny_ = dim(box_.ly());
+    nz_ = dim(box_.lz());
+    inv_wx_ = static_cast<double>(nx_) / box_.lx();
+    inv_wy_ = static_cast<double>(ny_) / box_.ly();
+    inv_wz_ = static_cast<double>(nz_) / box_.lz();
+    cells_.resize(static_cast<std::size_t>(nx_) * ny_ * nz_);
+}
+
+int CellGrid::cell_index_1d(int cx, int cy, int cz) const
+{
+    return (cz * ny_ + cy) * nx_ + cx;
+}
+
+int CellGrid::coord_to_cell(double v, double lo, double inv_w, int n) const
+{
+    int c = static_cast<int>(std::floor((v - lo) * inv_w));
+    return std::clamp(c, 0, n - 1);
+}
+
+void CellGrid::assign(const ParticleSet& particles)
+{
+    for (auto& cell : cells_) cell.clear();
+    for (std::size_t i = 0; i < particles.size(); ++i) {
+        const int cx = coord_to_cell(particles.x[i], box_.lo.x, inv_wx_, nx_);
+        const int cy = coord_to_cell(particles.y[i], box_.lo.y, inv_wy_, ny_);
+        const int cz = coord_to_cell(particles.z[i], box_.lo.z, inv_wz_, nz_);
+        cells_[static_cast<std::size_t>(cell_index_1d(cx, cy, cz))].push_back(
+            static_cast<std::uint32_t>(i));
+    }
+}
+
+std::size_t CellGrid::find_neighbors(ParticleSet& particles, NeighborList& out) const
+{
+    const std::size_t n = particles.size();
+    out.offsets.assign(n + 1, 0);
+    out.list.clear();
+    out.truncated.clear();
+
+    // How many cells the cutoff spans (>=1); cells are >= cutoff wide except
+    // when the clamp in the constructor kicked in for dense grids.
+    const int rx = std::max(1, static_cast<int>(std::ceil(cutoff_ * inv_wx_)));
+    const int ry = std::max(1, static_cast<int>(std::ceil(cutoff_ * inv_wy_)));
+    const int rz = std::max(1, static_cast<int>(std::ceil(cutoff_ * inv_wz_)));
+
+    // On periodic axes with few cells a naive [-r, r] stencil would visit
+    // the same wrapped cell twice; restrict the range so every cell is
+    // visited exactly once.
+    const int rx_lo = box_.periodic_x ? -std::min(rx, (nx_ - 1) / 2) : -rx;
+    const int rx_hi = box_.periodic_x ? std::min(rx, nx_ / 2) : rx;
+    const int ry_lo = box_.periodic_y ? -std::min(ry, (ny_ - 1) / 2) : -ry;
+    const int ry_hi = box_.periodic_y ? std::min(ry, ny_ / 2) : ry;
+    const int rz_lo = box_.periodic_z ? -std::min(rz, (nz_ - 1) / 2) : -rz;
+    const int rz_hi = box_.periodic_z ? std::min(rz, nz_ / 2) : rz;
+
+    std::size_t total_pairs = 0;
+    std::vector<std::uint32_t> scratch;
+    scratch.reserve(static_cast<std::size_t>(out.ngmax));
+
+    for (std::size_t i = 0; i < n; ++i) {
+        scratch.clear();
+        const Vec3 xi = particles.pos(i);
+        const double radius = 2.0 * particles.h[i];
+        const double r2max = radius * radius;
+
+        const int cx = coord_to_cell(xi.x, box_.lo.x, inv_wx_, nx_);
+        const int cy = coord_to_cell(xi.y, box_.lo.y, inv_wy_, ny_);
+        const int cz = coord_to_cell(xi.z, box_.lo.z, inv_wz_, nz_);
+
+        for (int dz = rz_lo; dz <= rz_hi; ++dz) {
+            int zc = cz + dz;
+            if (box_.periodic_z) {
+                zc = (zc % nz_ + nz_) % nz_;
+            }
+            else if (zc < 0 || zc >= nz_) {
+                continue;
+            }
+            for (int dy = ry_lo; dy <= ry_hi; ++dy) {
+                int yc = cy + dy;
+                if (box_.periodic_y) {
+                    yc = (yc % ny_ + ny_) % ny_;
+                }
+                else if (yc < 0 || yc >= ny_) {
+                    continue;
+                }
+                for (int dx = rx_lo; dx <= rx_hi; ++dx) {
+                    int xc = cx + dx;
+                    if (box_.periodic_x) {
+                        xc = (xc % nx_ + nx_) % nx_;
+                    }
+                    else if (xc < 0 || xc >= nx_) {
+                        continue;
+                    }
+                    for (std::uint32_t j :
+                         cells_[static_cast<std::size_t>(cell_index_1d(xc, yc, zc))]) {
+                        if (static_cast<std::size_t>(j) == i) continue;
+                        const Vec3 d = box_.min_image(xi, particles.pos(j));
+                        if (d.norm2() < r2max) {
+                            ++total_pairs;
+                            if (scratch.size() <
+                                static_cast<std::size_t>(out.ngmax)) {
+                                scratch.push_back(j);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        if (scratch.size() == static_cast<std::size_t>(out.ngmax)) {
+            out.truncated.push_back(static_cast<int>(i));
+        }
+        particles.nc[i] = static_cast<int>(scratch.size());
+        out.offsets[i + 1] = out.offsets[i] + static_cast<std::uint32_t>(scratch.size());
+        out.list.insert(out.list.end(), scratch.begin(), scratch.end());
+    }
+    return total_pairs;
+}
+
+std::size_t find_all_neighbors(ParticleSet& particles, const Box& box, NeighborList& out)
+{
+    double hmax = 0.0;
+    for (double hi : particles.h) hmax = std::max(hmax, hi);
+    if (hmax <= 0.0) throw std::invalid_argument("find_all_neighbors: non-positive h");
+    CellGrid grid(box, 2.0 * hmax, particles.size());
+    grid.assign(particles);
+    return grid.find_neighbors(particles, out);
+}
+
+} // namespace gsph::sph

@@ -1,0 +1,126 @@
+#include "sph/octree.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsph::sph {
+
+namespace {
+
+/// The 3 bits of `key` that select the child at `level` (level 0 = root's
+/// children selector, i.e. the top 3 of the 63 key bits).
+unsigned child_selector(std::uint64_t key, int level)
+{
+    const int shift = 3 * (kMortonBitsPerAxis - 1 - level);
+    return static_cast<unsigned>((key >> shift) & 0x7ULL);
+}
+
+} // namespace
+
+void Octree::build(const ParticleSet& particles, const Box& box, std::uint32_t leaf_cap)
+{
+    nodes_.clear();
+    const std::size_t n = particles.size();
+    if (n == 0) return;
+    if (!std::is_sorted(particles.key.begin(), particles.key.end())) {
+        throw std::invalid_argument("Octree::build: particle keys not sorted");
+    }
+    if (leaf_cap == 0) leaf_cap = 1;
+
+    nodes_.reserve(2 * n / std::max<std::uint32_t>(leaf_cap, 1) + 64);
+    build_node(particles, 0, static_cast<std::uint32_t>(n), 0, 0, box, leaf_cap);
+    for (std::uint32_t i = 0; i < nodes_.size(); ++i) compute_moments(particles, i);
+}
+
+std::uint32_t Octree::build_node(const ParticleSet& particles, std::uint32_t start,
+                                 std::uint32_t end, int level, std::uint64_t prefix,
+                                 const Box& box, std::uint32_t leaf_cap)
+{
+    const std::uint32_t index = static_cast<std::uint32_t>(nodes_.size());
+    OctreeNode node;
+    node.start = start;
+    node.end = end;
+    node.level = level;
+
+    // Geometric cell bounds from the SFC prefix.
+    const MortonCoords c = morton_decode(prefix);
+    const double cell_frac = 1.0 / static_cast<double>(1ULL << level);
+    const double grid_to_unit = 1.0 / static_cast<double>(kMortonMaxCoord + 1);
+    node.center = {
+        box.lo.x + box.lx() * (static_cast<double>(c.ix) * grid_to_unit + 0.5 * cell_frac),
+        box.lo.y + box.ly() * (static_cast<double>(c.iy) * grid_to_unit + 0.5 * cell_frac),
+        box.lo.z + box.lz() * (static_cast<double>(c.iz) * grid_to_unit + 0.5 * cell_frac)};
+    node.half_size = 0.5 * cell_frac * std::max({box.lx(), box.ly(), box.lz()});
+    nodes_.push_back(node);
+
+    const bool at_max_depth = level >= kMortonBitsPerAxis - 1;
+    if (end - start <= leaf_cap || at_max_depth) {
+        return index; // leaf
+    }
+
+    // Partition [start, end) into the 8 children by the next 3 key bits;
+    // the range is key-sorted, so children are contiguous.
+    std::uint32_t child_start[9];
+    child_start[0] = start;
+    {
+        std::uint32_t pos = start;
+        for (unsigned child = 0; child < 8; ++child) {
+            while (pos < end && child_selector(particles.key[pos], level) == child) ++pos;
+            child_start[child + 1] = pos;
+        }
+    }
+
+    std::array<int, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
+    for (unsigned child = 0; child < 8; ++child) {
+        const std::uint32_t cs = child_start[child];
+        const std::uint32_t ce = child_start[child + 1];
+        if (cs == ce) continue; // empty octants are omitted entirely
+        const int shift = 3 * (kMortonBitsPerAxis - 1 - level);
+        const std::uint64_t child_prefix =
+            prefix | (static_cast<std::uint64_t>(child) << shift);
+        children[child] = static_cast<int>(
+            build_node(particles, cs, ce, level + 1, child_prefix, box, leaf_cap));
+    }
+    nodes_[index].children = children;
+    nodes_[index].leaf = false;
+    return index;
+}
+
+void Octree::compute_moments(const ParticleSet& particles, std::uint32_t node_index)
+{
+    OctreeNode& node = nodes_[node_index];
+    double mass = 0.0;
+    Vec3 com{0.0, 0.0, 0.0};
+    for (std::uint32_t i = node.start; i < node.end; ++i) {
+        mass += particles.m[i];
+        com += particles.m[i] * particles.pos(i);
+    }
+    node.mass = mass;
+    node.com = mass > 0.0 ? com / mass : node.center;
+}
+
+std::size_t Octree::leaf_count() const
+{
+    std::size_t leaves = 0;
+    for (const auto& n : nodes_) {
+        if (n.is_leaf()) ++leaves;
+    }
+    return leaves;
+}
+
+int Octree::max_depth() const
+{
+    int depth = 0;
+    for (const auto& n : nodes_) depth = std::max(depth, n.level);
+    return depth;
+}
+
+int tree_build_launch_count(const Octree& tree)
+{
+    // Radix sort of 64-bit keys: 8 passes x (histogram, scan, scatter) = 24
+    // launches, plus one node-construction kernel per level and one moment
+    // pass per level.
+    return 24 + 2 * (tree.max_depth() + 1);
+}
+
+} // namespace gsph::sph

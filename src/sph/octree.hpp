@@ -1,0 +1,69 @@
+#pragma once
+/// \file octree.hpp
+/// \brief Cornerstone-style octree built from sorted Morton keys.
+///
+/// Nodes split on SFC key prefixes, so the tree can be built directly from
+/// the key-sorted particle array without moving particles again (Keller et
+/// al., PASC'23).  Each node carries mass and center-of-mass moments for
+/// Barnes-Hut gravity.
+
+#include "sph/morton.hpp"
+#include "sph/particles.hpp"
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+namespace gsph::sph {
+
+struct OctreeNode {
+    std::uint32_t start = 0; ///< first particle index (in key-sorted order)
+    std::uint32_t end = 0;   ///< one past last particle index
+    int level = 0;           ///< tree depth, root = 0
+    /// Child node indices by octant; -1 for absent children.  Subtrees are
+    /// emitted depth-first, so children are not contiguous.
+    std::array<int, 8> children{-1, -1, -1, -1, -1, -1, -1, -1};
+    bool leaf = true;
+
+    // multipole data (monopole)
+    double mass = 0.0;
+    Vec3 com;              ///< center of mass
+    Vec3 center;           ///< geometric cell center
+    double half_size = 0.0; ///< half of cell edge length
+
+    bool is_leaf() const { return leaf; }
+    std::uint32_t count() const { return end - start; }
+};
+
+class Octree {
+public:
+    /// Build over `particles`, which MUST be sorted by particles.key within
+    /// `box` (use domain_decomposition first).  `leaf_cap` bounds particles
+    /// per leaf.  Throws std::invalid_argument if keys are not sorted.
+    void build(const ParticleSet& particles, const Box& box, std::uint32_t leaf_cap = 16);
+
+    bool empty() const { return nodes_.empty(); }
+    std::size_t node_count() const { return nodes_.size(); }
+    std::size_t leaf_count() const;
+    int max_depth() const;
+    const OctreeNode& node(std::size_t i) const { return nodes_[i]; }
+    const OctreeNode& root() const { return nodes_.front(); }
+    const std::vector<OctreeNode>& nodes() const { return nodes_; }
+
+    double total_mass() const { return nodes_.empty() ? 0.0 : nodes_.front().mass; }
+
+private:
+    std::uint32_t build_node(const ParticleSet& particles, std::uint32_t start,
+                             std::uint32_t end, int level, std::uint64_t prefix,
+                             const Box& box, std::uint32_t leaf_cap);
+    void compute_moments(const ParticleSet& particles, std::uint32_t node_index);
+
+    std::vector<OctreeNode> nodes_;
+};
+
+/// Count of tree-build "kernel launches" a GPU implementation would issue:
+/// one radix-sort pass set plus one kernel per tree level (used by the
+/// DomainDecompAndSync cost model).
+int tree_build_launch_count(const Octree& tree);
+
+} // namespace gsph::sph

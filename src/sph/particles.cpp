@@ -1,0 +1,78 @@
+#include "sph/particles.hpp"
+
+#include <stdexcept>
+
+namespace gsph::sph {
+
+void ParticleSet::resize(std::size_t n)
+{
+    x.resize(n);
+    y.resize(n);
+    z.resize(n);
+    vx.resize(n, 0.0);
+    vy.resize(n, 0.0);
+    vz.resize(n, 0.0);
+    ax.resize(n, 0.0);
+    ay.resize(n, 0.0);
+    az.resize(n, 0.0);
+    h.resize(n, 0.0);
+    m.resize(n, 0.0);
+    rho.resize(n, 0.0);
+    u.resize(n, 0.0);
+    du.resize(n, 0.0);
+    p.resize(n, 0.0);
+    c.resize(n, 0.0);
+    xmass.resize(n, 0.0);
+    gradh.resize(n, 1.0);
+    iad.resize(n);
+    div_v.resize(n, 0.0);
+    curl_v.resize(n, 0.0);
+    alpha.resize(n, 0.0);
+    vsig.resize(n, 0.0);
+    key.resize(n, 0);
+    nc.resize(n, 0);
+}
+
+namespace {
+template <typename T>
+void apply_order(std::vector<T>& field, const std::vector<std::size_t>& order)
+{
+    std::vector<T> tmp(field.size());
+    for (std::size_t i = 0; i < order.size(); ++i) tmp[i] = field[order[i]];
+    field.swap(tmp);
+}
+} // namespace
+
+void ParticleSet::reorder(const std::vector<std::size_t>& order)
+{
+    if (order.size() != size()) {
+        throw std::invalid_argument("ParticleSet::reorder: permutation size mismatch");
+    }
+    apply_order(x, order);
+    apply_order(y, order);
+    apply_order(z, order);
+    apply_order(vx, order);
+    apply_order(vy, order);
+    apply_order(vz, order);
+    apply_order(ax, order);
+    apply_order(ay, order);
+    apply_order(az, order);
+    apply_order(h, order);
+    apply_order(m, order);
+    apply_order(rho, order);
+    apply_order(u, order);
+    apply_order(du, order);
+    apply_order(p, order);
+    apply_order(c, order);
+    apply_order(xmass, order);
+    apply_order(gradh, order);
+    apply_order(iad, order);
+    apply_order(div_v, order);
+    apply_order(curl_v, order);
+    apply_order(alpha, order);
+    apply_order(vsig, order);
+    apply_order(key, order);
+    apply_order(nc, order);
+}
+
+} // namespace gsph::sph

@@ -1,0 +1,59 @@
+#pragma once
+/// \file particles.hpp
+/// \brief Structure-of-arrays particle storage, SPH-EXA style.
+
+#include "sph/types.hpp"
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace gsph::sph {
+
+/// All per-particle fields used by the hydro + gravity pipeline.  SoA so
+/// per-field streaming matches what a GPU implementation would do.
+struct ParticleSet {
+    // kinematics
+    std::vector<double> x, y, z;    ///< position
+    std::vector<double> vx, vy, vz; ///< velocity
+    std::vector<double> ax, ay, az; ///< acceleration (hydro + gravity)
+
+    // SPH state
+    std::vector<double> h;    ///< smoothing length (support radius 2h)
+    std::vector<double> m;    ///< mass
+    std::vector<double> rho;  ///< density
+    std::vector<double> u;    ///< specific internal energy
+    std::vector<double> du;   ///< du/dt
+    std::vector<double> p;    ///< pressure
+    std::vector<double> c;    ///< sound speed
+
+    // generalized volume elements & gradh correction (SPH-EXA scheme)
+    std::vector<double> xmass; ///< kernel-weighted mass sum (X-mass)
+    std::vector<double> gradh; ///< Omega_i gradh correction factor
+
+    // integral approach to derivatives (IAD) tensor and velocity derivatives
+    std::vector<Sym3> iad;      ///< inverted IAD tensor C_i
+    std::vector<double> div_v;  ///< velocity divergence
+    std::vector<double> curl_v; ///< |velocity curl|
+
+    // artificial viscosity switches
+    std::vector<double> alpha; ///< per-particle AV coefficient
+    std::vector<double> vsig;  ///< max signal speed seen by the particle
+
+    // bookkeeping
+    std::vector<std::uint64_t> key; ///< Morton/SFC key
+    std::vector<int> nc;            ///< neighbour count
+
+    std::size_t size() const { return x.size(); }
+    void resize(std::size_t n);
+
+    /// Reorder every field by `order` (order[new_index] = old_index);
+    /// used by the domain-decomposition SFC sort.
+    void reorder(const std::vector<std::size_t>& order);
+
+    Vec3 pos(std::size_t i) const { return {x[i], y[i], z[i]}; }
+    Vec3 vel(std::size_t i) const { return {vx[i], vy[i], vz[i]}; }
+    Vec3 acc(std::size_t i) const { return {ax[i], ay[i], az[i]}; }
+};
+
+} // namespace gsph::sph

@@ -1,0 +1,169 @@
+#include "tuning/kernel_tuner.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsph::tuning {
+
+const TuneConfig& TuneResult::best(Objective objective) const
+{
+    if (configs.empty()) throw std::logic_error("TuneResult::best: empty sweep");
+    auto metric = [objective](const TuneConfig& c) {
+        switch (objective) {
+            case Objective::kTime: return c.time_s;
+            case Objective::kEnergy: return c.energy_j;
+            case Objective::kEdp: return c.edp;
+            case Objective::kEd2p: return c.edp * c.time_s; // E * t^2
+        }
+        return c.edp;
+    };
+    const TuneConfig* best = &configs.front();
+    for (const auto& c : configs) {
+        if (metric(c) < metric(*best)) best = &c;
+    }
+    return *best;
+}
+
+KernelTuner::KernelTuner(gpusim::GpuDeviceSpec spec, int iterations)
+    : spec_(std::move(spec)), iterations_(iterations)
+{
+    spec_.validate();
+    if (iterations_ < 1) throw std::invalid_argument("KernelTuner: iterations < 1");
+}
+
+TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
+                                    const Launcher& launcher, std::int64_t problem_size,
+                                    const std::map<std::string, std::vector<double>>& params)
+{
+    if (!launcher) throw std::invalid_argument("KernelTuner: null launcher");
+    (void)problem_size; // fixed per sweep (the paper fixes 450^3); kept for
+                        // interface fidelity with KernelTuner
+
+    // Cartesian product of the parameter lists (brute-force strategy, the
+    // KernelTuner default).
+    std::vector<std::map<std::string, double>> space{{}};
+    for (const auto& [key, values] : params) {
+        if (values.empty()) {
+            throw std::invalid_argument("KernelTuner: empty value list for " + key);
+        }
+        std::vector<std::map<std::string, double>> next;
+        next.reserve(space.size() * values.size());
+        for (const auto& partial : space) {
+            for (double v : values) {
+                auto config = partial;
+                config[key] = v;
+                next.push_back(std::move(config));
+            }
+        }
+        space = std::move(next);
+    }
+
+    TuneResult result;
+    result.kernel_name = kernel_name;
+    result.configs.reserve(space.size());
+
+    for (const auto& config : space) {
+        // Fresh device per configuration: benchmarks are independent.
+        gpusim::GpuDevice device(spec_);
+        device.set_clock_policy(gpusim::ClockPolicy::kLockedAppClock);
+        const auto it = config.find("core_freq_mhz");
+        if (it != config.end()) {
+            device.set_application_clocks(spec_.memory_clock_mhz, it->second);
+        }
+
+        // Warm-up launch (discarded), then measured iterations.
+        launcher(device);
+        const double t0 = device.now();
+        const double e0 = device.energy_j();
+        for (int i = 0; i < iterations_; ++i) launcher(device);
+        TuneConfig out;
+        out.params = config;
+        out.time_s = (device.now() - t0) / iterations_;
+        out.energy_j = (device.energy_j() - e0) / iterations_;
+        out.edp = out.time_s * out.energy_j;
+        result.configs.push_back(std::move(out));
+    }
+    return result;
+}
+
+std::vector<double> paper_frequency_band(const gpusim::GpuDeviceSpec& spec)
+{
+    // 1005..1410 MHz on the A100; scale the same relative band (71%..100%
+    // of max) for other devices, quantized to their clock grid.
+    const double lo_frac = 1005.0 / 1410.0;
+    std::vector<double> band;
+    constexpr int kPoints = 7;
+    for (int i = 0; i < kPoints; ++i) {
+        const double frac =
+            lo_frac + (1.0 - lo_frac) * static_cast<double>(i) / (kPoints - 1);
+        band.push_back(spec.quantize_clock(frac * spec.max_compute_mhz));
+    }
+    band.erase(std::unique(band.begin(), band.end()), band.end());
+    return band;
+}
+
+std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
+                                                    const gpusim::GpuDeviceSpec& spec,
+                                                    std::vector<double> frequencies)
+{
+    if (trace.steps.empty()) throw std::invalid_argument("sweep: empty trace");
+    if (frequencies.empty()) frequencies = paper_frequency_band(spec);
+
+    // Representative per-step work for every function: average over the
+    // trace's steps, scaled to the trace's target particles-per-GPU.
+    std::array<gpusim::KernelWork, sph::kSphFunctionCount> work{};
+    std::array<int, sph::kSphFunctionCount> occurrences{};
+    for (const auto& step : trace.steps) {
+        for (const auto& fr : step.functions) {
+            const std::size_t fi = static_cast<std::size_t>(fr.fn);
+            if (occurrences[fi] == 0) {
+                work[fi] = fr.work;
+            }
+            else {
+                work[fi].merge(fr.work);
+            }
+            ++occurrences[fi];
+        }
+    }
+
+    KernelTuner tuner(spec);
+    std::vector<FunctionSweepEntry> sweep;
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        if (occurrences[static_cast<std::size_t>(f)] == 0) continue;
+        // Average the extensive quantities over steps *before* scaling to
+        // the target size: the thread count must reflect the full scaled
+        // problem, not 1/n_steps of it (occupancy depends on it).
+        gpusim::KernelWork avg = work[static_cast<std::size_t>(f)];
+        const double denom = static_cast<double>(occurrences[static_cast<std::size_t>(f)]);
+        avg.flops /= denom;
+        avg.dram_bytes /= denom;
+        avg.launches = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(static_cast<double>(avg.launches) / denom));
+        const gpusim::KernelWork kernel = gpusim::scaled(avg, trace.work_scale());
+        if (kernel.flops <= 0.0 && kernel.dram_bytes <= 0.0) continue;
+
+        FunctionSweepEntry entry;
+        entry.fn = static_cast<sph::SphFunction>(f);
+        entry.result = tuner.tune_kernel(
+            sph::to_string(entry.fn),
+            [&kernel](gpusim::GpuDevice& dev) { dev.execute(kernel); },
+            kernel.threads, {{"core_freq_mhz", frequencies}});
+        entry.best_edp_mhz = entry.result.best(Objective::kEdp).params.at("core_freq_mhz");
+        entry.best_energy_mhz =
+            entry.result.best(Objective::kEnergy).params.at("core_freq_mhz");
+        sweep.push_back(std::move(entry));
+    }
+    return sweep;
+}
+
+core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& sweep,
+                                      double default_mhz)
+{
+    core::FrequencyTable table(default_mhz);
+    for (const auto& entry : sweep) {
+        table.set(entry.fn, entry.best_edp_mhz);
+    }
+    return table;
+}
+
+} // namespace gsph::tuning

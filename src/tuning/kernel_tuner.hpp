@@ -1,0 +1,93 @@
+#pragma once
+/// \file kernel_tuner.hpp
+/// \brief KernelTuner-equivalent frequency sweep (the paper's §III-C).
+///
+/// Mirrors KernelTuner's tune_kernel(kernel_name, kernel_source,
+/// problem_size, params) surface: the "kernel source" is a launcher callback
+/// that executes the kernel once on a device, `params` holds the tunable
+/// lists (here the device-wise "core_freq_mhz" parameter the paper sweeps),
+/// and the tuner brute-forces the search space, measuring time-to-solution
+/// and energy per configuration through the NVML sensor surface.
+///
+/// A higher-level helper sweeps every SPH function of a recorded workload
+/// trace and returns the best-EDP clock table (Fig. 2's producer).
+
+#include "core/frequency_table.hpp"
+#include "gpusim/device.hpp"
+#include "sim/workload.hpp"
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsph::tuning {
+
+/// One evaluated configuration.
+struct TuneConfig {
+    std::map<std::string, double> params;
+    double time_s = 0.0;
+    double energy_j = 0.0;
+    double edp = 0.0;
+};
+
+enum class Objective { kTime, kEnergy, kEdp, kEd2p };
+
+struct TuneResult {
+    std::string kernel_name;
+    std::vector<TuneConfig> configs; ///< evaluation order
+
+    const TuneConfig& best(Objective objective) const;
+};
+
+class KernelTuner {
+public:
+    /// Executes the kernel under test once on the given device.
+    using Launcher = std::function<void(gpusim::GpuDevice&)>;
+
+    /// `spec`: the device model the sweep runs on; `iterations`: launches
+    /// per configuration (KernelTuner benchmarks each configuration several
+    /// times and averages).
+    explicit KernelTuner(gpusim::GpuDeviceSpec spec, int iterations = 7);
+
+    /// Brute-force search over the cartesian product of `params`.  The
+    /// special parameter "core_freq_mhz" is applied through
+    /// nvmlDeviceSetApplicationsClocks-equivalent clock locking; other
+    /// parameters are passed through to the launcher via the config (this
+    /// reproduction only tunes the clock, matching the paper's usage).
+    TuneResult tune_kernel(const std::string& kernel_name, const Launcher& launcher,
+                           std::int64_t problem_size,
+                           const std::map<std::string, std::vector<double>>& params);
+
+    const gpusim::GpuDeviceSpec& spec() const { return spec_; }
+
+private:
+    gpusim::GpuDeviceSpec spec_;
+    int iterations_;
+};
+
+/// The paper's frequency band: 1005..1410 MHz in 7 steps (A100); "we have
+/// not experimented with frequencies below 1005 MHz".
+std::vector<double> paper_frequency_band(const gpusim::GpuDeviceSpec& spec);
+
+/// Per-function sweep outcome.
+struct FunctionSweepEntry {
+    sph::SphFunction fn;
+    double best_edp_mhz = 0.0;
+    double best_energy_mhz = 0.0;
+    TuneResult result;
+};
+
+/// Sweep every SPH function that appears in `trace` over `frequencies`
+/// (empty: paper band), with the per-step work of that function as the
+/// kernel under test, scaled to the trace's particles-per-GPU.  Returns the
+/// per-function sweep results (Fig. 2) in function order.
+std::vector<FunctionSweepEntry> sweep_sph_functions(
+    const sim::WorkloadTrace& trace, const gpusim::GpuDeviceSpec& spec,
+    std::vector<double> frequencies = {});
+
+/// Reduce a sweep to the ManDyn clock table (best EDP per function).
+core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& sweep,
+                                      double default_mhz);
+
+} // namespace gsph::tuning

@@ -1,0 +1,69 @@
+#include "util/csv.hpp"
+
+#include "util/strings.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gsph::util {
+
+CsvWriter::CsvWriter(std::vector<std::string> header) : header_(std::move(header))
+{
+    if (header_.empty()) throw std::invalid_argument("CsvWriter: empty header");
+}
+
+void CsvWriter::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != header_.size()) {
+        throw std::invalid_argument("CsvWriter: row arity mismatch");
+    }
+    rows_.push_back(std::move(cells));
+}
+
+void CsvWriter::add_numeric_row(const std::vector<double>& values, int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size());
+    for (double v : values) cells.push_back(format_fixed(v, precision));
+    add_row(std::move(cells));
+}
+
+std::string CsvWriter::escape(const std::string& field)
+{
+    const bool needs_quotes =
+        field.find_first_of(",\"\n\r") != std::string::npos;
+    if (!needs_quotes) return field;
+    std::string out = "\"";
+    for (char c : field) {
+        if (c == '"') out += '"';
+        out += c;
+    }
+    out += '"';
+    return out;
+}
+
+void CsvWriter::write(std::ostream& os) const
+{
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+        if (c) os << ',';
+        os << escape(header_[c]);
+    }
+    os << '\n';
+    for (const auto& row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c) os << ',';
+            os << escape(row[c]);
+        }
+        os << '\n';
+    }
+}
+
+bool CsvWriter::write_file(const std::string& path) const
+{
+    std::ofstream ofs(path);
+    if (!ofs) return false;
+    write(ofs);
+    return static_cast<bool>(ofs);
+}
+
+} // namespace gsph::util

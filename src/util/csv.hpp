@@ -1,0 +1,36 @@
+#pragma once
+/// \file csv.hpp
+/// \brief Minimal CSV writer for post-hoc analysis artifacts.
+///
+/// The paper's instrumentation stores per-rank energy measurements "into a
+/// file for post-hoc analysis"; report writers in core/ use this to emit the
+/// same artifacts.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gsph::util {
+
+class CsvWriter {
+public:
+    explicit CsvWriter(std::vector<std::string> header);
+
+    void add_row(std::vector<std::string> cells);
+    void add_numeric_row(const std::vector<double>& values, int precision = 9);
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    void write(std::ostream& os) const;
+    /// Writes to a file path; returns false (and writes nothing) on error.
+    bool write_file(const std::string& path) const;
+
+    /// RFC-4180 quoting for one field.
+    static std::string escape(const std::string& field);
+
+private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace gsph::util

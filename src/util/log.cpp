@@ -1,0 +1,22 @@
+#include "util/log.hpp"
+
+#include <iostream>
+
+namespace gsph::util {
+
+Logger& Logger::instance()
+{
+    static Logger logger;
+    return logger;
+}
+
+void Logger::log(LogLevel level, const std::string& component, const std::string& message)
+{
+    if (level < level_) return;
+    static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::ostream& os = sink_ ? *sink_ : std::cerr;
+    os << '[' << names[static_cast<int>(level)] << "] " << component << ": " << message
+       << '\n';
+}
+
+} // namespace gsph::util

@@ -1,0 +1,82 @@
+#pragma once
+/// \file log.hpp
+/// \brief Minimal leveled logger.
+///
+/// greensph components log through this instead of writing to std::cerr
+/// directly so tests can silence or capture output.  Not thread-safe by
+/// design: the simulator is single-threaded (see DESIGN.md, "threads are
+/// ranks").
+
+#include <sstream>
+#include <string>
+
+namespace gsph::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+class Logger {
+public:
+    static Logger& instance();
+
+    void set_level(LogLevel level) { level_ = level; }
+    LogLevel level() const { return level_; }
+
+    /// Redirect output (tests pass an ostringstream); nullptr restores stderr.
+    void set_sink(std::ostream* sink) { sink_ = sink; }
+
+    void log(LogLevel level, const std::string& component, const std::string& message);
+
+private:
+    Logger() = default;
+    LogLevel level_ = LogLevel::kWarn;
+    std::ostream* sink_ = nullptr;
+};
+
+namespace detail {
+inline void log_fmt(LogLevel level, const char* component, const std::string& msg)
+{
+    Logger::instance().log(level, component, msg);
+}
+} // namespace detail
+
+#define GSPH_LOG_DEBUG(component, expr)                                                       \
+    do {                                                                                      \
+        if (::gsph::util::Logger::instance().level() <= ::gsph::util::LogLevel::kDebug) {     \
+            std::ostringstream gsph_oss_;                                                     \
+            gsph_oss_ << expr;                                                                \
+            ::gsph::util::detail::log_fmt(::gsph::util::LogLevel::kDebug, component,          \
+                                          gsph_oss_.str());                                   \
+        }                                                                                     \
+    } while (0)
+
+#define GSPH_LOG_INFO(component, expr)                                                        \
+    do {                                                                                      \
+        if (::gsph::util::Logger::instance().level() <= ::gsph::util::LogLevel::kInfo) {      \
+            std::ostringstream gsph_oss_;                                                     \
+            gsph_oss_ << expr;                                                                \
+            ::gsph::util::detail::log_fmt(::gsph::util::LogLevel::kInfo, component,           \
+                                          gsph_oss_.str());                                   \
+        }                                                                                     \
+    } while (0)
+
+#define GSPH_LOG_WARN(component, expr)                                                        \
+    do {                                                                                      \
+        if (::gsph::util::Logger::instance().level() <= ::gsph::util::LogLevel::kWarn) {      \
+            std::ostringstream gsph_oss_;                                                     \
+            gsph_oss_ << expr;                                                                \
+            ::gsph::util::detail::log_fmt(::gsph::util::LogLevel::kWarn, component,           \
+                                          gsph_oss_.str());                                   \
+        }                                                                                     \
+    } while (0)
+
+#define GSPH_LOG_ERROR(component, expr)                                                       \
+    do {                                                                                      \
+        if (::gsph::util::Logger::instance().level() <= ::gsph::util::LogLevel::kError) {     \
+            std::ostringstream gsph_oss_;                                                     \
+            gsph_oss_ << expr;                                                                \
+            ::gsph::util::detail::log_fmt(::gsph::util::LogLevel::kError, component,          \
+                                          gsph_oss_.str());                                   \
+        }                                                                                     \
+    } while (0)
+
+} // namespace gsph::util

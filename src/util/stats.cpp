@@ -1,0 +1,118 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsph::util {
+
+void RunningStat::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    }
+    else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+}
+
+void RunningStat::merge(const RunningStat& other)
+{
+    if (other.n_ == 0) return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(n_);
+    const double nb = static_cast<double>(other.n_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    n_ += other.n_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+void RunningStat::reset() { *this = RunningStat{}; }
+
+double RunningStat::variance() const
+{
+    if (n_ < 2) return 0.0;
+    return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStat::stddev() const { return std::sqrt(variance()); }
+
+double weighted_mean(std::span<const double> values, std::span<const double> weights)
+{
+    if (values.size() != weights.size()) {
+        throw std::invalid_argument("weighted_mean: size mismatch");
+    }
+    double num = 0.0;
+    double den = 0.0;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        num += values[i] * weights[i];
+        den += weights[i];
+    }
+    return den != 0.0 ? num / den : 0.0;
+}
+
+double percentile(std::span<const double> values, double q)
+{
+    if (values.empty()) return 0.0;
+    std::vector<double> sorted(values.begin(), values.end());
+    std::sort(sorted.begin(), sorted.end());
+    const double clamped = std::clamp(q, 0.0, 100.0);
+    const double pos = clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, sorted.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+double median(std::span<const double> values) { return percentile(values, 50.0); }
+
+double relative_difference(double a, double b)
+{
+    const double denom = std::max({std::fabs(a), std::fabs(b), 1e-300});
+    return std::fabs(a - b) / denom;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y)
+{
+    if (x.size() != y.size() || x.size() < 2) {
+        throw std::invalid_argument("linear_fit: need >= 2 equal-length points");
+    }
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+        syy += y[i] * y[i];
+    }
+    LinearFit fit;
+    const double denom = n * sxx - sx * sx;
+    if (denom == 0.0) return fit;
+    fit.slope = (n * sxy - sx * sy) / denom;
+    fit.intercept = (sy - fit.slope * sx) / n;
+    const double ss_tot = syy - sy * sy / n;
+    double ss_res = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        const double r = y[i] - (fit.intercept + fit.slope * x[i]);
+        ss_res += r * r;
+    }
+    fit.r2 = ss_tot > 0.0 ? 1.0 - ss_res / ss_tot : 1.0;
+    return fit;
+}
+
+} // namespace gsph::util

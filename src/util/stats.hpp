@@ -1,0 +1,80 @@
+#pragma once
+/// \file stats.hpp
+/// \brief Small statistics helpers used by reports, tuners and tests.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace gsph::util {
+
+/// Single-pass running statistics (Welford).  Used for power samples,
+/// per-kernel timings, neighbour counts, ...
+class RunningStat {
+public:
+    void add(double x);
+    void merge(const RunningStat& other);
+    void reset();
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double variance() const; ///< sample variance (n-1 denominator)
+    double stddev() const;
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+    double sum() const { return sum_; }
+
+private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+};
+
+/// Weighted mean of `values` with weights `weights` (same length).
+double weighted_mean(std::span<const double> values, std::span<const double> weights);
+
+/// Linear-interpolated percentile, q in [0, 100].  Sorts a copy.
+double percentile(std::span<const double> values, double q);
+
+/// Median convenience wrapper around percentile(values, 50).
+double median(std::span<const double> values);
+
+/// Sum with Kahan compensation; energy integration accumulates billions of
+/// tiny increments, so naive summation loses precision.
+class KahanSum {
+public:
+    void add(double x)
+    {
+        const double y = x - c_;
+        const double t = sum_ + y;
+        c_ = (t - sum_) - y;
+        sum_ = t;
+    }
+    double value() const { return sum_; }
+    void reset()
+    {
+        sum_ = 0.0;
+        c_ = 0.0;
+    }
+
+private:
+    double sum_ = 0.0;
+    double c_ = 0.0;
+};
+
+/// Relative difference |a-b| / max(|a|,|b|, eps); used by validation benches
+/// to compare PMT-vs-Slurm measurements.
+double relative_difference(double a, double b);
+
+/// Simple ordinary-least-squares fit y = a + b*x; returns {a, b}.
+struct LinearFit {
+    double intercept = 0.0;
+    double slope = 0.0;
+    double r2 = 0.0;
+};
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y);
+
+} // namespace gsph::util

@@ -1,0 +1,95 @@
+#include "util/strings.hpp"
+
+#include <array>
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace gsph::util {
+
+std::string format_si(double value, const std::string& unit, int precision)
+{
+    struct Prefix {
+        double scale;
+        const char* symbol;
+    };
+    static constexpr std::array<Prefix, 9> prefixes = {{
+        {1e12, "T"},
+        {1e9, "G"},
+        {1e6, "M"},
+        {1e3, "k"},
+        {1.0, ""},
+        {1e-3, "m"},
+        {1e-6, "u"},
+        {1e-9, "n"},
+        {1e-12, "p"},
+    }};
+    const double mag = std::fabs(value);
+    const Prefix* chosen = &prefixes[4]; // default: no prefix
+    if (mag > 0.0) {
+        for (const auto& p : prefixes) {
+            if (mag >= p.scale) {
+                chosen = &p;
+                break;
+            }
+        }
+    }
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f %s%s", precision, value / chosen->scale,
+                  chosen->symbol, unit.c_str());
+    return buf;
+}
+
+std::string format_percent(double fraction, int precision, bool signed_out)
+{
+    char buf[64];
+    if (signed_out) {
+        std::snprintf(buf, sizeof(buf), "%+.*f %%", precision, fraction * 100.0);
+    }
+    else {
+        std::snprintf(buf, sizeof(buf), "%.*f %%", precision, fraction * 100.0);
+    }
+    return buf;
+}
+
+std::string format_fixed(double value, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, value);
+    return buf;
+}
+
+std::string pad_left(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width) return s;
+    return std::string(width - s.size(), ' ') + s;
+}
+
+std::string pad_right(const std::string& s, std::size_t width)
+{
+    if (s.size() >= width) return s;
+    return s + std::string(width - s.size(), ' ');
+}
+
+std::vector<std::string> split(const std::string& s, char delim)
+{
+    std::vector<std::string> out;
+    std::stringstream ss(s);
+    std::string item;
+    while (std::getline(ss, item, delim)) out.push_back(item);
+    return out;
+}
+
+std::string to_lower(std::string s)
+{
+    for (auto& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    return s;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix)
+{
+    return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+} // namespace gsph::util

@@ -1,0 +1,33 @@
+#pragma once
+/// \file strings.hpp
+/// \brief Formatting helpers for human-readable reports.
+
+#include <string>
+#include <vector>
+
+namespace gsph::util {
+
+/// "12.5 MJ", "315 W", "1.41 GHz" style formatting with an SI prefix chosen
+/// automatically.  `unit` is the base SI unit symbol ("J", "W", "Hz", "B").
+std::string format_si(double value, const std::string& unit, int precision = 3);
+
+/// "+4.20 %" / "-7.82 %"; `signed_out` forces an explicit sign.
+std::string format_percent(double fraction, int precision = 2, bool signed_out = false);
+
+/// Fixed-precision number as string.
+std::string format_fixed(double value, int precision);
+
+/// Left/right padding to a fixed width.
+std::string pad_left(const std::string& s, std::size_t width);
+std::string pad_right(const std::string& s, std::size_t width);
+
+/// Split on a delimiter; used by tiny config parsing in examples.
+std::vector<std::string> split(const std::string& s, char delim);
+
+/// Lower-case copy (ASCII).
+std::string to_lower(std::string s);
+
+/// True if `s` starts with `prefix`.
+bool starts_with(const std::string& s, const std::string& prefix);
+
+} // namespace gsph::util

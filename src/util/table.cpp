@@ -1,0 +1,103 @@
+#include "util/table.hpp"
+
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::util {
+
+Table::Table(std::vector<std::string> headers) : headers_(std::move(headers))
+{
+    if (headers_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> cells)
+{
+    if (cells.size() != headers_.size()) {
+        throw std::invalid_argument("Table: row arity mismatch");
+    }
+    rows_.push_back(Row{std::move(cells), false});
+}
+
+void Table::add_row_numeric(const std::string& label, const std::vector<double>& values,
+                            int precision)
+{
+    std::vector<std::string> cells;
+    cells.reserve(values.size() + 1);
+    cells.push_back(label);
+    for (double v : values) cells.push_back(format_fixed(v, precision));
+    add_row(std::move(cells));
+}
+
+void Table::add_separator() { rows_.push_back(Row{{}, true}); }
+
+bool Table::looks_numeric(const std::string& s)
+{
+    if (s.empty()) return false;
+    std::size_t i = (s[0] == '-' || s[0] == '+') ? 1 : 0;
+    bool digit_seen = false;
+    for (; i < s.size(); ++i) {
+        const char c = s[i];
+        if (std::isdigit(static_cast<unsigned char>(c))) {
+            digit_seen = true;
+        }
+        else if (c != '.' && c != 'e' && c != 'E' && c != '-' && c != '+' && c != '%' &&
+                 c != ' ') {
+            return false;
+        }
+    }
+    return digit_seen;
+}
+
+void Table::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c) widths[c] = headers_[c].size();
+    for (const auto& row : rows_) {
+        if (row.separator) continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            widths[c] = std::max(widths[c], row.cells[c].size());
+        }
+    }
+
+    auto print_rule = [&] {
+        os << '+';
+        for (std::size_t w : widths) os << std::string(w + 2, '-') << '+';
+        os << '\n';
+    };
+
+    print_rule();
+    os << '|';
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << ' ' << pad_right(headers_[c], widths[c]) << " |";
+    }
+    os << '\n';
+    print_rule();
+    for (const auto& row : rows_) {
+        if (row.separator) {
+            print_rule();
+            continue;
+        }
+        os << '|';
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            const auto& cell = row.cells[c];
+            os << ' '
+               << (looks_numeric(cell) ? pad_left(cell, widths[c]) : pad_right(cell, widths[c]))
+               << " |";
+        }
+        os << '\n';
+    }
+    print_rule();
+}
+
+std::string Table::to_string() const
+{
+    std::ostringstream oss;
+    print(oss);
+    return oss.str();
+}
+
+} // namespace gsph::util

@@ -1,0 +1,43 @@
+#pragma once
+/// \file table.hpp
+/// \brief Aligned console tables; the figure-reproduction benches print
+/// their rows/series through this so output stays legible and diffable.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace gsph::util {
+
+class Table {
+public:
+    explicit Table(std::vector<std::string> headers);
+
+    /// Append a data row; must have the same arity as the header.
+    void add_row(std::vector<std::string> cells);
+
+    /// Convenience: format doubles with fixed precision.
+    void add_row_numeric(const std::string& label, const std::vector<double>& values,
+                         int precision = 4);
+
+    /// Insert a horizontal separator before the next row.
+    void add_separator();
+
+    std::size_t row_count() const { return rows_.size(); }
+
+    /// Render with column alignment; numbers right-aligned, text left-aligned.
+    void print(std::ostream& os) const;
+    std::string to_string() const;
+
+private:
+    struct Row {
+        std::vector<std::string> cells;
+        bool separator = false;
+    };
+    static bool looks_numeric(const std::string& s);
+
+    std::vector<std::string> headers_;
+    std::vector<Row> rows_;
+};
+
+} // namespace gsph::util

@@ -1,0 +1,113 @@
+#pragma once
+/// \file trace.hpp
+/// \brief Time-series sample buffers (frequency traces, power traces).
+///
+/// The DVFS-trace experiment (paper Fig. 9) records the clock the governor
+/// set as a function of simulated time; sensor models record power samples
+/// the same way.  A TimeSeries is an append-only (time, value) sequence with
+/// monotonically non-decreasing timestamps and query helpers.
+
+#include <cstddef>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace gsph::util {
+
+struct Sample {
+    double time = 0.0;  ///< simulated seconds
+    double value = 0.0; ///< unit depends on the series (MHz, W, J, ...)
+};
+
+class TimeSeries {
+public:
+    TimeSeries() = default;
+    explicit TimeSeries(std::string name) : name_(std::move(name)) {}
+
+    const std::string& name() const { return name_; }
+
+    void append(double time, double value)
+    {
+        if (!samples_.empty() && time < samples_.back().time) {
+            throw std::invalid_argument("TimeSeries: non-monotonic timestamp");
+        }
+        samples_.push_back({time, value});
+    }
+
+    bool empty() const { return samples_.empty(); }
+    std::size_t size() const { return samples_.size(); }
+    const Sample& operator[](std::size_t i) const { return samples_[i]; }
+    const std::vector<Sample>& samples() const { return samples_; }
+    const Sample& back() const { return samples_.back(); }
+
+    double first_time() const { return samples_.empty() ? 0.0 : samples_.front().time; }
+    double last_time() const { return samples_.empty() ? 0.0 : samples_.back().time; }
+
+    /// Step-function value at `time` (value of the latest sample with
+    /// sample.time <= time); value of the first sample before the series
+    /// starts, 0 when empty.
+    double value_at(double time) const
+    {
+        if (samples_.empty()) return 0.0;
+        if (time <= samples_.front().time) return samples_.front().value;
+        // binary search for the last sample with time <= `time`
+        std::size_t lo = 0, hi = samples_.size() - 1;
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi + 1) / 2;
+            if (samples_[mid].time <= time)
+                lo = mid;
+            else
+                hi = mid - 1;
+        }
+        return samples_[lo].value;
+    }
+
+    /// Time integral of the step function over [t0, t1]; integrating a power
+    /// trace yields energy.
+    double integrate(double t0, double t1) const
+    {
+        if (samples_.empty() || t1 <= t0) return 0.0;
+        double acc = 0.0;
+        double prev_t = t0;
+        double prev_v = value_at(t0);
+        for (const auto& s : samples_) {
+            if (s.time <= t0) continue;
+            if (s.time >= t1) break;
+            acc += prev_v * (s.time - prev_t);
+            prev_t = s.time;
+            prev_v = s.value;
+        }
+        acc += prev_v * (t1 - prev_t);
+        return acc;
+    }
+
+    double min_value() const
+    {
+        double m = samples_.empty() ? 0.0 : samples_.front().value;
+        for (const auto& s : samples_) m = std::min(m, s.value);
+        return m;
+    }
+    double max_value() const
+    {
+        double m = samples_.empty() ? 0.0 : samples_.front().value;
+        for (const auto& s : samples_) m = std::max(m, s.value);
+        return m;
+    }
+
+    /// Mean of the step function weighted by dwell time (not sample count).
+    double time_weighted_mean() const
+    {
+        if (samples_.size() < 2) return samples_.empty() ? 0.0 : samples_.front().value;
+        const double span = last_time() - first_time();
+        if (span <= 0.0) return samples_.front().value;
+        return integrate(first_time(), last_time()) / span;
+    }
+
+    void clear() { samples_.clear(); }
+
+private:
+    std::string name_;
+    std::vector<Sample> samples_;
+};
+
+} // namespace gsph::util

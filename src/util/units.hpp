@@ -1,0 +1,56 @@
+#pragma once
+/// \file units.hpp
+/// \brief Physical-unit conventions used throughout greensph.
+///
+/// The library uses plain `double` with a consistent SI convention rather
+/// than heavyweight unit types:
+///   - time:      seconds            (simulated, never wall-clock)
+///   - energy:    joules
+///   - power:     watts
+///   - frequency: megahertz (MHz) for device clocks, to match NVML and the
+///                paper's figures; hertz elsewhere
+///   - data:      bytes
+///   - compute:   floating-point operations (flops)
+///
+/// This header provides named conversion helpers so call sites read as
+/// `units::mhz_to_hz(1410.0)` instead of bare magic factors.
+
+namespace gsph::units {
+
+inline constexpr double kKilo = 1e3;
+inline constexpr double kMega = 1e6;
+inline constexpr double kGiga = 1e9;
+inline constexpr double kTera = 1e12;
+
+/// Device clocks are expressed in MHz (NVML convention).
+constexpr double mhz_to_hz(double mhz) { return mhz * kMega; }
+constexpr double hz_to_mhz(double hz) { return hz / kMega; }
+
+constexpr double joules_to_megajoules(double j) { return j / kMega; }
+constexpr double megajoules_to_joules(double mj) { return mj * kMega; }
+
+/// Slurm and NVML report some quantities in millijoules / milliwatts.
+constexpr double joules_to_millijoules(double j) { return j * kKilo; }
+constexpr double millijoules_to_joules(double mj) { return mj / kKilo; }
+constexpr double watts_to_milliwatts(double w) { return w * kKilo; }
+constexpr double milliwatts_to_watts(double mw) { return mw / kKilo; }
+
+constexpr double seconds_to_microseconds(double s) { return s * kMega; }
+constexpr double microseconds_to_seconds(double us) { return us / kMega; }
+constexpr double seconds_to_milliseconds(double s) { return s * kKilo; }
+constexpr double milliseconds_to_seconds(double ms) { return ms / kKilo; }
+
+/// Energy-delay product: the paper's combined efficiency metric (J * s).
+constexpr double edp(double energy_joules, double time_seconds)
+{
+    return energy_joules * time_seconds;
+}
+
+/// Energy-delay-squared product (ED2P), a common alternative weighting
+/// performance more heavily; used by the ablation benches.
+constexpr double ed2p(double energy_joules, double time_seconds)
+{
+    return energy_joules * time_seconds * time_seconds;
+}
+
+} // namespace gsph::units

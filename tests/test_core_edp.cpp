@@ -1,0 +1,89 @@
+#include "core/edp.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::core {
+namespace {
+
+sim::RunResult fake_run(double time_s, double gpu_j, double node_j)
+{
+    sim::RunResult r;
+    r.loop_start_s = 0.0;
+    r.loop_end_s = time_s;
+    r.gpu_energy_j = gpu_j;
+    r.node_energy_j = node_j;
+    return r;
+}
+
+TEST(Edp, MetricsFromRun)
+{
+    const auto r = fake_run(10.0, 100.0, 200.0);
+    const auto m = metrics_from("x", r);
+    EXPECT_EQ(m.name, "x");
+    EXPECT_DOUBLE_EQ(m.time_s, 10.0);
+    EXPECT_DOUBLE_EQ(m.gpu_edp, 1000.0);
+    EXPECT_DOUBLE_EQ(m.node_edp, 2000.0);
+}
+
+TEST(Edp, NormalizeAgainstBaseline)
+{
+    const auto base = metrics_from("base", fake_run(10.0, 100.0, 200.0));
+    std::vector<PolicyMetrics> entries = {
+        metrics_from("slow", fake_run(12.0, 90.0, 180.0)),
+        metrics_from("same", fake_run(10.0, 100.0, 200.0)),
+    };
+    normalize_against(base, entries);
+    EXPECT_NEAR(entries[0].time_ratio, 1.2, 1e-12);
+    EXPECT_NEAR(entries[0].gpu_energy_ratio, 0.9, 1e-12);
+    EXPECT_NEAR(entries[0].gpu_edp_ratio, 1.08, 1e-12);
+    EXPECT_DOUBLE_EQ(entries[1].time_ratio, 1.0);
+    EXPECT_DOUBLE_EQ(entries[1].node_edp_ratio, 1.0);
+}
+
+TEST(Edp, NormalizeRejectsDegenerateBaseline)
+{
+    const auto base = metrics_from("zero", fake_run(0.0, 0.0, 0.0));
+    std::vector<PolicyMetrics> entries;
+    EXPECT_THROW(normalize_against(base, entries), std::invalid_argument);
+}
+
+TEST(Edp, FunctionRatiosSkipEmptyFunctions)
+{
+    sim::RunResult base = fake_run(10.0, 100.0, 200.0);
+    sim::RunResult run = fake_run(12.0, 90.0, 180.0);
+    auto& bme =
+        base.per_function[static_cast<std::size_t>(sph::SphFunction::kMomentumEnergy)];
+    bme.calls = 4;
+    bme.time_s = 5.0;
+    bme.gpu_energy_j = 50.0;
+    auto& rme =
+        run.per_function[static_cast<std::size_t>(sph::SphFunction::kMomentumEnergy)];
+    rme.calls = 4;
+    rme.time_s = 6.0;
+    rme.gpu_energy_j = 45.0;
+
+    const auto ratios = function_ratios(base, run);
+    ASSERT_EQ(ratios.size(), 1u);
+    EXPECT_EQ(ratios[0].fn, sph::SphFunction::kMomentumEnergy);
+    EXPECT_NEAR(ratios[0].time_ratio, 1.2, 1e-12);
+    EXPECT_NEAR(ratios[0].energy_ratio, 0.9, 1e-12);
+    EXPECT_NEAR(ratios[0].edp_ratio, 1.08, 1e-12);
+}
+
+TEST(Edp, ManDynSummaryMatchesDefinitions)
+{
+    const auto base = fake_run(100.0, 1000.0, 2000.0);
+    const auto mandyn = fake_run(102.0, 920.0, 1900.0);
+    const auto static_low = fake_run(118.0, 870.0, 1800.0);
+    const auto s = summarize_mandyn(base, mandyn, static_low);
+    EXPECT_NEAR(s.performance_loss, 0.02, 1e-12);
+    EXPECT_NEAR(s.energy_reduction, 0.08, 1e-12);
+    EXPECT_NEAR(s.edp_reduction, 1.0 - (920.0 * 102.0) / (1000.0 * 100.0), 1e-12);
+    EXPECT_NEAR(s.speedup_vs_static_low, 118.0 / 102.0 - 1.0, 1e-12);
+}
+
+} // namespace
+} // namespace gsph::core

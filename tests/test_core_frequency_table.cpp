@@ -1,0 +1,78 @@
+#include "core/frequency_table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::core {
+namespace {
+
+TEST(FrequencyTable, DefaultFillsAllFunctions)
+{
+    FrequencyTable t(1410.0);
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        EXPECT_DOUBLE_EQ(t.get(static_cast<sph::SphFunction>(f)), 1410.0);
+    }
+    EXPECT_DOUBLE_EQ(t.min_clock(), 1410.0);
+    EXPECT_DOUBLE_EQ(t.max_clock(), 1410.0);
+}
+
+TEST(FrequencyTable, SetAndGet)
+{
+    FrequencyTable t(1410.0);
+    t.set(sph::SphFunction::kXMass, 1005.0);
+    EXPECT_DOUBLE_EQ(t.get(sph::SphFunction::kXMass), 1005.0);
+    EXPECT_DOUBLE_EQ(t.min_clock(), 1005.0);
+    EXPECT_DOUBLE_EQ(t.max_clock(), 1410.0);
+}
+
+TEST(FrequencyTable, InvalidClocksThrow)
+{
+    EXPECT_THROW(FrequencyTable(0.0), std::invalid_argument);
+    FrequencyTable t(1410.0);
+    EXPECT_THROW(t.set(sph::SphFunction::kXMass, -5.0), std::invalid_argument);
+}
+
+TEST(FrequencyTable, SerializeParseRoundTrip)
+{
+    FrequencyTable t = reference_a100_turbulence_table();
+    const FrequencyTable parsed = FrequencyTable::parse(t.serialize());
+    EXPECT_EQ(parsed, t);
+}
+
+TEST(FrequencyTable, ParseRejectsMalformedLine)
+{
+    EXPECT_THROW(FrequencyTable::parse("function,clock_mhz\ngarbage"),
+                 std::invalid_argument);
+}
+
+TEST(FrequencyTable, ParseRejectsUnknownFunction)
+{
+    EXPECT_THROW(FrequencyTable::parse("function,clock_mhz\nWarpDrive,1000"),
+                 std::invalid_argument);
+}
+
+TEST(FrequencyTable, ParseRejectsIncompleteTable)
+{
+    EXPECT_THROW(FrequencyTable::parse("function,clock_mhz\nXMass,1005\n"),
+                 std::invalid_argument);
+}
+
+TEST(FrequencyTable, ReferenceTableShape)
+{
+    // The Fig. 2 shape: compute-bound pair kernels keep high clocks, light
+    // functions sit at the band floor.
+    const FrequencyTable t = reference_a100_turbulence_table();
+    EXPECT_GT(t.get(sph::SphFunction::kMomentumEnergy), 1300.0);
+    EXPECT_GT(t.get(sph::SphFunction::kIadVelocityDivCurl), 1200.0);
+    EXPECT_DOUBLE_EQ(t.get(sph::SphFunction::kXMass), 1005.0);
+    EXPECT_DOUBLE_EQ(t.get(sph::SphFunction::kDomainDecompAndSync), 1005.0);
+    EXPECT_LT(t.get(sph::SphFunction::kEquationOfState),
+              t.get(sph::SphFunction::kMomentumEnergy));
+    // The paper does not sweep below 1005 MHz.
+    EXPECT_GE(t.min_clock(), 1005.0);
+}
+
+} // namespace
+} // namespace gsph::core

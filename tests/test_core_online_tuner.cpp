@@ -1,0 +1,127 @@
+#include "core/online_tuner.hpp"
+
+#include "core/policy.hpp"
+#include "tuning/kernel_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph::core {
+namespace {
+
+const sim::WorkloadTrace& turb450()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 91.125e6;
+        spec.n_steps = 5; // cycled by the driver for longer runs
+        spec.real_nside = 8;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+OnlineTunerConfig config_with_band()
+{
+    OnlineTunerConfig cfg;
+    cfg.candidate_clocks = {1005.0, 1110.0, 1215.0, 1320.0, 1410.0};
+    cfg.samples_per_clock = 2;
+    cfg.warmup_calls = 1;
+    return cfg;
+}
+
+sim::RunConfig run_config(int steps)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 5.0;
+    cfg.n_steps = steps;
+    cfg.rank_jitter = 0.0;
+    return cfg;
+}
+
+TEST(OnlineTuner, RejectsBadConfig)
+{
+    OnlineTunerConfig cfg;
+    EXPECT_THROW(OnlineManDynPolicy{cfg}, std::invalid_argument); // no clocks
+    cfg.candidate_clocks = {1005.0};
+    cfg.samples_per_clock = 0;
+    EXPECT_THROW(OnlineManDynPolicy{cfg}, std::invalid_argument);
+}
+
+TEST(OnlineTuner, LearnerBookkeeping)
+{
+    FunctionLearner learner;
+    learner.clocks = {1005.0, 1410.0};
+    learner.energy_j = {0.0, 0.0};
+    learner.time_s = {0.0, 0.0};
+    learner.samples = {0, 0};
+    EXPECT_FALSE(learner.exploration_done(1));
+    EXPECT_EQ(learner.next_candidate(1), 0);
+
+    learner.samples[0] = 1;
+    learner.energy_j[0] = 10.0;
+    learner.time_s[0] = 1.0; // EDP 10
+    EXPECT_EQ(learner.next_candidate(1), 1);
+
+    learner.samples[1] = 1;
+    learner.energy_j[1] = 12.0;
+    learner.time_s[1] = 0.9; // EDP 10.8
+    EXPECT_TRUE(learner.exploration_done(1));
+    EXPECT_DOUBLE_EQ(learner.best_edp_clock(), 1005.0);
+}
+
+TEST(OnlineTuner, ConvergesDuringRun)
+{
+    auto policy = make_online_mandyn_policy(config_with_band());
+    // 5 candidates x 2 samples + 1 warmup = 11 calls per function; run 15
+    // steps (one call per step per function).
+    core::run_with_policy(sim::mini_hpc(), turb450(), run_config(15), *policy);
+    EXPECT_TRUE(policy->all_converged());
+    const auto& me = policy->learner(sph::SphFunction::kMomentumEnergy);
+    EXPECT_TRUE(me.converged);
+    EXPECT_GT(me.chosen_mhz, 0.0);
+}
+
+TEST(OnlineTuner, LearnedTableMatchesOfflineSweepShape)
+{
+    auto policy = make_online_mandyn_policy(config_with_band());
+    core::run_with_policy(sim::mini_hpc(), turb450(), run_config(15), *policy);
+    const auto table = policy->learned_table(1410.0);
+
+    // Same qualitative shape the offline KernelTuner finds (Fig. 2):
+    // compute-bound kernels choose higher clocks than memory-bound ones.
+    EXPECT_GT(table.get(sph::SphFunction::kMomentumEnergy),
+              table.get(sph::SphFunction::kXMass));
+    EXPECT_DOUBLE_EQ(table.get(sph::SphFunction::kXMass), 1005.0);
+    EXPECT_GE(table.get(sph::SphFunction::kMomentumEnergy), 1215.0);
+}
+
+TEST(OnlineTuner, BeatsBaselineAfterConvergence)
+{
+    // Long run: exploration overhead amortizes and the learned clocks
+    // save energy, like offline ManDyn.
+    auto baseline = make_baseline_policy();
+    const auto rb = core::run_with_policy(sim::mini_hpc(), turb450(), run_config(40),
+                                          *baseline);
+    auto online = make_online_mandyn_policy(config_with_band());
+    const auto ro =
+        core::run_with_policy(sim::mini_hpc(), turb450(), run_config(40), *online);
+
+    EXPECT_LT(ro.gpu_energy_j, rb.gpu_energy_j * 0.97);
+    EXPECT_LT(ro.makespan_s(), rb.makespan_s() * 1.08);
+    EXPECT_LT(ro.gpu_edp(), rb.gpu_edp());
+}
+
+TEST(OnlineTuner, UnconvergedTableUsesDefault)
+{
+    auto policy = make_online_mandyn_policy(config_with_band());
+    // 3 steps: not enough samples to converge anything.
+    core::run_with_policy(sim::mini_hpc(), turb450(), run_config(3), *policy);
+    EXPECT_FALSE(policy->all_converged());
+    const auto table = policy->learned_table(1410.0);
+    EXPECT_DOUBLE_EQ(table.get(sph::SphFunction::kMomentumEnergy), 1410.0);
+}
+
+} // namespace
+} // namespace gsph::core

@@ -1,0 +1,89 @@
+#include "core/pareto.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph::core {
+namespace {
+
+ParetoPoint point(const char* name, double t, double e)
+{
+    ParetoPoint p;
+    p.name = name;
+    p.time_s = t;
+    p.energy_j = e;
+    return p;
+}
+
+TEST(Pareto, Dominance)
+{
+    EXPECT_TRUE(dominates(point("a", 1.0, 1.0), point("b", 2.0, 2.0)));
+    EXPECT_TRUE(dominates(point("a", 1.0, 2.0), point("b", 2.0, 2.0)));
+    EXPECT_FALSE(dominates(point("a", 1.0, 3.0), point("b", 2.0, 2.0))); // trade-off
+    EXPECT_FALSE(dominates(point("a", 2.0, 2.0), point("b", 2.0, 2.0))); // equal
+    EXPECT_FALSE(dominates(point("a", 2.0, 2.0), point("b", 1.0, 1.0)));
+}
+
+TEST(Pareto, FrontOfTradeoffCurveIsEverything)
+{
+    // Strictly trading time for energy: all points are Pareto-optimal.
+    const auto result = pareto_front(std::vector<ParetoPoint>{
+        point("fast", 1.0, 10.0), point("mid", 2.0, 5.0), point("slow", 3.0, 1.0)});
+    for (const auto& p : result) EXPECT_TRUE(p.on_front) << p.name;
+}
+
+TEST(Pareto, DominatedPointMarked)
+{
+    const auto result = pareto_front(std::vector<ParetoPoint>{
+        point("good", 1.0, 1.0), point("bad", 2.0, 2.0), point("tradeoff", 0.5, 3.0)});
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_TRUE(result[0].on_front);
+    EXPECT_FALSE(result[1].on_front);
+    EXPECT_EQ(result[1].dominated_by, std::vector<std::string>{"good"});
+    EXPECT_TRUE(result[2].on_front);
+}
+
+TEST(Pareto, EmptyAndSingle)
+{
+    EXPECT_TRUE(pareto_front(std::vector<ParetoPoint>{}).empty());
+    const auto single = pareto_front(std::vector<ParetoPoint>{point("only", 1.0, 1.0)});
+    ASSERT_EQ(single.size(), 1u);
+    EXPECT_TRUE(single[0].on_front);
+}
+
+TEST(Pareto, FromPolicyMetrics)
+{
+    PolicyMetrics fast;
+    fast.name = "baseline";
+    fast.time_s = 10.0;
+    fast.gpu_energy_j = 100.0;
+    PolicyMetrics dominated;
+    dominated.name = "dvfs";
+    dominated.time_s = 10.0;
+    dominated.gpu_energy_j = 105.0; // same time, more energy: dominated
+    PolicyMetrics frugal;
+    frugal.name = "mandyn";
+    frugal.time_s = 10.2;
+    frugal.gpu_energy_j = 90.0;
+
+    const auto result = pareto_front(std::vector<PolicyMetrics>{fast, dominated, frugal});
+    ASSERT_EQ(result.size(), 3u);
+    EXPECT_TRUE(result[0].on_front);  // baseline
+    EXPECT_FALSE(result[1].on_front); // dvfs dominated by baseline
+    EXPECT_TRUE(result[2].on_front);  // mandyn
+}
+
+TEST(Pareto, PaperPolicyOutcomeShape)
+{
+    // The §IV-D story as a Pareto statement: DVFS is dominated by the
+    // baseline; baseline, ManDyn and static-1005 are all on the front.
+    const auto result = pareto_front(std::vector<ParetoPoint>{
+        point("baseline", 100.0, 1000.0), point("dvfs", 100.1, 1050.0),
+        point("mandyn", 101.7, 900.0), point("static-1005", 110.8, 880.0)});
+    EXPECT_TRUE(result[0].on_front);
+    EXPECT_FALSE(result[1].on_front);
+    EXPECT_TRUE(result[2].on_front);
+    EXPECT_TRUE(result[3].on_front);
+}
+
+} // namespace
+} // namespace gsph::core

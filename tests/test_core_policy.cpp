@@ -1,0 +1,121 @@
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::core {
+namespace {
+
+class PolicyFixture : public ::testing::Test {
+protected:
+    static const sim::WorkloadTrace& trace()
+    {
+        static const sim::WorkloadTrace t = [] {
+            sim::WorkloadSpec spec;
+            spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+            spec.particles_per_gpu = 91.125e6; // 450^3, the paper's size
+            spec.n_steps = 4;
+            spec.real_nside = 8;
+            return sim::record_trace(spec);
+        }();
+        return t;
+    }
+
+    static sim::RunConfig config()
+    {
+        sim::RunConfig cfg;
+        cfg.n_ranks = 2;
+        cfg.setup_s = 5.0;
+        cfg.rank_jitter = 0.01;
+        return cfg;
+    }
+};
+
+TEST_F(PolicyFixture, PolicyNames)
+{
+    EXPECT_EQ(make_baseline_policy()->name(), "Baseline");
+    EXPECT_EQ(make_static_policy(1005.0)->name(), "Static-1005");
+    EXPECT_EQ(make_native_dvfs_policy()->name(), "DVFS");
+    EXPECT_EQ(make_mandyn_policy(reference_a100_turbulence_table())->name(), "ManDyn");
+}
+
+TEST_F(PolicyFixture, StaticPolicyRejectsBadClock)
+{
+    EXPECT_THROW(make_static_policy(0.0), std::invalid_argument);
+}
+
+TEST_F(PolicyFixture, BaselineConfiguresDefaults)
+{
+    sim::RunConfig cfg = config();
+    make_baseline_policy()->configure(cfg);
+    EXPECT_EQ(cfg.clock_policy, gpusim::ClockPolicy::kLockedAppClock);
+    EXPECT_LT(cfg.app_clock_mhz, 0.0);
+}
+
+TEST_F(PolicyFixture, StaticConfiguresClock)
+{
+    sim::RunConfig cfg = config();
+    make_static_policy(1110.0)->configure(cfg);
+    EXPECT_DOUBLE_EQ(cfg.app_clock_mhz, 1110.0);
+}
+
+TEST_F(PolicyFixture, DvfsConfiguresGovernor)
+{
+    sim::RunConfig cfg = config();
+    make_native_dvfs_policy()->configure(cfg);
+    EXPECT_EQ(cfg.clock_policy, gpusim::ClockPolicy::kNativeDvfs);
+}
+
+TEST_F(PolicyFixture, PaperFigure7Ordering)
+{
+    // The paper's core comparison (Fig. 7 + §IV-D), asserted as orderings:
+    auto baseline = make_baseline_policy();
+    auto static_low = make_static_policy(1005.0);
+    auto dvfs = make_native_dvfs_policy();
+    auto mandyn = make_mandyn_policy(reference_a100_turbulence_table());
+
+    const auto rb = run_with_policy(sim::mini_hpc(), trace(), config(), *baseline);
+    const auto rs = run_with_policy(sim::mini_hpc(), trace(), config(), *static_low);
+    const auto rd = run_with_policy(sim::mini_hpc(), trace(), config(), *dvfs);
+    const auto rm = run_with_policy(sim::mini_hpc(), trace(), config(), *mandyn);
+
+    // 1. static-1005 is substantially slower but cheaper than baseline.
+    EXPECT_GT(rs.makespan_s(), rb.makespan_s() * 1.05);
+    EXPECT_LT(rs.gpu_energy_j, rb.gpu_energy_j * 0.95);
+
+    // 2. native DVFS: similar time, MORE energy than the locked baseline.
+    EXPECT_NEAR(rd.makespan_s() / rb.makespan_s(), 1.0, 0.02);
+    EXPECT_GT(rd.gpu_energy_j, rb.gpu_energy_j);
+
+    // 3. ManDyn: small slowdown, significant energy saving, best EDP.
+    EXPECT_LT(rm.makespan_s() / rb.makespan_s(), 1.04);
+    EXPECT_LT(rm.gpu_energy_j, rb.gpu_energy_j * 0.95);
+    EXPECT_LT(rm.gpu_edp(), rb.gpu_edp());
+    EXPECT_LT(rm.gpu_edp(), rs.gpu_edp());
+    EXPECT_LT(rm.gpu_edp(), rd.gpu_edp());
+
+    // 4. ManDyn is much faster than static-1005.
+    EXPECT_GT(rs.makespan_s() / rm.makespan_s(), 1.05);
+}
+
+TEST_F(PolicyFixture, ManDynSetsPerFunctionClocks)
+{
+    auto mandyn = make_mandyn_policy(reference_a100_turbulence_table());
+    const auto r = run_with_policy(sim::mini_hpc(), trace(), config(), *mandyn);
+    EXPECT_NEAR(r.fn(sph::SphFunction::kXMass).mean_clock_mhz(), 1005.0, 20.0);
+    EXPECT_NEAR(r.fn(sph::SphFunction::kMomentumEnergy).mean_clock_mhz(), 1350.0, 20.0);
+}
+
+TEST_F(PolicyFixture, RunWithPolicyIsDeterministic)
+{
+    auto mandyn = make_mandyn_policy(reference_a100_turbulence_table());
+    const auto a = run_with_policy(sim::mini_hpc(), trace(), config(), *mandyn);
+    const auto b = run_with_policy(sim::mini_hpc(), trace(), config(), *mandyn);
+    EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
+    EXPECT_DOUBLE_EQ(a.makespan_s(), b.makespan_s());
+}
+
+} // namespace
+} // namespace gsph::core

@@ -1,0 +1,154 @@
+#include "core/profiler.hpp"
+
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include <sstream>
+
+namespace gsph::core {
+namespace {
+
+const sim::WorkloadTrace& small_trace()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 10e6;
+        spec.n_steps = 3;
+        spec.real_nside = 8;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+sim::RunConfig config(int ranks)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = ranks;
+    cfg.setup_s = 2.0;
+    cfg.rank_jitter = 0.0;
+    return cfg;
+}
+
+TEST(Profiler, ZeroRanksThrows)
+{
+    EXPECT_THROW(EnergyProfiler(0), std::invalid_argument);
+}
+
+TEST(Profiler, PmtProbesMatchDriverGroundTruth)
+{
+    // The PMT-instrumented measurement (the paper's method) must agree with
+    // the driver's ground-truth accounting for kernel-only functions.
+    EnergyProfiler profiler(2);
+    sim::RunHooks hooks;
+    profiler.attach(hooks);
+    const auto r = run_instrumented(sim::mini_hpc(), small_trace(), config(2), hooks);
+
+    for (sph::SphFunction fn : sph::function_order(false)) {
+        if (sph::is_collective(fn) || fn == sph::SphFunction::kDomainDecompAndSync) {
+            continue; // driver attributes extra comm idle to these
+        }
+        const auto fi = static_cast<std::size_t>(fn);
+        const auto& probe = profiler.totals()[fi];
+        const auto& truth = r.per_function[fi];
+        EXPECT_NEAR(probe.gpu_energy_j, truth.gpu_energy_j,
+                    0.01 * truth.gpu_energy_j + 1.0)
+            << sph::to_string(fn);
+        EXPECT_NEAR(probe.time_s / 2.0, truth.time_s, 0.01 * truth.time_s + 1e-6)
+            << sph::to_string(fn);
+    }
+}
+
+TEST(Profiler, PerRankBreakdownSumsToTotals)
+{
+    EnergyProfiler profiler(2);
+    sim::RunHooks hooks;
+    profiler.attach(hooks);
+    run_instrumented(sim::mini_hpc(), small_trace(), config(2), hooks);
+
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        double rank_sum = 0.0;
+        for (int r = 0; r < 2; ++r) {
+            rank_sum += profiler.per_rank()[static_cast<std::size_t>(r)]
+                                           [static_cast<std::size_t>(f)]
+                                               .gpu_energy_j;
+        }
+        EXPECT_NEAR(rank_sum, profiler.totals()[static_cast<std::size_t>(f)].gpu_energy_j,
+                    1e-6);
+    }
+}
+
+TEST(Profiler, CallCountsMatchSchedule)
+{
+    EnergyProfiler profiler(1);
+    sim::RunHooks hooks;
+    profiler.attach(hooks);
+    run_instrumented(sim::mini_hpc(), small_trace(), config(1), hooks);
+    const auto& me =
+        profiler.totals()[static_cast<std::size_t>(sph::SphFunction::kMomentumEnergy)];
+    EXPECT_EQ(me.calls, 3);
+}
+
+TEST(Profiler, TotalsArePositiveAndOrdered)
+{
+    EnergyProfiler profiler(1);
+    sim::RunHooks hooks;
+    profiler.attach(hooks);
+    run_instrumented(sim::mini_hpc(), small_trace(), config(1), hooks);
+    EXPECT_GT(profiler.total_gpu_energy_j(), 0.0);
+    EXPECT_GT(profiler.total_time_s(), 0.0);
+    const auto& me =
+        profiler.totals()[static_cast<std::size_t>(sph::SphFunction::kMomentumEnergy)];
+    const auto& eos =
+        profiler.totals()[static_cast<std::size_t>(sph::SphFunction::kEquationOfState)];
+    EXPECT_GT(me.gpu_energy_j, eos.gpu_energy_j);
+}
+
+TEST(Profiler, CsvReportHasRowPerRankFunction)
+{
+    EnergyProfiler profiler(2);
+    sim::RunHooks hooks;
+    profiler.attach(hooks);
+    run_instrumented(sim::mini_hpc(), small_trace(), config(2), hooks);
+    const auto csv = profiler.report_csv();
+    // 12 turbulence functions x 2 ranks
+    EXPECT_EQ(csv.row_count(), 24u);
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_NE(os.str().find("MomentumEnergy"), std::string::npos);
+    EXPECT_NE(os.str().find("rank,function,calls,time_s,gpu_energy_j"),
+              std::string::npos);
+}
+
+TEST(Profiler, ComposesWithManDynController)
+{
+    // Profiler + controller on the same hooks: controller runs first, so
+    // the probe measures the function at its ManDyn clock.
+    auto mandyn = make_mandyn_policy(reference_a100_turbulence_table());
+    sim::RunConfig cfg = config(1);
+    mandyn->configure(cfg);
+    sim::RunHooks hooks;
+    mandyn->attach(hooks, 1);
+    EnergyProfiler profiler(1);
+    profiler.attach(hooks);
+
+    const auto baseline_cfg = config(1);
+    EnergyProfiler base_profiler(1);
+    sim::RunHooks base_hooks;
+    base_profiler.attach(base_hooks);
+
+    run_instrumented(sim::mini_hpc(), small_trace(), cfg, hooks);
+    run_instrumented(sim::mini_hpc(), small_trace(), baseline_cfg, base_hooks);
+
+    const auto fi = static_cast<std::size_t>(sph::SphFunction::kXMass);
+    // XMass at 1005 MHz consumes less energy than at 1410 MHz.
+    EXPECT_LT(profiler.totals()[fi].gpu_energy_j,
+              base_profiler.totals()[fi].gpu_energy_j);
+}
+
+} // namespace
+} // namespace gsph::core

@@ -1,0 +1,96 @@
+#include "core/report.hpp"
+
+#include "core/policy.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph::core {
+namespace {
+
+const sim::RunResult& sample_run()
+{
+    static const sim::RunResult r = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 30e6;
+        spec.n_steps = 3;
+        spec.real_nside = 8;
+        const auto trace = sim::record_trace(spec);
+        sim::RunConfig cfg;
+        cfg.n_ranks = 2;
+        cfg.setup_s = 5.0;
+        return sim::run_instrumented(sim::mini_hpc(), trace, cfg);
+    }();
+    return r;
+}
+
+TEST(Report, DeviceBreakdownHasAllDevices)
+{
+    const std::string out = device_breakdown_table(sample_run()).to_string();
+    for (const char* device : {"GPU", "CPU", "Memory", "Other", "Node"}) {
+        EXPECT_NE(out.find(device), std::string::npos) << device;
+    }
+}
+
+TEST(Report, FunctionBreakdownListsFunctions)
+{
+    const std::string out = function_breakdown_table(sample_run()).to_string();
+    EXPECT_NE(out.find("MomentumEnergy"), std::string::npos);
+    EXPECT_NE(out.find("DomainDecompAndSync"), std::string::npos);
+    EXPECT_EQ(out.find("Gravity"), std::string::npos); // not in turbulence
+}
+
+TEST(Report, PolicyComparisonRendersRatios)
+{
+    PolicyMetrics m;
+    m.name = "ManDyn";
+    m.time_ratio = 1.017;
+    m.gpu_energy_ratio = 0.899;
+    m.gpu_edp_ratio = 0.915;
+    m.node_edp_ratio = 0.93;
+    const std::string out = policy_comparison_table({m}).to_string();
+    EXPECT_NE(out.find("ManDyn"), std::string::npos);
+    EXPECT_NE(out.find("0.899"), std::string::npos);
+}
+
+TEST(Report, AsciiBarChartScalesToMax)
+{
+    const std::string out =
+        ascii_bar_chart({{"a", 100.0}, {"b", 50.0}, {"c", 0.0}}, 10);
+    std::istringstream is(out);
+    std::string line_a, line_b, line_c;
+    std::getline(is, line_a);
+    std::getline(is, line_b);
+    std::getline(is, line_c);
+    EXPECT_EQ(std::count(line_a.begin(), line_a.end(), '#'), 10);
+    EXPECT_EQ(std::count(line_b.begin(), line_b.end(), '#'), 5);
+    EXPECT_EQ(std::count(line_c.begin(), line_c.end(), '#'), 0);
+}
+
+TEST(Report, AsciiBarChartEmptyInput)
+{
+    EXPECT_TRUE(ascii_bar_chart({}).empty());
+}
+
+TEST(Report, AsciiBarChartWithUnit)
+{
+    const std::string out = ascii_bar_chart({{"x", 2500.0}}, 10, "J");
+    EXPECT_NE(out.find("kJ"), std::string::npos);
+}
+
+TEST(Report, ManDynSummaryText)
+{
+    sim::RunResult baseline;
+    baseline.loop_end_s = 100.0;
+    baseline.gpu_energy_j = 1000.0;
+    sim::RunResult mandyn;
+    mandyn.loop_end_s = 102.0;
+    mandyn.gpu_energy_j = 920.0;
+    const std::string text = mandyn_summary_text(baseline, mandyn);
+    EXPECT_NE(text.find("8.00 %"), std::string::npos); // energy saved
+    EXPECT_NE(text.find("2.00 %"), std::string::npos); // perf loss
+    EXPECT_NE(text.find("loss"), std::string::npos);
+}
+
+} // namespace
+} // namespace gsph::core

@@ -1,0 +1,109 @@
+#include "cpusim/cpu.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::cpusim {
+namespace {
+
+TEST(CpuSpec, CatalogValidates)
+{
+    EXPECT_NO_THROW(epyc_7a53().validate());
+    EXPECT_NO_THROW(epyc_7113().validate());
+    EXPECT_NO_THROW(xeon_6258r_dual().validate());
+}
+
+TEST(CpuSpec, TableOneCoreCounts)
+{
+    EXPECT_EQ(epyc_7a53().total_cores(), 64);
+    EXPECT_EQ(epyc_7113().total_cores(), 64);
+    EXPECT_EQ(xeon_6258r_dual().total_cores(), 56); // 2 x 28
+    EXPECT_EQ(xeon_6258r_dual().sockets, 2);
+}
+
+TEST(CpuSpec, LookupByName)
+{
+    EXPECT_EQ(cpu_by_name("EPYC-7A53").name, "epyc-7a53");
+    EXPECT_THROW(cpu_by_name("epyc-9999"), std::invalid_argument);
+}
+
+TEST(CpuSpec, ValidationCatchesBadValues)
+{
+    CpuSpec s = epyc_7113();
+    s.cores_per_socket = 0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+    s = epyc_7113();
+    s.package_idle_w = -1.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+TEST(CpuDevice, AdvanceAccumulatesTimeAndEnergy)
+{
+    CpuDevice cpu(epyc_7113());
+    cpu.advance(10.0, 0.0, 0.0, 0.0);
+    EXPECT_DOUBLE_EQ(cpu.now(), 10.0);
+    // idle package + idle DRAM
+    EXPECT_NEAR(cpu.package_energy_j(), 950.0, 1e-9);
+    EXPECT_NEAR(cpu.dram_energy_j(), 300.0, 1e-9);
+}
+
+TEST(CpuDevice, BusyCoresIncreasePower)
+{
+    CpuDevice cpu(epyc_7113());
+    const double idle = cpu.package_power_w(0.0, 0.0);
+    const double busy = cpu.package_power_w(64.0, 1.0);
+    EXPECT_NEAR(busy - idle, 64.0 * 2.2, 1e-9);
+}
+
+TEST(CpuDevice, BusyCoresClampedToTotal)
+{
+    CpuDevice cpu(epyc_7113());
+    EXPECT_DOUBLE_EQ(cpu.package_power_w(1000.0, 1.0), cpu.package_power_w(64.0, 1.0));
+}
+
+TEST(CpuDevice, UtilizationClamped)
+{
+    CpuDevice cpu(epyc_7113());
+    EXPECT_DOUBLE_EQ(cpu.package_power_w(10.0, 2.0), cpu.package_power_w(10.0, 1.0));
+    EXPECT_DOUBLE_EQ(cpu.package_power_w(10.0, -1.0), cpu.package_power_w(10.0, 0.0));
+}
+
+TEST(CpuDevice, DramPowerScalesWithActivity)
+{
+    CpuDevice cpu(epyc_7113());
+    EXPECT_GT(cpu.dram_power_w(1.0), cpu.dram_power_w(0.0));
+    EXPECT_DOUBLE_EQ(cpu.dram_power_w(0.0), 30.0);
+}
+
+TEST(CpuDevice, ZeroOrNegativeDtIsNoOp)
+{
+    CpuDevice cpu(epyc_7113());
+    cpu.advance(0.0);
+    cpu.advance(-1.0);
+    EXPECT_DOUBLE_EQ(cpu.now(), 0.0);
+    EXPECT_DOUBLE_EQ(cpu.energy_j(), 0.0);
+}
+
+TEST(CpuDevice, EnergyMonotone)
+{
+    CpuDevice cpu(epyc_7a53());
+    double prev = 0.0;
+    for (int i = 0; i < 20; ++i) {
+        cpu.advance(0.5, static_cast<double>(i), 0.5, 0.1);
+        EXPECT_GT(cpu.energy_j(), prev);
+        prev = cpu.energy_j();
+    }
+}
+
+TEST(CpuDevice, RaplDomainsSeparate)
+{
+    CpuDevice cpu(epyc_7113());
+    cpu.advance(1.0, 0.0, 0.0, 1.0);
+    EXPECT_DOUBLE_EQ(cpu.energy_j(), cpu.package_energy_j() + cpu.dram_energy_j());
+    EXPECT_GT(cpu.dram_energy_j(), 0.0);
+}
+
+} // namespace
+} // namespace gsph::cpusim

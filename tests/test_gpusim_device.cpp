@@ -1,0 +1,197 @@
+#include "gpusim/device.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::gpusim {
+namespace {
+
+KernelWork big_kernel()
+{
+    KernelWork w;
+    w.name = "k";
+    w.flops = 5e11;
+    w.dram_bytes = 8e10;
+    w.flop_efficiency = 0.6;
+    w.gather_fraction = 0.5;
+    w.threads = 90'000'000;
+    return w;
+}
+
+TEST(Device, ExecuteAdvancesTimeAndEnergy)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    const auto r = dev.execute(big_kernel());
+    EXPECT_GT(r.end_s, r.start_s);
+    EXPECT_GT(r.energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(dev.now(), r.end_s);
+    EXPECT_NEAR(dev.energy_j(), r.energy_j, 1e-9);
+}
+
+TEST(Device, LockedModeRunsAtAppClock)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_application_clocks(1593.0, 1110.0);
+    const auto r = dev.execute(big_kernel());
+    EXPECT_DOUBLE_EQ(r.mean_clock_mhz, 1110.0);
+}
+
+TEST(Device, LowerClockSlowerButCheaper)
+{
+    GpuDevice hi(a100_sxm4_80g()), lo(a100_sxm4_80g());
+    lo.set_application_clocks(1593.0, 1005.0);
+    const auto rh = hi.execute(big_kernel());
+    const auto rl = lo.execute(big_kernel());
+    EXPECT_GT(rl.timing.total_s, rh.timing.total_s);
+    EXPECT_LT(rl.mean_power_w, rh.mean_power_w);
+}
+
+TEST(Device, SetApplicationClocksQuantizes)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_application_clocks(1593.0, 1007.0);
+    EXPECT_DOUBLE_EQ(dev.application_clock_mhz(), 1005.0);
+}
+
+TEST(Device, ResetApplicationClocksRestoresDefault)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_application_clocks(1593.0, 1005.0);
+    dev.reset_application_clocks();
+    EXPECT_DOUBLE_EQ(dev.application_clock_mhz(), 1410.0);
+}
+
+TEST(Device, InvalidClockThrows)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    EXPECT_THROW(dev.set_application_clocks(1593.0, 0.0), std::invalid_argument);
+}
+
+TEST(Device, IdleAccumulatesIdleEnergy)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.idle(10.0);
+    EXPECT_DOUBLE_EQ(dev.now(), 10.0);
+    const double p = dev.energy_j() / 10.0;
+    EXPECT_GT(p, 10.0);
+    EXPECT_LT(p, 100.0); // near idle power, far from TDP
+}
+
+TEST(Device, GovernedModeBoostsAndRuns)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_clock_policy(ClockPolicy::kNativeDvfs);
+    const auto r = dev.execute(big_kernel());
+    // high-utilization kernel: governor should push near max clock
+    EXPECT_GT(r.mean_clock_mhz, 1200.0);
+    EXPECT_GT(r.energy_j, 0.0);
+}
+
+TEST(Device, GovernedTimeSimilarLockedEnergyLower)
+{
+    // The Fig. 7 DVFS result in miniature: native DVFS matches the locked
+    // baseline's time on compute-heavy work but costs more energy.
+    GpuDevice locked(a100_sxm4_80g()), governed(a100_sxm4_80g());
+    governed.set_clock_policy(ClockPolicy::kNativeDvfs);
+    KernelWork w = big_kernel();
+    double locked_t = 0.0, governed_t = 0.0;
+    for (int i = 0; i < 5; ++i) {
+        locked_t += locked.execute(w).timing.total_s;
+        governed_t += governed.execute(w).timing.total_s;
+    }
+    EXPECT_NEAR(governed_t / locked_t, 1.0, 0.05);
+    EXPECT_GT(governed.energy_j(), locked.energy_j());
+}
+
+TEST(Device, GovernedRespectsCap)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_clock_policy(ClockPolicy::kNativeDvfs);
+    dev.set_application_clocks(1593.0, 1005.0);
+    const auto r = dev.execute(big_kernel());
+    EXPECT_LE(r.mean_clock_mhz, 1005.0 + 1e-9);
+}
+
+TEST(Device, TracingRecordsClockSamples)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.set_clock_policy(ClockPolicy::kNativeDvfs);
+    dev.enable_tracing(true);
+    dev.execute(big_kernel());
+    dev.idle(0.2);
+    EXPECT_FALSE(dev.clock_trace().empty());
+    EXPECT_FALSE(dev.power_trace().empty());
+    EXPECT_GT(dev.clock_trace().size(), 5u);
+    dev.clear_traces();
+    EXPECT_TRUE(dev.clock_trace().empty());
+}
+
+TEST(Device, NoTracesByDefault)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    dev.execute(big_kernel());
+    EXPECT_TRUE(dev.clock_trace().empty());
+}
+
+TEST(Device, EnergyIsMonotone)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    double prev = 0.0;
+    for (int i = 0; i < 10; ++i) {
+        dev.execute(big_kernel());
+        EXPECT_GT(dev.energy_j(), prev);
+        prev = dev.energy_j();
+        dev.idle(0.01);
+        EXPECT_GT(dev.energy_j(), prev);
+        prev = dev.energy_j();
+    }
+}
+
+TEST(Device, KernelsLaunchedCountsBatches)
+{
+    GpuDevice dev(a100_sxm4_80g());
+    KernelWork w = big_kernel();
+    w.launches = 7;
+    dev.execute(w);
+    EXPECT_EQ(dev.kernels_launched(), 7);
+}
+
+TEST(Device, LockedEnergyDeterministic)
+{
+    GpuDevice a(a100_sxm4_80g()), b(a100_sxm4_80g());
+    a.execute(big_kernel());
+    b.execute(big_kernel());
+    EXPECT_DOUBLE_EQ(a.energy_j(), b.energy_j());
+    EXPECT_DOUBLE_EQ(a.now(), b.now());
+}
+
+TEST(Device, OverheadPricedNearIdle)
+{
+    // A launch-storm batch with negligible math should burn near-idle power.
+    GpuDevice dev(a100_sxm4_80g());
+    KernelWork w;
+    w.launches = 10000;
+    w.flops = 1e6;
+    w.dram_bytes = 1e6;
+    w.threads = 1000;
+    const auto r = dev.execute(w);
+    EXPECT_LT(r.mean_power_w, 120.0);
+}
+
+TEST(Device, MemoryClockSettingAffectsBandwidth)
+{
+    GpuDevice normal(a100_sxm4_80g()), slow(a100_sxm4_80g());
+    KernelWork w;
+    w.dram_bytes = 1e11;
+    w.flops = 1e9;
+    w.threads = 90'000'000;
+    slow.set_application_clocks(1593.0 / 2.0, 1410.0);
+    const auto rn = normal.execute(w);
+    const auto rs = slow.execute(w);
+    EXPECT_GT(rs.timing.total_s, rn.timing.total_s * 1.5);
+}
+
+} // namespace
+} // namespace gsph::gpusim

@@ -1,0 +1,152 @@
+#include "gpusim/dvfs_governor.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph::gpusim {
+namespace {
+
+TEST(Governor, StartsNearIdleTarget)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    EXPECT_NEAR(gov.current_mhz(), spec.governor.idle_target_mhz, spec.clock_step_mhz);
+}
+
+TEST(Governor, LaunchBoostJumpsToFloor)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    EXPECT_GE(gov.current_mhz(), spec.governor.boost_floor_mhz - spec.clock_step_mhz);
+}
+
+TEST(Governor, FullUtilizationReachesMax)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 100; ++i) gov.step(spec.governor.tick_s, true, 1.0);
+    EXPECT_DOUBLE_EQ(gov.current_mhz(), spec.max_compute_mhz);
+}
+
+TEST(Governor, ModerateUtilizationSettlesBelowMax)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 200; ++i) gov.step(spec.governor.tick_s, true, 0.6);
+    EXPECT_LT(gov.current_mhz(), spec.max_compute_mhz);
+    EXPECT_GT(gov.current_mhz(), spec.governor.active_floor_mhz);
+}
+
+TEST(Governor, IdleDecaysTowardIdleTarget)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 100; ++i) gov.step(spec.governor.tick_s, true, 1.0);
+    for (int i = 0; i < 500; ++i) gov.step(spec.governor.tick_s, false, 0.0);
+    EXPECT_NEAR(gov.current_mhz(), spec.governor.idle_target_mhz, spec.clock_step_mhz);
+}
+
+TEST(Governor, DecayIsSlewLimited)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 100; ++i) gov.step(spec.governor.tick_s, true, 1.0);
+    const double before = gov.current_mhz();
+    gov.step(spec.governor.tick_s, false, 0.0);
+    const double drop = before - gov.current_mhz();
+    EXPECT_LE(drop, spec.governor.down_rate_mhz_per_s * spec.governor.tick_s + 1e-9);
+    EXPECT_GT(drop, 0.0);
+}
+
+TEST(Governor, RampUpFasterThanDecay)
+{
+    const auto spec = a100_sxm4_80g();
+    EXPECT_GT(spec.governor.up_rate_mhz_per_s, spec.governor.down_rate_mhz_per_s);
+}
+
+TEST(Governor, CapBoundsClock)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.set_cap_mhz(1005.0);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 200; ++i) {
+        gov.step(spec.governor.tick_s, true, 1.0);
+        EXPECT_LE(gov.current_mhz(), 1005.0);
+    }
+    EXPECT_DOUBLE_EQ(gov.current_mhz(), 1005.0);
+}
+
+TEST(Governor, LoweringCapClampsImmediately)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 100; ++i) gov.step(spec.governor.tick_s, true, 1.0);
+    gov.set_cap_mhz(900.0);
+    EXPECT_LE(gov.current_mhz(), 900.0);
+}
+
+TEST(Governor, ClockStaysOnSupportedGrid)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    for (int i = 0; i < 50; ++i) {
+        gov.step(spec.governor.tick_s, true, 0.5 + 0.01 * i);
+        const double steps =
+            (gov.current_mhz() - spec.min_compute_mhz) / spec.clock_step_mhz;
+        EXPECT_NEAR(steps, std::round(steps), 1e-9);
+    }
+}
+
+TEST(Governor, TransitionsCounted)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    const long t0 = gov.transition_count();
+    gov.on_kernel_launch();
+    gov.step(spec.governor.tick_s, true, 1.0);
+    EXPECT_GT(gov.transition_count(), t0);
+}
+
+TEST(Governor, ResetRestoresInitialState)
+{
+    const auto spec = a100_sxm4_80g();
+    DvfsGovernor gov(spec);
+    gov.on_kernel_launch();
+    gov.set_cap_mhz(1100.0);
+    gov.reset();
+    EXPECT_NEAR(gov.current_mhz(), spec.governor.idle_target_mhz, spec.clock_step_mhz);
+    EXPECT_DOUBLE_EQ(gov.cap_mhz(), spec.max_compute_mhz);
+    EXPECT_EQ(gov.transition_count(), 0);
+}
+
+/// Property: for any utilization, the settled clock is monotone in
+/// utilization (higher utilization never settles lower).
+class GovernorUtilSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(GovernorUtilSweep, SettledClockMonotone)
+{
+    const auto spec = a100_sxm4_80g();
+    const double u = GetParam();
+    auto settle = [&spec](double util) {
+        DvfsGovernor gov(spec);
+        gov.on_kernel_launch();
+        for (int i = 0; i < 300; ++i) gov.step(spec.governor.tick_s, true, util);
+        return gov.current_mhz();
+    };
+    EXPECT_LE(settle(u), settle(std::min(1.0, u + 0.2)) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Utils, GovernorUtilSweep,
+                         ::testing::Values(0.0, 0.2, 0.4, 0.6, 0.8));
+
+} // namespace
+} // namespace gsph::gpusim

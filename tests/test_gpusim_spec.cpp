@@ -1,0 +1,112 @@
+#include "gpusim/device_spec.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph::gpusim {
+namespace {
+
+TEST(DeviceSpec, CatalogEntriesValidate)
+{
+    EXPECT_NO_THROW(a100_sxm4_80g().validate());
+    EXPECT_NO_THROW(a100_pcie_40g().validate());
+    EXPECT_NO_THROW(mi250x_gcd().validate());
+}
+
+TEST(DeviceSpec, TableOneClocks)
+{
+    // Table I of the paper.
+    EXPECT_DOUBLE_EQ(a100_sxm4_80g().default_app_clock_mhz, 1410.0);
+    EXPECT_DOUBLE_EQ(a100_sxm4_80g().memory_clock_mhz, 1593.0);
+    EXPECT_DOUBLE_EQ(mi250x_gcd().default_app_clock_mhz, 1700.0);
+    EXPECT_DOUBLE_EQ(mi250x_gcd().memory_clock_mhz, 1600.0);
+}
+
+TEST(DeviceSpec, LookupByName)
+{
+    EXPECT_EQ(spec_by_name("A100-SXM4-80G").name, "a100-sxm4-80g");
+    EXPECT_EQ(spec_by_name("mi250x-gcd").vendor, Vendor::kAmd);
+    EXPECT_THROW(spec_by_name("h100"), std::invalid_argument);
+}
+
+TEST(DeviceSpec, QuantizeClampsToRange)
+{
+    const auto spec = a100_sxm4_80g();
+    EXPECT_DOUBLE_EQ(spec.quantize_clock(5000.0), 1410.0);
+    EXPECT_DOUBLE_EQ(spec.quantize_clock(-10.0), 210.0);
+}
+
+TEST(DeviceSpec, QuantizeSnapsToGrid)
+{
+    const auto spec = a100_sxm4_80g(); // grid: 210 + k*15
+    EXPECT_DOUBLE_EQ(spec.quantize_clock(1005.0), 1005.0);
+    EXPECT_DOUBLE_EQ(spec.quantize_clock(1009.0), 1005.0);
+    EXPECT_DOUBLE_EQ(spec.quantize_clock(1013.0), 1020.0);
+}
+
+TEST(DeviceSpec, SupportedClocksDescendingAndOnGrid)
+{
+    const auto spec = a100_sxm4_80g();
+    const auto clocks = spec.supported_clocks();
+    ASSERT_FALSE(clocks.empty());
+    EXPECT_DOUBLE_EQ(clocks.front(), 1410.0);
+    EXPECT_DOUBLE_EQ(clocks.back(), 210.0);
+    for (std::size_t i = 1; i < clocks.size(); ++i) {
+        EXPECT_DOUBLE_EQ(clocks[i - 1] - clocks[i], 15.0);
+    }
+}
+
+TEST(DeviceSpec, DynamicPowerFactorBounds)
+{
+    const auto spec = a100_sxm4_80g();
+    EXPECT_DOUBLE_EQ(spec.dynamic_power_factor(spec.max_compute_mhz), 1.0);
+    EXPECT_GT(spec.dynamic_power_factor(1005.0), 0.0);
+    EXPECT_LT(spec.dynamic_power_factor(1005.0), 1.0);
+}
+
+TEST(DeviceSpec, DynamicPowerEffectiveExponentInBand)
+{
+    // Over the paper's sweep band the effective exponent should be well
+    // above linear (voltage scaling) but below cubic (bounded V range).
+    const auto spec = a100_sxm4_80g();
+    const double r = spec.dynamic_power_factor(1005.0);
+    const double fhat = 1005.0 / 1410.0;
+    const double exponent = std::log(r) / std::log(fhat);
+    EXPECT_GT(exponent, 1.3);
+    EXPECT_LT(exponent, 2.5);
+}
+
+TEST(DeviceSpec, ValidationCatchesBadValues)
+{
+    auto spec = a100_sxm4_80g();
+    spec.v0 = 0.6; // v0 + v_slope != 1
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+    spec = a100_sxm4_80g();
+    spec.min_compute_mhz = 2000.0;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+    spec = a100_sxm4_80g();
+    spec.stream_bw_eff = 1.5;
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+
+    spec = a100_sxm4_80g();
+    spec.name.clear();
+    EXPECT_THROW(spec.validate(), std::invalid_argument);
+}
+
+TEST(DeviceSpec, FlopsPerCycleConsistent)
+{
+    const auto spec = a100_sxm4_80g();
+    EXPECT_NEAR(spec.flops_per_cycle() * 1.41e9, spec.peak_fp64_flops, 1.0);
+}
+
+TEST(DeviceSpec, AmdGatherEfficiencyBelowNvidia)
+{
+    // The calibration knob behind the paper's Fig. 5 cross-system gap.
+    EXPECT_LT(mi250x_gcd().gather_bw_eff, a100_sxm4_80g().gather_bw_eff);
+}
+
+} // namespace
+} // namespace gsph::gpusim

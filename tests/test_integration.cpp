@@ -1,0 +1,290 @@
+/// End-to-end reproduction checks: the calibration targets of DESIGN.md §5,
+/// asserted as the paper's qualitative shapes.
+
+#include "core/edp.hpp"
+#include "core/policy.hpp"
+#include "core/profiler.hpp"
+#include "tuning/kernel_tuner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph {
+namespace {
+
+const sim::WorkloadTrace& turb450()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 91.125e6; // 450^3 (miniHPC experiments)
+        spec.n_steps = 6;
+        spec.real_nside = 10;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+const sim::WorkloadTrace& turb150m()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 150e6; // Table I production scale
+        spec.n_steps = 4;
+        spec.real_nside = 10;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+const sim::WorkloadTrace& evrard80m()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kEvrardCollapse;
+        spec.particles_per_gpu = 80e6; // Table I
+        spec.n_steps = 4;
+        spec.real_nside = 10;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+sim::RunConfig mini_config()
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 2;
+    cfg.setup_s = 10.0;
+    cfg.rank_jitter = 0.01;
+    return cfg;
+}
+
+sim::RunResult run_policy(const sim::SystemSpec& system, const sim::WorkloadTrace& trace,
+                          sim::RunConfig cfg, core::FrequencyPolicy& policy)
+{
+    return core::run_with_policy(system, trace, cfg, policy);
+}
+
+// Target 1 (Fig. 4): GPUs take ~70-80% of node energy on the production
+// systems at 32 ranks.
+TEST(PaperShapes, GpuShareOfNodeEnergy)
+{
+    for (const auto& system : {sim::cscs_a100(), sim::lumi_g()}) {
+        sim::RunConfig cfg;
+        cfg.n_ranks = 32;
+        cfg.setup_s = 20.0;
+        const auto r = sim::run_instrumented(system, turb150m(), cfg);
+        const double share = r.gpu_energy_j / r.node_energy_j;
+        EXPECT_GT(share, 0.65) << system.name;
+        EXPECT_LT(share, 0.85) << system.name;
+    }
+}
+
+// Target 2 (Figs. 2/5/8): MomentumEnergy and IADVelocityDivCurl dominate
+// and prefer higher clocks than light kernels.
+TEST(PaperShapes, HeavyKernelsDominateAndPreferHighClocks)
+{
+    auto baseline = core::make_baseline_policy();
+    const auto r = run_policy(sim::mini_hpc(), turb450(), mini_config(), *baseline);
+
+    const auto& me = r.fn(sph::SphFunction::kMomentumEnergy);
+    const auto& iad = r.fn(sph::SphFunction::kIadVelocityDivCurl);
+    double total_e = 0.0;
+    for (const auto& a : r.per_function) total_e += a.gpu_energy_j;
+    // Together the two pair kernels take a large share, and MomentumEnergy
+    // is the single largest consumer.
+    EXPECT_GT((me.gpu_energy_j + iad.gpu_energy_j) / total_e, 0.30);
+    for (const auto& a : r.per_function) {
+        EXPECT_GE(me.gpu_energy_j, a.gpu_energy_j);
+    }
+
+    const auto sweep = tuning::sweep_sph_functions(turb450(), sim::mini_hpc().gpu);
+    double me_clock = 0, xmass_clock = 0, gradh_clock = 0;
+    for (const auto& e : sweep) {
+        if (e.fn == sph::SphFunction::kMomentumEnergy) me_clock = e.best_edp_mhz;
+        if (e.fn == sph::SphFunction::kXMass) xmass_clock = e.best_edp_mhz;
+        if (e.fn == sph::SphFunction::kNormalizationGradh) gradh_clock = e.best_edp_mhz;
+    }
+    EXPECT_GT(me_clock, xmass_clock);
+    EXPECT_GT(me_clock, gradh_clock);
+}
+
+// Target 3 (Fig. 8): at 1005 MHz the compute-bound kernels slow >20% with
+// limited (<25%) energy savings; light kernels gain >=10% EDP.
+TEST(PaperShapes, StaticLowClockPerFunction)
+{
+    auto baseline = core::make_baseline_policy();
+    auto static_low = core::make_static_policy(1005.0);
+    const auto rb = run_policy(sim::mini_hpc(), turb450(), mini_config(), *baseline);
+    const auto rs = run_policy(sim::mini_hpc(), turb450(), mini_config(), *static_low);
+
+    const auto ratios = core::function_ratios(rb, rs);
+    bool saw_me = false, saw_light = false;
+    for (const auto& fr : ratios) {
+        if (fr.fn == sph::SphFunction::kMomentumEnergy) {
+            saw_me = true;
+            EXPECT_GT(fr.time_ratio, 1.20);
+            EXPECT_GT(fr.energy_ratio, 0.75); // savings limited
+            EXPECT_LT(fr.energy_ratio, 0.95);
+        }
+        if (fr.fn == sph::SphFunction::kXMass) {
+            saw_light = true;
+            EXPECT_LT(fr.time_ratio, 1.10);
+            EXPECT_LT(fr.edp_ratio, 0.90); // >= 10% EDP gain
+        }
+    }
+    EXPECT_TRUE(saw_me);
+    EXPECT_TRUE(saw_light);
+}
+
+// Target 4 (Fig. 6): whole-app EDP improves toward low clocks at 450^3, and
+// small problems prefer even lower clocks.
+TEST(PaperShapes, StaticEdpCurveAndSmallProblemShift)
+{
+    auto baseline = core::make_baseline_policy();
+    const auto rb = run_policy(sim::mini_hpc(), turb450(), mini_config(), *baseline);
+    auto s1110 = core::make_static_policy(1110.0);
+    const auto r1110 = run_policy(sim::mini_hpc(), turb450(), mini_config(), *s1110);
+    EXPECT_LT(r1110.gpu_edp(), rb.gpu_edp()); // down-scaling helps EDP
+
+    // 200^3 = 8e6 particles per GPU: the under-utilized regime.
+    sim::WorkloadTrace small = turb450();
+    small.particles_per_gpu = 8e6;
+    auto s1005 = core::make_static_policy(1005.0);
+    const auto small_base = run_policy(sim::mini_hpc(), small, mini_config(), *baseline);
+    const auto small_low = run_policy(sim::mini_hpc(), small, mini_config(), *s1005);
+    const auto big_low = run_policy(sim::mini_hpc(), turb450(), mini_config(), *s1005);
+
+    const double small_edp_gain = small_low.gpu_edp() / small_base.gpu_edp();
+    const double big_edp_gain = big_low.gpu_edp() / rb.gpu_edp();
+    // EDP drops more steeply for the under-utilized problem (Fig. 6) ...
+    EXPECT_LT(small_edp_gain, big_edp_gain);
+    // ... because the small problem barely slows down at all.
+    EXPECT_LT(small_low.makespan_s() / small_base.makespan_s(),
+              big_low.makespan_s() / rb.makespan_s());
+}
+
+// Targets 5+6 (Fig. 7, §IV-D): the headline policy comparison.
+TEST(PaperShapes, HeadlineNumbers)
+{
+    auto baseline = core::make_baseline_policy();
+    auto static_low = core::make_static_policy(1005.0);
+    auto dvfs = core::make_native_dvfs_policy();
+    auto mandyn = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+
+    const auto rb = run_policy(sim::mini_hpc(), turb450(), mini_config(), *baseline);
+    const auto rs = run_policy(sim::mini_hpc(), turb450(), mini_config(), *static_low);
+    const auto rd = run_policy(sim::mini_hpc(), turb450(), mini_config(), *dvfs);
+    const auto rm = run_policy(sim::mini_hpc(), turb450(), mini_config(), *mandyn);
+
+    // DVFS: similar time, more energy (paper: "energy-to-solution ... higher
+    // compared to the baseline").
+    EXPECT_NEAR(rd.makespan_s() / rb.makespan_s(), 1.0, 0.02);
+    EXPECT_GT(rd.gpu_energy_j / rb.gpu_energy_j, 1.0);
+    EXPECT_LT(rd.gpu_energy_j / rb.gpu_energy_j, 1.10);
+
+    const auto summary = core::summarize_mandyn(rb, rm, rs);
+    // ManDyn: <= ~3% slower (paper: 2.95%).
+    EXPECT_GT(summary.performance_loss, 0.0);
+    EXPECT_LT(summary.performance_loss, 0.04);
+    // ~8% energy saved (paper: up to 7.82% per GPU).
+    EXPECT_GT(summary.energy_reduction, 0.05);
+    EXPECT_LT(summary.energy_reduction, 0.13);
+    // EDP reduction (paper: ~4%).
+    EXPECT_GT(summary.edp_reduction, 0.02);
+    // ManDyn much faster than static-1005 (paper: 16%).
+    EXPECT_GT(summary.speedup_vs_static_low, 0.05);
+}
+
+// Target 7 (Fig. 9): the DVFS trace sawtooth.
+TEST(PaperShapes, DvfsTraceSawtooth)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 2.0;
+    cfg.clock_policy = gpusim::ClockPolicy::kNativeDvfs;
+    cfg.enable_rank0_trace = true;
+    const auto r = sim::run_instrumented(sim::mini_hpc(), turb450(), cfg);
+
+    const auto& trace = r.rank0_clock_trace;
+    ASSERT_GT(trace.size(), 50u);
+    // Climbs to the maximum during compute kernels ...
+    EXPECT_DOUBLE_EQ(trace.max_value(), 1410.0);
+    // ... and dips low at the end-of-step collectives.
+    double min_in_loop = 1e9;
+    for (const auto& s : trace.samples()) {
+        if (s.time >= r.loop_start_s && s.time <= r.loop_end_s) {
+            min_in_loop = std::min(min_in_loop, s.value);
+        }
+    }
+    EXPECT_LT(min_in_loop, 1250.0);
+    // One dip-and-recover pattern per step: the clock right at each step
+    // start is below max (it decayed during the previous step's collective).
+    int dips = 0;
+    for (std::size_t i = 1; i < r.step_start_times.size(); ++i) {
+        if (trace.value_at(r.step_start_times[i]) < 1400.0) ++dips;
+    }
+    EXPECT_GE(dips, static_cast<int>(r.step_start_times.size()) - 2);
+}
+
+// Fig. 3: PMT vs Slurm validation across scales.
+TEST(PaperShapes, PmtSlurmValidation)
+{
+    for (int ranks : {8, 16}) {
+        sim::RunConfig cfg;
+        cfg.n_ranks = ranks;
+        cfg.setup_s = 20.0;
+        cfg.n_steps = 20; // amortize setup as the 100-step paper runs do
+        const auto r = sim::run_instrumented(sim::cscs_a100(), turb150m(), cfg);
+        // Strong match, with Slurm strictly above (it includes setup).
+        EXPECT_GT(r.slurm.consumed_energy_j, r.pmt_loop_energy_j);
+        EXPECT_LT(r.slurm.consumed_energy_j / r.pmt_loop_energy_j, 1.35);
+    }
+}
+
+// Fig. 5 cross-system: MomentumEnergy's GPU-energy share is much larger on
+// the AMD system (gather-unfriendly) than on the NVIDIA one.
+TEST(PaperShapes, MomentumEnergyShareLargerOnLumi)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 8;
+    cfg.setup_s = 10.0;
+    auto share = [&cfg](const sim::SystemSpec& system) {
+        const auto r = sim::run_instrumented(system, turb150m(), cfg);
+        double total = 0.0;
+        for (const auto& a : r.per_function) total += a.gpu_energy_j;
+        return r.fn(sph::SphFunction::kMomentumEnergy).gpu_energy_j / total;
+    };
+    const double cscs = share(sim::cscs_a100());
+    const double lumi = share(sim::lumi_g());
+    EXPECT_GT(lumi, cscs * 1.3);
+}
+
+// Table I totals: LUMI consumes substantially more energy than CSCS for the
+// same turbulence workload (paper: 24.4 vs 12.5 MJ).
+TEST(PaperShapes, LumiConsumesMoreThanCscs)
+{
+    sim::RunConfig cfg;
+    cfg.n_ranks = 8;
+    cfg.setup_s = 10.0;
+    const auto lumi = sim::run_instrumented(sim::lumi_g(), turb150m(), cfg);
+    const auto cscs = sim::run_instrumented(sim::cscs_a100(), turb150m(), cfg);
+    EXPECT_GT(lumi.node_energy_j, cscs.node_energy_j * 1.3);
+}
+
+// Evrard includes the Gravity function and still shows the ManDyn benefit.
+TEST(PaperShapes, EvrardManDynBenefit)
+{
+    auto baseline = core::make_baseline_policy();
+    auto mandyn = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+    const auto rb = run_policy(sim::mini_hpc(), evrard80m(), mini_config(), *baseline);
+    const auto rm = run_policy(sim::mini_hpc(), evrard80m(), mini_config(), *mandyn);
+    EXPECT_GT(rb.fn(sph::SphFunction::kGravity).calls, 0);
+    EXPECT_LT(rm.gpu_energy_j, rb.gpu_energy_j);
+    EXPECT_LT(rm.makespan_s() / rb.makespan_s(), 1.05);
+}
+
+} // namespace
+} // namespace gsph

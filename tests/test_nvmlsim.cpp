@@ -1,0 +1,191 @@
+#include "nvmlsim/nvml.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::nvmlsim {
+namespace {
+
+class NvmlFixture : public ::testing::Test {
+protected:
+    NvmlFixture()
+        : dev0_(gpusim::a100_sxm4_80g(), 0),
+          dev1_(gpusim::a100_sxm4_80g(), 1),
+          binding_({&dev0_, &dev1_}, /*allow_user_clocks=*/true)
+    {
+        nvmlInit();
+    }
+    ~NvmlFixture() override { nvmlShutdown(); }
+
+    gpusim::GpuDevice dev0_;
+    gpusim::GpuDevice dev1_;
+    ScopedNvmlBinding binding_;
+};
+
+TEST_F(NvmlFixture, DeviceCount)
+{
+    unsigned int count = 0;
+    ASSERT_EQ(nvmlDeviceGetCount(&count), NVML_SUCCESS);
+    EXPECT_EQ(count, 2u);
+}
+
+TEST_F(NvmlFixture, HandleByIndexAndBack)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(1, &dev), NVML_SUCCESS);
+    unsigned int index = 99;
+    ASSERT_EQ(nvmlDeviceGetIndex(dev, &index), NVML_SUCCESS);
+    EXPECT_EQ(index, 1u);
+}
+
+TEST_F(NvmlFixture, OutOfRangeIndexNotFound)
+{
+    nvmlDevice_t dev = nullptr;
+    EXPECT_EQ(nvmlDeviceGetHandleByIndex(5, &dev), NVML_ERROR_NOT_FOUND);
+}
+
+TEST_F(NvmlFixture, GetName)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    char name[64];
+    ASSERT_EQ(nvmlDeviceGetName(dev, name, sizeof(name)), NVML_SUCCESS);
+    EXPECT_STREQ(name, "a100-sxm4-80g");
+}
+
+TEST_F(NvmlFixture, GetNameTooSmallBuffer)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    char name[4];
+    EXPECT_EQ(nvmlDeviceGetName(dev, name, sizeof(name)), NVML_ERROR_INSUFFICIENT_SIZE);
+}
+
+TEST_F(NvmlFixture, SetApplicationsClocksRoundTrip)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    ASSERT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 1005), NVML_SUCCESS);
+    unsigned int clock = 0;
+    ASSERT_EQ(nvmlDeviceGetApplicationsClock(dev, NVML_CLOCK_GRAPHICS, &clock),
+              NVML_SUCCESS);
+    EXPECT_EQ(clock, 1005u);
+    ASSERT_EQ(nvmlDeviceGetApplicationsClock(dev, NVML_CLOCK_MEM, &clock), NVML_SUCCESS);
+    EXPECT_EQ(clock, 1593u);
+}
+
+TEST_F(NvmlFixture, SetClocksRequiresPermission)
+{
+    // The paper's user-level frequency control problem: without the
+    // unrestricted permission, application clock changes are refused.
+    set_user_clock_permission(false);
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 1005), NVML_ERROR_NO_PERMISSION);
+    EXPECT_EQ(nvmlDeviceResetApplicationsClocks(dev), NVML_ERROR_NO_PERMISSION);
+    set_user_clock_permission(true);
+    EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 1005), NVML_SUCCESS);
+}
+
+TEST_F(NvmlFixture, SetClocksOutOfRangeRejected)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 5000),
+              NVML_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 0), NVML_ERROR_INVALID_ARGUMENT);
+}
+
+TEST_F(NvmlFixture, ResetApplicationsClocks)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    ASSERT_EQ(nvmlDeviceSetApplicationsClocks(dev, 1593, 1005), NVML_SUCCESS);
+    ASSERT_EQ(nvmlDeviceResetApplicationsClocks(dev), NVML_SUCCESS);
+    unsigned int clock = 0;
+    ASSERT_EQ(nvmlDeviceGetApplicationsClock(dev, NVML_CLOCK_GRAPHICS, &clock),
+              NVML_SUCCESS);
+    EXPECT_EQ(clock, 1410u);
+}
+
+TEST_F(NvmlFixture, EnergyCounterTracksDevice)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    unsigned long long before = 0, after = 0;
+    ASSERT_EQ(nvmlDeviceGetTotalEnergyConsumption(dev, &before), NVML_SUCCESS);
+    dev0_.idle(5.0);
+    ASSERT_EQ(nvmlDeviceGetTotalEnergyConsumption(dev, &after), NVML_SUCCESS);
+    EXPECT_GT(after, before);
+    // millijoule convention
+    EXPECT_NEAR(static_cast<double>(after - before) / 1000.0, dev0_.energy_j(), 1.0);
+}
+
+TEST_F(NvmlFixture, PowerUsageMilliwatts)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    dev0_.idle(1.0);
+    unsigned int mw = 0;
+    ASSERT_EQ(nvmlDeviceGetPowerUsage(dev, &mw), NVML_SUCCESS);
+    EXPECT_GT(mw, 1000u); // at least 1 W
+}
+
+TEST_F(NvmlFixture, SupportedClocksProtocol)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &dev), NVML_SUCCESS);
+    unsigned int count = 0;
+    EXPECT_EQ(nvmlDeviceGetSupportedGraphicsClocks(dev, 1593, &count, nullptr),
+              NVML_ERROR_INSUFFICIENT_SIZE);
+    ASSERT_GT(count, 0u);
+    std::vector<unsigned int> clocks(count);
+    ASSERT_EQ(nvmlDeviceGetSupportedGraphicsClocks(dev, 1593, &count, clocks.data()),
+              NVML_SUCCESS);
+    EXPECT_EQ(clocks.front(), 1410u);
+    EXPECT_EQ(clocks.back(), 210u);
+}
+
+TEST_F(NvmlFixture, GetNvmlDeviceHelper)
+{
+    nvmlDevice_t dev = nullptr;
+    ASSERT_EQ(getNvmlDevice(1, &dev), NVML_SUCCESS);
+    unsigned int index = 0;
+    ASSERT_EQ(nvmlDeviceGetIndex(dev, &index), NVML_SUCCESS);
+    EXPECT_EQ(index, 1u);
+}
+
+TEST_F(NvmlFixture, ErrorStrings)
+{
+    EXPECT_STREQ(nvmlErrorString(NVML_SUCCESS), "Success");
+    EXPECT_STREQ(nvmlErrorString(NVML_ERROR_NO_PERMISSION), "Insufficient permissions");
+}
+
+TEST(NvmlUninitialized, CallsFailWithoutBinding)
+{
+    unbind_devices();
+    // Drain any init refcount left by earlier tests in this process.
+    while (nvmlShutdown() == NVML_SUCCESS) {
+    }
+    unsigned int count = 0;
+    EXPECT_EQ(nvmlDeviceGetCount(&count), NVML_ERROR_UNINITIALIZED);
+    EXPECT_EQ(nvmlShutdown(), NVML_ERROR_UNINITIALIZED);
+}
+
+TEST(NvmlNullArgs, InvalidArguments)
+{
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g());
+    ScopedNvmlBinding binding({&dev});
+    nvmlInit();
+    EXPECT_EQ(nvmlDeviceGetCount(nullptr), NVML_ERROR_INVALID_ARGUMENT);
+    nvmlDevice_t handle = nullptr;
+    EXPECT_EQ(nvmlDeviceGetHandleByIndex(0, nullptr), NVML_ERROR_INVALID_ARGUMENT);
+    ASSERT_EQ(nvmlDeviceGetHandleByIndex(0, &handle), NVML_SUCCESS);
+    EXPECT_EQ(nvmlDeviceGetPowerUsage(handle, nullptr), NVML_ERROR_INVALID_ARGUMENT);
+    nvmlShutdown();
+}
+
+} // namespace
+} // namespace gsph::nvmlsim

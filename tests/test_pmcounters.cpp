@@ -1,0 +1,189 @@
+#include "pmcounters/pm_counters.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::pmcounters {
+namespace {
+
+class PmFixture : public ::testing::Test {
+protected:
+    PmFixture() : cpu_(cpusim::epyc_7113())
+    {
+        for (int i = 0; i < 4; ++i) {
+            gpus_.push_back(
+                std::make_unique<gpusim::GpuDevice>(gpusim::a100_sxm4_80g(), i));
+        }
+    }
+
+    std::vector<gpusim::GpuDevice*> gpu_ptrs()
+    {
+        std::vector<gpusim::GpuDevice*> out;
+        for (auto& g : gpus_) out.push_back(g.get());
+        return out;
+    }
+
+    void advance_all(double dt)
+    {
+        cpu_.advance(dt);
+        for (auto& g : gpus_) g->idle(dt);
+    }
+
+    cpusim::CpuDevice cpu_;
+    std::vector<std::unique_ptr<gpusim::GpuDevice>> gpus_;
+};
+
+TEST_F(PmFixture, FileListContainsCrayNames)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    const auto files = pm.list_files();
+    auto has = [&](const std::string& name) {
+        return std::find(files.begin(), files.end(), name) != files.end();
+    };
+    EXPECT_TRUE(has("energy"));
+    EXPECT_TRUE(has("power"));
+    EXPECT_TRUE(has("cpu_energy"));
+    EXPECT_TRUE(has("memory_energy"));
+    EXPECT_TRUE(has("accel0_energy"));
+    EXPECT_TRUE(has("accel3_power"));
+    EXPECT_TRUE(has("freshness"));
+}
+
+TEST_F(PmFixture, TenHertzQuantization)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(0.05); // below one tick
+    pm.sample_to(0.05);
+    EXPECT_DOUBLE_EQ(pm.node_energy_j(), 0.0); // not refreshed yet
+    advance_all(0.06);
+    pm.sample_to(0.11); // crosses the 0.1 s tick
+    EXPECT_GT(pm.node_energy_j(), 0.0);
+    EXPECT_EQ(pm.freshness(), 1);
+}
+
+TEST_F(PmFixture, NodeEnergyIsSumOfComponentsPlusAux)
+{
+    PmCountersConfig cfg;
+    cfg.aux_power_w = 100.0;
+    PmCounters pm(cfg, &cpu_, gpu_ptrs());
+    advance_all(10.0);
+    pm.sample_to(10.0);
+    double accel = 0.0;
+    for (int i = 0; i < pm.accel_file_count(); ++i) accel += pm.accel_energy_j(i);
+    const double expected =
+        cpu_.package_energy_j() + cpu_.dram_energy_j() + accel + 100.0 * 10.0;
+    EXPECT_NEAR(pm.node_energy_j(), expected, 1e-6);
+}
+
+TEST_F(PmFixture, OtherEnergyEqualsAux)
+{
+    PmCountersConfig cfg;
+    cfg.aux_power_w = 50.0;
+    PmCounters pm(cfg, &cpu_, gpu_ptrs());
+    advance_all(4.0);
+    pm.sample_to(4.0);
+    EXPECT_NEAR(pm.other_energy_j(), 200.0, 1e-6);
+}
+
+TEST_F(PmFixture, GcdAliasingAggregatesPairs)
+{
+    // LUMI-G: two GCDs per accel file.
+    PmCountersConfig cfg;
+    cfg.gcds_per_accel_file = 2;
+    PmCounters pm(cfg, &cpu_, gpu_ptrs());
+    EXPECT_EQ(pm.accel_file_count(), 2);
+    advance_all(2.0);
+    pm.sample_to(2.0);
+    EXPECT_NEAR(pm.accel_energy_j(0), gpus_[0]->energy_j() + gpus_[1]->energy_j(), 1e-9);
+    EXPECT_NEAR(pm.accel_energy_j(1), gpus_[2]->energy_j() + gpus_[3]->energy_j(), 1e-9);
+}
+
+TEST_F(PmFixture, IndivisibleGcdConfigThrows)
+{
+    PmCountersConfig cfg;
+    cfg.gcds_per_accel_file = 3; // 4 GPUs not divisible
+    EXPECT_THROW(PmCounters(cfg, &cpu_, gpu_ptrs()), std::invalid_argument);
+}
+
+TEST_F(PmFixture, ReadFileFormats)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(1.0);
+    pm.sample_to(1.0);
+    const auto energy = pm.read_file("energy");
+    ASSERT_TRUE(energy.has_value());
+    EXPECT_NE(energy->find(" J"), std::string::npos);
+    const auto power = pm.read_file("accel0_power");
+    ASSERT_TRUE(power.has_value());
+    EXPECT_NE(power->find(" W"), std::string::npos);
+    EXPECT_TRUE(pm.read_file("raw_scan_hz").has_value());
+}
+
+TEST_F(PmFixture, ReadUnknownFileIsNull)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    EXPECT_FALSE(pm.read_file("nonsense").has_value());
+    EXPECT_FALSE(pm.read_file("accel9_energy").has_value());
+    EXPECT_FALSE(pm.read_file("accelx").has_value());
+}
+
+TEST_F(PmFixture, PowerComputedFromWindowDelta)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(1.0);
+    pm.sample_to(1.0);
+    const double e1 = pm.node_energy_j();
+    advance_all(1.0);
+    pm.sample_to(2.0);
+    const double e2 = pm.node_energy_j();
+    EXPECT_NEAR(pm.node_power_w(), (e2 - e1) / 1.0, 1e-6);
+}
+
+TEST_F(PmFixture, TimeBackwardsThrows)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(1.0);
+    pm.sample_to(1.0);
+    EXPECT_THROW(pm.sample_to(0.5), std::invalid_argument);
+}
+
+TEST_F(PmFixture, FreshnessCountsTicks)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(1.0);
+    pm.sample_to(1.0);
+    const long f1 = pm.freshness();
+    advance_all(1.0);
+    pm.sample_to(2.0);
+    EXPECT_EQ(pm.freshness(), f1 + 1);
+}
+
+TEST_F(PmFixture, NullCpuThrows)
+{
+    EXPECT_THROW(PmCounters({}, nullptr, gpu_ptrs()), std::invalid_argument);
+}
+
+TEST_F(PmFixture, AccelIndexOutOfRangeThrows)
+{
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    EXPECT_THROW(pm.accel_energy_j(4), std::out_of_range);
+    EXPECT_THROW(pm.accel_energy_j(-1), std::out_of_range);
+}
+
+TEST_F(PmFixture, StalenessBoundedByPeriod)
+{
+    // A read between ticks returns the last published value: energy lag is
+    // bounded by the aggregate node power times the 0.1 s period.
+    PmCounters pm({}, &cpu_, gpu_ptrs());
+    advance_all(1.0);
+    pm.sample_to(1.0);
+    const double published = pm.node_energy_j();
+    advance_all(0.09);
+    pm.sample_to(1.09); // no tick crossed
+    EXPECT_DOUBLE_EQ(pm.node_energy_j(), published);
+}
+
+} // namespace
+} // namespace gsph::pmcounters

@@ -1,0 +1,188 @@
+#include "pmt/pmt.hpp"
+
+#include "cpusim/cpu.hpp"
+#include "nvmlsim/nvml.hpp"
+#include "pmcounters/pm_counters.hpp"
+#include "rocmsmi/rocm_smi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::pmt {
+namespace {
+
+TEST(PmtStateMath, SecondsJoulesWatts)
+{
+    const State a{10.0, 1000.0};
+    const State b{20.0, 3000.0};
+    EXPECT_DOUBLE_EQ(Pmt::seconds(a, b), 10.0);
+    EXPECT_DOUBLE_EQ(Pmt::joules(a, b), 2000.0);
+    EXPECT_DOUBLE_EQ(Pmt::watts(a, b), 200.0);
+}
+
+TEST(PmtStateMath, ZeroDurationWattsIsZero)
+{
+    const State a{10.0, 1000.0};
+    EXPECT_DOUBLE_EQ(Pmt::watts(a, a), 0.0);
+}
+
+TEST(PmtDummy, AlwaysZero)
+{
+    auto sensor = CreateDummy();
+    EXPECT_EQ(sensor->name(), "dummy");
+    const State s = sensor->Read();
+    EXPECT_DOUBLE_EQ(s.joules, 0.0);
+    EXPECT_DOUBLE_EQ(s.timestamp_s, 0.0);
+}
+
+TEST(PmtRapl, TracksCpuCounters)
+{
+    cpusim::CpuDevice cpu(cpusim::epyc_7113());
+    auto sensor = CreateRapl(&cpu);
+    EXPECT_EQ(sensor->name(), "rapl");
+    const State before = sensor->Read();
+    cpu.advance(5.0);
+    const State after = sensor->Read();
+    EXPECT_DOUBLE_EQ(Pmt::seconds(before, after), 5.0);
+    EXPECT_NEAR(Pmt::joules(before, after), cpu.energy_j(), 1e-9);
+}
+
+TEST(PmtRapl, NullCpuThrows) { EXPECT_THROW(CreateRapl(nullptr), std::invalid_argument); }
+
+TEST(PmtNvml, ReadsDeviceEnergyViaNvml)
+{
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g());
+    nvmlsim::ScopedNvmlBinding binding({&dev});
+    auto sensor = CreateNvml(0);
+    EXPECT_EQ(sensor->name(), "nvml");
+    const State before = sensor->Read();
+    dev.idle(3.0);
+    const State after = sensor->Read();
+    EXPECT_NEAR(Pmt::joules(before, after), dev.energy_j(), 1.0); // mJ rounding
+    EXPECT_DOUBLE_EQ(Pmt::seconds(before, after), 3.0);
+}
+
+TEST(PmtNvml, BadIndexThrows)
+{
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g());
+    nvmlsim::ScopedNvmlBinding binding({&dev});
+    EXPECT_THROW(CreateNvml(3), std::invalid_argument);
+}
+
+TEST(PmtCray, ReadsPublishedNodeEnergy)
+{
+    cpusim::CpuDevice cpu(cpusim::epyc_7113());
+    gpusim::GpuDevice gpu(gpusim::a100_sxm4_80g());
+    pmcounters::PmCounters counters({}, &cpu, {&gpu});
+    auto sensor = CreateCray(&counters);
+    EXPECT_EQ(sensor->name(), "cray");
+
+    cpu.advance(2.0);
+    gpu.idle(2.0);
+    counters.sample_to(2.0);
+    const State s = sensor->Read();
+    EXPECT_NEAR(s.joules, counters.node_energy_j(), 1e-9);
+    EXPECT_DOUBLE_EQ(s.timestamp_s, counters.last_sample_time());
+}
+
+TEST(PmtCray, SeesOnlyPublishedValues)
+{
+    // The Cray back-end inherits pm_counters' 10 Hz staleness.
+    cpusim::CpuDevice cpu(cpusim::epyc_7113());
+    gpusim::GpuDevice gpu(gpusim::a100_sxm4_80g());
+    pmcounters::PmCounters counters({}, &cpu, {&gpu});
+    auto sensor = CreateCray(&counters);
+    cpu.advance(0.05);
+    counters.sample_to(0.05); // below one tick: nothing published
+    EXPECT_DOUBLE_EQ(sensor->Read().joules, 0.0);
+}
+
+TEST(PmtCray, NullThrows) { EXPECT_THROW(CreateCray(nullptr), std::invalid_argument); }
+
+TEST(PmtComposite, SumsChildren)
+{
+    cpusim::CpuDevice cpu(cpusim::epyc_7113());
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g());
+    nvmlsim::ScopedNvmlBinding binding({&dev});
+
+    std::vector<std::unique_ptr<Pmt>> children;
+    children.push_back(CreateRapl(&cpu));
+    children.push_back(CreateNvml(0));
+    auto sensor = CreateComposite(std::move(children), "rank0");
+    EXPECT_EQ(sensor->name(), "rank0");
+
+    const State before = sensor->Read();
+    cpu.advance(2.0);
+    dev.idle(2.0);
+    const State after = sensor->Read();
+    EXPECT_NEAR(Pmt::joules(before, after), cpu.energy_j() + dev.energy_j(), 1.0);
+}
+
+TEST(PmtComposite, NullChildThrows)
+{
+    std::vector<std::unique_ptr<Pmt>> children;
+    children.push_back(nullptr);
+    EXPECT_THROW(CreateComposite(std::move(children)), std::invalid_argument);
+}
+
+TEST(PmtFactory, CreatesByName)
+{
+    cpusim::CpuDevice cpu(cpusim::epyc_7113());
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g());
+    pmcounters::PmCounters counters({}, &cpu, {&dev});
+    nvmlsim::ScopedNvmlBinding binding({&dev});
+
+    SensorContext ctx;
+    ctx.cpu = &cpu;
+    ctx.counters = &counters;
+    ctx.nvml_device_index = 0;
+
+    EXPECT_EQ(Create("NVML", ctx)->name(), "nvml");
+    EXPECT_EQ(Create("rapl", ctx)->name(), "rapl");
+    EXPECT_EQ(Create("cray", ctx)->name(), "cray");
+    EXPECT_EQ(Create("dummy", ctx)->name(), "dummy");
+    EXPECT_THROW(Create("likwid", ctx), std::invalid_argument);
+}
+
+TEST(PmtFactory, MissingContextThrows)
+{
+    EXPECT_THROW(Create("rapl", {}), std::invalid_argument);
+    EXPECT_THROW(Create("cray", {}), std::invalid_argument);
+}
+
+
+TEST(PmtRocm, ReadsEnergyViaRocmSmi)
+{
+    gpusim::GpuDevice gcd(gpusim::mi250x_gcd());
+    rocmsmi::ScopedRocmBinding binding({&gcd});
+    auto sensor = CreateRocm(0);
+    EXPECT_EQ(sensor->name(), "rocm");
+    const State before = sensor->Read();
+    gcd.idle(4.0);
+    const State after = sensor->Read();
+    EXPECT_NEAR(Pmt::joules(before, after), gcd.energy_j(), 0.01 * gcd.energy_j() + 0.01);
+    EXPECT_NEAR(Pmt::seconds(before, after), 4.0, 1e-6);
+}
+
+TEST(PmtRocm, BadIndexThrows)
+{
+    gpusim::GpuDevice gcd(gpusim::mi250x_gcd());
+    rocmsmi::ScopedRocmBinding binding({&gcd});
+    EXPECT_THROW(CreateRocm(5), std::invalid_argument);
+}
+
+TEST(PmtFactory, RocmByName)
+{
+    gpusim::GpuDevice gcd(gpusim::mi250x_gcd());
+    rocmsmi::ScopedRocmBinding binding({&gcd});
+    SensorContext ctx;
+    ctx.nvml_device_index = 0;
+    EXPECT_EQ(Create("rocm", ctx)->name(), "rocm");
+    EXPECT_EQ(Create("rocm-smi", ctx)->name(), "rocm");
+}
+
+} // namespace
+} // namespace gsph::pmt
+

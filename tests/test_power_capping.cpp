@@ -1,0 +1,167 @@
+/// Tests for the power-capping extension: device throttling, the NVML power
+/// management limit surface, and the policy-level behaviour.
+
+#include "core/policy.hpp"
+#include "nvmlsim/nvml.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph {
+namespace {
+
+gpusim::KernelWork hot_kernel()
+{
+    gpusim::KernelWork w;
+    w.name = "hot";
+    w.flops = 2e11;
+    w.dram_bytes = 2e10;
+    w.flop_efficiency = 0.6;
+    w.gather_fraction = 0.7;
+    w.threads = 90'000'000;
+    return w;
+}
+
+TEST(PowerCapDevice, ThrottlesClockToHonourLimit)
+{
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    dev.set_power_limit_w(175.0);
+    const auto r = dev.execute(hot_kernel());
+    EXPECT_LT(r.mean_clock_mhz, 1410.0);
+    EXPECT_LE(r.mean_power_w, 175.0 + 1.0);
+}
+
+TEST(PowerCapDevice, UncappedRunsAtAppClock)
+{
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    const auto r = dev.execute(hot_kernel());
+    EXPECT_DOUBLE_EQ(r.mean_clock_mhz, 1410.0);
+}
+
+TEST(PowerCapDevice, GenerousLimitDoesNotThrottle)
+{
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    dev.set_power_limit_w(dev.default_power_limit_w());
+    const auto r = dev.execute(hot_kernel());
+    EXPECT_DOUBLE_EQ(r.mean_clock_mhz, 1410.0);
+}
+
+TEST(PowerCapDevice, ColdKernelUnaffectedByModerateCap)
+{
+    // Memory-bound kernels draw less power: a cap that throttles the hot
+    // kernel leaves them at full clock (the complementary-to-ManDyn shape).
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    dev.set_power_limit_w(190.0);
+    gpusim::KernelWork cold = hot_kernel();
+    cold.flops = 2e9;
+    cold.dram_bytes = 6e10;
+    const auto r = dev.execute(cold);
+    EXPECT_DOUBLE_EQ(r.mean_clock_mhz, 1410.0);
+    const auto hot = dev.execute(hot_kernel());
+    EXPECT_LT(hot.mean_clock_mhz, 1410.0);
+}
+
+TEST(PowerCapDevice, TightCapThrottlesDeep)
+{
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    dev.set_power_limit_w(dev.spec().idle_w + 21.0); // barely above idle
+    const auto r = dev.execute(hot_kernel());
+    EXPECT_LT(r.mean_clock_mhz, 400.0); // deep-throttled
+    EXPECT_LE(r.mean_power_w, dev.spec().idle_w + 22.0);
+}
+
+TEST(PowerCapDevice, WorksUnderGovernorToo)
+{
+    gpusim::GpuDevice dev(gpusim::a100_pcie_40g());
+    dev.set_clock_policy(gpusim::ClockPolicy::kNativeDvfs);
+    dev.set_power_limit_w(175.0);
+    const auto r = dev.execute(hot_kernel());
+    EXPECT_LE(r.mean_power_w, 175.0 * 1.02);
+}
+
+class PowerLimitNvml : public ::testing::Test {
+protected:
+    PowerLimitNvml() : dev_(gpusim::a100_pcie_40g()), binding_({&dev_}, true)
+    {
+        nvmlsim::nvmlInit();
+        nvmlsim::nvmlDeviceGetHandleByIndex(0, &handle_);
+    }
+    ~PowerLimitNvml() override { nvmlsim::nvmlShutdown(); }
+
+    gpusim::GpuDevice dev_;
+    nvmlsim::ScopedNvmlBinding binding_;
+    nvmlsim::nvmlDevice_t handle_ = nullptr;
+};
+
+TEST_F(PowerLimitNvml, DefaultLimitIsTdp)
+{
+    unsigned int mw = 0;
+    ASSERT_EQ(nvmlsim::nvmlDeviceGetPowerManagementLimit(handle_, &mw),
+              nvmlsim::NVML_SUCCESS);
+    EXPECT_NEAR(static_cast<double>(mw) / 1000.0, dev_.default_power_limit_w(), 0.5);
+}
+
+TEST_F(PowerLimitNvml, SetAndGetRoundTrip)
+{
+    ASSERT_EQ(nvmlsim::nvmlDeviceSetPowerManagementLimit(handle_, 200000),
+              nvmlsim::NVML_SUCCESS);
+    unsigned int mw = 0;
+    ASSERT_EQ(nvmlsim::nvmlDeviceGetPowerManagementLimit(handle_, &mw),
+              nvmlsim::NVML_SUCCESS);
+    EXPECT_EQ(mw, 200000u);
+    EXPECT_DOUBLE_EQ(dev_.power_limit_w(), 200.0);
+}
+
+TEST_F(PowerLimitNvml, ConstraintsEnforced)
+{
+    unsigned int min_mw = 0, max_mw = 0;
+    ASSERT_EQ(nvmlsim::nvmlDeviceGetPowerManagementLimitConstraints(handle_, &min_mw,
+                                                                    &max_mw),
+              nvmlsim::NVML_SUCCESS);
+    EXPECT_LT(min_mw, max_mw);
+    EXPECT_EQ(nvmlsim::nvmlDeviceSetPowerManagementLimit(handle_, min_mw - 1000),
+              nvmlsim::NVML_ERROR_INVALID_ARGUMENT);
+    EXPECT_EQ(nvmlsim::nvmlDeviceSetPowerManagementLimit(handle_, max_mw + 1000),
+              nvmlsim::NVML_ERROR_INVALID_ARGUMENT);
+}
+
+TEST_F(PowerLimitNvml, PermissionGate)
+{
+    nvmlsim::set_user_clock_permission(false);
+    EXPECT_EQ(nvmlsim::nvmlDeviceSetPowerManagementLimit(handle_, 200000),
+              nvmlsim::NVML_ERROR_NO_PERMISSION);
+    nvmlsim::set_user_clock_permission(true);
+}
+
+TEST(PowerCapPolicy, CapsEnergyAtTimeCost)
+{
+    sim::WorkloadSpec spec;
+    spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+    spec.particles_per_gpu = 91.125e6;
+    spec.n_steps = 3;
+    spec.real_nside = 8;
+    const auto trace = sim::record_trace(spec);
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 3.0;
+    cfg.rank_jitter = 0.0;
+
+    auto baseline = core::make_baseline_policy();
+    const auto rb = core::run_with_policy(sim::mini_hpc(), trace, cfg, *baseline);
+    auto capped = core::make_power_cap_policy(180.0);
+    const auto rc = core::run_with_policy(sim::mini_hpc(), trace, cfg, *capped);
+
+    EXPECT_LT(rc.gpu_energy_j, rb.gpu_energy_j);
+    EXPECT_GT(rc.makespan_s(), rb.makespan_s());
+    // The cap throttles the compute-heavy functions, not the light ones.
+    EXPECT_LT(rc.fn(sph::SphFunction::kMomentumEnergy).mean_clock_mhz(), 1400.0);
+    EXPECT_GT(rc.fn(sph::SphFunction::kXMass).mean_clock_mhz(), 1400.0);
+}
+
+TEST(PowerCapPolicy, NameAndValidation)
+{
+    EXPECT_EQ(core::make_power_cap_policy(225.0)->name(), "PowerCap-225W");
+    EXPECT_THROW(core::make_power_cap_policy(0.0), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph

@@ -1,0 +1,154 @@
+#include "rocmsmi/rocm_smi.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph::rocmsmi {
+namespace {
+
+class RocmFixture : public ::testing::Test {
+protected:
+    RocmFixture()
+        : gcd0_(gpusim::mi250x_gcd(), 0),
+          gcd1_(gpusim::mi250x_gcd(), 1),
+          binding_({&gcd0_, &gcd1_}, /*allow_clock_writes=*/true)
+    {
+        rsmi_init(0);
+    }
+    ~RocmFixture() override { rsmi_shut_down(); }
+
+    gpusim::GpuDevice gcd0_;
+    gpusim::GpuDevice gcd1_;
+    ScopedRocmBinding binding_;
+};
+
+TEST_F(RocmFixture, DeviceCount)
+{
+    std::uint32_t count = 0;
+    ASSERT_EQ(rsmi_num_monitor_devices(&count), RSMI_STATUS_SUCCESS);
+    EXPECT_EQ(count, 2u);
+}
+
+TEST_F(RocmFixture, PowerInMicrowatts)
+{
+    gcd0_.idle(1.0);
+    std::uint64_t uw = 0;
+    ASSERT_EQ(rsmi_dev_power_ave_get(0, 0, &uw), RSMI_STATUS_SUCCESS);
+    EXPECT_NEAR(static_cast<double>(uw) / 1e6, gcd0_.power_w(), 0.01);
+}
+
+TEST_F(RocmFixture, EnergyCounterWithResolution)
+{
+    gcd0_.idle(5.0);
+    std::uint64_t counter = 0;
+    float resolution = 0.0f;
+    std::uint64_t ts = 0;
+    ASSERT_EQ(rsmi_dev_energy_count_get(0, &counter, &resolution, &ts),
+              RSMI_STATUS_SUCCESS);
+    EXPECT_FLOAT_EQ(resolution, static_cast<float>(kEnergyCounterResolutionUj));
+    const double joules = static_cast<double>(counter) * resolution * 1e-6;
+    EXPECT_NEAR(joules, gcd0_.energy_j(), 0.001 * gcd0_.energy_j() + 0.001);
+    EXPECT_EQ(ts, static_cast<std::uint64_t>(5.0 * 1e9));
+}
+
+TEST_F(RocmFixture, FrequencyTableAscendingAndInRange)
+{
+    rsmi_frequencies_t freqs;
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_SYS, &freqs),
+              RSMI_STATUS_SUCCESS);
+    ASSERT_GT(freqs.num_supported, 4u);
+    ASSERT_LE(freqs.num_supported, RSMI_MAX_NUM_FREQUENCIES);
+    for (std::uint32_t i = 1; i < freqs.num_supported; ++i) {
+        EXPECT_GT(freqs.frequency[i], freqs.frequency[i - 1]);
+    }
+    EXPECT_GE(freqs.frequency[0], 500ull * 1000000ull);
+    EXPECT_LE(freqs.frequency[freqs.num_supported - 1], 1700ull * 1000000ull);
+    EXPECT_LT(freqs.current, freqs.num_supported);
+}
+
+TEST_F(RocmFixture, MemClockSingleLevel)
+{
+    rsmi_frequencies_t freqs;
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_MEM, &freqs),
+              RSMI_STATUS_SUCCESS);
+    EXPECT_EQ(freqs.num_supported, 1u);
+    EXPECT_EQ(freqs.frequency[0], 1600ull * 1000000ull); // Table I
+}
+
+TEST_F(RocmFixture, FreqSetCapsAtHighestEnabledLevel)
+{
+    rsmi_frequencies_t freqs;
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_SYS, &freqs),
+              RSMI_STATUS_SUCCESS);
+    // Enable only the three lowest levels.
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b111),
+              RSMI_STATUS_SUCCESS);
+    EXPECT_NEAR(gcd0_.application_clock_mhz(),
+                static_cast<double>(freqs.frequency[2]) / 1e6, 10.0);
+    // Other device untouched.
+    EXPECT_DOUBLE_EQ(gcd1_.application_clock_mhz(), 1700.0);
+}
+
+TEST_F(RocmFixture, EmptyMaskRejected)
+{
+    EXPECT_EQ(rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0),
+              RSMI_STATUS_INVALID_ARGS);
+}
+
+TEST_F(RocmFixture, PerfAutoResets)
+{
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b1), RSMI_STATUS_SUCCESS);
+    ASSERT_EQ(rsmi_dev_perf_level_set_auto(0), RSMI_STATUS_SUCCESS);
+    EXPECT_DOUBLE_EQ(gcd0_.application_clock_mhz(), 1700.0);
+}
+
+TEST_F(RocmFixture, PermissionGate)
+{
+    set_clock_write_permission(false);
+    EXPECT_EQ(rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_SYS, 0b1),
+              RSMI_STATUS_PERMISSION);
+    EXPECT_EQ(rsmi_dev_perf_level_set_auto(0), RSMI_STATUS_PERMISSION);
+    set_clock_write_permission(true);
+}
+
+TEST_F(RocmFixture, UnknownDeviceNotFound)
+{
+    std::uint64_t uw = 0;
+    EXPECT_EQ(rsmi_dev_power_ave_get(9, 0, &uw), RSMI_STATUS_NOT_FOUND);
+}
+
+TEST_F(RocmFixture, MemClockSetNotSupported)
+{
+    EXPECT_EQ(rsmi_dev_gpu_clk_freq_set(0, RSMI_CLK_TYPE_MEM, 0b1),
+              RSMI_STATUS_NOT_SUPPORTED);
+}
+
+TEST_F(RocmFixture, BitmaskHelper)
+{
+    rsmi_frequencies_t freqs;
+    ASSERT_EQ(rsmi_dev_gpu_clk_freq_get(0, RSMI_CLK_TYPE_SYS, &freqs),
+              RSMI_STATUS_SUCCESS);
+    // A cap at the max enables everything.
+    const std::uint64_t all = bitmask_for_cap_mhz(freqs, 1700.0);
+    EXPECT_EQ(all, (1ULL << freqs.num_supported) - 1);
+    // A cap below the lowest level still enables the lowest.
+    EXPECT_EQ(bitmask_for_cap_mhz(freqs, 1.0), 1ULL);
+    // A mid cap enables a strict, non-empty prefix.
+    const std::uint64_t mid = bitmask_for_cap_mhz(freqs, 1200.0);
+    EXPECT_GT(mid, 0u);
+    EXPECT_LT(mid, all);
+    EXPECT_EQ((mid & (mid + 1)), 0u); // contiguous prefix of bits
+}
+
+TEST(RocmUninitialized, CallsFail)
+{
+    unbind_devices();
+    while (rsmi_shut_down() == RSMI_STATUS_SUCCESS) {
+    }
+    std::uint32_t count = 0;
+    EXPECT_EQ(rsmi_num_monitor_devices(&count), RSMI_STATUS_INIT_ERROR);
+}
+
+} // namespace
+} // namespace gsph::rocmsmi

@@ -1,0 +1,82 @@
+#include "sim/comm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sim {
+namespace {
+
+TEST(Comm, AllreduceGrowsLogarithmically)
+{
+    const auto system = cscs_a100();
+    const CommModel c4(system, 4), c32(system, 32), c256(system, 256);
+    const double t4 = c4.allreduce_s(64);
+    const double t32 = c32.allreduce_s(64);
+    const double t256 = c256.allreduce_s(64);
+    EXPECT_LT(t4, t32);
+    EXPECT_LT(t32, t256);
+    // log2(256)/log2(32) = 8/5 for the latency term
+    EXPECT_NEAR(t256 / t32, 8.0 / 5.0, 0.1);
+}
+
+TEST(Comm, SingleRankAllreduceNearZero)
+{
+    const CommModel c(cscs_a100(), 1);
+    EXPECT_LT(c.allreduce_s(64), 1e-4);
+    EXPECT_GT(c.allreduce_s(64), 0.0);
+}
+
+TEST(Comm, SingleRankHaloIsFree)
+{
+    const CommModel c(cscs_a100(), 1);
+    EXPECT_DOUBLE_EQ(c.halo_exchange_s(1 << 20), 0.0);
+}
+
+TEST(Comm, HaloScalesWithBytes)
+{
+    const CommModel c(cscs_a100(), 16);
+    const double small = c.halo_exchange_s(1 << 20);
+    const double large = c.halo_exchange_s(1 << 26);
+    EXPECT_GT(large, small);
+    // Bandwidth term dominates for 64 MiB.
+    EXPECT_NEAR(large, static_cast<double>(1 << 26) / cscs_a100().net_bw_bytes_per_s,
+                large * 0.2);
+}
+
+TEST(Comm, HaloBytesSurfaceScaling)
+{
+    // n^(2/3) scaling: 8x the particles -> 4x the halo.
+    const auto small = CommModel::halo_bytes(1e6, 10);
+    const auto large = CommModel::halo_bytes(8e6, 10);
+    EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 4.0, 0.05);
+}
+
+TEST(Comm, HaloBytesScaleWithFields)
+{
+    EXPECT_GT(CommModel::halo_bytes(1e6, 20), CommModel::halo_bytes(1e6, 10));
+}
+
+TEST(Comm, HostCollectiveOverheadIsMilliseconds)
+{
+    const CommModel c(cscs_a100(), 1);
+    EXPECT_GT(c.collective_host_overhead_s(), 1e-3);
+    EXPECT_LT(c.collective_host_overhead_s(), 0.1);
+}
+
+
+TEST(Comm, MeasuredHaloBytesUsePrefactor)
+{
+    // prefactor 5, N = 1e6, 10 fields: 5 * 1e4 halo particles * 80 B.
+    EXPECT_NEAR(static_cast<double>(CommModel::halo_bytes_measured(5.0, 1e6, 10)),
+                5.0 * 1e4 * 80.0, 1.0);
+    // Scales as N^(2/3).
+    const auto small = CommModel::halo_bytes_measured(5.0, 1e6, 10);
+    const auto large = CommModel::halo_bytes_measured(5.0, 8e6, 10);
+    EXPECT_NEAR(static_cast<double>(large) / static_cast<double>(small), 4.0, 0.05);
+}
+
+} // namespace
+} // namespace gsph::sim
+

@@ -1,0 +1,209 @@
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sim {
+namespace {
+
+class DriverFixture : public ::testing::Test {
+protected:
+    static const WorkloadTrace& trace()
+    {
+        static const WorkloadTrace t = [] {
+            WorkloadSpec spec;
+            spec.kind = WorkloadKind::kSubsonicTurbulence;
+            spec.particles_per_gpu = 20e6;
+            spec.n_steps = 4;
+            spec.real_nside = 8;
+            return record_trace(spec);
+        }();
+        return t;
+    }
+
+    static RunConfig base_config()
+    {
+        RunConfig cfg;
+        cfg.n_ranks = 2;
+        cfg.setup_s = 5.0;
+        cfg.teardown_s = 1.0;
+        cfg.rank_jitter = 0.01;
+        return cfg;
+    }
+};
+
+TEST_F(DriverFixture, BasicRunProducesSaneResult)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    EXPECT_EQ(r.n_ranks, 2);
+    EXPECT_EQ(r.n_steps, 4);
+    EXPECT_GT(r.makespan_s(), 0.0);
+    EXPECT_DOUBLE_EQ(r.loop_start_s, 5.0);
+    EXPECT_GT(r.loop_end_s, r.loop_start_s);
+    EXPECT_GT(r.gpu_energy_j, 0.0);
+    EXPECT_GT(r.cpu_energy_j, 0.0);
+    EXPECT_GT(r.other_energy_j, 0.0);
+    EXPECT_NEAR(r.node_energy_j,
+                r.gpu_energy_j + r.cpu_energy_j + r.memory_energy_j + r.other_energy_j,
+                1e-6);
+    EXPECT_EQ(r.system_name, "miniHPC");
+    EXPECT_EQ(r.workload_name, "SubsonicTurbulence");
+}
+
+TEST_F(DriverFixture, EveryFunctionAccountedOncePerStepPerRank)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    for (sph::SphFunction fn : sph::function_order(false)) {
+        EXPECT_EQ(r.fn(fn).calls, 4 * 2) << sph::to_string(fn);
+        EXPECT_GT(r.fn(fn).time_s, 0.0) << sph::to_string(fn);
+        EXPECT_GT(r.fn(fn).gpu_energy_j, 0.0) << sph::to_string(fn);
+    }
+    EXPECT_EQ(r.fn(sph::SphFunction::kGravity).calls, 0);
+}
+
+TEST_F(DriverFixture, FunctionTimesSumToMakespan)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    double total = 0.0;
+    for (const auto& a : r.per_function) total += a.time_s;
+    EXPECT_NEAR(total, r.makespan_s(), 0.02 * r.makespan_s());
+}
+
+TEST_F(DriverFixture, FunctionGpuEnergySumsToTotal)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    double total = 0.0;
+    for (const auto& a : r.per_function) total += a.gpu_energy_j;
+    // Time outside functions (end-of-step straggler sync) is small.
+    EXPECT_NEAR(total, r.gpu_energy_j, 0.03 * r.gpu_energy_j);
+}
+
+TEST_F(DriverFixture, SlurmSeesMoreThanLoopWindow)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    EXPECT_TRUE(r.slurm.completed);
+    EXPECT_GT(r.slurm.consumed_energy_j, r.node_energy_j);
+    // ... but the excess stays within a generous idle-node power envelope
+    // over the setup + teardown window.
+    const double setup_window = base_config().setup_s + base_config().teardown_s;
+    EXPECT_LT(r.slurm.consumed_energy_j - r.node_energy_j, 800.0 * setup_window);
+    EXPECT_NEAR(r.slurm.elapsed_s, r.total_wall_s, 1e-9);
+}
+
+TEST_F(DriverFixture, PmtMatchesGroundTruthWithinSamplingError)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    // PMT reads the 10 Hz pm_counters surface: small quantization error.
+    EXPECT_NEAR(r.pmt_loop_energy_j, r.node_energy_j, 0.05 * r.node_energy_j);
+}
+
+TEST_F(DriverFixture, HooksFireInOrder)
+{
+    int before = 0, after = 0;
+    bool order_ok = true;
+    RunHooks hooks;
+    hooks.before_function = [&](int, gpusim::GpuDevice&, sph::SphFunction) {
+        if (before != after) order_ok = false;
+        ++before;
+    };
+    hooks.after_function = [&](int, gpusim::GpuDevice&, sph::SphFunction,
+                               const gpusim::KernelResult&) { ++after; };
+    int steps = 0;
+    hooks.after_step = [&](int) { ++steps; };
+    run_instrumented(mini_hpc(), trace(), base_config(), hooks);
+    const int expected = 4 * 2 * static_cast<int>(sph::function_order(false).size());
+    EXPECT_EQ(before, expected);
+    EXPECT_EQ(after, expected);
+    EXPECT_EQ(steps, 4);
+    EXPECT_TRUE(order_ok);
+}
+
+TEST_F(DriverFixture, StaticClockAppliesEverywhere)
+{
+    auto cfg = base_config();
+    cfg.app_clock_mhz = 1005.0;
+    const auto r = run_instrumented(mini_hpc(), trace(), cfg);
+    for (sph::SphFunction fn : sph::function_order(false)) {
+        // Halo/collective idle time at the park clock dilutes the mean for
+        // the communication-bearing functions.
+        if (sph::is_collective(fn) || fn == sph::SphFunction::kDomainDecompAndSync) {
+            continue;
+        }
+        EXPECT_NEAR(r.fn(fn).mean_clock_mhz(), 1005.0, 30.0) << sph::to_string(fn);
+    }
+}
+
+TEST_F(DriverFixture, LowerClockSlowerCheaper)
+{
+    auto cfg = base_config();
+    const auto base = run_instrumented(mini_hpc(), trace(), cfg);
+    cfg.app_clock_mhz = 1005.0;
+    const auto low = run_instrumented(mini_hpc(), trace(), cfg);
+    EXPECT_GT(low.makespan_s(), base.makespan_s());
+    EXPECT_LT(low.gpu_energy_j, base.gpu_energy_j);
+}
+
+TEST_F(DriverFixture, DvfsPolicyTracesClock)
+{
+    auto cfg = base_config();
+    cfg.clock_policy = gpusim::ClockPolicy::kNativeDvfs;
+    cfg.enable_rank0_trace = true;
+    const auto r = run_instrumented(mini_hpc(), trace(), cfg);
+    EXPECT_FALSE(r.rank0_clock_trace.empty());
+    EXPECT_GT(r.rank0_clock_trace.max_value(), 1300.0); // boosts near max
+    EXPECT_LT(r.rank0_clock_trace.min_value(), 1300.0); // dips during idle
+    EXPECT_EQ(r.step_start_times.size(), 4u);
+}
+
+TEST_F(DriverFixture, MoreRanksMoreEnergySimilarTime)
+{
+    auto cfg = base_config();
+    cfg.n_ranks = 2;
+    const auto small = run_instrumented(mini_hpc(), trace(), cfg);
+    cfg.n_ranks = 4;
+    const auto large = run_instrumented(mini_hpc(), trace(), cfg);
+    // Weak scaling: same per-rank work, double the ranks.
+    EXPECT_NEAR(large.gpu_energy_j / small.gpu_energy_j, 2.0, 0.1);
+    EXPECT_NEAR(large.makespan_s() / small.makespan_s(), 1.0, 0.05);
+}
+
+TEST_F(DriverFixture, JitterIsDeterministic)
+{
+    const auto a = run_instrumented(mini_hpc(), trace(), base_config());
+    const auto b = run_instrumented(mini_hpc(), trace(), base_config());
+    EXPECT_DOUBLE_EQ(a.makespan_s(), b.makespan_s());
+    EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
+}
+
+TEST_F(DriverFixture, StepsCanExceedTraceLength)
+{
+    auto cfg = base_config();
+    cfg.n_steps = 10; // trace has 4: cycles
+    const auto r = run_instrumented(mini_hpc(), trace(), cfg);
+    EXPECT_EQ(r.n_steps, 10);
+    EXPECT_EQ(r.fn(sph::SphFunction::kMomentumEnergy).calls, 10 * 2);
+}
+
+TEST_F(DriverFixture, EmptyTraceThrows)
+{
+    WorkloadTrace empty;
+    EXPECT_THROW(run_instrumented(mini_hpc(), empty, base_config()),
+                 std::invalid_argument);
+}
+
+TEST_F(DriverFixture, CpuEnergyApportionedByDuration)
+{
+    const auto r = run_instrumented(mini_hpc(), trace(), base_config());
+    double cpu_total = 0.0;
+    for (const auto& a : r.per_function) cpu_total += a.cpu_energy_j;
+    EXPECT_NEAR(cpu_total, r.cpu_energy_j + r.memory_energy_j, 1.0);
+    // The biggest-time function gets the biggest CPU share.
+    const auto& me = r.fn(sph::SphFunction::kMomentumEnergy);
+    const auto& eos = r.fn(sph::SphFunction::kEquationOfState);
+    EXPECT_GT(me.cpu_energy_j, eos.cpu_energy_j);
+}
+
+} // namespace
+} // namespace gsph::sim

@@ -1,0 +1,112 @@
+#include "sim/node.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sim {
+namespace {
+
+TEST(Node, HasSystemTopology)
+{
+    Node node(cscs_a100(), 0);
+    EXPECT_EQ(node.gpu_count(), 4);
+    EXPECT_EQ(node.counters().accel_file_count(), 4);
+    EXPECT_EQ(node.cpu().spec().name, "epyc-7113");
+}
+
+TEST(Node, LumiAliasesGcds)
+{
+    Node node(lumi_g(), 0);
+    EXPECT_EQ(node.gpu_count(), 8);
+    EXPECT_EQ(node.counters().accel_file_count(), 4); // 2 GCDs per file
+}
+
+TEST(Node, GpuIndicesGloballyUnique)
+{
+    Node n0(cscs_a100(), 0), n1(cscs_a100(), 1);
+    EXPECT_EQ(n0.gpu(0).index(), 0);
+    EXPECT_EQ(n0.gpu(3).index(), 3);
+    EXPECT_EQ(n1.gpu(0).index(), 4);
+}
+
+TEST(Node, SyncBringsEverythingToTime)
+{
+    Node node(cscs_a100(), 0);
+    node.gpu(0).idle(1.0); // one device runs ahead
+    node.sync_to(2.0);
+    for (int g = 0; g < node.gpu_count(); ++g) {
+        EXPECT_DOUBLE_EQ(node.gpu(g).now(), 2.0);
+    }
+    EXPECT_DOUBLE_EQ(node.cpu().now(), 2.0);
+    EXPECT_GT(node.counters().node_energy_j(), 0.0);
+}
+
+TEST(Node, SyncToPastIsNoOpForAheadComponents)
+{
+    Node node(cscs_a100(), 0);
+    node.gpu(0).idle(5.0);
+    node.sync_to(5.0);
+    node.sync_to(5.0); // idempotent
+    EXPECT_DOUBLE_EQ(node.gpu(0).now(), 5.0);
+}
+
+TEST(Node, MaxGpuTime)
+{
+    Node node(cscs_a100(), 0);
+    node.gpu(2).idle(3.5);
+    EXPECT_DOUBLE_EQ(node.max_gpu_time(), 3.5);
+}
+
+TEST(Cluster, RankMapping)
+{
+    Cluster cluster(cscs_a100(), 8); // 2 nodes x 4 GPUs
+    EXPECT_EQ(cluster.n_nodes(), 2);
+    EXPECT_EQ(cluster.rank_gpu(0).index(), 0);
+    EXPECT_EQ(cluster.rank_gpu(5).index(), 5);
+    EXPECT_EQ(&cluster.rank_node(5), &cluster.node(1));
+    EXPECT_THROW(cluster.rank_gpu(8), std::out_of_range);
+    EXPECT_THROW(cluster.rank_gpu(-1), std::out_of_range);
+}
+
+TEST(Cluster, PartialNodesAllowed)
+{
+    // The paper's miniHPC runs drive one GPU of a two-GPU node.
+    const Cluster single(mini_hpc(), 1);
+    EXPECT_EQ(single.n_nodes(), 1);
+    const Cluster partial(cscs_a100(), 6);
+    EXPECT_EQ(partial.n_nodes(), 2);
+    EXPECT_THROW(Cluster(cscs_a100(), 0), std::invalid_argument);
+    EXPECT_THROW(Cluster(cscs_a100(), -4), std::invalid_argument);
+}
+
+TEST(Cluster, AllGpusInRankOrder)
+{
+    Cluster cluster(lumi_g(), 16);
+    const auto gpus = cluster.all_gpus();
+    ASSERT_EQ(gpus.size(), 16u);
+    for (int i = 0; i < 16; ++i) {
+        EXPECT_EQ(gpus[static_cast<std::size_t>(i)], &cluster.rank_gpu(i));
+    }
+}
+
+TEST(Cluster, AllCountersOnePerNode)
+{
+    Cluster cluster(lumi_g(), 16);
+    EXPECT_EQ(cluster.all_counters().size(), 2u);
+}
+
+TEST(Cluster, SyncAll)
+{
+    Cluster cluster(cscs_a100(), 8);
+    cluster.rank_gpu(3).idle(1.0);
+    cluster.sync_all_to(4.0);
+    EXPECT_DOUBLE_EQ(cluster.max_gpu_time(), 4.0);
+    for (int n = 0; n < cluster.n_nodes(); ++n) {
+        EXPECT_DOUBLE_EQ(cluster.node(n).cpu().now(), 4.0);
+    }
+}
+
+} // namespace
+} // namespace gsph::sim

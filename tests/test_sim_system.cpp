@@ -1,0 +1,63 @@
+#include "sim/system.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sim {
+namespace {
+
+TEST(System, CatalogValidates)
+{
+    EXPECT_NO_THROW(lumi_g().validate());
+    EXPECT_NO_THROW(cscs_a100().validate());
+    EXPECT_NO_THROW(mini_hpc().validate());
+}
+
+TEST(System, TableOneTopology)
+{
+    // Table I of the paper.
+    const auto lumi = lumi_g();
+    EXPECT_EQ(lumi.gpus_per_node, 8);        // 8 GCDs (4 MI250X cards)
+    EXPECT_EQ(lumi.gcds_per_accel_file, 2);  // pm_counters per card
+    EXPECT_EQ(lumi.cpu.total_cores(), 64);
+    EXPECT_EQ(lumi.gpu.name, "mi250x-gcd");
+
+    const auto cscs = cscs_a100();
+    EXPECT_EQ(cscs.gpus_per_node, 4);
+    EXPECT_EQ(cscs.gcds_per_accel_file, 1);
+    EXPECT_EQ(cscs.gpu.name, "a100-sxm4-80g");
+
+    const auto mini = mini_hpc();
+    EXPECT_EQ(mini.gpus_per_node, 2);
+    EXPECT_EQ(mini.cpu.sockets, 2);
+    EXPECT_EQ(mini.gpu.name, "a100-pcie-40g");
+}
+
+TEST(System, LookupByName)
+{
+    EXPECT_EQ(system_by_name("LUMI-G").name, "LUMI-G");
+    EXPECT_EQ(system_by_name("lumi").name, "LUMI-G");
+    EXPECT_EQ(system_by_name("cscs").name, "CSCS-A100");
+    EXPECT_EQ(system_by_name("miniHPC").name, "miniHPC");
+    EXPECT_THROW(system_by_name("frontier"), std::invalid_argument);
+}
+
+TEST(System, ValidationCatchesBadTopology)
+{
+    auto s = cscs_a100();
+    s.gcds_per_accel_file = 3; // does not divide 4
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = cscs_a100();
+    s.gpus_per_node = 0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+
+    s = cscs_a100();
+    s.aux_power_w = -1.0;
+    EXPECT_THROW(s.validate(), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph::sim

@@ -1,0 +1,190 @@
+#include "sim/workload.hpp"
+
+#include "sim/driver.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sim {
+namespace {
+
+WorkloadSpec small_spec(WorkloadKind kind)
+{
+    WorkloadSpec spec;
+    spec.kind = kind;
+    spec.particles_per_gpu = 1e6;
+    spec.n_steps = 3;
+    spec.real_nside = 8;
+    return spec;
+}
+
+TEST(Workload, Names)
+{
+    EXPECT_STREQ(to_string(WorkloadKind::kSubsonicTurbulence), "SubsonicTurbulence");
+    EXPECT_STREQ(to_string(WorkloadKind::kEvrardCollapse), "EvrardCollapse");
+}
+
+TEST(Workload, RecordTraceShape)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    EXPECT_EQ(trace.n_steps(), 3);
+    EXPECT_EQ(trace.kind, WorkloadKind::kSubsonicTurbulence);
+    EXPECT_DOUBLE_EQ(trace.n_particles_real, 512.0);
+    for (const auto& step : trace.steps) {
+        EXPECT_EQ(step.functions.size(), sph::function_order(false).size());
+    }
+}
+
+TEST(Workload, EvrardTraceIncludesGravity)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kEvrardCollapse));
+    bool has_gravity = false;
+    for (const auto& fr : trace.steps[0].functions) {
+        if (fr.fn == sph::SphFunction::kGravity) {
+            has_gravity = true;
+            EXPECT_GT(fr.work.flops, 0.0);
+        }
+    }
+    EXPECT_TRUE(has_gravity);
+}
+
+TEST(Workload, TurbulenceTraceExcludesGravity)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    for (const auto& fr : trace.steps[0].functions) {
+        EXPECT_NE(fr.fn, sph::SphFunction::kGravity);
+    }
+}
+
+TEST(Workload, WorkScaleRatio)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    EXPECT_NEAR(trace.work_scale(), 1e6 / 512.0, 1e-9);
+}
+
+TEST(Workload, FinalDiagnosticsReturned)
+{
+    sph::StepDiagnostics diag;
+    record_trace(small_spec(WorkloadKind::kSubsonicTurbulence), &diag);
+    EXPECT_GT(diag.e_total, 0.0);
+    EXPECT_GT(diag.rho_mean, 0.5);
+}
+
+TEST(Workload, TotalFlopsPositive)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    EXPECT_GT(trace.total_flops(), 0.0);
+}
+
+TEST(Workload, DeterministicTraces)
+{
+    const auto a = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    const auto b = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    ASSERT_EQ(a.n_steps(), b.n_steps());
+    for (int s = 0; s < a.n_steps(); ++s) {
+        const auto& fa = a.steps[static_cast<std::size_t>(s)].functions;
+        const auto& fb = b.steps[static_cast<std::size_t>(s)].functions;
+        ASSERT_EQ(fa.size(), fb.size());
+        for (std::size_t f = 0; f < fa.size(); ++f) {
+            EXPECT_EQ(fa[f].fn, fb[f].fn);
+            EXPECT_DOUBLE_EQ(fa[f].work.flops, fb[f].work.flops);
+            EXPECT_DOUBLE_EQ(fa[f].work.dram_bytes, fb[f].work.dram_bytes);
+        }
+    }
+}
+
+TEST(Workload, InvalidSpecsThrow)
+{
+    auto spec = small_spec(WorkloadKind::kSubsonicTurbulence);
+    spec.n_steps = 0;
+    EXPECT_THROW(record_trace(spec), std::invalid_argument);
+    spec = small_spec(WorkloadKind::kSubsonicTurbulence);
+    spec.particles_per_gpu = 0.0;
+    EXPECT_THROW(record_trace(spec), std::invalid_argument);
+}
+
+TEST(Workload, MakeSimulationMatchesKind)
+{
+    auto turb = make_simulation(small_spec(WorkloadKind::kSubsonicTurbulence));
+    EXPECT_FALSE(turb.config().gravity);
+    auto evrard = make_simulation(small_spec(WorkloadKind::kEvrardCollapse));
+    EXPECT_TRUE(evrard.config().gravity);
+}
+
+
+TEST(Workload, RecordsMeasuredHaloPrefactor)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    EXPECT_GT(trace.halo_surface_prefactor, 0.5);
+    EXPECT_LT(trace.halo_surface_prefactor, 20.0);
+}
+
+TEST(Workload, SerializeParseRoundTrip)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    const auto parsed = WorkloadTrace::parse(trace.serialize());
+    EXPECT_EQ(parsed.workload_name, trace.workload_name);
+    EXPECT_DOUBLE_EQ(parsed.halo_surface_prefactor, trace.halo_surface_prefactor);
+    EXPECT_EQ(parsed.kind, trace.kind);
+    EXPECT_DOUBLE_EQ(parsed.n_particles_real, trace.n_particles_real);
+    EXPECT_DOUBLE_EQ(parsed.particles_per_gpu, trace.particles_per_gpu);
+    ASSERT_EQ(parsed.n_steps(), trace.n_steps());
+    for (int s = 0; s < trace.n_steps(); ++s) {
+        const auto& fa = trace.steps[static_cast<std::size_t>(s)].functions;
+        const auto& fb = parsed.steps[static_cast<std::size_t>(s)].functions;
+        ASSERT_EQ(fa.size(), fb.size());
+        for (std::size_t f = 0; f < fa.size(); ++f) {
+            EXPECT_EQ(fa[f].fn, fb[f].fn);
+            EXPECT_DOUBLE_EQ(fa[f].work.flops, fb[f].work.flops);
+            EXPECT_DOUBLE_EQ(fa[f].work.dram_bytes, fb[f].work.dram_bytes);
+            EXPECT_DOUBLE_EQ(fa[f].work.gather_fraction, fb[f].work.gather_fraction);
+            EXPECT_EQ(fa[f].work.launches, fb[f].work.launches);
+            EXPECT_EQ(fa[f].work.threads, fb[f].work.threads);
+        }
+    }
+}
+
+TEST(Workload, ParsedTraceReplaysIdentically)
+{
+    const auto trace = record_trace(small_spec(WorkloadKind::kSubsonicTurbulence));
+    const auto parsed = WorkloadTrace::parse(trace.serialize());
+    RunConfig cfg;
+    cfg.n_ranks = 2;
+    cfg.setup_s = 2.0;
+    const auto a = run_instrumented(mini_hpc(), trace, cfg);
+    const auto b = run_instrumented(mini_hpc(), parsed, cfg);
+    EXPECT_DOUBLE_EQ(a.gpu_energy_j, b.gpu_energy_j);
+    EXPECT_DOUBLE_EQ(a.makespan_s(), b.makespan_s());
+}
+
+TEST(Workload, ParseRejectsGarbage)
+{
+    EXPECT_THROW(WorkloadTrace::parse(""), std::invalid_argument);
+    EXPECT_THROW(WorkloadTrace::parse("not a trace"), std::invalid_argument);
+    EXPECT_THROW(WorkloadTrace::parse("# greensph workload trace v1\nbogus,x\n"),
+                 std::invalid_argument);
+}
+
+
+TEST(Workload, SedovTraceRecordsAndRuns)
+{
+    auto spec = small_spec(WorkloadKind::kSedovBlast);
+    spec.real_nside = 10;
+    const auto trace = record_trace(spec);
+    EXPECT_EQ(trace.workload_name, "SedovBlast");
+    for (const auto& fr : trace.steps[0].functions) {
+        EXPECT_NE(fr.fn, sph::SphFunction::kGravity); // no gravity in Sedov
+    }
+    RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 2.0;
+    const auto r = run_instrumented(mini_hpc(), trace, cfg);
+    EXPECT_GT(r.gpu_energy_j, 0.0);
+}
+
+} // namespace
+} // namespace gsph::sim
+
+

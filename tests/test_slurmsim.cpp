@@ -1,0 +1,123 @@
+#include "slurmsim/slurm.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::slurmsim {
+namespace {
+
+struct TestNode {
+    cpusim::CpuDevice cpu{cpusim::epyc_7113()};
+    gpusim::GpuDevice gpu{gpusim::a100_sxm4_80g()};
+    pmcounters::PmCounters counters{{}, &cpu, {&gpu}};
+
+    void advance(double dt, double to)
+    {
+        cpu.advance(dt);
+        gpu.idle(dt);
+        counters.sample_to(to);
+    }
+};
+
+TEST(SlurmJob, ConsumedEnergyIsNodeDelta)
+{
+    TestNode node;
+    node.advance(1.0, 1.0); // pre-job activity
+    Job job("42", "turb", {&node.counters});
+    job.start(1.0);
+    const double baseline = node.counters.node_energy_j();
+    node.advance(10.0, 11.0);
+    job.finish(11.0);
+    EXPECT_NEAR(job.consumed_energy_j(), node.counters.node_energy_j() - baseline, 1.0);
+    EXPECT_DOUBLE_EQ(job.elapsed_s(), 10.0);
+}
+
+TEST(SlurmJob, MultiNodeSumsAllNodes)
+{
+    TestNode a, b;
+    Job job("43", "turb", {&a.counters, &b.counters});
+    job.start(0.0);
+    a.advance(5.0, 5.0);
+    b.advance(5.0, 5.0);
+    job.finish(5.0);
+    EXPECT_NEAR(job.consumed_energy_j(),
+                a.counters.node_energy_j() + b.counters.node_energy_j(), 2.0);
+}
+
+TEST(SlurmJob, IncludesSetupPhaseUnlikePmt)
+{
+    // The Fig. 3 mechanism: Slurm accounts from job start.
+    TestNode node;
+    Job job("44", "turb", {&node.counters});
+    job.start(0.0);
+    node.advance(30.0, 30.0); // setup: idle but accounted
+    const double at_loop_start = node.counters.node_energy_j();
+    node.advance(10.0, 40.0); // "loop"
+    job.finish(40.0);
+    const double pmt_loop = node.counters.node_energy_j() - at_loop_start;
+    EXPECT_GT(job.consumed_energy_j(), pmt_loop);
+}
+
+TEST(SlurmJob, LifecycleErrors)
+{
+    TestNode node;
+    Job job("45", "x", {&node.counters});
+    EXPECT_THROW(job.finish(1.0), std::logic_error);
+    job.start(0.0);
+    EXPECT_THROW(job.start(0.0), std::logic_error);
+    job.finish(1.0);
+    EXPECT_THROW(job.finish(2.0), std::logic_error);
+}
+
+TEST(SlurmJob, EmptyOrNullNodesThrow)
+{
+    EXPECT_THROW(Job("1", "x", {}), std::invalid_argument);
+    EXPECT_THROW(Job("1", "x", {nullptr}), std::invalid_argument);
+}
+
+TEST(SlurmJob, UnfinishedJobReportsZero)
+{
+    TestNode node;
+    Job job("46", "x", {&node.counters});
+    job.start(0.0);
+    EXPECT_DOUBLE_EQ(job.consumed_energy_j(), 0.0);
+    EXPECT_FALSE(job.record().completed);
+}
+
+TEST(SlurmJob, EnergyIsIntegralJoules)
+{
+    TestNode node;
+    Job job("47", "x", {&node.counters});
+    job.start(0.0);
+    node.advance(1.234, 1.234);
+    job.finish(1.234);
+    const double e = job.consumed_energy_j();
+    EXPECT_DOUBLE_EQ(e, std::floor(e));
+}
+
+TEST(SlurmFormat, ConsumedEnergySuffixes)
+{
+    EXPECT_EQ(format_consumed_energy(24.4e6), "24.40M");
+    EXPECT_EQ(format_consumed_energy(1500.0), "1.50K");
+    EXPECT_EQ(format_consumed_energy(42.0), "42");
+}
+
+TEST(SlurmFormat, SacctTableContainsColumns)
+{
+    TestNode node;
+    Job job("48", "SubsonicTurbulence", {&node.counters});
+    job.start(0.0);
+    node.advance(3700.0, 3700.0);
+    job.finish(3700.0);
+    const std::string out = format_sacct({job.record()});
+    EXPECT_NE(out.find("JobID"), std::string::npos);
+    EXPECT_NE(out.find("ConsumedEnergy"), std::string::npos);
+    EXPECT_NE(out.find("48"), std::string::npos);
+    EXPECT_NE(out.find("SubsonicTurbulence"), std::string::npos);
+    EXPECT_NE(out.find("01:01:40"), std::string::npos); // elapsed hh:mm:ss
+}
+
+} // namespace
+} // namespace gsph::slurmsim

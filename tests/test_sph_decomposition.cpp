@@ -1,0 +1,96 @@
+#include "sph/decomposition.hpp"
+
+#include "sph/ic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+namespace gsph::sph {
+namespace {
+
+SphSimulation prepared_sim(int nside)
+{
+    TurbulenceParams p;
+    p.nside = nside;
+    p.ng_target = 60;
+    auto sim = make_subsonic_turbulence(p);
+    sim.domain_decomp_and_sync();
+    sim.find_neighbors();
+    return sim;
+}
+
+TEST(Decomposition, PartSizesSumToTotal)
+{
+    auto sim = prepared_sim(12);
+    const auto stats = analyze_sfc_decomposition(sim, 8);
+    EXPECT_EQ(stats.n_parts, 8);
+    EXPECT_EQ(std::accumulate(stats.part_sizes.begin(), stats.part_sizes.end(),
+                              std::size_t{0}),
+              sim.particles().size());
+}
+
+TEST(Decomposition, PartsAreBalanced)
+{
+    auto sim = prepared_sim(12); // 1728 particles into 8 parts of 216
+    const auto stats = analyze_sfc_decomposition(sim, 8);
+    for (std::size_t s : stats.part_sizes) {
+        EXPECT_NEAR(static_cast<double>(s), 216.0, 1.0);
+    }
+}
+
+TEST(Decomposition, HaloBoundedByPartSize)
+{
+    auto sim = prepared_sim(12);
+    const auto stats = analyze_sfc_decomposition(sim, 8);
+    for (std::size_t p = 0; p < stats.part_sizes.size(); ++p) {
+        EXPECT_LE(stats.halo_counts[p], stats.part_sizes[p]);
+        EXPECT_GT(stats.halo_counts[p], 0u); // every SFC part touches others
+    }
+    EXPECT_GT(stats.mean_halo_fraction, 0.0);
+    EXPECT_LE(stats.mean_halo_fraction, 1.0);
+}
+
+TEST(Decomposition, SinglePartHasNoHalo)
+{
+    auto sim = prepared_sim(8);
+    const auto stats = analyze_sfc_decomposition(sim, 1);
+    EXPECT_EQ(stats.halo_counts[0], 0u);
+    EXPECT_DOUBLE_EQ(stats.mean_halo_fraction, 0.0);
+}
+
+TEST(Decomposition, MorePartsMoreTotalHalo)
+{
+    auto sim = prepared_sim(14);
+    const auto few = analyze_sfc_decomposition(sim, 2);
+    const auto many = analyze_sfc_decomposition(sim, 16);
+    const auto total = [](const DecompositionStats& s) {
+        return std::accumulate(s.halo_counts.begin(), s.halo_counts.end(),
+                               std::size_t{0});
+    };
+    EXPECT_GT(total(many), total(few));
+}
+
+TEST(Decomposition, SurfacePrefactorPlausible)
+{
+    // For SFC cuts of a 3D lattice the prefactor sits in the low single
+    // digits to low tens; at laptop sizes it saturates toward size^(1/3).
+    auto sim = prepared_sim(14);
+    const auto stats = analyze_sfc_decomposition(sim, 4);
+    EXPECT_GT(stats.surface_prefactor, 1.0);
+    EXPECT_LT(stats.surface_prefactor, 20.0);
+}
+
+TEST(Decomposition, ErrorsOnBadInput)
+{
+    auto sim = prepared_sim(8);
+    EXPECT_THROW(analyze_sfc_decomposition(sim, 0), std::invalid_argument);
+
+    TurbulenceParams p;
+    p.nside = 8;
+    auto fresh = make_subsonic_turbulence(p); // neighbours not built
+    EXPECT_THROW(analyze_sfc_decomposition(fresh, 4), std::logic_error);
+}
+
+} // namespace
+} // namespace gsph::sph

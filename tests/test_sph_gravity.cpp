@@ -1,0 +1,208 @@
+#include "sph/gravity.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsph::sph {
+namespace {
+
+ParticleSet make_sorted(const std::vector<Vec3>& pos, const std::vector<double>& mass,
+                        const Box& box)
+{
+    ParticleSet ps;
+    ps.resize(pos.size());
+    for (std::size_t i = 0; i < pos.size(); ++i) {
+        ps.x[i] = pos[i].x;
+        ps.y[i] = pos[i].y;
+        ps.z[i] = pos[i].z;
+        ps.m[i] = mass[i];
+        ps.h[i] = 0.01;
+        ps.key[i] = morton_key(pos[i], box);
+    }
+    std::vector<std::size_t> order(pos.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&ps](std::size_t a, std::size_t b) { return ps.key[a] < ps.key[b]; });
+    ps.reorder(order);
+    return ps;
+}
+
+/// Direct O(N^2) reference with the same softening.
+std::vector<Vec3> direct_sum(const ParticleSet& ps, const GravityConfig& cfg)
+{
+    std::vector<Vec3> acc(ps.size());
+    const double eps2 = cfg.softening * cfg.softening;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        for (std::size_t j = 0; j < ps.size(); ++j) {
+            if (i == j) continue;
+            const Vec3 d = ps.pos(j) - ps.pos(i);
+            const double r2 = d.norm2() + eps2;
+            const double inv_r = 1.0 / std::sqrt(r2);
+            acc[i] += (cfg.G * ps.m[j] * inv_r * inv_r * inv_r) * d;
+        }
+    }
+    return acc;
+}
+
+TEST(Gravity, TwoBodySymmetric)
+{
+    const Box box = Box::cube(-1.0, 1.0, false);
+    ParticleSet ps = make_sorted({{-0.25, 0.0, 0.0}, {0.25, 0.0, 0.0}}, {1.0, 1.0}, box);
+    Octree tree;
+    tree.build(ps, box, 1);
+    GravityConfig cfg;
+    cfg.softening = 1e-4;
+    const auto stats = compute_gravity(ps, tree, cfg);
+    // Attraction toward each other, equal magnitude.
+    EXPECT_GT(ps.ax[0], 0.0);
+    EXPECT_LT(ps.ax[1], 0.0);
+    EXPECT_NEAR(ps.ax[0], -ps.ax[1], 1e-9);
+    EXPECT_NEAR(std::fabs(ps.ax[0]), 1.0 / 0.25, 1e-3); // G m / r^2 = 1/0.5^2 = 4
+    EXPECT_NEAR(stats.potential, -1.0 / 0.5, 1e-3);     // -G m1 m2 / r
+}
+
+TEST(Gravity, MatchesDirectSummationAtTightTheta)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    util::Rng rng(31);
+    std::vector<Vec3> pos;
+    std::vector<double> mass;
+    for (int i = 0; i < 300; ++i) {
+        pos.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        mass.push_back(rng.uniform(0.5, 1.5));
+    }
+    ParticleSet ps = make_sorted(pos, mass, box);
+    Octree tree;
+    tree.build(ps, box, 8);
+    GravityConfig cfg;
+    cfg.theta = 0.2; // tight opening angle -> near-exact
+    const auto stats = compute_gravity(ps, tree, cfg);
+    (void)stats;
+    const auto ref = direct_sum(ps, cfg);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double mag = ref[i].norm() + 1e-10;
+        EXPECT_NEAR(ps.ax[i], ref[i].x, 0.02 * mag);
+        EXPECT_NEAR(ps.ay[i], ref[i].y, 0.02 * mag);
+        EXPECT_NEAR(ps.az[i], ref[i].z, 0.02 * mag);
+    }
+}
+
+TEST(Gravity, NetForceNearZero)
+{
+    // Momentum conservation: total force sums to ~0 (exact for direct
+    // pairs, approximate for multipoles).
+    const Box box = Box::cube(0.0, 1.0, false);
+    util::Rng rng(32);
+    std::vector<Vec3> pos;
+    std::vector<double> mass;
+    for (int i = 0; i < 500; ++i) {
+        pos.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        mass.push_back(1.0);
+    }
+    ParticleSet ps = make_sorted(pos, mass, box);
+    Octree tree;
+    tree.build(ps, box, 8);
+    GravityConfig cfg;
+    cfg.theta = 0.5;
+    compute_gravity(ps, tree, cfg);
+    Vec3 net{0.0, 0.0, 0.0};
+    double mag = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        net += ps.acc(i) * ps.m[i];
+        mag += ps.acc(i).norm() * ps.m[i];
+    }
+    EXPECT_LT(net.norm() / mag, 0.02);
+}
+
+TEST(Gravity, LargerThetaUsesFewerInteractions)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    util::Rng rng(33);
+    std::vector<Vec3> pos;
+    std::vector<double> mass;
+    for (int i = 0; i < 1000; ++i) {
+        pos.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        mass.push_back(1.0);
+    }
+    ParticleSet ps = make_sorted(pos, mass, box);
+    Octree tree;
+    tree.build(ps, box, 8);
+
+    GravityConfig tight;
+    tight.theta = 0.3;
+    GravityConfig loose;
+    loose.theta = 0.9;
+
+    ParticleSet ps_a = ps;
+    const auto stats_tight = compute_gravity(ps_a, tree, tight);
+    ParticleSet ps_b = ps;
+    const auto stats_loose = compute_gravity(ps_b, tree, loose);
+
+    const auto total = [](const GravityStats& s) {
+        return s.particle_node_interactions + s.particle_particle_interactions;
+    };
+    EXPECT_LT(total(stats_loose), total(stats_tight));
+    EXPECT_GT(stats_loose.particle_node_interactions, 0u);
+}
+
+TEST(Gravity, PotentialIsNegative)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    util::Rng rng(34);
+    std::vector<Vec3> pos;
+    std::vector<double> mass;
+    for (int i = 0; i < 200; ++i) {
+        pos.push_back({rng.uniform(), rng.uniform(), rng.uniform()});
+        mass.push_back(1.0);
+    }
+    ParticleSet ps = make_sorted(pos, mass, box);
+    Octree tree;
+    tree.build(ps, box, 8);
+    const auto stats = compute_gravity(ps, tree, GravityConfig{});
+    EXPECT_LT(stats.potential, 0.0);
+}
+
+TEST(Gravity, AccumulatesIntoExistingAcceleration)
+{
+    const Box box = Box::cube(-1.0, 1.0, false);
+    ParticleSet ps = make_sorted({{-0.25, 0.0, 0.0}, {0.25, 0.0, 0.0}}, {1.0, 1.0}, box);
+    ps.ax[0] = 100.0;
+    Octree tree;
+    tree.build(ps, box, 1);
+    GravityConfig cfg;
+    cfg.softening = 1e-4;
+    compute_gravity(ps, tree, cfg);
+    EXPECT_GT(ps.ax[0], 100.0); // hydro contribution retained, gravity added
+}
+
+TEST(Gravity, EmptyTreeIsNoOp)
+{
+    ParticleSet ps;
+    Octree tree;
+    const auto stats = compute_gravity(ps, tree, GravityConfig{});
+    EXPECT_EQ(stats.particle_node_interactions, 0u);
+    EXPECT_DOUBLE_EQ(stats.potential, 0.0);
+}
+
+TEST(Gravity, SofteningBoundsCloseForce)
+{
+    const Box box = Box::cube(-1.0, 1.0, false);
+    ParticleSet ps =
+        make_sorted({{0.0, 0.0, 0.0}, {1e-8, 0.0, 0.0}}, {1.0, 1.0}, box);
+    Octree tree;
+    tree.build(ps, box, 1);
+    GravityConfig cfg;
+    cfg.softening = 0.01;
+    compute_gravity(ps, tree, cfg);
+    // Softened force ~ G m r / eps^3 with r = 1e-8: essentially zero.
+    EXPECT_LT(std::fabs(ps.ax[0]), 1.0);
+}
+
+} // namespace
+} // namespace gsph::sph

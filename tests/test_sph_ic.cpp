@@ -1,0 +1,214 @@
+#include "sph/ic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph::sph {
+namespace {
+
+TEST(SmoothingLength, YieldsTargetNeighborCount)
+{
+    // For number density n and smoothing length h, expected neighbours in
+    // radius 2h: (4/3) pi (2h)^3 n = ng.
+    const double n_density = 8000.0;
+    const double ng = 100.0;
+    const double h = smoothing_length_for(ng, n_density);
+    const double expected = 4.0 / 3.0 * M_PI * std::pow(2.0 * h, 3) * n_density;
+    EXPECT_NEAR(expected, ng, 1e-9);
+}
+
+TEST(TurbulenceIc, ParticleCountAndBox)
+{
+    TurbulenceParams p;
+    p.nside = 8;
+    auto sim = make_subsonic_turbulence(p);
+    EXPECT_EQ(sim.particles().size(), 512u);
+    EXPECT_TRUE(sim.box().periodic_x);
+    EXPECT_FALSE(sim.config().gravity);
+}
+
+TEST(TurbulenceIc, MassMatchesDensity)
+{
+    TurbulenceParams p;
+    p.nside = 8;
+    p.rho0 = 2.0;
+    auto sim = make_subsonic_turbulence(p);
+    double mass = 0.0;
+    for (double m : sim.particles().m) mass += m;
+    EXPECT_NEAR(mass, 2.0, 1e-9); // rho0 * V
+}
+
+TEST(TurbulenceIc, SubsonicMachNumber)
+{
+    TurbulenceParams p;
+    p.nside = 10;
+    p.mach_rms = 0.3;
+    auto sim = make_subsonic_turbulence(p);
+    const auto& ps = sim.particles();
+    double v2 = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) v2 += ps.vel(i).norm2();
+    const double v_rms = std::sqrt(v2 / static_cast<double>(ps.size()));
+    const double gamma = sim.config().gamma;
+    const double c0 = std::sqrt(gamma * (gamma - 1.0) * p.u0);
+    EXPECT_NEAR(v_rms / c0, 0.3, 1e-6);
+}
+
+TEST(TurbulenceIc, ZeroNetMomentum)
+{
+    TurbulenceParams p;
+    p.nside = 10;
+    auto sim = make_subsonic_turbulence(p);
+    const auto& ps = sim.particles();
+    Vec3 mom{0.0, 0.0, 0.0};
+    for (std::size_t i = 0; i < ps.size(); ++i) mom += ps.m[i] * ps.vel(i);
+    EXPECT_NEAR(mom.norm(), 0.0, 1e-10);
+}
+
+TEST(TurbulenceIc, VelocityFieldApproximatelySolenoidal)
+{
+    // The mode construction is exactly divergence-free in the continuum;
+    // verify the SPH estimate is small compared to the velocity gradient
+    // magnitude.
+    TurbulenceParams p;
+    p.nside = 12;
+    auto sim = make_subsonic_turbulence(p);
+    sim.domain_decomp_and_sync();
+    sim.find_neighbors();
+    sim.xmass();
+    sim.iad_velocity_div_curl();
+    const auto& ps = sim.particles();
+    double div = 0.0, curl = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        div += std::fabs(ps.div_v[i]);
+        curl += ps.curl_v[i];
+    }
+    EXPECT_LT(div, curl); // rotational dominates compressive
+}
+
+TEST(TurbulenceIc, DeterministicForSeed)
+{
+    TurbulenceParams p;
+    p.nside = 6;
+    auto a = make_subsonic_turbulence(p);
+    auto b = make_subsonic_turbulence(p);
+    EXPECT_EQ(a.particles().x, b.particles().x);
+    EXPECT_EQ(a.particles().vx, b.particles().vx);
+    p.seed = 43;
+    auto c = make_subsonic_turbulence(p);
+    EXPECT_NE(a.particles().vx, c.particles().vx);
+}
+
+TEST(TurbulenceIc, TooSmallNsideThrows)
+{
+    TurbulenceParams p;
+    p.nside = 1;
+    EXPECT_THROW(make_subsonic_turbulence(p), std::invalid_argument);
+}
+
+TEST(EvrardIc, GravityEnabledAndOpenBox)
+{
+    EvrardParams p;
+    p.n_particles = 1000;
+    auto sim = make_evrard_collapse(p);
+    EXPECT_TRUE(sim.config().gravity);
+    EXPECT_FALSE(sim.box().periodic_x);
+    EXPECT_EQ(sim.particles().size(), 1000u);
+}
+
+TEST(EvrardIc, TotalMassAndRadius)
+{
+    EvrardParams p;
+    p.n_particles = 2000;
+    auto sim = make_evrard_collapse(p);
+    const auto& ps = sim.particles();
+    double mass = 0.0;
+    double rmax = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        mass += ps.m[i];
+        rmax = std::max(rmax, ps.pos(i).norm());
+    }
+    EXPECT_NEAR(mass, 1.0, 1e-9);
+    EXPECT_LE(rmax, 1.0 + 1e-9);
+}
+
+TEST(EvrardIc, DensityProfileFollowsOneOverR)
+{
+    // rho ~ 1/r  =>  enclosed mass fraction within radius r is (r/R)^2.
+    EvrardParams p;
+    p.n_particles = 20000;
+    auto sim = make_evrard_collapse(p);
+    const auto& ps = sim.particles();
+    auto enclosed_fraction = [&ps](double r) {
+        std::size_t inside = 0;
+        for (std::size_t i = 0; i < ps.size(); ++i) {
+            if (ps.pos(i).norm() < r) ++inside;
+        }
+        return static_cast<double>(inside) / static_cast<double>(ps.size());
+    };
+    EXPECT_NEAR(enclosed_fraction(0.5), 0.25, 0.02);
+    EXPECT_NEAR(enclosed_fraction(0.7), 0.49, 0.02);
+}
+
+TEST(EvrardIc, SmoothingLengthGrowsOutward)
+{
+    EvrardParams p;
+    p.n_particles = 5000;
+    auto sim = make_evrard_collapse(p);
+    const auto& ps = sim.particles();
+    double h_inner = 0.0, h_outer = 0.0;
+    int n_inner = 0, n_outer = 0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double r = ps.pos(i).norm();
+        if (r < 0.3) {
+            h_inner += ps.h[i];
+            ++n_inner;
+        }
+        else if (r > 0.7) {
+            h_outer += ps.h[i];
+            ++n_outer;
+        }
+    }
+    ASSERT_GT(n_inner, 0);
+    ASSERT_GT(n_outer, 0);
+    EXPECT_GT(h_outer / n_outer, h_inner / n_inner);
+}
+
+TEST(EvrardIc, ColdStart)
+{
+    EvrardParams p;
+    p.n_particles = 500;
+    auto sim = make_evrard_collapse(p);
+    for (double u : sim.particles().u) EXPECT_DOUBLE_EQ(u, 0.05);
+    for (std::size_t i = 0; i < sim.particles().size(); ++i) {
+        EXPECT_DOUBLE_EQ(sim.particles().vel(i).norm(), 0.0);
+    }
+}
+
+TEST(EvrardIc, CollapseBeginsInward)
+{
+    EvrardParams p;
+    p.n_particles = 3000;
+    auto sim = make_evrard_collapse(p);
+    sim.step();
+    // After one step the sphere should be accelerating inward: net radial
+    // velocity negative.
+    const auto& ps = sim.particles();
+    double radial = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const Vec3 pos = ps.pos(i);
+        const double r = pos.norm();
+        if (r > 1e-6) radial += ps.vel(i).dot(pos / r);
+    }
+    EXPECT_LT(radial, 0.0);
+}
+
+TEST(EvrardIc, TooFewParticlesThrows)
+{
+    EvrardParams p;
+    p.n_particles = 4;
+    EXPECT_THROW(make_evrard_collapse(p), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph::sph

@@ -1,0 +1,91 @@
+#include "sph/morton.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+namespace gsph::sph {
+namespace {
+
+TEST(Morton, ExpandCompactRoundTrip)
+{
+    util::Rng rng(21);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t v = rng.next() & kMortonMaxCoord;
+        EXPECT_EQ(morton_compact(morton_expand(v)), v);
+    }
+}
+
+TEST(Morton, EncodeDecodeRoundTrip)
+{
+    util::Rng rng(22);
+    for (int i = 0; i < 1000; ++i) {
+        const std::uint64_t x = rng.next() & kMortonMaxCoord;
+        const std::uint64_t y = rng.next() & kMortonMaxCoord;
+        const std::uint64_t z = rng.next() & kMortonMaxCoord;
+        const auto c = morton_decode(morton_encode(x, y, z));
+        EXPECT_EQ(c.ix, x);
+        EXPECT_EQ(c.iy, y);
+        EXPECT_EQ(c.iz, z);
+    }
+}
+
+TEST(Morton, OriginIsZero) { EXPECT_EQ(morton_encode(0, 0, 0), 0u); }
+
+TEST(Morton, UnitStepsSetExpectedBits)
+{
+    EXPECT_EQ(morton_encode(1, 0, 0), 1u);
+    EXPECT_EQ(morton_encode(0, 1, 0), 2u);
+    EXPECT_EQ(morton_encode(0, 0, 1), 4u);
+}
+
+TEST(Morton, KeyFromPositionClampsOutside)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    const auto inside = morton_key({0.5, 0.5, 0.5}, box);
+    const auto below = morton_key({-3.0, -3.0, -3.0}, box);
+    const auto above = morton_key({7.0, 7.0, 7.0}, box);
+    EXPECT_EQ(below, 0u);
+    EXPECT_EQ(above, morton_encode(kMortonMaxCoord, kMortonMaxCoord, kMortonMaxCoord));
+    EXPECT_GT(inside, below);
+    EXPECT_LT(inside, above);
+}
+
+TEST(Morton, LocalityAlongAxis)
+{
+    // Nearby points share long key prefixes: the key difference for a tiny
+    // displacement is much smaller than for a large one.
+    const Box box = Box::cube(0.0, 1.0, false);
+    const auto base = morton_key({0.25, 0.25, 0.25}, box);
+    const auto near = morton_key({0.2500001, 0.25, 0.25}, box);
+    const auto far = morton_key({0.9, 0.9, 0.9}, box);
+    EXPECT_LT(near ^ base, far ^ base);
+}
+
+TEST(Morton, KeysOrderOctants)
+{
+    // The first octant split is the top 3 bits: all points in the low
+    // octant sort before all points in the high octant.
+    const Box box = Box::cube(0.0, 1.0, false);
+    const auto low = morton_key({0.49, 0.49, 0.49}, box);
+    const auto high = morton_key({0.51, 0.51, 0.51}, box);
+    EXPECT_LT(low >> 60, high >> 60);
+}
+
+TEST(Morton, NonCubicBoxNormalizesPerAxis)
+{
+    Box box;
+    box.lo = {0.0, 0.0, 0.0};
+    box.hi = {2.0, 1.0, 4.0};
+    const auto a = morton_key({1.0, 0.5, 2.0}, box); // center
+    const auto c = morton_decode(a);
+    EXPECT_NEAR(static_cast<double>(c.ix) / kMortonMaxCoord, 0.5, 1e-5);
+    EXPECT_NEAR(static_cast<double>(c.iy) / kMortonMaxCoord, 0.5, 1e-5);
+    EXPECT_NEAR(static_cast<double>(c.iz) / kMortonMaxCoord, 0.5, 1e-5);
+}
+
+} // namespace
+} // namespace gsph::sph

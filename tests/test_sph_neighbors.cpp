@@ -1,0 +1,196 @@
+#include "sph/neighbors.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <algorithm>
+
+#include <set>
+
+namespace gsph::sph {
+namespace {
+
+ParticleSet random_particles(std::size_t n, const Box& box, double h, std::uint64_t seed)
+{
+    ParticleSet ps;
+    ps.resize(n);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        ps.x[i] = rng.uniform(box.lo.x, box.hi.x);
+        ps.y[i] = rng.uniform(box.lo.y, box.hi.y);
+        ps.z[i] = rng.uniform(box.lo.z, box.hi.z);
+        ps.h[i] = h;
+        ps.m[i] = 1.0;
+    }
+    return ps;
+}
+
+/// O(N^2) reference search.
+std::set<std::pair<std::uint32_t, std::uint32_t>> brute_force(const ParticleSet& ps,
+                                                              const Box& box)
+{
+    std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        for (std::size_t j = 0; j < ps.size(); ++j) {
+            if (i == j) continue;
+            const Vec3 d = box.min_image(ps.pos(i), ps.pos(j));
+            if (d.norm2() < 4.0 * ps.h[i] * ps.h[i]) {
+                pairs.insert({static_cast<std::uint32_t>(i), static_cast<std::uint32_t>(j)});
+            }
+        }
+    }
+    return pairs;
+}
+
+std::set<std::pair<std::uint32_t, std::uint32_t>> to_pairs(const NeighborList& nl,
+                                                           std::size_t n)
+{
+    std::set<std::pair<std::uint32_t, std::uint32_t>> pairs;
+    for (std::size_t i = 0; i < n; ++i) {
+        for (const auto* j = nl.begin(i); j != nl.end(i); ++j) {
+            pairs.insert({static_cast<std::uint32_t>(i), *j});
+        }
+    }
+    return pairs;
+}
+
+class NeighborPeriodicityTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(NeighborPeriodicityTest, MatchesBruteForce)
+{
+    const Box box = Box::cube(0.0, 1.0, GetParam());
+    ParticleSet ps = random_particles(300, box, 0.09, 77);
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    EXPECT_EQ(to_pairs(nl, ps.size()), brute_force(ps, box));
+}
+
+TEST_P(NeighborPeriodicityTest, CountsMatchOffsets)
+{
+    const Box box = Box::cube(0.0, 1.0, GetParam());
+    ParticleSet ps = random_particles(200, box, 0.1, 78);
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        EXPECT_EQ(static_cast<std::size_t>(ps.nc[i]), nl.count(i));
+    }
+    EXPECT_EQ(nl.offsets.back(), nl.list.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(OpenAndPeriodic, NeighborPeriodicityTest, ::testing::Bool());
+
+TEST(Neighbors, PeriodicWrapFindsAcrossBoundary)
+{
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps;
+    ps.resize(2);
+    ps.x = {0.01, 0.99};
+    ps.y = {0.5, 0.5};
+    ps.z = {0.5, 0.5};
+    ps.h = {0.05, 0.05};
+    ps.m = {1.0, 1.0};
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    EXPECT_EQ(nl.count(0), 1u);
+    EXPECT_EQ(nl.count(1), 1u);
+}
+
+TEST(Neighbors, OpenBoxDoesNotWrap)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps;
+    ps.resize(2);
+    ps.x = {0.01, 0.99};
+    ps.y = {0.5, 0.5};
+    ps.z = {0.5, 0.5};
+    ps.h = {0.05, 0.05};
+    ps.m = {1.0, 1.0};
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    EXPECT_EQ(nl.count(0), 0u);
+    EXPECT_EQ(nl.count(1), 0u);
+}
+
+TEST(Neighbors, NoSelfNeighbor)
+{
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps = random_particles(100, box, 0.2, 79);
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        for (const auto* j = nl.begin(i); j != nl.end(i); ++j) {
+            EXPECT_NE(static_cast<std::size_t>(*j), i);
+        }
+    }
+}
+
+TEST(Neighbors, NgmaxCapTruncatesAndRecords)
+{
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps = random_particles(500, box, 0.45, 80); // everyone sees everyone
+    NeighborList nl;
+    nl.ngmax = 20;
+    find_all_neighbors(ps, box, nl);
+    EXPECT_FALSE(nl.truncated.empty());
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        EXPECT_LE(nl.count(i), 20u);
+    }
+}
+
+TEST(Neighbors, PreCapPairCountAtLeastStored)
+{
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps = random_particles(300, box, 0.3, 81);
+    NeighborList nl;
+    nl.ngmax = 30;
+    const std::size_t pre_cap = find_all_neighbors(ps, box, nl);
+    EXPECT_GE(pre_cap, nl.total_pairs());
+}
+
+TEST(Neighbors, NonPositiveHThrows)
+{
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps;
+    ps.resize(1);
+    ps.h[0] = 0.0;
+    NeighborList nl;
+    EXPECT_THROW(find_all_neighbors(ps, box, nl), std::invalid_argument);
+}
+
+TEST(Neighbors, VariableSmoothingLengthsAsymmetric)
+{
+    // Search radius is 2*h_i (gather formulation): a big-h particle can see
+    // a small-h particle that does not see it back.
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps;
+    ps.resize(2);
+    ps.x = {0.30, 0.50};
+    ps.y = {0.5, 0.5};
+    ps.z = {0.5, 0.5};
+    ps.h = {0.15, 0.05}; // radii 0.3 and 0.1, separation 0.2
+    ps.m = {1.0, 1.0};
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    EXPECT_EQ(nl.count(0), 1u);
+    EXPECT_EQ(nl.count(1), 0u);
+}
+
+TEST(CellGrid, HandlesTinyPeriodicBoxWithoutDuplicates)
+{
+    // Grid degenerates to very few cells: the wrap-aware stencil must not
+    // double count.
+    const Box box = Box::cube(0.0, 1.0, true);
+    ParticleSet ps = random_particles(20, box, 0.5, 82);
+    NeighborList nl;
+    find_all_neighbors(ps, box, nl);
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        std::set<std::uint32_t> unique(nl.begin(i), nl.end(i));
+        EXPECT_EQ(unique.size(), nl.count(i)) << "duplicates for particle " << i;
+    }
+    EXPECT_EQ(to_pairs(nl, ps.size()), brute_force(ps, box));
+}
+
+} // namespace
+} // namespace gsph::sph

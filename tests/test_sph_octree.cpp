@@ -1,0 +1,211 @@
+#include "sph/octree.hpp"
+
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include <algorithm>
+#include <numeric>
+
+namespace gsph::sph {
+namespace {
+
+ParticleSet sorted_random_particles(std::size_t n, const Box& box, std::uint64_t seed)
+{
+    ParticleSet ps;
+    ps.resize(n);
+    util::Rng rng(seed);
+    for (std::size_t i = 0; i < n; ++i) {
+        ps.x[i] = rng.uniform(box.lo.x, box.hi.x);
+        ps.y[i] = rng.uniform(box.lo.y, box.hi.y);
+        ps.z[i] = rng.uniform(box.lo.z, box.hi.z);
+        ps.m[i] = rng.uniform(0.5, 1.5);
+        ps.h[i] = 0.05;
+        ps.key[i] = morton_key(ps.pos(i), box);
+    }
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    std::stable_sort(order.begin(), order.end(),
+                     [&ps](std::size_t a, std::size_t b) { return ps.key[a] < ps.key[b]; });
+    ps.reorder(order);
+    return ps;
+}
+
+TEST(Octree, UnsortedKeysThrow)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(50, box, 1);
+    std::swap(ps.key[0], ps.key[49]);
+    Octree tree;
+    EXPECT_THROW(tree.build(ps, box), std::invalid_argument);
+}
+
+TEST(Octree, EmptySetGivesEmptyTree)
+{
+    ParticleSet ps;
+    Octree tree;
+    tree.build(ps, Box::cube(0.0, 1.0, false));
+    EXPECT_TRUE(tree.empty());
+}
+
+TEST(Octree, RootCoversAllParticles)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(500, box, 2);
+    Octree tree;
+    tree.build(ps, box, 8);
+    ASSERT_FALSE(tree.empty());
+    EXPECT_EQ(tree.root().start, 0u);
+    EXPECT_EQ(tree.root().end, 500u);
+}
+
+TEST(Octree, TotalMassConserved)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(500, box, 3);
+    double mass = 0.0;
+    for (double m : ps.m) mass += m;
+    Octree tree;
+    tree.build(ps, box, 8);
+    EXPECT_NEAR(tree.total_mass(), mass, 1e-9);
+}
+
+TEST(Octree, LeavesRespectCapacity)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(1000, box, 4);
+    Octree tree;
+    tree.build(ps, box, 16);
+    for (const auto& node : tree.nodes()) {
+        if (node.is_leaf()) {
+            EXPECT_LE(node.count(), 16u);
+        }
+    }
+}
+
+TEST(Octree, LeavesPartitionParticleRange)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(700, box, 5);
+    Octree tree;
+    tree.build(ps, box, 16);
+    std::vector<int> covered(700, 0);
+    for (const auto& node : tree.nodes()) {
+        if (!node.is_leaf()) continue;
+        for (std::uint32_t i = node.start; i < node.end; ++i) ++covered[i];
+    }
+    for (int c : covered) EXPECT_EQ(c, 1);
+}
+
+TEST(Octree, ChildrenPartitionParent)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(800, box, 6);
+    Octree tree;
+    tree.build(ps, box, 16);
+    for (const auto& node : tree.nodes()) {
+        if (node.is_leaf()) continue;
+        std::uint32_t sum = 0;
+        for (int c : node.children) {
+            if (c >= 0) sum += tree.node(static_cast<std::size_t>(c)).count();
+        }
+        EXPECT_EQ(sum, node.count());
+    }
+}
+
+TEST(Octree, ChildLevelsIncrement)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(800, box, 7);
+    Octree tree;
+    tree.build(ps, box, 16);
+    for (const auto& node : tree.nodes()) {
+        for (int c : node.children) {
+            if (c >= 0) {
+                EXPECT_EQ(tree.node(static_cast<std::size_t>(c)).level, node.level + 1);
+            }
+        }
+    }
+}
+
+TEST(Octree, ComInsideNodeBounds)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(600, box, 8);
+    Octree tree;
+    tree.build(ps, box, 16);
+    for (const auto& node : tree.nodes()) {
+        if (node.mass <= 0.0) continue;
+        // COM must lie within the (slightly padded) geometric cell.
+        const double pad = 1e-9 + node.half_size * 1e-6;
+        EXPECT_GE(node.com.x, node.center.x - node.half_size - pad);
+        EXPECT_LE(node.com.x, node.center.x + node.half_size + pad);
+        EXPECT_GE(node.com.y, node.center.y - node.half_size - pad);
+        EXPECT_LE(node.com.y, node.center.y + node.half_size + pad);
+        EXPECT_GE(node.com.z, node.center.z - node.half_size - pad);
+        EXPECT_LE(node.com.z, node.center.z + node.half_size + pad);
+    }
+}
+
+TEST(Octree, SinglePointDegenerateCluster)
+{
+    // All particles at the same location: max-depth guard must terminate.
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps;
+    ps.resize(64);
+    for (std::size_t i = 0; i < 64; ++i) {
+        ps.x[i] = ps.y[i] = ps.z[i] = 0.3;
+        ps.m[i] = 1.0;
+        ps.key[i] = morton_key(ps.pos(i), box);
+    }
+    Octree tree;
+    tree.build(ps, box, 4);
+    EXPECT_FALSE(tree.empty());
+    EXPECT_NEAR(tree.total_mass(), 64.0, 1e-9);
+}
+
+TEST(Octree, DepthGrowsWithDensity)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet sparse = sorted_random_particles(64, box, 9);
+    ParticleSet dense = sorted_random_particles(4096, box, 10);
+    Octree ts, td;
+    ts.build(sparse, box, 8);
+    td.build(dense, box, 8);
+    EXPECT_GT(td.max_depth(), ts.max_depth());
+}
+
+TEST(Octree, LaunchCountModelPositive)
+{
+    const Box box = Box::cube(0.0, 1.0, false);
+    ParticleSet ps = sorted_random_particles(512, box, 11);
+    Octree tree;
+    tree.build(ps, box, 16);
+    EXPECT_GT(tree_build_launch_count(tree), 24);
+}
+
+TEST(ParticleSet, ReorderPermutesAllFields)
+{
+    ParticleSet ps;
+    ps.resize(3);
+    ps.x = {1.0, 2.0, 3.0};
+    ps.u = {10.0, 20.0, 30.0};
+    ps.nc = {1, 2, 3};
+    ps.reorder({2, 0, 1});
+    EXPECT_DOUBLE_EQ(ps.x[0], 3.0);
+    EXPECT_DOUBLE_EQ(ps.x[1], 1.0);
+    EXPECT_DOUBLE_EQ(ps.u[0], 30.0);
+    EXPECT_EQ(ps.nc[2], 2);
+}
+
+TEST(ParticleSet, ReorderSizeMismatchThrows)
+{
+    ParticleSet ps;
+    ps.resize(3);
+    EXPECT_THROW(ps.reorder({0, 1}), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph::sph

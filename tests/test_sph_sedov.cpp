@@ -1,0 +1,146 @@
+#include "sph/ic.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace gsph::sph {
+namespace {
+
+TEST(SedovIc, BlastEnergyDeposited)
+{
+    SedovParams p;
+    p.nside = 12;
+    p.blast_energy = 1.0;
+    auto sim = make_sedov_blast(p);
+    const auto& ps = sim.particles();
+    double thermal = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) thermal += ps.m[i] * ps.u[i];
+    EXPECT_NEAR(thermal, 1.0, 0.01); // background u is negligible
+}
+
+TEST(SedovIc, EnergyConcentratedAtCenter)
+{
+    SedovParams p;
+    p.nside = 12;
+    auto sim = make_sedov_blast(p);
+    const auto& ps = sim.particles();
+    const Vec3 center{0.5, 0.5, 0.5};
+    double u_near = 0.0, u_far = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const double r = sim.box().min_image(ps.pos(i), center).norm();
+        if (r < 0.15) u_near = std::max(u_near, ps.u[i]);
+        if (r > 0.4) u_far = std::max(u_far, ps.u[i]);
+    }
+    EXPECT_GT(u_near, 1e3 * u_far);
+}
+
+TEST(SedovIc, StartsAtRest)
+{
+    SedovParams p;
+    p.nside = 8;
+    auto sim = make_sedov_blast(p);
+    for (std::size_t i = 0; i < sim.particles().size(); ++i) {
+        EXPECT_DOUBLE_EQ(sim.particles().vel(i).norm(), 0.0);
+    }
+}
+
+TEST(SedovIc, BlastWavePropagatesOutward)
+{
+    SedovParams p;
+    p.nside = 14;
+    p.ng_target = 60;
+    auto sim = make_sedov_blast(p);
+    for (int s = 0; s < 12; ++s) sim.step();
+
+    const auto& ps = sim.particles();
+    const Vec3 center{0.5, 0.5, 0.5};
+    double radial_momentum = 0.0;
+    for (std::size_t i = 0; i < ps.size(); ++i) {
+        const Vec3 d = sim.box().min_image(ps.pos(i), center);
+        const double r = d.norm();
+        if (r > 1e-6) radial_momentum += ps.m[i] * ps.vel(i).dot(d / r);
+    }
+    EXPECT_GT(radial_momentum, 0.0); // expansion
+}
+
+TEST(SedovIc, ShockOpensAvSwitches)
+{
+    SedovParams p;
+    p.nside = 14;
+    p.ng_target = 60;
+    auto sim = make_sedov_blast(p);
+    for (int s = 0; s < 12; ++s) sim.step();
+    double alpha_max = 0.0;
+    for (double a : sim.particles().alpha) alpha_max = std::max(alpha_max, a);
+    EXPECT_GT(alpha_max, 0.3);
+}
+
+TEST(SedovIc, TotalEnergyConservedThroughShock)
+{
+    SedovParams p;
+    p.nside = 12;
+    p.ng_target = 60;
+    auto sim = make_sedov_blast(p);
+    sim.step();
+    const double e0 = sim.diagnostics().e_total;
+    for (int s = 0; s < 10; ++s) sim.step();
+    EXPECT_NEAR(sim.diagnostics().e_total / e0, 1.0, 0.05);
+}
+
+TEST(SedovIc, TooSmallThrows)
+{
+    SedovParams p;
+    p.nside = 2;
+    EXPECT_THROW(make_sedov_blast(p), std::invalid_argument);
+}
+
+TEST(KernelChoice, WendlandRunsAndMatchesCubicDensity)
+{
+    TurbulenceParams p;
+    p.nside = 10;
+    p.ng_target = 60;
+
+    SphConfig cubic;
+    cubic.kernel_type = KernelType::kCubicSpline;
+    auto sim_cubic = make_subsonic_turbulence(p, cubic);
+    sim_cubic.domain_decomp_and_sync();
+    sim_cubic.find_neighbors();
+    sim_cubic.xmass();
+
+    SphConfig wendland;
+    wendland.kernel_type = KernelType::kWendlandC2;
+    auto sim_w = make_subsonic_turbulence(p, wendland);
+    sim_w.domain_decomp_and_sync();
+    sim_w.find_neighbors();
+    sim_w.xmass();
+
+    double mean_c = 0.0, mean_w = 0.0;
+    for (double r : sim_cubic.particles().rho) mean_c += r;
+    for (double r : sim_w.particles().rho) mean_w += r;
+    mean_c /= static_cast<double>(sim_cubic.particles().size());
+    mean_w /= static_cast<double>(sim_w.particles().size());
+    // Both kernels estimate the same uniform density.
+    EXPECT_NEAR(mean_c, 1.0, 0.05);
+    EXPECT_NEAR(mean_w, 1.0, 0.05);
+    EXPECT_NE(sim_cubic.particles().rho[0], sim_w.particles().rho[0]); // distinct kernels
+}
+
+TEST(KernelChoice, WendlandStableOverSteps)
+{
+    TurbulenceParams p;
+    p.nside = 8;
+    p.ng_target = 60;
+    SphConfig cfg;
+    cfg.kernel_type = KernelType::kWendlandC2;
+    auto sim = make_subsonic_turbulence(p, cfg);
+    for (int s = 0; s < 5; ++s) sim.step();
+    for (double rho : sim.particles().rho) {
+        EXPECT_TRUE(std::isfinite(rho));
+        EXPECT_GT(rho, 0.5);
+        EXPECT_LT(rho, 2.0);
+    }
+}
+
+} // namespace
+} // namespace gsph::sph

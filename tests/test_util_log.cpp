@@ -1,0 +1,70 @@
+#include "util/log.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace gsph::util {
+namespace {
+
+class LoggerFixture : public ::testing::Test {
+protected:
+    LoggerFixture()
+    {
+        Logger::instance().set_sink(&sink_);
+        Logger::instance().set_level(LogLevel::kDebug);
+    }
+    ~LoggerFixture() override
+    {
+        Logger::instance().set_sink(nullptr);
+        Logger::instance().set_level(LogLevel::kWarn);
+    }
+
+    std::ostringstream sink_;
+};
+
+TEST_F(LoggerFixture, WritesLevelComponentMessage)
+{
+    GSPH_LOG_INFO("gpusim", "device " << 3 << " throttled");
+    EXPECT_EQ(sink_.str(), "[INFO] gpusim: device 3 throttled\n");
+}
+
+TEST_F(LoggerFixture, LevelFiltersLowerSeverities)
+{
+    Logger::instance().set_level(LogLevel::kError);
+    GSPH_LOG_DEBUG("x", "hidden");
+    GSPH_LOG_INFO("x", "hidden");
+    GSPH_LOG_WARN("x", "hidden");
+    EXPECT_TRUE(sink_.str().empty());
+    GSPH_LOG_ERROR("x", "visible");
+    EXPECT_NE(sink_.str().find("[ERROR] x: visible"), std::string::npos);
+}
+
+TEST_F(LoggerFixture, OffSilencesEverything)
+{
+    Logger::instance().set_level(LogLevel::kOff);
+    GSPH_LOG_ERROR("x", "hidden");
+    EXPECT_TRUE(sink_.str().empty());
+}
+
+TEST_F(LoggerFixture, StreamExpressionOnlyEvaluatedWhenEnabled)
+{
+    Logger::instance().set_level(LogLevel::kError);
+    int evaluations = 0;
+    auto expensive = [&evaluations]() {
+        ++evaluations;
+        return 42;
+    };
+    GSPH_LOG_DEBUG("x", "value " << expensive());
+    EXPECT_EQ(evaluations, 0); // guarded by the level check
+    GSPH_LOG_ERROR("x", "value " << expensive());
+    EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggerFixture, SingletonIdentity)
+{
+    EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+} // namespace
+} // namespace gsph::util

@@ -1,0 +1,175 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gsph::util {
+namespace {
+
+TEST(RunningStat, EmptyIsZero)
+{
+    RunningStat s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_DOUBLE_EQ(s.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 0.0);
+    EXPECT_DOUBLE_EQ(s.max(), 0.0);
+}
+
+TEST(RunningStat, SingleValue)
+{
+    RunningStat s;
+    s.add(42.0);
+    EXPECT_EQ(s.count(), 1u);
+    EXPECT_DOUBLE_EQ(s.mean(), 42.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+    EXPECT_DOUBLE_EQ(s.min(), 42.0);
+    EXPECT_DOUBLE_EQ(s.max(), 42.0);
+    EXPECT_DOUBLE_EQ(s.sum(), 42.0);
+}
+
+TEST(RunningStat, KnownSequence)
+{
+    RunningStat s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    // sample variance of the classic sequence: 32/7
+    EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStat, MergeMatchesSequential)
+{
+    RunningStat a, b, all;
+    for (int i = 0; i < 50; ++i) {
+        const double x = std::sin(i * 0.7) * 10.0;
+        (i < 20 ? a : b).add(x);
+        all.add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, MergeWithEmpty)
+{
+    RunningStat a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStat c;
+    c.merge(a);
+    EXPECT_EQ(c.count(), 2u);
+    EXPECT_DOUBLE_EQ(c.mean(), 2.0);
+}
+
+TEST(WeightedMean, Basic)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    const std::vector<double> w = {1.0, 1.0, 2.0};
+    EXPECT_DOUBLE_EQ(weighted_mean(v, w), 9.0 / 4.0);
+}
+
+TEST(WeightedMean, ZeroWeightsGiveZero)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    const std::vector<double> w = {0.0, 0.0};
+    EXPECT_DOUBLE_EQ(weighted_mean(v, w), 0.0);
+}
+
+TEST(WeightedMean, SizeMismatchThrows)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    const std::vector<double> w = {1.0};
+    EXPECT_THROW(weighted_mean(v, w), std::invalid_argument);
+}
+
+TEST(Percentile, MedianOfOddCount)
+{
+    const std::vector<double> v = {5.0, 1.0, 3.0};
+    EXPECT_DOUBLE_EQ(median(v), 3.0);
+}
+
+TEST(Percentile, InterpolatesBetweenValues)
+{
+    const std::vector<double> v = {0.0, 10.0};
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.5);
+}
+
+TEST(Percentile, ClampsOutOfRangeQ)
+{
+    const std::vector<double> v = {1.0, 2.0, 3.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 150.0), 3.0);
+}
+
+TEST(Percentile, EmptyReturnsZero) { EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0); }
+
+TEST(KahanSum, RecoversSmallIncrements)
+{
+    KahanSum k;
+    double naive = 0.0;
+    k.add(1e16);
+    naive += 1e16;
+    for (int i = 0; i < 10000; ++i) {
+        k.add(1.0);
+        naive += 1.0;
+    }
+    k.add(-1e16);
+    naive += -1e16;
+    EXPECT_DOUBLE_EQ(k.value(), 10000.0);
+    // The naive sum loses the small increments entirely at this magnitude.
+    EXPECT_NE(naive, 10000.0);
+}
+
+TEST(KahanSum, Reset)
+{
+    KahanSum k;
+    k.add(5.0);
+    k.reset();
+    EXPECT_DOUBLE_EQ(k.value(), 0.0);
+}
+
+TEST(RelativeDifference, Symmetric)
+{
+    EXPECT_DOUBLE_EQ(relative_difference(10.0, 11.0), relative_difference(11.0, 10.0));
+    EXPECT_NEAR(relative_difference(10.0, 11.0), 1.0 / 11.0, 1e-12);
+}
+
+TEST(RelativeDifference, ZeroVsZero)
+{
+    EXPECT_DOUBLE_EQ(relative_difference(0.0, 0.0), 0.0);
+}
+
+TEST(LinearFit, ExactLine)
+{
+    std::vector<double> x, y;
+    for (int i = 0; i < 10; ++i) {
+        x.push_back(i);
+        y.push_back(3.0 + 2.0 * i);
+    }
+    const LinearFit fit = linear_fit(x, y);
+    EXPECT_NEAR(fit.intercept, 3.0, 1e-12);
+    EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+    EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(LinearFit, TooFewPointsThrows)
+{
+    std::vector<double> x = {1.0};
+    std::vector<double> y = {1.0};
+    EXPECT_THROW(linear_fit(x, y), std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph::util

@@ -1,0 +1,70 @@
+#include "util/strings.hpp"
+#include "util/units.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph::util {
+namespace {
+
+TEST(FormatSi, PicksPrefixes)
+{
+    EXPECT_EQ(format_si(24.4e6, "J", 1), "24.4 MJ");
+    EXPECT_EQ(format_si(315.0, "W", 0), "315 W");
+    EXPECT_EQ(format_si(1.41e9, "Hz", 2), "1.41 GHz");
+    EXPECT_EQ(format_si(0.0015, "s", 1), "1.5 ms");
+}
+
+TEST(FormatSi, ZeroHasNoPrefix) { EXPECT_EQ(format_si(0.0, "J", 0), "0 J"); }
+
+TEST(FormatSi, NegativeValues) { EXPECT_EQ(format_si(-2500.0, "J", 1), "-2.5 kJ"); }
+
+TEST(FormatPercent, SignedAndUnsigned)
+{
+    EXPECT_EQ(format_percent(0.0782, 2), "7.82 %");
+    EXPECT_EQ(format_percent(-0.0295, 2, true), "-2.95 %");
+    EXPECT_EQ(format_percent(0.04, 1, true), "+4.0 %");
+}
+
+TEST(PadHelpers, Pad)
+{
+    EXPECT_EQ(pad_left("ab", 4), "  ab");
+    EXPECT_EQ(pad_right("ab", 4), "ab  ");
+    EXPECT_EQ(pad_left("abcdef", 4), "abcdef"); // no truncation
+}
+
+TEST(Split, Basic)
+{
+    const auto parts = split("a,b,,c", ',');
+    ASSERT_EQ(parts.size(), 4u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[2], "");
+    EXPECT_EQ(parts[3], "c");
+}
+
+TEST(ToLower, Ascii) { EXPECT_EQ(to_lower("LUMI-G"), "lumi-g"); }
+
+TEST(StartsWith, Cases)
+{
+    EXPECT_TRUE(starts_with("accel0_energy", "accel"));
+    EXPECT_FALSE(starts_with("acc", "accel"));
+    EXPECT_TRUE(starts_with("x", ""));
+}
+
+TEST(Units, Conversions)
+{
+    EXPECT_DOUBLE_EQ(units::mhz_to_hz(1410.0), 1.41e9);
+    EXPECT_DOUBLE_EQ(units::hz_to_mhz(1.41e9), 1410.0);
+    EXPECT_DOUBLE_EQ(units::joules_to_megajoules(24.4e6), 24.4);
+    EXPECT_DOUBLE_EQ(units::millijoules_to_joules(1500.0), 1.5);
+    EXPECT_DOUBLE_EQ(units::watts_to_milliwatts(0.4), 400.0);
+    EXPECT_DOUBLE_EQ(units::seconds_to_microseconds(2e-6), 2.0);
+}
+
+TEST(Units, EdpDefinitions)
+{
+    EXPECT_DOUBLE_EQ(units::edp(100.0, 2.0), 200.0);
+    EXPECT_DOUBLE_EQ(units::ed2p(100.0, 2.0), 400.0);
+}
+
+} // namespace
+} // namespace gsph::util

@@ -1,0 +1,120 @@
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+namespace gsph::util {
+namespace {
+
+TEST(Table, EmptyHeaderThrows)
+{
+    EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, ArityMismatchThrows)
+{
+    Table t({"a", "b"});
+    EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RendersAllCells)
+{
+    Table t({"name", "value"});
+    t.add_row({"alpha", "1.5"});
+    t.add_row({"beta", "2.25"});
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("2.25"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+}
+
+TEST(Table, NumericRowHelper)
+{
+    Table t({"fn", "x", "y"});
+    t.add_row_numeric("row", {1.23456, 2.0}, 2);
+    const std::string out = t.to_string();
+    EXPECT_NE(out.find("1.23"), std::string::npos);
+    EXPECT_NE(out.find("2.00"), std::string::npos);
+}
+
+TEST(Table, SeparatorAddsRule)
+{
+    Table t({"a"});
+    t.add_row({"1"});
+    t.add_separator();
+    t.add_row({"2"});
+    const std::string out = t.to_string();
+    // header rule + top + separator + bottom = 4 horizontal rules
+    int rules = 0;
+    std::istringstream is(out);
+    std::string line;
+    while (std::getline(is, line)) {
+        if (!line.empty() && line[0] == '+') ++rules;
+    }
+    EXPECT_EQ(rules, 4);
+}
+
+TEST(Table, ColumnsAlignToWidestCell)
+{
+    Table t({"h", "value"});
+    t.add_row({"x", "123456789"});
+    const std::string out = t.to_string();
+    std::istringstream is(out);
+    std::string first;
+    std::getline(is, first);
+    // every row has identical width
+    std::string line;
+    while (std::getline(is, line)) {
+        EXPECT_EQ(line.size(), first.size());
+    }
+}
+
+TEST(Csv, HeaderAndRows)
+{
+    CsvWriter csv({"a", "b"});
+    csv.add_row({"1", "2"});
+    csv.add_numeric_row({3.5, 4.25}, 2);
+    std::ostringstream os;
+    csv.write(os);
+    EXPECT_EQ(os.str(), "a,b\n1,2\n3.50,4.25\n");
+}
+
+TEST(Csv, EscapesCommasAndQuotes)
+{
+    EXPECT_EQ(CsvWriter::escape("plain"), "plain");
+    EXPECT_EQ(CsvWriter::escape("a,b"), "\"a,b\"");
+    EXPECT_EQ(CsvWriter::escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(CsvWriter::escape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(Csv, ArityMismatchThrows)
+{
+    CsvWriter csv({"a", "b"});
+    EXPECT_THROW(csv.add_row({"1"}), std::invalid_argument);
+}
+
+TEST(Csv, WriteFileRoundTrip)
+{
+    CsvWriter csv({"x"});
+    csv.add_row({"42"});
+    const std::string path = testing::TempDir() + "/greensph_csv_test.csv";
+    ASSERT_TRUE(csv.write_file(path));
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "x");
+    std::getline(in, line);
+    EXPECT_EQ(line, "42");
+}
+
+TEST(Csv, WriteFileBadPathFails)
+{
+    CsvWriter csv({"x"});
+    EXPECT_FALSE(csv.write_file("/nonexistent-dir-xyz/file.csv"));
+}
+
+} // namespace
+} // namespace gsph::util

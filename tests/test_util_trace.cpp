@@ -1,0 +1,100 @@
+#include "util/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace gsph::util {
+namespace {
+
+TEST(TimeSeries, EmptyBehaviour)
+{
+    TimeSeries ts("empty");
+    EXPECT_TRUE(ts.empty());
+    EXPECT_DOUBLE_EQ(ts.value_at(1.0), 0.0);
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 1.0), 0.0);
+    EXPECT_DOUBLE_EQ(ts.time_weighted_mean(), 0.0);
+}
+
+TEST(TimeSeries, NonMonotonicThrows)
+{
+    TimeSeries ts;
+    ts.append(1.0, 5.0);
+    EXPECT_THROW(ts.append(0.5, 6.0), std::invalid_argument);
+}
+
+TEST(TimeSeries, EqualTimestampsAllowed)
+{
+    TimeSeries ts;
+    ts.append(1.0, 5.0);
+    EXPECT_NO_THROW(ts.append(1.0, 6.0));
+}
+
+TEST(TimeSeries, StepFunctionLookup)
+{
+    TimeSeries ts;
+    ts.append(0.0, 10.0);
+    ts.append(1.0, 20.0);
+    ts.append(2.0, 30.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(-1.0), 10.0); // before start
+    EXPECT_DOUBLE_EQ(ts.value_at(0.5), 10.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(1.0), 20.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(1.99), 20.0);
+    EXPECT_DOUBLE_EQ(ts.value_at(5.0), 30.0); // after end
+}
+
+TEST(TimeSeries, IntegrationOfConstant)
+{
+    TimeSeries ts;
+    ts.append(0.0, 100.0); // 100 W for the whole window
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 10.0), 1000.0);
+}
+
+TEST(TimeSeries, IntegrationAcrossSteps)
+{
+    TimeSeries ts;
+    ts.append(0.0, 100.0);
+    ts.append(5.0, 200.0);
+    // 5 s at 100 + 5 s at 200
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 10.0), 1500.0);
+    // partial windows
+    EXPECT_DOUBLE_EQ(ts.integrate(4.0, 6.0), 100.0 + 200.0);
+}
+
+TEST(TimeSeries, IntegrationEmptyWindow)
+{
+    TimeSeries ts;
+    ts.append(0.0, 50.0);
+    EXPECT_DOUBLE_EQ(ts.integrate(3.0, 3.0), 0.0);
+    EXPECT_DOUBLE_EQ(ts.integrate(5.0, 3.0), 0.0);
+}
+
+TEST(TimeSeries, MinMaxValues)
+{
+    TimeSeries ts;
+    ts.append(0.0, 3.0);
+    ts.append(1.0, -2.0);
+    ts.append(2.0, 7.0);
+    EXPECT_DOUBLE_EQ(ts.min_value(), -2.0);
+    EXPECT_DOUBLE_EQ(ts.max_value(), 7.0);
+}
+
+TEST(TimeSeries, TimeWeightedMean)
+{
+    TimeSeries ts;
+    ts.append(0.0, 10.0);
+    ts.append(9.0, 100.0);
+    ts.append(10.0, 100.0);
+    // 9 s at 10 + 1 s at 100 over 10 s
+    EXPECT_NEAR(ts.time_weighted_mean(), 19.0, 1e-12);
+}
+
+TEST(TimeSeries, ClearResets)
+{
+    TimeSeries ts;
+    ts.append(0.0, 1.0);
+    ts.clear();
+    EXPECT_TRUE(ts.empty());
+    EXPECT_NO_THROW(ts.append(0.0, 2.0)); // monotonicity restarts
+}
+
+} // namespace
+} // namespace gsph::util

@@ -1,0 +1,264 @@
+/// greensph — command-line front end to the reproduction library.
+///
+///   greensph systems
+///       List the modelled systems (paper Table I).
+///   greensph tune   [options]
+///       Run the KernelTuner sweep and print the best-EDP clock table
+///       (paper Fig. 2).
+///   greensph run    [options]
+///       Record (or load) a workload trace and run it under a clock policy,
+///       printing the device/function energy reports.
+///
+/// Options (with defaults):
+///   --system cscs|lumi|minihpc        (minihpc)
+///   --workload turbulence|evrard|sedov      (turbulence)
+///   --policy baseline|static:<mhz>|dvfs|mandyn|online   (baseline)
+///   --ranks N                         (1)
+///   --steps N                         (10)
+///   --nside N          real-physics resolution           (10)
+///   --particles-per-gpu X             (91125000 = 450^3)
+///   --objective time|energy|edp|ed2p  tuning objective   (edp)
+///   --trace-in FILE    load a recorded trace instead of running physics
+///   --trace-out FILE   save the recorded trace
+///   --csv FILE         write the per-function report as CSV
+
+#include "core/online_tuner.hpp"
+#include "core/pareto.hpp"
+#include "core/policy.hpp"
+#include "core/report.hpp"
+#include "sim/driver.hpp"
+#include "tuning/kernel_tuner.hpp"
+#include "util/csv.hpp"
+#include "util/strings.hpp"
+
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+
+using namespace gsph;
+
+namespace {
+
+struct Options {
+    std::string command;
+    std::string system = "minihpc";
+    std::string workload = "turbulence";
+    std::string policy = "baseline";
+    std::string objective = "edp";
+    int ranks = 1;
+    int steps = 10;
+    int nside = 10;
+    double particles_per_gpu = 450.0 * 450.0 * 450.0;
+    std::string trace_in;
+    std::string trace_out;
+    std::string csv_out;
+};
+
+void usage()
+{
+    std::cout << "usage: greensph <systems|tune|run> [options]\n"
+              << "  --system cscs|lumi|minihpc   --workload turbulence|evrard|sedov\n"
+              << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
+              << "  --ranks N --steps N --nside N --particles-per-gpu X\n"
+              << "  --objective time|energy|edp|ed2p\n"
+              << "  --trace-in FILE --trace-out FILE --csv FILE\n";
+}
+
+bool parse_args(int argc, char** argv, Options& opt)
+{
+    if (argc < 2) return false;
+    opt.command = argv[1];
+    for (int i = 2; i < argc; ++i) {
+        const std::string key = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) throw std::invalid_argument("missing value for " + key);
+            return argv[++i];
+        };
+        if (key == "--system") opt.system = next();
+        else if (key == "--workload") opt.workload = next();
+        else if (key == "--policy") opt.policy = next();
+        else if (key == "--objective") opt.objective = next();
+        else if (key == "--ranks") opt.ranks = std::stoi(next());
+        else if (key == "--steps") opt.steps = std::stoi(next());
+        else if (key == "--nside") opt.nside = std::stoi(next());
+        else if (key == "--particles-per-gpu") opt.particles_per_gpu = std::stod(next());
+        else if (key == "--trace-in") opt.trace_in = next();
+        else if (key == "--trace-out") opt.trace_out = next();
+        else if (key == "--csv") opt.csv_out = next();
+        else if (key == "--help" || key == "-h") return false;
+        else throw std::invalid_argument("unknown option: " + key);
+    }
+    return true;
+}
+
+sim::WorkloadTrace load_or_record(const Options& opt)
+{
+    if (!opt.trace_in.empty()) {
+        std::ifstream in(opt.trace_in);
+        if (!in) throw std::runtime_error("cannot open trace: " + opt.trace_in);
+        std::stringstream buffer;
+        buffer << in.rdbuf();
+        std::cout << "Loaded trace from " << opt.trace_in << "\n";
+        return sim::WorkloadTrace::parse(buffer.str());
+    }
+    sim::WorkloadSpec spec;
+    const std::string w = util::to_lower(opt.workload);
+    spec.kind = w == "evrard"  ? sim::WorkloadKind::kEvrardCollapse
+                : w == "sedov" ? sim::WorkloadKind::kSedovBlast
+                               : sim::WorkloadKind::kSubsonicTurbulence;
+    spec.particles_per_gpu = opt.particles_per_gpu;
+    spec.n_steps = opt.steps;
+    spec.real_nside = opt.nside;
+    std::cout << "Recording " << spec.n_steps << " steps of " << sim::to_string(spec.kind)
+              << " physics at " << opt.nside << "^3...\n";
+    auto trace = sim::record_trace(spec);
+    if (!opt.trace_out.empty()) {
+        std::ofstream out(opt.trace_out);
+        out << trace.serialize();
+        std::cout << "Trace saved to " << opt.trace_out << "\n";
+    }
+    return trace;
+}
+
+std::unique_ptr<core::FrequencyPolicy> make_policy(const Options& opt,
+                                                   const sim::SystemSpec& system)
+{
+    const std::string p = util::to_lower(opt.policy);
+    if (p == "baseline") return core::make_baseline_policy();
+    if (p == "dvfs") return core::make_native_dvfs_policy();
+    if (util::starts_with(p, "static:")) {
+        return core::make_static_policy(std::stod(p.substr(7)));
+    }
+    if (p == "mandyn") {
+        // Tune for this system's device, then run with the table.
+        std::cout << "Tuning per-function clocks for " << system.gpu.name << "...\n";
+        return nullptr; // handled by caller (needs the trace)
+    }
+    if (p == "online") {
+        core::OnlineTunerConfig cfg;
+        cfg.candidate_clocks = tuning::paper_frequency_band(system.gpu);
+        return core::make_online_mandyn_policy(cfg, system.gpu.vendor);
+    }
+    throw std::invalid_argument("unknown policy: " + opt.policy);
+}
+
+int cmd_systems()
+{
+    util::Table table({"System", "CPU", "GPUs/node", "Device", "Clock range [MHz]"});
+    for (const auto& system : {sim::lumi_g(), sim::cscs_a100(), sim::mini_hpc()}) {
+        table.add_row({system.name, system.cpu.name, std::to_string(system.gpus_per_node),
+                       system.gpu.name,
+                       util::format_fixed(system.gpu.min_compute_mhz, 0) + "-" +
+                           util::format_fixed(system.gpu.max_compute_mhz, 0)});
+    }
+    table.print(std::cout);
+    return 0;
+}
+
+tuning::Objective objective_from(const std::string& name)
+{
+    const std::string key = util::to_lower(name);
+    if (key == "time") return tuning::Objective::kTime;
+    if (key == "energy") return tuning::Objective::kEnergy;
+    if (key == "ed2p") return tuning::Objective::kEd2p;
+    if (key == "edp") return tuning::Objective::kEdp;
+    throw std::invalid_argument("unknown objective: " + name);
+}
+
+int cmd_tune(const Options& opt)
+{
+    const auto system = sim::system_by_name(opt.system);
+    const auto trace = load_or_record(opt);
+    const auto sweep = tuning::sweep_sph_functions(trace, system.gpu);
+    const auto objective = objective_from(opt.objective);
+
+    util::Table table({"Function", "Chosen clock [MHz]"});
+    core::FrequencyTable freq_table(system.gpu.default_app_clock_mhz);
+    for (const auto& entry : sweep) {
+        const double clock = entry.result.best(objective).params.at("core_freq_mhz");
+        freq_table.set(entry.fn, clock);
+        table.add_row({sph::to_string(entry.fn), util::format_fixed(clock, 0)});
+    }
+    table.print(std::cout);
+    if (!opt.csv_out.empty()) {
+        std::ofstream out(opt.csv_out);
+        out << freq_table.serialize();
+        std::cout << "Frequency table saved to " << opt.csv_out << "\n";
+    }
+    return 0;
+}
+
+int cmd_run(const Options& opt)
+{
+    const auto system = sim::system_by_name(opt.system);
+    const auto trace = load_or_record(opt);
+
+    auto policy = make_policy(opt, system);
+    if (!policy) { // "mandyn": tune first
+        const auto sweep = tuning::sweep_sph_functions(trace, system.gpu);
+        policy = core::make_mandyn_policy(
+            tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
+            system.gpu.vendor);
+    }
+
+    sim::RunConfig cfg;
+    cfg.n_ranks = opt.ranks;
+    cfg.setup_s = 45.0;
+    cfg.n_steps = opt.steps;
+
+    std::cout << "Running " << trace.workload_name << " on " << system.name << " with "
+              << opt.ranks << " rank(s) under " << policy->name() << "...\n\n";
+    const auto result = core::run_with_policy(system, trace, cfg, *policy);
+
+    std::cout << "Loop time " << util::format_fixed(result.makespan_s(), 2) << " s, GPU "
+              << util::format_si(result.gpu_energy_j, "J", 3) << ", node "
+              << util::format_si(result.node_energy_j, "J", 3) << " (Slurm whole-job "
+              << util::format_si(result.slurm.consumed_energy_j, "J", 3) << ")\n\n";
+    std::cout << "Energy by device:\n";
+    core::device_breakdown_table(result).print(std::cout);
+    std::cout << "\nBy function:\n";
+    core::function_breakdown_table(result).print(std::cout);
+
+    if (!opt.csv_out.empty()) {
+        util::CsvWriter csv({"function", "calls", "time_s", "gpu_energy_j",
+                             "cpu_energy_j", "mean_clock_mhz"});
+        for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+            const auto& a = result.per_function[static_cast<std::size_t>(f)];
+            if (a.calls == 0) continue;
+            csv.add_row({sph::to_string(static_cast<sph::SphFunction>(f)),
+                         std::to_string(a.calls), util::format_fixed(a.time_s, 6),
+                         util::format_fixed(a.gpu_energy_j, 3),
+                         util::format_fixed(a.cpu_energy_j, 3),
+                         util::format_fixed(a.mean_clock_mhz(), 1)});
+        }
+        if (csv.write_file(opt.csv_out)) {
+            std::cout << "\nReport written to " << opt.csv_out << "\n";
+        }
+    }
+    return 0;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Options opt;
+    try {
+        if (!parse_args(argc, argv, opt)) {
+            usage();
+            return argc < 2 ? 1 : 0;
+        }
+        if (opt.command == "systems") return cmd_systems();
+        if (opt.command == "tune") return cmd_tune(opt);
+        if (opt.command == "run") return cmd_run(opt);
+        std::cerr << "unknown command: " << opt.command << "\n";
+        usage();
+        return 1;
+    }
+    catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}
