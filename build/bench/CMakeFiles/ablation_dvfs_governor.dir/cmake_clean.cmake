@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_dvfs_governor.dir/ablation_dvfs_governor.cpp.o"
+  "CMakeFiles/ablation_dvfs_governor.dir/ablation_dvfs_governor.cpp.o.d"
+  "ablation_dvfs_governor"
+  "ablation_dvfs_governor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_dvfs_governor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_load_imbalance.dir/ablation_load_imbalance.cpp.o"
+  "CMakeFiles/ablation_load_imbalance.dir/ablation_load_imbalance.cpp.o.d"
+  "ablation_load_imbalance"
+  "ablation_load_imbalance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_load_imbalance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

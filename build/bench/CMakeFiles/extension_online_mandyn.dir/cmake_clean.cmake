@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_online_mandyn.dir/extension_online_mandyn.cpp.o"
+  "CMakeFiles/extension_online_mandyn.dir/extension_online_mandyn.cpp.o.d"
+  "extension_online_mandyn"
+  "extension_online_mandyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_online_mandyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

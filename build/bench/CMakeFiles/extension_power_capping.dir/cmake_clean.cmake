@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_power_capping.dir/extension_power_capping.cpp.o"
+  "CMakeFiles/extension_power_capping.dir/extension_power_capping.cpp.o.d"
+  "extension_power_capping"
+  "extension_power_capping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_power_capping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

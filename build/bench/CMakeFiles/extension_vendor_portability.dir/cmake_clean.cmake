@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/extension_vendor_portability.dir/extension_vendor_portability.cpp.o"
+  "CMakeFiles/extension_vendor_portability.dir/extension_vendor_portability.cpp.o.d"
+  "extension_vendor_portability"
+  "extension_vendor_portability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/extension_vendor_portability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

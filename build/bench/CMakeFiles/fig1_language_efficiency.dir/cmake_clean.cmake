@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig1_language_efficiency.dir/fig1_language_efficiency.cpp.o"
+  "CMakeFiles/fig1_language_efficiency.dir/fig1_language_efficiency.cpp.o.d"
+  "fig1_language_efficiency"
+  "fig1_language_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig1_language_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

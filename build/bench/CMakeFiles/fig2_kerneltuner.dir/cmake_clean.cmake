@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig2_kerneltuner.dir/fig2_kerneltuner.cpp.o"
+  "CMakeFiles/fig2_kerneltuner.dir/fig2_kerneltuner.cpp.o.d"
+  "fig2_kerneltuner"
+  "fig2_kerneltuner.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig2_kerneltuner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

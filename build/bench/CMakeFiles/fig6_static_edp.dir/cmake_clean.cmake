@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_static_edp.dir/fig6_static_edp.cpp.o"
+  "CMakeFiles/fig6_static_edp.dir/fig6_static_edp.cpp.o.d"
+  "fig6_static_edp"
+  "fig6_static_edp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_static_edp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_policies.dir/fig7_policies.cpp.o"
+  "CMakeFiles/fig7_policies.dir/fig7_policies.cpp.o.d"
+  "fig7_policies"
+  "fig7_policies.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_policies.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig8_function_static.dir/fig8_function_static.cpp.o"
+  "CMakeFiles/fig8_function_static.dir/fig8_function_static.cpp.o.d"
+  "fig8_function_static"
+  "fig8_function_static.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig8_function_static.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_gpusim.dir/microbench_gpusim.cpp.o"
+  "CMakeFiles/microbench_gpusim.dir/microbench_gpusim.cpp.o.d"
+  "microbench_gpusim"
+  "microbench_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/microbench_sph.dir/microbench_sph.cpp.o"
+  "CMakeFiles/microbench_sph.dir/microbench_sph.cpp.o.d"
+  "microbench_sph"
+  "microbench_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/microbench_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/evrard_mandyn.dir/evrard_mandyn.cpp.o"
+  "CMakeFiles/evrard_mandyn.dir/evrard_mandyn.cpp.o.d"
+  "evrard_mandyn"
+  "evrard_mandyn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/evrard_mandyn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for evrard_mandyn.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for evrard_mandyn.
+# This may be replaced when dependencies are built.

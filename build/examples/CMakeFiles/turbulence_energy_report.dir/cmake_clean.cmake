@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/turbulence_energy_report.dir/turbulence_energy_report.cpp.o"
+  "CMakeFiles/turbulence_energy_report.dir/turbulence_energy_report.cpp.o.d"
+  "turbulence_energy_report"
+  "turbulence_energy_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/turbulence_energy_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/clock_backend.cpp" "src/core/CMakeFiles/greensph_core.dir/clock_backend.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/clock_backend.cpp.o.d"
+  "/root/repo/src/core/controller.cpp" "src/core/CMakeFiles/greensph_core.dir/controller.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/controller.cpp.o.d"
+  "/root/repo/src/core/edp.cpp" "src/core/CMakeFiles/greensph_core.dir/edp.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/edp.cpp.o.d"
+  "/root/repo/src/core/frequency_table.cpp" "src/core/CMakeFiles/greensph_core.dir/frequency_table.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/frequency_table.cpp.o.d"
+  "/root/repo/src/core/online_tuner.cpp" "src/core/CMakeFiles/greensph_core.dir/online_tuner.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/online_tuner.cpp.o.d"
+  "/root/repo/src/core/pareto.cpp" "src/core/CMakeFiles/greensph_core.dir/pareto.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/pareto.cpp.o.d"
+  "/root/repo/src/core/policy.cpp" "src/core/CMakeFiles/greensph_core.dir/policy.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/policy.cpp.o.d"
+  "/root/repo/src/core/profiler.cpp" "src/core/CMakeFiles/greensph_core.dir/profiler.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/profiler.cpp.o.d"
+  "/root/repo/src/core/report.cpp" "src/core/CMakeFiles/greensph_core.dir/report.cpp.o" "gcc" "src/core/CMakeFiles/greensph_core.dir/report.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/greensph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmlsim/CMakeFiles/greensph_nvmlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rocmsmi/CMakeFiles/greensph_rocmsmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmt/CMakeFiles/greensph_pmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/greensph_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurmsim/CMakeFiles/greensph_slurmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmcounters/CMakeFiles/greensph_pmcounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/greensph_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/greensph_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greensph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

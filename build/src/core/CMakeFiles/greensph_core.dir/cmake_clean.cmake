@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_core.dir/clock_backend.cpp.o"
+  "CMakeFiles/greensph_core.dir/clock_backend.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/controller.cpp.o"
+  "CMakeFiles/greensph_core.dir/controller.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/edp.cpp.o"
+  "CMakeFiles/greensph_core.dir/edp.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/frequency_table.cpp.o"
+  "CMakeFiles/greensph_core.dir/frequency_table.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/online_tuner.cpp.o"
+  "CMakeFiles/greensph_core.dir/online_tuner.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/pareto.cpp.o"
+  "CMakeFiles/greensph_core.dir/pareto.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/policy.cpp.o"
+  "CMakeFiles/greensph_core.dir/policy.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/profiler.cpp.o"
+  "CMakeFiles/greensph_core.dir/profiler.cpp.o.d"
+  "CMakeFiles/greensph_core.dir/report.cpp.o"
+  "CMakeFiles/greensph_core.dir/report.cpp.o.d"
+  "libgreensph_core.a"
+  "libgreensph_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_cpusim.dir/cpu.cpp.o"
+  "CMakeFiles/greensph_cpusim.dir/cpu.cpp.o.d"
+  "libgreensph_cpusim.a"
+  "libgreensph_cpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

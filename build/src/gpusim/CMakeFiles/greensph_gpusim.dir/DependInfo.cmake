@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/gpusim/device.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/device.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/device.cpp.o.d"
+  "/root/repo/src/gpusim/device_spec.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/device_spec.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/device_spec.cpp.o.d"
+  "/root/repo/src/gpusim/dvfs_governor.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/dvfs_governor.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/dvfs_governor.cpp.o.d"
+  "/root/repo/src/gpusim/kernel_work.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/kernel_work.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/kernel_work.cpp.o.d"
+  "/root/repo/src/gpusim/power_model.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/power_model.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/power_model.cpp.o.d"
+  "/root/repo/src/gpusim/roofline.cpp" "src/gpusim/CMakeFiles/greensph_gpusim.dir/roofline.cpp.o" "gcc" "src/gpusim/CMakeFiles/greensph_gpusim.dir/roofline.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greensph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_gpusim.dir/device.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/device.cpp.o.d"
+  "CMakeFiles/greensph_gpusim.dir/device_spec.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/device_spec.cpp.o.d"
+  "CMakeFiles/greensph_gpusim.dir/dvfs_governor.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/dvfs_governor.cpp.o.d"
+  "CMakeFiles/greensph_gpusim.dir/kernel_work.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/kernel_work.cpp.o.d"
+  "CMakeFiles/greensph_gpusim.dir/power_model.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/power_model.cpp.o.d"
+  "CMakeFiles/greensph_gpusim.dir/roofline.cpp.o"
+  "CMakeFiles/greensph_gpusim.dir/roofline.cpp.o.d"
+  "libgreensph_gpusim.a"
+  "libgreensph_gpusim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreensph_gpusim.a"
+)

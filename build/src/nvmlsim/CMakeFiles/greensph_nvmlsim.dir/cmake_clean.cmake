@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_nvmlsim.dir/nvml.cpp.o"
+  "CMakeFiles/greensph_nvmlsim.dir/nvml.cpp.o.d"
+  "libgreensph_nvmlsim.a"
+  "libgreensph_nvmlsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_nvmlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greensph_nvmlsim.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/pmcounters/pm_counters.cpp" "src/pmcounters/CMakeFiles/greensph_pmcounters.dir/pm_counters.cpp.o" "gcc" "src/pmcounters/CMakeFiles/greensph_pmcounters.dir/pm_counters.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/gpusim/CMakeFiles/greensph_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/greensph_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greensph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

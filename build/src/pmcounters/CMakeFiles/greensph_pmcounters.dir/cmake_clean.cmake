@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_pmcounters.dir/pm_counters.cpp.o"
+  "CMakeFiles/greensph_pmcounters.dir/pm_counters.cpp.o.d"
+  "libgreensph_pmcounters.a"
+  "libgreensph_pmcounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_pmcounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

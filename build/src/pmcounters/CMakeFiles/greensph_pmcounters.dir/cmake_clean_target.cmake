@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libgreensph_pmcounters.a"
+)

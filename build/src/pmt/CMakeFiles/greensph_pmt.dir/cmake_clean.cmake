@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_pmt.dir/pmt.cpp.o"
+  "CMakeFiles/greensph_pmt.dir/pmt.cpp.o.d"
+  "libgreensph_pmt.a"
+  "libgreensph_pmt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_pmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for greensph_pmt.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_rocmsmi.dir/rocm_smi.cpp.o"
+  "CMakeFiles/greensph_rocmsmi.dir/rocm_smi.cpp.o.d"
+  "libgreensph_rocmsmi.a"
+  "libgreensph_rocmsmi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_rocmsmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for greensph_rocmsmi.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_sim.dir/comm.cpp.o"
+  "CMakeFiles/greensph_sim.dir/comm.cpp.o.d"
+  "CMakeFiles/greensph_sim.dir/driver.cpp.o"
+  "CMakeFiles/greensph_sim.dir/driver.cpp.o.d"
+  "CMakeFiles/greensph_sim.dir/node.cpp.o"
+  "CMakeFiles/greensph_sim.dir/node.cpp.o.d"
+  "CMakeFiles/greensph_sim.dir/system.cpp.o"
+  "CMakeFiles/greensph_sim.dir/system.cpp.o.d"
+  "CMakeFiles/greensph_sim.dir/workload.cpp.o"
+  "CMakeFiles/greensph_sim.dir/workload.cpp.o.d"
+  "libgreensph_sim.a"
+  "libgreensph_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_slurmsim.dir/slurm.cpp.o"
+  "CMakeFiles/greensph_slurmsim.dir/slurm.cpp.o.d"
+  "libgreensph_slurmsim.a"
+  "libgreensph_slurmsim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_slurmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sph/decomposition.cpp" "src/sph/CMakeFiles/greensph_sph.dir/decomposition.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/decomposition.cpp.o.d"
+  "/root/repo/src/sph/functions.cpp" "src/sph/CMakeFiles/greensph_sph.dir/functions.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/functions.cpp.o.d"
+  "/root/repo/src/sph/gravity.cpp" "src/sph/CMakeFiles/greensph_sph.dir/gravity.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/gravity.cpp.o.d"
+  "/root/repo/src/sph/ic.cpp" "src/sph/CMakeFiles/greensph_sph.dir/ic.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/ic.cpp.o.d"
+  "/root/repo/src/sph/kernel.cpp" "src/sph/CMakeFiles/greensph_sph.dir/kernel.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/kernel.cpp.o.d"
+  "/root/repo/src/sph/morton.cpp" "src/sph/CMakeFiles/greensph_sph.dir/morton.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/morton.cpp.o.d"
+  "/root/repo/src/sph/neighbors.cpp" "src/sph/CMakeFiles/greensph_sph.dir/neighbors.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/neighbors.cpp.o.d"
+  "/root/repo/src/sph/octree.cpp" "src/sph/CMakeFiles/greensph_sph.dir/octree.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/octree.cpp.o.d"
+  "/root/repo/src/sph/particles.cpp" "src/sph/CMakeFiles/greensph_sph.dir/particles.cpp.o" "gcc" "src/sph/CMakeFiles/greensph_sph.dir/particles.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/greensph_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/greensph_gpusim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

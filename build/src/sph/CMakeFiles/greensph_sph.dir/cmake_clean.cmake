@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_sph.dir/decomposition.cpp.o"
+  "CMakeFiles/greensph_sph.dir/decomposition.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/functions.cpp.o"
+  "CMakeFiles/greensph_sph.dir/functions.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/gravity.cpp.o"
+  "CMakeFiles/greensph_sph.dir/gravity.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/ic.cpp.o"
+  "CMakeFiles/greensph_sph.dir/ic.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/kernel.cpp.o"
+  "CMakeFiles/greensph_sph.dir/kernel.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/morton.cpp.o"
+  "CMakeFiles/greensph_sph.dir/morton.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/neighbors.cpp.o"
+  "CMakeFiles/greensph_sph.dir/neighbors.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/octree.cpp.o"
+  "CMakeFiles/greensph_sph.dir/octree.cpp.o.d"
+  "CMakeFiles/greensph_sph.dir/particles.cpp.o"
+  "CMakeFiles/greensph_sph.dir/particles.cpp.o.d"
+  "libgreensph_sph.a"
+  "libgreensph_sph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_tuning.dir/kernel_tuner.cpp.o"
+  "CMakeFiles/greensph_tuning.dir/kernel_tuner.cpp.o.d"
+  "libgreensph_tuning.a"
+  "libgreensph_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_util.dir/csv.cpp.o"
+  "CMakeFiles/greensph_util.dir/csv.cpp.o.d"
+  "CMakeFiles/greensph_util.dir/log.cpp.o"
+  "CMakeFiles/greensph_util.dir/log.cpp.o.d"
+  "CMakeFiles/greensph_util.dir/stats.cpp.o"
+  "CMakeFiles/greensph_util.dir/stats.cpp.o.d"
+  "CMakeFiles/greensph_util.dir/strings.cpp.o"
+  "CMakeFiles/greensph_util.dir/strings.cpp.o.d"
+  "CMakeFiles/greensph_util.dir/table.cpp.o"
+  "CMakeFiles/greensph_util.dir/table.cpp.o.d"
+  "libgreensph_util.a"
+  "libgreensph_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

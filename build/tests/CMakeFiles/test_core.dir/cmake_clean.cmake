@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core.dir/test_core_controller.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_controller.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_edp.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_edp.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_frequency_table.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_frequency_table.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_online_tuner.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_online_tuner.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_pareto.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_pareto.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_policy.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_policy.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_profiler.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_profiler.cpp.o.d"
+  "CMakeFiles/test_core.dir/test_core_report.cpp.o"
+  "CMakeFiles/test_core.dir/test_core_report.cpp.o.d"
+  "test_core"
+  "test_core.pdb"
+  "test_core[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

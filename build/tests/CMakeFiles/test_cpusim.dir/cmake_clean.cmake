@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cpusim.dir/test_cpusim.cpp.o"
+  "CMakeFiles/test_cpusim.dir/test_cpusim.cpp.o.d"
+  "test_cpusim"
+  "test_cpusim.pdb"
+  "test_cpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

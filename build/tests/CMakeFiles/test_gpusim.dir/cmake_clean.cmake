@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_gpusim.dir/test_gpusim_device.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_device.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_governor.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_governor.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_power.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_power.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_properties.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_properties.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_roofline.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_roofline.cpp.o.d"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_spec.cpp.o"
+  "CMakeFiles/test_gpusim.dir/test_gpusim_spec.cpp.o.d"
+  "test_gpusim"
+  "test_gpusim.pdb"
+  "test_gpusim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_gpusim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nvmlsim.dir/test_nvmlsim.cpp.o"
+  "CMakeFiles/test_nvmlsim.dir/test_nvmlsim.cpp.o.d"
+  "test_nvmlsim"
+  "test_nvmlsim.pdb"
+  "test_nvmlsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nvmlsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmcounters.dir/test_pmcounters.cpp.o"
+  "CMakeFiles/test_pmcounters.dir/test_pmcounters.cpp.o.d"
+  "test_pmcounters"
+  "test_pmcounters.pdb"
+  "test_pmcounters[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmcounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pmt.dir/test_pmt.cpp.o"
+  "CMakeFiles/test_pmt.dir/test_pmt.cpp.o.d"
+  "test_pmt"
+  "test_pmt.pdb"
+  "test_pmt[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pmt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

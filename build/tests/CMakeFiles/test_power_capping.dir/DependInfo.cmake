@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power_capping.cpp" "tests/CMakeFiles/test_power_capping.dir/test_power_capping.cpp.o" "gcc" "tests/CMakeFiles/test_power_capping.dir/test_power_capping.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tuning/CMakeFiles/greensph_tuning.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/greensph_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/greensph_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmt/CMakeFiles/greensph_pmt.dir/DependInfo.cmake"
+  "/root/repo/build/src/nvmlsim/CMakeFiles/greensph_nvmlsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rocmsmi/CMakeFiles/greensph_rocmsmi.dir/DependInfo.cmake"
+  "/root/repo/build/src/slurmsim/CMakeFiles/greensph_slurmsim.dir/DependInfo.cmake"
+  "/root/repo/build/src/pmcounters/CMakeFiles/greensph_pmcounters.dir/DependInfo.cmake"
+  "/root/repo/build/src/cpusim/CMakeFiles/greensph_cpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/sph/CMakeFiles/greensph_sph.dir/DependInfo.cmake"
+  "/root/repo/build/src/gpusim/CMakeFiles/greensph_gpusim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/greensph_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rocmsmi.dir/test_rocmsmi.cpp.o"
+  "CMakeFiles/test_rocmsmi.dir/test_rocmsmi.cpp.o.d"
+  "test_rocmsmi"
+  "test_rocmsmi.pdb"
+  "test_rocmsmi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rocmsmi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim.dir/test_sim_comm.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_comm.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_driver.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_driver.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_node.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_node.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_system.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_system.cpp.o.d"
+  "CMakeFiles/test_sim.dir/test_sim_workload.cpp.o"
+  "CMakeFiles/test_sim.dir/test_sim_workload.cpp.o.d"
+  "test_sim"
+  "test_sim.pdb"
+  "test_sim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

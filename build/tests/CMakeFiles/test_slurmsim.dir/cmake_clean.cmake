@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_slurmsim.dir/test_slurmsim.cpp.o"
+  "CMakeFiles/test_slurmsim.dir/test_slurmsim.cpp.o.d"
+  "test_slurmsim"
+  "test_slurmsim.pdb"
+  "test_slurmsim[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_slurmsim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

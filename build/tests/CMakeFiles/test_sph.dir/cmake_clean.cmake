@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sph.dir/test_sph_decomposition.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_decomposition.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_functions.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_functions.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_gravity.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_gravity.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_ic.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_ic.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_kernel.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_kernel.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_morton.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_morton.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_neighbors.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_neighbors.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_octree.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_octree.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_sedov.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_sedov.cpp.o.d"
+  "CMakeFiles/test_sph.dir/test_sph_types.cpp.o"
+  "CMakeFiles/test_sph.dir/test_sph_types.cpp.o.d"
+  "test_sph"
+  "test_sph.pdb"
+  "test_sph[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

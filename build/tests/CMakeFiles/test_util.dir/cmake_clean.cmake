@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_util.dir/test_util_log.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_log.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_rng.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_rng.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_stats.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_stats.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_strings.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_strings.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_table_csv.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_table_csv.cpp.o.d"
+  "CMakeFiles/test_util.dir/test_util_trace.cpp.o"
+  "CMakeFiles/test_util.dir/test_util_trace.cpp.o.d"
+  "test_util"
+  "test_util.pdb"
+  "test_util[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_util[1]_include.cmake")
+include("/root/repo/build/tests/test_gpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_cpusim[1]_include.cmake")
+include("/root/repo/build/tests/test_nvmlsim[1]_include.cmake")
+include("/root/repo/build/tests/test_pmcounters[1]_include.cmake")
+include("/root/repo/build/tests/test_pmt[1]_include.cmake")
+include("/root/repo/build/tests/test_slurmsim[1]_include.cmake")
+include("/root/repo/build/tests/test_sph[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_core[1]_include.cmake")
+include("/root/repo/build/tests/test_rocmsmi[1]_include.cmake")
+include("/root/repo/build/tests/test_tuning[1]_include.cmake")
+include("/root/repo/build/tests/test_power_capping[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")

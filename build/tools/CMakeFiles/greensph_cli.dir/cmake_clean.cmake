@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/greensph_cli.dir/greensph_cli.cpp.o"
+  "CMakeFiles/greensph_cli.dir/greensph_cli.cpp.o.d"
+  "greensph"
+  "greensph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/greensph_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
