@@ -3,7 +3,10 @@
 
 #include "common.hpp"
 
+#include "telemetry/run_tracer.hpp"
+
 #include <algorithm>
+#include <filesystem>
 
 using namespace gsph;
 
@@ -60,7 +63,13 @@ int main()
     cfg.setup_s = 5.0;
     cfg.clock_policy = gpusim::ClockPolicy::kNativeDvfs;
     cfg.enable_rank0_trace = true;
-    const auto r = sim::run_instrumented(sim::mini_hpc(), trace, cfg);
+
+    // Span-trace the same run: the figure's sawtooth becomes a Perfetto
+    // counter track next to the per-function spans.
+    telemetry::RunTracer span_tracer(cfg.n_ranks);
+    sim::RunHooks hooks;
+    span_tracer.attach(hooks);
+    const auto r = sim::run_instrumented(sim::mini_hpc(), trace, cfg, hooks);
 
     const auto& clock = r.rank0_clock_trace;
     ascii_plot(clock, r.loop_start_s, r.loop_end_s, r.step_start_times);
@@ -91,5 +100,13 @@ int main()
         csv.add_row({util::format_fixed(s.time, 4), util::format_fixed(s.value, 0)});
     }
     bench::write_artifact(csv, "fig9_dvfs_trace.csv");
+
+    span_tracer.add_counter_series(0, "governor_clock_mhz", clock);
+    std::error_code ec;
+    std::filesystem::create_directories("bench_out", ec);
+    if (span_tracer.write_chrome_json("bench_out/fig9_dvfs_trace.json")) {
+        std::cout << "[artifact] bench_out/fig9_dvfs_trace.json"
+                  << " (open in ui.perfetto.dev)\n";
+    }
     return 0;
 }

@@ -1,8 +1,19 @@
 #include "core/controller.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <stdexcept>
 
 namespace gsph::core {
+
+namespace {
+
+telemetry::Counter& controller_counter(const char* name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 FrequencyController::FrequencyController(FrequencyTable table, int n_ranks,
                                          std::unique_ptr<ClockBackend> backend)
@@ -15,12 +26,16 @@ FrequencyController::FrequencyController(FrequencyTable table, int n_ranks,
 
 ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
 {
+    static telemetry::Counter& applies = controller_counter("controller.apply.calls");
+    static telemetry::Counter& skips = controller_counter("controller.skipped.calls");
+    applies.inc();
     if (rank < 0 || rank >= static_cast<int>(current_mhz_.size())) {
         return ClockStatus::kInvalidArgument;
     }
     const double target = table_.get(fn);
     if (current_mhz_[static_cast<std::size_t>(rank)] == target) {
         ++skipped_calls_;
+        skips.inc();
         return ClockStatus::kOk;
     }
     const ClockStatus status = backend_->set_cap_mhz(rank, target);
@@ -33,6 +48,8 @@ ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
 
 void FrequencyController::restore_all()
 {
+    static telemetry::Counter& restores = controller_counter("controller.restore.calls");
+    restores.inc();
     for (std::size_t r = 0; r < current_mhz_.size(); ++r) {
         if (current_mhz_[r] < 0.0) continue; // never touched
         backend_->reset(static_cast<int>(r));

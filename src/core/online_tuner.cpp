@@ -1,10 +1,21 @@
 #include "core/online_tuner.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <algorithm>
 #include <limits>
 #include <stdexcept>
 
 namespace gsph::core {
+
+namespace {
+
+telemetry::Counter& tuner_counter(const char* name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 bool FunctionLearner::exploration_done(int samples_per_clock) const
 {
@@ -148,10 +159,14 @@ void OnlineManDynPolicy::after(int rank, gpusim::GpuDevice& /*dev*/, sph::SphFun
         learner.energy_j[idx] += pmt::Pmt::joules(open_state_, end);
         learner.time_s[idx] += pmt::Pmt::seconds(open_state_, end);
         ++learner.samples[idx];
+        static telemetry::Counter& samples = tuner_counter("tuner.online.samples");
+        samples.inc();
     }
     if (learner.exploration_done(config_.samples_per_clock)) {
         learner.converged = true;
         learner.chosen_mhz = learner.best_edp_clock();
+        static telemetry::Counter& converged = tuner_counter("tuner.online.converged");
+        converged.inc();
     }
 }
 

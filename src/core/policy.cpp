@@ -4,6 +4,7 @@
 #include "util/strings.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace gsph::core {
 
@@ -174,10 +175,16 @@ sim::RunResult run_with_policy(const sim::SystemSpec& system,
                                const sim::WorkloadTrace& trace, sim::RunConfig config,
                                FrequencyPolicy& policy)
 {
+    return run_with_policy(system, trace, std::move(config), policy, sim::RunHooks{});
+}
+
+sim::RunResult run_with_policy(const sim::SystemSpec& system,
+                               const sim::WorkloadTrace& trace, sim::RunConfig config,
+                               FrequencyPolicy& policy, sim::RunHooks base_hooks)
+{
     policy.configure(config);
-    sim::RunHooks hooks;
-    policy.attach(hooks, config.n_ranks);
-    return sim::run_instrumented(system, trace, config, hooks);
+    policy.attach(base_hooks, config.n_ranks);
+    return sim::run_instrumented(system, trace, config, base_hooks);
 }
 
 } // namespace gsph::core

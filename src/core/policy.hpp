@@ -49,4 +49,11 @@ sim::RunResult run_with_policy(const sim::SystemSpec& system,
                                const sim::WorkloadTrace& trace, sim::RunConfig config,
                                FrequencyPolicy& policy);
 
+/// Same, but the policy's hooks are layered on top of `base_hooks` (a span
+/// tracer, a profiler, ...).  The policy wraps them so its clock control
+/// runs before any observer for each function.
+sim::RunResult run_with_policy(const sim::SystemSpec& system,
+                               const sim::WorkloadTrace& trace, sim::RunConfig config,
+                               FrequencyPolicy& policy, sim::RunHooks base_hooks);
+
 } // namespace gsph::core

@@ -1,10 +1,31 @@
 #include "core/profiler.hpp"
 
+#include "telemetry/metrics.hpp"
 #include "util/strings.hpp"
 
+#include <array>
 #include <stdexcept>
+#include <string>
 
 namespace gsph::core {
+
+namespace {
+
+/// Per-function energy histograms, e.g. "fn.energy_j.Density".  Pointers are
+/// cached per function: registry instruments are never destroyed (reset only
+/// zeroes their values), so the cache stays valid across runs.
+telemetry::Histogram& fn_energy_histogram(sph::SphFunction fn)
+{
+    static std::array<telemetry::Histogram*, sph::kSphFunctionCount> cache{};
+    auto& slot = cache[static_cast<std::size_t>(fn)];
+    if (slot == nullptr) {
+        slot = &telemetry::MetricsRegistry::global().histogram(
+            std::string("fn.energy_j.") + sph::to_string(fn));
+    }
+    return *slot;
+}
+
+} // namespace
 
 EnergyProfiler::EnergyProfiler(int n_ranks)
     : n_ranks_(n_ranks),
@@ -51,6 +72,7 @@ void EnergyProfiler::attach(sim::RunHooks& hooks)
         totals_[fi].gpu_energy_j += joules;
         totals_[fi].time_s += seconds;
         ++totals_[fi].calls;
+        fn_energy_histogram(fn).observe(joules);
 
         if (prev_after) prev_after(rank, dev, fn, res);
     };

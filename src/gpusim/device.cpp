@@ -1,9 +1,33 @@
 #include "gpusim/device.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
 namespace gsph::gpusim {
+
+namespace {
+
+/// Effective compute-clock transitions across every device: under ManDyn
+/// these are the per-function application-clock moves, under native DVFS
+/// the governor's tick-by-tick changes.  Cached reference — the global
+/// registry keeps instruments alive forever (reset only zeroes them).
+telemetry::Counter& transitions_counter()
+{
+    static telemetry::Counter& c =
+        telemetry::MetricsRegistry::global().counter("governor.transitions");
+    return c;
+}
+
+telemetry::Counter& kernel_batches_counter()
+{
+    static telemetry::Counter& c =
+        telemetry::MetricsRegistry::global().counter("gpusim.kernel_batches");
+    return c;
+}
+
+} // namespace
 
 GpuDevice::GpuDevice(GpuDeviceSpec spec, int index)
     : spec_(std::move(spec)),
@@ -91,6 +115,13 @@ void GpuDevice::account(double dt, double power_w)
     last_power_w_ = power_w;
 }
 
+void GpuDevice::transition_to(double mhz)
+{
+    if (mhz == current_clock_mhz_) return;
+    current_clock_mhz_ = mhz;
+    transitions_counter().inc();
+}
+
 void GpuDevice::clear_traces()
 {
     clock_trace_.clear();
@@ -100,6 +131,7 @@ void GpuDevice::clear_traces()
 KernelResult GpuDevice::execute(const KernelWork& work)
 {
     kernels_launched_ += std::max<std::int64_t>(work.launches, 1);
+    kernel_batches_counter().inc();
     return policy_ == ClockPolicy::kLockedAppClock ? execute_locked(work)
                                                    : execute_governed(work);
 }
@@ -115,7 +147,7 @@ KernelResult GpuDevice::execute_locked(const KernelWork& work)
     r.start_s = now_s_;
     r.mean_clock_mhz = f;
 
-    current_clock_mhz_ = f;
+    transition_to(f);
     record(now_s_, f, 0.0);
 
     const PowerBreakdown busy = power_model_.busy_power(t, f, /*governor_managed=*/false);
@@ -178,7 +210,7 @@ KernelResult GpuDevice::execute_governed(const KernelWork& work)
         if (launches > 1.0 && dt >= spec_.governor.tick_s * 0.5) {
             governor_.on_kernel_launch(); // next launches in the batch re-boost
         }
-        current_clock_mhz_ = governor_.current_mhz();
+        transition_to(governor_.current_mhz());
     }
 
     const long transitions = governor_.transition_count() - transitions_before;
@@ -202,7 +234,7 @@ void GpuDevice::idle(double seconds)
 {
     if (seconds <= 0.0) return;
     if (policy_ == ClockPolicy::kLockedAppClock) {
-        current_clock_mhz_ = spec_.min_compute_mhz; // park
+        transition_to(spec_.min_compute_mhz); // park
         const PowerBreakdown p = power_model_.idle_power(current_clock_mhz_, false);
         record(now_s_, current_clock_mhz_, p.total_w);
         account(seconds, p.total_w);
@@ -221,7 +253,7 @@ void GpuDevice::idle(double seconds)
         now_s_ += dt;
         remaining -= dt;
         governor_.step(dt, /*running=*/false, 0.0);
-        current_clock_mhz_ = governor_.current_mhz();
+        transition_to(governor_.current_mhz());
     }
     record(now_s_, current_clock_mhz_, last_power_w_);
 }

@@ -92,6 +92,9 @@ public:
 private:
     KernelResult execute_locked(const KernelWork& work);
     KernelResult execute_governed(const KernelWork& work);
+    /// Move the effective compute clock, counting distinct transitions into
+    /// the telemetry registry ("governor.transitions").
+    void transition_to(double mhz);
     /// Highest clock <= `requested_mhz` whose busy power for `work` fits
     /// under the power limit (requested clock when uncapped).
     double throttle_for_power(const KernelWork& work, double requested_mhz,

@@ -1,5 +1,7 @@
 #include "nvmlsim/nvml.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <algorithm>
 #include <cmath>
 #include <cstring>
@@ -7,6 +9,11 @@
 namespace gsph::nvmlsim {
 
 namespace {
+
+telemetry::Counter& calls_counter(const char* name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
 
 struct NvmlState {
     std::vector<gpusim::GpuDevice*> devices;
@@ -164,6 +171,8 @@ nvmlReturn_t nvmlDeviceGetApplicationsClock(nvmlDevice_t device, nvmlClockType_t
 nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device, unsigned int mem_mhz,
                                              unsigned int graphics_mhz)
 {
+    static telemetry::Counter& calls = calls_counter("nvml.set_app_clock.calls");
+    calls.inc();
     if (!initialized()) return NVML_ERROR_UNINITIALIZED;
     auto* dev = resolve(device);
     if (!dev || graphics_mhz == 0) return NVML_ERROR_INVALID_ARGUMENT;
@@ -179,6 +188,8 @@ nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device, unsigned int m
 
 nvmlReturn_t nvmlDeviceResetApplicationsClocks(nvmlDevice_t device)
 {
+    static telemetry::Counter& calls = calls_counter("nvml.reset_app_clock.calls");
+    calls.inc();
     if (!initialized()) return NVML_ERROR_UNINITIALIZED;
     auto* dev = resolve(device);
     if (!dev) return NVML_ERROR_INVALID_ARGUMENT;
@@ -211,6 +222,8 @@ nvmlReturn_t nvmlDeviceGetPowerManagementLimit(nvmlDevice_t device,
 nvmlReturn_t nvmlDeviceSetPowerManagementLimit(nvmlDevice_t device,
                                                unsigned int milliwatts)
 {
+    static telemetry::Counter& calls = calls_counter("nvml.set_power_limit.calls");
+    calls.inc();
     if (!initialized()) return NVML_ERROR_UNINITIALIZED;
     auto* dev = resolve(device);
     if (!dev) return NVML_ERROR_INVALID_ARGUMENT;
@@ -239,6 +252,8 @@ nvmlReturn_t nvmlDeviceGetPowerManagementLimitConstraints(nvmlDevice_t device,
 nvmlReturn_t nvmlDeviceGetTotalEnergyConsumption(nvmlDevice_t device,
                                                  unsigned long long* millijoules)
 {
+    static telemetry::Counter& calls = calls_counter("nvml.energy_query.calls");
+    calls.inc();
     if (!initialized()) return NVML_ERROR_UNINITIALIZED;
     auto* dev = resolve(device);
     if (!dev || !millijoules) return NVML_ERROR_INVALID_ARGUMENT;

@@ -4,6 +4,7 @@
 #include "nvmlsim/nvml.hpp"
 #include "pmcounters/pm_counters.hpp"
 #include "rocmsmi/rocm_smi.hpp"
+#include "telemetry/metrics.hpp"
 #include "util/strings.hpp"
 #include "util/units.hpp"
 
@@ -12,6 +13,15 @@
 namespace gsph::pmt {
 
 namespace {
+
+/// One shared counter across every sensor back-end: a composite read of N
+/// children counts as N leaf reads plus its own.
+void count_read()
+{
+    static telemetry::Counter& reads =
+        telemetry::MetricsRegistry::global().counter("pmt.reads");
+    reads.inc();
+}
 
 class NvmlPmt final : public Pmt {
 public:
@@ -29,6 +39,7 @@ public:
 
     State Read() const override
     {
+        count_read();
         State s = last_;
         unsigned long long mj = 0;
         if (nvmlsim::nvmlDeviceGetTotalEnergyConsumption(device_, &mj) ==
@@ -73,6 +84,7 @@ public:
 
     State Read() const override
     {
+        count_read();
         State s = last_;
         std::uint64_t counter = 0;
         float resolution = 0.0f;
@@ -103,6 +115,7 @@ public:
 
     State Read() const override
     {
+        count_read();
         return State{cpu_->now(), cpu_->package_energy_j() + cpu_->dram_energy_j()};
     }
     std::string name() const override { return "rapl"; }
@@ -120,6 +133,7 @@ public:
 
     State Read() const override
     {
+        count_read();
         return State{counters_->last_sample_time(), counters_->node_energy_j()};
     }
     std::string name() const override { return "cray"; }
@@ -130,7 +144,11 @@ private:
 
 class DummyPmt final : public Pmt {
 public:
-    State Read() const override { return State{}; }
+    State Read() const override
+    {
+        count_read();
+        return State{};
+    }
     std::string name() const override { return "dummy"; }
 };
 
@@ -146,6 +164,7 @@ public:
 
     State Read() const override
     {
+        count_read();
         State s;
         for (const auto& c : children_) {
             const State child = c->Read();

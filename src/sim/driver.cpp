@@ -3,6 +3,8 @@
 #include "nvmlsim/nvml.hpp"
 #include "pmt/pmt.hpp"
 #include "rocmsmi/rocm_smi.hpp"
+#include "telemetry/metrics.hpp"
+#include "util/log.hpp"
 #include "util/rng.hpp"
 
 #include <algorithm>
@@ -42,6 +44,16 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
     if (trace.steps.empty()) throw std::invalid_argument("run_instrumented: empty trace");
     const int n_steps = config.n_steps > 0 ? config.n_steps : trace.n_steps();
     const double scale = trace.work_scale();
+
+    static telemetry::Counter& steps_counter =
+        telemetry::MetricsRegistry::global().counter("driver.steps");
+    static telemetry::Counter& calls_counter =
+        telemetry::MetricsRegistry::global().counter("driver.function_calls");
+
+    GSPH_LOG_DEBUG("driver", "run_instrumented: system=" + system.name +
+                                 " workload=" + trace.workload_name +
+                                 " steps=" + std::to_string(n_steps) +
+                                 " ranks=" + std::to_string(config.n_ranks));
 
     Cluster cluster(system, config.n_ranks);
     CommModel comm(system, config.n_ranks);
@@ -127,6 +139,7 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
                 const gpusim::KernelWork work = gpusim::scaled(fr.work, scale * jit);
                 const gpusim::KernelResult res = dev.execute(work);
 
+                calls_counter.inc();
                 const double duration = res.end_s - res.start_s;
                 agg[fi].time_s += duration;
                 agg[fi].gpu_energy_j += res.energy_j;
@@ -174,6 +187,7 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
         // End of step: host/sampler catch up on every node.
         const double t_step = cluster.max_gpu_time();
         cluster.sync_all_to(t_step);
+        steps_counter.inc();
         if (hooks.after_step) hooks.after_step(s);
     }
 

@@ -1,0 +1,126 @@
+#include "telemetry/metrics.hpp"
+
+#include "util/strings.hpp"
+
+#include <stdexcept>
+
+namespace gsph::telemetry {
+
+MetricsRegistry& MetricsRegistry::global()
+{
+    static MetricsRegistry registry;
+    return registry;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name)
+{
+    Instrument& slot = instruments_[name];
+    if (slot.gauge || slot.histogram) {
+        throw std::invalid_argument("metrics: '" + name + "' is not a counter");
+    }
+    if (!slot.counter) slot.counter.reset(new Counter(name));
+    return *slot.counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name)
+{
+    Instrument& slot = instruments_[name];
+    if (slot.counter || slot.histogram) {
+        throw std::invalid_argument("metrics: '" + name + "' is not a gauge");
+    }
+    if (!slot.gauge) slot.gauge.reset(new Gauge(name));
+    return *slot.gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name)
+{
+    Instrument& slot = instruments_[name];
+    if (slot.counter || slot.gauge) {
+        throw std::invalid_argument("metrics: '" + name + "' is not a histogram");
+    }
+    if (!slot.histogram) slot.histogram.reset(new Histogram(name));
+    return *slot.histogram;
+}
+
+bool MetricsRegistry::has(const std::string& name) const
+{
+    return instruments_.find(name) != instruments_.end();
+}
+
+double MetricsRegistry::value(const std::string& name) const
+{
+    const auto it = instruments_.find(name);
+    if (it == instruments_.end()) return 0.0;
+    if (it->second.counter) return it->second.counter->value();
+    if (it->second.gauge) return it->second.gauge->value();
+    if (it->second.histogram) {
+        return static_cast<double>(it->second.histogram->stat().count());
+    }
+    return 0.0;
+}
+
+void MetricsRegistry::reset()
+{
+    for (auto& [name, slot] : instruments_) {
+        (void)name;
+        if (slot.counter) slot.counter->value_ = 0.0;
+        if (slot.gauge) slot.gauge->value_ = 0.0;
+        if (slot.histogram) slot.histogram->stat_.reset();
+    }
+}
+
+Json MetricsRegistry::to_json() const
+{
+    Json root = Json::object();
+    Json counters = Json::object();
+    Json gauges = Json::object();
+    Json histograms = Json::object();
+    for (const auto& [name, slot] : instruments_) {
+        if (slot.counter) {
+            counters[name] = slot.counter->value();
+        }
+        else if (slot.gauge) {
+            gauges[name] = slot.gauge->value();
+        }
+        else if (slot.histogram) {
+            const util::RunningStat& s = slot.histogram->stat();
+            Json h = Json::object();
+            h["count"] = s.count();
+            h["mean"] = s.mean();
+            h["min"] = s.min();
+            h["max"] = s.max();
+            h["stddev"] = s.stddev();
+            h["sum"] = s.sum();
+            histograms[name] = std::move(h);
+        }
+    }
+    root["counters"] = std::move(counters);
+    root["gauges"] = std::move(gauges);
+    root["histograms"] = std::move(histograms);
+    return root;
+}
+
+util::Table MetricsRegistry::to_table() const
+{
+    util::Table table({"Metric", "Kind", "Value", "Count", "Mean", "Min", "Max"});
+    for (const auto& [name, slot] : instruments_) {
+        if (slot.counter) {
+            table.add_row({name, "counter", util::format_fixed(slot.counter->value(), 0),
+                           "", "", "", ""});
+        }
+        else if (slot.gauge) {
+            table.add_row({name, "gauge", util::format_fixed(slot.gauge->value(), 3), "",
+                           "", "", ""});
+        }
+        else if (slot.histogram) {
+            const util::RunningStat& s = slot.histogram->stat();
+            table.add_row({name, "histogram", util::format_fixed(s.sum(), 3),
+                           std::to_string(s.count()), util::format_fixed(s.mean(), 3),
+                           util::format_fixed(s.min(), 3),
+                           util::format_fixed(s.max(), 3)});
+        }
+    }
+    return table;
+}
+
+} // namespace gsph::telemetry

@@ -1,0 +1,112 @@
+#pragma once
+/// \file metrics.hpp
+/// \brief Named counters / gauges / histograms for every greensph layer.
+///
+/// The paper's method lives or dies by visibility into the instrumentation
+/// itself: how many times NVML application clocks were set, how often the
+/// governor changed clocks, how many configurations a tuner sweep priced,
+/// how many PMT reads a profiler issued.  Components register instruments
+/// into a MetricsRegistry by dotted name ("nvml.set_app_clock.calls",
+/// "governor.transitions", ...) and the registry renders one dump as JSON
+/// (machine-readable, for CI and notebooks) or as a util::Table (for the
+/// terminal).
+///
+/// Instruments are created on first use and live for the lifetime of the
+/// registry; reset() zeroes every value but keeps the objects, so cached
+/// references (hot paths cache them to skip the name lookup) stay valid
+/// across runs.  Like the rest of the simulator, this is single-threaded
+/// by design.
+
+#include "telemetry/json.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+#include <map>
+#include <memory>
+#include <string>
+
+namespace gsph::telemetry {
+
+/// Monotonically increasing count (resets only via MetricsRegistry::reset).
+class Counter {
+public:
+    void inc(double delta = 1.0) { value_ += delta; }
+    double value() const { return value_; }
+    const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Counter(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    double value_ = 0.0;
+};
+
+/// Last-written value (clock caps, learned tables, convergence state).
+class Gauge {
+public:
+    void set(double value) { value_ = value; }
+    double value() const { return value_; }
+    const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Gauge(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    double value_ = 0.0;
+};
+
+/// Streaming distribution (count/mean/min/max/stddev/sum via Welford).
+class Histogram {
+public:
+    void observe(double value) { stat_.add(value); }
+    const util::RunningStat& stat() const { return stat_; }
+    const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Histogram(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    util::RunningStat stat_;
+};
+
+class MetricsRegistry {
+public:
+    MetricsRegistry() = default;
+    MetricsRegistry(const MetricsRegistry&) = delete;
+    MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+    /// The process-wide registry every layer instruments into.
+    static MetricsRegistry& global();
+
+    /// Look up or create.  A name identifies exactly one instrument kind;
+    /// re-requesting it as a different kind throws std::invalid_argument.
+    Counter& counter(const std::string& name);
+    Gauge& gauge(const std::string& name);
+    Histogram& histogram(const std::string& name);
+
+    bool has(const std::string& name) const;
+    /// Counter/gauge value or histogram count; 0 for unknown names.
+    double value(const std::string& name) const;
+
+    /// Zero every instrument, keeping registrations (and references) alive.
+    void reset();
+
+    std::size_t size() const { return instruments_.size(); }
+
+    /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
+    /// mean, min, max, stddev, sum}}} — names sorted (std::map order).
+    Json to_json() const;
+
+    /// Terminal rendering: one row per instrument.
+    util::Table to_table() const;
+
+private:
+    struct Instrument {
+        std::unique_ptr<Counter> counter;
+        std::unique_ptr<Gauge> gauge;
+        std::unique_ptr<Histogram> histogram;
+    };
+    std::map<std::string, Instrument> instruments_;
+};
+
+} // namespace gsph::telemetry

@@ -1,0 +1,73 @@
+#include "telemetry/run_summary.hpp"
+
+#include <fstream>
+
+namespace gsph::telemetry {
+
+Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& context)
+{
+    Json root = Json::object();
+    root["schema"] = kRunSummarySchema;
+    root["system"] = result.system_name;
+    root["workload"] = result.workload_name;
+    root["policy"] = context.policy;
+    root["n_ranks"] = result.n_ranks;
+    root["n_steps"] = result.n_steps;
+
+    root["makespan_s"] = result.makespan_s();
+    root["total_wall_s"] = result.total_wall_s;
+    root["loop_start_s"] = result.loop_start_s;
+    root["loop_end_s"] = result.loop_end_s;
+
+    Json energy = Json::object();
+    energy["gpu"] = result.gpu_energy_j;
+    energy["cpu"] = result.cpu_energy_j;
+    energy["memory"] = result.memory_energy_j;
+    energy["other"] = result.other_energy_j;
+    energy["node"] = result.node_energy_j;
+    energy["pmt_loop"] = result.pmt_loop_energy_j;
+    root["energy_j"] = std::move(energy);
+
+    Json edp = Json::object();
+    edp["gpu"] = result.gpu_edp();
+    edp["node"] = result.edp();
+    root["edp"] = std::move(edp);
+
+    Json slurm = Json::object();
+    slurm["job_id"] = result.slurm.job_id;
+    slurm["elapsed_s"] = result.slurm.elapsed_s;
+    slurm["consumed_energy_j"] = result.slurm.consumed_energy_j;
+    slurm["n_nodes"] = result.slurm.n_nodes;
+    root["slurm"] = std::move(slurm);
+
+    Json functions = Json::array();
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const sim::FunctionAggregate& a =
+            result.per_function[static_cast<std::size_t>(f)];
+        if (a.calls == 0) continue;
+        Json fn = Json::object();
+        fn["function"] = sph::to_string(static_cast<sph::SphFunction>(f));
+        fn["calls"] = static_cast<double>(a.calls);
+        fn["time_s"] = a.time_s;
+        fn["gpu_energy_j"] = a.gpu_energy_j;
+        fn["cpu_energy_j"] = a.cpu_energy_j;
+        fn["other_energy_j"] = a.other_energy_j;
+        fn["mean_clock_mhz"] = a.mean_clock_mhz();
+        functions.push_back(std::move(fn));
+    }
+    root["per_function"] = std::move(functions);
+
+    root["config"] = context.config;
+    return root;
+}
+
+bool write_run_summary(const std::string& path, const sim::RunResult& result,
+                       const RunSummaryContext& context)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << run_summary_json(result, context).dump(2) << '\n';
+    return static_cast<bool>(out);
+}
+
+} // namespace gsph::telemetry

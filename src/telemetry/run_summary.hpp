@@ -1,0 +1,44 @@
+#pragma once
+/// \file run_summary.hpp
+/// \brief Machine-readable summary of one instrumented run.
+///
+/// One `run_summary.json` per run is the single schema every consumer
+/// (bench figures, CI perf tracking, notebooks) reads instead of scraping
+/// ASCII tables.  Schema `greensph.run_summary/v1`:
+///
+/// {
+///   "schema": "greensph.run_summary/v1",
+///   "system": str, "workload": str, "policy": str,
+///   "n_ranks": int, "n_steps": int,
+///   "makespan_s": s, "total_wall_s": s,
+///   "loop_start_s": s, "loop_end_s": s,
+///   "energy_j": {"gpu","cpu","memory","other","node","pmt_loop"},
+///   "edp": {"gpu","node"},
+///   "slurm": {"job_id","elapsed_s","consumed_energy_j","n_nodes"},
+///   "per_function": [{"function","calls","time_s","gpu_energy_j",
+///                     "cpu_energy_j","other_energy_j","mean_clock_mhz"}],
+///   "config": free-form object supplied by the caller
+/// }
+
+#include "sim/driver.hpp"
+#include "telemetry/json.hpp"
+
+#include <string>
+
+namespace gsph::telemetry {
+
+inline constexpr const char* kRunSummarySchema = "greensph.run_summary/v1";
+
+struct RunSummaryContext {
+    std::string policy; ///< policy name ("Baseline", "ManDyn", ...)
+    Json config;        ///< free-form run configuration echo (may be null)
+};
+
+/// Build the summary document for `result`.
+Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& context = {});
+
+/// Serialize the summary to `path` (pretty-printed); false on I/O failure.
+bool write_run_summary(const std::string& path, const sim::RunResult& result,
+                       const RunSummaryContext& context = {});
+
+} // namespace gsph::telemetry

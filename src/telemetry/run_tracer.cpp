@@ -1,0 +1,98 @@
+#include "telemetry/run_tracer.hpp"
+
+#include <stdexcept>
+
+namespace gsph::telemetry {
+
+namespace {
+
+std::size_t checked_ranks(int n_ranks)
+{
+    if (n_ranks <= 0) throw std::invalid_argument("RunTracer: n_ranks <= 0");
+    return static_cast<std::size_t>(n_ranks);
+}
+
+} // namespace
+
+RunTracer::RunTracer(int n_ranks, RunTracerConfig config)
+    : n_ranks_(n_ranks),
+      config_(std::move(config)),
+      step_open_(checked_ranks(n_ranks), false),
+      last_time_s_(static_cast<std::size_t>(n_ranks), 0.0)
+{
+    for (int r = 0; r < n_ranks; ++r) {
+        tracer_.set_process_name(r, "rank " + std::to_string(r));
+        tracer_.set_thread_name(r, 0, "gpu timeline");
+    }
+}
+
+void RunTracer::attach(sim::RunHooks& hooks)
+{
+    auto prev_before = hooks.before_function;
+    auto prev_after = hooks.after_function;
+    auto prev_step = hooks.after_step;
+
+    hooks.before_function = [this, prev_before](int rank, gpusim::GpuDevice& dev,
+                                                sph::SphFunction fn) {
+        if (prev_before) prev_before(rank, dev, fn); // controller sets clocks first
+        on_before(rank, dev, fn);
+    };
+    hooks.after_function = [this, prev_after](int rank, gpusim::GpuDevice& dev,
+                                              sph::SphFunction fn,
+                                              const gpusim::KernelResult& res) {
+        on_after(rank, dev, fn, res);
+        if (prev_after) prev_after(rank, dev, fn, res);
+    };
+    hooks.after_step = [this, prev_step](int step) {
+        on_step_end(step);
+        if (prev_step) prev_step(step);
+    };
+}
+
+void RunTracer::on_before(int rank, gpusim::GpuDevice& dev, sph::SphFunction fn)
+{
+    const auto r = static_cast<std::size_t>(rank);
+    const double now = dev.now();
+    if (!step_open_[r]) {
+        // The driver has no before_step hook with a timestamp; the first
+        // function of a step opens the step span lazily at its own start.
+        tracer_.begin(rank, 0, "step " + std::to_string(current_step_), now, "step");
+        step_open_[r] = true;
+    }
+    tracer_.begin(rank, 0, sph::to_string(fn), now, config_.category);
+    last_time_s_[r] = now;
+}
+
+void RunTracer::on_after(int rank, gpusim::GpuDevice& dev, sph::SphFunction /*fn*/,
+                         const gpusim::KernelResult& res)
+{
+    const auto r = static_cast<std::size_t>(rank);
+    tracer_.end(rank, 0, res.end_s);
+    if (config_.counters) {
+        tracer_.counter(rank, "clock_mhz", res.end_s, res.mean_clock_mhz);
+        tracer_.counter(rank, "power_w", res.end_s, res.mean_power_w);
+        tracer_.counter(rank, "energy_j", res.end_s, dev.energy_j());
+    }
+    last_time_s_[r] = res.end_s;
+}
+
+void RunTracer::on_step_end(int step)
+{
+    for (int rank = 0; rank < n_ranks_; ++rank) {
+        const auto r = static_cast<std::size_t>(rank);
+        if (!step_open_[r]) continue;
+        tracer_.end(rank, 0, last_time_s_[r]);
+        step_open_[r] = false;
+    }
+    current_step_ = step + 1;
+}
+
+void RunTracer::add_counter_series(int pid, const std::string& name,
+                                   const util::TimeSeries& series)
+{
+    for (const util::Sample& s : series.samples()) {
+        tracer_.counter(pid, name, s.time, s.value);
+    }
+}
+
+} // namespace gsph::telemetry

@@ -1,0 +1,130 @@
+#include "telemetry/tracer.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace gsph::telemetry {
+
+void SpanTracer::begin(int pid, int tid, const std::string& name, double t_s,
+                       const std::string& category)
+{
+    TraceEvent e;
+    e.name = name;
+    e.category = category;
+    e.phase = 'B';
+    e.time_s = t_s;
+    e.pid = pid;
+    e.tid = tid;
+    events_.push_back(std::move(e));
+    ++open_[{pid, tid}];
+}
+
+void SpanTracer::end(int pid, int tid, double t_s)
+{
+    auto it = open_.find({pid, tid});
+    if (it == open_.end() || it->second <= 0) {
+        throw std::logic_error("SpanTracer: end with no open span on pid " +
+                               std::to_string(pid) + " tid " + std::to_string(tid));
+    }
+    --it->second;
+    TraceEvent e;
+    e.phase = 'E';
+    e.time_s = t_s;
+    e.pid = pid;
+    e.tid = tid;
+    events_.push_back(std::move(e));
+}
+
+void SpanTracer::counter(int pid, const std::string& name, double t_s, double value)
+{
+    TraceEvent e;
+    e.name = name;
+    e.phase = 'C';
+    e.time_s = t_s;
+    e.pid = pid;
+    e.counter_value = value;
+    events_.push_back(std::move(e));
+}
+
+void SpanTracer::instant(int pid, int tid, const std::string& name, double t_s)
+{
+    TraceEvent e;
+    e.name = name;
+    e.phase = 'i';
+    e.time_s = t_s;
+    e.pid = pid;
+    e.tid = tid;
+    events_.push_back(std::move(e));
+}
+
+void SpanTracer::set_process_name(int pid, const std::string& name)
+{
+    TraceEvent e;
+    e.name = "process_name";
+    e.phase = 'M';
+    e.pid = pid;
+    e.metadata = name;
+    events_.push_back(std::move(e));
+}
+
+void SpanTracer::set_thread_name(int pid, int tid, const std::string& name)
+{
+    TraceEvent e;
+    e.name = "thread_name";
+    e.phase = 'M';
+    e.pid = pid;
+    e.tid = tid;
+    e.metadata = name;
+    events_.push_back(std::move(e));
+}
+
+int SpanTracer::open_spans(int pid, int tid) const
+{
+    const auto it = open_.find({pid, tid});
+    return it == open_.end() ? 0 : it->second;
+}
+
+Json SpanTracer::to_json() const
+{
+    Json array = Json::array();
+    for (const TraceEvent& e : events_) {
+        Json obj = Json::object();
+        obj["name"] = e.name;
+        if (!e.category.empty()) obj["cat"] = e.category;
+        obj["ph"] = std::string(1, e.phase);
+        obj["ts"] = e.time_s * 1e6; // trace-event format: microseconds
+        obj["pid"] = e.pid;
+        obj["tid"] = e.tid;
+        if (e.phase == 'C') {
+            Json args = Json::object();
+            args["value"] = e.counter_value;
+            obj["args"] = std::move(args);
+        }
+        else if (e.phase == 'M') {
+            Json args = Json::object();
+            args["name"] = e.metadata;
+            obj["args"] = std::move(args);
+        }
+        else if (e.phase == 'i') {
+            obj["s"] = "t"; // thread-scoped instant
+        }
+        array.push_back(std::move(obj));
+    }
+    return array;
+}
+
+bool SpanTracer::write_file(const std::string& path) const
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << to_chrome_json() << '\n';
+    return static_cast<bool>(out);
+}
+
+void SpanTracer::clear()
+{
+    events_.clear();
+    open_.clear();
+}
+
+} // namespace gsph::telemetry

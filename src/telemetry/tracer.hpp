@@ -1,0 +1,76 @@
+#pragma once
+/// \file tracer.hpp
+/// \brief Span tracer with Chrome trace-event / Perfetto JSON export.
+///
+/// Records begin/end spans ("ph":"B"/"E"), counter tracks ("ph":"C"),
+/// instants ("ph":"i") and process/thread metadata ("ph":"M") against a
+/// (pid, tid) coordinate system.  greensph maps pid = MPI rank and
+/// tid 0 = the rank's GPU timeline, so a dumped trace opens directly in
+/// ui.perfetto.dev (or chrome://tracing) with one track per rank, nested
+/// step/function spans, and clock/power/energy counter tracks alongside.
+///
+/// Timestamps are simulated seconds; export converts to the microseconds
+/// the trace-event format specifies.  Span begin/end pairs are validated
+/// per (pid, tid): ending with no open span throws, and open_spans() lets
+/// callers assert balance.
+
+#include "telemetry/json.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace gsph::telemetry {
+
+struct TraceEvent {
+    std::string name;
+    std::string category;
+    char phase = 'X';   ///< 'B', 'E', 'C', 'i', 'M'
+    double time_s = 0.0;
+    int pid = 0;
+    int tid = 0;
+    double counter_value = 0.0; ///< 'C' events only
+    std::string metadata;       ///< 'M' events: the process/thread name
+};
+
+class SpanTracer {
+public:
+    /// Begin a span on (pid, tid) at simulated time `t_s`.
+    void begin(int pid, int tid, const std::string& name, double t_s,
+               const std::string& category = "");
+    /// End the innermost open span on (pid, tid); throws std::logic_error
+    /// when none is open.
+    void end(int pid, int tid, double t_s);
+
+    /// Counter sample: one value on the track `name` of process `pid`.
+    void counter(int pid, const std::string& name, double t_s, double value);
+
+    /// Zero-duration marker.
+    void instant(int pid, int tid, const std::string& name, double t_s);
+
+    /// Perfetto display names ("rank 0", "gpu timeline", ...).
+    void set_process_name(int pid, const std::string& name);
+    void set_thread_name(int pid, int tid, const std::string& name);
+
+    /// Open (un-ended) spans on (pid, tid).
+    int open_spans(int pid, int tid) const;
+
+    std::size_t event_count() const { return events_.size(); }
+    const std::vector<TraceEvent>& events() const { return events_; }
+
+    /// Chrome trace-event JSON: an array of event objects, ts in us.
+    Json to_json() const;
+    std::string to_chrome_json() const { return to_json().dump(); }
+
+    /// Write the Chrome trace JSON to `path`; false on I/O failure.
+    bool write_file(const std::string& path) const;
+
+    void clear();
+
+private:
+    std::vector<TraceEvent> events_;
+    std::map<std::pair<int, int>, int> open_; ///< (pid,tid) -> open span depth
+};
+
+} // namespace gsph::telemetry

@@ -1,9 +1,20 @@
 #include "tuning/kernel_tuner.hpp"
 
+#include "telemetry/metrics.hpp"
+
 #include <algorithm>
 #include <stdexcept>
 
 namespace gsph::tuning {
+
+namespace {
+
+telemetry::Counter& sweep_counter(const char* name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+} // namespace
 
 const TuneConfig& TuneResult::best(Objective objective) const
 {
@@ -62,7 +73,9 @@ TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
     result.kernel_name = kernel_name;
     result.configs.reserve(space.size());
 
+    static telemetry::Counter& configs_priced = sweep_counter("tuner.sweep.configs");
     for (const auto& config : space) {
+        configs_priced.inc();
         // Fresh device per configuration: benchmarks are independent.
         gpusim::GpuDevice device(spec_);
         device.set_clock_policy(gpusim::ClockPolicy::kLockedAppClock);
@@ -142,6 +155,8 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
         const gpusim::KernelWork kernel = gpusim::scaled(avg, trace.work_scale());
         if (kernel.flops <= 0.0 && kernel.dram_bytes <= 0.0) continue;
 
+        static telemetry::Counter& kernels_swept = sweep_counter("tuner.sweep.kernels");
+        kernels_swept.inc();
         FunctionSweepEntry entry;
         entry.fn = static_cast<sph::SphFunction>(f);
         entry.result = tuner.tune_kernel(

@@ -1,5 +1,8 @@
 #include "util/log.hpp"
 
+#include <cctype>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
 
 namespace gsph::util {
@@ -10,11 +13,49 @@ Logger& Logger::instance()
     return logger;
 }
 
+bool Logger::parse_level(const std::string& text, LogLevel& out)
+{
+    std::string key;
+    key.reserve(text.size());
+    for (char c : text) {
+        key.push_back(static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+    }
+    if (key == "debug") out = LogLevel::kDebug;
+    else if (key == "info") out = LogLevel::kInfo;
+    else if (key == "warn" || key == "warning") out = LogLevel::kWarn;
+    else if (key == "error") out = LogLevel::kError;
+    else if (key == "off" || key == "none" || key == "quiet") out = LogLevel::kOff;
+    else return false;
+    return true;
+}
+
 void Logger::log(LogLevel level, const std::string& component, const std::string& message)
 {
     if (level < level_) return;
+    if (!component_filter_.empty() &&
+        component.find(component_filter_) == std::string::npos) {
+        return;
+    }
     static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
     std::ostream& os = sink_ ? *sink_ : std::cerr;
+    if (wall_clock_) {
+        std::time_t now = std::time(nullptr);
+        std::tm tm_buf{};
+#if defined(_WIN32)
+        localtime_s(&tm_buf, &now);
+#else
+        localtime_r(&now, &tm_buf);
+#endif
+        char stamp[16];
+        std::snprintf(stamp, sizeof(stamp), "[%02d:%02d:%02d] ", tm_buf.tm_hour,
+                      tm_buf.tm_min, tm_buf.tm_sec);
+        os << stamp;
+    }
+    if (sim_time_) {
+        char stamp[48];
+        std::snprintf(stamp, sizeof(stamp), "[t=%.3fs] ", sim_time_());
+        os << stamp;
+    }
     os << '[' << names[static_cast<int>(level)] << "] " << component << ": " << message
        << '\n';
 }

@@ -7,6 +7,7 @@
 /// design: the simulator is single-threaded (see DESIGN.md, "threads are
 /// ranks").
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -21,8 +22,30 @@ public:
     void set_level(LogLevel level) { level_ = level; }
     LogLevel level() const { return level_; }
 
+    /// Parse "debug" / "info" / "warn" / "error" / "off" (case-insensitive).
+    /// Returns false (leaving \p out untouched) on anything else.
+    static bool parse_level(const std::string& text, LogLevel& out);
+
     /// Redirect output (tests pass an ostringstream); nullptr restores stderr.
     void set_sink(std::ostream* sink) { sink_ = sink; }
+
+    /// Prefix each line with the host wall-clock time ("[14:03:22]").
+    void set_wall_clock(bool enabled) { wall_clock_ = enabled; }
+
+    /// Prefix each line with simulated seconds from this provider
+    /// ("[t=12.345s]"); pass an empty function to disable.
+    void set_sim_time_provider(std::function<double()> provider)
+    {
+        sim_time_ = std::move(provider);
+    }
+
+    /// Only emit messages whose component contains \p substring (empty
+    /// string disables filtering).
+    void set_component_filter(std::string substring)
+    {
+        component_filter_ = std::move(substring);
+    }
+    const std::string& component_filter() const { return component_filter_; }
 
     void log(LogLevel level, const std::string& component, const std::string& message);
 
@@ -30,6 +53,9 @@ private:
     Logger() = default;
     LogLevel level_ = LogLevel::kWarn;
     std::ostream* sink_ = nullptr;
+    bool wall_clock_ = false;
+    std::function<double()> sim_time_;
+    std::string component_filter_;
 };
 
 namespace detail {

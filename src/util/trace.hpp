@@ -7,6 +7,7 @@
 /// the same way.  A TimeSeries is an append-only (time, value) sequence with
 /// monotonically non-decreasing timestamps and query helpers.
 
+#include <algorithm>
 #include <cstddef>
 #include <stdexcept>
 #include <string>
@@ -70,12 +71,15 @@ public:
         double acc = 0.0;
         double prev_t = t0;
         double prev_v = value_at(t0);
-        for (const auto& s : samples_) {
-            if (s.time <= t0) continue;
-            if (s.time >= t1) break;
-            acc += prev_v * (s.time - prev_t);
-            prev_t = s.time;
-            prev_v = s.value;
+        // First sample strictly inside (t0, ...): binary search instead of a
+        // linear scan from the front (traces grow to millions of samples).
+        auto it = std::upper_bound(
+            samples_.begin(), samples_.end(), t0,
+            [](double t, const Sample& s) { return t < s.time; });
+        for (; it != samples_.end() && it->time < t1; ++it) {
+            acc += prev_v * (it->time - prev_t);
+            prev_t = it->time;
+            prev_v = it->value;
         }
         acc += prev_v * (t1 - prev_t);
         return acc;

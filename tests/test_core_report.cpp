@@ -92,5 +92,63 @@ TEST(Report, ManDynSummaryText)
     EXPECT_NE(text.find("loss"), std::string::npos);
 }
 
+TEST(Report, ManDynSummaryTextGainBranch)
+{
+    // ManDyn finishing *faster* than baseline must read "gain", not a
+    // negative "loss".
+    sim::RunResult baseline;
+    baseline.loop_end_s = 100.0;
+    baseline.gpu_energy_j = 1000.0;
+    sim::RunResult mandyn;
+    mandyn.loop_end_s = 98.0;
+    mandyn.gpu_energy_j = 950.0;
+    const std::string text = mandyn_summary_text(baseline, mandyn);
+    EXPECT_NE(text.find("gain"), std::string::npos);
+    EXPECT_EQ(text.find("loss"), std::string::npos);
+    EXPECT_EQ(text.find("-"), std::string::npos); // magnitudes only
+}
+
+TEST(Report, AsciiBarChartAllZeroValues)
+{
+    // All-zero rows must not divide by zero; every bar is empty but the
+    // frame still renders one row per entry.
+    const std::string out = ascii_bar_chart({{"a", 0.0}, {"b", 0.0}}, 8);
+    std::istringstream is(out);
+    std::string line;
+    int rows = 0;
+    while (std::getline(is, line)) {
+        ++rows;
+        EXPECT_EQ(std::count(line.begin(), line.end(), '#'), 0);
+        EXPECT_NE(line.find('|'), std::string::npos);
+    }
+    EXPECT_EQ(rows, 2);
+}
+
+TEST(Report, AsciiBarChartPadsLabelsToWidestEntry)
+{
+    const std::string out =
+        ascii_bar_chart({{"short", 1.0}, {"much-longer-label", 2.0}}, 4);
+    std::istringstream is(out);
+    std::string first, second;
+    std::getline(is, first);
+    std::getline(is, second);
+    // Both bars start at the same column, one past the padded label.
+    EXPECT_EQ(first.find('|'), second.find('|'));
+    EXPECT_EQ(first.find('|'), std::string("much-longer-label ").size());
+}
+
+TEST(Report, AsciiBarChartRoundsBarLength)
+{
+    // 1/3 of a 10-char bar rounds to 3, not truncates to 3.33 -> 3; 2/3
+    // rounds to 7 (6.67 + 0.5).
+    const std::string out = ascii_bar_chart({{"a", 1.0}, {"b", 2.0}, {"c", 3.0}}, 10);
+    std::istringstream is(out);
+    std::string line_a, line_b;
+    std::getline(is, line_a);
+    std::getline(is, line_b);
+    EXPECT_EQ(std::count(line_a.begin(), line_a.end(), '#'), 3);
+    EXPECT_EQ(std::count(line_b.begin(), line_b.end(), '#'), 7);
+}
+
 } // namespace
 } // namespace gsph::core

@@ -1,0 +1,146 @@
+#include "telemetry/metrics.hpp"
+
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::telemetry {
+namespace {
+
+TEST(MetricsRegistry, CounterCreatesOnFirstUseAndAccumulates)
+{
+    MetricsRegistry reg;
+    Counter& c = reg.counter("nvml.set_app_clock.calls");
+    EXPECT_EQ(c.value(), 0.0);
+    c.inc();
+    c.inc(3.0);
+    EXPECT_EQ(c.value(), 4.0);
+    // Same name returns the same instrument.
+    EXPECT_EQ(&reg.counter("nvml.set_app_clock.calls"), &c);
+    EXPECT_EQ(reg.size(), 1u);
+    EXPECT_EQ(reg.value("nvml.set_app_clock.calls"), 4.0);
+}
+
+TEST(MetricsRegistry, GaugeHoldsLastValue)
+{
+    MetricsRegistry reg;
+    Gauge& g = reg.gauge("governor.cap_mhz");
+    g.set(1410.0);
+    g.set(1005.0);
+    EXPECT_EQ(g.value(), 1005.0);
+    EXPECT_EQ(reg.value("governor.cap_mhz"), 1005.0);
+}
+
+TEST(MetricsRegistry, HistogramTracksDistribution)
+{
+    MetricsRegistry reg;
+    Histogram& h = reg.histogram("fn.energy_j.Density");
+    h.observe(10.0);
+    h.observe(20.0);
+    h.observe(30.0);
+    EXPECT_EQ(h.stat().count(), 3u);
+    EXPECT_DOUBLE_EQ(h.stat().mean(), 20.0);
+    EXPECT_DOUBLE_EQ(h.stat().min(), 10.0);
+    EXPECT_DOUBLE_EQ(h.stat().max(), 30.0);
+    // value() of a histogram is its observation count.
+    EXPECT_EQ(reg.value("fn.energy_j.Density"), 3.0);
+}
+
+TEST(MetricsRegistry, WrongKindAccessThrows)
+{
+    MetricsRegistry reg;
+    reg.counter("x");
+    EXPECT_THROW(reg.gauge("x"), std::invalid_argument);
+    EXPECT_THROW(reg.histogram("x"), std::invalid_argument);
+    reg.gauge("y");
+    EXPECT_THROW(reg.counter("y"), std::invalid_argument);
+}
+
+TEST(MetricsRegistry, UnknownNameValueIsZero)
+{
+    MetricsRegistry reg;
+    EXPECT_FALSE(reg.has("nope"));
+    EXPECT_EQ(reg.value("nope"), 0.0);
+}
+
+TEST(MetricsRegistry, ResetZeroesValuesButKeepsReferencesValid)
+{
+    MetricsRegistry reg;
+    Counter& c = reg.counter("a");
+    Gauge& g = reg.gauge("b");
+    Histogram& h = reg.histogram("c");
+    c.inc(5.0);
+    g.set(7.0);
+    h.observe(1.0);
+
+    reg.reset();
+
+    EXPECT_EQ(reg.size(), 3u); // registrations survive
+    EXPECT_EQ(c.value(), 0.0);
+    EXPECT_EQ(g.value(), 0.0);
+    EXPECT_EQ(h.stat().count(), 0u);
+    // Cached references keep working after reset (runs reuse them).
+    c.inc();
+    EXPECT_EQ(reg.value("a"), 1.0);
+    EXPECT_EQ(&reg.counter("a"), &c);
+}
+
+TEST(MetricsRegistry, ToJsonRoundTripsThroughParser)
+{
+    MetricsRegistry reg;
+    reg.counter("governor.transitions").inc(12.0);
+    reg.gauge("tuner.best_mhz").set(1275.0);
+    Histogram& h = reg.histogram("fn.energy_j.MomentumEnergy");
+    h.observe(2.0);
+    h.observe(4.0);
+
+    const Json doc = Json::parse(reg.to_json().dump(2));
+    EXPECT_EQ(doc.at("counters").at("governor.transitions").as_number(), 12.0);
+    EXPECT_EQ(doc.at("gauges").at("tuner.best_mhz").as_number(), 1275.0);
+    const Json& hist = doc.at("histograms").at("fn.energy_j.MomentumEnergy");
+    EXPECT_EQ(hist.at("count").as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("mean").as_number(), 3.0);
+    EXPECT_DOUBLE_EQ(hist.at("min").as_number(), 2.0);
+    EXPECT_DOUBLE_EQ(hist.at("max").as_number(), 4.0);
+    EXPECT_DOUBLE_EQ(hist.at("sum").as_number(), 6.0);
+}
+
+TEST(MetricsRegistry, EmptyRegistryJsonHasAllSections)
+{
+    MetricsRegistry reg;
+    const Json doc = Json::parse(reg.to_json().dump());
+    EXPECT_TRUE(doc.at("counters").is_object());
+    EXPECT_TRUE(doc.at("gauges").is_object());
+    EXPECT_TRUE(doc.at("histograms").is_object());
+    EXPECT_EQ(doc.at("counters").size(), 0u);
+}
+
+TEST(MetricsRegistry, ToTableListsEveryInstrument)
+{
+    MetricsRegistry reg;
+    reg.counter("pmt.reads").inc(9.0);
+    reg.histogram("fn.energy_j.Density").observe(1.5);
+
+    std::ostringstream out;
+    reg.to_table().print(out);
+    const std::string text = out.str();
+    EXPECT_NE(text.find("pmt.reads"), std::string::npos);
+    EXPECT_NE(text.find("counter"), std::string::npos);
+    EXPECT_NE(text.find("fn.energy_j.Density"), std::string::npos);
+    EXPECT_NE(text.find("histogram"), std::string::npos);
+}
+
+TEST(MetricsRegistry, GlobalIsASingleton)
+{
+    EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+    // Instrumented code paths register into the global on first use; a
+    // counter fetched here must be the same object a second fetch returns.
+    Counter& c = MetricsRegistry::global().counter("test.metrics.identity");
+    EXPECT_EQ(&MetricsRegistry::global().counter("test.metrics.identity"), &c);
+}
+
+} // namespace
+} // namespace gsph::telemetry

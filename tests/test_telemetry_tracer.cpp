@@ -1,0 +1,202 @@
+#include "telemetry/run_tracer.hpp"
+
+#include "sim/driver.hpp"
+#include "sim/workload.hpp"
+#include "telemetry/json.hpp"
+#include "telemetry/run_summary.hpp"
+#include "telemetry/tracer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+
+namespace gsph::telemetry {
+namespace {
+
+TEST(SpanTracer, NestedSpansBalance)
+{
+    SpanTracer tracer;
+    tracer.begin(0, 0, "step 0", 1.0, "step");
+    tracer.begin(0, 0, "Density", 1.1, "sph");
+    EXPECT_EQ(tracer.open_spans(0, 0), 2);
+    tracer.end(0, 0, 1.5);
+    tracer.end(0, 0, 2.0);
+    EXPECT_EQ(tracer.open_spans(0, 0), 0);
+    EXPECT_EQ(tracer.event_count(), 4u);
+}
+
+TEST(SpanTracer, EndWithoutOpenSpanThrows)
+{
+    SpanTracer tracer;
+    EXPECT_THROW(tracer.end(0, 0, 1.0), std::logic_error);
+    tracer.begin(1, 0, "x", 0.0);
+    EXPECT_THROW(tracer.end(0, 0, 1.0), std::logic_error); // different pid
+}
+
+TEST(SpanTracer, SpansTrackPerPidTid)
+{
+    SpanTracer tracer;
+    tracer.begin(0, 0, "a", 0.0);
+    tracer.begin(1, 0, "b", 0.0);
+    EXPECT_EQ(tracer.open_spans(0, 0), 1);
+    EXPECT_EQ(tracer.open_spans(1, 0), 1);
+    tracer.end(1, 0, 1.0);
+    EXPECT_EQ(tracer.open_spans(0, 0), 1);
+    EXPECT_EQ(tracer.open_spans(1, 0), 0);
+}
+
+TEST(SpanTracer, ChromeJsonShape)
+{
+    SpanTracer tracer;
+    tracer.set_process_name(0, "rank 0");
+    tracer.set_thread_name(0, 0, "gpu timeline");
+    tracer.begin(0, 0, "Density", 0.5, "sph");
+    tracer.end(0, 0, 1.5);
+    tracer.counter(0, "clock_mhz", 1.5, 1410.0);
+    tracer.instant(0, 0, "converged", 2.0);
+
+    const Json doc = Json::parse(tracer.to_chrome_json());
+    ASSERT_TRUE(doc.is_array());
+    ASSERT_EQ(doc.size(), 6u);
+
+    const Json& meta = doc.at(0);
+    EXPECT_EQ(meta.at("ph").as_string(), "M");
+    EXPECT_EQ(meta.at("args").at("name").as_string(), "rank 0");
+
+    const Json& begin = doc.at(2);
+    EXPECT_EQ(begin.at("ph").as_string(), "B");
+    EXPECT_EQ(begin.at("name").as_string(), "Density");
+    EXPECT_EQ(begin.at("cat").as_string(), "sph");
+    EXPECT_EQ(begin.at("pid").as_number(), 0.0);
+    EXPECT_EQ(begin.at("tid").as_number(), 0.0);
+    EXPECT_DOUBLE_EQ(begin.at("ts").as_number(), 0.5e6); // seconds -> us
+
+    const Json& end = doc.at(3);
+    EXPECT_EQ(end.at("ph").as_string(), "E");
+    EXPECT_DOUBLE_EQ(end.at("ts").as_number(), 1.5e6);
+
+    const Json& counter = doc.at(4);
+    EXPECT_EQ(counter.at("ph").as_string(), "C");
+    EXPECT_EQ(counter.at("name").as_string(), "clock_mhz");
+    EXPECT_DOUBLE_EQ(counter.at("args").at("value").as_number(), 1410.0);
+
+    EXPECT_EQ(doc.at(5).at("ph").as_string(), "i");
+}
+
+TEST(SpanTracer, ClearDropsEventsAndOpenSpans)
+{
+    SpanTracer tracer;
+    tracer.begin(0, 0, "a", 0.0);
+    tracer.clear();
+    EXPECT_EQ(tracer.event_count(), 0u);
+    EXPECT_EQ(tracer.open_spans(0, 0), 0);
+    EXPECT_THROW(tracer.end(0, 0, 1.0), std::logic_error);
+}
+
+TEST(RunTracer, RejectsNonPositiveRankCount)
+{
+    EXPECT_THROW(RunTracer(0), std::invalid_argument);
+    EXPECT_THROW(RunTracer(-3), std::invalid_argument);
+}
+
+class RunTracerIntegration : public ::testing::Test {
+protected:
+    static sim::WorkloadTrace small_trace(int n_steps)
+    {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 1e6;
+        spec.n_steps = n_steps;
+        spec.real_nside = 6;
+        return sim::record_trace(spec);
+    }
+};
+
+TEST_F(RunTracerIntegration, TracesEveryRankAndStep)
+{
+    const auto trace = small_trace(2);
+    sim::RunConfig cfg;
+    cfg.n_ranks = 2;
+    cfg.n_steps = 2;
+
+    RunTracer tracer(cfg.n_ranks);
+    sim::RunHooks hooks;
+    tracer.attach(hooks);
+    const auto result = sim::run_instrumented(sim::mini_hpc(), trace, cfg, hooks);
+    ASSERT_GT(result.loop_end_s, 0.0);
+
+    // Every span closed on every rank.
+    for (int r = 0; r < cfg.n_ranks; ++r) {
+        EXPECT_EQ(tracer.tracer().open_spans(r, 0), 0) << "rank " << r;
+    }
+
+    int step_spans = 0;
+    std::set<int> pids;
+    int begins = 0, ends = 0, counters = 0;
+    for (const auto& e : tracer.tracer().events()) {
+        pids.insert(e.pid);
+        if (e.phase == 'B') {
+            ++begins;
+            if (e.category == "step") ++step_spans;
+        }
+        else if (e.phase == 'E') ++ends;
+        else if (e.phase == 'C') ++counters;
+    }
+    EXPECT_EQ(begins, ends);
+    EXPECT_EQ(step_spans, cfg.n_ranks * cfg.n_steps); // "step N" per rank
+    EXPECT_EQ(pids, (std::set<int>{0, 1}));
+    EXPECT_GT(counters, 0); // clock/power/energy tracks
+
+    // The whole trace is valid Chrome-trace JSON.
+    const Json doc = Json::parse(tracer.tracer().to_chrome_json());
+    ASSERT_TRUE(doc.is_array());
+    EXPECT_EQ(doc.size(), tracer.tracer().event_count());
+}
+
+TEST_F(RunTracerIntegration, CounterSeriesReplaysTimeSeries)
+{
+    RunTracer tracer(1);
+    util::TimeSeries series("clock");
+    series.append(0.0, 1005.0);
+    series.append(1.0, 1410.0);
+    tracer.add_counter_series(0, "governor_clock_mhz", series);
+
+    int matched = 0;
+    for (const auto& e : tracer.tracer().events()) {
+        if (e.phase == 'C' && e.name == "governor_clock_mhz") ++matched;
+    }
+    EXPECT_EQ(matched, 2);
+}
+
+TEST_F(RunTracerIntegration, RunSummaryMatchesRunResult)
+{
+    const auto trace = small_trace(2);
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.n_steps = 2;
+    const auto result = sim::run_instrumented(sim::mini_hpc(), trace, cfg);
+
+    RunSummaryContext ctx;
+    ctx.policy = "Baseline";
+    ctx.config = Json::object();
+    ctx.config["steps"] = 2;
+
+    const Json doc = Json::parse(run_summary_json(result, ctx).dump(2));
+    EXPECT_EQ(doc.at("schema").as_string(), kRunSummarySchema);
+    EXPECT_EQ(doc.at("policy").as_string(), "Baseline");
+    EXPECT_DOUBLE_EQ(doc.at("makespan_s").as_number(), result.makespan_s());
+    EXPECT_DOUBLE_EQ(doc.at("energy_j").at("gpu").as_number(), result.gpu_energy_j);
+    EXPECT_DOUBLE_EQ(doc.at("energy_j").at("node").as_number(), result.node_energy_j);
+    EXPECT_DOUBLE_EQ(doc.at("edp").at("gpu").as_number(), result.gpu_edp());
+    EXPECT_EQ(doc.at("n_ranks").as_number(), 1.0);
+    EXPECT_EQ(doc.at("config").at("steps").as_number(), 2.0);
+    EXPECT_GT(doc.at("per_function").size(), 0u);
+    for (const auto& fn : doc.at("per_function").items()) {
+        EXPECT_GT(fn.at("calls").as_number(), 0.0);
+        EXPECT_TRUE(fn.at("function").is_string());
+    }
+}
+
+} // namespace
+} // namespace gsph::telemetry

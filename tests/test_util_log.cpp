@@ -18,6 +18,9 @@ protected:
     {
         Logger::instance().set_sink(nullptr);
         Logger::instance().set_level(LogLevel::kWarn);
+        Logger::instance().set_wall_clock(false);
+        Logger::instance().set_sim_time_provider({});
+        Logger::instance().set_component_filter("");
     }
 
     std::ostringstream sink_;
@@ -64,6 +67,70 @@ TEST_F(LoggerFixture, StreamExpressionOnlyEvaluatedWhenEnabled)
 TEST_F(LoggerFixture, SingletonIdentity)
 {
     EXPECT_EQ(&Logger::instance(), &Logger::instance());
+}
+
+TEST_F(LoggerFixture, SimTimePrefix)
+{
+    Logger::instance().set_sim_time_provider([] { return 12.3456; });
+    GSPH_LOG_INFO("driver", "step done");
+    EXPECT_EQ(sink_.str(), "[t=12.346s] [INFO] driver: step done\n");
+}
+
+TEST_F(LoggerFixture, EmptySimTimeProviderDisablesPrefix)
+{
+    Logger::instance().set_sim_time_provider([] { return 1.0; });
+    Logger::instance().set_sim_time_provider({});
+    GSPH_LOG_INFO("driver", "plain");
+    EXPECT_EQ(sink_.str(), "[INFO] driver: plain\n");
+}
+
+TEST_F(LoggerFixture, WallClockPrefixHasTimestampShape)
+{
+    Logger::instance().set_wall_clock(true);
+    GSPH_LOG_INFO("driver", "hello");
+    const std::string line = sink_.str();
+    // "[HH:MM:SS] [INFO] driver: hello"
+    ASSERT_GE(line.size(), 11u);
+    EXPECT_EQ(line[0], '[');
+    EXPECT_EQ(line[3], ':');
+    EXPECT_EQ(line[6], ':');
+    EXPECT_EQ(line[9], ']');
+    EXPECT_NE(line.find("[INFO] driver: hello"), std::string::npos);
+}
+
+TEST_F(LoggerFixture, ComponentFilterMatchesSubstring)
+{
+    Logger::instance().set_component_filter("gpu");
+    GSPH_LOG_INFO("gpusim", "kept");
+    GSPH_LOG_INFO("driver", "dropped");
+    GSPH_LOG_INFO("rank0.gpu", "kept too");
+    const std::string text = sink_.str();
+    EXPECT_NE(text.find("kept"), std::string::npos);
+    EXPECT_NE(text.find("kept too"), std::string::npos);
+    EXPECT_EQ(text.find("dropped"), std::string::npos);
+}
+
+TEST(LoggerParseLevel, AcceptsKnownNames)
+{
+    LogLevel level = LogLevel::kWarn;
+    EXPECT_TRUE(Logger::parse_level("debug", level));
+    EXPECT_EQ(level, LogLevel::kDebug);
+    EXPECT_TRUE(Logger::parse_level("INFO", level));
+    EXPECT_EQ(level, LogLevel::kInfo);
+    EXPECT_TRUE(Logger::parse_level("Warning", level));
+    EXPECT_EQ(level, LogLevel::kWarn);
+    EXPECT_TRUE(Logger::parse_level("error", level));
+    EXPECT_EQ(level, LogLevel::kError);
+    EXPECT_TRUE(Logger::parse_level("off", level));
+    EXPECT_EQ(level, LogLevel::kOff);
+}
+
+TEST(LoggerParseLevel, RejectsUnknownNamesWithoutTouchingOutput)
+{
+    LogLevel level = LogLevel::kError;
+    EXPECT_FALSE(Logger::parse_level("verbose", level));
+    EXPECT_FALSE(Logger::parse_level("", level));
+    EXPECT_EQ(level, LogLevel::kError);
 }
 
 } // namespace

@@ -67,6 +67,62 @@ TEST(TimeSeries, IntegrationEmptyWindow)
     EXPECT_DOUBLE_EQ(ts.integrate(5.0, 3.0), 0.0);
 }
 
+TEST(TimeSeries, IntegrationWindowBeforeAndAfterSamples)
+{
+    TimeSeries ts;
+    ts.append(2.0, 10.0);
+    ts.append(4.0, 20.0);
+    // Entirely before the first sample: step function extends backwards.
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 1.0), 10.0);
+    // Entirely after the last sample: holds the final value.
+    EXPECT_DOUBLE_EQ(ts.integrate(5.0, 7.0), 40.0);
+    // Straddling both ends: 2 s at 10 (lead-in) + 2 s at 10 + 2 s at 20.
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 6.0), 20.0 + 20.0 + 40.0);
+}
+
+TEST(TimeSeries, IntegrationStartExactlyOnSample)
+{
+    TimeSeries ts;
+    ts.append(0.0, 100.0);
+    ts.append(5.0, 200.0);
+    // t0 lands on a sample: that sample's value applies from t0 on (the
+    // binary-search start must skip samples with time <= t0).
+    EXPECT_DOUBLE_EQ(ts.integrate(5.0, 7.0), 400.0);
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 5.0), 500.0);
+}
+
+TEST(TimeSeries, IntegrationWithDuplicateTimestamps)
+{
+    TimeSeries ts;
+    ts.append(0.0, 10.0);
+    ts.append(1.0, 20.0);
+    ts.append(1.0, 30.0); // instantaneous re-set: zero-width segment
+    ts.append(2.0, 40.0);
+    // 1 s at 10, 0 s at 20, 1 s at 30, 1 s at 40.
+    EXPECT_DOUBLE_EQ(ts.integrate(0.0, 3.0), 10.0 + 30.0 + 40.0);
+}
+
+TEST(TimeSeries, IntegrationMatchesManualSumOnDenseSeries)
+{
+    TimeSeries ts;
+    for (int i = 0; i < 1000; ++i) {
+        ts.append(0.01 * i, static_cast<double>(i % 7));
+    }
+    // Compare the binary-search path against a straightforward manual sum.
+    const double t0 = 1.234, t1 = 8.777;
+    double manual = 0.0;
+    double prev_t = t0, prev_v = ts.value_at(t0);
+    for (const auto& s : ts.samples()) {
+        if (s.time <= t0) continue;
+        if (s.time >= t1) break;
+        manual += prev_v * (s.time - prev_t);
+        prev_t = s.time;
+        prev_v = s.value;
+    }
+    manual += prev_v * (t1 - prev_t);
+    EXPECT_NEAR(ts.integrate(t0, t1), manual, 1e-9);
+}
+
 TEST(TimeSeries, MinMaxValues)
 {
     TimeSeries ts;

@@ -21,19 +21,30 @@
 ///   --trace-in FILE    load a recorded trace instead of running physics
 ///   --trace-out FILE   save the recorded trace
 ///   --csv FILE         write the per-function report as CSV
+///   --trace-json FILE  write a Chrome-trace/Perfetto span timeline
+///   --metrics-json FILE  dump the telemetry metrics registry as JSON
+///   --summary-json FILE  write the machine-readable run summary
+///   --log-level LEVEL  debug|info|warn|error|off          (warn)
+///   --log-filter STR   only log components containing STR
 
 #include "core/online_tuner.hpp"
 #include "core/pareto.hpp"
 #include "core/policy.hpp"
+#include "core/profiler.hpp"
 #include "core/report.hpp"
 #include "sim/driver.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_summary.hpp"
+#include "telemetry/run_tracer.hpp"
 #include "tuning/kernel_tuner.hpp"
 #include "util/csv.hpp"
+#include "util/log.hpp"
 #include "util/strings.hpp"
 
 #include <fstream>
 #include <iostream>
 #include <map>
+#include <memory>
 #include <sstream>
 #include <string>
 
@@ -54,6 +65,11 @@ struct Options {
     std::string trace_in;
     std::string trace_out;
     std::string csv_out;
+    std::string trace_json;
+    std::string metrics_json;
+    std::string summary_json;
+    std::string log_level;
+    std::string log_filter;
 };
 
 void usage()
@@ -63,7 +79,9 @@ void usage()
               << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
               << "  --ranks N --steps N --nside N --particles-per-gpu X\n"
               << "  --objective time|energy|edp|ed2p\n"
-              << "  --trace-in FILE --trace-out FILE --csv FILE\n";
+              << "  --trace-in FILE --trace-out FILE --csv FILE\n"
+              << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
+              << "  --log-level debug|info|warn|error|off --log-filter STR\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -87,10 +105,50 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--trace-in") opt.trace_in = next();
         else if (key == "--trace-out") opt.trace_out = next();
         else if (key == "--csv") opt.csv_out = next();
+        else if (key == "--trace-json") opt.trace_json = next();
+        else if (key == "--metrics-json") opt.metrics_json = next();
+        else if (key == "--summary-json") opt.summary_json = next();
+        else if (key == "--log-level") opt.log_level = next();
+        else if (key == "--log-filter") opt.log_filter = next();
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
     return true;
+}
+
+void configure_logging(const Options& opt)
+{
+    if (!opt.log_level.empty()) {
+        util::LogLevel level;
+        if (!util::Logger::parse_level(opt.log_level, level)) {
+            throw std::invalid_argument("bad --log-level: " + opt.log_level);
+        }
+        util::Logger::instance().set_level(level);
+    }
+    if (!opt.log_filter.empty()) {
+        util::Logger::instance().set_component_filter(opt.log_filter);
+    }
+}
+
+bool write_metrics_json(const std::string& path)
+{
+    std::ofstream out(path);
+    if (!out) return false;
+    out << telemetry::MetricsRegistry::global().to_json().dump(2) << "\n";
+    return static_cast<bool>(out);
+}
+
+telemetry::Json config_echo(const Options& opt)
+{
+    telemetry::Json config = telemetry::Json::object();
+    config["system"] = opt.system;
+    config["workload"] = opt.workload;
+    config["policy"] = opt.policy;
+    config["ranks"] = opt.ranks;
+    config["steps"] = opt.steps;
+    config["nside"] = opt.nside;
+    config["particles_per_gpu"] = opt.particles_per_gpu;
+    return config;
 }
 
 sim::WorkloadTrace load_or_record(const Options& opt)
@@ -169,6 +227,7 @@ tuning::Objective objective_from(const std::string& name)
 
 int cmd_tune(const Options& opt)
 {
+    telemetry::MetricsRegistry::global().reset();
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
     const auto sweep = tuning::sweep_sph_functions(trace, system.gpu);
@@ -187,11 +246,19 @@ int cmd_tune(const Options& opt)
         out << freq_table.serialize();
         std::cout << "Frequency table saved to " << opt.csv_out << "\n";
     }
+    if (!opt.metrics_json.empty()) {
+        if (!write_metrics_json(opt.metrics_json)) {
+            std::cerr << "error: failed to write " << opt.metrics_json << "\n";
+            return 1;
+        }
+        std::cout << "Metrics written to " << opt.metrics_json << "\n";
+    }
     return 0;
 }
 
 int cmd_run(const Options& opt)
 {
+    telemetry::MetricsRegistry::global().reset();
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
 
@@ -208,9 +275,23 @@ int cmd_run(const Options& opt)
     cfg.setup_s = 45.0;
     cfg.n_steps = opt.steps;
 
+    sim::RunHooks hooks;
+    std::unique_ptr<core::EnergyProfiler> profiler;
+    if (!opt.metrics_json.empty()) {
+        // PMT probes around every function fill the fn.energy_j histograms.
+        profiler = std::make_unique<core::EnergyProfiler>(opt.ranks);
+        profiler->attach(hooks);
+    }
+    std::unique_ptr<telemetry::RunTracer> tracer;
+    if (!opt.trace_json.empty()) {
+        cfg.enable_rank0_trace = true; // replayed as a counter track below
+        tracer = std::make_unique<telemetry::RunTracer>(opt.ranks);
+        tracer->attach(hooks);
+    }
+
     std::cout << "Running " << trace.workload_name << " on " << system.name << " with "
               << opt.ranks << " rank(s) under " << policy->name() << "...\n\n";
-    const auto result = core::run_with_policy(system, trace, cfg, *policy);
+    const auto result = core::run_with_policy(system, trace, cfg, *policy, hooks);
 
     std::cout << "Loop time " << util::format_fixed(result.makespan_s(), 2) << " s, GPU "
               << util::format_si(result.gpu_energy_j, "J", 3) << ", node "
@@ -237,6 +318,36 @@ int cmd_run(const Options& opt)
             std::cout << "\nReport written to " << opt.csv_out << "\n";
         }
     }
+
+    if (tracer) {
+        if (!result.rank0_clock_trace.empty()) {
+            tracer->add_counter_series(0, "governor_clock_mhz",
+                                       result.rank0_clock_trace);
+        }
+        if (!tracer->write_chrome_json(opt.trace_json)) {
+            std::cerr << "error: failed to write " << opt.trace_json << "\n";
+            return 1;
+        }
+        std::cout << "Chrome trace written to " << opt.trace_json
+                  << " (open in ui.perfetto.dev)\n";
+    }
+    if (!opt.metrics_json.empty()) {
+        if (!write_metrics_json(opt.metrics_json)) {
+            std::cerr << "error: failed to write " << opt.metrics_json << "\n";
+            return 1;
+        }
+        std::cout << "Metrics written to " << opt.metrics_json << "\n";
+    }
+    if (!opt.summary_json.empty()) {
+        telemetry::RunSummaryContext ctx;
+        ctx.policy = policy->name();
+        ctx.config = config_echo(opt);
+        if (!telemetry::write_run_summary(opt.summary_json, result, ctx)) {
+            std::cerr << "error: failed to write " << opt.summary_json << "\n";
+            return 1;
+        }
+        std::cout << "Run summary written to " << opt.summary_json << "\n";
+    }
     return 0;
 }
 
@@ -250,6 +361,7 @@ int main(int argc, char** argv)
             usage();
             return argc < 2 ? 1 : 0;
         }
+        configure_logging(opt);
         if (opt.command == "systems") return cmd_systems();
         if (opt.command == "tune") return cmd_tune(opt);
         if (opt.command == "run") return cmd_run(opt);
