@@ -25,7 +25,9 @@ int main()
     for (double f : band) std::cout << ' ' << util::format_fixed(f, 0);
     std::cout << " MHz\n\n";
 
-    const auto sweep = tuning::sweep_sph_functions(trace, spec);
+    // One host thread per SPH function (n_threads = 0: hardware concurrency);
+    // the sweep result is identical to the serial run.
+    const auto sweep = tuning::sweep_sph_functions(trace, spec, band, /*n_threads=*/0);
 
     util::Table table({"Function", "Best-EDP clock [MHz]", "Best-energy clock [MHz]",
                        "EDP vs 1410", "Energy vs 1410", "Time vs 1410"});

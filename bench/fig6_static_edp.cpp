@@ -4,6 +4,8 @@
 
 #include "common.hpp"
 
+#include "util/thread_pool.hpp"
+
 using namespace gsph;
 
 int main()
@@ -26,32 +28,44 @@ int main()
     util::Table table(headers);
     util::CsvWriter csv({"clock_mhz", "nside", "edp_ratio", "time_ratio", "energy_ratio"});
 
-    // Baselines per size at 1410.
-    std::vector<sim::RunResult> baselines;
-    for (int side : sides) {
+    // Every (clock, size) point is an independent single-rank run, so the
+    // whole grid prices concurrently on a host thread pool.  The NVML
+    // binding is process-global, so concurrent runs must skip it — safe
+    // here because baseline/static policies configure clocks through
+    // RunConfig and never touch the management library.
+    auto run_point = [&](int side, double clock_mhz) {
         sim::WorkloadTrace trace = base_trace;
         trace.particles_per_gpu = static_cast<double>(side) * side * side;
         sim::RunConfig cfg;
         cfg.n_ranks = 1;
         cfg.setup_s = 10.0;
-        auto baseline = core::make_baseline_policy();
-        baselines.push_back(core::run_with_policy(sim::mini_hpc(), trace, cfg, *baseline));
-    }
+        cfg.bind_nvml = false;
+        auto policy = clock_mhz > 0.0 ? core::make_static_policy(clock_mhz)
+                                      : core::make_baseline_policy();
+        return core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy);
+    };
 
-    for (double f : freqs) {
-        std::vector<std::string> row = {util::format_fixed(f, 0)};
+    // Baselines per size at 1410, then the full frequency grid.
+    std::vector<sim::RunResult> baselines(sides.size());
+    std::vector<sim::RunResult> grid(freqs.size() * sides.size());
+    util::ThreadPool pool;
+    pool.parallel_for(baselines.size() + grid.size(), [&](std::size_t i) {
+        if (i < baselines.size()) {
+            baselines[i] = run_point(sides[i], /*clock_mhz=*/-1.0);
+        }
+        else {
+            const std::size_t g = i - baselines.size();
+            grid[g] = run_point(sides[g % sides.size()], freqs[g / sides.size()]);
+        }
+    });
+
+    for (std::size_t fi = 0; fi < freqs.size(); ++fi) {
+        std::vector<std::string> row = {util::format_fixed(freqs[fi], 0)};
         for (std::size_t s = 0; s < sides.size(); ++s) {
-            sim::WorkloadTrace trace = base_trace;
-            trace.particles_per_gpu =
-                static_cast<double>(sides[s]) * sides[s] * sides[s];
-            sim::RunConfig cfg;
-            cfg.n_ranks = 1;
-            cfg.setup_s = 10.0;
-            auto policy = core::make_static_policy(f);
-            const auto r = core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy);
+            const sim::RunResult& r = grid[fi * sides.size() + s];
             const double edp_ratio = r.gpu_edp() / baselines[s].gpu_edp();
             row.push_back(bench::ratio(edp_ratio));
-            csv.add_row({util::format_fixed(f, 0), std::to_string(sides[s]),
+            csv.add_row({util::format_fixed(freqs[fi], 0), std::to_string(sides[s]),
                          bench::ratio(edp_ratio),
                          bench::ratio(r.makespan_s() / baselines[s].makespan_s()),
                          bench::ratio(r.gpu_energy_j / baselines[s].gpu_energy_j)});

@@ -4,6 +4,8 @@
 
 #include "common.hpp"
 
+#include "util/thread_pool.hpp"
+
 using namespace gsph;
 
 int main()
@@ -19,16 +21,25 @@ int main()
     sim::RunConfig cfg;
     cfg.n_ranks = 1;
     cfg.setup_s = 10.0;
-
-    auto baseline_policy = core::make_baseline_policy();
-    const auto baseline = core::run_with_policy(sim::mini_hpc(), trace, cfg, *baseline_policy);
+    // The five runs (baseline + four static clocks) are independent, so
+    // they execute concurrently; bind_nvml stays off because the NVML
+    // binding is process-global and baseline/static policies never read it.
+    cfg.bind_nvml = false;
 
     const std::vector<double> freqs = {1320.0, 1215.0, 1110.0, 1005.0};
-    std::vector<sim::RunResult> runs;
-    for (double f : freqs) {
-        auto policy = core::make_static_policy(f);
-        runs.push_back(core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy));
-    }
+    sim::RunResult baseline;
+    std::vector<sim::RunResult> runs(freqs.size());
+    util::ThreadPool pool;
+    pool.parallel_for(1 + freqs.size(), [&](std::size_t i) {
+        if (i == 0) {
+            auto policy = core::make_baseline_policy();
+            baseline = core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy);
+        }
+        else {
+            auto policy = core::make_static_policy(freqs[i - 1]);
+            runs[i - 1] = core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy);
+        }
+    });
 
     util::CsvWriter csv({"function", "clock_mhz", "time_ratio", "energy_ratio", "edp_ratio"});
     for (const char* panel : {"(a) execution time", "(b) energy", "(c) EDP"}) {

@@ -6,28 +6,33 @@
 #include "telemetry/metrics.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <cmath>
 #include <memory>
 #include <optional>
 #include <stdexcept>
+#include <vector>
 
 namespace gsph::sim {
 
-namespace {
-
-/// Deterministic per-(rank, step, call) work jitter in [1-j, 1+j].
 double work_jitter(double j, int rank, int step, int call)
 {
     if (j <= 0.0) return 1.0;
-    util::SplitMix64 sm(0x9e3779b9ULL ^ (static_cast<std::uint64_t>(rank) << 40) ^
-                        (static_cast<std::uint64_t>(step) << 16) ^
-                        static_cast<std::uint64_t>(call));
+    // Chain one SplitMix64 round per index: each round's output seeds the
+    // next, so every (rank, step, call) tuple selects a distinct stream.
+    // The previous packing (rank<<40 ^ step<<16 ^ call) silently collided
+    // once call >= 2^16 or step >= 2^24, correlating the jitter streams.
+    util::SplitMix64 mix_rank(0x9e3779b97f4a7c15ULL ^ static_cast<std::uint64_t>(rank));
+    util::SplitMix64 mix_step(mix_rank.next() ^ static_cast<std::uint64_t>(step));
+    util::SplitMix64 mix_call(mix_step.next() ^ static_cast<std::uint64_t>(call));
     const double u =
-        static_cast<double>(sm.next() >> 11) * 0x1.0p-53; // uniform [0,1)
+        static_cast<double>(mix_call.next() >> 11) * 0x1.0p-53; // uniform [0,1)
     return 1.0 + j * (2.0 * u - 1.0);
 }
+
+namespace {
 
 struct NodeBaseline {
     double cpu_j = 0.0;
@@ -122,6 +127,21 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
                                              trace.particles_per_gpu, /*fields=*/10)
             : CommModel::halo_bytes(trace.particles_per_gpu, /*fields=*/10);
 
+    // Parallel execution engine: rank work items between the collective
+    // barriers are independent (each drives its own GpuDevice), so they can
+    // run on a thread pool.  Per-rank results land in rank-indexed slots
+    // and are reduced in rank order, which keeps every floating-point
+    // accumulation in the exact serial order: results are bit-identical to
+    // n_threads == 1.  Hooks always fire on this (the driving) thread, in
+    // rank order — before-hooks ahead of the parallel region, after-hooks
+    // behind it — so hook consumers need no internal locking.
+    const int pool_threads =
+        std::min(util::ThreadPool::resolve_threads(config.n_threads), config.n_ranks);
+    std::optional<util::ThreadPool> pool;
+    if (pool_threads > 1) pool.emplace(pool_threads);
+    std::vector<gpusim::KernelResult> rank_results(
+        static_cast<std::size_t>(config.n_ranks));
+
     // --- the time-stepping loop -------------------------------------------
     auto& agg = result.per_function;
     for (int s = 0; s < n_steps; ++s) {
@@ -131,22 +151,52 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
         int call_index = 0;
         for (const FunctionRecord& fr : rec.functions) {
             const std::size_t fi = static_cast<std::size_t>(fr.fn);
-            for (int r = 0; r < config.n_ranks; ++r) {
-                gpusim::GpuDevice& dev = cluster.rank_gpu(r);
-                if (hooks.before_function) hooks.before_function(r, dev, fr.fn);
-
+            auto execute_rank = [&](int r) {
                 const double jit = work_jitter(config.rank_jitter, r, s, call_index);
                 const gpusim::KernelWork work = gpusim::scaled(fr.work, scale * jit);
-                const gpusim::KernelResult res = dev.execute(work);
-
+                rank_results[static_cast<std::size_t>(r)] =
+                    cluster.rank_gpu(r).execute(work);
+            };
+            auto merge_rank = [&](int r) {
+                const gpusim::KernelResult& res =
+                    rank_results[static_cast<std::size_t>(r)];
                 calls_counter.inc();
                 const double duration = res.end_s - res.start_s;
                 agg[fi].time_s += duration;
                 agg[fi].gpu_energy_j += res.energy_j;
                 agg[fi].clock_time_product += res.mean_clock_mhz * duration;
                 ++agg[fi].calls;
-
-                if (hooks.after_function) hooks.after_function(r, dev, fr.fn, res);
+            };
+            if (pool) {
+                for (int r = 0; r < config.n_ranks; ++r) {
+                    if (hooks.before_function) {
+                        hooks.before_function(r, cluster.rank_gpu(r), fr.fn);
+                    }
+                }
+                pool->parallel_for(static_cast<std::size_t>(config.n_ranks),
+                                   [&](std::size_t r) {
+                                       execute_rank(static_cast<int>(r));
+                                   });
+                for (int r = 0; r < config.n_ranks; ++r) {
+                    merge_rank(r);
+                    if (hooks.after_function) {
+                        hooks.after_function(r, cluster.rank_gpu(r), fr.fn,
+                                             rank_results[static_cast<std::size_t>(r)]);
+                    }
+                }
+            }
+            else {
+                for (int r = 0; r < config.n_ranks; ++r) {
+                    if (hooks.before_function) {
+                        hooks.before_function(r, cluster.rank_gpu(r), fr.fn);
+                    }
+                    execute_rank(r);
+                    merge_rank(r);
+                    if (hooks.after_function) {
+                        hooks.after_function(r, cluster.rank_gpu(r), fr.fn,
+                                             rank_results[static_cast<std::size_t>(r)]);
+                    }
+                }
             }
 
             // Communication attributed to the function that caused it.

@@ -28,6 +28,16 @@ namespace gsph::sim {
 struct RunConfig {
     int n_ranks = 1;
     int n_steps = -1; ///< -1: use the trace's step count
+    /// Host threads executing rank work items concurrently (util::ThreadPool).
+    /// <= 0: hardware concurrency; 1: the exact legacy serial path.  Results
+    /// are bit-identical across thread counts: per-rank contributions are
+    /// reduced in rank order, and hooks fire on the driving thread in rank
+    /// order (all before-hooks, concurrent execution, all after-hooks per
+    /// function call), so hook consumers need no synchronization.  The only
+    /// observable difference vs. n_threads == 1 is that a hook carrying
+    /// cross-rank state within a single call (OnlineManDyn's follower ranks)
+    /// sees rank 0's measurement one call later.
+    int n_threads = 0;
     /// Job launch + application initialization before the loop (GPUs idle);
     /// Slurm accounts for it, PMT does not (paper §IV-A).
     double setup_s = 45.0;
@@ -108,5 +118,12 @@ struct RunResult {
 /// Execute `trace` on `system` with `config.n_ranks` ranks.
 RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
                            const RunConfig& config, const RunHooks& hooks = {});
+
+/// Deterministic per-(rank, step, call) load-imbalance jitter in
+/// [1 - j, 1 + j].  The three indices are mixed through successive
+/// SplitMix64 rounds, so streams stay decorrelated for any index magnitude
+/// (the earlier shift-XOR packing collided once call >= 2^16 or
+/// step >= 2^24).  Exposed for the golden-value regression test.
+double work_jitter(double j, int rank, int step, int call);
 
 } // namespace gsph::sim

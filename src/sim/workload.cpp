@@ -106,10 +106,58 @@ std::string WorkloadTrace::serialize() const
     return os.str();
 }
 
+namespace {
+
+// Numeric field parsers that turn std::sto* exceptions (and trailing-junk
+// acceptance gaps) into line-numbered parse errors instead of leaking
+// std::invalid_argument("stod") with no context.
+[[noreturn]] void parse_fail(int line_no, const std::string& what,
+                             const std::string& value)
+{
+    throw std::invalid_argument("WorkloadTrace::parse: line " +
+                                std::to_string(line_no) + ": bad " + what + " '" +
+                                value + "'");
+}
+
+double parse_double(const std::string& s, int line_no, const char* what)
+{
+    try {
+        std::size_t pos = 0;
+        const double v = std::stod(s, &pos);
+        if (pos != s.size()) parse_fail(line_no, what, s);
+        return v;
+    }
+    catch (const std::invalid_argument&) {
+        parse_fail(line_no, what, s);
+    }
+    catch (const std::out_of_range&) {
+        parse_fail(line_no, what, s);
+    }
+}
+
+long long parse_int(const std::string& s, int line_no, const char* what)
+{
+    try {
+        std::size_t pos = 0;
+        const long long v = std::stoll(s, &pos);
+        if (pos != s.size()) parse_fail(line_no, what, s);
+        return v;
+    }
+    catch (const std::invalid_argument&) {
+        parse_fail(line_no, what, s);
+    }
+    catch (const std::out_of_range&) {
+        parse_fail(line_no, what, s);
+    }
+}
+
+} // namespace
+
 WorkloadTrace WorkloadTrace::parse(const std::string& text)
 {
     std::istringstream is(text);
     std::string line;
+    int line_no = 1;
     if (!std::getline(is, line) || line != "# greensph workload trace v1") {
         throw std::invalid_argument("WorkloadTrace::parse: bad magic line");
     }
@@ -119,6 +167,7 @@ WorkloadTrace WorkloadTrace::parse(const std::string& text)
             throw std::invalid_argument(std::string("WorkloadTrace::parse: missing ") +
                                         key);
         }
+        ++line_no;
         const auto parts = util::split(line, ',');
         if (parts.size() != 2 || parts[0] != key) {
             throw std::invalid_argument("WorkloadTrace::parse: expected '" +
@@ -127,34 +176,61 @@ WorkloadTrace WorkloadTrace::parse(const std::string& text)
         return parts[1];
     };
     trace.workload_name = expect_field("workload");
-    trace.kind = static_cast<WorkloadKind>(std::stoi(expect_field("kind")));
-    trace.n_particles_real = std::stod(expect_field("n_particles_real"));
-    trace.particles_per_gpu = std::stod(expect_field("particles_per_gpu"));
-    trace.halo_surface_prefactor = std::stod(expect_field("halo_surface_prefactor"));
+    // expect_field advances line_no, so grab the text before parsing it
+    // (argument evaluation order would otherwise be unspecified).
+    const std::string kind_text = expect_field("kind");
+    const long long kind_id = parse_int(kind_text, line_no, "kind");
+    if (kind_id < 0 || kind_id > static_cast<long long>(WorkloadKind::kSedovBlast)) {
+        parse_fail(line_no, "kind", std::to_string(kind_id));
+    }
+    trace.kind = static_cast<WorkloadKind>(kind_id);
+    const std::string n_particles_text = expect_field("n_particles_real");
+    trace.n_particles_real = parse_double(n_particles_text, line_no, "n_particles_real");
+    const std::string per_gpu_text = expect_field("particles_per_gpu");
+    trace.particles_per_gpu = parse_double(per_gpu_text, line_no, "particles_per_gpu");
+    const std::string halo_text = expect_field("halo_surface_prefactor");
+    trace.halo_surface_prefactor =
+        parse_double(halo_text, line_no, "halo_surface_prefactor");
     if (!std::getline(is, line) || !util::starts_with(line, "step,function,")) {
         throw std::invalid_argument("WorkloadTrace::parse: missing column header");
     }
+    ++line_no;
     while (std::getline(is, line)) {
+        ++line_no;
         if (line.empty()) continue;
         const auto parts = util::split(line, ',');
         if (parts.size() != 8) {
-            throw std::invalid_argument("WorkloadTrace::parse: bad row '" + line + "'");
+            throw std::invalid_argument("WorkloadTrace::parse: line " +
+                                        std::to_string(line_no) + ": bad row '" + line +
+                                        "'");
         }
-        const std::size_t step = static_cast<std::size_t>(std::stoul(parts[0]));
-        if (step >= trace.steps.size()) trace.steps.resize(step + 1);
-        const int fn_id = std::stoi(parts[1]);
+        // Step indices must grow contiguously (each row belongs to the
+        // current or the next step).  Without this check a single corrupt
+        // index like 4000000000 makes the resize below allocate gigabytes.
+        const long long step_id = parse_int(parts[0], line_no, "step index");
+        if (step_id < 0 || step_id > static_cast<long long>(trace.steps.size())) {
+            throw std::invalid_argument(
+                "WorkloadTrace::parse: line " + std::to_string(line_no) +
+                ": non-contiguous step index " + parts[0] + " (expected <= " +
+                std::to_string(trace.steps.size()) + ")");
+        }
+        const std::size_t step = static_cast<std::size_t>(step_id);
+        if (step == trace.steps.size()) trace.steps.emplace_back();
+        const long long fn_id = parse_int(parts[1], line_no, "function id");
         if (fn_id < 0 || fn_id >= sph::kSphFunctionCount) {
-            throw std::invalid_argument("WorkloadTrace::parse: bad function id");
+            throw std::invalid_argument("WorkloadTrace::parse: line " +
+                                        std::to_string(line_no) + ": bad function id " +
+                                        parts[1]);
         }
         FunctionRecord fr;
         fr.fn = static_cast<sph::SphFunction>(fn_id);
         fr.work.name = sph::to_string(fr.fn);
-        fr.work.flops = std::stod(parts[2]);
-        fr.work.dram_bytes = std::stod(parts[3]);
-        fr.work.gather_fraction = std::stod(parts[4]);
-        fr.work.flop_efficiency = std::stod(parts[5]);
-        fr.work.launches = std::stoll(parts[6]);
-        fr.work.threads = std::stoll(parts[7]);
+        fr.work.flops = parse_double(parts[2], line_no, "flops");
+        fr.work.dram_bytes = parse_double(parts[3], line_no, "dram_bytes");
+        fr.work.gather_fraction = parse_double(parts[4], line_no, "gather_fraction");
+        fr.work.flop_efficiency = parse_double(parts[5], line_no, "flop_efficiency");
+        fr.work.launches = parse_int(parts[6], line_no, "launches");
+        fr.work.threads = parse_int(parts[7], line_no, "threads");
         trace.steps[step].functions.push_back(std::move(fr));
     }
     if (trace.steps.empty()) {

@@ -14,6 +14,7 @@ MetricsRegistry& MetricsRegistry::global()
 
 Counter& MetricsRegistry::counter(const std::string& name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
     if (slot.gauge || slot.histogram) {
         throw std::invalid_argument("metrics: '" + name + "' is not a counter");
@@ -24,6 +25,7 @@ Counter& MetricsRegistry::counter(const std::string& name)
 
 Gauge& MetricsRegistry::gauge(const std::string& name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
     if (slot.counter || slot.histogram) {
         throw std::invalid_argument("metrics: '" + name + "' is not a gauge");
@@ -34,6 +36,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name)
 
 Histogram& MetricsRegistry::histogram(const std::string& name)
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
     if (slot.counter || slot.gauge) {
         throw std::invalid_argument("metrics: '" + name + "' is not a histogram");
@@ -44,33 +47,46 @@ Histogram& MetricsRegistry::histogram(const std::string& name)
 
 bool MetricsRegistry::has(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     return instruments_.find(name) != instruments_.end();
 }
 
 double MetricsRegistry::value(const std::string& name) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = instruments_.find(name);
     if (it == instruments_.end()) return 0.0;
     if (it->second.counter) return it->second.counter->value();
     if (it->second.gauge) return it->second.gauge->value();
     if (it->second.histogram) {
-        return static_cast<double>(it->second.histogram->stat().count());
+        return static_cast<double>(it->second.histogram->snapshot().count());
     }
     return 0.0;
 }
 
 void MetricsRegistry::reset()
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     for (auto& [name, slot] : instruments_) {
         (void)name;
-        if (slot.counter) slot.counter->value_ = 0.0;
-        if (slot.gauge) slot.gauge->value_ = 0.0;
-        if (slot.histogram) slot.histogram->stat_.reset();
+        if (slot.counter) slot.counter->value_.store(0.0, std::memory_order_relaxed);
+        if (slot.gauge) slot.gauge->value_.store(0.0, std::memory_order_relaxed);
+        if (slot.histogram) {
+            std::lock_guard<std::mutex> hist_lock(slot.histogram->mutex_);
+            slot.histogram->stat_.reset();
+        }
     }
+}
+
+std::size_t MetricsRegistry::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return instruments_.size();
 }
 
 Json MetricsRegistry::to_json() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     Json root = Json::object();
     Json counters = Json::object();
     Json gauges = Json::object();
@@ -83,7 +99,7 @@ Json MetricsRegistry::to_json() const
             gauges[name] = slot.gauge->value();
         }
         else if (slot.histogram) {
-            const util::RunningStat& s = slot.histogram->stat();
+            const util::RunningStat s = slot.histogram->snapshot();
             Json h = Json::object();
             h["count"] = s.count();
             h["mean"] = s.mean();
@@ -102,6 +118,7 @@ Json MetricsRegistry::to_json() const
 
 util::Table MetricsRegistry::to_table() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     util::Table table({"Metric", "Kind", "Value", "Count", "Mean", "Min", "Max"});
     for (const auto& [name, slot] : instruments_) {
         if (slot.counter) {
@@ -113,7 +130,7 @@ util::Table MetricsRegistry::to_table() const
                            "", "", ""});
         }
         else if (slot.histogram) {
-            const util::RunningStat& s = slot.histogram->stat();
+            const util::RunningStat s = slot.histogram->snapshot();
             table.add_row({name, "histogram", util::format_fixed(s.sum(), 3),
                            std::to_string(s.count()), util::format_fixed(s.mean(), 3),
                            util::format_fixed(s.min(), 3),

@@ -14,52 +14,77 @@
 /// Instruments are created on first use and live for the lifetime of the
 /// registry; reset() zeroes every value but keeps the objects, so cached
 /// references (hot paths cache them to skip the name lookup) stay valid
-/// across runs.  Like the rest of the simulator, this is single-threaded
-/// by design.
+/// across runs.
+///
+/// Thread safety: the parallel execution engine (util::ThreadPool) runs
+/// device work on worker threads, and every layer instruments into the
+/// global registry from there.  Counter and Gauge are lock-free atomics,
+/// Histogram serializes observations behind a mutex, and registry lookup /
+/// rendering / reset take the registry mutex.  Histogram::stat() returns an
+/// unsynchronized reference for the common read-at-quiescence pattern; use
+/// snapshot() when observers may still be running.
 
 #include "telemetry/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 
 namespace gsph::telemetry {
 
 /// Monotonically increasing count (resets only via MetricsRegistry::reset).
+/// inc() is lock-free and safe from any thread.
 class Counter {
 public:
-    void inc(double delta = 1.0) { value_ += delta; }
-    double value() const { return value_; }
+    void inc(double delta = 1.0) { value_.fetch_add(delta, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
     const std::string& name() const { return name_; }
 
 private:
     friend class MetricsRegistry;
     explicit Counter(std::string name) : name_(std::move(name)) {}
     std::string name_;
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /// Last-written value (clock caps, learned tables, convergence state).
 class Gauge {
 public:
-    void set(double value) { value_ = value; }
-    double value() const { return value_; }
+    void set(double value) { value_.store(value, std::memory_order_relaxed); }
+    double value() const { return value_.load(std::memory_order_relaxed); }
     const std::string& name() const { return name_; }
 
 private:
     friend class MetricsRegistry;
     explicit Gauge(std::string name) : name_(std::move(name)) {}
     std::string name_;
-    double value_ = 0.0;
+    std::atomic<double> value_{0.0};
 };
 
 /// Streaming distribution (count/mean/min/max/stddev/sum via Welford).
+/// observe() serializes behind a mutex; note that under concurrent
+/// observers the accumulation order (and thus the exact floating-point
+/// mean/stddev) depends on scheduling.
 class Histogram {
 public:
-    void observe(double value) { stat_.add(value); }
+    void observe(double value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stat_.add(value);
+    }
+    /// Unsynchronized view; only valid once concurrent observers quiesced
+    /// (e.g. after a ThreadPool::parallel_for returned).
     const util::RunningStat& stat() const { return stat_; }
+    /// Locked copy, safe while observers are still running.
+    util::RunningStat snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return stat_;
+    }
     const std::string& name() const { return name_; }
 
 private:
@@ -67,6 +92,7 @@ private:
     explicit Histogram(std::string name) : name_(std::move(name)) {}
     std::string name_;
     util::RunningStat stat_;
+    mutable std::mutex mutex_;
 };
 
 class MetricsRegistry {
@@ -80,6 +106,8 @@ public:
 
     /// Look up or create.  A name identifies exactly one instrument kind;
     /// re-requesting it as a different kind throws std::invalid_argument.
+    /// Returned references stay valid for the registry's lifetime and may
+    /// be cached and used from any thread.
     Counter& counter(const std::string& name);
     Gauge& gauge(const std::string& name);
     Histogram& histogram(const std::string& name);
@@ -91,7 +119,7 @@ public:
     /// Zero every instrument, keeping registrations (and references) alive.
     void reset();
 
-    std::size_t size() const { return instruments_.size(); }
+    std::size_t size() const;
 
     /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
     /// mean, min, max, stddev, sum}}} — names sorted (std::map order).
@@ -106,6 +134,7 @@ private:
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
     };
+    mutable std::mutex mutex_; ///< guards the instruments_ map itself
     std::map<std::string, Instrument> instruments_;
 };
 

@@ -5,6 +5,32 @@
 
 namespace gsph::telemetry {
 
+void SpanTracer::record(TraceEvent event)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::thread::id self = std::this_thread::get_id();
+    auto it = by_thread_.find(self);
+    if (it == by_thread_.end()) {
+        buffers_.push_back(std::make_unique<ThreadBuffer>());
+        it = by_thread_.emplace(self, buffers_.back().get()).first;
+    }
+    it->second->events.push_back(std::move(event));
+    merged_dirty_ = true;
+}
+
+void SpanTracer::flush_locked() const
+{
+    if (!merged_dirty_) return;
+    merged_.clear();
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    merged_.reserve(total);
+    for (const auto& b : buffers_) {
+        merged_.insert(merged_.end(), b->events.begin(), b->events.end());
+    }
+    merged_dirty_ = false;
+}
+
 void SpanTracer::begin(int pid, int tid, const std::string& name, double t_s,
                        const std::string& category)
 {
@@ -15,24 +41,30 @@ void SpanTracer::begin(int pid, int tid, const std::string& name, double t_s,
     e.time_s = t_s;
     e.pid = pid;
     e.tid = tid;
-    events_.push_back(std::move(e));
-    ++open_[{pid, tid}];
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        ++open_[{pid, tid}];
+    }
+    record(std::move(e));
 }
 
 void SpanTracer::end(int pid, int tid, double t_s)
 {
-    auto it = open_.find({pid, tid});
-    if (it == open_.end() || it->second <= 0) {
-        throw std::logic_error("SpanTracer: end with no open span on pid " +
-                               std::to_string(pid) + " tid " + std::to_string(tid));
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = open_.find({pid, tid});
+        if (it == open_.end() || it->second <= 0) {
+            throw std::logic_error("SpanTracer: end with no open span on pid " +
+                                   std::to_string(pid) + " tid " + std::to_string(tid));
+        }
+        --it->second;
     }
-    --it->second;
     TraceEvent e;
     e.phase = 'E';
     e.time_s = t_s;
     e.pid = pid;
     e.tid = tid;
-    events_.push_back(std::move(e));
+    record(std::move(e));
 }
 
 void SpanTracer::counter(int pid, const std::string& name, double t_s, double value)
@@ -43,7 +75,7 @@ void SpanTracer::counter(int pid, const std::string& name, double t_s, double va
     e.time_s = t_s;
     e.pid = pid;
     e.counter_value = value;
-    events_.push_back(std::move(e));
+    record(std::move(e));
 }
 
 void SpanTracer::instant(int pid, int tid, const std::string& name, double t_s)
@@ -54,7 +86,7 @@ void SpanTracer::instant(int pid, int tid, const std::string& name, double t_s)
     e.time_s = t_s;
     e.pid = pid;
     e.tid = tid;
-    events_.push_back(std::move(e));
+    record(std::move(e));
 }
 
 void SpanTracer::set_process_name(int pid, const std::string& name)
@@ -64,7 +96,7 @@ void SpanTracer::set_process_name(int pid, const std::string& name)
     e.phase = 'M';
     e.pid = pid;
     e.metadata = name;
-    events_.push_back(std::move(e));
+    record(std::move(e));
 }
 
 void SpanTracer::set_thread_name(int pid, int tid, const std::string& name)
@@ -75,19 +107,37 @@ void SpanTracer::set_thread_name(int pid, int tid, const std::string& name)
     e.pid = pid;
     e.tid = tid;
     e.metadata = name;
-    events_.push_back(std::move(e));
+    record(std::move(e));
 }
 
 int SpanTracer::open_spans(int pid, int tid) const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
     const auto it = open_.find({pid, tid});
     return it == open_.end() ? 0 : it->second;
 }
 
+std::size_t SpanTracer::event_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::size_t total = 0;
+    for (const auto& b : buffers_) total += b->events.size();
+    return total;
+}
+
+const std::vector<TraceEvent>& SpanTracer::events() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_locked();
+    return merged_;
+}
+
 Json SpanTracer::to_json() const
 {
+    std::lock_guard<std::mutex> lock(mutex_);
+    flush_locked();
     Json array = Json::array();
-    for (const TraceEvent& e : events_) {
+    for (const TraceEvent& e : merged_) {
         Json obj = Json::object();
         obj["name"] = e.name;
         if (!e.category.empty()) obj["cat"] = e.category;
@@ -123,7 +173,11 @@ bool SpanTracer::write_file(const std::string& path) const
 
 void SpanTracer::clear()
 {
-    events_.clear();
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    by_thread_.clear();
+    merged_.clear();
+    merged_dirty_ = false;
     open_.clear();
 }
 

@@ -13,12 +13,25 @@
 /// the trace-event format specifies.  Span begin/end pairs are validated
 /// per (pid, tid): ending with no open span throws, and open_spans() lets
 /// callers assert balance.
+///
+/// Thread safety: recording calls may arrive from ThreadPool workers.  Each
+/// recording thread appends to its own span buffer (created on first use),
+/// so events from one thread stay contiguous and in program order; the
+/// buffers are merged in thread-registration order when the trace is read
+/// (events()/to_json()/event_count() — the "flush").  Single-threaded
+/// recording therefore produces exactly the legacy event order.  Open-span
+/// accounting is shared across threads, so a span may legally begin on one
+/// thread and end on another; Perfetto orders events by timestamp, not by
+/// array position, so cross-thread traces stay well-formed.
 
 #include "telemetry/json.hpp"
 
 #include <cstddef>
 #include <map>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace gsph::telemetry {
@@ -56,8 +69,10 @@ public:
     /// Open (un-ended) spans on (pid, tid).
     int open_spans(int pid, int tid) const;
 
-    std::size_t event_count() const { return events_.size(); }
-    const std::vector<TraceEvent>& events() const { return events_; }
+    std::size_t event_count() const;
+    /// Merged view of every thread's buffer; the reference stays valid
+    /// until the next recording call or clear().
+    const std::vector<TraceEvent>& events() const;
 
     /// Chrome trace-event JSON: an array of event objects, ts in us.
     Json to_json() const;
@@ -69,7 +84,20 @@ public:
     void clear();
 
 private:
-    std::vector<TraceEvent> events_;
+    struct ThreadBuffer {
+        std::vector<TraceEvent> events;
+    };
+
+    /// Appends `event` to the calling thread's buffer (locked).
+    void record(TraceEvent event);
+    /// Merge per-thread buffers into merged_ (caller holds mutex_).
+    void flush_locked() const;
+
+    mutable std::mutex mutex_;
+    mutable std::vector<std::unique_ptr<ThreadBuffer>> buffers_; ///< registration order
+    mutable std::map<std::thread::id, ThreadBuffer*> by_thread_;
+    mutable std::vector<TraceEvent> merged_;  ///< rebuilt on demand
+    mutable bool merged_dirty_ = false;
     std::map<std::pair<int, int>, int> open_; ///< (pid,tid) -> open span depth
 };
 

@@ -1,6 +1,7 @@
 #include "tuning/kernel_tuner.hpp"
 
 #include "telemetry/metrics.hpp"
+#include "util/thread_pool.hpp"
 
 #include <algorithm>
 #include <stdexcept>
@@ -35,8 +36,9 @@ const TuneConfig& TuneResult::best(Objective objective) const
     return *best;
 }
 
-KernelTuner::KernelTuner(gpusim::GpuDeviceSpec spec, int iterations)
-    : spec_(std::move(spec)), iterations_(iterations)
+KernelTuner::KernelTuner(gpusim::GpuDeviceSpec spec, int iterations, int n_threads)
+    : spec_(std::move(spec)), iterations_(iterations),
+      n_threads_(util::ThreadPool::resolve_threads(n_threads))
 {
     spec_.validate();
     if (iterations_ < 1) throw std::invalid_argument("KernelTuner: iterations < 1");
@@ -51,9 +53,15 @@ TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
                         // interface fidelity with KernelTuner
 
     // Cartesian product of the parameter lists (brute-force strategy, the
-    // KernelTuner default).
+    // KernelTuner default).  Only "core_freq_mhz" is actually applied to the
+    // device, so an unrecognized key would silently multiply the search
+    // space with identically-priced duplicates — reject it up front.
     std::vector<std::map<std::string, double>> space{{}};
     for (const auto& [key, values] : params) {
+        if (key != "core_freq_mhz") {
+            throw std::invalid_argument("KernelTuner: unknown tunable parameter '" +
+                                        key + "' (only 'core_freq_mhz' is supported)");
+        }
         if (values.empty()) {
             throw std::invalid_argument("KernelTuner: empty value list for " + key);
         }
@@ -71,12 +79,15 @@ TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
 
     TuneResult result;
     result.kernel_name = kernel_name;
-    result.configs.reserve(space.size());
+    result.configs.resize(space.size());
 
     static telemetry::Counter& configs_priced = sweep_counter("tuner.sweep.configs");
-    for (const auto& config : space) {
+    // Each configuration runs on its own fresh device, so configurations are
+    // independent and can be priced concurrently; writing results by index
+    // keeps `configs` in sweep order for any thread count.
+    auto price = [&](std::size_t i) {
+        const std::map<std::string, double>& config = space[i];
         configs_priced.inc();
-        // Fresh device per configuration: benchmarks are independent.
         gpusim::GpuDevice device(spec_);
         device.set_clock_policy(gpusim::ClockPolicy::kLockedAppClock);
         const auto it = config.find("core_freq_mhz");
@@ -88,13 +99,21 @@ TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
         launcher(device);
         const double t0 = device.now();
         const double e0 = device.energy_j();
-        for (int i = 0; i < iterations_; ++i) launcher(device);
+        for (int i_launch = 0; i_launch < iterations_; ++i_launch) launcher(device);
         TuneConfig out;
         out.params = config;
         out.time_s = (device.now() - t0) / iterations_;
         out.energy_j = (device.energy_j() - e0) / iterations_;
         out.edp = out.time_s * out.energy_j;
-        result.configs.push_back(std::move(out));
+        result.configs[i] = std::move(out);
+    };
+    if (n_threads_ > 1 && space.size() > 1) {
+        util::ThreadPool pool(
+            std::min(n_threads_, static_cast<int>(space.size())));
+        pool.parallel_for(space.size(), price);
+    }
+    else {
+        for (std::size_t i = 0; i < space.size(); ++i) price(i);
     }
     return result;
 }
@@ -117,7 +136,8 @@ std::vector<double> paper_frequency_band(const gpusim::GpuDeviceSpec& spec)
 
 std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
                                                     const gpusim::GpuDeviceSpec& spec,
-                                                    std::vector<double> frequencies)
+                                                    std::vector<double> frequencies,
+                                                    int n_threads)
 {
     if (trace.steps.empty()) throw std::invalid_argument("sweep: empty trace");
     if (frequencies.empty()) frequencies = paper_frequency_band(spec);
@@ -139,8 +159,13 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
         }
     }
 
-    KernelTuner tuner(spec);
-    std::vector<FunctionSweepEntry> sweep;
+    // Gather the candidate functions first (serially), so the returned
+    // sweep stays in function order no matter how the pricing is scheduled.
+    struct Candidate {
+        sph::SphFunction fn;
+        gpusim::KernelWork kernel;
+    };
+    std::vector<Candidate> candidates;
     for (int f = 0; f < sph::kSphFunctionCount; ++f) {
         if (occurrences[static_cast<std::size_t>(f)] == 0) continue;
         // Average the extensive quantities over steps *before* scaling to
@@ -154,11 +179,20 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
             1, static_cast<std::int64_t>(static_cast<double>(avg.launches) / denom));
         const gpusim::KernelWork kernel = gpusim::scaled(avg, trace.work_scale());
         if (kernel.flops <= 0.0 && kernel.dram_bytes <= 0.0) continue;
+        candidates.push_back(Candidate{static_cast<sph::SphFunction>(f), kernel});
+    }
 
-        static telemetry::Counter& kernels_swept = sweep_counter("tuner.sweep.kernels");
+    static telemetry::Counter& kernels_swept = sweep_counter("tuner.sweep.kernels");
+    // Each function's sweep builds its own fresh devices, so functions are
+    // independent: parallelize across functions and keep every inner tuner
+    // serial (avoids nested pools oversubscribing the host).
+    std::vector<FunctionSweepEntry> sweep(candidates.size());
+    auto sweep_one = [&](std::size_t i) {
         kernels_swept.inc();
+        KernelTuner tuner(spec, /*iterations=*/7, /*n_threads=*/1);
         FunctionSweepEntry entry;
-        entry.fn = static_cast<sph::SphFunction>(f);
+        entry.fn = candidates[i].fn;
+        const gpusim::KernelWork& kernel = candidates[i].kernel;
         entry.result = tuner.tune_kernel(
             sph::to_string(entry.fn),
             [&kernel](gpusim::GpuDevice& dev) { dev.execute(kernel); },
@@ -166,7 +200,16 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
         entry.best_edp_mhz = entry.result.best(Objective::kEdp).params.at("core_freq_mhz");
         entry.best_energy_mhz =
             entry.result.best(Objective::kEnergy).params.at("core_freq_mhz");
-        sweep.push_back(std::move(entry));
+        sweep[i] = std::move(entry);
+    };
+    const int resolved = util::ThreadPool::resolve_threads(n_threads);
+    if (resolved > 1 && candidates.size() > 1) {
+        util::ThreadPool pool(
+            std::min(resolved, static_cast<int>(candidates.size())));
+        pool.parallel_for(candidates.size(), sweep_one);
+    }
+    else {
+        for (std::size_t i = 0; i < candidates.size(); ++i) sweep_one(i);
     }
     return sweep;
 }

@@ -47,23 +47,31 @@ public:
 
     /// `spec`: the device model the sweep runs on; `iterations`: launches
     /// per configuration (KernelTuner benchmarks each configuration several
-    /// times and averages).
-    explicit KernelTuner(gpusim::GpuDeviceSpec spec, int iterations = 7);
+    /// times and averages); `n_threads`: host threads pricing configurations
+    /// concurrently (<= 0: hardware concurrency, 1: serial).  Every
+    /// configuration runs on its own fresh device, so results are
+    /// independent of scheduling and identical across thread counts.
+    explicit KernelTuner(gpusim::GpuDeviceSpec spec, int iterations = 7,
+                         int n_threads = 1);
 
-    /// Brute-force search over the cartesian product of `params`.  The
-    /// special parameter "core_freq_mhz" is applied through
-    /// nvmlDeviceSetApplicationsClocks-equivalent clock locking; other
-    /// parameters are passed through to the launcher via the config (this
-    /// reproduction only tunes the clock, matching the paper's usage).
+    /// Brute-force search over the cartesian product of `params`.  The only
+    /// recognized parameter is "core_freq_mhz", applied through
+    /// nvmlDeviceSetApplicationsClocks-equivalent clock locking (this
+    /// reproduction only tunes the clock, matching the paper's usage); any
+    /// other key throws std::invalid_argument naming the key, instead of
+    /// silently pricing identical configurations.  `result.configs` keeps
+    /// sweep (cartesian-product) order regardless of n_threads.
     TuneResult tune_kernel(const std::string& kernel_name, const Launcher& launcher,
                            std::int64_t problem_size,
                            const std::map<std::string, std::vector<double>>& params);
 
     const gpusim::GpuDeviceSpec& spec() const { return spec_; }
+    int n_threads() const { return n_threads_; }
 
 private:
     gpusim::GpuDeviceSpec spec_;
     int iterations_;
+    int n_threads_;
 };
 
 /// The paper's frequency band: 1005..1410 MHz in 7 steps (A100); "we have
@@ -81,10 +89,13 @@ struct FunctionSweepEntry {
 /// Sweep every SPH function that appears in `trace` over `frequencies`
 /// (empty: paper band), with the per-step work of that function as the
 /// kernel under test, scaled to the trace's particles-per-GPU.  Returns the
-/// per-function sweep results (Fig. 2) in function order.
+/// per-function sweep results (Fig. 2) in function order.  `n_threads`
+/// (<= 0: hardware concurrency, 1: serial) sweeps the functions
+/// concurrently; each function's inner tuner stays serial to avoid
+/// oversubscription, and results are identical across thread counts.
 std::vector<FunctionSweepEntry> sweep_sph_functions(
     const sim::WorkloadTrace& trace, const gpusim::GpuDeviceSpec& spec,
-    std::vector<double> frequencies = {});
+    std::vector<double> frequencies = {}, int n_threads = 1);
 
 /// Reduce a sweep to the ManDyn clock table (best EDP per function).
 core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& sweep,

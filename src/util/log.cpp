@@ -37,6 +37,7 @@ void Logger::log(LogLevel level, const std::string& component, const std::string
         return;
     }
     static const char* names[] = {"DEBUG", "INFO", "WARN", "ERROR"};
+    std::lock_guard<std::mutex> lock(mutex_);
     std::ostream& os = sink_ ? *sink_ : std::cerr;
     if (wall_clock_) {
         std::time_t now = std::time(nullptr);

@@ -3,11 +3,13 @@
 /// \brief Minimal leveled logger.
 ///
 /// greensph components log through this instead of writing to std::cerr
-/// directly so tests can silence or capture output.  Not thread-safe by
-/// design: the simulator is single-threaded (see DESIGN.md, "threads are
-/// ranks").
+/// directly so tests can silence or capture output.  Emission is serialized
+/// by a mutex so messages from ThreadPool workers never interleave
+/// mid-line; configuration (level, sink, filters) is still expected to
+/// happen before concurrent logging starts.
 
 #include <functional>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -51,6 +53,7 @@ public:
 
 private:
     Logger() = default;
+    std::mutex mutex_; ///< serializes emission (one line at a time)
     LogLevel level_ = LogLevel::kWarn;
     std::ostream* sink_ = nullptr;
     bool wall_clock_ = false;

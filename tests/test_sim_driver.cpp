@@ -34,6 +34,41 @@ protected:
     }
 };
 
+TEST(WorkJitter, GoldenValues)
+{
+    // Pins the chained-SplitMix64 jitter stream: any change to the mixing
+    // silently changes every simulated result, so it must be deliberate.
+    EXPECT_DOUBLE_EQ(work_jitter(0.02, 0, 0, 0), 1.0001049232731791);
+    EXPECT_DOUBLE_EQ(work_jitter(0.02, 1, 0, 0), 0.9883850936809877);
+    EXPECT_DOUBLE_EQ(work_jitter(0.02, 0, 1, 0), 0.98997775274377708);
+    EXPECT_DOUBLE_EQ(work_jitter(0.02, 0, 0, 1), 1.0173198620864004);
+    EXPECT_DOUBLE_EQ(work_jitter(0.05, 3, 123456789, 70000), 1.0040720381591925);
+}
+
+TEST(WorkJitter, BoundsAndDisabled)
+{
+    EXPECT_DOUBLE_EQ(work_jitter(0.0, 5, 5, 5), 1.0);
+    EXPECT_DOUBLE_EQ(work_jitter(-1.0, 5, 5, 5), 1.0);
+    for (int r = 0; r < 4; ++r) {
+        for (int c = 0; c < 64; ++c) {
+            const double j = work_jitter(0.02, r, 11, c);
+            EXPECT_GE(j, 0.98);
+            EXPECT_LE(j, 1.02);
+        }
+    }
+}
+
+TEST(WorkJitter, NoCollisionsWhereTheOldPackingCollided)
+{
+    // The old shift-XOR packing (rank<<40 ^ step<<16 ^ call) made
+    // (step, call) = (0, 65536) and (1, 0) share a seed, and wrapped step
+    // at 2^24.  The chained mixing keeps those streams distinct.
+    EXPECT_NE(work_jitter(0.02, 0, 0, 65536), work_jitter(0.02, 0, 1, 0));
+    EXPECT_NE(work_jitter(0.02, 2, 7, 65536), work_jitter(0.02, 2, 8, 0));
+    // step = 2^24 + 7 vs rank-bit aliasing (old: step<<16 reached rank bits).
+    EXPECT_NE(work_jitter(0.02, 2, 16777223, 0), work_jitter(0.02, 3, 7, 0));
+}
+
 TEST_F(DriverFixture, BasicRunProducesSaneResult)
 {
     const auto r = run_instrumented(mini_hpc(), trace(), base_config());

@@ -167,6 +167,83 @@ TEST(Workload, ParseRejectsGarbage)
                  std::invalid_argument);
 }
 
+// A syntactically valid one-row trace the corruption tests below mutate.
+std::string valid_trace_text(const std::string& kind = "0",
+                             const std::string& row = "0,1,1e9,1e8,0.1,0.5,10,1000")
+{
+    return "# greensph workload trace v1\n"
+           "workload,SubsonicTurbulence\n"
+           "kind," + kind + "\n"
+           "n_particles_real,512\n"
+           "particles_per_gpu,1000000\n"
+           "halo_surface_prefactor,1.5\n"
+           "step,function,flops,dram_bytes,gather_fraction,flop_efficiency,launches,"
+           "threads\n" + row + "\n";
+}
+
+TEST(Workload, ParseAcceptsValidFixture)
+{
+    const auto trace = WorkloadTrace::parse(valid_trace_text());
+    EXPECT_EQ(trace.n_steps(), 1);
+    EXPECT_EQ(trace.kind, WorkloadKind::kSubsonicTurbulence);
+    ASSERT_EQ(trace.steps[0].functions.size(), 1u);
+    EXPECT_DOUBLE_EQ(trace.steps[0].functions[0].work.flops, 1e9);
+}
+
+TEST(Workload, ParseRejectsOutOfRangeKind)
+{
+    // kind is an enum with three values; 7 (or a negative id) must not be
+    // blindly cast into WorkloadKind.
+    EXPECT_THROW(WorkloadTrace::parse(valid_trace_text("7")), std::invalid_argument);
+    EXPECT_THROW(WorkloadTrace::parse(valid_trace_text("-1")), std::invalid_argument);
+    try {
+        WorkloadTrace::parse(valid_trace_text("notanumber"));
+        FAIL() << "expected std::invalid_argument";
+    }
+    catch (const std::invalid_argument& e) {
+        // Line-numbered message naming the field, not a bare stoi error.
+        EXPECT_NE(std::string(e.what()).find("line 3"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("kind"), std::string::npos) << e.what();
+    }
+}
+
+TEST(Workload, ParseRejectsHugeStepIndexWithoutAllocating)
+{
+    // A single corrupt index used to drive steps.resize(4000000001):
+    // a multi-gigabyte allocation from a one-line trace.
+    EXPECT_THROW(
+        WorkloadTrace::parse(valid_trace_text("0", "4000000000,1,1e9,1e8,0.1,0.5,10,1000")),
+        std::invalid_argument);
+}
+
+TEST(Workload, ParseRejectsNonContiguousStepIndex)
+{
+    const std::string rows = "0,1,1e9,1e8,0.1,0.5,10,1000\n"
+                             "2,1,1e9,1e8,0.1,0.5,10,1000";
+    EXPECT_THROW(WorkloadTrace::parse(valid_trace_text("0", rows)),
+                 std::invalid_argument);
+    // step 1 directly after step 0 is fine.
+    const std::string ok = "0,1,1e9,1e8,0.1,0.5,10,1000\n"
+                           "1,2,1e9,1e8,0.1,0.5,10,1000";
+    EXPECT_EQ(WorkloadTrace::parse(valid_trace_text("0", ok)).n_steps(), 2);
+}
+
+TEST(Workload, ParseReportsLineNumberForBadNumericField)
+{
+    try {
+        WorkloadTrace::parse(valid_trace_text("0", "0,1,xyz,1e8,0.1,0.5,10,1000"));
+        FAIL() << "expected std::invalid_argument";
+    }
+    catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("line 8"), std::string::npos) << e.what();
+        EXPECT_NE(std::string(e.what()).find("flops"), std::string::npos) << e.what();
+    }
+    // Trailing junk after a number is rejected, not silently truncated.
+    EXPECT_THROW(
+        WorkloadTrace::parse(valid_trace_text("0", "0,1,1e9junk,1e8,0.1,0.5,10,1000")),
+        std::invalid_argument);
+}
+
 
 TEST(Workload, SedovTraceRecordsAndRuns)
 {

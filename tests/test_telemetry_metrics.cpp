@@ -2,9 +2,12 @@
 
 #include "telemetry/json.hpp"
 
+#include "util/thread_pool.hpp"
+
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <vector>
 #include <stdexcept>
 
 namespace gsph::telemetry {
@@ -140,6 +143,40 @@ TEST(MetricsRegistry, GlobalIsASingleton)
     // counter fetched here must be the same object a second fetch returns.
     Counter& c = MetricsRegistry::global().counter("test.metrics.identity");
     EXPECT_EQ(&MetricsRegistry::global().counter("test.metrics.identity"), &c);
+}
+
+
+TEST(MetricsThreadSafety, ConcurrentCounterAndGaugeUpdatesAreLossless)
+{
+    MetricsRegistry reg;
+    Counter& c = reg.counter("concurrent.counter");
+    Gauge& g = reg.gauge("concurrent.gauge");
+    Histogram& h = reg.histogram("concurrent.histogram");
+    util::ThreadPool pool(8);
+    constexpr std::size_t kN = 4000;
+    pool.parallel_for(kN, [&](std::size_t i) {
+        c.inc();
+        g.set(static_cast<double>(i));
+        h.observe(1.0);
+    });
+    EXPECT_EQ(c.value(), static_cast<double>(kN));
+    EXPECT_EQ(h.snapshot().count(), static_cast<long>(kN));
+    EXPECT_GE(g.value(), 0.0);
+    EXPECT_LT(g.value(), static_cast<double>(kN));
+}
+
+TEST(MetricsThreadSafety, ConcurrentRegistryLookupsCreateOneInstrument)
+{
+    MetricsRegistry reg;
+    util::ThreadPool pool(8);
+    std::vector<Counter*> seen(64);
+    pool.parallel_for(seen.size(), [&](std::size_t i) {
+        seen[i] = &reg.counter("concurrent.lookup");
+        seen[i]->inc();
+    });
+    for (Counter* p : seen) EXPECT_EQ(p, seen.front());
+    EXPECT_EQ(reg.value("concurrent.lookup"), 64.0);
+    EXPECT_EQ(reg.size(), 1u);
 }
 
 } // namespace

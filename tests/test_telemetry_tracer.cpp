@@ -5,6 +5,7 @@
 #include "telemetry/json.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/tracer.hpp"
+#include "util/thread_pool.hpp"
 
 #include <gtest/gtest.h>
 
@@ -196,6 +197,43 @@ TEST_F(RunTracerIntegration, RunSummaryMatchesRunResult)
         EXPECT_GT(fn.at("calls").as_number(), 0.0);
         EXPECT_TRUE(fn.at("function").is_string());
     }
+}
+
+
+TEST(SpanTracerThreadSafety, ConcurrentRecordingLosesNoEvents)
+{
+    SpanTracer tracer;
+    util::ThreadPool pool(8);
+    constexpr std::size_t kN = 500;
+    // Each index records a balanced span plus a counter sample on its own
+    // (pid, tid) track; nothing is lost and every span stays balanced.
+    pool.parallel_for(kN, [&](std::size_t i) {
+        const int pid = static_cast<int>(i);
+        tracer.begin(pid, 0, "work", static_cast<double>(i), "test");
+        tracer.counter(pid, "value", static_cast<double>(i), 1.0);
+        tracer.end(pid, 0, static_cast<double>(i) + 0.5);
+    });
+    EXPECT_EQ(tracer.event_count(), kN * 3);
+    for (std::size_t i = 0; i < kN; ++i) {
+        EXPECT_EQ(tracer.open_spans(static_cast<int>(i), 0), 0);
+    }
+    // The merged view serializes cleanly.
+    EXPECT_EQ(tracer.to_json().size(), kN * 3);
+}
+
+TEST(SpanTracerThreadSafety, SingleThreadedOrderMatchesLegacy)
+{
+    // One recording thread -> one buffer -> events come back in exactly
+    // the order they were recorded (the legacy contract).
+    SpanTracer tracer;
+    tracer.begin(0, 0, "a", 1.0);
+    tracer.instant(0, 0, "mark", 1.2);
+    tracer.end(0, 0, 2.0);
+    const auto& events = tracer.events();
+    ASSERT_EQ(events.size(), 3u);
+    EXPECT_EQ(events[0].phase, 'B');
+    EXPECT_EQ(events[1].phase, 'i');
+    EXPECT_EQ(events[2].phase, 'E');
 }
 
 } // namespace

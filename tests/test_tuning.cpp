@@ -57,14 +57,23 @@ TEST(KernelTuner, SweepsAllRequestedFrequencies)
     }
 }
 
-TEST(KernelTuner, CartesianProductOfParams)
+TEST(KernelTuner, RejectsUnknownParameterNamingTheKey)
 {
+    // Only "core_freq_mhz" is applied to the device; an unrecognized key
+    // used to multiply the search space with identically-priced duplicates
+    // (e.g. a "block_size" list tripled every sweep silently).
     KernelTuner tuner(gpusim::a100_pcie_40g(), 1);
     const auto w = compute_kernel();
-    const auto result = tuner.tune_kernel(
-        "k", [&w](gpusim::GpuDevice& dev) { dev.execute(w); }, w.threads,
-        {{"core_freq_mhz", {1005.0, 1410.0}}, {"block_size", {128.0, 256.0, 512.0}}});
-    EXPECT_EQ(result.configs.size(), 6u);
+    try {
+        tuner.tune_kernel(
+            "k", [&w](gpusim::GpuDevice& dev) { dev.execute(w); }, w.threads,
+            {{"core_freq_mhz", {1005.0, 1410.0}}, {"block_size", {128.0, 256.0, 512.0}}});
+        FAIL() << "expected std::invalid_argument";
+    }
+    catch (const std::invalid_argument& e) {
+        EXPECT_NE(std::string(e.what()).find("block_size"), std::string::npos)
+            << e.what();
+    }
 }
 
 TEST(KernelTuner, BestByObjective)

@@ -15,6 +15,8 @@
 ///   --policy baseline|static:<mhz>|dvfs|mandyn|online   (baseline)
 ///   --ranks N                         (1)
 ///   --steps N                         (10)
+///   --threads N        host worker threads; 0 = hardware concurrency,
+///                      1 = serial; results are identical either way  (0)
 ///   --nside N          real-physics resolution           (10)
 ///   --particles-per-gpu X             (91125000 = 450^3)
 ///   --objective time|energy|edp|ed2p  tuning objective   (edp)
@@ -60,6 +62,7 @@ struct Options {
     std::string objective = "edp";
     int ranks = 1;
     int steps = 10;
+    int threads = 0; ///< 0: hardware concurrency, 1: serial
     int nside = 10;
     double particles_per_gpu = 450.0 * 450.0 * 450.0;
     std::string trace_in;
@@ -77,7 +80,7 @@ void usage()
     std::cout << "usage: greensph <systems|tune|run> [options]\n"
               << "  --system cscs|lumi|minihpc   --workload turbulence|evrard|sedov\n"
               << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
-              << "  --ranks N --steps N --nside N --particles-per-gpu X\n"
+              << "  --ranks N --steps N --threads N --nside N --particles-per-gpu X\n"
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
@@ -100,6 +103,7 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--objective") opt.objective = next();
         else if (key == "--ranks") opt.ranks = std::stoi(next());
         else if (key == "--steps") opt.steps = std::stoi(next());
+        else if (key == "--threads") opt.threads = std::stoi(next());
         else if (key == "--nside") opt.nside = std::stoi(next());
         else if (key == "--particles-per-gpu") opt.particles_per_gpu = std::stod(next());
         else if (key == "--trace-in") opt.trace_in = next();
@@ -146,6 +150,7 @@ telemetry::Json config_echo(const Options& opt)
     config["policy"] = opt.policy;
     config["ranks"] = opt.ranks;
     config["steps"] = opt.steps;
+    config["threads"] = opt.threads;
     config["nside"] = opt.nside;
     config["particles_per_gpu"] = opt.particles_per_gpu;
     return config;
@@ -230,7 +235,7 @@ int cmd_tune(const Options& opt)
     telemetry::MetricsRegistry::global().reset();
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
-    const auto sweep = tuning::sweep_sph_functions(trace, system.gpu);
+    const auto sweep = tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
     const auto objective = objective_from(opt.objective);
 
     util::Table table({"Function", "Chosen clock [MHz]"});
@@ -264,7 +269,8 @@ int cmd_run(const Options& opt)
 
     auto policy = make_policy(opt, system);
     if (!policy) { // "mandyn": tune first
-        const auto sweep = tuning::sweep_sph_functions(trace, system.gpu);
+        const auto sweep =
+            tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
         policy = core::make_mandyn_policy(
             tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
             system.gpu.vendor);
@@ -274,6 +280,7 @@ int cmd_run(const Options& opt)
     cfg.n_ranks = opt.ranks;
     cfg.setup_s = 45.0;
     cfg.n_steps = opt.steps;
+    cfg.n_threads = opt.threads;
 
     sim::RunHooks hooks;
     std::unique_ptr<core::EnergyProfiler> profiler;
