@@ -1,0 +1,109 @@
+/// Ablation (beyond the paper): management-library fault rate vs policy
+/// quality.  The paper assumes nvmlDeviceSetApplicationsClocks always works;
+/// this ablation injects transient set failures (plus one stuck-clock
+/// episode) and measures how the resilient clock path holds ManDyn and
+/// online-ManDyn EDP together as the fault rate climbs.
+
+#include "common.hpp"
+
+#include "core/frequency_table.hpp"
+#include "core/online_tuner.hpp"
+#include "faults/fault_injector.hpp"
+#include "telemetry/metrics.hpp"
+#include "tuning/kernel_tuner.hpp"
+
+using namespace gsph;
+
+namespace {
+
+double metric(const char* name)
+{
+    return telemetry::MetricsRegistry::global().value(name);
+}
+
+} // namespace
+
+int main()
+{
+    bench::print_header(
+        "Ablation - clock-control fault rate vs policy EDP",
+        "beyond the paper (resilient clock path under injected faults)",
+        "Expected: retry + read-back verification keep ManDyn and online\n"
+        "ManDyn EDP within a few percent of the fault-free run up to ~20%\n"
+        "transient failure rates; discarded samples delay (not corrupt)\n"
+        "online convergence.");
+
+    const auto trace = bench::turbulence_trace(bench::kParticles450, 12, 8);
+    const auto system = sim::mini_hpc();
+
+    sim::RunConfig cfg;
+    cfg.n_ranks = 1;
+    cfg.setup_s = 10.0;
+    cfg.n_steps = 20;
+
+    core::OnlineTunerConfig tuner_cfg;
+    tuner_cfg.candidate_clocks = tuning::paper_frequency_band(system.gpu);
+    tuner_cfg.samples_per_clock = 2;
+
+    // Fault-free reference EDPs to normalize against.
+    double mandyn_ref_edp = 0.0;
+    double online_ref_edp = 0.0;
+    {
+        auto offline = core::make_mandyn_policy(core::reference_a100_turbulence_table(),
+                                                system.gpu.vendor);
+        const auto rm = core::run_with_policy(system, trace, cfg, *offline);
+        mandyn_ref_edp = rm.gpu_energy_j * rm.makespan_s();
+        auto online = core::make_online_mandyn_policy(tuner_cfg, system.gpu.vendor);
+        const auto ro = core::run_with_policy(system, trace, cfg, *online);
+        online_ref_edp = ro.gpu_energy_j * ro.makespan_s();
+    }
+
+    util::Table table({"Transient p", "ManDyn EDP [norm]", "Online EDP [norm]",
+                       "Set retries", "Set failures", "Samples discarded",
+                       "Converged"});
+    util::CsvWriter csv({"transient_p", "mandyn_edp_ratio", "online_edp_ratio",
+                         "set_retries", "set_failures", "samples_discarded",
+                         "converged"});
+
+    for (double p : {0.0, 0.05, 0.1, 0.2, 0.4}) {
+        telemetry::MetricsRegistry::global().reset();
+
+        faults::FaultSpec spec;
+        spec.transient_set_p = p;
+        // One stuck episode mid-exploration in every faulty row: verification
+        // must catch it or the online learner would attribute samples to
+        // clocks the device never ran at.
+        if (p > 0.0) {
+            spec.stuck_at = 40;
+            spec.stuck_count = 4;
+        }
+        faults::ScopedFaultInjection guard(spec, /*seed=*/7);
+
+        auto offline = core::make_mandyn_policy(core::reference_a100_turbulence_table(),
+                                                system.gpu.vendor);
+        const auto rm = core::run_with_policy(system, trace, cfg, *offline);
+        const double mandyn_edp = rm.gpu_energy_j * rm.makespan_s();
+
+        auto online = core::make_online_mandyn_policy(tuner_cfg, system.gpu.vendor);
+        const auto ro = core::run_with_policy(system, trace, cfg, *online);
+        const double online_edp = ro.gpu_energy_j * ro.makespan_s();
+
+        const double retries = metric("clock.set_retries");
+        const double failures = metric("clock.set_failures");
+        const double discarded = metric("tuner.online.samples_discarded");
+        const bool converged = online->all_converged();
+
+        table.add_row({bench::ratio(p), bench::ratio(mandyn_edp / mandyn_ref_edp),
+                       bench::ratio(online_edp / online_ref_edp),
+                       util::format_fixed(retries, 0), util::format_fixed(failures, 0),
+                       util::format_fixed(discarded, 0), converged ? "yes" : "no"});
+        csv.add_row({bench::ratio(p), bench::ratio(mandyn_edp / mandyn_ref_edp),
+                     bench::ratio(online_edp / online_ref_edp),
+                     util::format_fixed(retries, 0), util::format_fixed(failures, 0),
+                     util::format_fixed(discarded, 0), converged ? "1" : "0"});
+    }
+    table.print(std::cout);
+
+    bench::write_artifact(csv, "ablation_faults.csv");
+    return 0;
+}

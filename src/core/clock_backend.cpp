@@ -15,8 +15,14 @@ const char* to_string(ClockStatus status)
         case ClockStatus::kPermissionDenied: return "permission denied";
         case ClockStatus::kInvalidArgument: return "invalid argument";
         case ClockStatus::kUnavailable: return "unavailable";
+        case ClockStatus::kVerifyFailed: return "verification failed";
     }
     return "unknown";
+}
+
+ClockStatus ClockBackend::get_cap_mhz(int /*rank*/, double* /*mhz*/)
+{
+    return ClockStatus::kUnavailable;
 }
 
 namespace {
@@ -47,6 +53,19 @@ public:
         if (rs != ClockStatus::kOk) return rs;
         return map(nvmlsim::nvmlDeviceResetApplicationsClocks(
             devices_[static_cast<std::size_t>(rank)]));
+    }
+
+    ClockStatus get_cap_mhz(int rank, double* mhz) override
+    {
+        if (!mhz) return ClockStatus::kInvalidArgument;
+        const ClockStatus rs = resolve(rank);
+        if (rs != ClockStatus::kOk) return rs;
+        unsigned int clock = 0;
+        const ClockStatus gs = map(nvmlsim::nvmlDeviceGetApplicationsClock(
+            devices_[static_cast<std::size_t>(rank)], nvmlsim::NVML_CLOCK_GRAPHICS,
+            &clock));
+        if (gs == ClockStatus::kOk) *mhz = static_cast<double>(clock);
+        return gs;
     }
 
     std::string name() const override { return "nvml"; }
@@ -134,12 +153,15 @@ std::unique_ptr<ClockBackend> make_rocm_clock_backend(int n_ranks)
 
 std::unique_ptr<ClockBackend> make_clock_backend(gpusim::Vendor vendor, int n_ranks)
 {
-    switch (vendor) {
-        case gpusim::Vendor::kNvidia: return make_nvml_clock_backend(n_ranks);
-        case gpusim::Vendor::kAmd: return make_rocm_clock_backend(n_ranks);
-        case gpusim::Vendor::kIntel: return make_nvml_clock_backend(n_ranks);
-    }
-    return make_nvml_clock_backend(n_ranks);
+    auto raw = [&]() -> std::unique_ptr<ClockBackend> {
+        switch (vendor) {
+            case gpusim::Vendor::kNvidia: return make_nvml_clock_backend(n_ranks);
+            case gpusim::Vendor::kAmd: return make_rocm_clock_backend(n_ranks);
+            case gpusim::Vendor::kIntel: return make_nvml_clock_backend(n_ranks);
+        }
+        return make_nvml_clock_backend(n_ranks);
+    }();
+    return make_resilient_clock_backend(std::move(raw));
 }
 
 } // namespace gsph::core

@@ -21,6 +21,7 @@ enum class ClockStatus {
     kPermissionDenied, ///< user-level clock control not granted
     kInvalidArgument,  ///< bad rank / clock outside the supported range
     kUnavailable,      ///< library not initialized / device not found
+    kVerifyFailed,     ///< set reported OK but read-back shows another clock
 };
 
 const char* to_string(ClockStatus status);
@@ -36,15 +37,48 @@ public:
     virtual ClockStatus set_cap_mhz(int rank, double mhz) = 0;
     /// Restore the device default (reset application clocks / perf auto).
     virtual ClockStatus reset(int rank) = 0;
+    /// Read back the configured application clock (the basis of read-back
+    /// verification).  Default: kUnavailable — vendors without a query
+    /// (rocm_smi exposes levels, not the configured cap) skip verification.
+    virtual ClockStatus get_cap_mhz(int rank, double* mhz);
     virtual std::string name() const = 0;
+};
+
+/// Retry / verification / degradation knobs for the resilient wrapper.
+struct ResilienceConfig {
+    /// Set attempts per call (>= 1); transient failures and read-back
+    /// mismatches are retried, permission and argument errors are not.
+    int max_attempts = 3;
+    /// Consecutive permission failures on a rank before it latches into
+    /// degraded mode (subsequent sets return immediately without touching
+    /// the library; a successful reset() clears the latch).
+    int degrade_after = 3;
+    /// Verify each successful set via get_cap_mhz (detects stuck clocks).
+    bool verify_readback = true;
+    /// Read-back mismatch tolerance.  Must exceed half the coarsest device
+    /// clock step (50 MHz on the PVC model) so quantization never trips it,
+    /// while staying below any meaningful candidate-clock spacing.
+    double verify_tolerance_mhz = 26.0;
+    /// Wall-clock backoff before retry k is backoff_base_ms * factor^(k-1);
+    /// 0 disables sleeping (simulated runs lose nothing by retrying
+    /// immediately — the knob exists for real-hardware ports).
+    double backoff_base_ms = 0.0;
+    double backoff_factor = 2.0;
 };
 
 /// NVML backend (nvmlDeviceSetApplicationsClocks), the paper's §III-D path.
 std::unique_ptr<ClockBackend> make_nvml_clock_backend(int n_ranks);
 /// rocm_smi backend (rsmi_dev_gpu_clk_freq_set with level bitmasks).
 std::unique_ptr<ClockBackend> make_rocm_clock_backend(int n_ranks);
+/// Wrap `inner` with bounded retry + exponential backoff, read-back
+/// verification and per-rank degraded-mode latching.  Publishes telemetry
+/// counters clock.set_retries, clock.set_failures, clock.verify_mismatches
+/// and clock.degraded_ranks.
+std::unique_ptr<ClockBackend> make_resilient_clock_backend(
+    std::unique_ptr<ClockBackend> inner, ResilienceConfig config = {});
 /// Select by device vendor (Intel-class devices currently route through the
-/// NVML-style facade of the simulator).
+/// NVML-style facade of the simulator), wrapped in the resilient layer —
+/// every policy-driven clock write gets retry/verify/degrade semantics.
 std::unique_ptr<ClockBackend> make_clock_backend(gpusim::Vendor vendor, int n_ranks);
 
 } // namespace gsph::core

@@ -3,10 +3,44 @@
 #include "util/strings.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
 #include <stdexcept>
 
 namespace gsph::core {
+
+namespace {
+
+[[noreturn]] void parse_fail(int line_no, const std::string& what,
+                             const std::string& value)
+{
+    throw std::invalid_argument("FrequencyTable::parse: line " +
+                                std::to_string(line_no) + ": bad " + what + " '" +
+                                value + "'");
+}
+
+/// Full-consumption numeric parse: rejects trailing junk ("1005MHz"),
+/// non-finite values ("nan", "inf") and out-of-range literals ("1e400")
+/// with a line-numbered error instead of an uncontextualized exception.
+double parse_clock_mhz(const std::string& s, int line_no)
+{
+    double v = 0.0;
+    try {
+        std::size_t pos = 0;
+        v = std::stod(s, &pos);
+        if (pos != s.size()) parse_fail(line_no, "clock_mhz", s);
+    }
+    catch (const std::invalid_argument&) {
+        parse_fail(line_no, "clock_mhz", s);
+    }
+    catch (const std::out_of_range&) {
+        parse_fail(line_no, "clock_mhz", s);
+    }
+    if (!std::isfinite(v)) parse_fail(line_no, "clock_mhz", s);
+    return v;
+}
+
+} // namespace
 
 FrequencyTable::FrequencyTable(double default_mhz)
 {
@@ -16,7 +50,10 @@ FrequencyTable::FrequencyTable(double default_mhz)
 
 void FrequencyTable::set(sph::SphFunction fn, double mhz)
 {
-    if (mhz <= 0.0) throw std::invalid_argument("FrequencyTable::set: bad clock");
+    // NaN compares false against every threshold, so test finiteness first.
+    if (!std::isfinite(mhz) || mhz <= 0.0) {
+        throw std::invalid_argument("FrequencyTable::set: bad clock");
+    }
     clocks_[static_cast<std::size_t>(fn)] = mhz;
 }
 
@@ -52,8 +89,10 @@ FrequencyTable FrequencyTable::parse(const std::string& text)
     std::array<bool, sph::kSphFunctionCount> seen{};
     std::istringstream is(text);
     std::string line;
+    int line_no = 0;
     bool header_skipped = false;
     while (std::getline(is, line)) {
+        ++line_no;
         if (line.empty()) continue;
         if (!header_skipped) {
             header_skipped = true;
@@ -61,21 +100,31 @@ FrequencyTable FrequencyTable::parse(const std::string& text)
         }
         const auto parts = util::split(line, ',');
         if (parts.size() != 2) {
-            throw std::invalid_argument("FrequencyTable::parse: bad line '" + line + "'");
+            throw std::invalid_argument("FrequencyTable::parse: line " +
+                                        std::to_string(line_no) + ": bad line '" +
+                                        line + "'");
         }
         bool matched = false;
         for (int i = 0; i < sph::kSphFunctionCount; ++i) {
             const auto fn = static_cast<sph::SphFunction>(i);
             if (parts[0] == sph::to_string(fn)) {
-                table.set(fn, std::stod(parts[1]));
+                if (seen[static_cast<std::size_t>(i)]) {
+                    throw std::invalid_argument(
+                        "FrequencyTable::parse: line " + std::to_string(line_no) +
+                        ": duplicate function '" + parts[0] + "'");
+                }
+                const double mhz = parse_clock_mhz(parts[1], line_no);
+                if (mhz <= 0.0) parse_fail(line_no, "clock_mhz", parts[1]);
+                table.set(fn, mhz);
                 seen[static_cast<std::size_t>(i)] = true;
                 matched = true;
                 break;
             }
         }
         if (!matched) {
-            throw std::invalid_argument("FrequencyTable::parse: unknown function '" +
-                                        parts[0] + "'");
+            throw std::invalid_argument("FrequencyTable::parse: line " +
+                                        std::to_string(line_no) +
+                                        ": unknown function '" + parts[0] + "'");
         }
     }
     for (int i = 0; i < sph::kSphFunctionCount; ++i) {

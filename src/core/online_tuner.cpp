@@ -130,10 +130,28 @@ void OnlineManDynPolicy::before(int rank, gpusim::GpuDevice& dev, sph::SphFuncti
                                         : learner.clocks.back();
     }
 
-    if (rank_current_mhz_[static_cast<std::size_t>(rank)] != target) {
+    const auto r = static_cast<std::size_t>(rank);
+    if (rank_current_mhz_[r] != target) {
         if (backend_->set_cap_mhz(rank, target) == ClockStatus::kOk) {
-            rank_current_mhz_[static_cast<std::size_t>(rank)] = target;
+            rank_current_mhz_[r] = target;
         }
+        else {
+            // Device clock state unknown (the set may have partially taken
+            // or been dropped) — force a fresh set attempt on the next call
+            // instead of trusting the cache.
+            rank_current_mhz_[r] = -1.0;
+        }
+    }
+
+    // Measurement integrity: if the candidate clock is not actually applied
+    // on the measurement rank, the upcoming sample would be attributed to a
+    // clock the device is not running at.  Drop the candidate for this call;
+    // next_candidate() re-queues it since its sample count was not bumped.
+    if (rank == 0 && learner.active_candidate >= 0 && rank_current_mhz_[r] != target) {
+        learner.active_candidate = -1;
+        static telemetry::Counter& discarded =
+            tuner_counter("tuner.online.samples_discarded");
+        discarded.inc();
     }
 
     if (rank == 0) {
@@ -155,12 +173,23 @@ void OnlineManDynPolicy::after(int rank, gpusim::GpuDevice& /*dev*/, sph::SphFun
 
     if (learner.active_candidate >= 0 && probe_) {
         const pmt::State end = probe_->Read();
-        const auto idx = static_cast<std::size_t>(learner.active_candidate);
-        learner.energy_j[idx] += pmt::Pmt::joules(open_state_, end);
-        learner.time_s[idx] += pmt::Pmt::seconds(open_state_, end);
-        ++learner.samples[idx];
-        static telemetry::Counter& samples = tuner_counter("tuner.online.samples");
-        samples.inc();
+        const double e = pmt::Pmt::joules(open_state_, end);
+        const double t = pmt::Pmt::seconds(open_state_, end);
+        if (e > 0.0 && t > 0.0) {
+            const auto idx = static_cast<std::size_t>(learner.active_candidate);
+            learner.energy_j[idx] += e;
+            learner.time_s[idx] += t;
+            ++learner.samples[idx];
+            static telemetry::Counter& samples = tuner_counter("tuner.online.samples");
+            samples.inc();
+        }
+        else {
+            // Counter wrap/reset mid-sample (delta clamped to zero by the
+            // probe) — a zero-energy sample would poison the EDP average.
+            static telemetry::Counter& discarded =
+                tuner_counter("tuner.online.samples_discarded");
+            discarded.inc();
+        }
     }
     if (learner.exploration_done(config_.samples_per_clock)) {
         learner.converged = true;

@@ -12,6 +12,12 @@
 /// Exploration costs a bounded, front-loaded overhead (candidate clocks
 /// worse than the optimum run a few times each); for 100-step production
 /// runs with 5 candidates and 2 samples the exploration window is 10 steps.
+///
+/// Samples are only attributed to a candidate when the clock write actually
+/// took effect on the measurement rank; failed or unverified sets discard
+/// the sample (counted in tuner.online.samples_discarded) and the candidate
+/// is re-queued, so clock-control faults delay convergence instead of
+/// corrupting the learned table.
 
 #include "core/clock_backend.hpp"
 #include "core/frequency_table.hpp"

@@ -1,5 +1,6 @@
 #include "nvmlsim/nvml.hpp"
 
+#include "faults/fault_injector.hpp"
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
@@ -36,6 +37,32 @@ gpusim::GpuDevice* resolve(nvmlDevice_t device)
 }
 
 bool initialized() { return state().init_refcount > 0; }
+
+unsigned int index_of(gpusim::GpuDevice* dev)
+{
+    const auto& devices = state().devices;
+    const auto it = std::find(devices.begin(), devices.end(), dev);
+    return static_cast<unsigned int>(it - devices.begin());
+}
+
+/// Map an injected fault verdict for a clock write onto the NVML error
+/// space.  Returns NVML_SUCCESS when the call should proceed normally;
+/// `proceed` is false when a stuck fault reported success without applying.
+nvmlReturn_t injected_clock_write_fault(faults::Op op, bool& proceed)
+{
+    proceed = true;
+    auto* injector = faults::active();
+    if (!injector) return NVML_SUCCESS;
+    switch (injector->decide(op)) {
+        case faults::Outcome::kNone: return NVML_SUCCESS;
+        case faults::Outcome::kTransientError: return NVML_ERROR_UNKNOWN;
+        case faults::Outcome::kPermissionDenied: return NVML_ERROR_NO_PERMISSION;
+        case faults::Outcome::kStuck:
+            proceed = false; // report success, leave the device untouched
+            return NVML_SUCCESS;
+    }
+    return NVML_SUCCESS;
+}
 
 } // namespace
 
@@ -181,6 +208,11 @@ nvmlReturn_t nvmlDeviceSetApplicationsClocks(nvmlDevice_t device, unsigned int m
     if (graphics_mhz < spec.min_compute_mhz || graphics_mhz > spec.max_compute_mhz) {
         return NVML_ERROR_INVALID_ARGUMENT;
     }
+    bool proceed = true;
+    const nvmlReturn_t injected =
+        injected_clock_write_fault(faults::Op::kClockSet, proceed);
+    if (injected != NVML_SUCCESS) return injected;
+    if (!proceed) return NVML_SUCCESS; // stuck: reported OK, clocks unchanged
     dev->set_application_clocks(static_cast<double>(mem_mhz),
                                 static_cast<double>(graphics_mhz));
     return NVML_SUCCESS;
@@ -194,6 +226,11 @@ nvmlReturn_t nvmlDeviceResetApplicationsClocks(nvmlDevice_t device)
     auto* dev = resolve(device);
     if (!dev) return NVML_ERROR_INVALID_ARGUMENT;
     if (!state().user_clocks_allowed) return NVML_ERROR_NO_PERMISSION;
+    bool proceed = true;
+    const nvmlReturn_t injected =
+        injected_clock_write_fault(faults::Op::kClockReset, proceed);
+    if (injected != NVML_SUCCESS) return injected;
+    if (!proceed) return NVML_SUCCESS;
     dev->reset_application_clocks();
     return NVML_SUCCESS;
 }
@@ -257,7 +294,12 @@ nvmlReturn_t nvmlDeviceGetTotalEnergyConsumption(nvmlDevice_t device,
     if (!initialized()) return NVML_ERROR_UNINITIALIZED;
     auto* dev = resolve(device);
     if (!dev || !millijoules) return NVML_ERROR_INVALID_ARGUMENT;
-    *millijoules = static_cast<unsigned long long>(std::llround(dev->energy_j() * 1000.0));
+    unsigned long long mj =
+        static_cast<unsigned long long>(std::llround(dev->energy_j() * 1000.0));
+    if (auto* injector = faults::active()) {
+        mj = injector->transform_energy(faults::EnergyDomain::kNvml, index_of(dev), mj);
+    }
+    *millijoules = mj;
     return NVML_SUCCESS;
 }
 

@@ -23,6 +23,18 @@ void count_read()
     reads.inc();
 }
 
+/// Negative delta = the underlying cumulative counter went backwards (wrap
+/// or reset between the two reads).  Clamp to zero and count it; callers
+/// that care (the online tuner) discard zero-delta samples.
+double clamped_delta(double delta)
+{
+    if (delta >= 0.0) return delta;
+    static telemetry::Counter& wraps =
+        telemetry::MetricsRegistry::global().counter("pmt.counter_wraps");
+    wraps.inc();
+    return 0.0;
+}
+
 class NvmlPmt final : public Pmt {
 public:
     explicit NvmlPmt(unsigned int device_index) : index_(device_index)
@@ -181,6 +193,22 @@ private:
 };
 
 } // namespace
+
+double Pmt::seconds(const State& first, const State& second)
+{
+    return clamped_delta(second.timestamp_s - first.timestamp_s);
+}
+
+double Pmt::joules(const State& first, const State& second)
+{
+    return clamped_delta(second.joules - first.joules);
+}
+
+double Pmt::watts(const State& first, const State& second)
+{
+    const double dt = seconds(first, second);
+    return dt > 0.0 ? joules(first, second) / dt : 0.0;
+}
 
 std::unique_ptr<Pmt> CreateNvml(unsigned int device_index)
 {

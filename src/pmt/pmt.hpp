@@ -43,19 +43,14 @@ public:
     virtual State Read() const = 0;
     virtual std::string name() const = 0;
 
-    static double seconds(const State& first, const State& second)
-    {
-        return second.timestamp_s - first.timestamp_s;
-    }
-    static double joules(const State& first, const State& second)
-    {
-        return second.joules - first.joules;
-    }
-    static double watts(const State& first, const State& second)
-    {
-        const double dt = seconds(first, second);
-        return dt > 0.0 ? joules(first, second) / dt : 0.0;
-    }
+    /// Delta helpers clamp negative differences to zero: hardware energy
+    /// counters wrap (NVML's is 32-bit millijoules on some parts) or reset
+    /// on driver restart, and a naive delta would go hugely negative.
+    /// Clamped deltas are counted in the pmt.counter_wraps telemetry
+    /// counter so affected samples can be discarded upstream.
+    static double seconds(const State& first, const State& second);
+    static double joules(const State& first, const State& second);
+    static double watts(const State& first, const State& second);
 };
 
 /// GPU sensor through the NVML API; `device_index` is the NVML enumeration

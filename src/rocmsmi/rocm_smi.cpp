@@ -1,5 +1,6 @@
 #include "rocmsmi/rocm_smi.hpp"
 
+#include "faults/fault_injector.hpp"
 #include "util/units.hpp"
 
 #include <algorithm>
@@ -60,6 +61,24 @@ rsmi_frequencies_t table_for(const gpusim::GpuDeviceSpec& spec, double current_m
     }
     out.current = best;
     return out;
+}
+
+/// rocm_smi face of the injected clock-write faults (same verdict space as
+/// the NVML facade, mapped onto rsmi status codes).
+rsmi_status_t injected_clock_write_fault(faults::Op op, bool& proceed)
+{
+    proceed = true;
+    auto* injector = faults::active();
+    if (!injector) return RSMI_STATUS_SUCCESS;
+    switch (injector->decide(op)) {
+        case faults::Outcome::kNone: return RSMI_STATUS_SUCCESS;
+        case faults::Outcome::kTransientError: return RSMI_STATUS_UNKNOWN_ERROR;
+        case faults::Outcome::kPermissionDenied: return RSMI_STATUS_PERMISSION;
+        case faults::Outcome::kStuck:
+            proceed = false;
+            return RSMI_STATUS_SUCCESS;
+    }
+    return RSMI_STATUS_SUCCESS;
 }
 
 } // namespace
@@ -126,7 +145,11 @@ rsmi_status_t rsmi_dev_energy_count_get(std::uint32_t dv_ind, std::uint64_t* cou
     if (!dev) return RSMI_STATUS_NOT_FOUND;
     if (!counter || !resolution || !timestamp_ns) return RSMI_STATUS_INVALID_ARGS;
     const double uj = dev->energy_j() * 1e6;
-    *counter = static_cast<std::uint64_t>(uj / kEnergyCounterResolutionUj);
+    std::uint64_t ticks = static_cast<std::uint64_t>(uj / kEnergyCounterResolutionUj);
+    if (auto* injector = faults::active()) {
+        ticks = injector->transform_energy(faults::EnergyDomain::kRocm, dv_ind, ticks);
+    }
+    *counter = ticks;
     *resolution = static_cast<float>(kEnergyCounterResolutionUj);
     *timestamp_ns = static_cast<std::uint64_t>(dev->now() * 1e9);
     return RSMI_STATUS_SUCCESS;
@@ -172,6 +195,11 @@ rsmi_status_t rsmi_dev_gpu_clk_freq_set(std::uint32_t dv_ind, rsmi_clk_type_t cl
         if (freq_bitmask & (1ULL << i)) highest = static_cast<int>(i);
     }
     if (highest < 0) return RSMI_STATUS_INVALID_ARGS;
+    bool proceed = true;
+    const rsmi_status_t injected =
+        injected_clock_write_fault(faults::Op::kClockSet, proceed);
+    if (injected != RSMI_STATUS_SUCCESS) return injected;
+    if (!proceed) return RSMI_STATUS_SUCCESS; // stuck: reported OK, unchanged
     const double cap_mhz =
         units::hz_to_mhz(static_cast<double>(table.frequency[highest]));
     dev->set_application_clocks(dev->memory_clock_mhz(), cap_mhz);
@@ -184,6 +212,11 @@ rsmi_status_t rsmi_dev_perf_level_set_auto(std::uint32_t dv_ind)
     auto* dev = device_at(dv_ind);
     if (!dev) return RSMI_STATUS_NOT_FOUND;
     if (!state().clock_writes_allowed) return RSMI_STATUS_PERMISSION;
+    bool proceed = true;
+    const rsmi_status_t injected =
+        injected_clock_write_fault(faults::Op::kClockReset, proceed);
+    if (injected != RSMI_STATUS_SUCCESS) return injected;
+    if (!proceed) return RSMI_STATUS_SUCCESS;
     dev->reset_application_clocks();
     return RSMI_STATUS_SUCCESS;
 }

@@ -30,6 +30,7 @@ enum rsmi_status_t {
     RSMI_STATUS_PERMISSION = 3,
     RSMI_STATUS_INIT_ERROR = 8,
     RSMI_STATUS_NOT_FOUND = 10,
+    RSMI_STATUS_UNKNOWN_ERROR = 0xFFFFFFFF, ///< transient library failure
 };
 
 enum rsmi_clk_type_t {

@@ -30,4 +30,7 @@ std::string to_lower(std::string s);
 /// True if `s` starts with `prefix`.
 bool starts_with(const std::string& s, const std::string& prefix);
 
+/// Copy with ASCII whitespace stripped from both ends.
+std::string trim(const std::string& s);
+
 } // namespace gsph::util

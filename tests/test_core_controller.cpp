@@ -164,9 +164,10 @@ TEST_F(AmdControllerFixture, RocmPermissionDenied)
 
 TEST(ClockBackend, VendorDispatch)
 {
-    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kNvidia, 1)->name(), "nvml");
-    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kAmd, 1)->name(), "rocm-smi");
-    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kIntel, 1)->name(), "nvml");
+    // make_clock_backend wraps every vendor path in the resilient layer.
+    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kNvidia, 1)->name(), "resilient(nvml)");
+    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kAmd, 1)->name(), "resilient(rocm-smi)");
+    EXPECT_EQ(make_clock_backend(gpusim::Vendor::kIntel, 1)->name(), "resilient(nvml)");
 }
 
 TEST(ClockBackend, StatusStrings)

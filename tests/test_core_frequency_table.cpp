@@ -59,6 +59,47 @@ TEST(FrequencyTable, ParseRejectsIncompleteTable)
                  std::invalid_argument);
 }
 
+TEST(FrequencyTable, SetRejectsNonFiniteClocks)
+{
+    FrequencyTable t(1410.0);
+    EXPECT_THROW(t.set(sph::SphFunction::kXMass, std::nan("")),
+                 std::invalid_argument);
+    EXPECT_THROW(t.set(sph::SphFunction::kXMass, HUGE_VAL), std::invalid_argument);
+}
+
+// Fuzz-style corruptions of a single row of an otherwise-valid table: every
+// one must be rejected with a contextualized (line-numbered) error rather
+// than accepted or escalated as a bare std::stod exception.
+TEST(FrequencyTable, ParseRejectsCorruptedClockValues)
+{
+    const std::string good = reference_a100_turbulence_table().serialize();
+    for (const char* bad_value : {"1005MHz", "nan", "inf", "-nan", "1e400", "-1005",
+                                  "0", "", " 1005 "}) {
+        std::string text = good;
+        const std::string needle = "XMass,1005";
+        const auto at = text.find(needle);
+        ASSERT_NE(at, std::string::npos);
+        text.replace(at, needle.size(), std::string("XMass,") + bad_value);
+        EXPECT_THROW(FrequencyTable::parse(text), std::invalid_argument)
+            << "value '" << bad_value << "' was accepted";
+        try {
+            FrequencyTable::parse(text);
+        }
+        catch (const std::invalid_argument& e) {
+            EXPECT_NE(std::string(e.what()).find("line "), std::string::npos)
+                << "error for '" << bad_value << "' lacks a line number: "
+                << e.what();
+        }
+    }
+}
+
+TEST(FrequencyTable, ParseRejectsDuplicateRows)
+{
+    std::string text = reference_a100_turbulence_table().serialize();
+    text += "XMass,1110\n"; // second binding for the same function
+    EXPECT_THROW(FrequencyTable::parse(text), std::invalid_argument);
+}
+
 TEST(FrequencyTable, ReferenceTableShape)
 {
     // The Fig. 2 shape: compute-bound pair kernels keep high clocks, light

@@ -5,6 +5,8 @@
 
 #include "core/online_tuner.hpp"
 #include "core/policy.hpp"
+#include "faults/fault_injector.hpp"
+#include "telemetry/metrics.hpp"
 
 #include "nvmlsim/nvml.hpp"
 
@@ -119,6 +121,78 @@ TEST(FailureInjection, ZeroJitterAndHugeJitterBothComplete)
     EXPECT_GT(r.makespan_s(), 0.0);
     // Collectives absorb the imbalance: both ranks end at the same time.
     EXPECT_GT(r.fn(sph::SphFunction::kTimestep).time_s, 0.0);
+}
+
+TEST(FailureInjection, OnlineTunerConvergesToSameTableUnderFaults)
+{
+    // 10% transient set failures plus one stuck episode: retry + read-back
+    // discard affected samples, so the learner converges later but to the
+    // SAME table the fault-free run learns.
+    core::OnlineTunerConfig tcfg;
+    tcfg.candidate_clocks = {1005.0, 1110.0, 1215.0, 1320.0, 1410.0};
+    tcfg.samples_per_clock = 2;
+    tcfg.warmup_calls = 1;
+
+    sim::RunConfig c = cfg();
+    c.n_steps = 30; // 11 calls/function needed + re-queue slack
+
+    auto clean = core::make_online_mandyn_policy(tcfg);
+    core::run_with_policy(sim::mini_hpc(), trace(), c, *clean);
+    ASSERT_TRUE(clean->all_converged());
+    const auto clean_table = clean->learned_table(1410.0);
+
+    telemetry::MetricsRegistry::global().reset();
+    faults::ScopedFaultInjection guard(
+        faults::FaultSpec::parse("transient-set:p=0.1;stuck:at=30,count=3"), 11);
+    auto faulty = core::make_online_mandyn_policy(tcfg);
+    core::run_with_policy(sim::mini_hpc(), trace(), c, *faulty);
+
+    EXPECT_TRUE(faulty->all_converged());
+    const auto faulty_table = faulty->learned_table(1410.0);
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto fn = static_cast<sph::SphFunction>(f);
+        EXPECT_DOUBLE_EQ(faulty_table.get(fn), clean_table.get(fn))
+            << sph::to_string(fn);
+    }
+
+    auto& registry = telemetry::MetricsRegistry::global();
+    EXPECT_GT(registry.value("clock.set_retries"), 0.0);
+    EXPECT_GT(registry.value("tuner.online.samples_discarded"), 0.0);
+    EXPECT_GT(registry.value("faults.injected.transient"), 0.0);
+}
+
+TEST(FailureInjection, StuckClockNeverMisattributesSamples)
+{
+    // Regression: every clock write reports success but the device never
+    // leaves its 1410 MHz default.  The learner must not book samples taken
+    // at 1410 against the 1005 candidate — before the discard fix it did,
+    // silently corrupting the table.
+    core::OnlineTunerConfig tcfg;
+    tcfg.candidate_clocks = {1005.0, 1410.0};
+    tcfg.samples_per_clock = 1;
+    tcfg.warmup_calls = 1;
+
+    telemetry::MetricsRegistry::global().reset();
+    faults::ScopedFaultInjection guard(
+        faults::FaultSpec::parse("stuck:at=0,count=1000000"), 1);
+    auto online = core::make_online_mandyn_policy(tcfg);
+    sim::RunConfig c = cfg();
+    c.n_steps = 10;
+    const auto r = core::run_with_policy(sim::mini_hpc(), trace(), c, *online);
+    EXPECT_GT(r.gpu_energy_j, 0.0);
+
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& learner = online->learner(static_cast<sph::SphFunction>(f));
+        if (learner.calls_seen == 0) continue;
+        // Candidate 0 (1005 MHz) never actually applied: zero samples.
+        EXPECT_EQ(learner.samples[0], 0)
+            << sph::to_string(static_cast<sph::SphFunction>(f));
+        // The function can only converge on data from clocks that held.
+        EXPECT_FALSE(learner.converged);
+    }
+    EXPECT_GT(telemetry::MetricsRegistry::global().value(
+                  "tuner.online.samples_discarded"),
+              0.0);
 }
 
 TEST(FailureInjection, SetupFreeRunStillAccountsSlurm)

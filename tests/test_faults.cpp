@@ -1,0 +1,165 @@
+#include "faults/fault_injector.hpp"
+
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace gsph::faults {
+namespace {
+
+TEST(FaultSpec, EmptyTextIsAllOff)
+{
+    const auto spec = FaultSpec::parse("");
+    EXPECT_FALSE(spec.any());
+    EXPECT_EQ(spec.describe(), "(none)");
+    EXPECT_FALSE(FaultSpec::parse("  \t ").any());
+}
+
+TEST(FaultSpec, ParsesFullGrammar)
+{
+    const auto spec = FaultSpec::parse(
+        "transient-set:p=0.1;perm-loss:after=5;stuck:at=3,count=2;"
+        "energy-wrap:p=0.01;slow:p=0.2,ms=5");
+    EXPECT_DOUBLE_EQ(spec.transient_set_p, 0.1);
+    EXPECT_EQ(spec.perm_lose_after, 5);
+    EXPECT_EQ(spec.stuck_at, 3);
+    EXPECT_EQ(spec.stuck_count, 2);
+    EXPECT_DOUBLE_EQ(spec.energy_reset_p, 0.01);
+    EXPECT_DOUBLE_EQ(spec.slow_p, 0.2);
+    EXPECT_DOUBLE_EQ(spec.slow_ms, 5.0);
+    EXPECT_TRUE(spec.any());
+}
+
+TEST(FaultSpec, DefaultsAndWhitespace)
+{
+    const auto spec = FaultSpec::parse(" stuck:at=7 ; slow:p=0.5 ");
+    EXPECT_EQ(spec.stuck_at, 7);
+    EXPECT_EQ(spec.stuck_count, 1);   // count defaults to 1
+    EXPECT_DOUBLE_EQ(spec.slow_ms, 1.0); // ms defaults to 1
+}
+
+TEST(FaultSpec, RejectsMalformedInput)
+{
+    EXPECT_THROW(FaultSpec::parse("cosmic-ray:p=1"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set:p=1.5"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set:p=-0.1"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set:p=abc"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set:p=0.1x"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("transient-set:p=nan"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("perm-loss:after=-1"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("stuck:at=3,count=0"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("stuck:at=3,weird=1"), std::invalid_argument);
+    EXPECT_THROW(FaultSpec::parse("stuck:at"), std::invalid_argument);
+}
+
+TEST(FaultSpec, DescribeRoundTrips)
+{
+    const auto spec = FaultSpec::parse(
+        "transient-set:p=0.25;perm-loss:after=9;stuck:at=4,count=3");
+    const auto again = FaultSpec::parse(spec.describe());
+    EXPECT_DOUBLE_EQ(again.transient_set_p, spec.transient_set_p);
+    EXPECT_EQ(again.perm_lose_after, spec.perm_lose_after);
+    EXPECT_EQ(again.stuck_at, spec.stuck_at);
+    EXPECT_EQ(again.stuck_count, spec.stuck_count);
+}
+
+TEST(FaultInjector, SameSeedSameSequence)
+{
+    const auto spec = FaultSpec::parse("transient-set:p=0.3");
+    FaultInjector a(spec, 123);
+    FaultInjector b(spec, 123);
+    int transients = 0;
+    for (int i = 0; i < 200; ++i) {
+        const auto oa = a.decide(Op::kClockSet);
+        EXPECT_EQ(oa, b.decide(Op::kClockSet));
+        if (oa == Outcome::kTransientError) ++transients;
+    }
+    // ~60 expected at p=0.3; very loose bounds keep this seed-agnostic.
+    EXPECT_GT(transients, 20);
+    EXPECT_LT(transients, 120);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge)
+{
+    const auto spec = FaultSpec::parse("transient-set:p=0.5");
+    FaultInjector a(spec, 1);
+    FaultInjector b(spec, 2);
+    bool diverged = false;
+    for (int i = 0; i < 64 && !diverged; ++i) {
+        diverged = a.decide(Op::kClockSet) != b.decide(Op::kClockSet);
+    }
+    EXPECT_TRUE(diverged);
+}
+
+TEST(FaultInjector, PermLossSchedule)
+{
+    FaultInjector injector(FaultSpec::parse("perm-loss:after=3"), 1);
+    for (int i = 0; i < 3; ++i) {
+        EXPECT_EQ(injector.decide(Op::kClockSet), Outcome::kNone) << "call " << i;
+    }
+    for (int i = 0; i < 5; ++i) {
+        EXPECT_EQ(injector.decide(Op::kClockReset), Outcome::kPermissionDenied);
+    }
+    EXPECT_EQ(injector.clock_writes_seen(), 8);
+}
+
+TEST(FaultInjector, StuckWindow)
+{
+    FaultInjector injector(FaultSpec::parse("stuck:at=2,count=3"), 1);
+    const std::vector<Outcome> expected = {
+        Outcome::kNone,  Outcome::kNone,  Outcome::kStuck,
+        Outcome::kStuck, Outcome::kStuck, Outcome::kNone,
+    };
+    for (std::size_t i = 0; i < expected.size(); ++i) {
+        EXPECT_EQ(injector.decide(Op::kClockSet), expected[i]) << "call " << i;
+    }
+}
+
+TEST(FaultInjector, EnergyTransformPassThroughWhenOff)
+{
+    FaultInjector injector(FaultSpec{}, 1);
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kNvml, 0, 12345u), 12345u);
+}
+
+TEST(FaultInjector, EnergyResetRestartsNearZero)
+{
+    FaultInjector injector(FaultSpec::parse("energy-wrap:p=1"), 1);
+    // p=1: the counter resets on every read, so cumulative raw readings
+    // always come back rebased to the latest reset point (zero here).
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kNvml, 0, 1000u), 0u);
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kNvml, 0, 2500u), 0u);
+    // Separate domain/device keys carry independent offsets.
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kRocm, 0, 777u), 0u);
+}
+
+TEST(FaultInjector, EnergyOffsetPersistsAfterReset)
+{
+    // Force exactly one reset, then disable the draw by exhausting the
+    // window: easiest deterministic shape is p=1 for the first read only —
+    // emulate it with two injectors sharing the offset semantics.
+    FaultInjector injector(FaultSpec::parse("energy-wrap:p=1"), 1);
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kNvml, 0, 500u), 0u);
+    // A later *smaller* raw value (the device itself wrapped) never
+    // underflows: clamped at zero.
+    EXPECT_EQ(injector.transform_energy(EnergyDomain::kNvml, 0, 100u), 0u);
+}
+
+TEST(FaultInjector, ScopedInstallAndTelemetry)
+{
+    telemetry::MetricsRegistry::global().reset();
+    EXPECT_EQ(active(), nullptr);
+    {
+        ScopedFaultInjection guard(FaultSpec::parse("perm-loss:after=0"), 1);
+        ASSERT_EQ(active(), &guard.injector());
+        EXPECT_EQ(active()->decide(Op::kClockSet), Outcome::kPermissionDenied);
+    }
+    EXPECT_EQ(active(), nullptr);
+    EXPECT_GE(telemetry::MetricsRegistry::global().value("faults.injected.perm_denied"),
+              1.0);
+}
+
+} // namespace
+} // namespace gsph::faults

@@ -4,6 +4,7 @@
 #include "nvmlsim/nvml.hpp"
 #include "pmcounters/pm_counters.hpp"
 #include "rocmsmi/rocm_smi.hpp"
+#include "telemetry/metrics.hpp"
 
 #include <gtest/gtest.h>
 
@@ -26,6 +27,28 @@ TEST(PmtStateMath, ZeroDurationWattsIsZero)
 {
     const State a{10.0, 1000.0};
     EXPECT_DOUBLE_EQ(Pmt::watts(a, a), 0.0);
+}
+
+TEST(PmtStateMath, CounterWrapClampsToZeroAndCounts)
+{
+    telemetry::MetricsRegistry::global().reset();
+    // The cumulative counter reset between the two reads: the "after" state
+    // reports less energy than the "before" state.
+    const State before{10.0, 5000.0};
+    const State after{12.0, 40.0};
+    EXPECT_DOUBLE_EQ(Pmt::joules(before, after), 0.0);
+    EXPECT_DOUBLE_EQ(Pmt::watts(before, after), 0.0); // uses the clamped delta
+    EXPECT_GE(telemetry::MetricsRegistry::global().value("pmt.counter_wraps"), 1.0);
+}
+
+TEST(PmtStateMath, TimeGoingBackwardsClampsToZero)
+{
+    telemetry::MetricsRegistry::global().reset();
+    const State before{20.0, 1000.0};
+    const State after{15.0, 2000.0};
+    EXPECT_DOUBLE_EQ(Pmt::seconds(before, after), 0.0);
+    EXPECT_DOUBLE_EQ(Pmt::watts(before, after), 0.0); // dt = 0 guard
+    EXPECT_GE(telemetry::MetricsRegistry::global().value("pmt.counter_wraps"), 1.0);
 }
 
 TEST(PmtDummy, AlwaysZero)

@@ -1,0 +1,265 @@
+#include "core/clock_backend.hpp"
+
+#include "faults/fault_injector.hpp"
+#include "nvmlsim/nvml.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+namespace gsph::core {
+namespace {
+
+double metric(const char* name)
+{
+    return telemetry::MetricsRegistry::global().value(name);
+}
+
+/// Scripted inner backend: returns the next status from `script` on each
+/// set (kOk once the script runs out) and models a device clock register so
+/// read-back verification can be exercised.
+class ScriptedBackend final : public ClockBackend {
+public:
+    std::vector<ClockStatus> script;
+    std::size_t set_calls = 0;
+    int reset_calls = 0;
+    ClockStatus reset_status = ClockStatus::kOk;
+    double device_mhz = -1.0; ///< < 0: no read-back support (kUnavailable)
+    bool apply_on_ok = true;  ///< false models a stuck clock
+
+    ClockStatus set_cap_mhz(int /*rank*/, double mhz) override
+    {
+        const ClockStatus status =
+            set_calls < script.size() ? script[set_calls] : ClockStatus::kOk;
+        ++set_calls;
+        if (status == ClockStatus::kOk && apply_on_ok) device_mhz = mhz;
+        return status;
+    }
+
+    ClockStatus reset(int /*rank*/) override
+    {
+        ++reset_calls;
+        return reset_status;
+    }
+
+    ClockStatus get_cap_mhz(int /*rank*/, double* mhz) override
+    {
+        if (device_mhz < 0.0) return ClockStatus::kUnavailable;
+        *mhz = device_mhz;
+        return ClockStatus::kOk;
+    }
+
+    std::string name() const override { return "scripted"; }
+};
+
+struct Harness {
+    ScriptedBackend* inner; ///< owned by `wrapped`
+    std::unique_ptr<ClockBackend> wrapped;
+};
+
+Harness make_harness(std::vector<ClockStatus> script, ResilienceConfig config = {})
+{
+    auto owned = std::make_unique<ScriptedBackend>();
+    owned->script = std::move(script);
+    Harness h;
+    h.inner = owned.get();
+    h.wrapped = make_resilient_clock_backend(std::move(owned), config);
+    return h;
+}
+
+TEST(ResilientBackend, RejectsBadConstruction)
+{
+    EXPECT_THROW(make_resilient_clock_backend(nullptr), std::invalid_argument);
+    ResilienceConfig bad;
+    bad.max_attempts = 0;
+    EXPECT_THROW(make_resilient_clock_backend(std::make_unique<ScriptedBackend>(), bad),
+                 std::invalid_argument);
+    bad = {};
+    bad.degrade_after = 0;
+    EXPECT_THROW(make_resilient_clock_backend(std::make_unique<ScriptedBackend>(), bad),
+                 std::invalid_argument);
+}
+
+TEST(ResilientBackend, NameWrapsInner)
+{
+    auto h = make_harness({});
+    EXPECT_EQ(h.wrapped->name(), "resilient(scripted)");
+}
+
+TEST(ResilientBackend, TransientFailureRetriedToSuccess)
+{
+    telemetry::MetricsRegistry::global().reset();
+    auto h = make_harness({ClockStatus::kUnavailable, ClockStatus::kOk});
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kOk);
+    EXPECT_EQ(h.inner->set_calls, 2u);
+    EXPECT_DOUBLE_EQ(h.inner->device_mhz, 1200.0);
+    EXPECT_DOUBLE_EQ(metric("clock.set_retries"), 1.0);
+    EXPECT_DOUBLE_EQ(metric("clock.set_failures"), 0.0);
+}
+
+TEST(ResilientBackend, GivesUpAfterMaxAttempts)
+{
+    telemetry::MetricsRegistry::global().reset();
+    auto h = make_harness({ClockStatus::kUnavailable, ClockStatus::kUnavailable,
+                           ClockStatus::kUnavailable, ClockStatus::kOk});
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kUnavailable);
+    EXPECT_EQ(h.inner->set_calls, 3u); // max_attempts default
+    EXPECT_DOUBLE_EQ(metric("clock.set_retries"), 2.0);
+    EXPECT_DOUBLE_EQ(metric("clock.set_failures"), 1.0);
+}
+
+TEST(ResilientBackend, VerificationCatchesStuckClock)
+{
+    telemetry::MetricsRegistry::global().reset();
+    auto h = make_harness({});
+    h.inner->apply_on_ok = false; // set reports OK, register never moves
+    h.inner->device_mhz = 1410.0;
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1005.0), ClockStatus::kVerifyFailed);
+    EXPECT_EQ(h.inner->set_calls, 3u); // every attempt verified and failed
+    EXPECT_DOUBLE_EQ(metric("clock.verify_mismatches"), 3.0);
+    EXPECT_DOUBLE_EQ(metric("clock.set_failures"), 1.0);
+}
+
+TEST(ResilientBackend, VerificationTolerantOfQuantization)
+{
+    auto h = make_harness({});
+    h.inner->apply_on_ok = false;
+    h.inner->device_mhz = 1010.0; // within 26 MHz of the request
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1005.0), ClockStatus::kOk);
+}
+
+TEST(ResilientBackend, VerificationSkippedWithoutReadBack)
+{
+    // rocm_smi has no configured-cap query: get_cap_mhz is kUnavailable and
+    // a reported-OK set is trusted.
+    auto h = make_harness({});
+    h.inner->apply_on_ok = false;
+    h.inner->device_mhz = -1.0;
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1005.0), ClockStatus::kOk);
+    EXPECT_EQ(h.inner->set_calls, 1u);
+}
+
+TEST(ResilientBackend, VerificationCanBeDisabled)
+{
+    ResilienceConfig config;
+    config.verify_readback = false;
+    auto h = make_harness({}, config);
+    h.inner->apply_on_ok = false;
+    h.inner->device_mhz = 1410.0;
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1005.0), ClockStatus::kOk);
+}
+
+TEST(ResilientBackend, InvalidArgumentNotRetried)
+{
+    telemetry::MetricsRegistry::global().reset();
+    auto h = make_harness({ClockStatus::kInvalidArgument});
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, -5.0), ClockStatus::kInvalidArgument);
+    EXPECT_EQ(h.inner->set_calls, 1u);
+    EXPECT_DOUBLE_EQ(metric("clock.set_retries"), 0.0);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(-1, 1000.0), ClockStatus::kInvalidArgument);
+    EXPECT_EQ(h.inner->set_calls, 1u); // negative rank never reaches inner
+}
+
+TEST(ResilientBackend, PermissionFailuresLatchDegradedMode)
+{
+    telemetry::MetricsRegistry::global().reset();
+    ResilienceConfig config;
+    config.degrade_after = 2;
+    auto h = make_harness(
+        {ClockStatus::kPermissionDenied, ClockStatus::kPermissionDenied}, config);
+
+    // Permission errors are not retried within a call...
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_EQ(h.inner->set_calls, 1u);
+    EXPECT_DOUBLE_EQ(metric("clock.degraded_ranks"), 0.0);
+
+    // ...and the second consecutive one latches the rank.
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_DOUBLE_EQ(metric("clock.degraded_ranks"), 1.0);
+
+    // Latched: the inner backend is no longer touched.
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_EQ(h.inner->set_calls, 2u);
+    EXPECT_DOUBLE_EQ(metric("clock.set_failures"), 3.0);
+}
+
+TEST(ResilientBackend, DegradationIsPerRank)
+{
+    ResilienceConfig config;
+    config.degrade_after = 1;
+    auto h = make_harness({ClockStatus::kPermissionDenied}, config);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    // Rank 1 is unaffected by rank 0's latch (script exhausted: inner OK).
+    EXPECT_EQ(h.wrapped->set_cap_mhz(1, 1200.0), ClockStatus::kOk);
+}
+
+TEST(ResilientBackend, SuccessfulResetClearsLatch)
+{
+    ResilienceConfig config;
+    config.degrade_after = 1;
+    auto h = make_harness({ClockStatus::kPermissionDenied}, config);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_EQ(h.wrapped->reset(0), ClockStatus::kOk);
+    EXPECT_EQ(h.inner->reset_calls, 1);
+    // Permission re-granted (script exhausted): sets work again.
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kOk);
+}
+
+TEST(ResilientBackend, OkClearsConsecutivePermissionCount)
+{
+    ResilienceConfig config;
+    config.degrade_after = 2;
+    auto h = make_harness({ClockStatus::kPermissionDenied, ClockStatus::kOk,
+                           ClockStatus::kPermissionDenied}, config);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kOk);
+    // The counter restarted: this perm failure is the first of a new streak.
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kPermissionDenied);
+    EXPECT_EQ(h.wrapped->set_cap_mhz(0, 1200.0), ClockStatus::kOk);
+}
+
+// --- integration: resilient NVML path under injected faults ----------------
+
+TEST(ResilientBackend, NvmlStuckFaultDetectedByReadBack)
+{
+    telemetry::MetricsRegistry::global().reset();
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g(), 0);
+    nvmlsim::ScopedNvmlBinding binding({&dev}, /*allow_user_clocks=*/true);
+    faults::ScopedFaultInjection guard(
+        faults::FaultSpec::parse("stuck:at=0,count=100"), 1);
+
+    auto backend = make_resilient_clock_backend(make_nvml_clock_backend(1));
+    // Device boots at its default 1410 MHz; the stuck facade accepts the set
+    // but never moves the register, and read-back catches it.
+    EXPECT_EQ(backend->set_cap_mhz(0, 1005.0), ClockStatus::kVerifyFailed);
+    EXPECT_DOUBLE_EQ(dev.application_clock_mhz(), 1410.0);
+    EXPECT_GE(metric("clock.verify_mismatches"), 1.0);
+
+    // Re-setting the clock the device already holds verifies clean even
+    // while stuck (read-back equals the target).
+    EXPECT_EQ(backend->set_cap_mhz(0, 1410.0), ClockStatus::kOk);
+}
+
+TEST(ResilientBackend, NvmlTransientFaultRetriedToSuccess)
+{
+    telemetry::MetricsRegistry::global().reset();
+    gpusim::GpuDevice dev(gpusim::a100_sxm4_80g(), 0);
+    nvmlsim::ScopedNvmlBinding binding({&dev}, /*allow_user_clocks=*/true);
+    // perm-loss/stuck off; 50% transient errors: with 3 attempts per call a
+    // run of sets at distinct clocks almost surely lands them all.
+    faults::ScopedFaultInjection guard(
+        faults::FaultSpec::parse("transient-set:p=0.5"), 3);
+
+    auto backend = make_resilient_clock_backend(make_nvml_clock_backend(1));
+    int ok = 0;
+    for (double mhz : {1005.0, 1110.0, 1215.0, 1320.0, 1410.0}) {
+        if (backend->set_cap_mhz(0, mhz) == ClockStatus::kOk) ++ok;
+    }
+    EXPECT_GE(ok, 4); // p(all-3-attempts-fail) = 0.125 per call
+    EXPECT_GE(metric("clock.set_retries"), 1.0);
+}
+
+} // namespace
+} // namespace gsph::core

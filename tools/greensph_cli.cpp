@@ -28,8 +28,15 @@
 ///   --summary-json FILE  write the machine-readable run summary
 ///   --log-level LEVEL  debug|info|warn|error|off          (warn)
 ///   --log-filter STR   only log components containing STR
+///   --fault-spec SPEC  inject management-library faults; SPEC is
+///                      class:key=value[,key=value][;class:...] with classes
+///                      transient-set:p=P, perm-loss:after=N,
+///                      stuck:at=N[,count=M], energy-wrap:p=P,
+///                      slow:p=P[,ms=T]   (see faults/fault_injector.hpp)
+///   --fault-seed N     RNG seed for fault draws               (42)
 
 #include "core/online_tuner.hpp"
+#include "faults/fault_injector.hpp"
 #include "core/pareto.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
@@ -43,6 +50,7 @@
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
+#include <cstdint>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -73,6 +81,8 @@ struct Options {
     std::string summary_json;
     std::string log_level;
     std::string log_filter;
+    std::string fault_spec;
+    std::uint64_t fault_seed = 42;
 };
 
 void usage()
@@ -84,7 +94,11 @@ void usage()
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
-              << "  --log-level debug|info|warn|error|off --log-filter STR\n";
+              << "  --log-level debug|info|warn|error|off --log-filter STR\n"
+              << "  --fault-spec 'class:key=value[;class:...]' --fault-seed N\n"
+              << "    fault classes: transient-set:p=P  perm-loss:after=N\n"
+              << "                   stuck:at=N[,count=M]  energy-wrap:p=P\n"
+              << "                   slow:p=P[,ms=T]\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -114,6 +128,8 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--summary-json") opt.summary_json = next();
         else if (key == "--log-level") opt.log_level = next();
         else if (key == "--log-filter") opt.log_filter = next();
+        else if (key == "--fault-spec") opt.fault_spec = next();
+        else if (key == "--fault-seed") opt.fault_seed = std::stoull(next());
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
@@ -153,7 +169,22 @@ telemetry::Json config_echo(const Options& opt)
     config["threads"] = opt.threads;
     config["nside"] = opt.nside;
     config["particles_per_gpu"] = opt.particles_per_gpu;
+    if (!opt.fault_spec.empty()) {
+        config["fault_spec"] = opt.fault_spec;
+        config["fault_seed"] = static_cast<std::size_t>(opt.fault_seed);
+    }
     return config;
+}
+
+/// Install the --fault-spec injector for the duration of a command (the
+/// returned guard must outlive the run).  Nullptr when injection is off.
+std::unique_ptr<faults::ScopedFaultInjection> install_faults(const Options& opt)
+{
+    if (opt.fault_spec.empty()) return nullptr;
+    const auto spec = faults::FaultSpec::parse(opt.fault_spec);
+    std::cout << "Fault injection: " << spec.describe() << " (seed " << opt.fault_seed
+              << ")\n";
+    return std::make_unique<faults::ScopedFaultInjection>(spec, opt.fault_seed);
 }
 
 sim::WorkloadTrace load_or_record(const Options& opt)
@@ -233,6 +264,7 @@ tuning::Objective objective_from(const std::string& name)
 int cmd_tune(const Options& opt)
 {
     telemetry::MetricsRegistry::global().reset();
+    const auto faults_guard = install_faults(opt);
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
     const auto sweep = tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
@@ -264,6 +296,7 @@ int cmd_tune(const Options& opt)
 int cmd_run(const Options& opt)
 {
     telemetry::MetricsRegistry::global().reset();
+    const auto faults_guard = install_faults(opt);
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
 
