@@ -1,0 +1,301 @@
+#include "checkpoint/state.hpp"
+
+#include "util/checksum.hpp"
+
+#include <cstring>
+
+namespace gsph::checkpoint {
+
+namespace {
+
+bool plain_byte(unsigned char c)
+{
+    return c > 0x20 && c < 0x7F && c != '%' && c != '=';
+}
+
+std::string encode_str(std::string_view value)
+{
+    static const char* kHex = "0123456789abcdef";
+    std::string out;
+    out.reserve(value.size());
+    for (const char ch : value) {
+        const auto byte = static_cast<unsigned char>(ch);
+        if (plain_byte(byte) || byte == ' ') {
+            // Spaces are legal inside scalar string values (vectors encode
+            // their own separators before this point is reached).
+            out.push_back(ch);
+        } else {
+            out.push_back('%');
+            out.push_back(kHex[byte >> 4]);
+            out.push_back(kHex[byte & 0xF]);
+        }
+    }
+    return out;
+}
+
+int hex_nibble(char c)
+{
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+    return -1;
+}
+
+std::vector<std::string_view> split_spaces(std::string_view text)
+{
+    std::vector<std::string_view> out;
+    std::size_t pos = 0;
+    while (pos < text.size()) {
+        const std::size_t next = text.find(' ', pos);
+        if (next == std::string_view::npos) {
+            out.push_back(text.substr(pos));
+            break;
+        }
+        out.push_back(text.substr(pos, next - pos));
+        pos = next + 1;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string encode_f64(double value)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(value));
+    std::memcpy(&bits, &value, sizeof(bits));
+    return "x" + util::hex64(bits);
+}
+
+double decode_f64(std::string_view text)
+{
+    if (text.size() != 17 || text[0] != 'x') {
+        throw CheckpointError("malformed f64 encoding '" + std::string(text) + "'");
+    }
+    std::uint64_t bits = 0;
+    for (std::size_t i = 1; i < text.size(); ++i) {
+        const int nib = hex_nibble(text[i]);
+        if (nib < 0) {
+            throw CheckpointError("malformed f64 encoding '" + std::string(text) + "'");
+        }
+        bits = (bits << 4) | static_cast<std::uint64_t>(nib);
+    }
+    double value = 0.0;
+    std::memcpy(&value, &bits, sizeof(value));
+    return value;
+}
+
+void StateWriter::put_raw(std::string_view key, std::string_view encoded)
+{
+    out_.append(key);
+    out_.push_back('=');
+    out_.append(encoded);
+    out_.push_back('\n');
+}
+
+void StateWriter::put_f64(std::string_view key, double value)
+{
+    put_raw(key, encode_f64(value));
+}
+
+void StateWriter::put_i64(std::string_view key, std::int64_t value)
+{
+    put_raw(key, std::to_string(value));
+}
+
+void StateWriter::put_u64(std::string_view key, std::uint64_t value)
+{
+    put_raw(key, std::to_string(value));
+}
+
+void StateWriter::put_bool(std::string_view key, bool value)
+{
+    put_raw(key, value ? "1" : "0");
+}
+
+void StateWriter::put_str(std::string_view key, std::string_view value)
+{
+    put_raw(key, encode_str(value));
+}
+
+void StateWriter::put_f64_vec(std::string_view key, const std::vector<double>& values)
+{
+    std::string encoded;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) encoded.push_back(' ');
+        encoded += encode_f64(values[i]);
+    }
+    put_raw(key, encoded);
+}
+
+void StateWriter::put_u64_vec(std::string_view key,
+                              const std::vector<std::uint64_t>& values)
+{
+    std::string encoded;
+    for (std::size_t i = 0; i < values.size(); ++i) {
+        if (i) encoded.push_back(' ');
+        encoded += std::to_string(values[i]);
+    }
+    put_raw(key, encoded);
+}
+
+StateReader::StateReader(std::string_view section, std::string_view payload)
+    : section_(section)
+{
+    std::size_t line_no = 0;
+    std::size_t pos = 0;
+    while (pos < payload.size()) {
+        ++line_no;
+        std::size_t end = payload.find('\n', pos);
+        if (end == std::string_view::npos) end = payload.size();
+        const std::string_view line = payload.substr(pos, end - pos);
+        pos = end + 1;
+        if (line.empty()) continue;
+        const std::size_t eq = line.find('=');
+        if (eq == std::string_view::npos) {
+            throw CheckpointError("section '" + section_ + "' line " +
+                                  std::to_string(line_no) + ": missing '='");
+        }
+        std::string key(line.substr(0, eq));
+        if (values_.count(key)) {
+            throw CheckpointError("section '" + section_ + "' line " +
+                                  std::to_string(line_no) + ": duplicate key '" +
+                                  key + "'");
+        }
+        order_.push_back(key);
+        values_.emplace(std::move(key), std::string(line.substr(eq + 1)));
+    }
+}
+
+void StateReader::fail(std::string_view key, const std::string& why) const
+{
+    throw CheckpointError("section '" + section_ + "' key '" + std::string(key) +
+                          "': " + why);
+}
+
+const std::string& StateReader::raw(std::string_view key) const
+{
+    const auto it = values_.find(std::string(key));
+    if (it == values_.end()) fail(key, "missing");
+    return it->second;
+}
+
+bool StateReader::has(std::string_view key) const
+{
+    return values_.count(std::string(key)) != 0;
+}
+
+double StateReader::get_f64(std::string_view key) const
+{
+    try {
+        return decode_f64(raw(key));
+    } catch (const CheckpointError& err) {
+        fail(key, err.what());
+    }
+}
+
+std::int64_t StateReader::get_i64(std::string_view key) const
+{
+    const std::string& text = raw(key);
+    try {
+        std::size_t used = 0;
+        const long long value = std::stoll(text, &used);
+        if (used != text.size()) throw std::invalid_argument("trailing bytes");
+        return value;
+    } catch (const std::exception&) {
+        fail(key, "malformed integer '" + text + "'");
+    }
+}
+
+std::uint64_t StateReader::get_u64(std::string_view key) const
+{
+    const std::string& text = raw(key);
+    try {
+        if (!text.empty() && text[0] == '-') throw std::invalid_argument("negative");
+        std::size_t used = 0;
+        const unsigned long long value = std::stoull(text, &used);
+        if (used != text.size()) throw std::invalid_argument("trailing bytes");
+        return value;
+    } catch (const std::exception&) {
+        fail(key, "malformed unsigned integer '" + text + "'");
+    }
+}
+
+bool StateReader::get_bool(std::string_view key) const
+{
+    const std::string& text = raw(key);
+    if (text == "1") return true;
+    if (text == "0") return false;
+    fail(key, "malformed bool '" + text + "'");
+}
+
+std::string StateReader::get_str(std::string_view key) const
+{
+    const std::string& text = raw(key);
+    std::string out;
+    out.reserve(text.size());
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        if (text[i] != '%') {
+            out.push_back(text[i]);
+            continue;
+        }
+        if (i + 2 >= text.size()) fail(key, "truncated percent escape");
+        const int hi = hex_nibble(text[i + 1]);
+        const int lo = hex_nibble(text[i + 2]);
+        if (hi < 0 || lo < 0) fail(key, "malformed percent escape");
+        out.push_back(static_cast<char>((hi << 4) | lo));
+        i += 2;
+    }
+    return out;
+}
+
+std::vector<double> StateReader::get_f64_vec(std::string_view key) const
+{
+    std::vector<double> out;
+    const std::string& text = raw(key);
+    if (text.empty()) return out;
+    for (const std::string_view item : split_spaces(text)) {
+        try {
+            out.push_back(decode_f64(item));
+        } catch (const CheckpointError& err) {
+            fail(key, err.what());
+        }
+    }
+    return out;
+}
+
+std::vector<std::uint64_t> StateReader::get_u64_vec(std::string_view key) const
+{
+    std::vector<std::uint64_t> out;
+    const std::string& text = raw(key);
+    if (text.empty()) return out;
+    for (const std::string_view item : split_spaces(text)) {
+        try {
+            std::size_t used = 0;
+            const std::string token(item);
+            if (!token.empty() && token[0] == '-') {
+                throw std::invalid_argument("negative");
+            }
+            const unsigned long long value = std::stoull(token, &used);
+            if (used != token.size()) throw std::invalid_argument("trailing bytes");
+            out.push_back(value);
+        } catch (const std::exception&) {
+            fail(key, "malformed unsigned integer '" + std::string(item) + "'");
+        }
+    }
+    return out;
+}
+
+std::vector<std::string> StateReader::keys_with_prefix(std::string_view prefix) const
+{
+    std::vector<std::string> out;
+    for (const std::string& key : order_) {
+        if (key.size() >= prefix.size() &&
+            std::string_view(key).substr(0, prefix.size()) == prefix) {
+            out.push_back(key);
+        }
+    }
+    return out;
+}
+
+} // namespace gsph::checkpoint

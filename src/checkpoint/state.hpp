@@ -1,0 +1,92 @@
+#pragma once
+/// \file state.hpp
+/// \brief Key/value state serialization for checkpoint sections.
+///
+/// Checkpoint sections are line-oriented `key=value` text.  The format is
+/// deliberately boring: it diffs well, survives partial human inspection,
+/// and — critically — round-trips floating point *bit-exactly*.  Doubles
+/// are stored as the raw 64-bit pattern in hex (`x3fe0000000000000`), not
+/// as decimal text, because the whole point of the checkpoint subsystem is
+/// that a resumed run replays the remaining steps to bit-identical energy
+/// totals; a single ULP lost in decimal round-trip would defeat that.
+///
+/// Keys are dotted paths (`gpu.3.energy_j`).  Values:
+///   * f64      -> `x` + 16 lower-case hex digits of the IEEE-754 pattern
+///                 (NaN payloads, -0.0 and denormals survive unchanged)
+///   * i64/u64  -> decimal
+///   * bool     -> `0` / `1`
+///   * string   -> percent-encoded (bytes outside printable ASCII, plus
+///                 `%`, `=` and newline, become `%XX`)
+///   * f64/u64 vectors -> space-separated scalar encodings on one line
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace gsph::checkpoint {
+
+/// Raised by StateReader / checkpoint I/O on any malformed, missing or
+/// mismatching state.  The message always names the offending section, key
+/// or file so operators can see exactly which line of a checkpoint is bad.
+class CheckpointError : public std::runtime_error {
+public:
+    explicit CheckpointError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Serializes one section's state as ordered `key=value` lines.
+class StateWriter {
+public:
+    void put_f64(std::string_view key, double value);
+    void put_i64(std::string_view key, std::int64_t value);
+    void put_u64(std::string_view key, std::uint64_t value);
+    void put_bool(std::string_view key, bool value);
+    void put_str(std::string_view key, std::string_view value);
+    void put_f64_vec(std::string_view key, const std::vector<double>& values);
+    void put_u64_vec(std::string_view key, const std::vector<std::uint64_t>& values);
+
+    /// The serialized section payload.
+    const std::string& str() const { return out_; }
+
+private:
+    void put_raw(std::string_view key, std::string_view encoded);
+    std::string out_;
+};
+
+/// Parses and validates a section payload written by StateWriter.  All
+/// getters throw CheckpointError naming the key on a missing entry or a
+/// malformed value.
+class StateReader {
+public:
+    /// \param section  used only for error messages ("section 'gpu.0': ...").
+    StateReader(std::string_view section, std::string_view payload);
+
+    bool has(std::string_view key) const;
+    double get_f64(std::string_view key) const;
+    std::int64_t get_i64(std::string_view key) const;
+    std::uint64_t get_u64(std::string_view key) const;
+    bool get_bool(std::string_view key) const;
+    std::string get_str(std::string_view key) const;
+    std::vector<double> get_f64_vec(std::string_view key) const;
+    std::vector<std::uint64_t> get_u64_vec(std::string_view key) const;
+
+    /// All keys starting with `prefix`, in file order.  Used to restore
+    /// variable-size maps (fault energy offsets, tuner learners).
+    std::vector<std::string> keys_with_prefix(std::string_view prefix) const;
+
+private:
+    const std::string& raw(std::string_view key) const;
+    [[noreturn]] void fail(std::string_view key, const std::string& why) const;
+
+    std::string section_;
+    std::vector<std::string> order_;
+    std::unordered_map<std::string, std::string> values_;
+};
+
+/// Bit-exact double <-> hex helpers (shared with tests).
+std::string encode_f64(double value);
+double decode_f64(std::string_view text); ///< throws CheckpointError
+
+} // namespace gsph::checkpoint

@@ -25,6 +25,10 @@ ClockStatus ClockBackend::get_cap_mhz(int /*rank*/, double* /*mhz*/)
     return ClockStatus::kUnavailable;
 }
 
+void ClockBackend::save_state(checkpoint::StateWriter& /*writer*/) const {}
+
+void ClockBackend::restore_state(const checkpoint::StateReader& /*reader*/) {}
+
 namespace {
 
 class NvmlClockBackend final : public ClockBackend {

@@ -9,6 +9,7 @@
 /// through rocm_smi frequency-level bitmasks, and Intel-class devices (no
 /// vendor facade modelled yet) through the device API directly.
 
+#include "checkpoint/state.hpp"
 #include "gpusim/device_spec.hpp"
 
 #include <memory>
@@ -42,6 +43,13 @@ public:
     /// (rocm_smi exposes levels, not the configured cap) skip verification.
     virtual ClockStatus get_cap_mhz(int rank, double* mhz);
     virtual std::string name() const = 0;
+
+    /// Checkpoint hooks.  Vendor backends hold only lazily-resolved device
+    /// handles and save nothing (the default); the resilient wrapper
+    /// persists its per-rank degradation latches so a resumed run keeps the
+    /// same give-up/retry posture the interrupted run had reached.
+    virtual void save_state(checkpoint::StateWriter& writer) const;
+    virtual void restore_state(const checkpoint::StateReader& reader);
 };
 
 /// Retry / verification / degradation knobs for the resilient wrapper.

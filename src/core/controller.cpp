@@ -46,6 +46,29 @@ ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
     return status;
 }
 
+void FrequencyController::save_state(checkpoint::StateWriter& writer) const
+{
+    writer.put_f64_vec("controller.current_mhz", current_mhz_);
+    writer.put_i64("controller.backend_calls", backend_calls_);
+    writer.put_i64("controller.skipped_calls", skipped_calls_);
+    backend_->save_state(writer);
+}
+
+void FrequencyController::restore_state(const checkpoint::StateReader& reader)
+{
+    const auto mhz = reader.get_f64_vec("controller.current_mhz");
+    if (mhz.size() != current_mhz_.size()) {
+        throw checkpoint::CheckpointError(
+            "controller: current_mhz rank count mismatch (checkpoint " +
+            std::to_string(mhz.size()) + ", run " +
+            std::to_string(current_mhz_.size()) + ")");
+    }
+    current_mhz_ = mhz;
+    backend_calls_ = static_cast<long>(reader.get_i64("controller.backend_calls"));
+    skipped_calls_ = static_cast<long>(reader.get_i64("controller.skipped_calls"));
+    backend_->restore_state(reader);
+}
+
 void FrequencyController::restore_all()
 {
     static telemetry::Counter& restores = controller_counter("controller.restore.calls");

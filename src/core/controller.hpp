@@ -42,6 +42,12 @@ public:
     long backend_calls() const { return backend_calls_; }
     long skipped_calls() const { return skipped_calls_; }
 
+    /// Checkpoint the per-rank last-set clocks, call counters and the
+    /// backend's own state (degradation latches).  The restored controller
+    /// keeps skipping redundant sets exactly where the interrupted run did.
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
+
 private:
     FrequencyTable table_;
     std::unique_ptr<ClockBackend> backend_;

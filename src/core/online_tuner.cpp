@@ -199,6 +199,73 @@ void OnlineManDynPolicy::after(int rank, gpusim::GpuDevice& /*dev*/, sph::SphFun
     }
 }
 
+void OnlineManDynPolicy::save_state(checkpoint::StateWriter& writer) const
+{
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto& learner = learners_[static_cast<std::size_t>(f)];
+        const std::string prefix = "fn." + std::to_string(f) + ".";
+        writer.put_f64_vec(prefix + "energy_j", learner.energy_j);
+        writer.put_f64_vec(prefix + "time_s", learner.time_s);
+        std::vector<std::uint64_t> samples(learner.samples.size());
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            samples[i] = static_cast<std::uint64_t>(learner.samples[i]);
+        }
+        writer.put_u64_vec(prefix + "samples", samples);
+        writer.put_i64(prefix + "calls_seen", learner.calls_seen);
+        writer.put_i64(prefix + "active_candidate", learner.active_candidate);
+        writer.put_bool(prefix + "converged", learner.converged);
+        writer.put_f64(prefix + "chosen_mhz", learner.chosen_mhz);
+    }
+    writer.put_f64_vec("rank_current_mhz", rank_current_mhz_);
+    writer.put_f64("open.timestamp_s", open_state_.timestamp_s);
+    writer.put_f64("open.joules", open_state_.joules);
+    if (backend_) backend_->save_state(writer);
+}
+
+void OnlineManDynPolicy::restore_state(const checkpoint::StateReader& reader)
+{
+    if (!backend_) {
+        throw checkpoint::CheckpointError(
+            "OnlineManDyn: restore_state before attach()");
+    }
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        auto& learner = learners_[static_cast<std::size_t>(f)];
+        const std::string prefix = "fn." + std::to_string(f) + ".";
+        const auto energy = reader.get_f64_vec(prefix + "energy_j");
+        const auto time = reader.get_f64_vec(prefix + "time_s");
+        const auto samples = reader.get_u64_vec(prefix + "samples");
+        if (energy.size() != learner.clocks.size() ||
+            time.size() != learner.clocks.size() ||
+            samples.size() != learner.clocks.size()) {
+            throw checkpoint::CheckpointError(
+                "OnlineManDyn: candidate count mismatch for function " +
+                std::to_string(f) + " (checkpoint has a different "
+                "--tune-clocks set than this run)");
+        }
+        learner.energy_j = energy;
+        learner.time_s = time;
+        for (std::size_t i = 0; i < samples.size(); ++i) {
+            learner.samples[i] = static_cast<int>(samples[i]);
+        }
+        learner.calls_seen = static_cast<int>(reader.get_i64(prefix + "calls_seen"));
+        learner.active_candidate =
+            static_cast<int>(reader.get_i64(prefix + "active_candidate"));
+        learner.converged = reader.get_bool(prefix + "converged");
+        learner.chosen_mhz = reader.get_f64(prefix + "chosen_mhz");
+    }
+    const auto mhz = reader.get_f64_vec("rank_current_mhz");
+    if (mhz.size() != rank_current_mhz_.size()) {
+        throw checkpoint::CheckpointError(
+            "OnlineManDyn: rank count mismatch (checkpoint " +
+            std::to_string(mhz.size()) + ", run " +
+            std::to_string(rank_current_mhz_.size()) + ")");
+    }
+    rank_current_mhz_ = mhz;
+    open_state_.timestamp_s = reader.get_f64("open.timestamp_s");
+    open_state_.joules = reader.get_f64("open.joules");
+    backend_->restore_state(reader);
+}
+
 FrequencyTable OnlineManDynPolicy::learned_table(double default_mhz) const
 {
     FrequencyTable table(default_mhz);

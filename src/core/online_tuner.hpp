@@ -68,6 +68,13 @@ public:
     void configure(sim::RunConfig& run_config) const override;
     void attach(sim::RunHooks& hooks, int n_ranks) override;
 
+    /// Checkpoint the learning progress: per-function sample accumulators,
+    /// convergence flags and chosen clocks, per-rank clock cache, the open
+    /// PMT probe reading and the backend's degradation state.  A resumed run
+    /// continues exploring exactly where the interrupted run stopped.
+    void save_state(checkpoint::StateWriter& writer) const override;
+    void restore_state(const checkpoint::StateReader& reader) override;
+
     /// The table learned so far (converged functions at their choice,
     /// others at the device default).
     FrequencyTable learned_table(double default_mhz) const;

@@ -10,6 +10,10 @@ namespace gsph::core {
 
 void FrequencyPolicy::attach(sim::RunHooks&, int) {}
 
+void FrequencyPolicy::save_state(checkpoint::StateWriter&) const {}
+
+void FrequencyPolicy::restore_state(const checkpoint::StateReader&) {}
+
 namespace {
 
 class BaselinePolicy final : public FrequencyPolicy {
@@ -84,6 +88,20 @@ public:
 
     const FrequencyController* controller() const { return controller_.get(); }
 
+    void save_state(checkpoint::StateWriter& writer) const override
+    {
+        if (controller_) controller_->save_state(writer);
+    }
+
+    void restore_state(const checkpoint::StateReader& reader) override
+    {
+        if (!controller_) {
+            throw checkpoint::CheckpointError(
+                "ManDyn: restore_state before attach()");
+        }
+        controller_->restore_state(reader);
+    }
+
 private:
     FrequencyTable table_;
     gpusim::Vendor vendor_;
@@ -135,6 +153,29 @@ public:
             }
             if (previous) previous(rank, dev, fn);
         };
+    }
+
+    void save_state(checkpoint::StateWriter& writer) const override
+    {
+        std::vector<std::uint64_t> flags(applied_.size());
+        for (std::size_t i = 0; i < applied_.size(); ++i) {
+            flags[i] = applied_[i] ? 1 : 0;
+        }
+        writer.put_u64_vec("powercap.applied", flags);
+    }
+
+    void restore_state(const checkpoint::StateReader& reader) override
+    {
+        const auto flags = reader.get_u64_vec("powercap.applied");
+        if (flags.size() != applied_.size()) {
+            throw checkpoint::CheckpointError(
+                "PowerCap: applied rank count mismatch (checkpoint " +
+                std::to_string(flags.size()) + ", run " +
+                std::to_string(applied_.size()) + ")");
+        }
+        for (std::size_t i = 0; i < flags.size(); ++i) {
+            applied_[i] = flags[i] != 0;
+        }
     }
 
 private:

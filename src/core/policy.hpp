@@ -28,6 +28,12 @@ public:
     virtual void configure(sim::RunConfig& config) const = 0;
     /// Install per-function hooks (ManDyn's controller); default: none.
     virtual void attach(sim::RunHooks& hooks, int n_ranks);
+
+    /// Checkpoint policy-internal state (controller clock cache, learner
+    /// progress, power-cap latches).  Stateless policies save nothing (the
+    /// default).  restore_state runs after attach(), before the first step.
+    virtual void save_state(checkpoint::StateWriter& writer) const;
+    virtual void restore_state(const checkpoint::StateReader& reader);
 };
 
 std::unique_ptr<FrequencyPolicy> make_baseline_policy();

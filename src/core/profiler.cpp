@@ -92,6 +92,60 @@ double EnergyProfiler::total_time_s() const
     return total / static_cast<double>(n_ranks_);
 }
 
+void EnergyProfiler::save_state(checkpoint::StateWriter& writer) const
+{
+    auto save_slot = [&](const std::string& prefix, const FunctionEnergy& e) {
+        writer.put_f64(prefix + "time_s", e.time_s);
+        writer.put_f64(prefix + "energy_j", e.gpu_energy_j);
+        writer.put_i64(prefix + "calls", e.calls);
+    };
+    writer.put_i64("n_ranks", n_ranks_);
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        save_slot("total." + std::to_string(f) + ".",
+                  totals_[static_cast<std::size_t>(f)]);
+    }
+    for (int r = 0; r < n_ranks_; ++r) {
+        for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+            save_slot("rank." + std::to_string(r) + "." + std::to_string(f) + ".",
+                      per_rank_[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)]);
+        }
+        const std::string prefix = "open." + std::to_string(r) + ".";
+        writer.put_f64(prefix + "timestamp_s",
+                       open_state_[static_cast<std::size_t>(r)].timestamp_s);
+        writer.put_f64(prefix + "joules",
+                       open_state_[static_cast<std::size_t>(r)].joules);
+    }
+}
+
+void EnergyProfiler::restore_state(const checkpoint::StateReader& reader)
+{
+    if (reader.get_i64("n_ranks") != n_ranks_) {
+        throw checkpoint::CheckpointError(
+            "profiler: rank count mismatch (checkpoint " +
+            std::to_string(reader.get_i64("n_ranks")) + ", run " +
+            std::to_string(n_ranks_) + ")");
+    }
+    auto restore_slot = [&](const std::string& prefix, FunctionEnergy& e) {
+        e.time_s = reader.get_f64(prefix + "time_s");
+        e.gpu_energy_j = reader.get_f64(prefix + "energy_j");
+        e.calls = static_cast<long>(reader.get_i64(prefix + "calls"));
+    };
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        restore_slot("total." + std::to_string(f) + ".",
+                     totals_[static_cast<std::size_t>(f)]);
+    }
+    for (int r = 0; r < n_ranks_; ++r) {
+        for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+            restore_slot("rank." + std::to_string(r) + "." + std::to_string(f) + ".",
+                         per_rank_[static_cast<std::size_t>(r)][static_cast<std::size_t>(f)]);
+        }
+        const std::string prefix = "open." + std::to_string(r) + ".";
+        auto& open = open_state_[static_cast<std::size_t>(r)];
+        open.timestamp_s = reader.get_f64(prefix + "timestamp_s");
+        open.joules = reader.get_f64(prefix + "joules");
+    }
+}
+
 util::CsvWriter EnergyProfiler::report_csv() const
 {
     util::CsvWriter csv({"rank", "function", "calls", "time_s", "gpu_energy_j"});

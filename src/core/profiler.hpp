@@ -15,6 +15,7 @@
 /// ~100 ms is noise); per-function CPU/other shares are apportioned by
 /// duration, exactly as the paper observes them to scale.
 
+#include "checkpoint/state.hpp"
 #include "pmt/pmt.hpp"
 #include "sim/driver.hpp"
 #include "sph/functions.hpp"
@@ -58,6 +59,11 @@ public:
     util::CsvWriter report_csv() const;
 
     int n_ranks() const { return n_ranks_; }
+
+    /// Checkpoint the accumulated per-function/per-rank energy and the open
+    /// probe readings (sensors themselves are lazily re-created on resume).
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
 
 private:
     void ensure_sensor(int rank);

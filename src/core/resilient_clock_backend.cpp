@@ -132,6 +132,30 @@ public:
 
     std::string name() const override { return "resilient(" + inner_->name() + ")"; }
 
+    void save_state(checkpoint::StateWriter& writer) const override
+    {
+        writer.put_u64("resilient.ranks", ranks_.size());
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+            const std::string prefix = "resilient." + std::to_string(r) + ".";
+            writer.put_i64(prefix + "perm_failures",
+                           ranks_[r].consecutive_permission_failures);
+            writer.put_bool(prefix + "degraded", ranks_[r].degraded);
+        }
+        inner_->save_state(writer);
+    }
+
+    void restore_state(const checkpoint::StateReader& reader) override
+    {
+        ranks_.assign(reader.get_u64("resilient.ranks"), RankState{});
+        for (std::size_t r = 0; r < ranks_.size(); ++r) {
+            const std::string prefix = "resilient." + std::to_string(r) + ".";
+            ranks_[r].consecutive_permission_failures =
+                static_cast<int>(reader.get_i64(prefix + "perm_failures"));
+            ranks_[r].degraded = reader.get_bool(prefix + "degraded");
+        }
+        inner_->restore_state(reader);
+    }
+
 private:
     struct RankState {
         int consecutive_permission_failures = 0;

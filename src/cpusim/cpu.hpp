@@ -9,6 +9,7 @@
 /// term (MPI progress engine, kernel-launch driver work) plus a DRAM domain,
 /// exposed through RAPL-style monotonically increasing energy counters.
 
+#include "checkpoint/state.hpp"
 #include "util/stats.hpp"
 
 #include <string>
@@ -60,6 +61,26 @@ public:
     double last_power_w() const { return last_power_w_; }
 
     const CpuSpec& spec() const { return spec_; }
+
+    /// Checkpoint all mutable state (clock, RAPL accumulators with Kahan
+    /// compensation, last power sample); the spec is construction-time.
+    void save_state(checkpoint::StateWriter& writer) const
+    {
+        writer.put_f64("now_s", now_s_);
+        writer.put_f64("package_j", package_energy_.value());
+        writer.put_f64("package_c", package_energy_.compensation());
+        writer.put_f64("dram_j", dram_energy_.value());
+        writer.put_f64("dram_c", dram_energy_.compensation());
+        writer.put_f64("last_power_w", last_power_w_);
+    }
+    void restore_state(const checkpoint::StateReader& reader)
+    {
+        now_s_ = reader.get_f64("now_s");
+        package_energy_.restore(reader.get_f64("package_j"),
+                                reader.get_f64("package_c"));
+        dram_energy_.restore(reader.get_f64("dram_j"), reader.get_f64("dram_c"));
+        last_power_w_ = reader.get_f64("last_power_w");
+    }
 
 private:
     CpuSpec spec_;

@@ -5,6 +5,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <csignal>
 #include <stdexcept>
 #include <thread>
 
@@ -83,7 +84,7 @@ std::atomic<FaultInjector*> g_injector{nullptr};
 bool FaultSpec::any() const
 {
     return transient_set_p > 0.0 || perm_lose_after >= 0 || stuck_at >= 0 ||
-           energy_reset_p > 0.0 || slow_p > 0.0;
+           energy_reset_p > 0.0 || slow_p > 0.0 || kill_at_step >= 0;
 }
 
 FaultSpec FaultSpec::parse(const std::string& text)
@@ -139,6 +140,9 @@ FaultSpec FaultSpec::parse(const std::string& text)
             spec.slow_p = parse_probability(require("p"), "slow p");
             spec.slow_ms = parse_nonnegative(optional("ms", "1"), "slow ms");
         }
+        else if (name == "kill-at-step") {
+            spec.kill_at_step = parse_count(require("step"), "kill-at-step step");
+        }
         else {
             throw std::invalid_argument("FaultSpec::parse: unknown fault class '" +
                                         name + "'");
@@ -174,6 +178,9 @@ std::string FaultSpec::describe() const
     if (slow_p > 0.0) {
         append("slow:p=" + util::format_fixed(slow_p, 3) +
                ",ms=" + util::format_fixed(slow_ms, 1));
+    }
+    if (kill_at_step >= 0) {
+        append("kill-at-step:step=" + std::to_string(kill_at_step));
     }
     return out.empty() ? "(none)" : out;
 }
@@ -241,10 +248,57 @@ std::uint64_t FaultInjector::transform_energy(EnergyDomain domain,
     return raw >= it->second ? raw - it->second : 0;
 }
 
+void FaultInjector::on_step_end(int step)
+{
+    if (spec_.kill_at_step < 0 || step != spec_.kill_at_step) return;
+    // A real node failure gives no opportunity to flush or unwind; SIGKILL
+    // cannot be caught, so the process dies exactly as hard.
+    ::raise(SIGKILL);
+}
+
 long long FaultInjector::clock_writes_seen() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return clock_writes_;
+}
+
+void FaultInjector::save_state(checkpoint::StateWriter& writer) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const util::Rng::State rng = rng_.state();
+    writer.put_u64_vec("rng.s", {rng.s[0], rng.s[1], rng.s[2], rng.s[3]});
+    writer.put_bool("rng.has_gauss", rng.has_gauss);
+    writer.put_f64("rng.gauss_cache", rng.gauss_cache);
+    writer.put_i64("clock_writes", clock_writes_);
+    writer.put_u64("energy_offsets", energy_offsets_.size());
+    std::size_t i = 0;
+    for (const auto& [key, offset] : energy_offsets_) {
+        const std::string prefix = "offset." + std::to_string(i++) + ".";
+        writer.put_u64(prefix + "key", key);
+        writer.put_u64(prefix + "value", offset);
+    }
+}
+
+void FaultInjector::restore_state(const checkpoint::StateReader& reader)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto s = reader.get_u64_vec("rng.s");
+    if (s.size() != 4) {
+        throw checkpoint::CheckpointError("faults: rng.s must have 4 words");
+    }
+    util::Rng::State rng;
+    rng.s = {s[0], s[1], s[2], s[3]};
+    rng.has_gauss = reader.get_bool("rng.has_gauss");
+    rng.gauss_cache = reader.get_f64("rng.gauss_cache");
+    rng_.set_state(rng);
+    clock_writes_ = reader.get_i64("clock_writes");
+    energy_offsets_.clear();
+    const std::uint64_t n = reader.get_u64("energy_offsets");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string prefix = "offset." + std::to_string(i) + ".";
+        energy_offsets_[reader.get_u64(prefix + "key")] =
+            reader.get_u64(prefix + "value");
+    }
 }
 
 void install(FaultInjector* injector)
@@ -253,6 +307,11 @@ void install(FaultInjector* injector)
 }
 
 FaultInjector* active() { return g_injector.load(std::memory_order_acquire); }
+
+void notify_step_end(int step)
+{
+    if (FaultInjector* injector = active()) injector->on_step_end(step);
+}
 
 ScopedFaultInjection::ScopedFaultInjection(FaultSpec spec, std::uint64_t seed)
     : injector_(spec, seed)

@@ -34,6 +34,10 @@
 ///                           cumulative readings restart near zero)
 ///   slow:p=P,ms=T           each management call stalls T wall-clock
 ///                           milliseconds with probability P
+///   kill-at-step:step=N     SIGKILL the process at the end of simulated
+///                           step N (0-based), after that step's checkpoint
+///                           was committed — the node-failure fault the
+///                           checkpoint/restart subsystem recovers from
 ///
 /// Example: "transient-set:p=0.1;stuck:at=30,count=8;energy-wrap:p=0.01"
 ///
@@ -41,6 +45,7 @@
 /// (faults.injected.transient, .perm_denied, .stuck, .energy_reset,
 /// .slow_calls) so a run's fault load is visible in --metrics-json.
 
+#include "checkpoint/state.hpp"
 #include "util/rng.hpp"
 
 #include <cstdint>
@@ -77,8 +82,21 @@ struct FaultSpec {
     double energy_reset_p = 0.0;    ///< energy-wrap:p
     double slow_p = 0.0;            ///< slow:p
     double slow_ms = 0.0;           ///< slow:ms
+    long long kill_at_step = -1;    ///< kill-at-step:step (-1: never)
 
     bool any() const;
+
+    /// The spec with the one-shot kill-at-step clause disarmed.  This is
+    /// what survives into config echoes, config hashes and checkpoints: a
+    /// resumed run must replay the *recoverable* fault stream (the kill
+    /// already happened, and it draws no RNG, so dropping it is exact), and
+    /// the uninterrupted reference run must hash to the same config.
+    FaultSpec durable() const
+    {
+        FaultSpec copy = *this;
+        copy.kill_at_step = -1;
+        return copy;
+    }
 
     /// Parse the grammar above; throws std::invalid_argument naming the
     /// offending clause/key/value.  Empty text parses to an all-off spec.
@@ -107,8 +125,19 @@ public:
     std::uint64_t transform_energy(EnergyDomain domain, unsigned int device_index,
                                    std::uint64_t raw);
 
+    /// End-of-step notification from the driver.  Raises SIGKILL when the
+    /// spec's kill-at-step matches `step` — a real, uncatchable process
+    /// death, exactly what the kill-resume harness exercises.
+    void on_step_end(int step);
+
     long long clock_writes_seen() const;
     const FaultSpec& spec() const { return spec_; }
+
+    /// Checkpoint the fault stream position: RNG state, clock-write counter
+    /// and per-domain energy-reset offsets.  Restoring replays the exact
+    /// fault sequence the interrupted run would have seen.
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
 
 private:
     void maybe_stall_locked();
@@ -125,6 +154,10 @@ private:
 void install(FaultInjector* injector);
 /// The installed injector, or nullptr when fault injection is off.
 FaultInjector* active();
+
+/// Driver call-out at the end of each simulated step; no-op without an
+/// installed injector.
+void notify_step_end(int step);
 
 /// RAII install/uninstall for the CLI, benches and tests.
 class ScopedFaultInjection {

@@ -258,4 +258,75 @@ void GpuDevice::idle(double seconds)
     record(now_s_, current_clock_mhz_, last_power_w_);
 }
 
+namespace {
+
+void save_series(checkpoint::StateWriter& writer, const std::string& key,
+                 const util::TimeSeries& series)
+{
+    std::vector<double> times, values;
+    times.reserve(series.size());
+    values.reserve(series.size());
+    for (const util::Sample& s : series.samples()) {
+        times.push_back(s.time);
+        values.push_back(s.value);
+    }
+    writer.put_f64_vec(key + ".t", times);
+    writer.put_f64_vec(key + ".v", values);
+}
+
+void restore_series(const checkpoint::StateReader& reader, const std::string& key,
+                    util::TimeSeries& series)
+{
+    const std::vector<double> times = reader.get_f64_vec(key + ".t");
+    const std::vector<double> values = reader.get_f64_vec(key + ".v");
+    if (times.size() != values.size()) {
+        throw checkpoint::CheckpointError("gpu trace '" + key +
+                                          "': time/value length mismatch");
+    }
+    series.clear();
+    for (std::size_t i = 0; i < times.size(); ++i) {
+        series.append(times[i], values[i]);
+    }
+}
+
+} // namespace
+
+void GpuDevice::save_state(checkpoint::StateWriter& writer) const
+{
+    writer.put_bool("native_dvfs", policy_ == ClockPolicy::kNativeDvfs);
+    writer.put_f64("app_clock_mhz", app_clock_mhz_);
+    writer.put_f64("mem_clock_mhz", mem_clock_mhz_);
+    writer.put_f64("current_clock_mhz", current_clock_mhz_);
+    writer.put_f64("power_limit_w", power_limit_w_);
+    writer.put_f64("now_s", now_s_);
+    writer.put_f64("energy_j", energy_.value());
+    writer.put_f64("energy_c", energy_.compensation());
+    writer.put_f64("last_power_w", last_power_w_);
+    writer.put_i64("kernels_launched", kernels_launched_);
+    writer.put_f64("governor.cap_mhz", governor_.cap_mhz());
+    writer.put_f64("governor.current_mhz", governor_.current_mhz());
+    writer.put_i64("governor.transitions", governor_.transition_count());
+    save_series(writer, "clock_trace", clock_trace_);
+    save_series(writer, "power_trace", power_trace_);
+}
+
+void GpuDevice::restore_state(const checkpoint::StateReader& reader)
+{
+    policy_ = reader.get_bool("native_dvfs") ? ClockPolicy::kNativeDvfs
+                                             : ClockPolicy::kLockedAppClock;
+    app_clock_mhz_ = reader.get_f64("app_clock_mhz");
+    mem_clock_mhz_ = reader.get_f64("mem_clock_mhz");
+    current_clock_mhz_ = reader.get_f64("current_clock_mhz");
+    power_limit_w_ = reader.get_f64("power_limit_w");
+    now_s_ = reader.get_f64("now_s");
+    energy_.restore(reader.get_f64("energy_j"), reader.get_f64("energy_c"));
+    last_power_w_ = reader.get_f64("last_power_w");
+    kernels_launched_ = reader.get_i64("kernels_launched");
+    governor_.restore(reader.get_f64("governor.cap_mhz"),
+                      reader.get_f64("governor.current_mhz"),
+                      reader.get_i64("governor.transitions"));
+    restore_series(reader, "clock_trace", clock_trace_);
+    restore_series(reader, "power_trace", power_trace_);
+}
+
 } // namespace gsph::gpusim

@@ -16,6 +16,7 @@
 ///    launch-boost behaviour and the auto-boost guard band (the paper's
 ///    "DVFS" configuration, Figs. 7 and 9).
 
+#include "checkpoint/state.hpp"
 #include "gpusim/device_spec.hpp"
 #include "gpusim/dvfs_governor.hpp"
 #include "gpusim/kernel_work.hpp"
@@ -88,6 +89,13 @@ public:
     const util::TimeSeries& clock_trace() const { return clock_trace_; }
     const util::TimeSeries& power_trace() const { return power_trace_; }
     void clear_traces();
+
+    // --- checkpointing ----------------------------------------------------
+    /// Serialize / overwrite all mutable device state (clock mode, energy
+    /// accumulator with its Kahan compensation, governor, traces).  The spec
+    /// and tracing flag are construction-time configuration and not saved.
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
 
 private:
     KernelResult execute_locked(const KernelWork& work);

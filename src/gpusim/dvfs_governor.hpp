@@ -48,6 +48,15 @@ public:
 
     void reset();
 
+    /// Overwrite governor state from a checkpoint (bypasses the slew/quantize
+    /// logic set_cap_mhz applies — the values were in effect when saved).
+    void restore(double cap_mhz, double current_mhz, long transitions)
+    {
+        cap_mhz_ = cap_mhz;
+        current_mhz_ = current_mhz;
+        transitions_ = transitions;
+    }
+
 private:
     double target_for(bool running, double utilization) const;
     void move_toward(double target, double dt);

@@ -157,4 +157,44 @@ std::optional<std::string> PmCounters::read_file(const std::string& name) const
     return std::nullopt;
 }
 
+void PmCounters::save_state(checkpoint::StateWriter& writer) const
+{
+    writer.put_f64("next_tick", next_tick_);
+    const auto save_snapshot = [&writer](const std::string& prefix,
+                                         const Snapshot& snap) {
+        writer.put_f64(prefix + ".time", snap.time);
+        writer.put_f64(prefix + ".node_j", snap.node_energy_j);
+        writer.put_f64(prefix + ".cpu_j", snap.cpu_energy_j);
+        writer.put_f64(prefix + ".mem_j", snap.memory_energy_j);
+        writer.put_f64_vec(prefix + ".accel_j", snap.accel_energy_j);
+        writer.put_f64(prefix + ".node_w", snap.node_power_w);
+        writer.put_f64(prefix + ".cpu_w", snap.cpu_power_w);
+        writer.put_f64(prefix + ".mem_w", snap.memory_power_w);
+        writer.put_f64_vec(prefix + ".accel_w", snap.accel_power_w);
+        writer.put_i64(prefix + ".freshness", snap.freshness);
+    };
+    save_snapshot("published", published_);
+    save_snapshot("previous", previous_);
+}
+
+void PmCounters::restore_state(const checkpoint::StateReader& reader)
+{
+    next_tick_ = reader.get_f64("next_tick");
+    const auto restore_snapshot = [&reader](const std::string& prefix,
+                                            Snapshot& snap) {
+        snap.time = reader.get_f64(prefix + ".time");
+        snap.node_energy_j = reader.get_f64(prefix + ".node_j");
+        snap.cpu_energy_j = reader.get_f64(prefix + ".cpu_j");
+        snap.memory_energy_j = reader.get_f64(prefix + ".mem_j");
+        snap.accel_energy_j = reader.get_f64_vec(prefix + ".accel_j");
+        snap.node_power_w = reader.get_f64(prefix + ".node_w");
+        snap.cpu_power_w = reader.get_f64(prefix + ".cpu_w");
+        snap.memory_power_w = reader.get_f64(prefix + ".mem_w");
+        snap.accel_power_w = reader.get_f64_vec(prefix + ".accel_w");
+        snap.freshness = reader.get_i64(prefix + ".freshness");
+    };
+    restore_snapshot("published", published_);
+    restore_snapshot("previous", previous_);
+}
+
 } // namespace gsph::pmcounters

@@ -18,6 +18,7 @@
 /// §III-B and §IV-A.  Counters only update at sampling ticks, so readers
 /// observe up to 1/sample_hz of staleness, as on the real system.
 
+#include "checkpoint/state.hpp"
 #include "cpusim/cpu.hpp"
 #include "gpusim/device.hpp"
 
@@ -66,6 +67,11 @@ public:
     double last_sample_time() const { return published_.time; }
 
     const PmCountersConfig& config() const { return config_; }
+
+    /// Checkpoint the sampler position and both published snapshots (the
+    /// power computation needs the previous tick too).
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
 
 private:
     struct Snapshot {

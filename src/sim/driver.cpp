@@ -1,5 +1,6 @@
 #include "sim/driver.hpp"
 
+#include "faults/fault_injector.hpp"
 #include "nvmlsim/nvml.hpp"
 #include "pmt/pmt.hpp"
 #include "rocmsmi/rocm_smi.hpp"
@@ -127,6 +128,144 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
                                              trace.particles_per_gpu, /*fields=*/10)
             : CommModel::halo_bytes(trace.particles_per_gpu, /*fields=*/10);
 
+    // --- checkpoint/restart ---------------------------------------------------
+    // Everything the loop reads or accumulates lives in the locals above;
+    // collect_sections snapshots them (plus every simulated component and the
+    // caller's registered participants) and the restore block below overwrites
+    // them from a validated snapshot.  Restore runs *after* all construction
+    // and setup-phase side effects, so any state those touched (device time,
+    // counters, accounting) is replaced wholesale — the basis of the
+    // bit-identical-resume guarantee.
+    auto collect_sections = [&](int completed_steps) {
+        std::vector<checkpoint::Section> sections;
+        {
+            checkpoint::StateWriter w;
+            w.put_i64("step", completed_steps);
+            w.put_f64("loop_start_s", result.loop_start_s);
+            w.put_f64_vec("step_start_times", result.step_start_times);
+            for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+                const auto& a = result.per_function[static_cast<std::size_t>(f)];
+                const std::string prefix = "fn." + std::to_string(f) + ".";
+                w.put_f64(prefix + "time_s", a.time_s);
+                w.put_f64(prefix + "energy_j", a.gpu_energy_j);
+                w.put_f64(prefix + "ctp", a.clock_time_product);
+                w.put_i64(prefix + "calls", a.calls);
+            }
+            w.put_u64("nodes", static_cast<std::uint64_t>(cluster.n_nodes()));
+            for (int n = 0; n < cluster.n_nodes(); ++n) {
+                const NodeBaseline& b = baselines[static_cast<std::size_t>(n)];
+                const std::string prefix = "node." + std::to_string(n) + ".";
+                w.put_f64(prefix + "cpu_j", b.cpu_j);
+                w.put_f64(prefix + "dram_j", b.dram_j);
+                w.put_f64(prefix + "aux_t", b.aux_t);
+                w.put_f64_vec(prefix + "gpu_j", b.gpu_j);
+                const pmt::State& p = pmt_start[static_cast<std::size_t>(n)];
+                w.put_f64(prefix + "pmt_timestamp_s", p.timestamp_s);
+                w.put_f64(prefix + "pmt_joules", p.joules);
+            }
+            sections.push_back({"driver", w.str()});
+        }
+        const auto gpus = cluster.all_gpus();
+        for (std::size_t i = 0; i < gpus.size(); ++i) {
+            checkpoint::StateWriter w;
+            gpus[i]->save_state(w);
+            sections.push_back({"gpu." + std::to_string(i), w.str()});
+        }
+        for (int n = 0; n < cluster.n_nodes(); ++n) {
+            checkpoint::StateWriter w;
+            cluster.node(n).cpu().save_state(w);
+            sections.push_back({"cpu." + std::to_string(n), w.str()});
+            checkpoint::StateWriter c;
+            cluster.node(n).counters().save_state(c);
+            sections.push_back({"pmcounters." + std::to_string(n), c.str()});
+        }
+        {
+            checkpoint::StateWriter w;
+            job.save_state(w);
+            sections.push_back({"slurm", w.str()});
+        }
+        if (config.checkpoint_participants) {
+            for (auto& section : config.checkpoint_participants->save_all()) {
+                sections.push_back(std::move(section));
+            }
+        }
+        return sections;
+    };
+
+    int start_step = 0;
+    if (config.resume) {
+        const checkpoint::Snapshot& snap = *config.resume;
+        {
+            const checkpoint::StateReader r = snap.reader("driver");
+            start_step = static_cast<int>(r.get_i64("step"));
+            if (start_step <= 0 || start_step >= n_steps) {
+                throw checkpoint::CheckpointError(
+                    "driver: checkpoint records " + std::to_string(start_step) +
+                    " completed steps, not resumable within a " +
+                    std::to_string(n_steps) + "-step run");
+            }
+            result.loop_start_s = r.get_f64("loop_start_s");
+            result.step_start_times = r.get_f64_vec("step_start_times");
+            if (result.step_start_times.size() !=
+                static_cast<std::size_t>(start_step)) {
+                throw checkpoint::CheckpointError(
+                    "driver: step_start_times has " +
+                    std::to_string(result.step_start_times.size()) +
+                    " entries for " + std::to_string(start_step) + " steps");
+            }
+            for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+                auto& a = result.per_function[static_cast<std::size_t>(f)];
+                const std::string prefix = "fn." + std::to_string(f) + ".";
+                a.time_s = r.get_f64(prefix + "time_s");
+                a.gpu_energy_j = r.get_f64(prefix + "energy_j");
+                a.clock_time_product = r.get_f64(prefix + "ctp");
+                a.calls = static_cast<long>(r.get_i64(prefix + "calls"));
+            }
+            if (r.get_u64("nodes") != static_cast<std::uint64_t>(cluster.n_nodes())) {
+                throw checkpoint::CheckpointError(
+                    "driver: node count mismatch (checkpoint " +
+                    std::to_string(r.get_u64("nodes")) + ", run " +
+                    std::to_string(cluster.n_nodes()) + ")");
+            }
+            for (int n = 0; n < cluster.n_nodes(); ++n) {
+                NodeBaseline& b = baselines[static_cast<std::size_t>(n)];
+                const std::string prefix = "node." + std::to_string(n) + ".";
+                b.cpu_j = r.get_f64(prefix + "cpu_j");
+                b.dram_j = r.get_f64(prefix + "dram_j");
+                b.aux_t = r.get_f64(prefix + "aux_t");
+                b.gpu_j = r.get_f64_vec(prefix + "gpu_j");
+                pmt::State& p = pmt_start[static_cast<std::size_t>(n)];
+                p.timestamp_s = r.get_f64(prefix + "pmt_timestamp_s");
+                p.joules = r.get_f64(prefix + "pmt_joules");
+            }
+        }
+        const auto gpus = cluster.all_gpus();
+        for (std::size_t i = 0; i < gpus.size(); ++i) {
+            gpus[i]->restore_state(snap.reader("gpu." + std::to_string(i)));
+        }
+        for (int n = 0; n < cluster.n_nodes(); ++n) {
+            cluster.node(n).cpu().restore_state(
+                snap.reader("cpu." + std::to_string(n)));
+            cluster.node(n).counters().restore_state(
+                snap.reader("pmcounters." + std::to_string(n)));
+        }
+        job.restore_state(snap.reader("slurm"));
+        if (config.checkpoint_participants) {
+            config.checkpoint_participants->restore_all(snap);
+        }
+        GSPH_LOG_INFO("driver", "resumed at step " + std::to_string(start_step) +
+                                    " of " + std::to_string(n_steps));
+    }
+
+    std::optional<checkpoint::CheckpointWriter> ckpt_writer;
+    if (config.checkpoint_every > 0) {
+        if (config.checkpoint_dir.empty()) {
+            throw std::invalid_argument(
+                "run_instrumented: checkpoint_every > 0 needs checkpoint_dir");
+        }
+        ckpt_writer.emplace(config.checkpoint_dir, config.config_hash);
+    }
+
     // Parallel execution engine: rank work items between the collective
     // barriers are independent (each drives its own GpuDevice), so they can
     // run on a thread pool.  Per-rank results land in rank-indexed slots
@@ -144,7 +283,7 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
 
     // --- the time-stepping loop -------------------------------------------
     auto& agg = result.per_function;
-    for (int s = 0; s < n_steps; ++s) {
+    for (int s = start_step; s < n_steps; ++s) {
         result.step_start_times.push_back(cluster.rank_gpu(0).now());
         const StepRecord& rec = trace.steps[static_cast<std::size_t>(s) %
                                             trace.steps.size()];
@@ -239,6 +378,14 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
         cluster.sync_all_to(t_step);
         steps_counter.inc();
         if (hooks.after_step) hooks.after_step(s);
+        // Commit the checkpoint before the fault call-out: a kill-at-step
+        // fault then lands on a just-committed checkpoint, so the resumed
+        // run continues from exactly this boundary.
+        if (ckpt_writer && (s + 1) % config.checkpoint_every == 0 &&
+            s + 1 < n_steps) {
+            ckpt_writer->write(s + 1, collect_sections(s + 1));
+        }
+        faults::notify_step_end(s);
     }
 
     result.loop_end_s = cluster.max_gpu_time();
@@ -293,6 +440,7 @@ RunResult run_instrumented(const SystemSpec& system, const WorkloadTrace& trace,
     if (config.enable_rank0_trace) {
         result.rank0_clock_trace = cluster.rank_gpu(0).clock_trace();
     }
+    if (ckpt_writer) result.checkpoints_written = ckpt_writer->checkpoints_written();
     return result;
 }
 

@@ -12,6 +12,7 @@
 /// allocation, GPUs idle) precedes the loop, and PMT-style measurement
 /// covers only the time-stepping loop.
 
+#include "checkpoint/checkpoint.hpp"
 #include "gpusim/device.hpp"
 #include "sim/comm.hpp"
 #include "sim/node.hpp"
@@ -51,6 +52,25 @@ struct RunConfig {
     /// Bind the cluster's devices to the NVML layer for the duration of the
     /// run (required by NVML-based hooks and PMT's nvml back-end).
     bool bind_nvml = true;
+
+    // --- checkpoint/restart (the CLI's --checkpoint-every / --resume) ------
+    /// Write a checkpoint after every N completed steps (0: off).  The final
+    /// step is never checkpointed — a run that finishes needs no resume.
+    int checkpoint_every = 0;
+    /// Directory for checkpoint files; required when checkpoint_every > 0.
+    std::string checkpoint_dir;
+    /// hex64 canonical-config hash stored in each manifest and verified on
+    /// resume (empty: no cross-run identity check).
+    std::string config_hash;
+    /// Resume from this validated snapshot: all simulated state (devices,
+    /// counters, accounting, aggregates) is restored before the first
+    /// executed step, making the run bit-identical to one never interrupted.
+    /// Not owned; must outlive run_instrumented.
+    const checkpoint::Snapshot* resume = nullptr;
+    /// Extra save/restore participants (policy internals, fault-injector
+    /// RNG, metrics, tracers) snapshotted at every checkpoint and restored
+    /// on resume.  Not owned; must outlive run_instrumented.
+    const checkpoint::StateRegistry* checkpoint_participants = nullptr;
 };
 
 struct RunHooks {
@@ -105,6 +125,7 @@ struct RunResult {
 
     util::TimeSeries rank0_clock_trace; ///< MHz vs device time (Fig. 9)
     std::vector<double> step_start_times; ///< rank-0 step boundaries
+    int checkpoints_written = 0; ///< checkpoints committed during this run
 
     double edp() const { return node_energy_j * makespan_s(); }
     double gpu_edp() const { return gpu_energy_j * makespan_s(); }

@@ -15,6 +15,7 @@
 /// start and end and reports the delta, rounded to Slurm's joule
 /// granularity.
 
+#include "checkpoint/state.hpp"
 #include "pmcounters/pm_counters.hpp"
 
 #include <string>
@@ -51,6 +52,28 @@ public:
     double elapsed_s() const { return end_time_ - start_time_; }
 
     JobRecord record() const;
+
+    /// Checkpoint accounting state.  The start-of-job counter baselines were
+    /// captured before the stepping loop; a resumed process must inherit
+    /// them, not re-snapshot mid-run values.
+    void save_state(checkpoint::StateWriter& writer) const
+    {
+        writer.put_f64_vec("baseline_j", baseline_j_);
+        writer.put_f64_vec("final_j", final_j_);
+        writer.put_f64("start_time", start_time_);
+        writer.put_f64("end_time", end_time_);
+        writer.put_bool("started", started_);
+        writer.put_bool("finished", finished_);
+    }
+    void restore_state(const checkpoint::StateReader& reader)
+    {
+        baseline_j_ = reader.get_f64_vec("baseline_j");
+        final_j_ = reader.get_f64_vec("final_j");
+        start_time_ = reader.get_f64("start_time");
+        end_time_ = reader.get_f64("end_time");
+        started_ = reader.get_bool("started");
+        finished_ = reader.get_bool("finished");
+    }
 
 private:
     std::string job_id_;

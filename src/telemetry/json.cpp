@@ -45,28 +45,86 @@ void append_number(std::string& out, double v)
 
 } // namespace
 
+namespace {
+
+/// Length of the valid UTF-8 sequence starting at s[i], or 0 when the bytes
+/// are not well-formed UTF-8 (truncated sequence, bad continuation byte,
+/// overlong encoding, surrogate, or a code point past U+10FFFF).
+std::size_t utf8_sequence_length(const std::string& s, std::size_t i)
+{
+    const auto byte = [&](std::size_t k) -> unsigned {
+        return static_cast<unsigned char>(s[k]);
+    };
+    const auto continuation = [&](std::size_t k) {
+        return k < s.size() && (byte(k) & 0xC0u) == 0x80u;
+    };
+    const unsigned b0 = byte(i);
+    if (b0 < 0x80u) return 1;
+    if ((b0 & 0xE0u) == 0xC0u) {
+        if (b0 < 0xC2u) return 0; // overlong 2-byte encoding
+        return continuation(i + 1) ? 2 : 0;
+    }
+    if ((b0 & 0xF0u) == 0xE0u) {
+        if (!continuation(i + 1) || !continuation(i + 2)) return 0;
+        const unsigned b1 = byte(i + 1);
+        if (b0 == 0xE0u && b1 < 0xA0u) return 0; // overlong
+        if (b0 == 0xEDu && b1 >= 0xA0u) return 0; // UTF-16 surrogate range
+        return 3;
+    }
+    if ((b0 & 0xF8u) == 0xF0u) {
+        if (!continuation(i + 1) || !continuation(i + 2) || !continuation(i + 3))
+            return 0;
+        const unsigned b1 = byte(i + 1);
+        if (b0 == 0xF0u && b1 < 0x90u) return 0; // overlong
+        if (b0 == 0xF4u && b1 >= 0x90u) return 0; // > U+10FFFF
+        if (b0 > 0xF4u) return 0;
+        return 4;
+    }
+    return 0; // lone continuation byte or 0xF8..0xFF
+}
+
+} // namespace
+
 std::string json_escape(const std::string& s)
 {
     std::string out;
     out.reserve(s.size());
-    for (const char c : s) {
+    for (std::size_t i = 0; i < s.size();) {
+        const char c = s[i];
         switch (c) {
-            case '"': out += "\\\""; break;
-            case '\\': out += "\\\\"; break;
-            case '\b': out += "\\b"; break;
-            case '\f': out += "\\f"; break;
-            case '\n': out += "\\n"; break;
-            case '\r': out += "\\r"; break;
-            case '\t': out += "\\t"; break;
-            default:
-                if (static_cast<unsigned char>(c) < 0x20) {
-                    char buf[8];
-                    std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-                    out += buf;
-                }
-                else {
-                    out += c;
-                }
+            case '"': out += "\\\""; ++i; continue;
+            case '\\': out += "\\\\"; ++i; continue;
+            case '\b': out += "\\b"; ++i; continue;
+            case '\f': out += "\\f"; ++i; continue;
+            case '\n': out += "\\n"; ++i; continue;
+            case '\r': out += "\\r"; ++i; continue;
+            case '\t': out += "\\t"; ++i; continue;
+            default: break;
+        }
+        const auto byte = static_cast<unsigned char>(c);
+        if (byte < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", byte);
+            out += buf;
+            ++i;
+            continue;
+        }
+        if (byte < 0x80) {
+            out += c;
+            ++i;
+            continue;
+        }
+        // Multi-byte input: pass well-formed UTF-8 through untouched, and
+        // replace anything else with U+FFFD.  Emitting the raw bytes (the old
+        // behaviour) produced output that strict JSON consumers (trace
+        // viewers, this file's own parser) reject outright.
+        if (const std::size_t len = utf8_sequence_length(s, i); len != 0) {
+            out.append(s, i, len);
+            i += len;
+        }
+        else {
+            out += "\\ufffd";
+            ++i;
         }
     }
     return out;

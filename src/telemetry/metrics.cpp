@@ -78,6 +78,43 @@ void MetricsRegistry::reset()
     }
 }
 
+MetricsSnapshot MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    MetricsSnapshot snap;
+    for (const auto& [name, slot] : instruments_) {
+        if (slot.counter) {
+            snap.counters[name] = slot.counter->value();
+        }
+        else if (slot.gauge) {
+            snap.gauges[name] = slot.gauge->value();
+        }
+        else if (slot.histogram) {
+            std::lock_guard<std::mutex> hist_lock(slot.histogram->mutex_);
+            const util::RunningStat& s = slot.histogram->stat_;
+            snap.histograms[name] = {s.count(),   s.raw_mean(), s.raw_m2(),
+                                     s.raw_min(), s.raw_max(),  s.sum()};
+        }
+    }
+    return snap;
+}
+
+void MetricsRegistry::restore(const MetricsSnapshot& snap)
+{
+    for (const auto& [name, value] : snap.counters) {
+        counter(name).value_.store(value, std::memory_order_relaxed);
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        gauge(name).value_.store(value, std::memory_order_relaxed);
+    }
+    for (const auto& [name, state] : snap.histograms) {
+        Histogram& hist = histogram(name);
+        std::lock_guard<std::mutex> hist_lock(hist.mutex_);
+        hist.stat_.restore(state.n, state.mean, state.m2, state.min, state.max,
+                           state.sum);
+    }
+}
+
 std::size_t MetricsRegistry::size() const
 {
     std::lock_guard<std::mutex> lock(mutex_);

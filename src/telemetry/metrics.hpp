@@ -95,6 +95,25 @@ private:
     mutable std::mutex mutex_;
 };
 
+/// Point-in-time copy of every instrument, independent of the registry.
+/// The checkpoint subsystem persists one of these across a kill/resume so
+/// counters accumulated before the kill survive into the resumed process.
+/// Histograms carry the raw Welford accumulator (not just derived stats) so
+/// restore + further observations is bit-identical to never having stopped.
+struct MetricsSnapshot {
+    struct HistogramState {
+        std::size_t n = 0;
+        double mean = 0.0;
+        double m2 = 0.0;
+        double min = 0.0;
+        double max = 0.0;
+        double sum = 0.0;
+    };
+    std::map<std::string, double> counters;
+    std::map<std::string, double> gauges;
+    std::map<std::string, HistogramState> histograms;
+};
+
 class MetricsRegistry {
 public:
     MetricsRegistry() = default;
@@ -118,6 +137,12 @@ public:
 
     /// Zero every instrument, keeping registrations (and references) alive.
     void reset();
+
+    /// Copy out / overwrite every instrument's value.  restore() creates
+    /// instruments that do not exist yet and overwrites (never adds to)
+    /// existing ones; instruments absent from the snapshot are left alone.
+    MetricsSnapshot snapshot() const;
+    void restore(const MetricsSnapshot& snap);
 
     std::size_t size() const;
 

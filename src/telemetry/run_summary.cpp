@@ -1,6 +1,6 @@
 #include "telemetry/run_summary.hpp"
 
-#include <fstream>
+#include "util/atomic_file.hpp"
 
 namespace gsph::telemetry {
 
@@ -58,16 +58,26 @@ Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& con
     root["per_function"] = std::move(functions);
 
     root["config"] = context.config;
+
+    if (!context.argv.empty() || !context.config_hash.empty()) {
+        Json provenance = Json::object();
+        provenance["format_version"] = kRunSummaryFormatVersion;
+        Json argv = Json::array();
+        for (const std::string& arg : context.argv) argv.push_back(arg);
+        provenance["argv"] = std::move(argv);
+        provenance["config_hash"] = context.config_hash;
+        provenance["resumed_from"] = context.resumed_from;
+        provenance["checkpoints_written"] = context.checkpoints_written;
+        root["provenance"] = std::move(provenance);
+    }
     return root;
 }
 
 bool write_run_summary(const std::string& path, const sim::RunResult& result,
                        const RunSummaryContext& context)
 {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << run_summary_json(result, context).dump(2) << '\n';
-    return static_cast<bool>(out);
+    return util::atomic_write_file(path,
+                                   run_summary_json(result, context).dump(2) + "\n");
 }
 
 } // namespace gsph::telemetry

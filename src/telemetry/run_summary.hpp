@@ -17,27 +17,49 @@
 ///   "slurm": {"job_id","elapsed_s","consumed_energy_j","n_nodes"},
 ///   "per_function": [{"function","calls","time_s","gpu_energy_j",
 ///                     "cpu_energy_j","other_energy_j","mean_clock_mhz"}],
-///   "config": free-form object supplied by the caller
+///   "config": free-form object supplied by the caller,
+///   "provenance": {"format_version","argv","config_hash",
+///                  "resumed_from","checkpoints_written"}
 /// }
+///
+/// Everything outside "provenance" is a pure function of the run, so a
+/// resumed run's summary matches the uninterrupted run's byte-for-byte once
+/// the provenance object is stripped — that invariant is what the
+/// kill-resume tests assert.  Provenance intentionally carries everything
+/// process-specific (how this particular process was invoked, whether it
+/// resumed, how many checkpoints it wrote).
 
 #include "sim/driver.hpp"
 #include "telemetry/json.hpp"
 
 #include <string>
+#include <vector>
 
 namespace gsph::telemetry {
 
 inline constexpr const char* kRunSummarySchema = "greensph.run_summary/v1";
 
+/// Version of the summary layout within the v1 schema; bump when fields are
+/// added so consumers can gate on it.
+inline constexpr int kRunSummaryFormatVersion = 2;
+
 struct RunSummaryContext {
     std::string policy; ///< policy name ("Baseline", "ManDyn", ...)
     Json config;        ///< free-form run configuration echo (may be null)
+
+    // Provenance (emitted only when argv or config_hash is set, so older
+    // callers keep producing version-1 documents without the block).
+    std::vector<std::string> argv; ///< full CLI invocation
+    std::string config_hash;       ///< hex64; same hash checkpoints use
+    std::string resumed_from;      ///< checkpoint dir, empty for fresh runs
+    int checkpoints_written = 0;   ///< checkpoints committed by this process
 };
 
 /// Build the summary document for `result`.
 Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& context = {});
 
-/// Serialize the summary to `path` (pretty-printed); false on I/O failure.
+/// Serialize the summary to `path` (pretty-printed, atomic temp+rename
+/// replacement); false on I/O failure.
 bool write_run_summary(const std::string& path, const sim::RunResult& result,
                        const RunSummaryContext& context = {});
 

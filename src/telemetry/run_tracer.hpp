@@ -10,6 +10,7 @@
 /// energy (J) — the Fig. 9 clock trace and the energy ramp as Perfetto
 /// tracks.
 
+#include "checkpoint/state.hpp"
 #include "sim/driver.hpp"
 #include "telemetry/tracer.hpp"
 #include "util/trace.hpp"
@@ -44,6 +45,12 @@ public:
     {
         return tracer_.write_file(path);
     }
+
+    /// Checkpoint the full tracer contents (every recorded event, open-span
+    /// depths, step bookkeeping) so a resumed run's --trace-json covers the
+    /// whole run, not just the steps after the resume point.
+    void save_state(checkpoint::StateWriter& writer) const;
+    void restore_state(const checkpoint::StateReader& reader);
 
 private:
     void on_before(int rank, gpusim::GpuDevice& dev, sph::SphFunction fn);

@@ -1,6 +1,7 @@
 #include "telemetry/tracer.hpp"
 
-#include <fstream>
+#include "util/atomic_file.hpp"
+
 #include <stdexcept>
 
 namespace gsph::telemetry {
@@ -165,10 +166,27 @@ Json SpanTracer::to_json() const
 
 bool SpanTracer::write_file(const std::string& path) const
 {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << to_chrome_json() << '\n';
-    return static_cast<bool>(out);
+    return util::atomic_write_file(path, to_chrome_json() + "\n");
+}
+
+std::map<std::pair<int, int>, int> SpanTracer::open_span_map() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return open_;
+}
+
+void SpanTracer::restore(std::vector<TraceEvent> events,
+                         std::map<std::pair<int, int>, int> open)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    buffers_.clear();
+    by_thread_.clear();
+    buffers_.push_back(std::make_unique<ThreadBuffer>());
+    buffers_.back()->events = std::move(events);
+    by_thread_.emplace(std::this_thread::get_id(), buffers_.back().get());
+    merged_.clear();
+    merged_dirty_ = true;
+    open_ = std::move(open);
 }
 
 void SpanTracer::clear()

@@ -78,8 +78,19 @@ public:
     Json to_json() const;
     std::string to_chrome_json() const { return to_json().dump(); }
 
-    /// Write the Chrome trace JSON to `path`; false on I/O failure.
+    /// Write the Chrome trace JSON to `path` (atomic temp+rename
+    /// replacement); false on I/O failure.
     bool write_file(const std::string& path) const;
+
+    /// Per-(pid, tid) open-span depths; with events(), the complete
+    /// checkpointable state of the tracer.
+    std::map<std::pair<int, int>, int> open_span_map() const;
+
+    /// Overwrite this tracer with previously recorded state (checkpoint
+    /// restore).  All events land in one buffer, which reproduces the merged
+    /// order events() returned when they were saved.
+    void restore(std::vector<TraceEvent> events,
+                 std::map<std::pair<int, int>, int> open);
 
     void clear();
 

@@ -1,0 +1,62 @@
+#include "util/checksum.hpp"
+
+#include <array>
+
+namespace gsph::util {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table()
+{
+    std::array<std::uint32_t, 256> table{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+        std::uint32_t c = i;
+        for (int k = 0; k < 8; ++k) {
+            c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+        }
+        table[i] = c;
+    }
+    return table;
+}
+
+} // namespace
+
+std::uint32_t crc32(std::string_view data)
+{
+    static const std::array<std::uint32_t, 256> table = make_crc_table();
+    std::uint32_t crc = 0xFFFFFFFFu;
+    for (const char ch : data) {
+        crc = table[(crc ^ static_cast<unsigned char>(ch)) & 0xFFu] ^ (crc >> 8);
+    }
+    return crc ^ 0xFFFFFFFFu;
+}
+
+std::uint64_t fnv1a64(std::string_view data)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (const char ch : data) {
+        hash ^= static_cast<unsigned char>(ch);
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
+
+namespace {
+
+std::string to_hex(std::uint64_t value, int digits)
+{
+    static const char* kDigits = "0123456789abcdef";
+    std::string out(static_cast<std::size_t>(digits), '0');
+    for (int i = digits - 1; i >= 0; --i) {
+        out[static_cast<std::size_t>(i)] = kDigits[value & 0xFu];
+        value >>= 4;
+    }
+    return out;
+}
+
+} // namespace
+
+std::string hex32(std::uint32_t value) { return to_hex(value, 8); }
+std::string hex64(std::uint64_t value) { return to_hex(value, 16); }
+
+} // namespace gsph::util

@@ -1,0 +1,29 @@
+#pragma once
+/// \file checksum.hpp
+/// \brief Data-integrity checksums for checkpoints and artifacts.
+///
+/// Checkpoint sections are protected by CRC-32 (the IEEE 802.3 polynomial,
+/// the same one zlib/gzip use) so a torn or bit-flipped snapshot is
+/// rejected at restore time instead of silently corrupting a resumed run.
+/// FNV-1a/64 hashes run configurations: a checkpoint may only be resumed
+/// under the configuration that produced it, and the manifest records the
+/// hash so mismatches are caught before any state is loaded.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace gsph::util {
+
+/// CRC-32 (IEEE, reflected, init/xorout 0xFFFFFFFF) of `data`.
+std::uint32_t crc32(std::string_view data);
+
+/// FNV-1a 64-bit hash of `data`; stable across platforms and runs.
+std::uint64_t fnv1a64(std::string_view data);
+
+/// Fixed-width lower-case hex rendering ("0x" not included).
+std::string hex32(std::uint32_t value);
+std::string hex64(std::uint64_t value);
+
+} // namespace gsph::util

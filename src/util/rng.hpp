@@ -108,6 +108,22 @@ public:
     /// Normal with given mean and standard deviation.
     double gaussian(double mean, double sigma) { return mean + sigma * gaussian(); }
 
+    /// Full generator state for checkpointing.  The Box-Muller cache is part
+    /// of the stream position: dropping it would shift every draw after a
+    /// resume by one cached variate.
+    struct State {
+        std::array<std::uint64_t, 4> s{};
+        bool has_gauss = false;
+        double gauss_cache = 0.0;
+    };
+    State state() const { return {state_, has_gauss_, gauss_cache_}; }
+    void set_state(const State& st)
+    {
+        state_ = st.s;
+        has_gauss_ = st.has_gauss;
+        gauss_cache_ = st.gauss_cache;
+    }
+
 private:
     static constexpr std::uint64_t rotl(std::uint64_t x, int k)
     {

@@ -24,6 +24,27 @@ public:
     double max() const { return n_ ? max_ : 0.0; }
     double sum() const { return sum_; }
 
+    /// Raw Welford accumulator state, exposed for checkpointing.  `raw_mean`
+    /// and `raw_min`/`raw_max` differ from the public accessors when n == 0:
+    /// these return the stored fields unconditionally so that
+    /// restore(save()) is bit-exact.
+    double raw_mean() const { return mean_; }
+    double raw_m2() const { return m2_; }
+    double raw_min() const { return min_; }
+    double raw_max() const { return max_; }
+
+    /// Overwrite the accumulator with previously saved raw state.
+    void restore(std::size_t n, double mean, double m2, double min, double max,
+                 double sum)
+    {
+        n_ = n;
+        mean_ = mean;
+        m2_ = m2;
+        min_ = min;
+        max_ = max;
+        sum_ = sum;
+    }
+
 private:
     std::size_t n_ = 0;
     double mean_ = 0.0;
@@ -58,6 +79,16 @@ public:
     {
         sum_ = 0.0;
         c_ = 0.0;
+    }
+
+    /// The running compensation term.  Checkpoints must save it alongside
+    /// value(): restoring the sum without the compensation would make the
+    /// next add() round differently and break bit-identical resume.
+    double compensation() const { return c_; }
+    void restore(double sum, double compensation)
+    {
+        sum_ = sum;
+        c_ = compensation;
     }
 
 private:

@@ -1,0 +1,233 @@
+/// Resume bit-identity (ISSUE satellite: parameterized across threads,
+/// policies and fault injection): a run restored from a mid-run checkpoint
+/// must produce a RunResult identical — exact double equality, no
+/// tolerances — to the same run never interrupted.  Checkpoint writing
+/// itself must not perturb results either.
+
+#include "checkpoint/checkpoint.hpp"
+#include "core/frequency_table.hpp"
+#include "core/policy.hpp"
+#include "faults/fault_injector.hpp"
+#include "sim/driver.hpp"
+#include "sim/system.hpp"
+#include "telemetry/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+namespace gsph {
+namespace {
+
+struct ResumeCase {
+    int threads;
+    const char* policy;     // "static" or "mandyn"
+    const char* fault_spec; // "" = no injection
+};
+
+std::string case_name(const testing::TestParamInfo<ResumeCase>& info)
+{
+    std::string name = std::string(info.param.policy) + "Threads" +
+                       std::to_string(info.param.threads);
+    if (info.param.fault_spec[0] != '\0') name += "Faulted";
+    return name;
+}
+
+class TempDir {
+public:
+    TempDir()
+    {
+        char pattern[] = "/tmp/gsph_resume_XXXXXX";
+        const char* dir = ::mkdtemp(pattern);
+        if (!dir) throw std::runtime_error("mkdtemp failed");
+        path_ = dir;
+    }
+    ~TempDir()
+    {
+        const std::string cmd = "rm -rf '" + path_ + "'";
+        (void)std::system(cmd.c_str());
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+const sim::WorkloadTrace& trace()
+{
+    static const sim::WorkloadTrace t = [] {
+        sim::WorkloadSpec spec;
+        spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+        spec.particles_per_gpu = 50e6;
+        spec.n_steps = 6;
+        spec.real_nside = 6;
+        return sim::record_trace(spec);
+    }();
+    return t;
+}
+
+std::unique_ptr<core::FrequencyPolicy> make_policy(const std::string& kind)
+{
+    if (kind == "static") return core::make_static_policy(1200.0);
+    return core::make_mandyn_policy(core::reference_a100_turbulence_table());
+}
+
+sim::RunConfig base_cfg(const ResumeCase& param)
+{
+    sim::RunConfig c;
+    c.n_ranks = 2;
+    c.n_threads = param.threads;
+    c.setup_s = 2.0;
+    return c;
+}
+
+/// Every scalar the CLI summary derives from, compared bit-for-bit.
+void expect_identical(const sim::RunResult& got, const sim::RunResult& want)
+{
+    EXPECT_EQ(got.n_steps, want.n_steps);
+    EXPECT_EQ(got.loop_start_s, want.loop_start_s);
+    EXPECT_EQ(got.loop_end_s, want.loop_end_s);
+    EXPECT_EQ(got.total_wall_s, want.total_wall_s);
+    EXPECT_EQ(got.gpu_energy_j, want.gpu_energy_j);
+    EXPECT_EQ(got.cpu_energy_j, want.cpu_energy_j);
+    EXPECT_EQ(got.memory_energy_j, want.memory_energy_j);
+    EXPECT_EQ(got.other_energy_j, want.other_energy_j);
+    EXPECT_EQ(got.node_energy_j, want.node_energy_j);
+    EXPECT_EQ(got.pmt_loop_energy_j, want.pmt_loop_energy_j);
+    EXPECT_EQ(got.edp(), want.edp());
+    EXPECT_EQ(got.slurm.consumed_energy_j, want.slurm.consumed_energy_j);
+    EXPECT_EQ(got.slurm.elapsed_s, want.slurm.elapsed_s);
+    ASSERT_EQ(got.step_start_times.size(), want.step_start_times.size());
+    for (std::size_t i = 0; i < want.step_start_times.size(); ++i) {
+        EXPECT_EQ(got.step_start_times[i], want.step_start_times[i]) << "step " << i;
+    }
+    for (int f = 0; f < sph::kSphFunctionCount; ++f) {
+        const auto fn = static_cast<sph::SphFunction>(f);
+        EXPECT_EQ(got.fn(fn).time_s, want.fn(fn).time_s) << sph::to_string(fn);
+        EXPECT_EQ(got.fn(fn).gpu_energy_j, want.fn(fn).gpu_energy_j)
+            << sph::to_string(fn);
+        EXPECT_EQ(got.fn(fn).calls, want.fn(fn).calls) << sph::to_string(fn);
+        EXPECT_EQ(got.fn(fn).clock_time_product, want.fn(fn).clock_time_product)
+            << sph::to_string(fn);
+    }
+}
+
+class CheckpointResume : public testing::TestWithParam<ResumeCase> {};
+
+TEST_P(CheckpointResume, ResumedRunIsBitIdenticalToUninterrupted)
+{
+    const ResumeCase param = GetParam();
+    const bool faulted = param.fault_spec[0] != '\0';
+    const auto spec =
+        faulted ? faults::FaultSpec::parse(param.fault_spec) : faults::FaultSpec{};
+
+    // Leg 1: the uninterrupted reference, no checkpointing at all.
+    sim::RunResult reference;
+    {
+        std::unique_ptr<faults::ScopedFaultInjection> guard;
+        if (faulted) guard = std::make_unique<faults::ScopedFaultInjection>(spec, 7);
+        auto policy = make_policy(param.policy);
+        reference = core::run_with_policy(sim::mini_hpc(), trace(), base_cfg(param),
+                                          *policy);
+    }
+
+    // Leg 2: same run with checkpointing on — commits at steps 2 and 4.
+    TempDir dir;
+    {
+        std::unique_ptr<faults::ScopedFaultInjection> guard;
+        if (faulted) guard = std::make_unique<faults::ScopedFaultInjection>(spec, 7);
+        auto policy = make_policy(param.policy);
+        checkpoint::StateRegistry registry;
+        registry.add(
+            "policy",
+            [&](checkpoint::StateWriter& w) { policy->save_state(w); },
+            [&](const checkpoint::StateReader& r) { policy->restore_state(r); });
+        if (faulted) {
+            registry.add(
+                "faults",
+                [&](checkpoint::StateWriter& w) { guard->injector().save_state(w); },
+                [&](const checkpoint::StateReader& r) {
+                    guard->injector().restore_state(r);
+                });
+        }
+        sim::RunConfig c = base_cfg(param);
+        c.checkpoint_every = 2;
+        c.checkpoint_dir = dir.path();
+        c.config_hash = "test";
+        c.checkpoint_participants = &registry;
+        const auto checkpointed =
+            core::run_with_policy(sim::mini_hpc(), trace(), c, *policy);
+        EXPECT_EQ(checkpointed.checkpoints_written, 2);
+        expect_identical(checkpointed, reference);
+    }
+
+    // Leg 3: fresh everything, resumed from the step-4 checkpoint.
+    {
+        const checkpoint::Snapshot snap = checkpoint::read_latest(dir.path());
+        ASSERT_EQ(snap.step, 4);
+        std::unique_ptr<faults::ScopedFaultInjection> guard;
+        if (faulted) guard = std::make_unique<faults::ScopedFaultInjection>(spec, 7);
+        auto policy = make_policy(param.policy);
+        checkpoint::StateRegistry registry;
+        registry.add(
+            "policy",
+            [&](checkpoint::StateWriter& w) { policy->save_state(w); },
+            [&](const checkpoint::StateReader& r) { policy->restore_state(r); });
+        if (faulted) {
+            registry.add(
+                "faults",
+                [&](checkpoint::StateWriter& w) { guard->injector().save_state(w); },
+                [&](const checkpoint::StateReader& r) {
+                    guard->injector().restore_state(r);
+                });
+        }
+        sim::RunConfig c = base_cfg(param);
+        c.resume = &snap;
+        c.checkpoint_participants = &registry;
+        const auto resumed = core::run_with_policy(sim::mini_hpc(), trace(), c, *policy);
+        expect_identical(resumed, reference);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BitIdentity, CheckpointResume,
+    testing::Values(ResumeCase{1, "static", ""}, ResumeCase{4, "static", ""},
+                    ResumeCase{1, "mandyn", ""}, ResumeCase{4, "mandyn", ""},
+                    ResumeCase{1, "mandyn", "transient-set:p=0.3"},
+                    ResumeCase{4, "static", "transient-set:p=0.3"}),
+    case_name);
+
+TEST(CheckpointResumeErrors, ResumeRejectsRankCountMismatch)
+{
+    TempDir dir;
+    auto policy = core::make_static_policy(1200.0);
+    sim::RunConfig c;
+    c.n_ranks = 2;
+    c.setup_s = 2.0;
+    c.checkpoint_every = 2;
+    c.checkpoint_dir = dir.path();
+    core::run_with_policy(sim::mini_hpc(), trace(), c, *policy);
+
+    const checkpoint::Snapshot snap = checkpoint::read_latest(dir.path());
+    sim::RunConfig wrong;
+    wrong.n_ranks = 4; // checkpoint was written by a 2-rank run
+    wrong.setup_s = 2.0;
+    wrong.resume = &snap;
+    EXPECT_THROW(core::run_with_policy(sim::mini_hpc(), trace(), wrong, *policy),
+                 checkpoint::CheckpointError);
+}
+
+TEST(CheckpointResumeErrors, CheckpointEveryWithoutDirRejected)
+{
+    sim::RunConfig c;
+    c.setup_s = 2.0;
+    c.checkpoint_every = 2;
+    auto policy = core::make_static_policy(1200.0);
+    EXPECT_THROW(core::run_with_policy(sim::mini_hpc(), trace(), c, *policy),
+                 std::invalid_argument);
+}
+
+} // namespace
+} // namespace gsph

@@ -1,0 +1,150 @@
+/// StateWriter/StateReader: the checkpoint section format must round-trip
+/// every value bit-exactly (doubles included) and reject malformed payloads
+/// with errors that name the section and key.
+
+#include "checkpoint/state.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+
+namespace gsph::checkpoint {
+namespace {
+
+double bits_to_double(std::uint64_t bits)
+{
+    double d;
+    std::memcpy(&d, &bits, sizeof(d));
+    return d;
+}
+
+std::uint64_t double_to_bits(double d)
+{
+    std::uint64_t bits;
+    std::memcpy(&bits, &d, sizeof(bits));
+    return bits;
+}
+
+TEST(CheckpointState, F64EncodingIsBitExact)
+{
+    const double cases[] = {
+        0.0,
+        -0.0,
+        1.0,
+        -1.0 / 3.0,
+        std::numeric_limits<double>::infinity(),
+        -std::numeric_limits<double>::infinity(),
+        std::numeric_limits<double>::denorm_min(),
+        std::numeric_limits<double>::max(),
+        std::numeric_limits<double>::lowest(),
+        bits_to_double(0x7ff80000deadbeefULL), // NaN with payload
+    };
+    for (const double value : cases) {
+        const std::string text = encode_f64(value);
+        EXPECT_EQ(double_to_bits(decode_f64(text)), double_to_bits(value))
+            << "encoding " << text;
+    }
+    EXPECT_EQ(encode_f64(0.0), "x0000000000000000");
+    EXPECT_EQ(encode_f64(-0.0), "x8000000000000000");
+    EXPECT_THROW(decode_f64("3.14"), CheckpointError);
+    EXPECT_THROW(decode_f64("x123"), CheckpointError);
+    EXPECT_THROW(decode_f64("xzzzzzzzzzzzzzzzz"), CheckpointError);
+}
+
+TEST(CheckpointState, ScalarRoundTrip)
+{
+    StateWriter w;
+    w.put_f64("energy", -1.0 / 3.0);
+    w.put_i64("count", -42);
+    w.put_u64("big", 0xffffffffffffffffULL);
+    w.put_bool("on", true);
+    w.put_bool("off", false);
+    w.put_str("name", "hello world");
+
+    const StateReader r("test", w.str());
+    EXPECT_EQ(double_to_bits(r.get_f64("energy")), double_to_bits(-1.0 / 3.0));
+    EXPECT_EQ(r.get_i64("count"), -42);
+    EXPECT_EQ(r.get_u64("big"), 0xffffffffffffffffULL);
+    EXPECT_TRUE(r.get_bool("on"));
+    EXPECT_FALSE(r.get_bool("off"));
+    EXPECT_EQ(r.get_str("name"), "hello world");
+    EXPECT_TRUE(r.has("energy"));
+    EXPECT_FALSE(r.has("missing"));
+}
+
+TEST(CheckpointState, StringsSurviveHostileBytes)
+{
+    // Strings may carry '=' (the line separator), '%' (the escape), control
+    // characters, newlines and arbitrary non-ASCII bytes.
+    const std::string hostile = "a=b%c\nd\te\x01\x7f\xffz";
+    StateWriter w;
+    w.put_str("s", hostile);
+    w.put_str("empty", "");
+    const StateReader r("test", w.str());
+    EXPECT_EQ(r.get_str("s"), hostile);
+    EXPECT_EQ(r.get_str("empty"), "");
+}
+
+TEST(CheckpointState, VectorRoundTrip)
+{
+    StateWriter w;
+    w.put_f64_vec("f", {1.5, -0.0, bits_to_double(0x7ff80000deadbeefULL)});
+    w.put_f64_vec("f_empty", {});
+    w.put_u64_vec("u", {0, 1, 0xffffffffffffffffULL});
+    w.put_u64_vec("u_empty", {});
+
+    const StateReader r("test", w.str());
+    const auto f = r.get_f64_vec("f");
+    ASSERT_EQ(f.size(), 3u);
+    EXPECT_EQ(double_to_bits(f[0]), double_to_bits(1.5));
+    EXPECT_EQ(double_to_bits(f[1]), double_to_bits(-0.0));
+    EXPECT_EQ(double_to_bits(f[2]), 0x7ff80000deadbeefULL);
+    EXPECT_TRUE(r.get_f64_vec("f_empty").empty());
+    EXPECT_EQ(r.get_u64_vec("u"),
+              (std::vector<std::uint64_t>{0, 1, 0xffffffffffffffffULL}));
+    EXPECT_TRUE(r.get_u64_vec("u_empty").empty());
+}
+
+TEST(CheckpointState, MissingKeyNamesSectionAndKey)
+{
+    const StateReader r("gpu.3", "a=1\n");
+    try {
+        r.get_i64("energy_j");
+        FAIL() << "expected CheckpointError";
+    }
+    catch (const CheckpointError& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("gpu.3"), std::string::npos) << what;
+        EXPECT_NE(what.find("energy_j"), std::string::npos) << what;
+    }
+}
+
+TEST(CheckpointState, MalformedPayloadRejected)
+{
+    EXPECT_THROW(StateReader("s", "no_equals_sign\n"), CheckpointError);
+    EXPECT_THROW(StateReader("s", "dup=1\ndup=2\n"), CheckpointError);
+
+    const StateReader r("s", "i=12x\nu=-3\nb=2\nf=1.0\n");
+    EXPECT_THROW(r.get_i64("i"), CheckpointError);  // trailing bytes
+    EXPECT_THROW(r.get_u64("u"), CheckpointError);  // negative for unsigned
+    EXPECT_THROW(r.get_bool("b"), CheckpointError); // not 0/1
+    EXPECT_THROW(r.get_f64("f"), CheckpointError);  // not hex-encoded
+}
+
+TEST(CheckpointState, KeysWithPrefixInFileOrder)
+{
+    StateWriter w;
+    w.put_i64("offset.1.key", 1);
+    w.put_i64("offset.0.key", 0);
+    w.put_i64("other", 9);
+    const StateReader r("s", w.str());
+    const auto keys = r.keys_with_prefix("offset.");
+    ASSERT_EQ(keys.size(), 2u);
+    EXPECT_EQ(keys[0], "offset.1.key");
+    EXPECT_EQ(keys[1], "offset.0.key");
+}
+
+} // namespace
+} // namespace gsph::checkpoint

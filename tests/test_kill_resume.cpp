@@ -1,0 +1,257 @@
+/// Kill-resume harness (the ISSUE's acceptance gate): fork/exec the real
+/// CLI, let the fault injector SIGKILL it mid-run after a checkpoint
+/// committed, resume from the checkpoint directory, and require the resumed
+/// run's summary JSON to be byte-identical to an uninterrupted run's once
+/// the provenance object is stripped.  Also drives every CLI-level
+/// rejection path: torn data files, version skew, config-hash mismatch.
+///
+/// GSPH_CLI_PATH is injected by CMake as $<TARGET_FILE:greensph_cli>.
+
+#include "telemetry/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+namespace gsph {
+namespace {
+
+class TempDir {
+public:
+    TempDir()
+    {
+        char pattern[] = "/tmp/gsph_kill_XXXXXX";
+        const char* dir = ::mkdtemp(pattern);
+        if (!dir) throw std::runtime_error("mkdtemp failed");
+        path_ = dir;
+    }
+    ~TempDir()
+    {
+        const std::string cmd = "rm -rf '" + path_ + "'";
+        (void)std::system(cmd.c_str());
+    }
+    const std::string& path() const { return path_; }
+
+private:
+    std::string path_;
+};
+
+std::string slurp(const std::string& path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream out;
+    out << in.rdbuf();
+    return out.str();
+}
+
+void spill(const std::string& path, const std::string& data)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out << data;
+    ASSERT_TRUE(out.good()) << path;
+}
+
+/// fork/exec the CLI; returns the raw waitpid status.  Child stdout/stderr
+/// go to /dev/null — rejection tests intentionally provoke error output.
+int run_cli(const std::vector<std::string>& args)
+{
+    std::vector<char*> argv;
+    argv.push_back(const_cast<char*>(GSPH_CLI_PATH));
+    for (const std::string& arg : args) {
+        argv.push_back(const_cast<char*>(arg.c_str()));
+    }
+    argv.push_back(nullptr);
+
+    const pid_t pid = ::fork();
+    if (pid < 0) throw std::runtime_error("fork failed");
+    if (pid == 0) {
+        std::freopen("/dev/null", "w", stdout);
+        std::freopen("/dev/null", "w", stderr);
+        ::execv(GSPH_CLI_PATH, argv.data());
+        std::_Exit(127);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    return status;
+}
+
+bool exited_zero(int status) { return WIFEXITED(status) && WEXITSTATUS(status) == 0; }
+bool exited_nonzero(int status)
+{
+    return WIFEXITED(status) && WEXITSTATUS(status) != 0;
+}
+
+/// Summary members keyed by name, each compact-dumped, minus "provenance".
+std::map<std::string, std::string> summary_members(const std::string& path)
+{
+    const std::string text = slurp(path);
+    EXPECT_FALSE(text.empty()) << "missing summary " << path;
+    std::map<std::string, std::string> out;
+    if (text.empty()) return out;
+    const telemetry::Json doc = telemetry::Json::parse(text);
+    for (const auto& [name, value] : doc.members()) {
+        if (name == "provenance") continue;
+        out[name] = value.dump();
+    }
+    return out;
+}
+
+struct KillCase {
+    int threads;
+    int ranks;
+    const char* policy;
+    const char* faults; // durable clauses, "" = none
+};
+
+std::string case_name(const testing::TestParamInfo<KillCase>& info)
+{
+    std::string policy = info.param.policy;
+    const auto colon = policy.find(':');
+    if (colon != std::string::npos) policy.erase(colon);
+    std::string name = policy + "Threads" + std::to_string(info.param.threads) +
+                       "Ranks" + std::to_string(info.param.ranks);
+    if (info.param.faults[0] != '\0') name += "Faulted";
+    return name;
+}
+
+std::vector<std::string> run_args(const KillCase& param, const std::string& ckpt_dir,
+                                  const std::string& summary, const std::string& faults)
+{
+    std::vector<std::string> args = {
+        "run",           "--system",          "minihpc",
+        "--workload",    "turbulence",        "--policy",
+        param.policy,    "--ranks",           std::to_string(param.ranks),
+        "--steps",       "8",                 "--threads",
+        std::to_string(param.threads),        "--nside",
+        "6",             "--checkpoint-every", "2",
+        "--checkpoint-dir", ckpt_dir,         "--summary-json",
+        summary,         "--log-level",       "off",
+    };
+    if (!faults.empty()) {
+        args.push_back("--fault-spec");
+        args.push_back(faults);
+    }
+    return args;
+}
+
+class KillResume : public testing::TestWithParam<KillCase> {};
+
+TEST_P(KillResume, ResumedSummaryMatchesUninterruptedMinusProvenance)
+{
+    const KillCase param = GetParam();
+    TempDir dir;
+    const std::string ref_summary = dir.path() + "/ref.json";
+    const std::string res_summary = dir.path() + "/resumed.json";
+    const std::string ref_ckpt = dir.path() + "/ck_ref";
+    const std::string kill_ckpt = dir.path() + "/ck_kill";
+
+    // Uninterrupted reference (same durable faults, no kill clause).
+    ASSERT_TRUE(exited_zero(
+        run_cli(run_args(param, ref_ckpt, ref_summary, param.faults))));
+
+    // Killed run: SIGKILL at end of step index 4, after the step-4 commit.
+    std::string killer = param.faults;
+    if (!killer.empty()) killer += ";";
+    killer += "kill-at-step:step=4";
+    const int status = run_cli(run_args(param, kill_ckpt, res_summary, killer));
+    ASSERT_TRUE(WIFSIGNALED(status)) << "status " << status;
+    EXPECT_EQ(WTERMSIG(status), SIGKILL);
+    EXPECT_TRUE(slurp(res_summary).empty()) << "killed run must not emit a summary";
+
+    // Resume: run-defining options come from the checkpoint, not the flags.
+    ASSERT_TRUE(exited_zero(run_cli({"run", "--resume", kill_ckpt, "--summary-json",
+                                     res_summary, "--log-level", "off"})));
+
+    const auto ref = summary_members(ref_summary);
+    const auto resumed = summary_members(res_summary);
+    ASSERT_FALSE(ref.empty());
+    EXPECT_EQ(resumed, ref);
+
+    // Provenance must record the resume itself.
+    const auto doc = telemetry::Json::parse(slurp(res_summary));
+    ASSERT_TRUE(doc.contains("provenance"));
+    EXPECT_EQ(doc.at("provenance").at("resumed_from").as_string(), kill_ckpt);
+    const auto ref_doc = telemetry::Json::parse(slurp(ref_summary));
+    EXPECT_EQ(ref_doc.at("provenance").at("resumed_from").as_string(), "");
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cli, KillResume,
+    testing::Values(KillCase{1, 2, "static:1200", ""},
+                    KillCase{4, 4, "static:1200", ""},
+                    KillCase{4, 2, "mandyn", "transient-set:p=0.2"}),
+    case_name);
+
+/// Produce a real killed-run checkpoint directory for the rejection tests.
+void make_killed_checkpoint(const TempDir& dir, const std::string& ckpt_dir)
+{
+    const KillCase param{1, 2, "static:1200", ""};
+    const int status = run_cli(run_args(param, ckpt_dir, dir.path() + "/s.json",
+                                        "kill-at-step:step=4"));
+    ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);
+}
+
+TEST(KillResumeRejection, CorruptedDataFileFailsResume)
+{
+    TempDir dir;
+    const std::string ckpt = dir.path() + "/ck";
+    make_killed_checkpoint(dir, ckpt);
+
+    const auto manifest = telemetry::Json::parse(slurp(ckpt + "/MANIFEST.json"));
+    const std::string data_path =
+        ckpt + "/" + manifest.at("data_file").as_string();
+    std::string data = slurp(data_path);
+    ASSERT_FALSE(data.empty());
+    data[data.size() / 2] ^= 0x01;
+    spill(data_path, data);
+
+    EXPECT_TRUE(exited_nonzero(
+        run_cli({"run", "--resume", ckpt, "--log-level", "off"})));
+}
+
+TEST(KillResumeRejection, FormatVersionSkewFailsResume)
+{
+    TempDir dir;
+    const std::string ckpt = dir.path() + "/ck";
+    make_killed_checkpoint(dir, ckpt);
+
+    auto manifest = telemetry::Json::parse(slurp(ckpt + "/MANIFEST.json"));
+    manifest["format_version"] = manifest.at("format_version").as_number() + 1;
+    spill(ckpt + "/MANIFEST.json", manifest.dump(2) + "\n");
+
+    EXPECT_TRUE(exited_nonzero(
+        run_cli({"run", "--resume", ckpt, "--log-level", "off"})));
+}
+
+TEST(KillResumeRejection, ConfigHashMismatchFailsResume)
+{
+    TempDir dir;
+    const std::string ckpt = dir.path() + "/ck";
+    make_killed_checkpoint(dir, ckpt);
+
+    auto manifest = telemetry::Json::parse(slurp(ckpt + "/MANIFEST.json"));
+    manifest["config_hash"] = "deadbeefdeadbeef";
+    spill(ckpt + "/MANIFEST.json", manifest.dump(2) + "\n");
+
+    EXPECT_TRUE(exited_nonzero(
+        run_cli({"run", "--resume", ckpt, "--log-level", "off"})));
+}
+
+TEST(KillResumeRejection, MissingCheckpointDirFailsResume)
+{
+    EXPECT_TRUE(exited_nonzero(run_cli(
+        {"run", "--resume", "/nonexistent/gsph_ck", "--log-level", "off"})));
+}
+
+} // namespace
+} // namespace gsph

@@ -117,6 +117,32 @@ TEST(Json, ParseRejectsMalformed)
     EXPECT_THROW(Json::parse("{\"a\" 1}"), std::invalid_argument);
 }
 
+TEST(Json, EscapeRoundTripRegression)
+{
+    // Regression for the escaping fix: control characters must escape,
+    // well-formed UTF-8 must pass through byte-for-byte, and invalid bytes
+    // must become U+FFFD — never raw bytes strict JSON consumers reject.
+    const std::string controls = "a\x01\x02\x1f\x7f";
+    EXPECT_EQ(json_escape(controls), "a\\u0001\\u0002\\u001f\x7f");
+
+    const std::string utf8 = "\xcf\x80\xcf\x86 \xe2\x9c\x93 \xf0\x9f\x9a\x80";
+    EXPECT_EQ(json_escape(utf8), utf8); // "πφ ✓ 🚀" untouched
+
+    EXPECT_EQ(json_escape(std::string(1, '\x80')), "\\ufffd"); // lone continuation
+    EXPECT_EQ(json_escape("\xe2\x9c"), "\\ufffd\\ufffd");      // truncated 3-byte
+    EXPECT_EQ(json_escape("\xc0\xaf"), "\\ufffd\\ufffd");      // overlong encoding
+    EXPECT_EQ(json_escape("\xed\xa0\x80"), "\\ufffd\\ufffd\\ufffd"); // surrogate
+
+    // parse(dump()) restores escaped documents exactly, compact and pretty.
+    Json doc = Json::object();
+    doc["ctl"] = std::string("tab\t nl\n \x01");
+    doc["utf8"] = utf8;
+    const Json back = Json::parse(doc.dump());
+    EXPECT_EQ(back.at("ctl").as_string(), "tab\t nl\n \x01");
+    EXPECT_EQ(back.at("utf8").as_string(), utf8);
+    EXPECT_EQ(Json::parse(doc.dump(2)).dump(), doc.dump());
+}
+
 TEST(Json, ParseNumbers)
 {
     EXPECT_DOUBLE_EQ(Json::parse("-12.5e2").as_number(), -1250.0);

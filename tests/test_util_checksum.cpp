@@ -1,0 +1,83 @@
+/// Checksums (checkpoint integrity) and atomic file replacement (every
+/// machine-readable artifact greensph writes).
+
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace gsph::util {
+namespace {
+
+TEST(Checksum, Crc32KnownVectors)
+{
+    // The standard IEEE 802.3 check value — any polynomial, reflection or
+    // init mistake changes it.
+    EXPECT_EQ(crc32("123456789"), 0xCBF43926u);
+    EXPECT_EQ(crc32(""), 0x00000000u);
+    EXPECT_NE(crc32("a"), crc32("b"));
+    // Embedded NUL bytes are data, not terminators.
+    const std::string with_nul("a\0b", 3);
+    EXPECT_NE(crc32(with_nul), crc32("ab"));
+}
+
+TEST(Checksum, Fnv1a64KnownVectors)
+{
+    EXPECT_EQ(fnv1a64(""), 0xcbf29ce484222325ULL); // offset basis
+    EXPECT_EQ(fnv1a64("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a64("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(Checksum, HexRenderingIsFixedWidthLowercase)
+{
+    EXPECT_EQ(hex32(0u), "00000000");
+    EXPECT_EQ(hex32(0xCBF43926u), "cbf43926");
+    EXPECT_EQ(hex64(0u), "0000000000000000");
+    EXPECT_EQ(hex64(0xDEADBEEF01ULL), "000000deadbeef01");
+}
+
+TEST(AtomicFile, WriteAndOverwrite)
+{
+    char pattern[] = "/tmp/gsph_atomic_XXXXXX";
+    const char* dir = ::mkdtemp(pattern);
+    ASSERT_NE(dir, nullptr);
+    const std::string path = std::string(dir) + "/out.json";
+
+    ASSERT_TRUE(atomic_write_file(path, "first"));
+    std::ifstream first(path);
+    std::ostringstream buf1;
+    buf1 << first.rdbuf();
+    EXPECT_EQ(buf1.str(), "first");
+
+    ASSERT_TRUE(atomic_write_file(path, "second, longer content"));
+    std::ifstream second(path);
+    std::ostringstream buf2;
+    buf2 << second.rdbuf();
+    EXPECT_EQ(buf2.str(), "second, longer content");
+
+    // No leftover temp files after successful writes.
+    int entries = 0;
+    for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+        (void)entry;
+        ++entries;
+    }
+    EXPECT_EQ(entries, 1); // just out.json
+
+    const std::string rm = "rm -rf '" + std::string(dir) + "'";
+    (void)std::system(rm.c_str());
+}
+
+TEST(AtomicFile, FailurePathsReturnFalse)
+{
+    EXPECT_FALSE(atomic_write_file("", "x"));
+    EXPECT_FALSE(atomic_write_file("/nonexistent_dir_gsph/file", "x"));
+}
+
+} // namespace
+} // namespace gsph::util

@@ -32,9 +32,19 @@
 ///                      class:key=value[,key=value][;class:...] with classes
 ///                      transient-set:p=P, perm-loss:after=N,
 ///                      stuck:at=N[,count=M], energy-wrap:p=P,
-///                      slow:p=P[,ms=T]   (see faults/fault_injector.hpp)
+///                      slow:p=P[,ms=T], kill-at-step:step=N
+///                      (see faults/fault_injector.hpp)
 ///   --fault-seed N     RNG seed for fault draws               (42)
+///   --checkpoint-every N   commit a crash-consistent checkpoint after every
+///                      N completed steps (needs --checkpoint-dir)
+///   --checkpoint-dir D     directory for checkpoint files
+///   --resume D         resume the run checkpointed in D; the original
+///                      run-defining options (system, workload, policy,
+///                      ranks, steps, ...) are restored from the checkpoint
+///                      and the completed steps are not re-executed — the
+///                      resumed run is bit-identical to an uninterrupted one
 
+#include "checkpoint/checkpoint.hpp"
 #include "core/online_tuner.hpp"
 #include "faults/fault_injector.hpp"
 #include "core/pareto.hpp"
@@ -46,6 +56,8 @@
 #include "telemetry/run_summary.hpp"
 #include "telemetry/run_tracer.hpp"
 #include "tuning/kernel_tuner.hpp"
+#include "util/atomic_file.hpp"
+#include "util/checksum.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
@@ -57,6 +69,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <vector>
 
 using namespace gsph;
 
@@ -83,6 +96,9 @@ struct Options {
     std::string log_filter;
     std::string fault_spec;
     std::uint64_t fault_seed = 42;
+    int checkpoint_every = 0;
+    std::string checkpoint_dir;
+    std::string resume_dir;
 };
 
 void usage()
@@ -98,7 +114,8 @@ void usage()
               << "  --fault-spec 'class:key=value[;class:...]' --fault-seed N\n"
               << "    fault classes: transient-set:p=P  perm-loss:after=N\n"
               << "                   stuck:at=N[,count=M]  energy-wrap:p=P\n"
-              << "                   slow:p=P[,ms=T]\n";
+              << "                   slow:p=P[,ms=T]  kill-at-step:step=N\n"
+              << "  --checkpoint-every N --checkpoint-dir DIR --resume DIR\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -130,6 +147,9 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--log-filter") opt.log_filter = next();
         else if (key == "--fault-spec") opt.fault_spec = next();
         else if (key == "--fault-seed") opt.fault_seed = std::stoull(next());
+        else if (key == "--checkpoint-every") opt.checkpoint_every = std::stoi(next());
+        else if (key == "--checkpoint-dir") opt.checkpoint_dir = next();
+        else if (key == "--resume") opt.resume_dir = next();
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
@@ -152,10 +172,19 @@ void configure_logging(const Options& opt)
 
 bool write_metrics_json(const std::string& path)
 {
-    std::ofstream out(path);
-    if (!out) return false;
-    out << telemetry::MetricsRegistry::global().to_json().dump(2) << "\n";
-    return static_cast<bool>(out);
+    return util::atomic_write_file(
+        path, telemetry::MetricsRegistry::global().to_json().dump(2) + "\n");
+}
+
+/// The fault spec as it survives across a kill: the one-shot kill-at-step
+/// clause disarmed (FaultSpec::durable()), canonically rendered.  Empty when
+/// nothing recoverable remains — a kill-only spec draws no RNG, so the run
+/// is indistinguishable from an un-faulted one and must hash identically.
+std::string durable_fault_spec(const Options& opt)
+{
+    if (opt.fault_spec.empty()) return {};
+    const auto durable = faults::FaultSpec::parse(opt.fault_spec).durable();
+    return durable.any() ? durable.describe() : std::string();
 }
 
 telemetry::Json config_echo(const Options& opt)
@@ -169,11 +198,115 @@ telemetry::Json config_echo(const Options& opt)
     config["threads"] = opt.threads;
     config["nside"] = opt.nside;
     config["particles_per_gpu"] = opt.particles_per_gpu;
-    if (!opt.fault_spec.empty()) {
-        config["fault_spec"] = opt.fault_spec;
+    // The durable rendering keeps the echo (and hence the config hash and
+    // the run summary) identical across kill -> resume and the
+    // uninterrupted reference run.
+    const std::string durable_spec = durable_fault_spec(opt);
+    if (!durable_spec.empty()) {
+        config["fault_spec"] = durable_spec;
         config["fault_seed"] = static_cast<std::size_t>(opt.fault_seed);
     }
     return config;
+}
+
+/// hex64 FNV-1a over the compact canonical config echo: the identity a
+/// checkpoint records and a resume verifies.
+std::string config_hash_of(const Options& opt)
+{
+    return util::hex64(util::fnv1a64(config_echo(opt).dump()));
+}
+
+/// The run-defining options a checkpoint preserves (`cli` section).  Output
+/// destinations (--csv/--*-json) and checkpoint flags are deliberately NOT
+/// stored: they belong to the invoking command line, not the simulated run.
+void save_cli_options(checkpoint::StateWriter& w, const Options& opt)
+{
+    w.put_str("system", opt.system);
+    w.put_str("workload", opt.workload);
+    w.put_str("policy", opt.policy);
+    w.put_i64("ranks", opt.ranks);
+    w.put_i64("steps", opt.steps);
+    w.put_i64("threads", opt.threads);
+    w.put_i64("nside", opt.nside);
+    w.put_f64("particles_per_gpu", opt.particles_per_gpu);
+    w.put_str("trace_in", opt.trace_in);
+    w.put_str("fault_spec", durable_fault_spec(opt));
+    w.put_u64("fault_seed", opt.fault_seed);
+}
+
+void apply_cli_options(const checkpoint::StateReader& r, Options& opt)
+{
+    opt.system = r.get_str("system");
+    opt.workload = r.get_str("workload");
+    opt.policy = r.get_str("policy");
+    opt.ranks = static_cast<int>(r.get_i64("ranks"));
+    opt.steps = static_cast<int>(r.get_i64("steps"));
+    opt.threads = static_cast<int>(r.get_i64("threads"));
+    opt.nside = static_cast<int>(r.get_i64("nside"));
+    opt.particles_per_gpu = r.get_f64("particles_per_gpu");
+    opt.trace_in = r.get_str("trace_in");
+    opt.fault_spec = r.get_str("fault_spec");
+    opt.fault_seed = r.get_u64("fault_seed");
+}
+
+void save_metrics(checkpoint::StateWriter& w)
+{
+    const telemetry::MetricsSnapshot snap =
+        telemetry::MetricsRegistry::global().snapshot();
+    w.put_u64("counters", snap.counters.size());
+    std::size_t i = 0;
+    for (const auto& [name, value] : snap.counters) {
+        const std::string prefix = "counter." + std::to_string(i++) + ".";
+        w.put_str(prefix + "name", name);
+        w.put_f64(prefix + "value", value);
+    }
+    w.put_u64("gauges", snap.gauges.size());
+    i = 0;
+    for (const auto& [name, value] : snap.gauges) {
+        const std::string prefix = "gauge." + std::to_string(i++) + ".";
+        w.put_str(prefix + "name", name);
+        w.put_f64(prefix + "value", value);
+    }
+    w.put_u64("histograms", snap.histograms.size());
+    i = 0;
+    for (const auto& [name, h] : snap.histograms) {
+        const std::string prefix = "hist." + std::to_string(i++) + ".";
+        w.put_str(prefix + "name", name);
+        w.put_u64(prefix + "n", h.n);
+        w.put_f64(prefix + "mean", h.mean);
+        w.put_f64(prefix + "m2", h.m2);
+        w.put_f64(prefix + "min", h.min);
+        w.put_f64(prefix + "max", h.max);
+        w.put_f64(prefix + "sum", h.sum);
+    }
+}
+
+void restore_metrics(const checkpoint::StateReader& r)
+{
+    telemetry::MetricsSnapshot snap;
+    const std::uint64_t n_counters = r.get_u64("counters");
+    for (std::uint64_t i = 0; i < n_counters; ++i) {
+        const std::string prefix = "counter." + std::to_string(i) + ".";
+        snap.counters[r.get_str(prefix + "name")] = r.get_f64(prefix + "value");
+    }
+    const std::uint64_t n_gauges = r.get_u64("gauges");
+    for (std::uint64_t i = 0; i < n_gauges; ++i) {
+        const std::string prefix = "gauge." + std::to_string(i) + ".";
+        snap.gauges[r.get_str(prefix + "name")] = r.get_f64(prefix + "value");
+    }
+    const std::uint64_t n_hists = r.get_u64("histograms");
+    for (std::uint64_t i = 0; i < n_hists; ++i) {
+        const std::string prefix = "hist." + std::to_string(i) + ".";
+        telemetry::MetricsSnapshot::HistogramState h;
+        h.n = static_cast<std::size_t>(r.get_u64(prefix + "n"));
+        h.mean = r.get_f64(prefix + "mean");
+        h.m2 = r.get_f64(prefix + "m2");
+        h.min = r.get_f64(prefix + "min");
+        h.max = r.get_f64(prefix + "max");
+        h.sum = r.get_f64(prefix + "sum");
+        snap.histograms[r.get_str(prefix + "name")] = h;
+    }
+    telemetry::MetricsRegistry::global().restore(snap);
 }
 
 /// Install the --fault-spec injector for the duration of a command (the
@@ -293,9 +426,31 @@ int cmd_tune(const Options& opt)
     return 0;
 }
 
-int cmd_run(const Options& opt)
+int cmd_run(Options opt, const std::vector<std::string>& argv)
 {
     telemetry::MetricsRegistry::global().reset();
+
+    // Resume: load + validate the checkpoint first, then rebuild the exact
+    // original run configuration from its `cli` section (the invoking
+    // command line only contributes output destinations).
+    checkpoint::Snapshot snapshot;
+    const bool resuming = !opt.resume_dir.empty();
+    if (resuming) {
+        snapshot = checkpoint::read_latest(opt.resume_dir);
+        apply_cli_options(snapshot.reader("cli"), opt);
+        const std::string current_hash = config_hash_of(opt);
+        if (snapshot.config_hash != current_hash) {
+            throw std::runtime_error(
+                "--resume: config hash mismatch (checkpoint " +
+                snapshot.config_hash + ", current " + current_hash +
+                "): the checkpoint was written by a run with a different "
+                "configuration");
+        }
+        std::cout << "Resuming from " << opt.resume_dir << " at step "
+                  << snapshot.step << " of " << opt.steps << "\n";
+    }
+
+    const std::string config_hash = config_hash_of(opt);
     const auto faults_guard = install_faults(opt);
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
@@ -314,6 +469,13 @@ int cmd_run(const Options& opt)
     cfg.setup_s = 45.0;
     cfg.n_steps = opt.steps;
     cfg.n_threads = opt.threads;
+    cfg.checkpoint_every = opt.checkpoint_every;
+    cfg.checkpoint_dir = opt.checkpoint_dir;
+    cfg.config_hash = config_hash;
+    if (opt.checkpoint_every > 0 && opt.checkpoint_dir.empty()) {
+        throw std::invalid_argument("--checkpoint-every needs --checkpoint-dir");
+    }
+    if (resuming) cfg.resume = &snapshot;
 
     sim::RunHooks hooks;
     std::unique_ptr<core::EnergyProfiler> profiler;
@@ -328,6 +490,51 @@ int cmd_run(const Options& opt)
         tracer = std::make_unique<telemetry::RunTracer>(opt.ranks);
         tracer->attach(hooks);
     }
+
+    // Checkpoint participants beyond the driver's own simulated state.
+    // Saved at every checkpoint boundary and restored (in this order) by
+    // the driver before the first resumed step — after the policy's
+    // attach(), which is what creates the state being restored.
+    checkpoint::StateRegistry registry;
+    auto* policy_ptr = policy.get();
+    registry.add(
+        "cli", [opt](checkpoint::StateWriter& w) { save_cli_options(w, opt); },
+        [](const checkpoint::StateReader&) { /* applied before construction */ });
+    registry.add(
+        "policy",
+        [policy_ptr](checkpoint::StateWriter& w) { policy_ptr->save_state(w); },
+        [policy_ptr](const checkpoint::StateReader& r) {
+            policy_ptr->restore_state(r);
+        });
+    if (faults::FaultInjector* injector = faults::active()) {
+        registry.add(
+            "faults",
+            [injector](checkpoint::StateWriter& w) { injector->save_state(w); },
+            [injector](const checkpoint::StateReader& r) {
+                injector->restore_state(r);
+            });
+    }
+    registry.add("metrics", [](checkpoint::StateWriter& w) { save_metrics(w); },
+                 [](const checkpoint::StateReader& r) { restore_metrics(r); });
+    // Profiler and tracer exist only when their output flags are given, and
+    // a resume may add flags the interrupted run lacked — so their sections
+    // are optional: absent from the snapshot means "start fresh".
+    if (profiler) {
+        auto* prof = profiler.get();
+        registry.add(
+            "profiler",
+            [prof](checkpoint::StateWriter& w) { prof->save_state(w); },
+            [prof](const checkpoint::StateReader& r) { prof->restore_state(r); },
+            /*optional=*/true);
+    }
+    if (tracer) {
+        auto* tr = tracer.get();
+        registry.add(
+            "runtracer", [tr](checkpoint::StateWriter& w) { tr->save_state(w); },
+            [tr](const checkpoint::StateReader& r) { tr->restore_state(r); },
+            /*optional=*/true);
+    }
+    cfg.checkpoint_participants = &registry;
 
     std::cout << "Running " << trace.workload_name << " on " << system.name << " with "
               << opt.ranks << " rank(s) under " << policy->name() << "...\n\n";
@@ -382,6 +589,10 @@ int cmd_run(const Options& opt)
         telemetry::RunSummaryContext ctx;
         ctx.policy = policy->name();
         ctx.config = config_echo(opt);
+        ctx.argv = argv;
+        ctx.config_hash = config_hash;
+        if (resuming) ctx.resumed_from = opt.resume_dir;
+        ctx.checkpoints_written = result.checkpoints_written;
         if (!telemetry::write_run_summary(opt.summary_json, result, ctx)) {
             std::cerr << "error: failed to write " << opt.summary_json << "\n";
             return 1;
@@ -404,7 +615,9 @@ int main(int argc, char** argv)
         configure_logging(opt);
         if (opt.command == "systems") return cmd_systems();
         if (opt.command == "tune") return cmd_tune(opt);
-        if (opt.command == "run") return cmd_run(opt);
+        if (opt.command == "run") {
+            return cmd_run(opt, std::vector<std::string>(argv, argv + argc));
+        }
         std::cerr << "unknown command: " << opt.command << "\n";
         usage();
         return 1;
