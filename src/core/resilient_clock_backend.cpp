@@ -25,12 +25,14 @@
 
 #include "core/clock_backend.hpp"
 
+#include "telemetry/live.hpp"
 #include "telemetry/metrics.hpp"
 
 #include <chrono>
 #include <cmath>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gsph::core {
@@ -40,6 +42,23 @@ namespace {
 telemetry::Counter& clock_counter(const char* name)
 {
     return telemetry::MetricsRegistry::global().counter(name);
+}
+
+/// Time one management call for the live observability plane.  When no
+/// observer is installed (every run without --metrics-port/--sample-every)
+/// this is a plain call — not even the steady_clock reads happen, so the
+/// pre-observability instruction stream is preserved exactly.  Backoff
+/// sleeps are deliberately *outside* these timings: a stall alert must mean
+/// the vendor library stalled, not that our own retry policy slept.
+template <typename F>
+ClockStatus timed_mgmt_call(const char* op, F&& call)
+{
+    if (!telemetry::call_latency_observed()) return call();
+    const auto t0 = std::chrono::steady_clock::now();
+    const ClockStatus status = call();
+    const std::chrono::duration<double> dt = std::chrono::steady_clock::now() - t0;
+    telemetry::observe_call_latency(op, dt.count());
+    return status;
 }
 
 class ResilientClockBackend final : public ClockBackend {
@@ -80,13 +99,16 @@ public:
                 retries.inc();
                 backoff(attempt);
             }
-            status = inner_->set_cap_mhz(rank, mhz);
+            status = timed_mgmt_call(
+                "clock.set", [&] { return inner_->set_cap_mhz(rank, mhz); });
             if (status == ClockStatus::kOk && config_.verify_readback) {
                 double applied = 0.0;
                 // kUnavailable from get_cap_mhz means the vendor surface has
                 // no cap query (rocm_smi) — verification is skipped, not
                 // failed.
-                if (inner_->get_cap_mhz(rank, &applied) == ClockStatus::kOk &&
+                if (timed_mgmt_call("clock.get",
+                                    [&] { return inner_->get_cap_mhz(rank, &applied); }) ==
+                        ClockStatus::kOk &&
                     std::abs(applied - mhz) > config_.verify_tolerance_mhz) {
                     mismatches.inc();
                     status = ClockStatus::kVerifyFailed;
@@ -114,7 +136,8 @@ public:
     {
         if (rank < 0) return ClockStatus::kInvalidArgument;
         ensure_rank(rank);
-        const ClockStatus status = inner_->reset(rank);
+        const ClockStatus status =
+            timed_mgmt_call("clock.reset", [&] { return inner_->reset(rank); });
         if (status == ClockStatus::kOk) {
             // An explicit restore that works clears the degraded latch: the
             // operator may have re-granted permission between runs.

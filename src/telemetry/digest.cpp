@@ -1,0 +1,181 @@
+#include "telemetry/digest.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace gsph::telemetry {
+
+namespace {
+
+/// Values at or below this magnitude share the underflow bucket: the log
+/// mapping needs a positive lower cutoff, and sub-picosecond durations /
+/// sub-picojoule energies are below anything the simulation produces.
+constexpr double kLowCutoff = 1e-12;
+
+} // namespace
+
+LogHistogram::LogHistogram(double relative_accuracy) : alpha_(relative_accuracy)
+{
+    if (!(relative_accuracy > 0.0) || !(relative_accuracy < 1.0)) {
+        throw std::invalid_argument("LogHistogram: relative_accuracy outside (0, 1)");
+    }
+    gamma_ = (1.0 + alpha_) / (1.0 - alpha_);
+    log_gamma_ = std::log(gamma_);
+}
+
+std::int64_t LogHistogram::index_of(double value) const
+{
+    // Bucket b covers (gamma^(b-1), gamma^b].
+    return static_cast<std::int64_t>(std::ceil(std::log(value) / log_gamma_));
+}
+
+double LogHistogram::bucket_lo(std::int64_t index) const
+{
+    return std::exp(static_cast<double>(index - 1) * log_gamma_);
+}
+
+double LogHistogram::bucket_hi(std::int64_t index) const
+{
+    return std::exp(static_cast<double>(index) * log_gamma_);
+}
+
+void LogHistogram::observe(double value)
+{
+    if (count_ == 0) {
+        min_ = value;
+        max_ = value;
+    }
+    else {
+        min_ = std::min(min_, value);
+        max_ = std::max(max_, value);
+    }
+    ++count_;
+    const double y = value - sum_c_;
+    const double t = sum_ + y;
+    sum_c_ = (t - sum_) - y;
+    sum_ = t;
+    if (value <= kLowCutoff) {
+        ++low_count_;
+    }
+    else {
+        ++buckets_[index_of(value)];
+    }
+}
+
+void LogHistogram::merge(const LogHistogram& other)
+{
+    if (other.count_ == 0) return;
+    if (other.alpha_ != alpha_) {
+        throw std::invalid_argument("LogHistogram::merge: accuracy mismatch");
+    }
+    if (count_ == 0) {
+        min_ = other.min_;
+        max_ = other.max_;
+    }
+    else {
+        min_ = std::min(min_, other.min_);
+        max_ = std::max(max_, other.max_);
+    }
+    count_ += other.count_;
+    low_count_ += other.low_count_;
+    const double y = other.sum_ - sum_c_;
+    const double t = sum_ + y;
+    sum_c_ = (t - sum_) - y;
+    sum_ = t;
+    for (const auto& [index, n] : other.buckets_) buckets_[index] += n;
+}
+
+void LogHistogram::reset()
+{
+    count_ = 0;
+    min_ = 0.0;
+    max_ = 0.0;
+    sum_ = 0.0;
+    sum_c_ = 0.0;
+    low_count_ = 0;
+    buckets_.clear();
+}
+
+double LogHistogram::min() const { return count_ ? min_ : 0.0; }
+double LogHistogram::max() const { return count_ ? max_ : 0.0; }
+
+double LogHistogram::mean() const
+{
+    return count_ ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+double LogHistogram::quantile(double q) const
+{
+    if (count_ == 0) return 0.0;
+    const double clamped = std::clamp(q, 0.0, 100.0);
+    const double target =
+        clamped / 100.0 * static_cast<double>(count_ - 1); // continuous rank
+    // Exact extremes regardless of bucket population.
+    if (target <= 0.0) return min_;
+    if (target >= static_cast<double>(count_ - 1)) return max_;
+
+    // Walk buckets in value order: the underflow bucket first, then the log
+    // buckets ascending (std::map order).
+    std::uint64_t before = 0;
+    auto interpolate = [&](double lo, double hi, std::uint64_t in_bucket) {
+        // Clamp edges to the observed range: data confined to one bucket
+        // (including a single or all-equal value) then interpolates over
+        // [min, max] exactly instead of snapping to bucket boundaries.
+        lo = std::max(lo, min_);
+        hi = std::min(hi, max_);
+        if (in_bucket <= 1) return (lo + hi) / 2.0;
+        const double frac = (target - static_cast<double>(before)) /
+                            static_cast<double>(in_bucket - 1);
+        return lo + (hi - lo) * frac;
+    };
+    if (static_cast<double>(low_count_) > target) {
+        return interpolate(min_, kLowCutoff, low_count_);
+    }
+    before = low_count_;
+    for (const auto& [index, n] : buckets_) {
+        if (static_cast<double>(before + n) > target) {
+            return interpolate(bucket_lo(index), bucket_hi(index), n);
+        }
+        before += n;
+    }
+    return max_; // unreachable with consistent counts; safe fallback
+}
+
+LogHistogram::State LogHistogram::state() const
+{
+    State s;
+    s.count = count_;
+    s.min = min_;
+    s.max = max_;
+    s.sum = sum_;
+    s.sum_compensation = sum_c_;
+    s.low_count = low_count_;
+    s.bucket_index.reserve(buckets_.size());
+    s.bucket_count.reserve(buckets_.size());
+    for (const auto& [index, n] : buckets_) {
+        s.bucket_index.push_back(index);
+        s.bucket_count.push_back(n);
+    }
+    return s;
+}
+
+void LogHistogram::restore(const State& state)
+{
+    if (state.bucket_index.size() != state.bucket_count.size()) {
+        throw std::invalid_argument(
+            "LogHistogram::restore: bucket index/count length mismatch");
+    }
+    count_ = state.count;
+    min_ = state.min;
+    max_ = state.max;
+    sum_ = state.sum;
+    sum_c_ = state.sum_compensation;
+    low_count_ = state.low_count;
+    buckets_.clear();
+    for (std::size_t i = 0; i < state.bucket_index.size(); ++i) {
+        buckets_[state.bucket_index[i]] = state.bucket_count[i];
+    }
+}
+
+} // namespace gsph::telemetry

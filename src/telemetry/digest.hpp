@@ -1,0 +1,95 @@
+#pragma once
+/// \file digest.hpp
+/// \brief Streaming quantile digest (log-bucketed, HDR/DDSketch-style).
+///
+/// The fixed-accumulator Histogram (util::RunningStat behind a mutex) gives
+/// count/mean/min/max but no tail visibility: an operator watching a
+/// long-running simulation needs p50/p95/p99 of kernel duration, power and
+/// energy-per-step to see whether a frequency decision hurt the tail, and
+/// those distributions span orders of magnitude (microsecond kernels next
+/// to second-long collectives).  A LogHistogram buckets observations
+/// geometrically so relative quantile error is bounded by the configured
+/// accuracy (default 1%) regardless of scale, in O(log range) memory.
+///
+/// Quantile semantics match util::percentile's convention (continuous rank
+/// t = q/100 * (n-1)) so digest reads are drop-in replacements for sorted
+/// full-copy percentile reads:
+///   - the winning bucket is located by cumulative count, then the value is
+///     *linearly interpolated* across the bucket's count span between its
+///     lower and upper edges — never snapped to a bucket boundary;
+///   - bucket edges are clamped to the observed [min, max], so a digest
+///     holding a single value (or identical values, or any data confined to
+///     one bucket's clamped span) reports exact quantiles, not edges.
+///
+/// Determinism: observations are pure function state (sparse ordered bucket
+/// map + Kahan sum), so identical observation sequences produce bit-identical
+/// digests — the property the checkpoint subsystem relies on.  The digest
+/// itself is unsynchronized; MetricsRegistry::digest() wraps one behind a
+/// mutex for cross-thread instrumentation.
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace gsph::telemetry {
+
+class LogHistogram {
+public:
+    /// \param relative_accuracy  bound on relative quantile error, (0, 1).
+    explicit LogHistogram(double relative_accuracy = 0.01);
+
+    void observe(double value);
+    void merge(const LogHistogram& other);
+    void reset();
+
+    std::size_t count() const { return count_; }
+    double min() const;
+    double max() const;
+    double sum() const { return sum_; }
+    double mean() const;
+
+    /// Quantile for q in [0, 100] (percent, mirroring util::percentile).
+    /// 0 when empty.
+    double quantile(double q) const;
+
+    double relative_accuracy() const { return alpha_; }
+    /// Occupied log buckets (diagnostics / tests).
+    std::size_t bucket_count() const { return buckets_.size(); }
+
+    // --- raw state (checkpointing; serialized by the owner) ---------------
+    struct State {
+        std::uint64_t count = 0;
+        double min = 0.0;
+        double max = 0.0;
+        double sum = 0.0;
+        double sum_compensation = 0.0;
+        std::uint64_t low_count = 0; ///< values <= low cutoff (incl. <= 0)
+        std::vector<std::int64_t> bucket_index;
+        std::vector<std::uint64_t> bucket_count;
+    };
+    State state() const;
+    /// Overwrite with previously saved state; restore(state()) is bit-exact.
+    void restore(const State& state);
+
+private:
+    std::int64_t index_of(double value) const;
+    double bucket_lo(std::int64_t index) const;
+    double bucket_hi(std::int64_t index) const;
+
+    double alpha_;
+    double gamma_;     ///< bucket growth factor (1+a)/(1-a)
+    double log_gamma_;
+    std::uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double sum_ = 0.0;
+    double sum_c_ = 0.0; ///< Kahan compensation for sum_
+    /// Values below the low cutoff (including zero and negatives) share one
+    /// bucket spanning [min_, cutoff]; energy/power/duration signals are
+    /// non-negative so this is the underflow corner, not the common path.
+    std::uint64_t low_count_ = 0;
+    std::map<std::int64_t, std::uint64_t> buckets_;
+};
+
+} // namespace gsph::telemetry

@@ -1,0 +1,97 @@
+#pragma once
+/// \file exporter.hpp
+/// \brief Blocking HTTP exporter serving live run state to scrapers.
+///
+/// Serves three endpoints over plain HTTP/1.0, loopback by default:
+///   /metrics       Prometheus text exposition of the metrics registry
+///   /healthz       "ok\n" liveness probe
+///   /summary.json  live run-summary snapshot from the LiveSampler
+///
+/// Two background threads, neither of which ever touches the simulation
+/// thread:
+///   - the SamplerThread re-renders both bodies from registry snapshots at
+///     a fixed wall-clock period into a double buffer;
+///   - the acceptor thread serves the buffered bodies to any number of
+///     scrapers (each request is a buffer copy — a slow scraper can never
+///     block rendering, let alone the run).
+///
+/// Wall-clock cadence lives entirely here; nothing in this file is
+/// checkpointed, so resumed runs stay bit-identical no matter when or how
+/// often scrapers connected.  Port 0 binds an ephemeral port; port() reports
+/// the bound one so tests and CI can scrape without racing for a fixed port.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace gsph::telemetry {
+
+class LiveSampler;
+
+struct ExporterConfig {
+    std::uint16_t port = 0;        ///< 0: ephemeral, see MetricsExporter::port()
+    bool loopback_only = true;     ///< bind 127.0.0.1 (default) vs 0.0.0.0
+    double publish_period_s = 0.25; ///< SamplerThread re-render cadence (wall)
+};
+
+class MetricsExporter {
+public:
+    /// \param sampler  optional source for /summary.json; not owned, may be
+    ///                 null (the endpoint then serves 404).  Must outlive
+    ///                 the exporter or be detached via stop() first.
+    explicit MetricsExporter(ExporterConfig config, const LiveSampler* sampler = nullptr);
+    ~MetricsExporter(); ///< stops and joins if still running
+    MetricsExporter(const MetricsExporter&) = delete;
+    MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+    /// Bind, listen, render initial bodies, then spawn the SamplerThread and
+    /// the acceptor.  Throws std::runtime_error on bind failure.
+    void start();
+    /// Stop both threads and close the socket; idempotent.
+    void stop();
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /// Bound port (resolves ephemeral port 0); valid after start().
+    std::uint16_t port() const { return bound_port_; }
+
+    /// Requests served so far (local counter — deliberately NOT a registry
+    /// metric, since scrape counts are wall-clock facts that must never leak
+    /// into deterministic artifacts).
+    std::uint64_t requests_served() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+    /// One rendering pass (also called by the SamplerThread); exposed so
+    /// tests can force a fresh body without waiting a period.
+    void render_now();
+
+private:
+    void publisher_loop();
+    void acceptor_loop();
+    void serve(int client_fd);
+    std::string http_response(const std::string& path) const;
+
+    ExporterConfig config_;
+    const LiveSampler* sampler_;
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> requests_{0};
+
+    mutable std::mutex body_mutex_;
+    std::string metrics_body_;
+    std::string summary_body_;
+
+    std::mutex stop_mutex_;
+    std::condition_variable stop_cv_;
+    bool stop_requested_ = false;
+
+    std::thread publisher_; ///< the SamplerThread
+    std::thread acceptor_;
+};
+
+} // namespace gsph::telemetry

@@ -1,0 +1,31 @@
+#include "telemetry/live.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace gsph::telemetry {
+
+namespace {
+
+CallLatencyObserver g_observer;
+std::atomic<bool> g_installed{false};
+
+} // namespace
+
+void set_call_latency_observer(CallLatencyObserver observer)
+{
+    g_observer = std::move(observer);
+    g_installed.store(static_cast<bool>(g_observer), std::memory_order_release);
+}
+
+bool call_latency_observed()
+{
+    return g_installed.load(std::memory_order_acquire);
+}
+
+void observe_call_latency(const char* op, double seconds)
+{
+    if (call_latency_observed()) g_observer(op, seconds);
+}
+
+} // namespace gsph::telemetry

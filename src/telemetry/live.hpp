@@ -1,0 +1,37 @@
+#pragma once
+/// \file live.hpp
+/// \brief Process-wide hook between low-level instrument wrappers and the
+/// live observability plane.
+///
+/// The resilient clock backend (core) sits below the anomaly detector
+/// (telemetry_run) in the dependency layering, so it cannot call the
+/// detector directly.  Instead it reports each management call's wall-clock
+/// latency through this observer slot when — and only when — the live plane
+/// installed one.  With no observer installed the backend skips even the
+/// steady_clock reads, so runs without `--metrics-port`/`--sample-every`
+/// execute the exact pre-observability instruction stream.
+///
+/// Wall-clock latency is inherently nondeterministic; consumers must derive
+/// only threshold crossings (call stalled / did not stall) from it, never
+/// checkpointed numeric state.
+
+#include <functional>
+
+namespace gsph::telemetry {
+
+/// \param op       static call-site label ("clock.set", "clock.reset").
+/// \param seconds  wall-clock duration of the management call.
+using CallLatencyObserver = std::function<void(const char* op, double seconds)>;
+
+/// Install (or, with an empty function, remove) the process-wide observer.
+/// Not thread-safe against concurrent observe calls: install before the run
+/// loop starts and remove after it ends, like faults::install.
+void set_call_latency_observer(CallLatencyObserver observer);
+
+/// Cheap gate for instrument wrappers: time the call only when true.
+bool call_latency_observed();
+
+/// Forward one measurement to the installed observer (no-op when none).
+void observe_call_latency(const char* op, double seconds);
+
+} // namespace gsph::telemetry

@@ -16,7 +16,7 @@ Counter& MetricsRegistry::counter(const std::string& name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
-    if (slot.gauge || slot.histogram) {
+    if (slot.gauge || slot.histogram || slot.digest) {
         throw std::invalid_argument("metrics: '" + name + "' is not a counter");
     }
     if (!slot.counter) slot.counter.reset(new Counter(name));
@@ -27,7 +27,7 @@ Gauge& MetricsRegistry::gauge(const std::string& name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
-    if (slot.counter || slot.histogram) {
+    if (slot.counter || slot.histogram || slot.digest) {
         throw std::invalid_argument("metrics: '" + name + "' is not a gauge");
     }
     if (!slot.gauge) slot.gauge.reset(new Gauge(name));
@@ -38,11 +38,22 @@ Histogram& MetricsRegistry::histogram(const std::string& name)
 {
     std::lock_guard<std::mutex> lock(mutex_);
     Instrument& slot = instruments_[name];
-    if (slot.counter || slot.gauge) {
+    if (slot.counter || slot.gauge || slot.digest) {
         throw std::invalid_argument("metrics: '" + name + "' is not a histogram");
     }
     if (!slot.histogram) slot.histogram.reset(new Histogram(name));
     return *slot.histogram;
+}
+
+Digest& MetricsRegistry::digest(const std::string& name)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Instrument& slot = instruments_[name];
+    if (slot.counter || slot.gauge || slot.histogram) {
+        throw std::invalid_argument("metrics: '" + name + "' is not a digest");
+    }
+    if (!slot.digest) slot.digest.reset(new Digest(name));
+    return *slot.digest;
 }
 
 bool MetricsRegistry::has(const std::string& name) const
@@ -61,6 +72,9 @@ double MetricsRegistry::value(const std::string& name) const
     if (it->second.histogram) {
         return static_cast<double>(it->second.histogram->snapshot().count());
     }
+    if (it->second.digest) {
+        return static_cast<double>(it->second.digest->snapshot().count());
+    }
     return 0.0;
 }
 
@@ -74,6 +88,10 @@ void MetricsRegistry::reset()
         if (slot.histogram) {
             std::lock_guard<std::mutex> hist_lock(slot.histogram->mutex_);
             slot.histogram->stat_.reset();
+        }
+        if (slot.digest) {
+            std::lock_guard<std::mutex> digest_lock(slot.digest->mutex_);
+            slot.digest->hist_.reset();
         }
     }
 }
@@ -95,6 +113,10 @@ MetricsSnapshot MetricsRegistry::snapshot() const
             snap.histograms[name] = {s.count(),   s.raw_mean(), s.raw_m2(),
                                      s.raw_min(), s.raw_max(),  s.sum()};
         }
+        else if (slot.digest) {
+            std::lock_guard<std::mutex> digest_lock(slot.digest->mutex_);
+            snap.digests[name] = slot.digest->hist_.state();
+        }
     }
     return snap;
 }
@@ -113,6 +135,11 @@ void MetricsRegistry::restore(const MetricsSnapshot& snap)
         hist.stat_.restore(state.n, state.mean, state.m2, state.min, state.max,
                            state.sum);
     }
+    for (const auto& [name, state] : snap.digests) {
+        Digest& dig = digest(name);
+        std::lock_guard<std::mutex> digest_lock(dig.mutex_);
+        dig.hist_.restore(state);
+    }
 }
 
 std::size_t MetricsRegistry::size() const
@@ -128,6 +155,8 @@ Json MetricsRegistry::to_json() const
     Json counters = Json::object();
     Json gauges = Json::object();
     Json histograms = Json::object();
+    Json digests = Json::object();
+    bool any_digest = false;
     for (const auto& [name, slot] : instruments_) {
         if (slot.counter) {
             counters[name] = slot.counter->value();
@@ -146,10 +175,26 @@ Json MetricsRegistry::to_json() const
             h["sum"] = s.sum();
             histograms[name] = std::move(h);
         }
+        else if (slot.digest) {
+            std::lock_guard<std::mutex> digest_lock(slot.digest->mutex_);
+            const LogHistogram& h = slot.digest->hist_;
+            Json d = Json::object();
+            d["count"] = static_cast<double>(h.count());
+            d["mean"] = h.mean();
+            d["min"] = h.min();
+            d["max"] = h.max();
+            d["sum"] = h.sum();
+            d["p50"] = h.quantile(50.0);
+            d["p95"] = h.quantile(95.0);
+            d["p99"] = h.quantile(99.0);
+            digests[name] = std::move(d);
+            any_digest = true;
+        }
     }
     root["counters"] = std::move(counters);
     root["gauges"] = std::move(gauges);
     root["histograms"] = std::move(histograms);
+    if (any_digest) root["digests"] = std::move(digests);
     return root;
 }
 
@@ -172,6 +217,13 @@ util::Table MetricsRegistry::to_table() const
                            std::to_string(s.count()), util::format_fixed(s.mean(), 3),
                            util::format_fixed(s.min(), 3),
                            util::format_fixed(s.max(), 3)});
+        }
+        else if (slot.digest) {
+            const LogHistogram h = slot.digest->snapshot();
+            table.add_row({name, "digest", util::format_fixed(h.sum(), 3),
+                           std::to_string(h.count()), util::format_fixed(h.mean(), 3),
+                           util::format_fixed(h.min(), 3),
+                           util::format_fixed(h.max(), 3)});
         }
     }
     return table;

@@ -24,6 +24,7 @@
 /// unsynchronized reference for the common read-at-quiescence pattern; use
 /// snapshot() when observers may still be running.
 
+#include "telemetry/digest.hpp"
 #include "telemetry/json.hpp"
 #include "util/stats.hpp"
 #include "util/table.hpp"
@@ -95,6 +96,39 @@ private:
     mutable std::mutex mutex_;
 };
 
+/// Streaming quantile distribution (LogHistogram): p50/p95/p99 with bounded
+/// relative error for signals whose tails matter (kernel duration, power,
+/// energy-per-step).  Replaces sorted-full-copy percentile reads where a
+/// consumer needs quantiles of an unbounded stream.  observe() serializes
+/// behind a mutex, like Histogram.
+class Digest {
+public:
+    void observe(double value)
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        hist_.observe(value);
+    }
+    double quantile(double q) const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_.quantile(q);
+    }
+    /// Locked copy, safe while observers are still running.
+    LogHistogram snapshot() const
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        return hist_;
+    }
+    const std::string& name() const { return name_; }
+
+private:
+    friend class MetricsRegistry;
+    explicit Digest(std::string name) : name_(std::move(name)) {}
+    std::string name_;
+    LogHistogram hist_;
+    mutable std::mutex mutex_;
+};
+
 /// Point-in-time copy of every instrument, independent of the registry.
 /// The checkpoint subsystem persists one of these across a kill/resume so
 /// counters accumulated before the kill survive into the resumed process.
@@ -112,6 +146,7 @@ struct MetricsSnapshot {
     std::map<std::string, double> counters;
     std::map<std::string, double> gauges;
     std::map<std::string, HistogramState> histograms;
+    std::map<std::string, LogHistogram::State> digests;
 };
 
 class MetricsRegistry {
@@ -130,9 +165,10 @@ public:
     Counter& counter(const std::string& name);
     Gauge& gauge(const std::string& name);
     Histogram& histogram(const std::string& name);
+    Digest& digest(const std::string& name);
 
     bool has(const std::string& name) const;
-    /// Counter/gauge value or histogram count; 0 for unknown names.
+    /// Counter/gauge value or histogram/digest count; 0 for unknown names.
     double value(const std::string& name) const;
 
     /// Zero every instrument, keeping registrations (and references) alive.
@@ -147,7 +183,10 @@ public:
     std::size_t size() const;
 
     /// {"counters": {...}, "gauges": {...}, "histograms": {name: {count,
-    /// mean, min, max, stddev, sum}}} — names sorted (std::map order).
+    /// mean, min, max, stddev, sum}}, "digests": {name: {count, mean, min,
+    /// max, sum, p50, p95, p99}}} — names sorted (std::map order).  The
+    /// "digests" key is present only when at least one digest exists, so
+    /// runs without the live observability plane keep the legacy document.
     Json to_json() const;
 
     /// Terminal rendering: one row per instrument.
@@ -158,6 +197,7 @@ private:
         std::unique_ptr<Counter> counter;
         std::unique_ptr<Gauge> gauge;
         std::unique_ptr<Histogram> histogram;
+        std::unique_ptr<Digest> digest;
     };
     mutable std::mutex mutex_; ///< guards the instruments_ map itself
     std::map<std::string, Instrument> instruments_;

@@ -1,0 +1,308 @@
+#include "telemetry/prometheus.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace gsph::telemetry {
+
+namespace {
+
+/// Prometheus renders values in Go's %g-style shortest form; for the
+/// checker's purposes any strtod-parsable number is fine.
+std::string format_value(double v)
+{
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+void render_family(std::string& out, const std::string& family,
+                   const std::string& help, const std::string& type)
+{
+    out += "# HELP " + family + " " + help + "\n";
+    out += "# TYPE " + family + " " + type + "\n";
+}
+
+bool valid_metric_name(const std::string& name)
+{
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+        const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+        if (!(alpha || c == '_' || c == ':' || (digit && i > 0))) return false;
+    }
+    return true;
+}
+
+bool valid_label_name(const std::string& name)
+{
+    if (name.empty()) return false;
+    for (std::size_t i = 0; i < name.size(); ++i) {
+        const char c = name[i];
+        const bool alpha = std::isalpha(static_cast<unsigned char>(c)) != 0;
+        const bool digit = std::isdigit(static_cast<unsigned char>(c)) != 0;
+        if (!(alpha || c == '_' || (digit && i > 0))) return false;
+    }
+    return true;
+}
+
+} // namespace
+
+std::string prometheus_sanitize(const std::string& name)
+{
+    std::string out = "greensph_";
+    for (const char c : name) {
+        const bool ok = std::isalnum(static_cast<unsigned char>(c)) != 0 ||
+                        c == '_' || c == ':';
+        out += ok ? c : '_';
+    }
+    return out;
+}
+
+std::string render_prometheus(const MetricsSnapshot& snap)
+{
+    std::string out;
+    for (const auto& [name, value] : snap.counters) {
+        const std::string family = prometheus_sanitize(name) + "_total";
+        render_family(out, family, "greensph counter " + name, "counter");
+        out += family + " " + format_value(value) + "\n";
+    }
+    for (const auto& [name, value] : snap.gauges) {
+        const std::string family = prometheus_sanitize(name);
+        render_family(out, family, "greensph gauge " + name, "gauge");
+        out += family + " " + format_value(value) + "\n";
+    }
+    for (const auto& [name, st] : snap.histograms) {
+        const std::string family = prometheus_sanitize(name);
+        render_family(out, family, "greensph histogram " + name, "summary");
+        out += family + "_sum " + format_value(st.sum) + "\n";
+        out += family + "_count " + format_value(static_cast<double>(st.n)) + "\n";
+    }
+    for (const auto& [name, st] : snap.digests) {
+        const std::string family = prometheus_sanitize(name);
+        render_family(out, family, "greensph digest " + name, "summary");
+        LogHistogram hist;
+        hist.restore(st);
+        const std::pair<const char*, double> quantiles[] = {
+            {"0.5", 50.0}, {"0.95", 95.0}, {"0.99", 99.0}};
+        for (const auto& [label, q] : quantiles) {
+            out += family + "{quantile=\"" + label + "\"} " +
+                   format_value(hist.quantile(q)) + "\n";
+        }
+        out += family + "_sum " + format_value(hist.sum()) + "\n";
+        out += family + "_count " +
+               format_value(static_cast<double>(hist.count())) + "\n";
+    }
+    return out;
+}
+
+std::vector<ExpositionIssue>
+check_exposition(const std::string& body, std::vector<ExpositionSample>* out_samples)
+{
+    std::vector<ExpositionIssue> issues;
+    const auto fail = [&](std::size_t line_no, const std::string& line,
+                          const std::string& message) {
+        issues.push_back({line_no, line, message});
+    };
+
+    // family -> declared TYPE; families whose HELP/TYPE we have seen.
+    std::map<std::string, std::string> types;
+    std::map<std::string, bool> helped;
+    std::string last_family_declared;
+
+    // A sample name belongs to family F if it equals F or F + suffix for a
+    // summary's _sum/_count.
+    const auto family_of = [&](const std::string& name) -> std::string {
+        for (const char* suffix : {"_sum", "_count"}) {
+            const std::size_t len = std::string(suffix).size();
+            if (name.size() > len && name.compare(name.size() - len, len, suffix) == 0) {
+                const std::string stem = name.substr(0, name.size() - len);
+                if (types.count(stem) && types[stem] == "summary") return stem;
+            }
+        }
+        return name;
+    };
+
+    std::istringstream in(body);
+    std::string line;
+    std::size_t line_no = 0;
+    if (!body.empty() && body.back() != '\n') {
+        fail(0, "", "body must end with a newline");
+    }
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        if (line[0] == '#') {
+            std::istringstream ls(line);
+            std::string hash, kind, family;
+            ls >> hash >> kind >> family;
+            if (kind != "HELP" && kind != "TYPE") {
+                fail(line_no, line, "comment is neither HELP nor TYPE");
+                continue;
+            }
+            if (!valid_metric_name(family)) {
+                fail(line_no, line, "invalid metric name '" + family + "'");
+                continue;
+            }
+            if (kind == "HELP") {
+                if (helped.count(family)) {
+                    fail(line_no, line, "duplicate HELP for family");
+                }
+                helped[family] = true;
+                last_family_declared = family;
+            } else {
+                std::string type;
+                ls >> type;
+                if (type != "counter" && type != "gauge" && type != "summary" &&
+                    type != "histogram" && type != "untyped") {
+                    fail(line_no, line, "unknown TYPE '" + type + "'");
+                }
+                if (types.count(family)) {
+                    fail(line_no, line, "duplicate TYPE for family");
+                }
+                if (!helped.count(family)) {
+                    fail(line_no, line, "TYPE before HELP for family");
+                }
+                if (family != last_family_declared) {
+                    fail(line_no, line, "TYPE not adjacent to its HELP");
+                }
+                types[family] = type;
+            }
+            continue;
+        }
+
+        // Sample line: name[{labels}] value
+        std::string name, labels, rest;
+        const std::size_t brace = line.find('{');
+        const std::size_t space = line.find(' ');
+        if (brace != std::string::npos && (space == std::string::npos || brace < space)) {
+            const std::size_t close = line.find('}', brace);
+            if (close == std::string::npos) {
+                fail(line_no, line, "unterminated label block");
+                continue;
+            }
+            name = line.substr(0, brace);
+            labels = line.substr(brace + 1, close - brace - 1);
+            rest = line.substr(close + 1);
+        } else if (space != std::string::npos) {
+            name = line.substr(0, space);
+            rest = line.substr(space);
+        } else {
+            fail(line_no, line, "sample line without a value");
+            continue;
+        }
+        if (!valid_metric_name(name)) {
+            fail(line_no, line, "invalid sample name '" + name + "'");
+            continue;
+        }
+        // Labels: name="value" pairs, comma-separated.
+        if (!labels.empty()) {
+            std::size_t pos = 0;
+            while (pos < labels.size()) {
+                const std::size_t eq = labels.find('=', pos);
+                if (eq == std::string::npos) {
+                    fail(line_no, line, "label without '='");
+                    break;
+                }
+                const std::string lname = labels.substr(pos, eq - pos);
+                if (!valid_label_name(lname)) {
+                    fail(line_no, line, "invalid label name '" + lname + "'");
+                    break;
+                }
+                if (eq + 1 >= labels.size() || labels[eq + 1] != '"') {
+                    fail(line_no, line, "label value not quoted");
+                    break;
+                }
+                std::size_t end = eq + 2;
+                while (end < labels.size() &&
+                       (labels[end] != '"' || labels[end - 1] == '\\')) {
+                    ++end;
+                }
+                if (end >= labels.size()) {
+                    fail(line_no, line, "unterminated label value");
+                    break;
+                }
+                pos = end + 1;
+                if (pos < labels.size()) {
+                    if (labels[pos] != ',') {
+                        fail(line_no, line, "labels not comma-separated");
+                        break;
+                    }
+                    ++pos;
+                }
+            }
+        }
+        // Value.
+        const char* begin = rest.c_str();
+        char* endp = nullptr;
+        double value = std::strtod(begin, &endp);
+        bool ok = endp != begin;
+        if (ok) {
+            std::string tail(endp);
+            std::size_t i = tail.find_first_not_of(" \t");
+            if (i != std::string::npos) {
+                // Allow the special Inf/NaN spellings strtod may have missed.
+                ok = false;
+            }
+        }
+        if (!ok) {
+            std::string trimmed = rest;
+            trimmed.erase(0, trimmed.find_first_not_of(" \t"));
+            if (trimmed == "+Inf") { value = HUGE_VAL; ok = true; }
+            else if (trimmed == "-Inf") { value = -HUGE_VAL; ok = true; }
+            else if (trimmed == "NaN") { value = NAN; ok = true; }
+        }
+        if (!ok) {
+            fail(line_no, line, "unparsable sample value '" + rest + "'");
+            continue;
+        }
+        const std::string family = family_of(name);
+        if (!types.count(family)) {
+            fail(line_no, line, "sample before TYPE for family '" + family + "'");
+        } else if (types[family] == "counter") {
+            const std::string& n = name;
+            if (n.size() < 6 || n.compare(n.size() - 6, 6, "_total") != 0) {
+                fail(line_no, line, "counter sample missing _total suffix");
+            }
+            if (value < 0.0) fail(line_no, line, "negative counter value");
+        }
+        if (out_samples) out_samples->push_back({family, name, labels, value});
+    }
+    return issues;
+}
+
+std::vector<ExpositionIssue>
+check_counter_monotonicity(const std::string& earlier, const std::string& later)
+{
+    std::vector<ExpositionSample> before, after;
+    std::vector<ExpositionIssue> issues = check_exposition(earlier, &before);
+    std::vector<ExpositionIssue> later_issues = check_exposition(later, &after);
+    issues.insert(issues.end(), later_issues.begin(), later_issues.end());
+
+    std::map<std::string, double> later_values;
+    for (const ExpositionSample& s : after) {
+        later_values[s.name + "{" + s.labels + "}"] = s.value;
+    }
+    for (const ExpositionSample& s : before) {
+        const std::string& n = s.name;
+        if (n.size() < 6 || n.compare(n.size() - 6, 6, "_total") != 0) continue;
+        const auto it = later_values.find(s.name + "{" + s.labels + "}");
+        if (it == later_values.end()) continue;
+        if (it->second < s.value) {
+            issues.push_back({0, s.name,
+                              "counter went backwards: " + format_value(s.value) +
+                                  " -> " + format_value(it->second)});
+        }
+    }
+    return issues;
+}
+
+} // namespace gsph::telemetry

@@ -1,0 +1,63 @@
+#pragma once
+/// \file prometheus.hpp
+/// \brief Prometheus text exposition rendering and an in-repo format checker.
+///
+/// The exporter serves the metrics registry in Prometheus' text exposition
+/// format (version 0.0.4) so any off-the-shelf scraper — curl, promtool,
+/// an actual Prometheus — can watch a run live.  Dotted registry names are
+/// sanitized to the exposition charset (dots become underscores) and
+/// prefixed `greensph_`; counters gain the conventional `_total` suffix;
+/// histograms and digests render as summaries with `quantile` labels.
+///
+/// Because no Prometheus client library may be vendored in, the checker
+/// below re-implements the format rules we rely on (metric/label name
+/// charsets, HELP/TYPE ordering, one TYPE per family, sample/type
+/// consistency, counter monotonicity across scrapes) and is run against a
+/// live scrape in the exporter test — the contract is enforced in-repo, not
+/// by an external tool CI may not have.
+
+#include "telemetry/metrics.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gsph::telemetry {
+
+/// Render a snapshot as Prometheus text exposition format.  Deterministic:
+/// families sorted by name (inherited from MetricsSnapshot's maps), HELP
+/// then TYPE then samples per family.
+std::string render_prometheus(const MetricsSnapshot& snap);
+
+/// `greensph_` + name with every character outside [a-zA-Z0-9_:] replaced
+/// by '_' (a leading digit also gains a '_').
+std::string prometheus_sanitize(const std::string& name);
+
+/// One problem found by the checker, with the offending line.
+struct ExpositionIssue {
+    std::size_t line_no = 0; ///< 1-based line in the scraped body
+    std::string line;
+    std::string message;
+};
+
+/// Parsed sample, exposed for tests asserting on scraped values.
+struct ExpositionSample {
+    std::string family; ///< metric name with label suffixes stripped
+    std::string name;   ///< full sample name (e.g. family + "_count")
+    std::string labels; ///< raw label block without braces ("" when none)
+    double value = 0.0;
+};
+
+/// Validates one scrape body against the exposition rules above.  Returns
+/// every violation found (empty: conforming).  `out_samples`, when given,
+/// receives all parsed samples.
+std::vector<ExpositionIssue>
+check_exposition(const std::string& body,
+                 std::vector<ExpositionSample>* out_samples = nullptr);
+
+/// Cross-scrape check: every `_total`-suffixed counter sample present in
+/// `earlier` must be <= its value in `later` (counters are monotone within
+/// a process).  Samples absent from either side are ignored.
+std::vector<ExpositionIssue>
+check_counter_monotonicity(const std::string& earlier, const std::string& later);
+
+} // namespace gsph::telemetry

@@ -1,0 +1,153 @@
+#pragma once
+/// \file ring.hpp
+/// \brief Bounded time series with windowed min/mean/max downsampling.
+///
+/// A live observability plane must hold a whole run's history in bounded
+/// memory: a multi-day simulation at one sample per step would grow an
+/// unbounded util::TimeSeries.  A RingSeries caps memory at a fixed number
+/// of entries; when it fills, adjacent entries are merged pairwise (min and
+/// max combine exactly, means combine through count-weighted sums) and the
+/// per-entry window doubles — coverage always spans the full run, with
+/// resolution that degrades gracefully for the oldest data, HDR-recorder
+/// style.
+///
+/// The cursor (total samples ever appended + current window width) together
+/// with the entries is the complete state: checkpointing both and restoring
+/// reproduces the exact series a never-interrupted run would hold, which is
+/// what keeps resumed runs bit-identical.
+///
+/// Not internally synchronized: the driver thread appends between steps and
+/// the owner (LiveSampler) guards reads from the exporter with its own lock.
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace gsph::telemetry {
+
+struct RingEntry {
+    double t_start = 0.0; ///< simulated time of the window's first sample
+    double t_end = 0.0;   ///< simulated time of its last sample
+    double min = 0.0;
+    double max = 0.0;
+    double sum = 0.0;
+    std::uint64_t count = 0;
+
+    double mean() const { return count ? sum / static_cast<double>(count) : 0.0; }
+};
+
+class RingSeries {
+public:
+    /// \param capacity  maximum retained entries; even and >= 2 so pairwise
+    ///                  compaction halves exactly.
+    explicit RingSeries(std::size_t capacity = 512) : capacity_(capacity)
+    {
+        if (capacity_ < 2 || capacity_ % 2 != 0) {
+            throw std::invalid_argument("RingSeries: capacity must be even and >= 2");
+        }
+    }
+
+    /// Append one sample at simulated time `t` (non-decreasing across calls).
+    void append(double t, double value)
+    {
+        ++total_;
+        if (!entries_.empty() && entries_.back().count < window_width_) {
+            RingEntry& e = entries_.back();
+            e.t_end = t;
+            if (value < e.min) e.min = value;
+            if (value > e.max) e.max = value;
+            e.sum += value;
+            ++e.count;
+            return;
+        }
+        if (entries_.size() == capacity_) compact();
+        entries_.push_back({t, t, value, value, value, 1});
+    }
+
+    bool empty() const { return entries_.empty(); }
+    std::size_t size() const { return entries_.size(); }
+    std::size_t capacity() const { return capacity_; }
+    const std::vector<RingEntry>& entries() const { return entries_; }
+    const RingEntry& back() const { return entries_.back(); }
+
+    /// Samples ever appended (survives compaction) — the checkpoint cursor.
+    std::uint64_t total_appended() const { return total_; }
+    /// Samples each full entry currently aggregates (doubles per compaction).
+    std::uint64_t window_width() const { return window_width_; }
+
+    void clear()
+    {
+        entries_.clear();
+        total_ = 0;
+        window_width_ = 1;
+    }
+
+    // --- raw state (checkpointing; serialized by the owner) ---------------
+    struct State {
+        std::uint64_t total = 0;
+        std::uint64_t window_width = 1;
+        std::vector<double> t_start, t_end, min, max, sum;
+        std::vector<std::uint64_t> count;
+    };
+    State state() const
+    {
+        State s;
+        s.total = total_;
+        s.window_width = window_width_;
+        for (const RingEntry& e : entries_) {
+            s.t_start.push_back(e.t_start);
+            s.t_end.push_back(e.t_end);
+            s.min.push_back(e.min);
+            s.max.push_back(e.max);
+            s.sum.push_back(e.sum);
+            s.count.push_back(e.count);
+        }
+        return s;
+    }
+    /// Overwrite with previously saved state; restore(state()) is bit-exact.
+    void restore(const State& s)
+    {
+        const std::size_t n = s.t_start.size();
+        if (s.t_end.size() != n || s.min.size() != n || s.max.size() != n ||
+            s.sum.size() != n || s.count.size() != n) {
+            throw std::invalid_argument("RingSeries::restore: ragged state vectors");
+        }
+        if (n > capacity_) {
+            throw std::invalid_argument("RingSeries::restore: more entries than capacity");
+        }
+        entries_.clear();
+        for (std::size_t i = 0; i < n; ++i) {
+            entries_.push_back(
+                {s.t_start[i], s.t_end[i], s.min[i], s.max[i], s.sum[i], s.count[i]});
+        }
+        total_ = s.total;
+        window_width_ = s.window_width;
+    }
+
+private:
+    /// Merge adjacent pairs in place: halves occupancy, doubles the window.
+    void compact()
+    {
+        for (std::size_t i = 0; i + 1 < entries_.size(); i += 2) {
+            RingEntry& a = entries_[i / 2];
+            const RingEntry lhs = entries_[i];
+            const RingEntry& rhs = entries_[i + 1];
+            a.t_start = lhs.t_start;
+            a.t_end = rhs.t_end;
+            a.min = lhs.min < rhs.min ? lhs.min : rhs.min;
+            a.max = lhs.max > rhs.max ? lhs.max : rhs.max;
+            a.sum = lhs.sum + rhs.sum;
+            a.count = lhs.count + rhs.count;
+        }
+        entries_.resize(entries_.size() / 2);
+        window_width_ *= 2;
+    }
+
+    std::size_t capacity_;
+    std::uint64_t window_width_ = 1;
+    std::uint64_t total_ = 0;
+    std::vector<RingEntry> entries_;
+};
+
+} // namespace gsph::telemetry

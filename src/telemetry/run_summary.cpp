@@ -68,6 +68,7 @@ Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& con
         provenance["config_hash"] = context.config_hash;
         provenance["resumed_from"] = context.resumed_from;
         provenance["checkpoints_written"] = context.checkpoints_written;
+        if (context.alerts.is_array()) provenance["alerts"] = context.alerts;
         root["provenance"] = std::move(provenance);
     }
     return root;

@@ -19,7 +19,7 @@
 ///                     "cpu_energy_j","other_energy_j","mean_clock_mhz"}],
 ///   "config": free-form object supplied by the caller,
 ///   "provenance": {"format_version","argv","config_hash",
-///                  "resumed_from","checkpoints_written"}
+///                  "resumed_from","checkpoints_written","alerts"}
 /// }
 ///
 /// Everything outside "provenance" is a pure function of the run, so a
@@ -27,7 +27,9 @@
 /// the provenance object is stripped — that invariant is what the
 /// kill-resume tests assert.  Provenance intentionally carries everything
 /// process-specific (how this particular process was invoked, whether it
-/// resumed, how many checkpoints it wrote).
+/// resumed, how many checkpoints it wrote, and — format version 3 — what
+/// the live observability plane alerted on, present only when the plane is
+/// enabled so default summaries are unchanged).
 
 #include "sim/driver.hpp"
 #include "telemetry/json.hpp"
@@ -40,8 +42,9 @@ namespace gsph::telemetry {
 inline constexpr const char* kRunSummarySchema = "greensph.run_summary/v1";
 
 /// Version of the summary layout within the v1 schema; bump when fields are
-/// added so consumers can gate on it.
-inline constexpr int kRunSummaryFormatVersion = 2;
+/// added so consumers can gate on it.  3: provenance gained "alerts" (live
+/// observability plane).
+inline constexpr int kRunSummaryFormatVersion = 3;
 
 struct RunSummaryContext {
     std::string policy; ///< policy name ("Baseline", "ManDyn", ...)
@@ -53,6 +56,10 @@ struct RunSummaryContext {
     std::string config_hash;       ///< hex64; same hash checkpoints use
     std::string resumed_from;      ///< checkpoint dir, empty for fresh runs
     int checkpoints_written = 0;   ///< checkpoints committed by this process
+    /// Live-plane alert records (AnomalyDetector::alerts_json()); emitted in
+    /// provenance only when it is an array, so runs without the plane keep
+    /// their exact pre-plane documents.
+    Json alerts;
 };
 
 /// Build the summary document for `result`.

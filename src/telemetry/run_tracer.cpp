@@ -70,6 +70,10 @@ void RunTracer::on_after(int rank, gpusim::GpuDevice& dev, sph::SphFunction /*fn
     tracer_.end(rank, 0, res.end_s);
     if (config_.counters) {
         tracer_.counter(rank, "clock_mhz", res.end_s, res.mean_clock_mhz);
+        // The *applied* (requested) clock next to the effective one makes a
+        // stuck or throttled device visible as two diverging tracks.
+        tracer_.counter(rank, "applied_clock_mhz", res.end_s,
+                        dev.application_clock_mhz());
         tracer_.counter(rank, "power_w", res.end_s, res.mean_power_w);
         tracer_.counter(rank, "energy_j", res.end_s, dev.energy_j());
     }

@@ -6,9 +6,10 @@
 /// Each time-step becomes a "step N" span; each SPH function call nests
 /// inside it, exactly where the paper's §III-B probes sit.  After every
 /// function the rank's counter tracks are sampled: the effective compute
-/// clock (MHz), the batch mean power (W) and the device's cumulative
-/// energy (J) — the Fig. 9 clock trace and the energy ramp as Perfetto
-/// tracks.
+/// clock (MHz), the *applied* application clock (MHz; diverges from the
+/// effective clock when a device is stuck or throttled), the batch mean
+/// power (W) and the device's cumulative energy (J) — the Fig. 9 clock
+/// trace and the energy ramp as Perfetto tracks.
 
 #include "checkpoint/state.hpp"
 #include "sim/driver.hpp"

@@ -1,5 +1,6 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cctype>
 #include <cstdio>
 #include <ctime>
@@ -57,8 +58,18 @@ void Logger::log(LogLevel level, const std::string& component, const std::string
         std::snprintf(stamp, sizeof(stamp), "[t=%.3fs] ", sim_time_());
         os << stamp;
     }
+    if (thread_ids_) {
+        os << "[tid=" << current_thread_id() << "] ";
+    }
     os << '[' << names[static_cast<int>(level)] << "] " << component << ": " << message
        << '\n';
+}
+
+int Logger::current_thread_id()
+{
+    static std::atomic<int> next{0};
+    thread_local const int id = next.fetch_add(1, std::memory_order_relaxed);
+    return id;
 }
 
 } // namespace gsph::util

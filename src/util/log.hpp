@@ -34,6 +34,17 @@ public:
     /// Prefix each line with the host wall-clock time ("[14:03:22]").
     void set_wall_clock(bool enabled) { wall_clock_ = enabled; }
 
+    /// Prefix each line with a compact per-thread id ("[tid=2]"), placed
+    /// after the wall/sim-time stamps.  Ids are small integers assigned in
+    /// first-log order (0 is whichever thread logged first), so parallel
+    /// runs show which ThreadPool worker emitted a line without the noise
+    /// of opaque native handles.
+    void set_thread_ids(bool enabled) { thread_ids_ = enabled; }
+    bool thread_ids() const { return thread_ids_; }
+
+    /// The calling thread's compact id (assigned on first use).
+    static int current_thread_id();
+
     /// Prefix each line with simulated seconds from this provider
     /// ("[t=12.345s]"); pass an empty function to disable.
     void set_sim_time_provider(std::function<double()> provider)
@@ -57,6 +68,7 @@ private:
     LogLevel level_ = LogLevel::kWarn;
     std::ostream* sink_ = nullptr;
     bool wall_clock_ = false;
+    bool thread_ids_ = false;
     std::function<double()> sim_time_;
     std::string component_filter_;
 };

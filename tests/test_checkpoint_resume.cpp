@@ -11,12 +11,15 @@
 #include "sim/driver.hpp"
 #include "sim/system.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/sampler.hpp"
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <vector>
 
 namespace gsph {
 namespace {
@@ -198,6 +201,179 @@ INSTANTIATE_TEST_SUITE_P(
                     ResumeCase{1, "mandyn", "transient-set:p=0.3"},
                     ResumeCase{4, "static", "transient-set:p=0.3"}),
     case_name);
+
+// ---- live observability plane across a checkpoint/resume boundary --------
+
+/// Registry digests (the sampler's quantile feeds) serialized the same way
+/// the CLI persists them, so the test exercises digest state as a real
+/// checkpoint section.
+void save_digests(checkpoint::StateWriter& w)
+{
+    const telemetry::MetricsSnapshot snap = telemetry::MetricsRegistry::global().snapshot();
+    w.put_u64("n", snap.digests.size());
+    std::size_t i = 0;
+    for (const auto& [name, st] : snap.digests) {
+        const std::string p = "d." + std::to_string(i++) + ".";
+        w.put_str(p + "name", name);
+        w.put_u64(p + "count", st.count);
+        w.put_f64(p + "min", st.min);
+        w.put_f64(p + "max", st.max);
+        w.put_f64(p + "sum", st.sum);
+        w.put_f64(p + "sumc", st.sum_compensation);
+        w.put_u64(p + "low", st.low_count);
+        std::vector<std::uint64_t> index;
+        index.reserve(st.bucket_index.size());
+        for (const std::int64_t b : st.bucket_index) {
+            index.push_back(static_cast<std::uint64_t>(b));
+        }
+        w.put_u64_vec(p + "index", index);
+        w.put_u64_vec(p + "bcount", st.bucket_count);
+    }
+}
+
+void restore_digests(const checkpoint::StateReader& r)
+{
+    telemetry::MetricsSnapshot snap;
+    const std::uint64_t n = r.get_u64("n");
+    for (std::uint64_t i = 0; i < n; ++i) {
+        const std::string p = "d." + std::to_string(i) + ".";
+        telemetry::LogHistogram::State st;
+        st.count = r.get_u64(p + "count");
+        st.min = r.get_f64(p + "min");
+        st.max = r.get_f64(p + "max");
+        st.sum = r.get_f64(p + "sum");
+        st.sum_compensation = r.get_f64(p + "sumc");
+        st.low_count = r.get_u64(p + "low");
+        for (const std::uint64_t b : r.get_u64_vec(p + "index")) {
+            st.bucket_index.push_back(static_cast<std::int64_t>(b));
+        }
+        st.bucket_count = r.get_u64_vec(p + "bcount");
+        snap.digests[r.get_str(p + "name")] = st;
+    }
+    telemetry::MetricsRegistry::global().restore(snap);
+}
+
+/// The observability plane's full deterministic state as one string: f64s
+/// round-trip as raw bit patterns, so equal strings mean bit-equal state.
+struct PlaneState {
+    std::string sampler;
+    std::string anomaly;
+    std::string digests;
+};
+
+PlaneState plane_state(const telemetry::LiveSampler& sampler)
+{
+    PlaneState s;
+    checkpoint::StateWriter w1, w2, w3;
+    sampler.save_state(w1);
+    sampler.anomaly().save_state(w2);
+    save_digests(w3);
+    s.sampler = w1.str();
+    s.anomaly = w2.str();
+    s.digests = w3.str();
+    return s;
+}
+
+void add_plane_participants(checkpoint::StateRegistry& registry,
+                            telemetry::LiveSampler& sampler)
+{
+    registry.add(
+        "sampler",
+        [&](checkpoint::StateWriter& w) { sampler.save_state(w); },
+        [&](const checkpoint::StateReader& r) { sampler.restore_state(r); });
+    registry.add(
+        "anomaly",
+        [&](checkpoint::StateWriter& w) { sampler.anomaly().save_state(w); },
+        [&](const checkpoint::StateReader& r) { sampler.anomaly().restore_state(r); });
+    registry.add("digests", [](checkpoint::StateWriter& w) { save_digests(w); },
+                 [](const checkpoint::StateReader& r) { restore_digests(r); });
+}
+
+TEST(CheckpointResumeSampler, LivePlaneStateResumesBitIdentically)
+{
+    // Acceptance criterion: sampler ring series (with compaction cursors),
+    // quantile digests and anomaly state all checkpoint and resume
+    // bit-identically, alongside the run itself.
+    const sim::RunConfig base = [] {
+        sim::RunConfig c;
+        c.n_ranks = 2;
+        c.setup_s = 2.0;
+        return c;
+    }();
+
+    // Leg 1: uninterrupted reference with the plane attached.
+    telemetry::MetricsRegistry::global().reset();
+    sim::RunResult reference;
+    PlaneState want;
+    {
+        telemetry::LiveSampler sampler(2);
+        sim::RunHooks hooks;
+        sampler.attach(hooks);
+        auto policy = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+        reference =
+            core::run_with_policy(sim::mini_hpc(), trace(), base, *policy, hooks);
+        want = plane_state(sampler);
+        EXPECT_EQ(sampler.steps_completed(), reference.n_steps);
+    }
+
+    // Leg 2: checkpointing on — writing checkpoints must not perturb the
+    // plane either.
+    TempDir dir;
+    telemetry::MetricsRegistry::global().reset();
+    {
+        telemetry::LiveSampler sampler(2);
+        sim::RunHooks hooks;
+        sampler.attach(hooks);
+        auto policy = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+        checkpoint::StateRegistry registry;
+        registry.add(
+            "policy",
+            [&](checkpoint::StateWriter& w) { policy->save_state(w); },
+            [&](const checkpoint::StateReader& r) { policy->restore_state(r); });
+        add_plane_participants(registry, sampler);
+        sim::RunConfig c = base;
+        c.checkpoint_every = 2;
+        c.checkpoint_dir = dir.path();
+        c.config_hash = "test";
+        c.checkpoint_participants = &registry;
+        const auto checkpointed =
+            core::run_with_policy(sim::mini_hpc(), trace(), c, *policy, hooks);
+        expect_identical(checkpointed, reference);
+        const PlaneState got = plane_state(sampler);
+        EXPECT_EQ(got.sampler, want.sampler);
+        EXPECT_EQ(got.anomaly, want.anomaly);
+        EXPECT_EQ(got.digests, want.digests);
+    }
+
+    // Leg 3: fresh process state, resumed from the step-4 checkpoint; the
+    // plane must end bit-identical to the never-interrupted reference.
+    telemetry::MetricsRegistry::global().reset();
+    {
+        const checkpoint::Snapshot snap = checkpoint::read_latest(dir.path());
+        ASSERT_EQ(snap.step, 4);
+        telemetry::LiveSampler sampler(2);
+        sim::RunHooks hooks;
+        sampler.attach(hooks);
+        auto policy = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+        checkpoint::StateRegistry registry;
+        registry.add(
+            "policy",
+            [&](checkpoint::StateWriter& w) { policy->save_state(w); },
+            [&](const checkpoint::StateReader& r) { policy->restore_state(r); });
+        add_plane_participants(registry, sampler);
+        sim::RunConfig c = base;
+        c.resume = &snap;
+        c.checkpoint_participants = &registry;
+        const auto resumed =
+            core::run_with_policy(sim::mini_hpc(), trace(), c, *policy, hooks);
+        expect_identical(resumed, reference);
+        EXPECT_EQ(sampler.steps_completed(), reference.n_steps);
+        const PlaneState got = plane_state(sampler);
+        EXPECT_EQ(got.sampler, want.sampler);
+        EXPECT_EQ(got.anomaly, want.anomaly);
+        EXPECT_EQ(got.digests, want.digests);
+    }
+}
 
 TEST(CheckpointResumeErrors, ResumeRejectsRankCountMismatch)
 {

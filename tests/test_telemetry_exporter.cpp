@@ -1,0 +1,302 @@
+/// Prometheus exposition rendering, the in-repo format checker, and the
+/// live HTTP exporter.  The S4 contract: the checker re-implements the
+/// text-exposition rules (no client library may be vendored in) and is run
+/// against a *live scrape* of a real exporter on an ephemeral port — the
+/// format promise is enforced in-repo on every test run.
+
+#include "telemetry/exporter.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "telemetry/sampler.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gsph::telemetry {
+namespace {
+
+/// Raw HTTP GET against loopback: returns the full response (status line,
+/// headers, body); empty string on connection failure.
+std::string http_fetch(std::uint16_t port, const std::string& path)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return {};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    std::string response;
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) == 0) {
+        const std::string request = "GET " + path + " HTTP/1.0\r\n\r\n";
+        if (::send(fd, request.data(), request.size(), 0) ==
+            static_cast<ssize_t>(request.size())) {
+            char buf[4096];
+            ssize_t n = 0;
+            while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+                response.append(buf, static_cast<std::size_t>(n));
+            }
+        }
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string body_of(const std::string& response)
+{
+    const std::size_t split = response.find("\r\n\r\n");
+    return split == std::string::npos ? std::string{} : response.substr(split + 4);
+}
+
+std::string issues_text(const std::vector<ExpositionIssue>& issues)
+{
+    std::string text;
+    for (const ExpositionIssue& issue : issues) {
+        text += issue.message + " @ " + issue.line + "\n";
+    }
+    return text;
+}
+
+// ------------------------------------------------------------- rendering ---
+
+TEST(PrometheusRender, SanitizesDottedNames)
+{
+    EXPECT_EQ(prometheus_sanitize("clock.set_retries"), "greensph_clock_set_retries");
+    EXPECT_EQ(prometheus_sanitize("kernel.duration_s"), "greensph_kernel_duration_s");
+    EXPECT_EQ(prometheus_sanitize("weird name-1!"), "greensph_weird_name_1_");
+    EXPECT_EQ(prometheus_sanitize("9lives"), "greensph_9lives");
+}
+
+TEST(PrometheusRender, RendersEveryInstrumentKind)
+{
+    MetricsSnapshot snap;
+    snap.counters["clock.set_retries"] = 7.0;
+    snap.gauges["clock.cap_mhz"] = 1200.0;
+    snap.histograms["span.kernel_s"] = {3, 0.5, 0.0, 0.25, 0.75, 1.5};
+    LogHistogram hist;
+    for (int i = 1; i <= 100; ++i) hist.observe(static_cast<double>(i));
+    snap.digests["step.energy_j"] = hist.state();
+
+    const std::string body = render_prometheus(snap);
+    // Counter: HELP/TYPE adjacency and the _total convention.
+    EXPECT_NE(body.find("# HELP greensph_clock_set_retries_total "), std::string::npos);
+    EXPECT_NE(body.find("# TYPE greensph_clock_set_retries_total counter\n"
+                        "greensph_clock_set_retries_total 7\n"),
+              std::string::npos);
+    // Gauge.
+    EXPECT_NE(body.find("# TYPE greensph_clock_cap_mhz gauge\n"
+                        "greensph_clock_cap_mhz 1200\n"),
+              std::string::npos);
+    // Histogram renders as a summary with sum and count.
+    EXPECT_NE(body.find("# TYPE greensph_span_kernel_s summary\n"), std::string::npos);
+    EXPECT_NE(body.find("greensph_span_kernel_s_sum 1.5\n"), std::string::npos);
+    EXPECT_NE(body.find("greensph_span_kernel_s_count 3\n"), std::string::npos);
+    // Digest renders as a summary with the three quantile samples.
+    EXPECT_NE(body.find("greensph_step_energy_j{quantile=\"0.5\"} "), std::string::npos);
+    EXPECT_NE(body.find("greensph_step_energy_j{quantile=\"0.95\"} "), std::string::npos);
+    EXPECT_NE(body.find("greensph_step_energy_j{quantile=\"0.99\"} "), std::string::npos);
+    EXPECT_NE(body.find("greensph_step_energy_j_count 100\n"), std::string::npos);
+
+    // The renderer's own output must satisfy the in-repo checker.
+    std::vector<ExpositionSample> samples;
+    const auto issues = check_exposition(body, &samples);
+    EXPECT_TRUE(issues.empty()) << issues_text(issues);
+    EXPECT_GE(samples.size(), 9u);
+}
+
+TEST(PrometheusRender, EmptySnapshotRendersEmptyConformingBody)
+{
+    const std::string body = render_prometheus(MetricsSnapshot{});
+    EXPECT_TRUE(body.empty());
+    EXPECT_TRUE(check_exposition(body).empty());
+}
+
+// --------------------------------------------------------------- checker ---
+
+TEST(ExpositionChecker, AcceptsConformingBody)
+{
+    const std::string body = "# HELP m_total a counter\n"
+                             "# TYPE m_total counter\n"
+                             "m_total 3\n"
+                             "# HELP g a gauge\n"
+                             "# TYPE g gauge\n"
+                             "g -1.5\n"
+                             "# HELP s a summary\n"
+                             "# TYPE s summary\n"
+                             "s{quantile=\"0.5\"} 2\n"
+                             "s_sum 10\n"
+                             "s_count 5\n";
+    std::vector<ExpositionSample> samples;
+    const auto issues = check_exposition(body, &samples);
+    EXPECT_TRUE(issues.empty()) << issues_text(issues);
+    ASSERT_EQ(samples.size(), 5u);
+    EXPECT_EQ(samples[0].family, "m_total");
+    EXPECT_EQ(samples[2].family, "s"); // quantile sample maps to its stem
+    EXPECT_EQ(samples[2].labels, "quantile=\"0.5\"");
+    EXPECT_EQ(samples[3].family, "s"); // _sum maps to the summary stem
+    EXPECT_DOUBLE_EQ(samples[3].value, 10.0);
+}
+
+TEST(ExpositionChecker, CatchesSeededViolations)
+{
+    struct Case {
+        const char* body;
+        const char* expect; // substring of the issue message
+    };
+    const Case cases[] = {
+        {"# HELP bad-name x\n# TYPE bad-name gauge\nbad-name 1\n",
+         "invalid metric name"},
+        {"m 1\n", "sample before TYPE"},
+        {"# HELP m x\n# TYPE m wibble\nm 1\n", "unknown TYPE"},
+        {"# HELP m x\n# TYPE m gauge\n# TYPE m counter\n", "duplicate TYPE"},
+        {"# HELP m x\n# HELP m y\n", "duplicate HELP"},
+        {"# TYPE m gauge\nm 1\n", "TYPE before HELP"},
+        {"# HELP m x\n# HELP n y\n# TYPE m gauge\n", "TYPE not adjacent"},
+        {"# HELP m x\n# TYPE m gauge\nm notanumber\n", "unparsable sample value"},
+        {"# HELP m x\n# TYPE m counter\nm 1\n", "missing _total suffix"},
+        {"# HELP m_total x\n# TYPE m_total counter\nm_total -1\n",
+         "negative counter"},
+        {"# HELP m x\n# TYPE m gauge\nm{l=unquoted} 1\n", "label value not quoted"},
+        {"# HELP m x\n# TYPE m gauge\nm{2bad=\"v\"} 1\n", "invalid label name"},
+        {"# HELP m x\n# TYPE m gauge\nm{l=\"v\" 1\n", "unterminated label"},
+        {"# HELP m x\n# TYPE m gauge\nm 1", "end with a newline"},
+        {"# COMMENT m x\n", "neither HELP nor TYPE"},
+    };
+    for (const Case& c : cases) {
+        const auto issues = check_exposition(c.body);
+        ASSERT_FALSE(issues.empty()) << c.body;
+        bool found = false;
+        for (const ExpositionIssue& issue : issues) {
+            if (issue.message.find(c.expect) != std::string::npos) found = true;
+        }
+        EXPECT_TRUE(found) << "want '" << c.expect << "' in:\n"
+                           << issues_text(issues) << "for body:\n"
+                           << c.body;
+    }
+}
+
+TEST(ExpositionChecker, SpecialValuesParse)
+{
+    const std::string body = "# HELP m x\n# TYPE m gauge\nm +Inf\nm -Inf\nm NaN\n";
+    std::vector<ExpositionSample> samples;
+    EXPECT_TRUE(check_exposition(body, &samples).empty());
+    ASSERT_EQ(samples.size(), 3u);
+    EXPECT_TRUE(samples[0].value > 0 && std::isinf(samples[0].value));
+    EXPECT_TRUE(std::isnan(samples[2].value));
+}
+
+TEST(ExpositionChecker, CounterMonotonicityAcrossScrapes)
+{
+    const std::string earlier = "# HELP m_total x\n# TYPE m_total counter\n"
+                                "m_total 5\n";
+    const std::string later_ok = "# HELP m_total x\n# TYPE m_total counter\n"
+                                 "m_total 9\n";
+    const std::string later_bad = "# HELP m_total x\n# TYPE m_total counter\n"
+                                  "m_total 2\n";
+    EXPECT_TRUE(check_counter_monotonicity(earlier, later_ok).empty());
+    const auto issues = check_counter_monotonicity(earlier, later_bad);
+    ASSERT_EQ(issues.size(), 1u);
+    EXPECT_NE(issues[0].message.find("went backwards"), std::string::npos);
+    // Gauges may move freely; only _total counters are constrained.
+    const std::string g1 = "# HELP g x\n# TYPE g gauge\ng 5\n";
+    const std::string g2 = "# HELP g x\n# TYPE g gauge\ng 2\n";
+    EXPECT_TRUE(check_counter_monotonicity(g1, g2).empty());
+}
+
+// ---------------------------------------------------------- live scrapes ---
+
+TEST(MetricsExporter, ServesLiveScrapesOnEphemeralPort)
+{
+    auto& reg = MetricsRegistry::global();
+    reg.reset();
+    reg.counter("exporter_test.scrapes").inc(3.0);
+    reg.gauge("exporter_test.cap_mhz").set(1005.0);
+    reg.digest("exporter_test.energy_j").observe(42.0);
+
+    LiveSampler sampler(1);
+    MetricsExporter exporter({/*port=*/0}, &sampler);
+    exporter.start();
+    ASSERT_TRUE(exporter.running());
+    ASSERT_NE(exporter.port(), 0); // ephemeral port resolved
+
+    // S4: a live /metrics scrape must satisfy the in-repo format checker.
+    const std::string response = http_fetch(exporter.port(), "/metrics");
+    ASSERT_NE(response.find(" 200 "), std::string::npos);
+    EXPECT_NE(response.find("text/plain; version=0.0.4"), std::string::npos);
+    const std::string first_body = body_of(response);
+    std::vector<ExpositionSample> samples;
+    const auto issues = check_exposition(first_body, &samples);
+    EXPECT_TRUE(issues.empty()) << issues_text(issues);
+    bool saw_counter = false;
+    for (const ExpositionSample& s : samples) {
+        if (s.name == "greensph_exporter_test_scrapes_total") {
+            saw_counter = true;
+            EXPECT_DOUBLE_EQ(s.value, 3.0);
+        }
+    }
+    EXPECT_TRUE(saw_counter);
+
+    // Counters only move forward across scrapes (fresh render in between).
+    reg.counter("exporter_test.scrapes").inc(2.0);
+    exporter.render_now();
+    const std::string second_body = body_of(http_fetch(exporter.port(), "/metrics"));
+    const auto mono = check_counter_monotonicity(first_body, second_body);
+    EXPECT_TRUE(mono.empty()) << issues_text(mono);
+
+    // Liveness and summary endpoints.
+    const std::string health = http_fetch(exporter.port(), "/healthz");
+    EXPECT_NE(health.find(" 200 "), std::string::npos);
+    EXPECT_EQ(body_of(health), "ok\n");
+    const std::string summary = http_fetch(exporter.port(), "/summary.json");
+    ASSERT_NE(summary.find(" 200 "), std::string::npos);
+    const Json parsed = Json::parse(body_of(summary));
+    EXPECT_TRUE(parsed.contains("steps_completed"));
+    EXPECT_TRUE(parsed.at("alerts").is_array());
+
+    // Unknown paths 404 without killing the exporter.
+    EXPECT_NE(http_fetch(exporter.port(), "/nope").find(" 404 "), std::string::npos);
+    EXPECT_TRUE(exporter.running());
+    EXPECT_GE(exporter.requests_served(), 5u);
+
+    exporter.stop();
+    EXPECT_FALSE(exporter.running());
+    exporter.stop(); // idempotent
+    reg.reset();
+}
+
+TEST(MetricsExporter, SummaryWithoutSamplerIs404)
+{
+    MetricsExporter exporter({/*port=*/0});
+    exporter.start();
+    EXPECT_NE(http_fetch(exporter.port(), "/summary.json").find(" 404 "),
+              std::string::npos);
+    // /metrics still works without a sampler wired in.
+    EXPECT_NE(http_fetch(exporter.port(), "/metrics").find(" 200 "),
+              std::string::npos);
+    exporter.stop();
+}
+
+TEST(MetricsExporter, TwoExportersCoexistOnDistinctPorts)
+{
+    MetricsExporter a({/*port=*/0}), b({/*port=*/0});
+    a.start();
+    b.start();
+    EXPECT_NE(a.port(), b.port());
+    EXPECT_NE(http_fetch(a.port(), "/healthz").find(" 200 "), std::string::npos);
+    EXPECT_NE(http_fetch(b.port(), "/healthz").find(" 200 "), std::string::npos);
+    a.stop();
+    // Exporter b keeps serving after a stopped.
+    EXPECT_NE(http_fetch(b.port(), "/healthz").find(" 200 "), std::string::npos);
+    b.stop();
+}
+
+} // namespace
+} // namespace gsph::telemetry

@@ -3,6 +3,8 @@
 #include <gtest/gtest.h>
 
 #include <sstream>
+#include <string>
+#include <thread>
 
 namespace gsph::util {
 namespace {
@@ -19,6 +21,7 @@ protected:
         Logger::instance().set_sink(nullptr);
         Logger::instance().set_level(LogLevel::kWarn);
         Logger::instance().set_wall_clock(false);
+        Logger::instance().set_thread_ids(false);
         Logger::instance().set_sim_time_provider({});
         Logger::instance().set_component_filter("");
     }
@@ -108,6 +111,64 @@ TEST_F(LoggerFixture, ComponentFilterMatchesSubstring)
     EXPECT_NE(text.find("kept"), std::string::npos);
     EXPECT_NE(text.find("kept too"), std::string::npos);
     EXPECT_EQ(text.find("dropped"), std::string::npos);
+}
+
+TEST_F(LoggerFixture, ThreadIdPrefixHasDocumentedShape)
+{
+    // Regression for the parallel-log-attribution satellite: with thread
+    // ids on, the prefix is "[tid=N] " placed after any time stamps and
+    // before the level tag, N a small non-negative integer.
+    Logger::instance().set_thread_ids(true);
+    GSPH_LOG_INFO("pool", "worker line");
+    const std::string line = sink_.str();
+    ASSERT_EQ(line.rfind("[tid=", 0), 0u) << line;
+    const std::size_t close = line.find("] ");
+    ASSERT_NE(close, std::string::npos);
+    const std::string id_text = line.substr(5, close - 5);
+    ASSERT_FALSE(id_text.empty());
+    for (const char c : id_text) EXPECT_TRUE(c >= '0' && c <= '9') << line;
+    EXPECT_EQ(line.substr(close + 2), "[INFO] pool: worker line\n");
+}
+
+TEST_F(LoggerFixture, ThreadIdFollowsTimeStamps)
+{
+    Logger::instance().set_thread_ids(true);
+    Logger::instance().set_sim_time_provider([] { return 3.5; });
+    GSPH_LOG_INFO("driver", "ordered");
+    const std::string line = sink_.str();
+    const std::size_t t = line.find("[t=3.500s]");
+    const std::size_t tid = line.find("[tid=");
+    const std::size_t level = line.find("[INFO]");
+    ASSERT_NE(t, std::string::npos) << line;
+    ASSERT_NE(tid, std::string::npos) << line;
+    ASSERT_NE(level, std::string::npos) << line;
+    EXPECT_LT(t, tid);
+    EXPECT_LT(tid, level);
+}
+
+TEST_F(LoggerFixture, ThreadIdsOffKeepsLegacyPrefix)
+{
+    GSPH_LOG_INFO("pool", "plain");
+    EXPECT_EQ(sink_.str(), "[INFO] pool: plain\n");
+}
+
+TEST_F(LoggerFixture, DistinctThreadsGetDistinctStableIds)
+{
+    Logger::instance().set_thread_ids(true);
+    const int mine = Logger::current_thread_id();
+    EXPECT_GE(mine, 0);
+    EXPECT_EQ(Logger::current_thread_id(), mine); // stable per thread
+    int other = -1, other_again = -1;
+    std::thread worker([&] {
+        other = Logger::current_thread_id();
+        other_again = Logger::current_thread_id();
+        GSPH_LOG_INFO("pool", "from worker");
+    });
+    worker.join();
+    EXPECT_NE(other, mine);
+    EXPECT_EQ(other, other_again);
+    EXPECT_NE(sink_.str().find("[tid=" + std::to_string(other) + "] "),
+              std::string::npos);
 }
 
 TEST(LoggerParseLevel, AcceptsKnownNames)

@@ -26,8 +26,18 @@
 ///   --trace-json FILE  write a Chrome-trace/Perfetto span timeline
 ///   --metrics-json FILE  dump the telemetry metrics registry as JSON
 ///   --summary-json FILE  write the machine-readable run summary
+///   --metrics-port N   serve live /metrics, /healthz and /summary.json over
+///                      HTTP on 127.0.0.1:N while the run executes (0 binds
+///                      an ephemeral port, echoed on stdout); also enables
+///                      the live sampler and anomaly alerts
+///   --sample-every S   live-sampler period in simulated seconds (0.25);
+///                      enables the sampler (and alerts) even without
+///                      --metrics-port
+///   --linger-s S       keep the exporter serving S wall-seconds after the
+///                      run so short runs can still be scraped (0)
 ///   --log-level LEVEL  debug|info|warn|error|off          (warn)
 ///   --log-filter STR   only log components containing STR
+///   --log-tids         prefix log lines with a compact per-thread id
 ///   --fault-spec SPEC  inject management-library faults; SPEC is
 ///                      class:key=value[,key=value][;class:...] with classes
 ///                      transient-set:p=P, perm-loss:after=N,
@@ -52,9 +62,12 @@
 #include "core/profiler.hpp"
 #include "core/report.hpp"
 #include "sim/driver.hpp"
+#include "telemetry/anomaly.hpp"
+#include "telemetry/exporter.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/run_tracer.hpp"
+#include "telemetry/sampler.hpp"
 #include "tuning/kernel_tuner.hpp"
 #include "util/atomic_file.hpp"
 #include "util/checksum.hpp"
@@ -62,6 +75,7 @@
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
+#include <chrono>
 #include <cstdint>
 #include <fstream>
 #include <iostream>
@@ -69,6 +83,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 using namespace gsph;
@@ -92,8 +107,12 @@ struct Options {
     std::string trace_json;
     std::string metrics_json;
     std::string summary_json;
+    int metrics_port = -1;     ///< -1: no exporter; 0: ephemeral port
+    double sample_every = 0.0; ///< > 0: live sampler period (sim seconds)
+    double linger_s = 0.0;     ///< keep serving after the run (wall seconds)
     std::string log_level;
     std::string log_filter;
+    bool log_tids = false;
     std::string fault_spec;
     std::uint64_t fault_seed = 42;
     int checkpoint_every = 0;
@@ -110,7 +129,8 @@ void usage()
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
-              << "  --log-level debug|info|warn|error|off --log-filter STR\n"
+              << "  --metrics-port N --sample-every S --linger-s S\n"
+              << "  --log-level debug|info|warn|error|off --log-filter STR --log-tids\n"
               << "  --fault-spec 'class:key=value[;class:...]' --fault-seed N\n"
               << "    fault classes: transient-set:p=P  perm-loss:after=N\n"
               << "                   stuck:at=N[,count=M]  energy-wrap:p=P\n"
@@ -143,8 +163,12 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--trace-json") opt.trace_json = next();
         else if (key == "--metrics-json") opt.metrics_json = next();
         else if (key == "--summary-json") opt.summary_json = next();
+        else if (key == "--metrics-port") opt.metrics_port = std::stoi(next());
+        else if (key == "--sample-every") opt.sample_every = std::stod(next());
+        else if (key == "--linger-s") opt.linger_s = std::stod(next());
         else if (key == "--log-level") opt.log_level = next();
         else if (key == "--log-filter") opt.log_filter = next();
+        else if (key == "--log-tids") opt.log_tids = true;
         else if (key == "--fault-spec") opt.fault_spec = next();
         else if (key == "--fault-seed") opt.fault_seed = std::stoull(next());
         else if (key == "--checkpoint-every") opt.checkpoint_every = std::stoi(next());
@@ -168,6 +192,16 @@ void configure_logging(const Options& opt)
     if (!opt.log_filter.empty()) {
         util::Logger::instance().set_component_filter(opt.log_filter);
     }
+    if (opt.log_tids) {
+        util::Logger::instance().set_thread_ids(true);
+    }
+}
+
+/// The live plane (sampler + anomaly detector) runs when either flag asks
+/// for it; --metrics-port alone uses the default sampling period.
+bool live_plane_enabled(const Options& opt)
+{
+    return opt.metrics_port >= 0 || opt.sample_every > 0.0;
 }
 
 bool write_metrics_json(const std::string& path)
@@ -279,6 +313,26 @@ void save_metrics(checkpoint::StateWriter& w)
         w.put_f64(prefix + "max", h.max);
         w.put_f64(prefix + "sum", h.sum);
     }
+    w.put_u64("digests", snap.digests.size());
+    i = 0;
+    for (const auto& [name, d] : snap.digests) {
+        const std::string prefix = "digest." + std::to_string(i++) + ".";
+        w.put_str(prefix + "name", name);
+        w.put_u64(prefix + "count", d.count);
+        w.put_f64(prefix + "min", d.min);
+        w.put_f64(prefix + "max", d.max);
+        w.put_f64(prefix + "sum", d.sum);
+        w.put_f64(prefix + "sum_c", d.sum_compensation);
+        w.put_u64(prefix + "low_count", d.low_count);
+        // Bucket indexes are signed; the u64 bit pattern round-trips.
+        std::vector<std::uint64_t> idx;
+        idx.reserve(d.bucket_index.size());
+        for (const std::int64_t b : d.bucket_index) {
+            idx.push_back(static_cast<std::uint64_t>(b));
+        }
+        w.put_u64_vec(prefix + "bucket_index", idx);
+        w.put_u64_vec(prefix + "bucket_count", d.bucket_count);
+    }
 }
 
 void restore_metrics(const checkpoint::StateReader& r)
@@ -305,6 +359,24 @@ void restore_metrics(const checkpoint::StateReader& r)
         h.max = r.get_f64(prefix + "max");
         h.sum = r.get_f64(prefix + "sum");
         snap.histograms[r.get_str(prefix + "name")] = h;
+    }
+    // Digests are absent from checkpoints written before the live plane
+    // existed; treat them as "none" so old checkpoints stay resumable.
+    const std::uint64_t n_digests = r.has("digests") ? r.get_u64("digests") : 0;
+    for (std::uint64_t i = 0; i < n_digests; ++i) {
+        const std::string prefix = "digest." + std::to_string(i) + ".";
+        telemetry::LogHistogram::State d;
+        d.count = r.get_u64(prefix + "count");
+        d.min = r.get_f64(prefix + "min");
+        d.max = r.get_f64(prefix + "max");
+        d.sum = r.get_f64(prefix + "sum");
+        d.sum_compensation = r.get_f64(prefix + "sum_c");
+        d.low_count = r.get_u64(prefix + "low_count");
+        for (const std::uint64_t b : r.get_u64_vec(prefix + "bucket_index")) {
+            d.bucket_index.push_back(static_cast<std::int64_t>(b));
+        }
+        d.bucket_count = r.get_u64_vec(prefix + "bucket_count");
+        snap.digests[r.get_str(prefix + "name")] = std::move(d);
     }
     telemetry::MetricsRegistry::global().restore(snap);
 }
@@ -490,6 +562,30 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
         tracer = std::make_unique<telemetry::RunTracer>(opt.ranks);
         tracer->attach(hooks);
     }
+    // Live observability plane: deterministic sampler (+ anomaly detector)
+    // driven by the run hooks, and optionally an HTTP exporter serving the
+    // registry and live summary to scrapers.  Off by default; when off, not
+    // even the latency-observer timing reads execute (see telemetry/live.hpp).
+    std::unique_ptr<telemetry::LiveSampler> sampler;
+    std::unique_ptr<telemetry::MetricsExporter> exporter;
+    if (live_plane_enabled(opt)) {
+        telemetry::SamplerConfig sampler_cfg;
+        if (opt.sample_every > 0.0) sampler_cfg.period_s = opt.sample_every;
+        sampler = std::make_unique<telemetry::LiveSampler>(opt.ranks, sampler_cfg);
+        sampler->attach(hooks);
+    }
+    if (opt.metrics_port >= 0) {
+        telemetry::ExporterConfig exp_cfg;
+        exp_cfg.port = static_cast<std::uint16_t>(opt.metrics_port);
+        exporter = std::make_unique<telemetry::MetricsExporter>(exp_cfg, sampler.get());
+        exporter->start();
+        // Echoed on stdout so scripts (and the CI smoke job) can discover an
+        // ephemeral port without racing for a fixed one.
+        // std::endl, not '\n': scripts parse this line from a pipe while the
+        // run is still executing, so it must not sit in a stdio buffer.
+        std::cout << "Metrics exporter listening on 127.0.0.1:" << exporter->port()
+                  << std::endl;
+    }
 
     // Checkpoint participants beyond the driver's own simulated state.
     // Saved at every checkpoint boundary and restored (in this order) by
@@ -534,11 +630,44 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
             [tr](const checkpoint::StateReader& r) { tr->restore_state(r); },
             /*optional=*/true);
     }
+    // The live plane's sections are optional for the same reason as the
+    // profiler/tracer ones: a resume may enable or disable the plane.  When
+    // enabled on both sides, rings, digest feeds, baselines and alert
+    // records resume bit-identically.
+    if (sampler) {
+        auto* smp = sampler.get();
+        registry.add(
+            "sampler", [smp](checkpoint::StateWriter& w) { smp->save_state(w); },
+            [smp](const checkpoint::StateReader& r) { smp->restore_state(r); },
+            /*optional=*/true);
+        auto* anomaly = &sampler->anomaly();
+        registry.add(
+            "anomaly",
+            [anomaly](checkpoint::StateWriter& w) { anomaly->save_state(w); },
+            [anomaly](const checkpoint::StateReader& r) { anomaly->restore_state(r); },
+            /*optional=*/true);
+    }
     cfg.checkpoint_participants = &registry;
 
     std::cout << "Running " << trace.workload_name << " on " << system.name << " with "
               << opt.ranks << " rank(s) under " << policy->name() << "...\n\n";
     const auto result = core::run_with_policy(system, trace, cfg, *policy, hooks);
+
+    if (exporter) {
+        if (opt.linger_s > 0.0) {
+            // Let scrapers catch the final state of a short run.
+            std::cout << "Exporter lingering for " << util::format_fixed(opt.linger_s, 1)
+                      << " s...\n";
+            std::this_thread::sleep_for(
+                std::chrono::duration<double>(opt.linger_s));
+        }
+        exporter->stop();
+        std::cout << "Metrics exporter stopped cleanly after "
+                  << exporter->requests_served() << " request(s)\n";
+    }
+    if (sampler && !sampler->anomaly().alerts().empty()) {
+        std::cout << "Anomaly alerts: " << sampler->anomaly().alerts().size() << "\n";
+    }
 
     std::cout << "Loop time " << util::format_fixed(result.makespan_s(), 2) << " s, GPU "
               << util::format_si(result.gpu_energy_j, "J", 3) << ", node "
@@ -593,6 +722,7 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
         ctx.config_hash = config_hash;
         if (resuming) ctx.resumed_from = opt.resume_dir;
         ctx.checkpoints_written = result.checkpoints_written;
+        if (sampler) ctx.alerts = sampler->anomaly().alerts_json();
         if (!telemetry::write_run_summary(opt.summary_json, result, ctx)) {
             std::cerr << "error: failed to write " << opt.summary_json << "\n";
             return 1;

@@ -1,0 +1,176 @@
+/// greensph_top — terminal viewer for a live greensph run.
+///
+/// Scrapes the /summary.json endpoint a `greensph run --metrics-port N`
+/// process serves and renders the per-rank live state (power, clock,
+/// utilization), the anomaly baselines and any alerts as terminal tables.
+///
+///   greensph_top [--port N] [--host H] [--watch S] [--once]
+///
+/// --watch polls every S seconds (default 1.0) until the exporter goes
+/// away; --once prints a single snapshot and exits (useful in scripts and
+/// the docs walkthrough).  Exit status 0 on at least one successful scrape.
+
+#include "telemetry/json.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+using namespace gsph;
+
+namespace {
+
+struct Options {
+    std::string host = "127.0.0.1";
+    int port = 9184;
+    double watch_s = 1.0;
+    bool once = false;
+};
+
+bool parse_args(int argc, char** argv, Options& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) throw std::invalid_argument("missing value for " + key);
+            return argv[++i];
+        };
+        if (key == "--port") opt.port = std::stoi(next());
+        else if (key == "--host") opt.host = next();
+        else if (key == "--watch") opt.watch_s = std::stod(next());
+        else if (key == "--once") opt.once = true;
+        else if (key == "--help" || key == "-h") return false;
+        else throw std::invalid_argument("unknown option: " + key);
+    }
+    return true;
+}
+
+/// Minimal HTTP GET over a fresh connection; empty string on any failure.
+std::string http_get(const std::string& host, int port, const std::string& path)
+{
+    addrinfo hints{};
+    hints.ai_family = AF_INET;
+    hints.ai_socktype = SOCK_STREAM;
+    addrinfo* res = nullptr;
+    if (::getaddrinfo(host.c_str(), std::to_string(port).c_str(), &hints, &res) != 0 ||
+        res == nullptr) {
+        return {};
+    }
+    const int fd = ::socket(res->ai_family, res->ai_socktype, res->ai_protocol);
+    if (fd < 0) {
+        ::freeaddrinfo(res);
+        return {};
+    }
+    std::string body;
+    if (::connect(fd, res->ai_addr, res->ai_addrlen) == 0) {
+        const std::string request =
+            "GET " + path + " HTTP/1.0\r\nHost: " + host + "\r\n\r\n";
+        if (::send(fd, request.data(), request.size(), 0) ==
+            static_cast<ssize_t>(request.size())) {
+            std::string response;
+            char buf[4096];
+            ssize_t n = 0;
+            while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+                response.append(buf, static_cast<std::size_t>(n));
+            }
+            const std::size_t split = response.find("\r\n\r\n");
+            if (split != std::string::npos && response.rfind("HTTP/", 0) == 0 &&
+                response.find(" 200 ") != std::string::npos) {
+                body = response.substr(split + 4);
+            }
+        }
+    }
+    ::close(fd);
+    ::freeaddrinfo(res);
+    return body;
+}
+
+std::string cell(const telemetry::Json& sample, int decimals)
+{
+    if (!sample.is_object()) return "-";
+    return util::format_fixed(sample.at("mean").as_number(), decimals) + " (" +
+           util::format_fixed(sample.at("min").as_number(), decimals) + ".." +
+           util::format_fixed(sample.at("max").as_number(), decimals) + ")";
+}
+
+void render(const telemetry::Json& summary)
+{
+    std::cout << "steps " << summary.at("steps_completed").as_number() << "  sim time "
+              << util::format_fixed(summary.at("sim_time_s").as_number(), 2)
+              << " s  energy "
+              << util::format_si(summary.at("total_energy_j").as_number(), "J", 3)
+              << "  degraded ranks "
+              << summary.at("degraded_ranks").as_number() << "\n";
+
+    util::Table ranks({"Rank", "Power [W] mean (min..max)", "Clock [MHz]", "Util"});
+    const auto& rank_array = summary.at("ranks").items();
+    for (std::size_t r = 0; r < rank_array.size(); ++r) {
+        const telemetry::Json& rank = rank_array[r];
+        ranks.add_row({std::to_string(r), cell(rank.at("power_w"), 1),
+                       cell(rank.at("clock_mhz"), 0),
+                       cell(rank.at("utilization"), 2)});
+    }
+    ranks.print(std::cout);
+
+    const telemetry::Json& alerts = summary.at("alerts");
+    if (alerts.size() > 0) {
+        util::Table table({"Alert", "Step", "Message"});
+        for (const telemetry::Json& alert : alerts.items()) {
+            table.add_row({alert.at("kind").as_string(),
+                           util::format_fixed(alert.at("step").as_number(), 0),
+                           alert.at("message").as_string()});
+        }
+        std::cout << "\nAlerts:\n";
+        table.print(std::cout);
+    }
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    Options opt;
+    try {
+        if (!parse_args(argc, argv, opt)) {
+            std::cout << "usage: greensph_top [--host H] [--port N] [--watch S] [--once]\n";
+            return 1;
+        }
+    }
+    catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+
+    bool scraped = false;
+    for (;;) {
+        const std::string body = http_get(opt.host, opt.port, "/summary.json");
+        if (body.empty()) {
+            if (scraped) break; // exporter went away: the run finished
+            std::cerr << "no exporter at " << opt.host << ":" << opt.port
+                      << " (is a run active with --metrics-port?)\n";
+            return 1;
+        }
+        try {
+            render(telemetry::Json::parse(body));
+        }
+        catch (const std::exception& e) {
+            std::cerr << "error: bad /summary.json payload: " << e.what() << "\n";
+            return 1;
+        }
+        scraped = true;
+        if (opt.once) break;
+        std::this_thread::sleep_for(std::chrono::duration<double>(opt.watch_s));
+        std::cout << "\n";
+    }
+    return 0;
+}
