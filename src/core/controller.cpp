@@ -1,8 +1,10 @@
 #include "core/controller.hpp"
 
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 
 #include <stdexcept>
+#include <utility>
 
 namespace gsph::core {
 
@@ -41,7 +43,22 @@ ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
     const ClockStatus status = backend_->set_cap_mhz(rank, target);
     ++backend_calls_;
     if (status == ClockStatus::kOk) {
+        const double previous = current_mhz_[static_cast<std::size_t>(rank)];
         current_mhz_[static_cast<std::size_t>(rank)] = target;
+        if (telemetry::decision_audited()) {
+            telemetry::DecisionRecord rec;
+            rec.policy = audit_.policy;
+            rec.rank = rank;
+            rec.function = static_cast<int>(fn);
+            rec.candidate_mhz = audit_.candidate_mhz;
+            rec.chosen_mhz = target;
+            rec.predicted_edp =
+                audit_.predicted_edp[static_cast<std::size_t>(fn)];
+            rec.inputs.emplace_back("previous_mhz", previous);
+            rec.inputs.emplace_back("backend_calls",
+                                    static_cast<double>(backend_calls_));
+            telemetry::audit_decision(std::move(rec));
+        }
     }
     return status;
 }

@@ -14,10 +14,26 @@
 #include "core/frequency_table.hpp"
 #include "sph/functions.hpp"
 
+#include <array>
 #include <memory>
+#include <string>
 #include <vector>
 
 namespace gsph::core {
+
+/// Decision provenance attached by whoever built the controller's table.
+/// Deliberately separate from FrequencyTable (whose value semantics —
+/// operator==, CSV round-trip, checkpoints — must not change): this is
+/// audit metadata, not control state.  When a telemetry decision sink is
+/// installed, every *actual* clock change emits one DecisionRecord carrying
+/// these fields plus the concrete rank/function/clock.
+struct ControllerAuditInfo {
+    std::string policy = "ManDyn";     ///< deciding policy label
+    std::vector<double> candidate_mhz; ///< sweep candidates the table chose from
+    /// Predicted per-call EDP at the table's clock, per SPH function
+    /// (<= 0: the table came without sweep predictions).
+    std::array<double, sph::kSphFunctionCount> predicted_edp{};
+};
 
 class FrequencyController {
 public:
@@ -37,6 +53,11 @@ public:
     /// Restore every touched device to its default clocks.
     void restore_all();
 
+    /// Attach decision provenance (policy label, candidate set, predicted
+    /// EDPs) to every audited clock change this controller makes.
+    void set_audit_info(ControllerAuditInfo info) { audit_ = std::move(info); }
+    const ControllerAuditInfo& audit_info() const { return audit_; }
+
     const FrequencyTable& table() const { return table_; }
     const ClockBackend& backend() const { return *backend_; }
     long backend_calls() const { return backend_calls_; }
@@ -50,6 +71,7 @@ public:
 
 private:
     FrequencyTable table_;
+    ControllerAuditInfo audit_;
     std::unique_ptr<ClockBackend> backend_;
     std::vector<double> current_mhz_; ///< last clock set per rank (<0: unknown)
     long backend_calls_ = 0;

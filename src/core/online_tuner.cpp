@@ -1,5 +1,6 @@
 #include "core/online_tuner.hpp"
 
+#include "telemetry/audit.hpp"
 #include "telemetry/metrics.hpp"
 
 #include <algorithm>
@@ -133,7 +134,32 @@ void OnlineManDynPolicy::before(int rank, gpusim::GpuDevice& dev, sph::SphFuncti
     const auto r = static_cast<std::size_t>(rank);
     if (rank_current_mhz_[r] != target) {
         if (backend_->set_cap_mhz(rank, target) == ClockStatus::kOk) {
+            const double previous = rank_current_mhz_[r];
             rank_current_mhz_[r] = target;
+            if (telemetry::decision_audited()) {
+                telemetry::DecisionRecord rec;
+                rec.policy = "OnlineManDyn";
+                rec.rank = rank;
+                rec.function = static_cast<int>(fn);
+                rec.candidate_mhz = learner.clocks;
+                rec.chosen_mhz = target;
+                // The learner's current estimate for the chosen clock: mean
+                // per-call energy times mean per-call duration.
+                for (std::size_t i = 0; i < learner.clocks.size(); ++i) {
+                    if (learner.clocks[i] == target && learner.samples[i] > 0) {
+                        const double n = static_cast<double>(learner.samples[i]);
+                        rec.predicted_edp =
+                            (learner.energy_j[i] / n) * (learner.time_s[i] / n);
+                        rec.inputs.emplace_back("samples", n);
+                    }
+                }
+                rec.inputs.emplace_back("previous_mhz", previous);
+                rec.inputs.emplace_back(
+                    "calls_seen", static_cast<double>(learner.calls_seen));
+                rec.inputs.emplace_back("converged",
+                                        learner.converged ? 1.0 : 0.0);
+                telemetry::audit_decision(std::move(rec));
+            }
         }
         else {
             // Device clock state unknown (the set may have partially taken

@@ -1,6 +1,7 @@
 #include "core/policy.hpp"
 
 #include "nvmlsim/nvml.hpp"
+#include "telemetry/audit.hpp"
 #include "util/strings.hpp"
 
 #include <stdexcept>
@@ -58,9 +59,11 @@ public:
 
 class ManDynPolicy final : public FrequencyPolicy {
 public:
-    ManDynPolicy(FrequencyTable table, gpusim::Vendor vendor)
-        : table_(table), vendor_(vendor)
+    ManDynPolicy(FrequencyTable table, gpusim::Vendor vendor,
+                 ControllerAuditInfo audit = {})
+        : table_(table), vendor_(vendor), audit_(std::move(audit))
     {
+        audit_.policy = "ManDyn";
     }
 
     std::string name() const override { return "ManDyn"; }
@@ -77,6 +80,7 @@ public:
     {
         controller_ = std::make_unique<FrequencyController>(
             table_, n_ranks, make_clock_backend(vendor_, n_ranks));
+        controller_->set_audit_info(audit_);
         auto* ctl = controller_.get();
         auto previous = hooks.before_function; // compose with existing hooks
         hooks.before_function = [ctl, previous](int rank, gpusim::GpuDevice& dev,
@@ -105,6 +109,7 @@ public:
 private:
     FrequencyTable table_;
     gpusim::Vendor vendor_;
+    ControllerAuditInfo audit_;
     std::unique_ptr<FrequencyController> controller_;
 };
 
@@ -148,6 +153,15 @@ public:
                     nvmlsim::NVML_SUCCESS) {
                     nvmlsim::nvmlDeviceSetPowerManagementLimit(
                         handle, static_cast<unsigned int>(watts * 1000.0));
+                    if (telemetry::decision_audited()) {
+                        telemetry::DecisionRecord rec;
+                        rec.policy = "PowerCap";
+                        rec.rank = rank;
+                        rec.function = -1; // run-wide: caps every function
+                        rec.chosen_mhz = 0.0; // firmware governs the clock
+                        rec.inputs.emplace_back("power_cap_w", watts);
+                        telemetry::audit_decision(std::move(rec));
+                    }
                 }
                 (*applied)[static_cast<std::size_t>(rank)] = true;
             }
@@ -205,6 +219,13 @@ std::unique_ptr<FrequencyPolicy> make_mandyn_policy(FrequencyTable table,
                                                     gpusim::Vendor vendor)
 {
     return std::make_unique<ManDynPolicy>(table, vendor);
+}
+
+std::unique_ptr<FrequencyPolicy> make_mandyn_policy(FrequencyTable table,
+                                                    ControllerAuditInfo audit,
+                                                    gpusim::Vendor vendor)
+{
+    return std::make_unique<ManDynPolicy>(table, vendor, std::move(audit));
 }
 
 std::unique_ptr<FrequencyPolicy> make_power_cap_policy(double watts)

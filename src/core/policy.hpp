@@ -44,6 +44,13 @@ std::unique_ptr<FrequencyPolicy> make_native_dvfs_policy();
 std::unique_ptr<FrequencyPolicy> make_mandyn_policy(
     FrequencyTable table, gpusim::Vendor vendor = gpusim::Vendor::kNvidia);
 
+/// Same, with decision provenance (candidate set, sweep-predicted EDPs —
+/// see tuning::audit_info_from_sweep) attached to the controller so each
+/// audited clock change carries its prediction.
+std::unique_ptr<FrequencyPolicy> make_mandyn_policy(
+    FrequencyTable table, ControllerAuditInfo audit,
+    gpusim::Vendor vendor = gpusim::Vendor::kNvidia);
+
 /// Extension: board power cap (nvmlDeviceSetPowerManagementLimit), the
 /// other datacenter energy knob.  Clocks stay at the default; the firmware
 /// throttles only the kernels that would exceed `watts` — the complementary

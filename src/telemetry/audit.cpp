@@ -1,0 +1,31 @@
+#include "telemetry/audit.hpp"
+
+#include <atomic>
+#include <utility>
+
+namespace gsph::telemetry {
+
+namespace {
+
+DecisionSink g_sink;
+std::atomic<bool> g_installed{false};
+
+} // namespace
+
+void set_decision_sink(DecisionSink sink)
+{
+    g_sink = std::move(sink);
+    g_installed.store(static_cast<bool>(g_sink), std::memory_order_release);
+}
+
+bool decision_audited()
+{
+    return g_installed.load(std::memory_order_acquire);
+}
+
+void audit_decision(DecisionRecord record)
+{
+    if (decision_audited()) g_sink(std::move(record));
+}
+
+} // namespace gsph::telemetry

@@ -1,0 +1,59 @@
+#pragma once
+/// \file audit.hpp
+/// \brief Process-wide hook between frequency policies and the attribution
+/// ledger's decision audit trail.
+///
+/// Policies (core) sit below the attribution ledger (telemetry_run) in the
+/// dependency layering, so they cannot call the ledger directly.  Instead
+/// every policy reports each frequency decision — the moment it actually
+/// changes a device's applied clock — through this sink slot when, and only
+/// when, a ledger installed one.  With no sink installed the policies skip
+/// even building the record, so runs without `--ledger` execute the exact
+/// pre-audit instruction stream (the same contract live.hpp gives the
+/// call-latency observer).
+///
+/// A DecisionRecord carries everything known *at decision time*: who
+/// decided, for which rank and function, the candidate set considered, the
+/// chosen frequency, the predicted EDP for the upcoming window, and named
+/// numeric inputs (sample counts, previous clock, learner accumulators).
+/// The *realized* EDP of the window is deliberately absent — the ledger
+/// measures it from the next execution of that (rank, function) and joins
+/// it to the record, making prediction error a first-class artifact.
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace gsph::telemetry {
+
+struct DecisionRecord {
+    std::string policy; ///< deciding policy ("ManDyn", "OnlineManDyn", ...)
+    int rank = -1;      ///< GPU-driving rank the decision applies to
+    /// sph::SphFunction index the decision targets (-1: run-wide decision).
+    /// Kept as an int so this header stays below the sph layer.
+    int function = -1;
+    std::vector<double> candidate_mhz; ///< candidate set considered (may be empty)
+    double chosen_mhz = 0.0;           ///< the applied frequency
+    /// Predicted EDP for one execution window at the chosen clock
+    /// (<= 0: the policy had no prediction, e.g. a table without sweep data).
+    double predicted_edp = 0.0;
+    /// Named decision inputs (sample counts, accumulated energy, previous
+    /// clock, cap watts, ...) — the evidence the policy decided on.
+    std::vector<std::pair<std::string, double>> inputs;
+};
+
+using DecisionSink = std::function<void(DecisionRecord&&)>;
+
+/// Install (or, with an empty function, remove) the process-wide sink.
+/// Not thread-safe against concurrent audit calls: install before the run
+/// loop starts and remove after it ends, like faults::install.
+void set_decision_sink(DecisionSink sink);
+
+/// Cheap gate for policies: build the record only when true.
+bool decision_audited();
+
+/// Forward one decision to the installed sink (no-op when none).
+void audit_decision(DecisionRecord record);
+
+} // namespace gsph::telemetry

@@ -1,5 +1,6 @@
 #include "telemetry/exporter.hpp"
 
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/sampler.hpp"
@@ -19,8 +20,9 @@
 
 namespace gsph::telemetry {
 
-MetricsExporter::MetricsExporter(ExporterConfig config, const LiveSampler* sampler)
-    : config_(config), sampler_(sampler)
+MetricsExporter::MetricsExporter(ExporterConfig config, const LiveSampler* sampler,
+                                 const AttributionLedger* ledger)
+    : config_(config), sampler_(sampler), ledger_(ledger)
 {
 }
 
@@ -94,9 +96,15 @@ void MetricsExporter::render_now()
     std::string metrics = render_prometheus(snap);
     std::string summary;
     if (sampler_ != nullptr) summary = sampler_->live_summary_json().dump(2) + "\n";
+    std::string attribution;
+    if (ledger_ != nullptr) {
+        metrics += ledger_->top_exposition();
+        attribution = ledger_->attribution_json().dump(2) + "\n";
+    }
     std::lock_guard<std::mutex> lock(body_mutex_);
     metrics_body_ = std::move(metrics);
     summary_body_ = std::move(summary);
+    attribution_body_ = std::move(attribution);
 }
 
 void MetricsExporter::publisher_loop()
@@ -175,12 +183,22 @@ std::string MetricsExporter::http_response(const std::string& path) const
             body = summary_body_;
             type = "application/json; charset=utf-8";
         }
+    } else if (path == "/attribution.json") {
+        std::lock_guard<std::mutex> lock(body_mutex_);
+        if (attribution_body_.empty()) {
+            status = "404 Not Found";
+            body = "no attribution ledger attached\n";
+        } else {
+            body = attribution_body_;
+            type = "application/json; charset=utf-8";
+        }
     } else if (path.empty()) {
         status = "400 Bad Request";
         body = "malformed request\n";
     } else {
         status = "404 Not Found";
-        body = "unknown path; try /metrics, /healthz or /summary.json\n";
+        body = "unknown path; try /metrics, /healthz, /summary.json or "
+               "/attribution.json\n";
     }
     std::string response = "HTTP/1.0 " + status + "\r\n";
     response += "Content-Type: " + type + "\r\n";

@@ -2,10 +2,14 @@
 /// \file exporter.hpp
 /// \brief Blocking HTTP exporter serving live run state to scrapers.
 ///
-/// Serves three endpoints over plain HTTP/1.0, loopback by default:
-///   /metrics       Prometheus text exposition of the metrics registry
-///   /healthz       "ok\n" liveness probe
-///   /summary.json  live run-summary snapshot from the LiveSampler
+/// Serves four endpoints over plain HTTP/1.0, loopback by default:
+///   /metrics           Prometheus text exposition of the metrics registry
+///                      (plus top-N attribution gauges when a ledger is
+///                      attached)
+///   /healthz           "ok\n" liveness probe
+///   /summary.json      live run-summary snapshot from the LiveSampler
+///   /attribution.json  attribution buckets + recent policy decisions from
+///                      the AttributionLedger
 ///
 /// Two background threads, neither of which ever touches the simulation
 /// thread:
@@ -29,6 +33,7 @@
 
 namespace gsph::telemetry {
 
+class AttributionLedger;
 class LiveSampler;
 
 struct ExporterConfig {
@@ -42,7 +47,11 @@ public:
     /// \param sampler  optional source for /summary.json; not owned, may be
     ///                 null (the endpoint then serves 404).  Must outlive
     ///                 the exporter or be detached via stop() first.
-    explicit MetricsExporter(ExporterConfig config, const LiveSampler* sampler = nullptr);
+    /// \param ledger   optional source for /attribution.json and the top-N
+    ///                 attribution gauges in /metrics; same ownership rules.
+    explicit MetricsExporter(ExporterConfig config,
+                             const LiveSampler* sampler = nullptr,
+                             const AttributionLedger* ledger = nullptr);
     ~MetricsExporter(); ///< stops and joins if still running
     MetricsExporter(const MetricsExporter&) = delete;
     MetricsExporter& operator=(const MetricsExporter&) = delete;
@@ -77,6 +86,7 @@ private:
 
     ExporterConfig config_;
     const LiveSampler* sampler_;
+    const AttributionLedger* ledger_;
     int listen_fd_ = -1;
     std::uint16_t bound_port_ = 0;
     std::atomic<bool> running_{false};
@@ -85,6 +95,7 @@ private:
     mutable std::mutex body_mutex_;
     std::string metrics_body_;
     std::string summary_body_;
+    std::string attribution_body_;
 
     std::mutex stop_mutex_;
     std::condition_variable stop_cv_;

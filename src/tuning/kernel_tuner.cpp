@@ -224,4 +224,27 @@ core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& swe
     return table;
 }
 
+core::ControllerAuditInfo
+audit_info_from_sweep(const std::vector<FunctionSweepEntry>& sweep)
+{
+    core::ControllerAuditInfo info;
+    info.policy = "ManDyn";
+    std::vector<double> candidates;
+    for (const auto& entry : sweep) {
+        for (const auto& config : entry.result.configs) {
+            const auto it = config.params.find("core_freq_mhz");
+            if (it != config.params.end()) candidates.push_back(it->second);
+        }
+        if (!entry.result.configs.empty()) {
+            info.predicted_edp[static_cast<std::size_t>(entry.fn)] =
+                entry.result.best(Objective::kEdp).edp;
+        }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    info.candidate_mhz = std::move(candidates);
+    return info;
+}
+
 } // namespace gsph::tuning

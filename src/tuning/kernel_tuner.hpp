@@ -12,6 +12,7 @@
 /// A higher-level helper sweeps every SPH function of a recorded workload
 /// trace and returns the best-EDP clock table (Fig. 2's producer).
 
+#include "core/controller.hpp"
 #include "core/frequency_table.hpp"
 #include "gpusim/device.hpp"
 #include "sim/workload.hpp"
@@ -100,5 +101,12 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(
 /// Reduce a sweep to the ManDyn clock table (best EDP per function).
 core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& sweep,
                                       double default_mhz);
+
+/// Decision provenance for the controller built from the same sweep: the
+/// candidate set the table chose from and the sweep's best per-call EDP per
+/// function, so every audited clock change carries its predicted EDP (the
+/// ledger later joins the realized EDP for prediction-error analysis).
+core::ControllerAuditInfo
+audit_info_from_sweep(const std::vector<FunctionSweepEntry>& sweep);
 
 } // namespace gsph::tuning

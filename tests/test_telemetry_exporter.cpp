@@ -4,16 +4,23 @@
 /// against a *live scrape* of a real exporter on an ephemeral port — the
 /// format promise is enforced in-repo on every test run.
 
+#include "core/frequency_table.hpp"
+#include "core/policy.hpp"
+#include "sim/driver.hpp"
+#include "sim/system.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/prometheus.hpp"
 #include "telemetry/sampler.hpp"
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <cmath>
 #include <cstring>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include <arpa/inet.h>
@@ -63,6 +70,17 @@ std::string issues_text(const std::vector<ExpositionIssue>& issues)
         text += issue.message + " @ " + issue.line + "\n";
     }
     return text;
+}
+
+/// Value of an HTTP header in a raw response; empty string when absent.
+std::string header_value(const std::string& response, const std::string& name)
+{
+    const std::string needle = "\r\n" + name + ": ";
+    const std::size_t pos = response.find(needle);
+    if (pos == std::string::npos) return {};
+    const std::size_t start = pos + needle.size();
+    const std::size_t end = response.find("\r\n", start);
+    return response.substr(start, end - start);
 }
 
 // ------------------------------------------------------------- rendering ---
@@ -282,6 +300,164 @@ TEST(MetricsExporter, SummaryWithoutSamplerIs404)
     EXPECT_NE(http_fetch(exporter.port(), "/metrics").find(" 200 "),
               std::string::npos);
     exporter.stop();
+}
+
+TEST(MetricsExporter, StatusLinesAndContentLengthOnEveryResponse)
+{
+    MetricsRegistry::global().reset();
+    MetricsRegistry::global().counter("exporter_http.test").inc();
+    MetricsExporter exporter({/*port=*/0});
+    exporter.start();
+
+    struct Case {
+        const char* path;
+        const char* status;
+    };
+    const Case cases[] = {
+        {"/metrics", "HTTP/1.0 200 OK"},
+        {"/healthz", "HTTP/1.0 200 OK"},
+        {"/summary.json", "HTTP/1.0 404 Not Found"},     // no sampler wired
+        {"/attribution.json", "HTTP/1.0 404 Not Found"}, // no ledger wired
+        {"/nope", "HTTP/1.0 404 Not Found"},
+        {"/metrics/extra", "HTTP/1.0 404 Not Found"},
+    };
+    for (const Case& c : cases) {
+        const std::string response = http_fetch(exporter.port(), c.path);
+        // Proper status line, not just a substring anywhere.
+        EXPECT_EQ(response.rfind(c.status, 0), 0u) << c.path << ": " << response;
+        // Content-Length present and exact on every response.
+        const std::string length = header_value(response, "Content-Length");
+        ASSERT_FALSE(length.empty()) << c.path;
+        EXPECT_EQ(std::stoul(length), body_of(response).size()) << c.path;
+        EXPECT_FALSE(header_value(response, "Content-Type").empty()) << c.path;
+    }
+    // The 404 body tells the scraper where to look instead.
+    const std::string miss = http_fetch(exporter.port(), "/nope");
+    EXPECT_NE(body_of(miss).find("/attribution.json"), std::string::npos);
+    exporter.stop();
+    MetricsRegistry::global().reset();
+}
+
+TEST(MetricsExporter, AttributionEndpointNeedsALedger)
+{
+    MetricsRegistry::global().reset();
+    {
+        MetricsExporter exporter({/*port=*/0});
+        exporter.start();
+        const std::string response =
+            http_fetch(exporter.port(), "/attribution.json");
+        EXPECT_EQ(response.rfind("HTTP/1.0 404", 0), 0u);
+        exporter.stop();
+    }
+    // With a ledger attached the endpoint serves parseable JSON even before
+    // any run populated it.
+    AttributionLedger ledger(1);
+    MetricsExporter exporter({/*port=*/0}, nullptr, &ledger);
+    exporter.start();
+    const std::string response = http_fetch(exporter.port(), "/attribution.json");
+    ASSERT_EQ(response.rfind("HTTP/1.0 200 OK", 0), 0u);
+    EXPECT_NE(header_value(response, "Content-Type").find("application/json"),
+              std::string::npos);
+    const Json parsed = Json::parse(body_of(response));
+    EXPECT_EQ(parsed.at("schema").as_string(), kLedgerSchema);
+    EXPECT_EQ(parsed.at("decision_count").as_number(), 0.0);
+    // The ledger's top-N gauges ride along in /metrics and keep the body
+    // checker-clean.
+    const std::string metrics = body_of(http_fetch(exporter.port(), "/metrics"));
+    EXPECT_NE(metrics.find("greensph_attribution_total_energy_joules"),
+              std::string::npos);
+    EXPECT_TRUE(check_exposition(metrics).empty());
+    exporter.stop();
+    MetricsRegistry::global().reset();
+}
+
+TEST(MetricsExporter, ConcurrentScrapesStayWellFormedMidRun)
+{
+    MetricsRegistry::global().reset();
+    sim::WorkloadSpec spec;
+    spec.kind = sim::WorkloadKind::kSubsonicTurbulence;
+    spec.particles_per_gpu = 50e6;
+    spec.n_steps = 6;
+    spec.real_nside = 6;
+    const sim::WorkloadTrace trace = sim::record_trace(spec);
+
+    LiveSampler sampler(2);
+    AttributionLedger ledger(2);
+    sim::RunHooks hooks;
+    sampler.attach(hooks);
+    ledger.attach(hooks);
+    ExporterConfig config;
+    config.publish_period_s = 0.002; // stress re-render during the run
+    MetricsExporter exporter(config, &sampler, &ledger);
+    exporter.start();
+
+    // Hammer both bodies from several threads while the simulation runs on
+    // this thread; every single response must be well-formed.  Each scraper
+    // keeps going for a minimum number of rounds even if the (fast) run
+    // finishes before the scheduler lets it in, so the concurrency below is
+    // guaranteed scraper-vs-scraper and scraper-vs-publisher, and
+    // opportunistically scraper-vs-run.
+    std::atomic<bool> stop{false};
+    std::atomic<int> metrics_ok{0}, attribution_ok{0}, failures{0};
+    std::vector<std::thread> scrapers;
+    for (int i = 0; i < 4; ++i) {
+        scrapers.emplace_back([&, i] {
+            const std::string path =
+                (i % 2 == 0) ? "/metrics" : "/attribution.json";
+            for (int round = 0;
+                 round < 10 || !stop.load(std::memory_order_acquire); ++round) {
+                const std::string response = http_fetch(exporter.port(), path);
+                if (response.rfind("HTTP/1.0 200 OK", 0) != 0) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                const std::string body = body_of(response);
+                if (body.size() !=
+                    std::stoul(header_value(response, "Content-Length"))) {
+                    failures.fetch_add(1);
+                    continue;
+                }
+                if (path == "/metrics") {
+                    if (!check_exposition(body).empty()) failures.fetch_add(1);
+                    else metrics_ok.fetch_add(1);
+                }
+                else {
+                    try {
+                        const Json parsed = Json::parse(body);
+                        if (parsed.at("schema").as_string() != kLedgerSchema) {
+                            failures.fetch_add(1);
+                        }
+                        else {
+                            attribution_ok.fetch_add(1);
+                        }
+                    }
+                    catch (const std::exception&) {
+                        failures.fetch_add(1);
+                    }
+                }
+            }
+        });
+    }
+
+    sim::RunConfig cfg;
+    cfg.n_ranks = 2;
+    cfg.setup_s = 2.0;
+    auto policy = core::make_mandyn_policy(core::reference_a100_turbulence_table());
+    const auto result =
+        core::run_with_policy(sim::mini_hpc(), trace, cfg, *policy, hooks);
+    exporter.render_now(); // final state visible to at least one scrape
+    stop.store(true, std::memory_order_release);
+    for (std::thread& t : scrapers) t.join();
+    exporter.stop();
+
+    EXPECT_EQ(failures.load(), 0);
+    EXPECT_GT(metrics_ok.load(), 0);
+    EXPECT_GT(attribution_ok.load(), 0);
+    EXPECT_GT(result.gpu_energy_j, 0.0);
+    // Observation still did not perturb the accounting.
+    EXPECT_NEAR(ledger.attributed_energy_j(), result.gpu_energy_j,
+                1e-9 * result.gpu_energy_j);
+    MetricsRegistry::global().reset();
 }
 
 TEST(MetricsExporter, TwoExportersCoexistOnDistinctPorts)

@@ -26,10 +26,15 @@
 ///   --trace-json FILE  write a Chrome-trace/Perfetto span timeline
 ///   --metrics-json FILE  dump the telemetry metrics registry as JSON
 ///   --summary-json FILE  write the machine-readable run summary
-///   --metrics-port N   serve live /metrics, /healthz and /summary.json over
-///                      HTTP on 127.0.0.1:N while the run executes (0 binds
-///                      an ephemeral port, echoed on stdout); also enables
-///                      the live sampler and anomaly alerts
+///   --ledger FILE      write the attribution ledger as JSONL: per
+///                      (rank, function, phase, applied-clock) energy/time
+///                      buckets plus the audited policy decision trail with
+///                      predicted and realized EDP (greensph_report reads it)
+///   --metrics-port N   serve live /metrics, /healthz, /summary.json and
+///                      /attribution.json over HTTP on 127.0.0.1:N while the
+///                      run executes (0 binds an ephemeral port, echoed on
+///                      stdout); also enables the live sampler, anomaly
+///                      alerts and the attribution ledger
 ///   --sample-every S   live-sampler period in simulated seconds (0.25);
 ///                      enables the sampler (and alerts) even without
 ///                      --metrics-port
@@ -64,6 +69,7 @@
 #include "sim/driver.hpp"
 #include "telemetry/anomaly.hpp"
 #include "telemetry/exporter.hpp"
+#include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
 #include "telemetry/run_summary.hpp"
 #include "telemetry/run_tracer.hpp"
@@ -107,6 +113,7 @@ struct Options {
     std::string trace_json;
     std::string metrics_json;
     std::string summary_json;
+    std::string ledger_out;
     int metrics_port = -1;     ///< -1: no exporter; 0: ephemeral port
     double sample_every = 0.0; ///< > 0: live sampler period (sim seconds)
     double linger_s = 0.0;     ///< keep serving after the run (wall seconds)
@@ -129,7 +136,7 @@ void usage()
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
-              << "  --metrics-port N --sample-every S --linger-s S\n"
+              << "  --ledger FILE --metrics-port N --sample-every S --linger-s S\n"
               << "  --log-level debug|info|warn|error|off --log-filter STR --log-tids\n"
               << "  --fault-spec 'class:key=value[;class:...]' --fault-seed N\n"
               << "    fault classes: transient-set:p=P  perm-loss:after=N\n"
@@ -163,6 +170,7 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--trace-json") opt.trace_json = next();
         else if (key == "--metrics-json") opt.metrics_json = next();
         else if (key == "--summary-json") opt.summary_json = next();
+        else if (key == "--ledger") opt.ledger_out = next();
         else if (key == "--metrics-port") opt.metrics_port = std::stoi(next());
         else if (key == "--sample-every") opt.sample_every = std::stod(next());
         else if (key == "--linger-s") opt.linger_s = std::stod(next());
@@ -533,7 +541,7 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
             tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
         policy = core::make_mandyn_policy(
             tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
-            system.gpu.vendor);
+            tuning::audit_info_from_sweep(sweep), system.gpu.vendor);
     }
 
     sim::RunConfig cfg;
@@ -574,10 +582,19 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
         sampler = std::make_unique<telemetry::LiveSampler>(opt.ranks, sampler_cfg);
         sampler->attach(hooks);
     }
+    // Attribution ledger: every joule/second bucketed by (rank, function,
+    // phase, applied clock) plus the audited decision trail.  Enabled by
+    // --ledger (post-run JSONL) or the exporter (live /attribution.json).
+    std::unique_ptr<telemetry::AttributionLedger> ledger;
+    if (!opt.ledger_out.empty() || opt.metrics_port >= 0) {
+        ledger = std::make_unique<telemetry::AttributionLedger>(opt.ranks);
+        ledger->attach(hooks);
+    }
     if (opt.metrics_port >= 0) {
         telemetry::ExporterConfig exp_cfg;
         exp_cfg.port = static_cast<std::uint16_t>(opt.metrics_port);
-        exporter = std::make_unique<telemetry::MetricsExporter>(exp_cfg, sampler.get());
+        exporter = std::make_unique<telemetry::MetricsExporter>(
+            exp_cfg, sampler.get(), ledger.get());
         exporter->start();
         // Echoed on stdout so scripts (and the CI smoke job) can discover an
         // ephemeral port without racing for a fixed one.
@@ -647,6 +664,16 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
             [anomaly](const checkpoint::StateReader& r) { anomaly->restore_state(r); },
             /*optional=*/true);
     }
+    // Optional like the others; when present on both sides of a kill, the
+    // resumed run's final JSONL ledger is byte-identical to an
+    // uninterrupted one's.
+    if (ledger) {
+        auto* led = ledger.get();
+        registry.add(
+            "ledger", [led](checkpoint::StateWriter& w) { led->save_state(w); },
+            [led](const checkpoint::StateReader& r) { led->restore_state(r); },
+            /*optional=*/true);
+    }
     cfg.checkpoint_participants = &registry;
 
     std::cout << "Running " << trace.workload_name << " on " << system.name << " with "
@@ -713,6 +740,22 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
             return 1;
         }
         std::cout << "Metrics written to " << opt.metrics_json << "\n";
+    }
+    if (ledger && !opt.ledger_out.empty()) {
+        // Header deliberately excludes thread count, argv and hashes over
+        // them: ledgers must be byte-identical across --threads and across
+        // kill -> resume.
+        telemetry::Json header = telemetry::Json::object();
+        header["system"] = opt.system;
+        header["workload"] = opt.workload;
+        header["policy"] = policy->name();
+        header["ranks"] = opt.ranks;
+        header["steps"] = opt.steps;
+        if (!ledger->write_jsonl(opt.ledger_out, header)) {
+            std::cerr << "error: failed to write " << opt.ledger_out << "\n";
+            return 1;
+        }
+        std::cout << "Attribution ledger written to " << opt.ledger_out << "\n";
     }
     if (!opt.summary_json.empty()) {
         telemetry::RunSummaryContext ctx;

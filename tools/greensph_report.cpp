@@ -1,0 +1,491 @@
+/// greensph_report — post-run analyzer for run summaries and attribution
+/// ledgers.
+///
+/// Joins the machine-readable artifacts a run leaves behind:
+///   --summary FILE    run summary (greensph run --summary-json)
+///   --ledger FILE     attribution ledger JSONL (greensph run --ledger)
+/// and emits:
+///   * a per-kernel energy/EDP breakdown table (the paper's Fig. 5/7 view),
+///   * the ledger's (function × phase × applied-clock) attribution table
+///     with a cross-check against the summary's total GPU energy,
+///   * the policy decision-audit timeline with predicted vs. realized EDP,
+///     flagging |prediction error| above --mispredict-threshold,
+///   * with --baseline OTHER_SUMMARY.json: an energy/EDP drift table
+///     against a reference run; drift beyond --energy-tolerance /
+///     --edp-tolerance is a regression.
+///
+/// Exit codes: 0 ok, 1 usage or I/O error, 2 regression detected — the CI
+/// bench gate keys off 2.
+///
+/// Options:
+///   --summary FILE            run summary to analyze
+///   --ledger FILE             attribution ledger (JSONL) to analyze
+///   --baseline FILE           reference run summary to diff against
+///   --energy-tolerance X      relative energy drift that fails (0.05)
+///   --edp-tolerance X         relative EDP drift that fails (0.05)
+///   --mispredict-threshold X  |realized/predicted - 1| that flags (0.25)
+///   --decisions N             decision-timeline rows to print (20; 0: all)
+///   --json FILE               write the full analysis as JSON
+
+#include "telemetry/json.hpp"
+#include "util/atomic_file.hpp"
+#include "util/strings.hpp"
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+using namespace gsph;
+
+namespace {
+
+struct ReportOptions {
+    std::string summary_path;
+    std::string ledger_path;
+    std::string baseline_path;
+    std::string json_out;
+    double energy_tolerance = 0.05;
+    double edp_tolerance = 0.05;
+    double mispredict_threshold = 0.25;
+    int decisions = 20; ///< timeline rows (0: all)
+};
+
+void usage()
+{
+    std::cout << "usage: greensph_report [options]\n"
+              << "  --summary FILE       run summary (greensph run --summary-json)\n"
+              << "  --ledger FILE        attribution ledger (greensph run --ledger)\n"
+              << "  --baseline FILE      reference summary; drift beyond tolerance\n"
+              << "                       exits 2 (the CI regression gate)\n"
+              << "  --energy-tolerance X relative energy drift allowed (0.05)\n"
+              << "  --edp-tolerance X    relative EDP drift allowed (0.05)\n"
+              << "  --mispredict-threshold X  flag decisions whose realized EDP\n"
+              << "                       deviates from the prediction by more\n"
+              << "                       than this fraction (0.25)\n"
+              << "  --decisions N        decision-timeline rows to print (20; 0: all)\n"
+              << "  --json FILE          write the analysis as JSON\n";
+}
+
+bool parse_args(int argc, char** argv, ReportOptions& opt)
+{
+    for (int i = 1; i < argc; ++i) {
+        const std::string key = argv[i];
+        auto next = [&]() -> const char* {
+            if (i + 1 >= argc) throw std::invalid_argument("missing value for " + key);
+            return argv[++i];
+        };
+        if (key == "--summary") opt.summary_path = next();
+        else if (key == "--ledger") opt.ledger_path = next();
+        else if (key == "--baseline") opt.baseline_path = next();
+        else if (key == "--json") opt.json_out = next();
+        else if (key == "--energy-tolerance") opt.energy_tolerance = std::stod(next());
+        else if (key == "--edp-tolerance") opt.edp_tolerance = std::stod(next());
+        else if (key == "--mispredict-threshold") {
+            opt.mispredict_threshold = std::stod(next());
+        }
+        else if (key == "--decisions") opt.decisions = std::stoi(next());
+        else if (key == "--help" || key == "-h") return false;
+        else throw std::invalid_argument("unknown option: " + key);
+    }
+    if (opt.summary_path.empty() && opt.ledger_path.empty()) {
+        std::cerr << "error: need --summary and/or --ledger\n";
+        return false;
+    }
+    if (opt.baseline_path.empty() == false && opt.summary_path.empty()) {
+        std::cerr << "error: --baseline needs --summary\n";
+        return false;
+    }
+    return true;
+}
+
+telemetry::Json load_json(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return telemetry::Json::parse(buffer.str());
+}
+
+/// Ledger JSONL: header object, then typed bucket/decision lines.
+struct Ledger {
+    telemetry::Json header;
+    std::vector<telemetry::Json> buckets;
+    std::vector<telemetry::Json> decisions;
+};
+
+Ledger load_ledger(const std::string& path)
+{
+    std::ifstream in(path);
+    if (!in) throw std::runtime_error("cannot open " + path);
+    Ledger ledger;
+    std::string line;
+    bool first = true;
+    std::size_t line_no = 0;
+    while (std::getline(in, line)) {
+        ++line_no;
+        if (line.empty()) continue;
+        telemetry::Json j;
+        try {
+            j = telemetry::Json::parse(line);
+        }
+        catch (const std::exception& e) {
+            throw std::runtime_error(path + ":" + std::to_string(line_no) +
+                                     ": " + e.what());
+        }
+        if (first) {
+            if (!j.contains("schema") ||
+                j.at("schema").as_string() != "greensph.ledger/v1") {
+                throw std::runtime_error(path + ": not a greensph.ledger/v1 file");
+            }
+            ledger.header = std::move(j);
+            first = false;
+            continue;
+        }
+        const std::string& type = j.at("type").as_string();
+        if (type == "bucket") ledger.buckets.push_back(std::move(j));
+        else if (type == "decision") ledger.decisions.push_back(std::move(j));
+    }
+    if (first) throw std::runtime_error(path + ": empty ledger");
+    return ledger;
+}
+
+double num(const telemetry::Json& j, const std::string& key)
+{
+    return j.at(key).as_number();
+}
+
+std::string pct(double fraction)
+{
+    return util::format_fixed(fraction * 100.0, 1) + " %";
+}
+
+std::string signed_pct(double fraction)
+{
+    return (fraction >= 0.0 ? "+" : "") + util::format_fixed(fraction * 100.0, 2) +
+           " %";
+}
+
+void print_summary_overview(const telemetry::Json& summary)
+{
+    std::cout << "Run: " << summary.at("workload").as_string() << " on "
+              << summary.at("system").as_string() << ", policy "
+              << summary.at("policy").as_string() << ", "
+              << static_cast<long>(num(summary, "n_ranks")) << " rank(s), "
+              << static_cast<long>(num(summary, "n_steps")) << " step(s)\n";
+    const telemetry::Json& energy = summary.at("energy_j");
+    const telemetry::Json& edp = summary.at("edp");
+    std::cout << "Loop " << util::format_fixed(num(summary, "makespan_s"), 3)
+              << " s, GPU " << util::format_si(num(energy, "gpu"), "J", 3)
+              << ", node " << util::format_si(num(energy, "node"), "J", 3)
+              << ", node EDP " << util::format_si(num(edp, "node"), "Js", 3)
+              << "\n\n";
+}
+
+void print_per_function(const telemetry::Json& summary)
+{
+    const telemetry::Json& fns = summary.at("per_function");
+    double total_gpu = 0.0;
+    for (const telemetry::Json& f : fns.items()) total_gpu += num(f, "gpu_energy_j");
+
+    // Fig. 5/7 view: where the joules went, per kernel, with the kernel's
+    // own EDP contribution (energy x its own duration).
+    std::vector<const telemetry::Json*> rows;
+    for (const telemetry::Json& f : fns.items()) rows.push_back(&f);
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const telemetry::Json* a, const telemetry::Json* b) {
+                         return num(*a, "gpu_energy_j") > num(*b, "gpu_energy_j");
+                     });
+    util::Table table({"Function", "Calls", "Time [s]", "GPU [J]", "Share",
+                       "EDP [Js]", "Clock [MHz]"});
+    for (const telemetry::Json* f : rows) {
+        const double e = num(*f, "gpu_energy_j");
+        const double t = num(*f, "time_s");
+        table.add_row({f->at("function").as_string(),
+                       std::to_string(static_cast<long>(num(*f, "calls"))),
+                       util::format_fixed(t, 4), util::format_fixed(e, 2),
+                       total_gpu > 0.0 ? pct(e / total_gpu) : "-",
+                       util::format_fixed(e * t, 2),
+                       util::format_fixed(num(*f, "mean_clock_mhz"), 0)});
+    }
+    std::cout << "Per-function energy/EDP breakdown:\n";
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+void print_attribution(const Ledger& ledger, const telemetry::Json* summary)
+{
+    // Aggregate over ranks: (function, phase, freq) -> energy/time/calls.
+    struct Agg {
+        double energy_j = 0.0;
+        double time_s = 0.0;
+        long calls = 0;
+    };
+    std::map<std::string, Agg> agg; // key printed as-is; map keeps determinism
+    double total = 0.0;
+    for (const telemetry::Json& b : ledger.buckets) {
+        const std::string key = b.at("function").as_string() + "|" +
+                                b.at("phase").as_string() + "|" +
+                                util::format_fixed(num(b, "freq_mhz"), 0);
+        Agg& a = agg[key];
+        a.energy_j += num(b, "energy_j");
+        a.time_s += num(b, "time_s");
+        a.calls += static_cast<long>(num(b, "calls"));
+        total += num(b, "energy_j");
+    }
+    std::vector<std::pair<std::string, Agg>> rows(agg.begin(), agg.end());
+    std::stable_sort(rows.begin(), rows.end(),
+                     [](const auto& a, const auto& b) {
+                         return a.second.energy_j > b.second.energy_j;
+                     });
+
+    util::Table table({"Function", "Phase", "Clock [MHz]", "Energy [J]",
+                       "Share", "Time [s]", "Calls"});
+    for (const auto& [key, a] : rows) {
+        const std::size_t p1 = key.find('|');
+        const std::size_t p2 = key.find('|', p1 + 1);
+        table.add_row({key.substr(0, p1), key.substr(p1 + 1, p2 - p1 - 1),
+                       key.substr(p2 + 1), util::format_fixed(a.energy_j, 2),
+                       total > 0.0 ? pct(a.energy_j / total) : "-",
+                       util::format_fixed(a.time_s, 4), std::to_string(a.calls)});
+    }
+    std::cout << "Attribution by (function, phase, applied clock):\n";
+    table.print(std::cout);
+    std::cout << "Attributed total: " << util::format_si(total, "J", 3);
+    if (summary != nullptr) {
+        const double gpu = num(summary->at("energy_j"), "gpu");
+        const double rel = gpu != 0.0 ? std::fabs(total - gpu) / std::fabs(gpu) : 0.0;
+        std::cout << " vs summary GPU " << util::format_si(gpu, "J", 3)
+                  << " (rel err " << util::format_fixed(rel, 12) << ")";
+    }
+    std::cout << "\n\n";
+}
+
+/// Decisions with a prediction whose realized EDP deviates above threshold.
+bool mispredicted(const telemetry::Json& d, double threshold)
+{
+    if (!d.contains("prediction_error")) return false;
+    return std::fabs(num(d, "prediction_error")) > threshold;
+}
+
+void print_decisions(const Ledger& ledger, const ReportOptions& opt)
+{
+    const std::size_t n = ledger.decisions.size();
+    std::size_t resolved = 0;
+    std::size_t predicted = 0;
+    std::size_t mispredictions = 0;
+    for (const telemetry::Json& d : ledger.decisions) {
+        if (d.at("resolved").as_bool()) ++resolved;
+        if (d.contains("prediction_error")) ++predicted;
+        if (mispredicted(d, opt.mispredict_threshold)) ++mispredictions;
+    }
+    std::cout << "Decision audit: " << n << " decision(s), " << resolved
+              << " resolved, " << predicted << " with predictions, "
+              << mispredictions << " mispredicted (|error| > "
+              << pct(opt.mispredict_threshold) << ")\n";
+    if (n == 0) {
+        std::cout << "\n";
+        return;
+    }
+    const std::size_t rows =
+        opt.decisions <= 0 ? n : std::min<std::size_t>(n, static_cast<std::size_t>(opt.decisions));
+    const std::size_t start = n - rows;
+    util::Table table({"Id", "Step", "Rank", "Function", "Policy", "MHz",
+                       "Pred EDP", "Real EDP", "Error", "Flag"});
+    for (std::size_t i = start; i < n; ++i) {
+        const telemetry::Json& d = ledger.decisions[i];
+        const bool has_err = d.contains("prediction_error");
+        table.add_row(
+            {std::to_string(static_cast<long>(num(d, "id"))),
+             std::to_string(static_cast<long>(num(d, "step"))),
+             std::to_string(static_cast<long>(num(d, "rank"))),
+             d.at("function").as_string(), d.at("policy").as_string(),
+             util::format_fixed(num(d, "chosen_mhz"), 0),
+             num(d, "predicted_edp") > 0.0
+                 ? util::format_fixed(num(d, "predicted_edp"), 3)
+                 : "-",
+             d.at("resolved").as_bool()
+                 ? util::format_fixed(num(d, "realized_edp"), 3)
+                 : "-",
+             has_err ? signed_pct(num(d, "prediction_error")) : "-",
+             mispredicted(d, opt.mispredict_threshold) ? "MISPREDICT" : ""});
+    }
+    if (start > 0) std::cout << "(last " << rows << " of " << n << ")\n";
+    table.print(std::cout);
+    std::cout << "\n";
+}
+
+struct DriftEntry {
+    std::string metric;
+    double baseline = 0.0;
+    double current = 0.0;
+    double tolerance = 0.0;
+    bool gate = false; ///< participates in the pass/fail decision
+
+    double drift() const
+    {
+        return baseline != 0.0 ? (current - baseline) / baseline : 0.0;
+    }
+    bool regressed() const { return gate && drift() > tolerance; }
+};
+
+std::vector<DriftEntry> baseline_drift(const telemetry::Json& summary,
+                                       const telemetry::Json& baseline,
+                                       const ReportOptions& opt)
+{
+    const telemetry::Json& ce = summary.at("energy_j");
+    const telemetry::Json& be = baseline.at("energy_j");
+    const telemetry::Json& cd = summary.at("edp");
+    const telemetry::Json& bd = baseline.at("edp");
+    return {
+        {"gpu_energy_j", num(be, "gpu"), num(ce, "gpu"), opt.energy_tolerance, true},
+        {"node_energy_j", num(be, "node"), num(ce, "node"), opt.energy_tolerance, true},
+        {"gpu_edp", num(bd, "gpu"), num(cd, "gpu"), opt.edp_tolerance, true},
+        {"node_edp", num(bd, "node"), num(cd, "node"), opt.edp_tolerance, true},
+        {"makespan_s", num(baseline, "makespan_s"), num(summary, "makespan_s"),
+         0.0, false},
+    };
+}
+
+int print_baseline_diff(const std::vector<DriftEntry>& drift)
+{
+    util::Table table({"Metric", "Baseline", "Current", "Drift", "Tolerance",
+                       "Verdict"});
+    int regressions = 0;
+    for (const DriftEntry& e : drift) {
+        const bool bad = e.regressed();
+        if (bad) ++regressions;
+        table.add_row({e.metric, util::format_fixed(e.baseline, 3),
+                       util::format_fixed(e.current, 3), signed_pct(e.drift()),
+                       e.gate ? pct(e.tolerance) : "-",
+                       e.gate ? (bad ? "REGRESSION" : "ok") : "info"});
+    }
+    std::cout << "Baseline comparison:\n";
+    table.print(std::cout);
+    if (regressions > 0) {
+        std::cout << "\n" << regressions
+                  << " metric(s) regressed beyond tolerance\n";
+    }
+    else {
+        std::cout << "\nNo regressions beyond tolerance\n";
+    }
+    return regressions;
+}
+
+telemetry::Json analysis_json(const ReportOptions& opt,
+                              const telemetry::Json* summary,
+                              const Ledger* ledger,
+                              const std::vector<DriftEntry>& drift,
+                              int regressions)
+{
+    telemetry::Json j = telemetry::Json::object();
+    j["schema"] = "greensph.report/v1";
+    if (summary != nullptr) {
+        j["summary_file"] = opt.summary_path;
+        telemetry::Json s = telemetry::Json::object();
+        s["policy"] = summary->at("policy").as_string();
+        s["makespan_s"] = num(*summary, "makespan_s");
+        s["gpu_energy_j"] = num(summary->at("energy_j"), "gpu");
+        s["node_energy_j"] = num(summary->at("energy_j"), "node");
+        s["node_edp"] = num(summary->at("edp"), "node");
+        j["run"] = std::move(s);
+    }
+    if (ledger != nullptr) {
+        j["ledger_file"] = opt.ledger_path;
+        telemetry::Json l = telemetry::Json::object();
+        l["attributed_energy_j"] = num(ledger->header, "attributed_energy_j");
+        l["bucket_count"] = ledger->buckets.size();
+        l["decision_count"] = ledger->decisions.size();
+        std::size_t mispredictions = 0;
+        telemetry::Json flagged = telemetry::Json::array();
+        for (const telemetry::Json& d : ledger->decisions) {
+            if (mispredicted(d, opt.mispredict_threshold)) {
+                ++mispredictions;
+                flagged.push_back(d);
+            }
+        }
+        l["mispredictions"] = mispredictions;
+        l["mispredict_threshold"] = opt.mispredict_threshold;
+        l["flagged_decisions"] = std::move(flagged);
+        j["ledger"] = std::move(l);
+    }
+    if (!drift.empty()) {
+        telemetry::Json b = telemetry::Json::object();
+        b["baseline_file"] = opt.baseline_path;
+        telemetry::Json rows = telemetry::Json::array();
+        for (const DriftEntry& e : drift) {
+            telemetry::Json r = telemetry::Json::object();
+            r["metric"] = e.metric;
+            r["baseline"] = e.baseline;
+            r["current"] = e.current;
+            r["drift"] = e.drift();
+            r["tolerance"] = e.tolerance;
+            r["gated"] = e.gate;
+            r["regressed"] = e.regressed();
+            rows.push_back(std::move(r));
+        }
+        b["metrics"] = std::move(rows);
+        b["regressions"] = regressions;
+        j["baseline"] = std::move(b);
+    }
+    return j;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    ReportOptions opt;
+    try {
+        if (!parse_args(argc, argv, opt)) {
+            usage();
+            return 1;
+        }
+        telemetry::Json summary;
+        Ledger ledger;
+        const bool have_summary = !opt.summary_path.empty();
+        const bool have_ledger = !opt.ledger_path.empty();
+        if (have_summary) summary = load_json(opt.summary_path);
+        if (have_ledger) ledger = load_ledger(opt.ledger_path);
+
+        if (have_summary) {
+            print_summary_overview(summary);
+            print_per_function(summary);
+        }
+        if (have_ledger) {
+            print_attribution(ledger, have_summary ? &summary : nullptr);
+            print_decisions(ledger, opt);
+        }
+
+        std::vector<DriftEntry> drift;
+        int regressions = 0;
+        if (!opt.baseline_path.empty()) {
+            const telemetry::Json baseline = load_json(opt.baseline_path);
+            drift = baseline_drift(summary, baseline, opt);
+            regressions = print_baseline_diff(drift);
+        }
+
+        if (!opt.json_out.empty()) {
+            const telemetry::Json out = analysis_json(
+                opt, have_summary ? &summary : nullptr,
+                have_ledger ? &ledger : nullptr, drift, regressions);
+            if (!util::atomic_write_file(opt.json_out, out.dump(2) + "\n")) {
+                std::cerr << "error: failed to write " << opt.json_out << "\n";
+                return 1;
+            }
+            std::cout << "Analysis written to " << opt.json_out << "\n";
+        }
+        return regressions > 0 ? 2 : 0;
+    }
+    catch (const std::exception& e) {
+        std::cerr << "error: " << e.what() << "\n";
+        return 1;
+    }
+}

@@ -3,8 +3,11 @@
 /// Scrapes the /summary.json endpoint a `greensph run --metrics-port N`
 /// process serves and renders the per-rank live state (power, clock,
 /// utilization), the anomaly baselines and any alerts as terminal tables.
+/// When the run also carries an attribution ledger (--ledger or any
+/// metrics port), /attribution.json feeds a decisions pane: the last N
+/// policy decisions with chosen clock and predicted vs. realized EDP.
 ///
-///   greensph_top [--port N] [--host H] [--watch S] [--once]
+///   greensph_top [--port N] [--host H] [--watch S] [--once] [--decisions N]
 ///
 /// --watch polls every S seconds (default 1.0) until the exporter goes
 /// away; --once prints a single snapshot and exits (useful in scripts and
@@ -14,6 +17,7 @@
 #include "util/strings.hpp"
 #include "util/table.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <iostream>
@@ -35,6 +39,7 @@ struct Options {
     int port = 9184;
     double watch_s = 1.0;
     bool once = false;
+    int decisions = 10; ///< decision-pane rows (0 hides the pane)
 };
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -49,6 +54,7 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--host") opt.host = next();
         else if (key == "--watch") opt.watch_s = std::stod(next());
         else if (key == "--once") opt.once = true;
+        else if (key == "--decisions") opt.decisions = std::stoi(next());
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
@@ -135,6 +141,45 @@ void render(const telemetry::Json& summary)
     }
 }
 
+/// Decisions pane from /attribution.json: the exporter already trims the
+/// decision list to the most recent ones, so only row-count capping
+/// happens here.
+void render_decisions(const telemetry::Json& attribution, int max_rows)
+{
+    const auto& decisions = attribution.at("decisions").items();
+    std::cout << "\nPolicy decisions ("
+              << static_cast<long>(attribution.at("decision_count").as_number())
+              << " total, attributed "
+              << util::format_si(attribution.at("attributed_energy_j").as_number(),
+                                 "J", 3)
+              << " over "
+              << static_cast<long>(attribution.at("bucket_count").as_number())
+              << " bucket(s)):\n";
+    if (decisions.empty()) return;
+    const std::size_t rows =
+        std::min<std::size_t>(decisions.size(), static_cast<std::size_t>(max_rows));
+    util::Table table(
+        {"Id", "Step", "Rank", "Function", "MHz", "Pred EDP", "Real EDP", "Error"});
+    for (std::size_t i = decisions.size() - rows; i < decisions.size(); ++i) {
+        const telemetry::Json& d = decisions[i];
+        const bool resolved = d.at("resolved").as_bool();
+        table.add_row(
+            {util::format_fixed(d.at("id").as_number(), 0),
+             util::format_fixed(d.at("step").as_number(), 0),
+             util::format_fixed(d.at("rank").as_number(), 0),
+             d.at("function").as_string(),
+             util::format_fixed(d.at("chosen_mhz").as_number(), 0),
+             d.at("predicted_edp").as_number() > 0.0
+                 ? util::format_fixed(d.at("predicted_edp").as_number(), 3)
+                 : "-",
+             resolved ? util::format_fixed(d.at("realized_edp").as_number(), 3) : "-",
+             d.contains("prediction_error")
+                 ? util::format_percent(d.at("prediction_error").as_number(), 2, true)
+                 : "-"});
+    }
+    table.print(std::cout);
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -142,7 +187,8 @@ int main(int argc, char** argv)
     Options opt;
     try {
         if (!parse_args(argc, argv, opt)) {
-            std::cout << "usage: greensph_top [--host H] [--port N] [--watch S] [--once]\n";
+            std::cout << "usage: greensph_top [--host H] [--port N] [--watch S] "
+                         "[--once] [--decisions N]\n";
             return 1;
         }
     }
@@ -166,6 +212,23 @@ int main(int argc, char** argv)
         catch (const std::exception& e) {
             std::cerr << "error: bad /summary.json payload: " << e.what() << "\n";
             return 1;
+        }
+        if (opt.decisions > 0) {
+            // Optional pane: the endpoint 404s when the run carries no
+            // ledger, and http_get maps any non-200 to an empty body.
+            const std::string attribution =
+                http_get(opt.host, opt.port, "/attribution.json");
+            if (!attribution.empty()) {
+                try {
+                    render_decisions(telemetry::Json::parse(attribution),
+                                     opt.decisions);
+                }
+                catch (const std::exception& e) {
+                    std::cerr << "error: bad /attribution.json payload: "
+                              << e.what() << "\n";
+                    return 1;
+                }
+            }
         }
         scraped = true;
         if (opt.once) break;
