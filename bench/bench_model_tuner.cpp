@@ -1,0 +1,147 @@
+/// Model-tuner bench: samples-to-convergence and EDP regret of the
+/// model-steered online tuner vs. the exhaustive sweep, behind the CI
+/// perf-regression gate.
+///
+/// Runs the same deterministic online-ManDyn configuration (miniHPC,
+/// subsonic turbulence 450^3, 2 ranks, 40 steps) twice — once per
+/// --tune-strategy — and emits the artifacts the gate consumes:
+///
+///   BENCH_model_tuner.json         run summary of the *model* run
+///   BENCH_model_tuner_ledger.jsonl attribution ledger of the model run
+///
+/// CI runs greensph_report with --baseline
+/// bench/baselines/bench_model_tuner_baseline.json, which exits 2 when the
+/// model run's energy or EDP drifted beyond tolerance.  On top of the
+/// report gate, this binary itself exits 1 when the model strategy loses
+/// its reason to exist: more than 50% of the exhaustive sample count, more
+/// than 2% EDP regret, or failure to converge.  Refresh the baseline by
+/// copying a blessed BENCH_model_tuner.json over bench/baselines/.
+///
+/// Usage: bench_model_tuner [output-dir]   (default: current directory)
+
+#include "common.hpp"
+
+#include "core/online_tuner.hpp"
+#include "telemetry/ledger.hpp"
+#include "telemetry/metrics.hpp"
+#include "telemetry/run_summary.hpp"
+#include "tuning/kernel_tuner.hpp"
+
+#include <cstdlib>
+
+using namespace gsph;
+
+namespace {
+
+core::OnlineTunerConfig tuner_config(const sim::SystemSpec& system,
+                                     core::TuneStrategy strategy)
+{
+    core::OnlineTunerConfig cfg;
+    cfg.candidate_clocks = tuning::paper_frequency_band(system.gpu);
+    cfg.strategy = strategy;
+    return cfg;
+}
+
+struct StrategyRun {
+    sim::RunResult result;
+    double samples = 0.0;
+    bool converged = false;
+};
+
+StrategyRun run_strategy(const sim::SystemSpec& system,
+                         const sim::WorkloadTrace& trace,
+                         core::TuneStrategy strategy,
+                         telemetry::AttributionLedger* ledger)
+{
+    telemetry::MetricsRegistry::global().reset();
+    auto policy = core::make_online_mandyn_policy(tuner_config(system, strategy),
+                                                  system.gpu.vendor);
+    sim::RunConfig cfg;
+    cfg.n_ranks = 2;
+    cfg.setup_s = 10.0;
+    sim::RunHooks hooks;
+    if (ledger) ledger->attach(hooks);
+    StrategyRun run;
+    run.result = core::run_with_policy(system, trace, cfg, *policy, hooks);
+    run.samples = telemetry::MetricsRegistry::global().value("tuner.online.samples");
+    run.converged = policy->all_converged();
+    return run;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string out_dir = argc > 1 ? argv[1] : ".";
+    bench::print_header(
+        "Model-tuner bench - samples-to-convergence and EDP regret",
+        "Extension: model-steered online tuning (probe-and-fit vs. sweep)",
+        "Deterministic artifacts; compare with greensph_report --baseline");
+
+    const auto system = sim::mini_hpc();
+    const auto trace = bench::turbulence_trace(bench::kParticles450,
+                                               /*n_steps=*/40, /*real_nside=*/8);
+
+    const StrategyRun exhaustive =
+        run_strategy(system, trace, core::TuneStrategy::kExhaustive, nullptr);
+    telemetry::AttributionLedger ledger(2);
+    const StrategyRun model =
+        run_strategy(system, trace, core::TuneStrategy::kModel, &ledger);
+
+    const double sample_fraction =
+        exhaustive.samples > 0.0 ? model.samples / exhaustive.samples : 1.0;
+    const double regret =
+        model.result.gpu_edp() / exhaustive.result.gpu_edp() - 1.0;
+
+    util::Table table({"Metric", "Exhaustive", "Model"});
+    table.add_row({"tuning samples", util::format_fixed(exhaustive.samples, 0),
+                   util::format_fixed(model.samples, 0)});
+    table.add_row({"converged", exhaustive.converged ? "yes" : "no",
+                   model.converged ? "yes" : "no"});
+    table.add_row({"GPU energy [J]",
+                   util::format_fixed(exhaustive.result.gpu_energy_j, 3),
+                   util::format_fixed(model.result.gpu_energy_j, 3)});
+    table.add_row({"GPU EDP [Js]", util::format_fixed(exhaustive.result.gpu_edp(), 3),
+                   util::format_fixed(model.result.gpu_edp(), 3)});
+    table.print(std::cout);
+    std::cout << "samples used: " << bench::pct(sample_fraction)
+              << " of exhaustive, EDP regret: " << bench::pct(regret) << "\n";
+
+    const std::string summary_path = out_dir + "/BENCH_model_tuner.json";
+    const std::string ledger_path = out_dir + "/BENCH_model_tuner_ledger.jsonl";
+    telemetry::RunSummaryContext ctx;
+    ctx.policy = "OnlineManDyn/model";
+    if (!telemetry::write_run_summary(summary_path, model.result, ctx)) {
+        std::cerr << "error: failed to write " << summary_path << "\n";
+        return 1;
+    }
+    telemetry::Json header = telemetry::Json::object();
+    header["system"] = system.name;
+    header["workload"] = "SubsonicTurbulence";
+    header["policy"] = "OnlineManDyn/model";
+    header["ranks"] = 2;
+    header["steps"] = trace.steps.size();
+    if (!ledger.write_jsonl(ledger_path, header)) {
+        std::cerr << "error: failed to write " << ledger_path << "\n";
+        return 1;
+    }
+    std::cout << "Wrote " << summary_path << " and " << ledger_path << "\n";
+
+    // The model strategy's contract (ISSUE acceptance bar).
+    bool ok = true;
+    if (!exhaustive.converged || !model.converged) {
+        std::cerr << "FAIL: a strategy did not converge\n";
+        ok = false;
+    }
+    if (sample_fraction > 0.5) {
+        std::cerr << "FAIL: model used " << bench::pct(sample_fraction)
+                  << " of the exhaustive samples (limit 50%)\n";
+        ok = false;
+    }
+    if (regret > 0.02) {
+        std::cerr << "FAIL: model EDP regret " << bench::pct(regret)
+                  << " (limit 2%)\n";
+        ok = false;
+    }
+    return ok ? 0 : 1;
+}

@@ -12,13 +12,19 @@ bool dominates(const ParetoPoint& a, const ParetoPoint& b)
 std::vector<ParetoPoint> pareto_front(const std::vector<ParetoPoint>& points)
 {
     std::vector<ParetoPoint> out = points;
-    for (auto& p : out) {
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        ParetoPoint& p = out[i];
         p.on_front = true;
         p.dominated_by.clear();
-        for (const auto& q : points) {
-            if (&q != &p && q.name != p.name && dominates(q, p)) {
+        for (std::size_t j = 0; j < points.size(); ++j) {
+            // Compare by index, not by name: distinct points that share a
+            // name (e.g. the same policy swept twice) must still dominate
+            // each other, while a point never competes with itself.  Exact
+            // duplicates stay mutually non-dominating because dominates()
+            // requires a strict improvement.
+            if (j != i && dominates(points[j], p)) {
                 p.on_front = false;
-                p.dominated_by.push_back(q.name);
+                p.dominated_by.push_back(points[j].name);
             }
         }
     }

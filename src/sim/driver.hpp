@@ -34,10 +34,12 @@ struct RunConfig {
     /// are bit-identical across thread counts: per-rank contributions are
     /// reduced in rank order, and hooks fire on the driving thread in rank
     /// order (all before-hooks, concurrent execution, all after-hooks per
-    /// function call), so hook consumers need no synchronization.  The only
-    /// observable difference vs. n_threads == 1 is that a hook carrying
-    /// cross-rank state within a single call (OnlineManDyn's follower ranks)
-    /// sees rank 0's measurement one call later.
+    /// function call), so hook consumers need no synchronization.  Note the
+    /// serial path interleaves rank 0's after-hook before the follower
+    /// ranks' before-hooks of the same call while the pooled path does not;
+    /// hooks carrying cross-rank state within one call must latch it in
+    /// rank 0's before-hook (which runs first on both paths) the way
+    /// OnlineManDyn latches its follower clock.
     int n_threads = 0;
     /// Job launch + application initialization before the loop (GPUs idle);
     /// Slurm accounts for it, PMT does not (paper §IV-A).

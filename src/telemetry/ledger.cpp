@@ -273,7 +273,15 @@ Json AttributionLedger::decision_json_locked(const AuditedDecision& d) const
     for (double mhz : d.record.candidate_mhz) candidates.push_back(mhz);
     j["candidate_mhz"] = std::move(candidates);
     j["chosen_mhz"] = d.record.chosen_mhz;
-    j["predicted_edp"] = d.record.predicted_edp;
+    // Warmup / first-visit decisions carry no prediction; emitting the
+    // struct default (0) here made every warmup decision count as a
+    // misprediction downstream.  Mark them explicitly instead.
+    if (d.record.predicted_edp > 0.0) {
+        j["predicted_edp"] = d.record.predicted_edp;
+    }
+    else {
+        j["no_prediction"] = true;
+    }
     Json inputs = Json::object();
     for (const auto& [name, value] : d.record.inputs) inputs[name] = value;
     j["inputs"] = std::move(inputs);

@@ -1,0 +1,133 @@
+#include "tuning/freq_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace gsph::tuning {
+
+namespace {
+
+/// Two-parameter linear least squares y = slope * x + intercept.
+bool linear_fit(const std::vector<double>& x, const std::vector<double>& y,
+                double& slope, double& intercept)
+{
+    const double n = static_cast<double>(x.size());
+    double sx = 0.0, sy = 0.0, sxx = 0.0, sxy = 0.0;
+    for (std::size_t i = 0; i < x.size(); ++i) {
+        sx += x[i];
+        sy += y[i];
+        sxx += x[i] * x[i];
+        sxy += x[i] * y[i];
+    }
+    const double det = n * sxx - sx * sx;
+    // Degenerate when all x coincide (duplicate probe frequencies).
+    if (std::fabs(det) <= 1e-12 * std::max(1.0, n * sxx)) return false;
+    slope = (n * sxy - sx * sy) / det;
+    intercept = (sxx * sy - sx * sxy) / det;
+    return std::isfinite(slope) && std::isfinite(intercept);
+}
+
+} // namespace
+
+FreqModelFit fit_freq_model(const std::vector<ProbePoint>& probes)
+{
+    FreqModelFit fit;
+    if (probes.size() < 2) return fit;
+    std::vector<double> inv_f, time, f3, power;
+    double lo = std::numeric_limits<double>::max();
+    double hi = 0.0;
+    for (const ProbePoint& p : probes) {
+        if (!(p.mhz > 0.0) || !(p.time_s > 0.0) || !(p.power_w > 0.0)) return fit;
+        inv_f.push_back(1.0 / p.mhz);
+        time.push_back(p.time_s);
+        f3.push_back(p.mhz * p.mhz * p.mhz);
+        power.push_back(p.power_w);
+        lo = std::min(lo, p.mhz);
+        hi = std::max(hi, p.mhz);
+    }
+    if (!linear_fit(inv_f, time, fit.t_inv, fit.t_const)) return fit;
+    if (!linear_fit(f3, power, fit.p_cubic, fit.p_const)) return fit;
+    // Jitter on a flat curve can tilt the slope slightly the wrong way;
+    // time never grows and power never shrinks with clock on this device,
+    // so clamp instead of rejecting.
+    fit.t_inv = std::max(fit.t_inv, 0.0);
+    fit.p_cubic = std::max(fit.p_cubic, 0.0);
+    // Unphysical anywhere on the probed band -> no model.  time(f) is
+    // monotone decreasing and power(f) increasing, so the band extremes
+    // bound both curves.
+    if (fit.time_s(hi) <= 0.0 || fit.power_w(lo) <= 0.0) {
+        fit = FreqModelFit{};
+    }
+    else {
+        fit.valid = true;
+    }
+    return fit;
+}
+
+FreqModelFit rescale_freq_model(const FreqModelFit& base, const ProbePoint& probe)
+{
+    FreqModelFit fit;
+    if (!base.valid || !(probe.mhz > 0.0) || !(probe.time_s > 0.0) ||
+        !(probe.power_w > 0.0)) {
+        return fit;
+    }
+    const double base_t = base.time_s(probe.mhz);
+    const double base_p = base.power_w(probe.mhz);
+    if (!(base_t > 0.0) || !(base_p > 0.0)) return fit;
+    const double time_scale = probe.time_s / base_t;
+    const double power_scale = probe.power_w / base_p;
+    if (!std::isfinite(time_scale) || !std::isfinite(power_scale)) return fit;
+    fit.t_inv = base.t_inv * time_scale;
+    fit.t_const = base.t_const * time_scale;
+    fit.p_const = base.p_const * power_scale;
+    fit.p_cubic = base.p_cubic * power_scale;
+    fit.valid = true;
+    return fit;
+}
+
+double solve_edp_minimum(const FreqModelFit& fit, double lo_mhz, double hi_mhz)
+{
+    if (!fit.valid || !(lo_mhz > 0.0) || !(hi_mhz >= lo_mhz)) return lo_mhz;
+    // d/df [P(f) t(f)^2] shares the sign of
+    //   g(f) = P'(f) t(f) + 2 P(f) t'(f)
+    // since t(f) > 0 on a valid fit.
+    const auto g = [&fit](double f) {
+        return 3.0 * fit.p_cubic * f * f * fit.time_s(f) -
+               2.0 * fit.power_w(f) * fit.t_inv / (f * f);
+    };
+    const double g_lo = g(lo_mhz);
+    const double g_hi = g(hi_mhz);
+    if (g_lo >= 0.0 && g_hi >= 0.0) return lo_mhz; // EDP rises across the band
+    if (g_lo <= 0.0 && g_hi <= 0.0) return hi_mhz; // EDP falls across the band
+    if (g_lo > 0.0 && g_hi < 0.0) {
+        // Interior maximum: the minimum sits on whichever edge is cheaper.
+        return fit.edp(lo_mhz) <= fit.edp(hi_mhz) ? lo_mhz : hi_mhz;
+    }
+    // g crosses from negative to positive: interior minimum.  Bisect the
+    // sign change (deterministic, converges well past candidate spacing).
+    double a = lo_mhz;
+    double b = hi_mhz;
+    for (int i = 0; i < 80; ++i) {
+        const double mid = 0.5 * (a + b);
+        (g(mid) < 0.0 ? a : b) = mid;
+    }
+    return 0.5 * (a + b);
+}
+
+std::size_t best_candidate_index(const FreqModelFit& fit,
+                                 const std::vector<double>& clocks)
+{
+    std::size_t best = 0;
+    double best_edp = std::numeric_limits<double>::max();
+    for (std::size_t i = 0; i < clocks.size(); ++i) {
+        const double edp = fit.edp(clocks[i]);
+        if (edp < best_edp) {
+            best_edp = edp;
+            best = i;
+        }
+    }
+    return best;
+}
+
+} // namespace gsph::tuning

@@ -1,0 +1,84 @@
+#pragma once
+/// \file freq_model.hpp
+/// \brief Analytic clock -> time/power model behind model-steered tuning.
+///
+/// The exhaustive online tuner prices every (kernel x frequency) point.
+/// Model-steered tuning (Schoonhoven et al., arXiv:2211.07260) instead fits
+/// the known analytic shape of the device from a handful of probes and
+/// solves for the sweet-spot directly.  The simulated device makes that
+/// shape exact up to overlap kinks and jitter:
+///
+///   time(f)  = t_inv / f + t_const       roofline: the compute term scales
+///                                        1/f, memory and overhead do not
+///   power(f) = p_const + p_cubic * f^3   dynamic power is f * V(f)^2 with
+///                                        voltage linear in f
+///
+/// Both are linear in their basis (1/f and f^3), so a least-squares fit
+/// over three probe frequencies pins all four coefficients.  The EDP
+/// surface power(f) * time(f)^2 then has a closed-form derivative whose
+/// band root is the predicted optimum.  Cross-kernel seeding (Ilager et
+/// al., arXiv:2004.08177) reuses a fitted neighbor's coefficients rescaled
+/// by a single probe.
+///
+/// Pure math on purpose: no simulator or telemetry dependencies, so the
+/// core online tuner can sit on top of it without a layering cycle.
+
+#include <cstddef>
+#include <vector>
+
+namespace gsph::tuning {
+
+/// One averaged measurement at a probe frequency (means over the samples
+/// taken at that clock).
+struct ProbePoint {
+    double mhz = 0.0;
+    double time_s = 0.0;  ///< mean per-call kernel time
+    double power_w = 0.0; ///< mean power over the measured window
+};
+
+/// Fitted coefficients for one kernel.  Invalid fits (degenerate probes,
+/// unphysical curves) leave `valid` false and the caller falls back to the
+/// exhaustive sweep.
+struct FreqModelFit {
+    double t_inv = 0.0;   ///< time(f) = t_inv / f + t_const
+    double t_const = 0.0;
+    double p_const = 0.0; ///< power(f) = p_const + p_cubic * f^3
+    double p_cubic = 0.0;
+    bool valid = false;
+
+    double time_s(double mhz) const { return t_inv / mhz + t_const; }
+    double power_w(double mhz) const { return p_const + p_cubic * mhz * mhz * mhz; }
+    double energy_j(double mhz) const { return power_w(mhz) * time_s(mhz); }
+    double edp(double mhz) const
+    {
+        const double t = time_s(mhz);
+        return power_w(mhz) * t * t;
+    }
+};
+
+/// Least-squares fit over >= 2 probes at distinct frequencies.  Slightly
+/// negative slopes (jitter on a flat curve) are clamped to zero; a fit
+/// whose time or power is non-positive anywhere on the probed band is
+/// rejected as unphysical.
+FreqModelFit fit_freq_model(const std::vector<ProbePoint>& probes);
+
+/// Cross-kernel seeding: rescale a neighbor's fitted curves so they pass
+/// through one probe of the new kernel (time and power scaled
+/// independently).  Shape is inherited, magnitude is measured — one sample
+/// instead of three probe clocks.
+FreqModelFit rescale_freq_model(const FreqModelFit& base, const ProbePoint& probe);
+
+/// Continuous EDP minimizer on [lo_mhz, hi_mhz].  d/df [P t^2] / t(f)
+/// reduces to 3 p_cubic f^2 t(f) - 2 P(f) t_inv / f^2, a cubic in f after
+/// clearing denominators; its band root is bracketed and bisected (exact
+/// enough at < 1e-6 MHz, and deterministic) rather than unrolling Cardano.
+/// Monotone surfaces return the cheaper boundary.
+double solve_edp_minimum(const FreqModelFit& fit, double lo_mhz, double hi_mhz);
+
+/// The candidate clock with the lowest model EDP (ties break toward the
+/// lower clock).  This is the snap step: confirmation samples land on a
+/// real candidate so a later fallback sweep reuses them.
+std::size_t best_candidate_index(const FreqModelFit& fit,
+                                 const std::vector<double>& clocks);
+
+} // namespace gsph::tuning

@@ -6,6 +6,7 @@
 
 #include "checkpoint/checkpoint.hpp"
 #include "core/frequency_table.hpp"
+#include "core/online_tuner.hpp"
 #include "core/policy.hpp"
 #include "faults/fault_injector.hpp"
 #include "sim/driver.hpp"
@@ -26,7 +27,7 @@ namespace {
 
 struct ResumeCase {
     int threads;
-    const char* policy;     // "static" or "mandyn"
+    const char* policy;     // "static", "mandyn" or "onlineModel"
     const char* fault_spec; // "" = no injection
 };
 
@@ -74,6 +75,16 @@ const sim::WorkloadTrace& trace()
 std::unique_ptr<core::FrequencyPolicy> make_policy(const std::string& kind)
 {
     if (kind == "static") return core::make_static_policy(1200.0);
+    if (kind == "onlineModel") {
+        // Model-steered online tuner mid-exploration: the step-4 snapshot
+        // catches probe accumulators, fitted coefficients and stage
+        // machines in flight.
+        core::OnlineTunerConfig cfg;
+        cfg.candidate_clocks = {1005.0, 1110.0, 1215.0, 1320.0, 1410.0};
+        cfg.samples_per_clock = 1; // probes and fit land before step 4
+        cfg.strategy = core::TuneStrategy::kModel;
+        return core::make_online_mandyn_policy(cfg);
+    }
     return core::make_mandyn_policy(core::reference_a100_turbulence_table());
 }
 
@@ -199,7 +210,10 @@ INSTANTIATE_TEST_SUITE_P(
     testing::Values(ResumeCase{1, "static", ""}, ResumeCase{4, "static", ""},
                     ResumeCase{1, "mandyn", ""}, ResumeCase{4, "mandyn", ""},
                     ResumeCase{1, "mandyn", "transient-set:p=0.3"},
-                    ResumeCase{4, "static", "transient-set:p=0.3"}),
+                    ResumeCase{4, "static", "transient-set:p=0.3"},
+                    ResumeCase{1, "onlineModel", ""},
+                    ResumeCase{4, "onlineModel", ""},
+                    ResumeCase{4, "onlineModel", "transient-set:p=0.3"}),
     case_name);
 
 // ---- live observability plane across a checkpoint/resume boundary --------

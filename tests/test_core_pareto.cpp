@@ -72,6 +72,31 @@ TEST(Pareto, FromPolicyMetrics)
     EXPECT_TRUE(result[2].on_front);  // mandyn
 }
 
+TEST(Pareto, SameNamedPointsStillDominate)
+{
+    // Two sweeps of the same policy at different operating points share a
+    // name; the better one must still knock the worse one off the front.
+    const auto result = pareto_front(std::vector<ParetoPoint>{
+        point("mandyn", 1.0, 1.0), point("mandyn", 2.0, 2.0)});
+    ASSERT_EQ(result.size(), 2u);
+    EXPECT_TRUE(result[0].on_front);
+    EXPECT_FALSE(result[1].on_front);
+    EXPECT_EQ(result[1].dominated_by, std::vector<std::string>{"mandyn"});
+}
+
+TEST(Pareto, ExactDuplicatesAreMutuallyNonDominating)
+{
+    // Identical coordinates: neither strictly improves on the other, so
+    // both stay on the front (and neither dominates itself).
+    const auto result = pareto_front(std::vector<ParetoPoint>{
+        point("a", 1.0, 1.0), point("a", 1.0, 1.0), point("b", 1.0, 1.0)});
+    ASSERT_EQ(result.size(), 3u);
+    for (const auto& p : result) {
+        EXPECT_TRUE(p.on_front) << p.name;
+        EXPECT_TRUE(p.dominated_by.empty()) << p.name;
+    }
+}
+
 TEST(Pareto, PaperPolicyOutcomeShape)
 {
     // The §IV-D story as a Pareto statement: DVFS is dominated by the

@@ -110,7 +110,8 @@ struct KillCase {
     int threads;
     int ranks;
     const char* policy;
-    const char* faults; // durable clauses, "" = none
+    const char* faults;        // durable clauses, "" = none
+    const char* tune_strategy; // "" = CLI default (exhaustive)
 };
 
 std::string case_name(const testing::TestParamInfo<KillCase>& info)
@@ -120,6 +121,7 @@ std::string case_name(const testing::TestParamInfo<KillCase>& info)
     if (colon != std::string::npos) policy.erase(colon);
     std::string name = policy + "Threads" + std::to_string(info.param.threads) +
                        "Ranks" + std::to_string(info.param.ranks);
+    if (info.param.tune_strategy[0] != '\0') name += "Model";
     if (info.param.faults[0] != '\0') name += "Faulted";
     return name;
 }
@@ -140,6 +142,10 @@ std::vector<std::string> run_args(const KillCase& param, const std::string& ckpt
     if (!faults.empty()) {
         args.push_back("--fault-spec");
         args.push_back(faults);
+    }
+    if (param.tune_strategy[0] != '\0') {
+        args.push_back("--tune-strategy");
+        args.push_back(param.tune_strategy);
     }
     return args;
 }
@@ -187,15 +193,20 @@ TEST_P(KillResume, ResumedSummaryMatchesUninterruptedMinusProvenance)
 
 INSTANTIATE_TEST_SUITE_P(
     Cli, KillResume,
-    testing::Values(KillCase{1, 2, "static:1200", ""},
-                    KillCase{4, 4, "static:1200", ""},
-                    KillCase{4, 2, "mandyn", "transient-set:p=0.2"}),
+    testing::Values(KillCase{1, 2, "static:1200", "", ""},
+                    KillCase{4, 4, "static:1200", "", ""},
+                    KillCase{4, 2, "mandyn", "transient-set:p=0.2", ""},
+                    // The resume leg passes no --tune-strategy: the option
+                    // must round-trip through the checkpoint's cli section
+                    // (and the config hash) on its own.
+                    KillCase{1, 2, "online", "", "model"},
+                    KillCase{4, 2, "online", "", "model"}),
     case_name);
 
 /// Produce a real killed-run checkpoint directory for the rejection tests.
 void make_killed_checkpoint(const TempDir& dir, const std::string& ckpt_dir)
 {
-    const KillCase param{1, 2, "static:1200", ""};
+    const KillCase param{1, 2, "static:1200", "", ""};
     const int status = run_cli(run_args(param, ckpt_dir, dir.path() + "/s.json",
                                         "kill-at-step:step=4"));
     ASSERT_TRUE(WIFSIGNALED(status) && WTERMSIG(status) == SIGKILL);

@@ -1,0 +1,173 @@
+#include "tuning/freq_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace gsph::tuning {
+namespace {
+
+/// Synthesize noiseless probes from known coefficients.
+std::vector<ProbePoint> probes_from(const FreqModelFit& truth,
+                                    const std::vector<double>& clocks)
+{
+    std::vector<ProbePoint> probes;
+    for (double mhz : clocks) {
+        ProbePoint p;
+        p.mhz = mhz;
+        p.time_s = truth.time_s(mhz);
+        p.power_w = truth.power_w(mhz);
+        probes.push_back(p);
+    }
+    return probes;
+}
+
+FreqModelFit truth_fit()
+{
+    FreqModelFit truth;
+    truth.t_inv = 8.0e2;    // 0.57 s at 1410 MHz
+    truth.t_const = 0.12;
+    truth.p_const = 95.0;   // W
+    truth.p_cubic = 8.0e-8; // ~224 W dynamic at 1410 MHz
+    truth.valid = true;
+    return truth;
+}
+
+TEST(FreqModel, FitRecoversKnownCoefficients)
+{
+    const FreqModelFit truth = truth_fit();
+    const auto fit = fit_freq_model(probes_from(truth, {1005.0, 1215.0, 1410.0}));
+    ASSERT_TRUE(fit.valid);
+    EXPECT_NEAR(fit.t_inv, truth.t_inv, 1e-6 * truth.t_inv);
+    EXPECT_NEAR(fit.t_const, truth.t_const, 1e-6 * truth.t_const);
+    EXPECT_NEAR(fit.p_const, truth.p_const, 1e-6 * truth.p_const);
+    EXPECT_NEAR(fit.p_cubic, truth.p_cubic, 1e-6 * truth.p_cubic);
+}
+
+TEST(FreqModel, RejectsDegenerateInputs)
+{
+    EXPECT_FALSE(fit_freq_model({}).valid);
+    EXPECT_FALSE(fit_freq_model({{1200.0, 0.5, 200.0}}).valid); // one point
+    // Duplicate frequencies: the normal equations are singular.
+    EXPECT_FALSE(
+        fit_freq_model({{1200.0, 0.5, 200.0}, {1200.0, 0.6, 210.0}}).valid);
+    // Non-positive measurements.
+    EXPECT_FALSE(
+        fit_freq_model({{1005.0, 0.5, 200.0}, {1410.0, -0.1, 210.0}}).valid);
+    EXPECT_FALSE(
+        fit_freq_model({{1005.0, 0.5, 0.0}, {1410.0, 0.4, 210.0}}).valid);
+}
+
+TEST(FreqModel, ClampsUnphysicalSlopesToZero)
+{
+    // Time slightly *increasing* with clock (jitter on a flat kernel):
+    // clamp t_inv to 0 instead of predicting negative durations.
+    const auto fit = fit_freq_model(
+        {{1005.0, 0.500, 200.0}, {1215.0, 0.501, 230.0}, {1410.0, 0.502, 260.0}});
+    ASSERT_TRUE(fit.valid);
+    EXPECT_DOUBLE_EQ(fit.t_inv, 0.0);
+    EXPECT_GT(fit.time_s(1410.0), 0.0);
+}
+
+TEST(FreqModel, EdpMinimumMatchesDenseScanInterior)
+{
+    // High static power pushes the minimum off the low edge, the cubic
+    // term pushes it off the high edge: g(lo) < 0 < g(hi).
+    FreqModelFit fit;
+    fit.t_inv = 8.0e2;
+    fit.t_const = 0.02;
+    fit.p_const = 80.0;
+    fit.p_cubic = 1.0e-7;
+    fit.valid = true;
+    const double lo = 800.0;
+    const double hi = 1600.0;
+    const double solved = solve_edp_minimum(fit, lo, hi);
+    double best_f = lo;
+    double best_edp = fit.edp(lo);
+    for (int i = 1; i <= 8000; ++i) {
+        const double f = lo + (hi - lo) * i / 8000.0;
+        if (fit.edp(f) < best_edp) {
+            best_edp = fit.edp(f);
+            best_f = f;
+        }
+    }
+    EXPECT_GT(solved, lo);
+    EXPECT_LT(solved, hi);
+    EXPECT_NEAR(solved, best_f, (hi - lo) / 8000.0 + 1e-6);
+}
+
+TEST(FreqModel, EdpMinimumSnapsToBandEdges)
+{
+    // No dynamic power term: running faster is free, minimum at the top.
+    FreqModelFit race_to_idle;
+    race_to_idle.t_inv = 8.0e2;
+    race_to_idle.t_const = 0.05;
+    race_to_idle.p_const = 100.0;
+    race_to_idle.p_cubic = 0.0;
+    race_to_idle.valid = true;
+    EXPECT_DOUBLE_EQ(solve_edp_minimum(race_to_idle, 800.0, 1600.0), 1600.0);
+
+    // No frequency-sensitive time (memory bound): clocking up only burns
+    // power, minimum at the bottom.
+    FreqModelFit memory_bound;
+    memory_bound.t_inv = 0.0;
+    memory_bound.t_const = 0.5;
+    memory_bound.p_const = 100.0;
+    memory_bound.p_cubic = 8.0e-8;
+    memory_bound.valid = true;
+    EXPECT_DOUBLE_EQ(solve_edp_minimum(memory_bound, 800.0, 1600.0), 800.0);
+}
+
+TEST(FreqModel, RescaleTransfersShapeThroughOneProbe)
+{
+    const FreqModelFit base = truth_fit();
+    // A kernel with the same shape but 3x the work and 1.5x the power.
+    ProbePoint probe;
+    probe.mhz = 1215.0;
+    probe.time_s = 3.0 * base.time_s(probe.mhz);
+    probe.power_w = 1.5 * base.power_w(probe.mhz);
+    const auto fit = rescale_freq_model(base, probe);
+    ASSERT_TRUE(fit.valid);
+    for (double mhz : {1005.0, 1215.0, 1410.0}) {
+        EXPECT_NEAR(fit.time_s(mhz), 3.0 * base.time_s(mhz), 1e-9);
+        EXPECT_NEAR(fit.power_w(mhz), 1.5 * base.power_w(mhz), 1e-9);
+    }
+}
+
+TEST(FreqModel, RescaleRejectsInvalidBaseOrProbe)
+{
+    EXPECT_FALSE(rescale_freq_model(FreqModelFit{}, {1215.0, 0.5, 200.0}).valid);
+    const FreqModelFit base = truth_fit();
+    EXPECT_FALSE(rescale_freq_model(base, {1215.0, 0.0, 200.0}).valid);
+    EXPECT_FALSE(rescale_freq_model(base, {0.0, 0.5, 200.0}).valid);
+}
+
+TEST(FreqModel, BestCandidateTiesGoToLowerClock)
+{
+    // A constant EDP surface ties every candidate; the scan must keep the
+    // first (lowest) clock.
+    FreqModelFit flat;
+    flat.t_inv = 0.0;
+    flat.t_const = 0.5;
+    flat.p_const = 100.0;
+    flat.p_cubic = 0.0;
+    flat.valid = true;
+    const std::vector<double> clocks = {1005.0, 1110.0, 1215.0, 1320.0, 1410.0};
+    EXPECT_EQ(best_candidate_index(flat, clocks), 0u);
+
+    const FreqModelFit truth = truth_fit();
+    const std::size_t best = best_candidate_index(truth, clocks);
+    double best_edp = truth.edp(clocks[0]);
+    std::size_t expect = 0;
+    for (std::size_t i = 1; i < clocks.size(); ++i) {
+        if (truth.edp(clocks[i]) < best_edp) {
+            best_edp = truth.edp(clocks[i]);
+            expect = i;
+        }
+    }
+    EXPECT_EQ(best, expect);
+}
+
+} // namespace
+} // namespace gsph::tuning

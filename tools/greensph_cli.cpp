@@ -102,6 +102,7 @@ struct Options {
     std::string workload = "turbulence";
     std::string policy = "baseline";
     std::string objective = "edp";
+    std::string tune_strategy = "exhaustive"; ///< online policy: exhaustive|model
     int ranks = 1;
     int steps = 10;
     int threads = 0; ///< 0: hardware concurrency, 1: serial
@@ -132,6 +133,7 @@ void usage()
     std::cout << "usage: greensph <systems|tune|run> [options]\n"
               << "  --system cscs|lumi|minihpc   --workload turbulence|evrard|sedov\n"
               << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
+              << "  --tune-strategy exhaustive|model   (online policy exploration)\n"
               << "  --ranks N --steps N --threads N --nside N --particles-per-gpu X\n"
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
@@ -159,6 +161,13 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--workload") opt.workload = next();
         else if (key == "--policy") opt.policy = next();
         else if (key == "--objective") opt.objective = next();
+        else if (key == "--tune-strategy") {
+            opt.tune_strategy = util::to_lower(next());
+            if (opt.tune_strategy != "exhaustive" && opt.tune_strategy != "model") {
+                throw std::invalid_argument("bad --tune-strategy: " +
+                                            opt.tune_strategy);
+            }
+        }
         else if (key == "--ranks") opt.ranks = std::stoi(next());
         else if (key == "--steps") opt.steps = std::stoi(next());
         else if (key == "--threads") opt.threads = std::stoi(next());
@@ -248,6 +257,11 @@ telemetry::Json config_echo(const Options& opt)
         config["fault_spec"] = durable_spec;
         config["fault_seed"] = static_cast<std::size_t>(opt.fault_seed);
     }
+    // Echoed only when non-default so config hashes of pre-existing runs
+    // (and their checkpoints) are unchanged — same pattern as fault_spec.
+    if (opt.tune_strategy != "exhaustive") {
+        config["tune_strategy"] = opt.tune_strategy;
+    }
     return config;
 }
 
@@ -274,6 +288,7 @@ void save_cli_options(checkpoint::StateWriter& w, const Options& opt)
     w.put_str("trace_in", opt.trace_in);
     w.put_str("fault_spec", durable_fault_spec(opt));
     w.put_u64("fault_seed", opt.fault_seed);
+    w.put_str("tune_strategy", opt.tune_strategy);
 }
 
 void apply_cli_options(const checkpoint::StateReader& r, Options& opt)
@@ -289,6 +304,9 @@ void apply_cli_options(const checkpoint::StateReader& r, Options& opt)
     opt.trace_in = r.get_str("trace_in");
     opt.fault_spec = r.get_str("fault_spec");
     opt.fault_seed = r.get_u64("fault_seed");
+    // Absent from checkpoints written before the model strategy existed.
+    opt.tune_strategy =
+        r.has("tune_strategy") ? r.get_str("tune_strategy") : "exhaustive";
 }
 
 void save_metrics(checkpoint::StateWriter& w)
@@ -446,6 +464,9 @@ std::unique_ptr<core::FrequencyPolicy> make_policy(const Options& opt,
     if (p == "online") {
         core::OnlineTunerConfig cfg;
         cfg.candidate_clocks = tuning::paper_frequency_band(system.gpu);
+        cfg.strategy = opt.tune_strategy == "model"
+                           ? core::TuneStrategy::kModel
+                           : core::TuneStrategy::kExhaustive;
         return core::make_online_mandyn_policy(cfg, system.gpu.vendor);
     }
     throw std::invalid_argument("unknown policy: " + opt.policy);

@@ -271,6 +271,10 @@ void print_attribution(const Ledger& ledger, const telemetry::Json* summary)
 /// Decisions with a prediction whose realized EDP deviates above threshold.
 bool mispredicted(const telemetry::Json& d, double threshold)
 {
+    // Warmup / first-visit decisions are marked no_prediction by the
+    // ledger: there was nothing to predict with, so they can neither hit
+    // nor miss.
+    if (d.contains("no_prediction")) return false;
     if (!d.contains("prediction_error")) return false;
     return std::fabs(num(d, "prediction_error")) > threshold;
 }
@@ -280,16 +284,19 @@ void print_decisions(const Ledger& ledger, const ReportOptions& opt)
     const std::size_t n = ledger.decisions.size();
     std::size_t resolved = 0;
     std::size_t predicted = 0;
+    std::size_t no_prediction = 0;
     std::size_t mispredictions = 0;
     for (const telemetry::Json& d : ledger.decisions) {
         if (d.at("resolved").as_bool()) ++resolved;
-        if (d.contains("prediction_error")) ++predicted;
+        if (d.contains("no_prediction")) ++no_prediction;
+        else if (d.contains("prediction_error")) ++predicted;
         if (mispredicted(d, opt.mispredict_threshold)) ++mispredictions;
     }
     std::cout << "Decision audit: " << n << " decision(s), " << resolved
               << " resolved, " << predicted << " with predictions, "
               << mispredictions << " mispredicted (|error| > "
-              << pct(opt.mispredict_threshold) << ")\n";
+              << pct(opt.mispredict_threshold) << "), " << no_prediction
+              << " without a prediction (excluded)\n";
     if (n == 0) {
         std::cout << "\n";
         return;
@@ -308,7 +315,7 @@ void print_decisions(const Ledger& ledger, const ReportOptions& opt)
              std::to_string(static_cast<long>(num(d, "rank"))),
              d.at("function").as_string(), d.at("policy").as_string(),
              util::format_fixed(num(d, "chosen_mhz"), 0),
-             num(d, "predicted_edp") > 0.0
+             d.contains("predicted_edp") && num(d, "predicted_edp") > 0.0
                  ? util::format_fixed(num(d, "predicted_edp"), 3)
                  : "-",
              d.at("resolved").as_bool()
