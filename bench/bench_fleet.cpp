@@ -1,0 +1,175 @@
+/// Fleet bench: one cluster-wide power budget, three apportionment
+/// policies.
+///
+/// Runs the same deterministic job mix (64 cscs_a100 nodes / 256 GPUs,
+/// 24 jobs with arrivals and deadlines, FCFS + conservative backfill)
+/// under:
+///
+///   uncapped    no budget; every node at default application clocks
+///   uniform     budget / n_nodes on every node, busy or idle
+///   negotiated  idle nodes charged their floor; busy nodes granted
+///               measured demand + headroom, scaled pro rata when the
+///               budget oversubscribes
+///
+/// The budget is 45% of the fleet's aggregate TDP — tight enough that
+/// uniform throttles every busy node while parking watts on idle ones.
+/// The claim under test: negotiation wins node EDP at a deadline-miss
+/// rate no worse than uniform's.  The bench exits 1 when that ordering
+/// breaks (a behavioural regression even when absolute numbers drift).
+///
+/// Artifacts:
+///   BENCH_fleet.json   report-compatible summary of the negotiated run;
+///                      CI gates it with greensph_report --baseline
+///                      bench/baselines/bench_fleet_baseline.json (exit 2
+///                      beyond 5% drift).  Deterministic substrate: drift
+///                      is a code change, not noise.
+///   bench_out/BENCH_fleet.csv   per-policy rows
+///
+/// Usage: bench_fleet [output-dir]   (default: current directory)
+
+#include "common.hpp"
+
+#include "fleet/fleet.hpp"
+#include "telemetry/json.hpp"
+#include "util/atomic_file.hpp"
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+using namespace gsph;
+
+namespace {
+
+telemetry::Json fleet_summary(const fleet::FleetResult& r,
+                              const std::string& system,
+                              const std::string& policy)
+{
+    telemetry::Json j = telemetry::Json::object();
+    j["schema"] = "greensph.fleet_summary/v1";
+    j["system"] = system;
+    j["workload"] = "SubsonicTurbulence";
+    j["policy"] = "fleet-" + policy;
+    j["n_ranks"] = r.n_gpus;
+    j["n_steps"] = r.rounds;
+    j["makespan_s"] = r.makespan_s;
+    telemetry::Json energy = telemetry::Json::object();
+    energy["gpu"] = r.gpu_energy_j;
+    energy["node"] = r.node_energy_j;
+    j["energy_j"] = std::move(energy);
+    telemetry::Json edp = telemetry::Json::object();
+    edp["gpu"] = r.gpu_edp();
+    edp["node"] = r.node_edp();
+    j["edp"] = std::move(edp);
+    j["per_function"] = telemetry::Json::array();
+    telemetry::Json f = telemetry::Json::object();
+    f["n_nodes"] = r.n_nodes;
+    f["jobs_completed"] = r.jobs_completed;
+    f["deadline_misses"] = r.deadline_misses;
+    f["deadline_miss_rate"] = r.deadline_miss_rate();
+    f["total_wait_s"] = r.total_wait_s;
+    j["fleet"] = std::move(f);
+    return j;
+}
+
+} // namespace
+
+int main(int argc, char** argv)
+{
+    const std::string out_dir = argc > 1 ? argv[1] : ".";
+    bench::print_header(
+        "Fleet bench - one power budget, three apportionment policies",
+        "Extension: cluster-scale power capping (Sec. V outlook)",
+        "Negotiated must beat uniform on node EDP at <= its miss rate");
+
+    const auto system = sim::cscs_a100();
+    const auto trace = bench::turbulence_trace(50e6, /*n_steps=*/4,
+                                               /*real_nside=*/8);
+
+    fleet::FleetConfig cfg;
+    cfg.system = system;
+    cfg.trace = trace;
+    cfg.n_nodes = 64;
+
+    fleet::JobMixConfig mix;
+    mix.n_jobs = 24;
+    mix.max_nodes_per_job = 8;
+    mix.min_steps = 2;
+    mix.max_steps = 6;
+    mix.est_step_s = fleet::estimate_step_s(system, trace);
+    mix.mean_interarrival_s = 0.5 * mix.est_step_s;
+    mix.overhead_s = cfg.setup_s + cfg.teardown_s;
+    mix.deadline_slack = 3.0;
+    cfg.jobs = fleet::generate_jobs(mix);
+
+    const fleet::PowerCoordinator probe(fleet::FleetPolicy::kUncapped, 0.0,
+                                        system, cfg.n_nodes);
+    const double budget_w = 0.45 * cfg.n_nodes * probe.node_tdp_w();
+
+    struct Row {
+        std::string name;
+        fleet::FleetResult result;
+    };
+    std::vector<Row> rows;
+    for (const auto policy :
+         {fleet::FleetPolicy::kUncapped, fleet::FleetPolicy::kUniformCap,
+          fleet::FleetPolicy::kNegotiated}) {
+        auto run_cfg = cfg;
+        run_cfg.policy = policy;
+        run_cfg.budget_w = policy == fleet::FleetPolicy::kUncapped ? 0.0 : budget_w;
+        rows.push_back({fleet::to_string(policy), fleet::run_fleet(run_cfg)});
+    }
+
+    std::cout << "Fleet: " << cfg.n_nodes << " nodes / "
+              << rows[0].result.n_gpus << " GPUs, " << mix.n_jobs
+              << " jobs, budget " << util::format_fixed(budget_w / 1e3, 1)
+              << " kW (" << bench::pct(0.45) << " of aggregate TDP)\n\n";
+
+    util::Table table({"Policy", "Makespan [s]", "Node E [MJ]", "GPU E [MJ]",
+                       "Node EDP [MJs]", "Miss rate", "Wait [s]"});
+    util::CsvWriter csv({"policy", "makespan_s", "node_energy_j", "gpu_energy_j",
+                         "node_edp", "deadline_miss_rate", "total_wait_s"});
+    for (const Row& row : rows) {
+        const auto& r = row.result;
+        table.add_row({row.name, util::format_fixed(r.makespan_s, 1),
+                       util::format_fixed(r.node_energy_j / 1e6, 3),
+                       util::format_fixed(r.gpu_energy_j / 1e6, 3),
+                       util::format_fixed(r.node_edp() / 1e6, 1),
+                       bench::pct(r.deadline_miss_rate()),
+                       util::format_fixed(r.total_wait_s, 1)});
+        csv.add_row({row.name, std::to_string(r.makespan_s),
+                     std::to_string(r.node_energy_j),
+                     std::to_string(r.gpu_energy_j),
+                     std::to_string(r.node_edp()),
+                     std::to_string(r.deadline_miss_rate()),
+                     std::to_string(r.total_wait_s)});
+    }
+    table.print(std::cout);
+    bench::write_artifact(csv, "BENCH_fleet.csv");
+
+    const auto& uniform = rows[1].result;
+    const auto& negotiated = rows[2].result;
+    std::cout << "\nnegotiated vs uniform: node EDP x"
+              << bench::ratio(negotiated.node_edp() / uniform.node_edp())
+              << ", miss rate " << bench::pct(negotiated.deadline_miss_rate())
+              << " vs " << bench::pct(uniform.deadline_miss_rate()) << "\n";
+
+    const std::string summary_path = out_dir + "/BENCH_fleet.json";
+    const telemetry::Json summary =
+        fleet_summary(negotiated, system.name, rows[2].name);
+    if (!util::atomic_write_file(summary_path, summary.dump(2) + "\n")) {
+        std::cerr << "error: failed to write " << summary_path << "\n";
+        return 1;
+    }
+    std::cout << "Wrote " << summary_path << "\n";
+
+    if (!(negotiated.node_edp() < uniform.node_edp())) {
+        std::cerr << "REGRESSION: negotiated node EDP did not beat uniform\n";
+        return 1;
+    }
+    if (negotiated.deadline_miss_rate() > uniform.deadline_miss_rate()) {
+        std::cerr << "REGRESSION: negotiation raised the deadline-miss rate\n";
+        return 1;
+    }
+    return 0;
+}

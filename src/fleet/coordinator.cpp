@@ -1,0 +1,127 @@
+#include "fleet/coordinator.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace gsph::fleet {
+
+const char* to_string(FleetPolicy policy)
+{
+    switch (policy) {
+    case FleetPolicy::kUncapped: return "uncapped";
+    case FleetPolicy::kUniformCap: return "uniform";
+    case FleetPolicy::kNegotiated: return "negotiated";
+    }
+    return "?";
+}
+
+FleetPolicy fleet_policy_from_string(const std::string& name)
+{
+    if (name == "uncapped") return FleetPolicy::kUncapped;
+    if (name == "uniform") return FleetPolicy::kUniformCap;
+    if (name == "negotiated") return FleetPolicy::kNegotiated;
+    throw std::invalid_argument("unknown fleet policy '" + name +
+                                "' (uncapped|uniform|negotiated)");
+}
+
+PowerCoordinator::PowerCoordinator(FleetPolicy policy, double budget_w,
+                                   const sim::SystemSpec& system, int n_nodes,
+                                   double headroom)
+    : policy_(policy), budget_w_(budget_w), system_(system), n_nodes_(n_nodes),
+      headroom_(headroom)
+{
+    if (n_nodes_ <= 0) throw std::invalid_argument("PowerCoordinator: n_nodes");
+    if (headroom_ < 1.0) throw std::invalid_argument("PowerCoordinator: headroom < 1");
+    if (policy_ != FleetPolicy::kUncapped && budget_w_ <= 0.0) {
+        throw std::invalid_argument("PowerCoordinator: capped policy needs a budget");
+    }
+}
+
+double PowerCoordinator::non_gpu_w() const
+{
+    return system_.cpu.package_idle_w + system_.cpu.dram_idle_w + system_.aux_power_w;
+}
+
+double PowerCoordinator::node_idle_w() const
+{
+    return non_gpu_w() + system_.gpus_per_node * system_.gpu.idle_w;
+}
+
+double PowerCoordinator::node_tdp_w() const
+{
+    const double gpu_tdp = system_.gpu.idle_w + system_.gpu.sm_dynamic_w +
+                           system_.gpu.issue_w + system_.gpu.mem_dynamic_w;
+    return non_gpu_w() + system_.gpus_per_node * gpu_tdp;
+}
+
+double PowerCoordinator::gpu_limit_w(double node_cap_w) const
+{
+    if (node_cap_w <= 0.0) return 0.0;
+    const double gpu_share =
+        (node_cap_w - non_gpu_w()) / static_cast<double>(system_.gpus_per_node);
+    // A limit below the idle floor cannot be enforced by clock throttling;
+    // clamp so the firmware model still has a feasible operating point.
+    return std::max(system_.gpu.idle_w, gpu_share);
+}
+
+std::vector<double> PowerCoordinator::apportion(
+    const std::vector<bool>& busy, const std::vector<double>& demand_w) const
+{
+    if (busy.size() != static_cast<std::size_t>(n_nodes_) ||
+        demand_w.size() != busy.size()) {
+        throw std::invalid_argument("PowerCoordinator::apportion: size mismatch");
+    }
+    std::vector<double> caps(busy.size(), 0.0);
+    if (policy_ == FleetPolicy::kUncapped) return caps;
+
+    if (policy_ == FleetPolicy::kUniformCap) {
+        const double cap = budget_w_ / static_cast<double>(n_nodes_);
+        std::fill(caps.begin(), caps.end(), cap);
+        return caps;
+    }
+
+    // --- kNegotiated -----------------------------------------------------
+    const double idle = node_idle_w();
+    const double tdp = node_tdp_w();
+    int n_busy = 0;
+    double idle_total = 0.0;
+    for (bool b : busy) {
+        if (b) ++n_busy;
+        else idle_total += idle;
+    }
+    if (n_busy == 0) return caps; // nothing to negotiate; idle floor only
+
+    // Requests: measured demand (+headroom) clamped into [idle, TDP]; a
+    // node with no measurement yet asks for its TDP.
+    std::vector<double> request(busy.size(), 0.0);
+    double request_total = 0.0;
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+        if (!busy[i]) continue;
+        const double d = demand_w[i] > 0.0 ? demand_w[i] * headroom_ : tdp;
+        request[i] = std::min(tdp, std::max(idle, d));
+        request_total += request[i];
+    }
+
+    const double spend = budget_w_ - idle_total;
+    if (request_total <= spend) {
+        // Budget covers every request: grant them (the cap is a guard rail
+        // at the requested level, not a throttle).
+        for (std::size_t i = 0; i < busy.size(); ++i) {
+            if (busy[i]) caps[i] = request[i];
+        }
+        return caps;
+    }
+
+    // Oversubscribed: everyone keeps the idle floor, the dynamic share
+    // above it is scaled pro rata to demand.
+    const double floor_total = static_cast<double>(n_busy) * idle;
+    const double dynamic_budget = std::max(0.0, spend - floor_total);
+    const double dynamic_request = std::max(1e-9, request_total - floor_total);
+    const double scale = std::min(1.0, dynamic_budget / dynamic_request);
+    for (std::size_t i = 0; i < busy.size(); ++i) {
+        if (busy[i]) caps[i] = idle + (request[i] - idle) * scale;
+    }
+    return caps;
+}
+
+} // namespace gsph::fleet

@@ -1,0 +1,76 @@
+#pragma once
+/// \file coordinator.hpp
+/// \brief Cluster-wide power budget negotiation.
+///
+/// One power budget covers the whole fleet.  The coordinator turns it into
+/// per-node caps once per round, in one of three modes:
+///
+///   * kUncapped    — no caps; every node runs at default clocks.
+///   * kUniformCap  — the naive operator policy: budget / n_nodes applied to
+///                    every node, busy or idle.  Watts parked on idle nodes
+///                    are wasted while busy nodes throttle.
+///   * kNegotiated  — idle nodes are charged their (unthrottleable) idle
+///                    floor; the remaining budget is granted to busy nodes
+///                    in proportion to their *demand* — the node power each
+///                    one measured over its previous step under its
+///                    preferred ManDyn per-kernel clock plan.  When total
+///                    demand fits, every node gets demand + headroom
+///                    (effectively uncapped); when it does not, the share
+///                    above each node's idle floor is scaled down pro rata.
+///
+/// A node cap is enforced by dividing the GPU-attributable share evenly
+/// across the node's devices and setting each device's power-management
+/// limit (nvmlDeviceSetPowerManagementLimit semantics: firmware throttles
+/// the busy clock to fit).  Caps are re-apportioned every round as jobs
+/// start and finish, which is the negotiation loop: demand is re-measured,
+/// surplus from light phases flows to heavy ones.
+
+#include "sim/system.hpp"
+
+#include <string>
+#include <vector>
+
+namespace gsph::fleet {
+
+enum class FleetPolicy { kUncapped, kUniformCap, kNegotiated };
+
+const char* to_string(FleetPolicy policy);
+/// Parses "uncapped" / "uniform" / "negotiated"; throws std::invalid_argument.
+FleetPolicy fleet_policy_from_string(const std::string& name);
+
+class PowerCoordinator {
+public:
+    /// \param headroom  grant multiplier over measured demand (>= 1).
+    PowerCoordinator(FleetPolicy policy, double budget_w,
+                     const sim::SystemSpec& system, int n_nodes,
+                     double headroom = 1.10);
+
+    /// Per-node power caps for the coming round (0 = uncapped).
+    /// `demand_w[i]` is node i's measured power over its previous step;
+    /// pass 0 for "unknown" (a just-started job requests the node TDP).
+    std::vector<double> apportion(const std::vector<bool>& busy,
+                                  const std::vector<double>& demand_w) const;
+
+    /// Node cap -> per-GPU power-management limit (0 stays uncapped).
+    double gpu_limit_w(double node_cap_w) const;
+
+    /// Modelled whole-node TDP: every GPU at its default power limit plus
+    /// the non-GPU draw.
+    double node_tdp_w() const;
+    /// Unthrottleable whole-node floor: idle GPUs + idle host + aux.
+    double node_idle_w() const;
+    /// Host + aux draw the GPU caps cannot touch.
+    double non_gpu_w() const;
+
+    FleetPolicy policy() const { return policy_; }
+    double budget_w() const { return budget_w_; }
+
+private:
+    FleetPolicy policy_;
+    double budget_w_;
+    sim::SystemSpec system_;
+    int n_nodes_;
+    double headroom_;
+};
+
+} // namespace gsph::fleet

@@ -1,0 +1,63 @@
+#pragma once
+/// \file scheduler.hpp
+/// \brief FCFS + conservative-backfill job scheduler for the fleet.
+///
+/// The scheduler is a pure function from (waiting queue, per-node
+/// availability) to a list of placements, which keeps it unit-testable and
+/// trivially deterministic.  Semantics follow Slurm's backfill plugin in
+/// conservative mode:
+///
+///   * jobs are considered strictly in arrival (queue) order;
+///   * a job that fits on currently free nodes starts immediately;
+///   * a job that does not fit gets a *reservation*: the earliest time its
+///     node count becomes available assuming running and reserved jobs hold
+///     their walltime estimates.  Later (smaller) jobs may start out of
+///     order only when their estimated end cannot delay any reservation
+///     made before them — the "conservative" part.
+///
+/// Nodes run on independent simulated timelines (a node's clock only has to
+/// be monotone with respect to itself), so a placement's start time is
+/// max(arrival, latest free_at among its nodes) rather than one global
+/// "now".
+
+#include <string>
+#include <vector>
+
+namespace gsph::fleet {
+
+/// One job of the fleet workload, known at submission time.
+struct JobSpec {
+    int id = 0;
+    std::string name;
+    int n_nodes = 1;         ///< allocation size (exclusive nodes)
+    int n_steps = 1;         ///< workload steps the job executes
+    double arrival_s = 0.0;  ///< submission time
+    double deadline_s = 0.0; ///< absolute completion deadline; 0 = none
+    /// User walltime estimate; the backfill reservation math uses this, and
+    /// like real estimates it may be wrong (capped jobs run slower).
+    double est_runtime_s = 0.0;
+    double work_scale = 1.0; ///< multiplier on the trace's per-step work
+};
+
+/// Scheduler view of one node.
+struct NodeAvail {
+    double free_at = 0.0;     ///< node-local clock when it last became free
+    bool busy = false;
+    double est_free_at = 0.0; ///< start + estimate, valid while busy
+};
+
+/// A scheduling decision: queue entry `queue_index` starts at `start_s` on
+/// `nodes` (ascending node indices).
+struct Placement {
+    std::size_t queue_index = 0;
+    std::vector<int> nodes;
+    double start_s = 0.0;
+};
+
+/// One scheduling pass (runs at every round boundary).  `queue` is the
+/// waiting list in arrival order.  Throws std::invalid_argument when a job
+/// requests more nodes than the fleet has.
+std::vector<Placement> schedule(const std::vector<JobSpec>& queue,
+                                const std::vector<NodeAvail>& nodes);
+
+} // namespace gsph::fleet

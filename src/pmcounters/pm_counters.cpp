@@ -15,6 +15,8 @@ PmCounters::PmCounters(PmCountersConfig config, cpusim::CpuDevice* cpu,
     if (config_.sample_hz <= 0.0) throw std::invalid_argument("PmCounters: bad sample rate");
     if (config_.gcds_per_accel_file < 1)
         throw std::invalid_argument("PmCounters: bad gcds_per_accel_file");
+    if (config_.counter_wrap_j < 0.0)
+        throw std::invalid_argument("PmCounters: bad counter_wrap_j");
     if (!gpus_.empty() &&
         static_cast<int>(gpus_.size()) % config_.gcds_per_accel_file != 0) {
         throw std::invalid_argument("PmCounters: GPU count not divisible by GCDs per file");
@@ -45,6 +47,9 @@ PmCounters::Snapshot PmCounters::capture(double now) const
     }
     const double aux_energy = config_.aux_power_w * now;
     s.node_energy_j = s.cpu_energy_j + s.memory_energy_j + accel_total + aux_energy;
+    if (config_.counter_wrap_j > 0.0) {
+        s.node_energy_j = std::fmod(s.node_energy_j, config_.counter_wrap_j);
+    }
     return s;
 }
 

@@ -32,6 +32,11 @@ struct PmCountersConfig {
     double sample_hz = 10.0;       ///< Cray default OOB collection rate
     int gcds_per_accel_file = 1;   ///< 2 on LUMI-G (two GCDs per MI250X card)
     double aux_power_w = 100.0;    ///< NIC, fans, VRs, board: the "Other" share
+    /// Modulus of the published node `energy` counter in joules; 0 = never
+    /// wraps.  The real counter is a finite-width BMC register, so a
+    /// long-running node rolls it over mid-job — exactly the condition
+    /// Slurm-style consumers must clamp against.
+    double counter_wrap_j = 0.0;
 };
 
 class PmCounters {

@@ -17,6 +17,7 @@ Node::Node(const SystemSpec& system, int node_index)
     pmcounters::PmCountersConfig cfg;
     cfg.gcds_per_accel_file = system_.gcds_per_accel_file;
     cfg.aux_power_w = system_.aux_power_w;
+    cfg.counter_wrap_j = system_.pm_counter_wrap_j;
     counters_ = std::make_unique<pmcounters::PmCounters>(cfg, &cpu_, gpu_pointers());
 }
 

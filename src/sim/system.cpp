@@ -16,6 +16,9 @@ void SystemSpec::validate() const
         throw std::invalid_argument("SystemSpec: gcds_per_accel_file");
     }
     if (aux_power_w < 0.0) throw std::invalid_argument("SystemSpec: aux power");
+    if (pm_counter_wrap_j < 0.0) {
+        throw std::invalid_argument("SystemSpec: pm_counter_wrap_j");
+    }
     if (net_latency_s < 0.0 || net_bw_bytes_per_s <= 0.0) {
         throw std::invalid_argument("SystemSpec: network");
     }

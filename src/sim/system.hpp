@@ -18,6 +18,10 @@ struct SystemSpec {
     /// pm_counters reports per MI250X *card*, each card = 2 GCDs).
     int gcds_per_accel_file = 1;
     double aux_power_w = 100.0; ///< NIC/fans/board: the "Other" share
+    /// Node energy counter modulus in joules (0 = unbounded); see
+    /// PmCountersConfig::counter_wrap_j.  Long fleet runs exercise the
+    /// wrap-and-clamp path in Slurm-style accounting.
+    double pm_counter_wrap_j = 0.0;
 
     // interconnect (per-rank effective figures)
     double net_latency_s = 3e-6;

@@ -47,9 +47,15 @@ public:
     bool started() const { return started_; }
     bool finished() const { return finished_; }
 
-    /// Slurm's ConsumedEnergy for the whole allocation (all nodes).
+    /// Slurm's ConsumedEnergy for the whole allocation (all nodes).  Each
+    /// node's counter delta is clamped at zero (a cumulative counter that
+    /// went backwards wrapped or reset mid-job) and floored to integral
+    /// joules *per node*, the way slurmd accumulates per-node readings.
+    /// For a running job this is a live energy-so-far read.
     double consumed_energy_j() const;
-    double elapsed_s() const { return end_time_ - start_time_; }
+    /// Wall time: end - start when finished; time-so-far (latest node
+    /// sensor time - start) while running; 0 before start.
+    double elapsed_s() const;
 
     JobRecord record() const;
 
@@ -88,10 +94,14 @@ private:
 };
 
 /// Render records the way `sacct -o JobID,JobName,Elapsed,ConsumedEnergy`
-/// would; used by the Fig. 3 bench for a faithful artifact.
+/// would; used by the Fig. 3 bench for a faithful artifact.  Elapsed uses
+/// Slurm's `D-HH:MM:SS` form for jobs of a day or more.
 std::string format_sacct(const std::vector<JobRecord>& records);
 
-/// Pretty "ConsumedEnergy" with Slurm's K/M suffixes (e.g. "24.4M" joules).
+/// Pretty "ConsumedEnergy" with Slurm's K/M/G suffixes (e.g. "24.4M"
+/// joules).  Negative input is formatted with an explicit sign and logged —
+/// it cannot happen once per-node deltas are clamped, so seeing one means
+/// an accounting bug upstream.
 std::string format_consumed_energy(double joules);
 
 } // namespace gsph::slurmsim

@@ -1,5 +1,8 @@
 #include "slurmsim/slurm.hpp"
 
+#include "checkpoint/state.hpp"
+#include "telemetry/metrics.hpp"
+
 #include <gtest/gtest.h>
 
 #include <cmath>
@@ -97,11 +100,121 @@ TEST(SlurmJob, EnergyIsIntegralJoules)
     EXPECT_DOUBLE_EQ(e, std::floor(e));
 }
 
+TEST(SlurmJob, WrappedNodeCounterClampsToZeroAndCounts)
+{
+    // A finite-width node energy counter rolls over mid-job; Slurm-style
+    // accounting must clamp the negative delta (like pmt) and count it.
+    cpusim::CpuDevice cpu{cpusim::epyc_7113()};
+    gpusim::GpuDevice gpu{gpusim::a100_sxm4_80g()};
+    pmcounters::PmCountersConfig cfg;
+    cfg.counter_wrap_j = 5000.0; // node draws ~280 W -> wraps within ~18 s
+    pmcounters::PmCounters counters{cfg, &cpu, {&gpu}};
+
+    auto advance = [&](double dt, double to) {
+        cpu.advance(dt);
+        gpu.idle(dt);
+        counters.sample_to(to);
+    };
+
+    advance(10.0, 10.0);
+    Job job("49", "wrap", {&counters});
+    job.start(10.0);
+    const double baseline = counters.node_energy_j();
+    const double wraps_before =
+        telemetry::MetricsRegistry::global().value("slurm.counter_wraps");
+    advance(10.0, 20.0);
+    ASSERT_LT(counters.node_energy_j(), baseline) << "counter did not wrap";
+    job.finish(20.0);
+
+    EXPECT_GE(job.consumed_energy_j(), 0.0);
+    EXPECT_GE(job.record().consumed_energy_j, 0.0);
+    EXPECT_DOUBLE_EQ(
+        telemetry::MetricsRegistry::global().value("slurm.counter_wraps"),
+        wraps_before + 1.0);
+}
+
+TEST(SlurmJob, FloorsPerNodeNotCrossNodeTotal)
+{
+    // slurmd accumulates integral joules per node; flooring the cross-node
+    // total instead over-reports whenever the per-node fractions sum past 1.
+    TestNode a, b;
+    Job job("50", "floor", {&a.counters, &b.counters});
+    checkpoint::StateWriter writer;
+    writer.put_f64_vec("baseline_j", {0.0, 0.0});
+    writer.put_f64_vec("final_j", {10.6, 10.5});
+    writer.put_f64("start_time", 0.0);
+    writer.put_f64("end_time", 1.0);
+    writer.put_bool("started", true);
+    writer.put_bool("finished", true);
+    job.restore_state(checkpoint::StateReader("slurm", writer.str()));
+    EXPECT_DOUBLE_EQ(job.consumed_energy_j(), 20.0); // not floor(21.1) == 21
+}
+
+TEST(SlurmJob, RunningJobReportsTimeAndEnergySoFar)
+{
+    TestNode node;
+    node.advance(1.0, 1.0);
+    Job job("51", "live", {&node.counters});
+    job.start(1.0);
+    node.advance(9.0, 10.0);
+
+    const JobRecord live = job.record();
+    EXPECT_FALSE(live.completed);
+    EXPECT_NEAR(live.elapsed_s, 9.0, 0.2);   // sensor-tick granularity
+    EXPECT_GT(live.consumed_energy_j, 0.0);  // energy-so-far, not zero
+    EXPECT_DOUBLE_EQ(live.consumed_energy_j, std::floor(live.consumed_energy_j));
+
+    job.finish(10.0);
+    const JobRecord done = job.record();
+    EXPECT_TRUE(done.completed);
+    EXPECT_DOUBLE_EQ(done.elapsed_s, 9.0);
+    EXPECT_GE(done.consumed_energy_j, live.consumed_energy_j);
+}
+
 TEST(SlurmFormat, ConsumedEnergySuffixes)
 {
     EXPECT_EQ(format_consumed_energy(24.4e6), "24.40M");
     EXPECT_EQ(format_consumed_energy(1500.0), "1.50K");
     EXPECT_EQ(format_consumed_energy(42.0), "42");
+}
+
+TEST(SlurmFormat, GigajouleTierAndExplicitNegatives)
+{
+    // A 1000-GPU fleet crosses 1 GJ routinely; "1234.56M" is unreadable.
+    EXPECT_EQ(format_consumed_energy(1.5e9), "1.50G");
+    EXPECT_EQ(format_consumed_energy(1.23456e9), "1.23G");
+    // Negatives are impossible post-clamp but must never print as a bare
+    // fixed-point joule value ("-1500").
+    EXPECT_EQ(format_consumed_energy(-1500.0), "-1.50K");
+    EXPECT_EQ(format_consumed_energy(-2.5e9), "-2.50G");
+}
+
+TEST(SlurmFormat, SacctDayPrefixedElapsedForMultiDayJob)
+{
+    JobRecord r;
+    r.job_id = "100";
+    r.job_name = "fleet";
+    r.elapsed_s = 3.0 * 86400 + 2.0 * 3600 + 5.0 * 60 + 7.0;
+    r.consumed_energy_j = 2.5e9;
+    r.n_nodes = 256;
+    r.completed = true;
+    const std::string out = format_sacct({r});
+    EXPECT_NE(out.find("3-02:05:07"), std::string::npos) << out;
+    EXPECT_NE(out.find("2.50G"), std::string::npos) << out;
+}
+
+TEST(SlurmFormat, SacctElapsedSurvives64BitSeconds)
+{
+    // 2.5e9 s (~79 simulated years) overflows a 32-bit int cast (UB).
+    JobRecord r;
+    r.job_id = "101";
+    r.job_name = "longhaul";
+    r.elapsed_s = 2.5e9;
+    r.consumed_energy_j = 1.0e6;
+    r.n_nodes = 1;
+    r.completed = true;
+    const std::string out = format_sacct({r});
+    EXPECT_NE(out.find("28935-04:26:40"), std::string::npos) << out;
 }
 
 TEST(SlurmFormat, SacctTableContainsColumns)

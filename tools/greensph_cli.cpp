@@ -8,6 +8,16 @@
 ///   greensph run    [options]
 ///       Record (or load) a workload trace and run it under a clock policy,
 ///       printing the device/function energy reports.
+///   greensph fleet  [options]
+///       Simulate a whole cluster: --fleet-nodes nodes, a generated queue of
+///       --jobs jobs (FCFS + conservative backfill), one cluster-wide
+///       --budget-w power budget apportioned per --fleet-policy
+///       uncapped|uniform|negotiated, Slurm-style per-job energy accounting
+///       and an sacct table at the end.  Supports --threads (bit-identical
+///       results for any value), --metrics-port (fleet.* gauges),
+///       --checkpoint-every/--checkpoint-dir/--resume (round granularity)
+///       and --fault-spec kill-at-step:step=N (a fleet round counts as one
+///       step).
 ///
 /// Options (with defaults):
 ///   --system cscs|lumi|minihpc        (minihpc)
@@ -62,6 +72,7 @@
 #include "checkpoint/checkpoint.hpp"
 #include "core/online_tuner.hpp"
 #include "faults/fault_injector.hpp"
+#include "fleet/fleet.hpp"
 #include "core/pareto.hpp"
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
@@ -126,11 +137,17 @@ struct Options {
     int checkpoint_every = 0;
     std::string checkpoint_dir;
     std::string resume_dir;
+    // fleet command
+    int fleet_nodes = 16;
+    int jobs = 12;
+    double budget_w = 0.0;
+    std::string fleet_policy = "uncapped";
+    std::uint64_t seed = 42;
 };
 
 void usage()
 {
-    std::cout << "usage: greensph <systems|tune|run> [options]\n"
+    std::cout << "usage: greensph <systems|tune|run|fleet> [options]\n"
               << "  --system cscs|lumi|minihpc   --workload turbulence|evrard|sedov\n"
               << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
               << "  --tune-strategy exhaustive|model   (online policy exploration)\n"
@@ -144,7 +161,9 @@ void usage()
               << "    fault classes: transient-set:p=P  perm-loss:after=N\n"
               << "                   stuck:at=N[,count=M]  energy-wrap:p=P\n"
               << "                   slow:p=P[,ms=T]  kill-at-step:step=N\n"
-              << "  --checkpoint-every N --checkpoint-dir DIR --resume DIR\n";
+              << "  --checkpoint-every N --checkpoint-dir DIR --resume DIR\n"
+              << "  fleet: --fleet-nodes N --jobs N --budget-w W --seed N\n"
+              << "         --fleet-policy uncapped|uniform|negotiated\n";
 }
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -191,6 +210,11 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--checkpoint-every") opt.checkpoint_every = std::stoi(next());
         else if (key == "--checkpoint-dir") opt.checkpoint_dir = next();
         else if (key == "--resume") opt.resume_dir = next();
+        else if (key == "--fleet-nodes") opt.fleet_nodes = std::stoi(next());
+        else if (key == "--jobs") opt.jobs = std::stoi(next());
+        else if (key == "--budget-w") opt.budget_w = std::stod(next());
+        else if (key == "--fleet-policy") opt.fleet_policy = util::to_lower(next());
+        else if (key == "--seed") opt.seed = std::stoull(next());
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
@@ -796,6 +820,282 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
     return 0;
 }
 
+/// Canonical config echo for the fleet command — the identity its config
+/// hash (and hence its checkpoints) commit to.  Thread count is excluded:
+/// fleet results are bit-identical for any --threads, so a resume may use a
+/// different pool size.
+telemetry::Json fleet_config_echo(const Options& opt)
+{
+    telemetry::Json config = telemetry::Json::object();
+    config["command"] = "fleet";
+    config["system"] = opt.system;
+    config["workload"] = opt.workload;
+    config["steps"] = opt.steps;
+    config["nside"] = opt.nside;
+    config["particles_per_gpu"] = opt.particles_per_gpu;
+    config["fleet_nodes"] = opt.fleet_nodes;
+    config["jobs"] = opt.jobs;
+    config["budget_w"] = opt.budget_w;
+    config["fleet_policy"] = opt.fleet_policy;
+    config["seed"] = static_cast<std::size_t>(opt.seed);
+    const std::string durable_spec = durable_fault_spec(opt);
+    if (!durable_spec.empty()) {
+        config["fault_spec"] = durable_spec;
+        config["fault_seed"] = static_cast<std::size_t>(opt.fault_seed);
+    }
+    return config;
+}
+
+std::string fleet_config_hash_of(const Options& opt)
+{
+    return util::hex64(util::fnv1a64(fleet_config_echo(opt).dump()));
+}
+
+void save_fleet_cli_options(checkpoint::StateWriter& w, const Options& opt)
+{
+    w.put_str("system", opt.system);
+    w.put_str("workload", opt.workload);
+    w.put_i64("steps", opt.steps);
+    w.put_i64("threads", opt.threads);
+    w.put_i64("nside", opt.nside);
+    w.put_f64("particles_per_gpu", opt.particles_per_gpu);
+    w.put_str("trace_in", opt.trace_in);
+    w.put_i64("fleet_nodes", opt.fleet_nodes);
+    w.put_i64("jobs", opt.jobs);
+    w.put_f64("budget_w", opt.budget_w);
+    w.put_str("fleet_policy", opt.fleet_policy);
+    w.put_u64("seed", opt.seed);
+    w.put_str("fault_spec", durable_fault_spec(opt));
+    w.put_u64("fault_seed", opt.fault_seed);
+}
+
+void apply_fleet_cli_options(const checkpoint::StateReader& r, Options& opt)
+{
+    opt.system = r.get_str("system");
+    opt.workload = r.get_str("workload");
+    opt.steps = static_cast<int>(r.get_i64("steps"));
+    opt.threads = static_cast<int>(r.get_i64("threads"));
+    opt.nside = static_cast<int>(r.get_i64("nside"));
+    opt.particles_per_gpu = r.get_f64("particles_per_gpu");
+    opt.trace_in = r.get_str("trace_in");
+    opt.fleet_nodes = static_cast<int>(r.get_i64("fleet_nodes"));
+    opt.jobs = static_cast<int>(r.get_i64("jobs"));
+    opt.budget_w = r.get_f64("budget_w");
+    opt.fleet_policy = r.get_str("fleet_policy");
+    opt.seed = r.get_u64("seed");
+    opt.fault_spec = r.get_str("fault_spec");
+    opt.fault_seed = r.get_u64("fault_seed");
+}
+
+/// Fleet summary document.  Deliberately carries the same energy_j / edp /
+/// makespan_s keys as greensph.run_summary/v1 so greensph_report
+/// --baseline can gate fleet benches; everything outside "provenance" is a
+/// pure function of the simulated fleet (byte-identical across --threads
+/// and across kill -> resume).
+telemetry::Json fleet_summary_json(const fleet::FleetResult& result,
+                                   const Options& opt,
+                                   const std::vector<std::string>& argv,
+                                   const std::string& config_hash,
+                                   const std::string& resumed_from)
+{
+    telemetry::Json j = telemetry::Json::object();
+    j["schema"] = "greensph.fleet_summary/v1";
+    j["system"] = opt.system;
+    j["workload"] = opt.workload;
+    j["policy"] = "fleet-" + opt.fleet_policy;
+    j["n_ranks"] = result.n_gpus;
+    j["n_steps"] = result.rounds;
+    j["makespan_s"] = result.makespan_s;
+    telemetry::Json energy = telemetry::Json::object();
+    energy["gpu"] = result.gpu_energy_j;
+    energy["node"] = result.node_energy_j;
+    j["energy_j"] = std::move(energy);
+    telemetry::Json edp = telemetry::Json::object();
+    edp["gpu"] = result.gpu_edp();
+    edp["node"] = result.node_edp();
+    j["edp"] = std::move(edp);
+    j["per_function"] = telemetry::Json::array();
+
+    telemetry::Json f = telemetry::Json::object();
+    f["n_nodes"] = result.n_nodes;
+    f["n_gpus"] = result.n_gpus;
+    f["rounds"] = result.rounds;
+    f["budget_w"] = opt.budget_w;
+    f["fleet_policy"] = opt.fleet_policy;
+    f["jobs_completed"] = result.jobs_completed;
+    f["deadline_misses"] = result.deadline_misses;
+    f["deadline_miss_rate"] = result.deadline_miss_rate();
+    f["total_wait_s"] = result.total_wait_s;
+    telemetry::Json jobs = telemetry::Json::array();
+    for (const fleet::FleetJobOutcome& o : result.jobs) {
+        telemetry::Json job = telemetry::Json::object();
+        job["job_id"] = o.record.job_id;
+        job["job_name"] = o.record.job_name;
+        job["elapsed_s"] = o.record.elapsed_s;
+        job["consumed_energy_j"] = o.record.consumed_energy_j;
+        job["n_nodes"] = o.record.n_nodes;
+        job["arrival_s"] = o.arrival_s;
+        job["start_s"] = o.start_s;
+        job["finish_s"] = o.finish_s;
+        job["deadline_s"] = o.deadline_s;
+        job["missed_deadline"] = o.missed_deadline;
+        job["gpu_energy_j"] = o.gpu_energy_j;
+        jobs.push_back(std::move(job));
+    }
+    f["jobs"] = std::move(jobs);
+    j["fleet"] = std::move(f);
+    j["config"] = fleet_config_echo(opt);
+
+    telemetry::Json prov = telemetry::Json::object();
+    telemetry::Json args = telemetry::Json::array();
+    for (const std::string& a : argv) args.push_back(a);
+    prov["argv"] = std::move(args);
+    prov["config_hash"] = config_hash;
+    prov["resumed_from"] = resumed_from;
+    prov["checkpoints_written"] = result.checkpoints_written;
+    j["provenance"] = std::move(prov);
+    return j;
+}
+
+int cmd_fleet(Options opt, const std::vector<std::string>& argv)
+{
+    telemetry::MetricsRegistry::global().reset();
+
+    checkpoint::Snapshot snapshot;
+    const bool resuming = !opt.resume_dir.empty();
+    if (resuming) {
+        snapshot = checkpoint::read_latest(opt.resume_dir);
+        apply_fleet_cli_options(snapshot.reader("fleet.cli"), opt);
+        const std::string current_hash = fleet_config_hash_of(opt);
+        if (snapshot.config_hash != current_hash) {
+            throw std::runtime_error(
+                "--resume: config hash mismatch (checkpoint " +
+                snapshot.config_hash + ", current " + current_hash + ")");
+        }
+        std::cout << "Resuming fleet from " << opt.resume_dir << " at round "
+                  << snapshot.step << "\n";
+    }
+
+    const std::string config_hash = fleet_config_hash_of(opt);
+    const auto faults_guard = install_faults(opt);
+    const auto system = sim::system_by_name(opt.system);
+    const auto trace = load_or_record(opt);
+
+    // Synthetic job mix: walltime estimates are derived from a probe replay
+    // of the trace, so deadlines are achievable on uncapped hardware.
+    fleet::JobMixConfig mix;
+    mix.n_jobs = opt.jobs;
+    mix.max_nodes_per_job = std::min(4, opt.fleet_nodes);
+    mix.min_steps = 2;
+    mix.max_steps = std::max(2, std::min(6, opt.steps));
+    mix.est_step_s = fleet::estimate_step_s(system, trace);
+    mix.mean_interarrival_s = 4.0 * mix.est_step_s;
+    mix.deadline_slack = 3.0;
+    mix.seed = opt.seed;
+
+    fleet::FleetConfig cfg;
+    cfg.system = system;
+    cfg.trace = trace;
+    cfg.n_nodes = opt.fleet_nodes;
+    mix.overhead_s = cfg.setup_s + cfg.teardown_s;
+    cfg.jobs = fleet::generate_jobs(mix);
+    cfg.policy = fleet::fleet_policy_from_string(opt.fleet_policy);
+    cfg.budget_w = opt.budget_w;
+    cfg.n_threads = opt.threads;
+    cfg.checkpoint_every = opt.checkpoint_every;
+    cfg.checkpoint_dir = opt.checkpoint_dir;
+    cfg.config_hash = config_hash;
+    if (opt.checkpoint_every > 0 && opt.checkpoint_dir.empty()) {
+        throw std::invalid_argument("--checkpoint-every needs --checkpoint-dir");
+    }
+    if (resuming) cfg.resume = &snapshot;
+
+    checkpoint::StateRegistry registry;
+    registry.add(
+        "fleet.cli",
+        [opt](checkpoint::StateWriter& w) { save_fleet_cli_options(w, opt); },
+        [](const checkpoint::StateReader&) { /* applied before construction */ });
+    if (faults::FaultInjector* injector = faults::active()) {
+        registry.add(
+            "faults",
+            [injector](checkpoint::StateWriter& w) { injector->save_state(w); },
+            [injector](const checkpoint::StateReader& r) {
+                injector->restore_state(r);
+            });
+    }
+    registry.add("metrics", [](checkpoint::StateWriter& w) { save_metrics(w); },
+                 [](const checkpoint::StateReader& r) { restore_metrics(r); });
+    cfg.checkpoint_participants = &registry;
+
+    std::unique_ptr<telemetry::MetricsExporter> exporter;
+    if (opt.metrics_port >= 0) {
+        telemetry::ExporterConfig exp_cfg;
+        exp_cfg.port = static_cast<std::uint16_t>(opt.metrics_port);
+        exporter = std::make_unique<telemetry::MetricsExporter>(exp_cfg);
+        exporter->start();
+        // std::endl, not '\n': scripts parse this line from a pipe while the
+        // fleet is still running.
+        std::cout << "Metrics exporter listening on 127.0.0.1:" << exporter->port()
+                  << std::endl;
+    }
+
+    std::cout << "Fleet: " << cfg.n_nodes << " node(s) of " << system.name << ", "
+              << cfg.jobs.size() << " job(s), policy "
+              << fleet::to_string(cfg.policy);
+    if (cfg.budget_w > 0.0) {
+        std::cout << ", budget " << util::format_fixed(cfg.budget_w / 1000.0, 1)
+                  << " kW";
+    }
+    std::cout << "\n\n";
+
+    const fleet::FleetResult result = fleet::run_fleet(cfg);
+
+    if (exporter) {
+        if (opt.linger_s > 0.0) {
+            std::cout << "Exporter lingering for "
+                      << util::format_fixed(opt.linger_s, 1) << " s...\n";
+            std::this_thread::sleep_for(std::chrono::duration<double>(opt.linger_s));
+        }
+        exporter->stop();
+        std::cout << "Metrics exporter stopped cleanly after "
+                  << exporter->requests_served() << " request(s)\n";
+    }
+
+    std::cout << format_fleet_sacct(result) << "\n";
+    util::Table table({"Metric", "Value"});
+    table.add_row({"makespan [s]", util::format_fixed(result.makespan_s, 1)});
+    table.add_row({"node energy", util::format_si(result.node_energy_j, "J", 3)});
+    table.add_row({"GPU energy", util::format_si(result.gpu_energy_j, "J", 3)});
+    table.add_row({"node EDP", util::format_si(result.node_edp(), "Js", 3)});
+    table.add_row({"jobs completed", std::to_string(result.jobs_completed)});
+    table.add_row({"deadline misses", std::to_string(result.deadline_misses)});
+    table.add_row(
+        {"mean wait [s]",
+         util::format_fixed(result.jobs_completed > 0
+                                ? result.total_wait_s / result.jobs_completed
+                                : 0.0,
+                            1)});
+    table.print(std::cout);
+
+    if (!opt.summary_json.empty()) {
+        const telemetry::Json summary = fleet_summary_json(
+            result, opt, argv, config_hash, resuming ? opt.resume_dir : "");
+        if (!util::atomic_write_file(opt.summary_json, summary.dump(2) + "\n")) {
+            std::cerr << "error: failed to write " << opt.summary_json << "\n";
+            return 1;
+        }
+        std::cout << "\nFleet summary written to " << opt.summary_json << "\n";
+    }
+    if (!opt.metrics_json.empty()) {
+        if (!write_metrics_json(opt.metrics_json)) {
+            std::cerr << "error: failed to write " << opt.metrics_json << "\n";
+            return 1;
+        }
+        std::cout << "Metrics written to " << opt.metrics_json << "\n";
+    }
+    return 0;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -811,6 +1111,9 @@ int main(int argc, char** argv)
         if (opt.command == "tune") return cmd_tune(opt);
         if (opt.command == "run") {
             return cmd_run(opt, std::vector<std::string>(argv, argv + argc));
+        }
+        if (opt.command == "fleet") {
+            return cmd_fleet(opt, std::vector<std::string>(argv, argv + argc));
         }
         std::cerr << "unknown command: " << opt.command << "\n";
         usage();
