@@ -1,0 +1,110 @@
+#include "service/daemon.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "telemetry/prometheus.hpp"
+#include "util/log.hpp"
+
+#include <stdexcept>
+
+namespace gsph::service {
+
+using telemetry::HttpRequest;
+using telemetry::HttpResponse;
+
+TuningDaemon::TuningDaemon(DaemonConfig config)
+    : config_(std::move(config)), service_(config_.service)
+{
+}
+
+TuningDaemon::~TuningDaemon() { stop(); }
+
+void TuningDaemon::start()
+{
+    if (server_ && server_->running()) return;
+    telemetry::HttpServerConfig http_cfg;
+    http_cfg.port = config_.port;
+    http_cfg.loopback_only = config_.loopback_only;
+    http_cfg.handler_threads = config_.handler_threads;
+    http_cfg.read_timeout_s = config_.read_timeout_s;
+    http_cfg.max_request_bytes = config_.max_request_bytes;
+    server_ = std::make_unique<telemetry::HttpServer>(
+        http_cfg, [this](const HttpRequest& r) { return respond(r); });
+    server_->start();
+    GSPH_LOG_INFO("tuned", "tuning service on "
+                               << (config_.loopback_only ? "127.0.0.1" : "0.0.0.0")
+                               << ":" << port() << " (store: "
+                               << (config_.service.store_dir.empty()
+                                       ? "<memory>"
+                                       : config_.service.store_dir)
+                               << ")");
+}
+
+void TuningDaemon::stop()
+{
+    if (!server_) return;
+    const std::uint64_t served = server_->requests_served();
+    server_->stop();
+    GSPH_LOG_INFO("tuned", "stopped after " << served << " request(s)");
+}
+
+bool TuningDaemon::running() const { return server_ && server_->running(); }
+
+std::uint16_t TuningDaemon::port() const { return server_ ? server_->port() : 0; }
+
+HttpResponse TuningDaemon::respond(const HttpRequest& request)
+{
+    HttpResponse response;
+    if (request.method == "POST" && request.path == "/tune") {
+        TuneRequest tune_request;
+        try {
+            tune_request = TuneRequest::from_json(telemetry::Json::parse(request.body));
+        }
+        catch (const std::exception& e) {
+            response.status = 400;
+            response.body = std::string("invalid tune request: ") + e.what() + "\n";
+            return response;
+        }
+        try {
+            response.body = service_.tune(tune_request);
+            response.content_type = "application/json; charset=utf-8";
+        }
+        catch (const std::exception& e) {
+            response.status = 500;
+            response.body = std::string("sweep failed: ") + e.what() + "\n";
+        }
+        return response;
+    }
+    if (request.method == "GET" && request.path.rfind("/policy/", 0) == 0) {
+        const std::string key = request.path.substr(8);
+        if (auto artifact = service_.store().get(key)) {
+            response.body = *artifact;
+            response.content_type = "application/json; charset=utf-8";
+        }
+        else {
+            response.status = 404;
+            response.body = "no policy artifact for key " + key + "\n";
+        }
+        return response;
+    }
+    if (request.method == "GET" && request.path == "/metrics") {
+        response.body =
+            telemetry::render_prometheus(telemetry::MetricsRegistry::global().snapshot());
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+        return response;
+    }
+    if (request.method == "GET" && request.path == "/healthz") {
+        response.body = "ok\n";
+        return response;
+    }
+    if (request.method != "GET" && request.method != "POST") {
+        response.status = 405;
+        response.body = "only GET and POST are supported here\n";
+        return response;
+    }
+    response.status = 404;
+    response.body = "unknown path; try POST /tune, /policy/<key>, /metrics or "
+                    "/healthz\n";
+    return response;
+}
+
+} // namespace gsph::service

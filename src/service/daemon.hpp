@@ -1,0 +1,63 @@
+#pragma once
+/// \file daemon.hpp
+/// \brief HTTP front-end of the tuning service (`greensph tuned`).
+///
+/// Routes, all loopback by default (same hardening as the metrics
+/// exporter — per-connection read timeout, request-size cap, 408/413):
+///
+///   POST /tune          body: greensph.tune_request/v1 JSON
+///                       -> 200 greensph.policy/v1 artifact (cached or
+///                          freshly swept), 400 with a reason for invalid
+///                          requests, 500 if the sweep itself failed
+///   GET  /policy/<key>  stored artifact by canonical key -> 200 or 404
+///   GET  /metrics       Prometheus exposition of the registry (includes
+///                       service.* and tuner.sweep.* counters — the
+///                       cache-hit witness CI asserts on)
+///   GET  /healthz       "ok\n"
+///
+/// The daemon owns a TuningService; all tuning/caching semantics live
+/// there, this class only speaks HTTP.
+
+#include "service/tuning_service.hpp"
+#include "telemetry/http.hpp"
+
+#include <memory>
+
+namespace gsph::service {
+
+struct DaemonConfig {
+    std::uint16_t port = 0;  ///< 0: ephemeral, see TuningDaemon::port()
+    bool loopback_only = true;
+    int handler_threads = 4; ///< concurrent HTTP requests (queued fairly)
+    double read_timeout_s = 10.0;
+    /// Tune requests carry whole traces; allow bigger bodies than scrapes.
+    std::size_t max_request_bytes = 8u << 20;
+    ServiceConfig service;
+};
+
+class TuningDaemon {
+public:
+    explicit TuningDaemon(DaemonConfig config);
+    ~TuningDaemon(); ///< stops if still running
+
+    TuningDaemon(const TuningDaemon&) = delete;
+    TuningDaemon& operator=(const TuningDaemon&) = delete;
+
+    void start(); ///< bind + listen; throws std::runtime_error on failure
+    void stop();  ///< idempotent
+    bool running() const;
+
+    /// Bound port (resolves ephemeral port 0); valid after start().
+    std::uint16_t port() const;
+
+    TuningService& service() { return service_; }
+
+private:
+    telemetry::HttpResponse respond(const telemetry::HttpRequest& request);
+
+    DaemonConfig config_;
+    TuningService service_;
+    std::unique_ptr<telemetry::HttpServer> server_;
+};
+
+} // namespace gsph::service

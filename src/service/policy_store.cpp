@@ -1,0 +1,124 @@
+#include "service/policy_store.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "util/atomic_file.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace gsph::service {
+
+namespace {
+
+telemetry::Counter& store_counter(const char* name)
+{
+    return telemetry::MetricsRegistry::global().counter(name);
+}
+
+bool read_file(const std::string& path, std::string& out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) return false;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    out = buf.str();
+    return true;
+}
+
+} // namespace
+
+PolicyStore::PolicyStore(PolicyStoreConfig config) : config_(std::move(config))
+{
+    if (config_.max_entries < 1) {
+        throw std::invalid_argument("PolicyStore: max_entries < 1");
+    }
+    if (!config_.dir.empty()) {
+        std::filesystem::create_directories(config_.dir);
+    }
+}
+
+std::string PolicyStore::path_for(const std::string& key) const
+{
+    if (config_.dir.empty()) return {};
+    return (std::filesystem::path(config_.dir) / ("policy-" + key + ".json"))
+        .string();
+}
+
+std::optional<std::string> PolicyStore::get(const std::string& key)
+{
+    static telemetry::Counter& hits = store_counter("service.store.hits");
+    static telemetry::Counter& misses = store_counter("service.store.misses");
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        lru_.splice(lru_.begin(), lru_, it->second); // touch: move to front
+        ++hits_;
+        hits.inc();
+        return it->second->text;
+    }
+    // Memory miss: the disk tier may still have it (prior run, evicted key).
+    std::string text;
+    if (!config_.dir.empty() && read_file(path_for(key), text)) {
+        admit_locked(key, text);
+        ++hits_;
+        hits.inc();
+        return text;
+    }
+    ++misses_;
+    misses.inc();
+    return std::nullopt;
+}
+
+bool PolicyStore::put(const std::string& key, const std::string& artifact_text)
+{
+    bool durable = true;
+    if (!config_.dir.empty()) {
+        durable = util::atomic_write_file(path_for(key), artifact_text);
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    admit_locked(key, artifact_text);
+    return durable;
+}
+
+void PolicyStore::admit_locked(const std::string& key, std::string text)
+{
+    static telemetry::Counter& evictions = store_counter("service.store.evictions");
+
+    const auto it = index_.find(key);
+    if (it != index_.end()) {
+        it->second->text = std::move(text);
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{key, std::move(text)});
+    index_[key] = lru_.begin();
+    while (lru_.size() > config_.max_entries) {
+        index_.erase(lru_.back().key);
+        lru_.pop_back();
+        ++evictions_;
+        evictions.inc();
+    }
+}
+
+std::uint64_t PolicyStore::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t PolicyStore::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::uint64_t PolicyStore::evictions() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return evictions_;
+}
+
+} // namespace gsph::service

@@ -1,0 +1,75 @@
+#pragma once
+/// \file policy_store.hpp
+/// \brief Durable, LRU-cached store of frequency-policy artifacts.
+///
+/// The tuning daemon prices sweeps once and answers every identical request
+/// afterwards from this store.  Artifacts are keyed by the canonical request
+/// hash (see tuning_service.hpp) and live in two tiers:
+///
+///   memory  a bounded LRU map (hot keys served without touching disk)
+///   disk    one `policy-<key>.json` file per key in the store directory,
+///           written with util::atomic_write_file so a kill mid-write can
+///           never leave a torn artifact; survives daemon restarts
+///
+/// A get() that misses memory but finds the file on disk re-admits it to
+/// the LRU and still counts as a hit — durability is the point of the disk
+/// tier.  Counters: service.store.hits / .misses / .evictions (evictions
+/// are memory-tier only; disk files are never deleted by the store).
+
+#include <cstddef>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+namespace gsph::service {
+
+struct PolicyStoreConfig {
+    /// Artifact directory; empty = memory-only (no durability, still LRU).
+    std::string dir;
+    /// Memory-tier capacity in artifacts; must be >= 1.
+    std::size_t max_entries = 64;
+};
+
+class PolicyStore {
+public:
+    explicit PolicyStore(PolicyStoreConfig config);
+
+    /// Artifact text for `key`, or nullopt on a miss (memory then disk).
+    std::optional<std::string> get(const std::string& key);
+
+    /// Admit an artifact: atomic write to disk (when a directory is
+    /// configured), then into the memory LRU.  Returns false when the disk
+    /// write failed (the memory tier is still updated so the daemon keeps
+    /// serving, but durability was lost and the caller should log it).
+    bool put(const std::string& key, const std::string& artifact_text);
+
+    /// Where `key`'s artifact lives on disk ("" when memory-only).
+    std::string path_for(const std::string& key) const;
+
+    const PolicyStoreConfig& config() const { return config_; }
+
+    /// Lifetime counters (also exported via the metrics registry).
+    std::uint64_t hits() const;
+    std::uint64_t misses() const;
+    std::uint64_t evictions() const;
+
+private:
+    void admit_locked(const std::string& key, std::string text);
+
+    PolicyStoreConfig config_;
+    mutable std::mutex mutex_;
+    /// LRU: most-recent at front; map values point into the list.
+    struct Entry {
+        std::string key;
+        std::string text;
+    };
+    std::list<Entry> lru_;
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+    std::uint64_t evictions_ = 0;
+};
+
+} // namespace gsph::service

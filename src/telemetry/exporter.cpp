@@ -6,17 +6,8 @@
 #include "telemetry/sampler.hpp"
 #include "util/log.hpp"
 
-#include <cerrno>
 #include <chrono>
-#include <cstring>
 #include <stdexcept>
-
-#include <arpa/inet.h>
-#include <netinet/in.h>
-#include <netinet/tcp.h>
-#include <poll.h>
-#include <sys/socket.h>
-#include <unistd.h>
 
 namespace gsph::telemetry {
 
@@ -32,45 +23,22 @@ void MetricsExporter::start()
 {
     if (running_.load(std::memory_order_acquire)) return;
 
-    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (listen_fd_ < 0) {
-        throw std::runtime_error(std::string("exporter: socket: ") +
-                                 std::strerror(errno));
-    }
-    int one = 1;
-    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-
-    sockaddr_in addr{};
-    addr.sin_family = AF_INET;
-    addr.sin_port = htons(config_.port);
-    addr.sin_addr.s_addr =
-        config_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
-    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-        const std::string why = std::strerror(errno);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("exporter: bind port " +
-                                 std::to_string(config_.port) + ": " + why);
-    }
-    if (::listen(listen_fd_, 16) < 0) {
-        const std::string why = std::strerror(errno);
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-        throw std::runtime_error("exporter: listen: " + why);
-    }
-    sockaddr_in bound{};
-    socklen_t len = sizeof(bound);
-    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
-    bound_port_ = ntohs(bound.sin_port);
+    HttpServerConfig http_cfg;
+    http_cfg.port = config_.port;
+    http_cfg.loopback_only = config_.loopback_only;
+    http_cfg.read_timeout_s = config_.read_timeout_s;
+    http_cfg.max_request_bytes = config_.max_request_bytes;
+    server_ = std::make_unique<HttpServer>(
+        http_cfg, [this](const HttpRequest& r) { return respond(r); });
 
     render_now(); // first scrape never sees an empty body
     stop_requested_ = false;
+    server_->start();
     running_.store(true, std::memory_order_release);
     publisher_ = std::thread(&MetricsExporter::publisher_loop, this);
-    acceptor_ = std::thread(&MetricsExporter::acceptor_loop, this);
     GSPH_LOG_INFO("exporter", "serving /metrics on "
                                   << (config_.loopback_only ? "127.0.0.1" : "0.0.0.0")
-                                  << ":" << bound_port_);
+                                  << ":" << port());
 }
 
 void MetricsExporter::stop()
@@ -82,12 +50,9 @@ void MetricsExporter::stop()
     }
     stop_cv_.notify_all();
     if (publisher_.joinable()) publisher_.join();
-    if (acceptor_.joinable()) acceptor_.join();
-    if (listen_fd_ >= 0) {
-        ::close(listen_fd_);
-        listen_fd_ = -1;
-    }
-    GSPH_LOG_INFO("exporter", "stopped after " << requests_served() << " request(s)");
+    const std::uint64_t served = requests_served();
+    if (server_) server_->stop();
+    GSPH_LOG_INFO("exporter", "stopped after " << served << " request(s)");
 }
 
 void MetricsExporter::render_now()
@@ -123,88 +88,50 @@ void MetricsExporter::publisher_loop()
     }
 }
 
-void MetricsExporter::acceptor_loop()
+HttpResponse MetricsExporter::respond(const HttpRequest& request) const
 {
-    while (running_.load(std::memory_order_acquire)) {
-        pollfd pfd{listen_fd_, POLLIN, 0};
-        const int rc = ::poll(&pfd, 1, 100 /* ms */);
-        if (rc <= 0) continue; // timeout (re-check stop flag) or EINTR
-        const int client = ::accept(listen_fd_, nullptr, nullptr);
-        if (client < 0) continue;
-        serve(client);
-        ::close(client);
+    HttpResponse response;
+    if (request.method != "GET") {
+        response.status = 405;
+        response.body = "only GET is supported here\n";
+        return response;
     }
-}
-
-void MetricsExporter::serve(int client_fd)
-{
-    char buf[2048];
-    const ssize_t n = ::recv(client_fd, buf, sizeof(buf) - 1, 0);
-    if (n <= 0) return;
-    buf[n] = '\0';
-
-    // "GET <path> HTTP/1.x" — anything else is a 400.
-    std::string request(buf);
-    std::string path;
-    if (request.rfind("GET ", 0) == 0) {
-        const std::size_t end = request.find(' ', 4);
-        if (end != std::string::npos) path = request.substr(4, end - 4);
-    }
-    const std::string response = http_response(path);
-    std::size_t sent = 0;
-    while (sent < response.size()) {
-        const ssize_t w =
-            ::send(client_fd, response.data() + sent, response.size() - sent,
-                   MSG_NOSIGNAL);
-        if (w <= 0) break;
-        sent += static_cast<std::size_t>(w);
-    }
-    requests_.fetch_add(1, std::memory_order_relaxed);
-}
-
-std::string MetricsExporter::http_response(const std::string& path) const
-{
-    std::string status = "200 OK";
-    std::string type = "text/plain; charset=utf-8";
-    std::string body;
-    if (path == "/metrics") {
+    if (request.path == "/metrics") {
         std::lock_guard<std::mutex> lock(body_mutex_);
-        body = metrics_body_;
+        response.body = metrics_body_;
         // Prometheus text exposition content type, version 0.0.4.
-        type = "text/plain; version=0.0.4; charset=utf-8";
-    } else if (path == "/healthz") {
-        body = "ok\n";
-    } else if (path == "/summary.json") {
+        response.content_type = "text/plain; version=0.0.4; charset=utf-8";
+    }
+    else if (request.path == "/healthz") {
+        response.body = "ok\n";
+    }
+    else if (request.path == "/summary.json") {
         std::lock_guard<std::mutex> lock(body_mutex_);
         if (summary_body_.empty()) {
-            status = "404 Not Found";
-            body = "no live sampler attached\n";
-        } else {
-            body = summary_body_;
-            type = "application/json; charset=utf-8";
+            response.status = 404;
+            response.body = "no live sampler attached\n";
         }
-    } else if (path == "/attribution.json") {
+        else {
+            response.body = summary_body_;
+            response.content_type = "application/json; charset=utf-8";
+        }
+    }
+    else if (request.path == "/attribution.json") {
         std::lock_guard<std::mutex> lock(body_mutex_);
         if (attribution_body_.empty()) {
-            status = "404 Not Found";
-            body = "no attribution ledger attached\n";
-        } else {
-            body = attribution_body_;
-            type = "application/json; charset=utf-8";
+            response.status = 404;
+            response.body = "no attribution ledger attached\n";
         }
-    } else if (path.empty()) {
-        status = "400 Bad Request";
-        body = "malformed request\n";
-    } else {
-        status = "404 Not Found";
-        body = "unknown path; try /metrics, /healthz, /summary.json or "
-               "/attribution.json\n";
+        else {
+            response.body = attribution_body_;
+            response.content_type = "application/json; charset=utf-8";
+        }
     }
-    std::string response = "HTTP/1.0 " + status + "\r\n";
-    response += "Content-Type: " + type + "\r\n";
-    response += "Content-Length: " + std::to_string(body.size()) + "\r\n";
-    response += "Connection: close\r\n\r\n";
-    response += body;
+    else {
+        response.status = 404;
+        response.body = "unknown path; try /metrics, /healthz, /summary.json or "
+                        "/attribution.json\n";
+    }
     return response;
 }
 

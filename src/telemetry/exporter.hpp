@@ -11,22 +11,23 @@
 ///   /attribution.json  attribution buckets + recent policy decisions from
 ///                      the AttributionLedger
 ///
-/// Two background threads, neither of which ever touches the simulation
-/// thread:
-///   - the SamplerThread re-renders both bodies from registry snapshots at
-///     a fixed wall-clock period into a double buffer;
-///   - the acceptor thread serves the buffered bodies to any number of
-///     scrapers (each request is a buffer copy — a slow scraper can never
-///     block rendering, let alone the run).
+/// Serving is delegated to the shared telemetry::HttpServer (see http.hpp);
+/// this class adds the SamplerThread, which re-renders all bodies from
+/// registry snapshots at a fixed wall-clock period into a double buffer.
+/// Each request is answered with a buffer copy, so a slow scraper can never
+/// block rendering, let alone the run.
 ///
 /// Wall-clock cadence lives entirely here; nothing in this file is
 /// checkpointed, so resumed runs stay bit-identical no matter when or how
 /// often scrapers connected.  Port 0 binds an ephemeral port; port() reports
 /// the bound one so tests and CI can scrape without racing for a fixed port.
 
+#include "telemetry/http.hpp"
+
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -40,6 +41,10 @@ struct ExporterConfig {
     std::uint16_t port = 0;        ///< 0: ephemeral, see MetricsExporter::port()
     bool loopback_only = true;     ///< bind 127.0.0.1 (default) vs 0.0.0.0
     double publish_period_s = 0.25; ///< SamplerThread re-render cadence (wall)
+    /// Hardening bounds forwarded to the shared HttpServer: scrape requests
+    /// are tiny, so the exporter keeps a small request bound.
+    double read_timeout_s = 5.0;
+    std::size_t max_request_bytes = 64 * 1024;
 };
 
 class MetricsExporter {
@@ -64,14 +69,14 @@ public:
     bool running() const { return running_.load(std::memory_order_acquire); }
 
     /// Bound port (resolves ephemeral port 0); valid after start().
-    std::uint16_t port() const { return bound_port_; }
+    std::uint16_t port() const { return server_ ? server_->port() : 0; }
 
     /// Requests served so far (local counter — deliberately NOT a registry
     /// metric, since scrape counts are wall-clock facts that must never leak
     /// into deterministic artifacts).
     std::uint64_t requests_served() const
     {
-        return requests_.load(std::memory_order_relaxed);
+        return server_ ? server_->requests_served() : 0;
     }
 
     /// One rendering pass (also called by the SamplerThread); exposed so
@@ -80,17 +85,12 @@ public:
 
 private:
     void publisher_loop();
-    void acceptor_loop();
-    void serve(int client_fd);
-    std::string http_response(const std::string& path) const;
+    HttpResponse respond(const HttpRequest& request) const;
 
     ExporterConfig config_;
     const LiveSampler* sampler_;
     const AttributionLedger* ledger_;
-    int listen_fd_ = -1;
-    std::uint16_t bound_port_ = 0;
     std::atomic<bool> running_{false};
-    std::atomic<std::uint64_t> requests_{0};
 
     mutable std::mutex body_mutex_;
     std::string metrics_body_;
@@ -102,7 +102,7 @@ private:
     bool stop_requested_ = false;
 
     std::thread publisher_; ///< the SamplerThread
-    std::thread acceptor_;
+    std::unique_ptr<HttpServer> server_;
 };
 
 } // namespace gsph::telemetry

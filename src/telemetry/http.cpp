@@ -1,0 +1,388 @@
+#include "telemetry/http.hpp"
+
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace gsph::telemetry {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Milliseconds until `deadline` clamped to [0, INT_MAX] for poll(2).
+int ms_until(Clock::time_point deadline)
+{
+    const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - Clock::now());
+    if (left.count() <= 0) return 0;
+    return static_cast<int>(std::min<long long>(left.count(), 1 << 30));
+}
+
+/// Case-insensitive header lookup inside a raw header block; empty when
+/// absent.  `headers` spans from after the request line to the blank line.
+std::string header_lookup(const std::string& headers, const std::string& name)
+{
+    const std::string lowered = util::to_lower(headers);
+    const std::string needle = util::to_lower(name) + ":";
+    std::size_t pos = 0;
+    while (pos < lowered.size()) {
+        const std::size_t eol = lowered.find("\r\n", pos);
+        const std::size_t len =
+            (eol == std::string::npos ? lowered.size() : eol) - pos;
+        if (lowered.compare(pos, needle.size(), needle) == 0) {
+            return util::trim(headers.substr(pos + needle.size(),
+                                             len - needle.size()));
+        }
+        if (eol == std::string::npos) break;
+        pos = eol + 2;
+    }
+    return {};
+}
+
+} // namespace
+
+const char* http_status_text(int status)
+{
+    switch (status) {
+        case 200: return "OK";
+        case 400: return "Bad Request";
+        case 404: return "Not Found";
+        case 405: return "Method Not Allowed";
+        case 408: return "Request Timeout";
+        case 409: return "Conflict";
+        case 413: return "Payload Too Large";
+        case 500: return "Internal Server Error";
+        case 503: return "Service Unavailable";
+        default: return "Unknown";
+    }
+}
+
+HttpServer::HttpServer(HttpServerConfig config, Handler handler)
+    : config_(config), handler_(std::move(handler))
+{
+    if (!handler_) throw std::invalid_argument("HttpServer: null handler");
+    if (config_.handler_threads < 1) config_.handler_threads = 1;
+    if (config_.read_timeout_s <= 0.0) config_.read_timeout_s = 5.0;
+    if (config_.max_request_bytes < 64) config_.max_request_bytes = 64;
+}
+
+HttpServer::~HttpServer() { stop(); }
+
+void HttpServer::start()
+{
+    if (running_.load(std::memory_order_acquire)) return;
+
+    listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listen_fd_ < 0) {
+        throw std::runtime_error(std::string("http: socket: ") +
+                                 std::strerror(errno));
+    }
+    int one = 1;
+    ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(config_.port);
+    addr.sin_addr.s_addr =
+        config_.loopback_only ? htonl(INADDR_LOOPBACK) : htonl(INADDR_ANY);
+    if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("http: bind port " +
+                                 std::to_string(config_.port) + ": " + why);
+    }
+    if (::listen(listen_fd_, config_.backlog) < 0) {
+        const std::string why = std::strerror(errno);
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+        throw std::runtime_error("http: listen: " + why);
+    }
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &len);
+    bound_port_ = ntohs(bound.sin_port);
+
+    running_.store(true, std::memory_order_release);
+    acceptor_ = std::thread(&HttpServer::acceptor_loop, this);
+    handlers_.reserve(static_cast<std::size_t>(config_.handler_threads));
+    for (int i = 0; i < config_.handler_threads; ++i) {
+        handlers_.emplace_back(&HttpServer::handler_loop, this);
+    }
+}
+
+void HttpServer::stop()
+{
+    if (!running_.exchange(false, std::memory_order_acq_rel)) return;
+    queue_cv_.notify_all();
+    if (acceptor_.joinable()) acceptor_.join();
+    for (std::thread& t : handlers_) {
+        if (t.joinable()) t.join();
+    }
+    handlers_.clear();
+    {
+        std::lock_guard<std::mutex> lock(queue_mutex_);
+        for (int fd : pending_) ::close(fd);
+        pending_.clear();
+    }
+    if (listen_fd_ >= 0) {
+        ::close(listen_fd_);
+        listen_fd_ = -1;
+    }
+}
+
+void HttpServer::acceptor_loop()
+{
+    while (running_.load(std::memory_order_acquire)) {
+        pollfd pfd{listen_fd_, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, 100 /* ms */);
+        if (rc <= 0) continue; // timeout (re-check stop flag) or EINTR
+        const int client = ::accept(listen_fd_, nullptr, nullptr);
+        if (client < 0) continue;
+        {
+            std::lock_guard<std::mutex> lock(queue_mutex_);
+            pending_.push_back(client);
+        }
+        queue_cv_.notify_one();
+    }
+}
+
+void HttpServer::handler_loop()
+{
+    for (;;) {
+        int client = -1;
+        {
+            std::unique_lock<std::mutex> lock(queue_mutex_);
+            queue_cv_.wait(lock, [this] {
+                return !pending_.empty() ||
+                       !running_.load(std::memory_order_acquire);
+            });
+            if (pending_.empty()) return; // stopping and drained
+            client = pending_.front();
+            pending_.pop_front();
+        }
+        serve(client);
+        ::close(client);
+    }
+}
+
+int HttpServer::read_request(int client_fd, HttpRequest& request) const
+{
+    const auto deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(config_.read_timeout_s));
+    std::string data;
+    std::size_t header_end = std::string::npos;
+    std::size_t body_needed = 0;
+
+    for (;;) {
+        if (header_end == std::string::npos) {
+            header_end = data.find("\r\n\r\n");
+            if (header_end != std::string::npos) {
+                // Headers complete: parse the request line and the body
+                // length so we know when to stop reading.
+                const std::size_t line_end = data.find("\r\n");
+                const std::string line = data.substr(0, line_end);
+                const std::size_t sp1 = line.find(' ');
+                const std::size_t sp2 =
+                    sp1 == std::string::npos ? std::string::npos
+                                             : line.find(' ', sp1 + 1);
+                if (sp1 == std::string::npos || sp2 == std::string::npos ||
+                    line.compare(sp2 + 1, 5, "HTTP/") != 0) {
+                    return 400;
+                }
+                request.method = line.substr(0, sp1);
+                request.path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+                if (request.method.empty() || request.path.empty() ||
+                    request.path[0] != '/') {
+                    return 400;
+                }
+                const std::string headers = data.substr(
+                    line_end + 2, header_end - line_end - 2);
+                const std::string length_str =
+                    header_lookup(headers, "Content-Length");
+                if (!length_str.empty()) {
+                    try {
+                        const long long n = std::stoll(length_str);
+                        if (n < 0) return 400;
+                        body_needed = static_cast<std::size_t>(n);
+                    }
+                    catch (const std::exception&) {
+                        return 400;
+                    }
+                    // The declared body alone may already bust the bound —
+                    // reject before buffering it.
+                    if (header_end + 4 + body_needed > config_.max_request_bytes) {
+                        return 413;
+                    }
+                }
+            }
+        }
+        if (header_end != std::string::npos) {
+            const std::size_t have = data.size() - header_end - 4;
+            if (have >= body_needed) {
+                request.body = data.substr(header_end + 4, body_needed);
+                return 200;
+            }
+        }
+        if (data.size() > config_.max_request_bytes) return 413;
+
+        const int wait_ms = ms_until(deadline);
+        if (wait_ms == 0) return 408;
+        pollfd pfd{client_fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc == 0) return 408;
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            return 400;
+        }
+        char buf[8192];
+        const ssize_t n = ::recv(client_fd, buf, sizeof(buf), 0);
+        if (n == 0) {
+            // Peer closed before completing the request.
+            return 400;
+        }
+        if (n < 0) {
+            if (errno == EINTR) continue;
+            return 400;
+        }
+        data.append(buf, static_cast<std::size_t>(n));
+    }
+}
+
+void HttpServer::serve(int client_fd)
+{
+    HttpRequest request;
+    const int read_status = read_request(client_fd, request);
+
+    HttpResponse response;
+    if (read_status != 200) {
+        response.status = read_status;
+        response.body = read_status == 408   ? "request read timed out\n"
+                        : read_status == 413 ? "request exceeds " +
+                                   std::to_string(config_.max_request_bytes) +
+                                   " bytes\n"
+                                             : "malformed request\n";
+    }
+    else {
+        try {
+            response = handler_(request);
+        }
+        catch (const std::exception& e) {
+            response = HttpResponse{};
+            response.status = 500;
+            response.body = std::string("internal error: ") + e.what() + "\n";
+        }
+    }
+
+    std::string out = "HTTP/1.0 " + std::to_string(response.status) + " " +
+                      http_status_text(response.status) + "\r\n";
+    out += "Content-Type: " + response.content_type + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+
+    std::size_t sent = 0;
+    while (sent < out.size()) {
+        const ssize_t w = ::send(client_fd, out.data() + sent, out.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (w <= 0) break;
+        sent += static_cast<std::size_t>(w);
+    }
+    requests_.fetch_add(1, std::memory_order_relaxed);
+}
+
+bool http_request(const std::string& host, std::uint16_t port,
+                  const std::string& method, const std::string& path,
+                  const std::string& body, HttpClientResponse& out)
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return false;
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return false;
+    }
+    std::string request = method + " " + path + " HTTP/1.0\r\n";
+    request += "Host: " + host + "\r\n";
+    if (!body.empty() || method == "POST" || method == "PUT") {
+        request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+        request += "Content-Type: application/json; charset=utf-8\r\n";
+    }
+    request += "Connection: close\r\n\r\n";
+    request += body;
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t w = ::send(fd, request.data() + sent, request.size() - sent,
+                                 MSG_NOSIGNAL);
+        if (w <= 0) {
+            ::close(fd);
+            return false;
+        }
+        sent += static_cast<std::size_t>(w);
+    }
+
+    std::string response;
+    char buf[8192];
+    ssize_t n = 0;
+    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+
+    const std::size_t sp = response.find(' ');
+    if (sp == std::string::npos || response.size() < sp + 4) return false;
+    try {
+        out.status = std::stoi(response.substr(sp + 1, 3));
+    }
+    catch (const std::exception&) {
+        return false;
+    }
+    const std::size_t split = response.find("\r\n\r\n");
+    out.body = split == std::string::npos ? std::string{}
+                                          : response.substr(split + 4);
+    return true;
+}
+
+bool parse_http_url(const std::string& url, std::string& host, std::uint16_t& port)
+{
+    const std::string prefix = "http://";
+    if (!util::starts_with(url, prefix)) return false;
+    std::string rest = url.substr(prefix.size());
+    const std::size_t slash = rest.find('/');
+    if (slash != std::string::npos) rest = rest.substr(0, slash);
+    const std::size_t colon = rest.find(':');
+    if (colon == std::string::npos || colon == 0) return false;
+    host = rest.substr(0, colon);
+    try {
+        const int p = std::stoi(rest.substr(colon + 1));
+        if (p < 1 || p > 65535) return false;
+        port = static_cast<std::uint16_t>(p);
+    }
+    catch (const std::exception&) {
+        return false;
+    }
+    return true;
+}
+
+} // namespace gsph::telemetry

@@ -1,0 +1,133 @@
+#pragma once
+/// \file http.hpp
+/// \brief Shared loopback HTTP/1.0 machinery: a hardened server and a tiny
+/// client.
+///
+/// Generalized out of telemetry::MetricsExporter so the tuning service
+/// daemon (src/service) and the exporter serve through one implementation.
+/// The server is deliberately small — method + path + optional body in,
+/// handler-produced response out — but hardened where a long-lived daemon
+/// needs it:
+///
+///   - every connection has a read deadline: a client that connects and
+///     stalls (or dribbles bytes) gets "408 Request Timeout" and the socket
+///     back, instead of wedging the serving thread forever;
+///   - every request has a size bound: a client streaming an unbounded body
+///     gets "413 Payload Too Large" as soon as the bound is crossed, not an
+///     OOM after it;
+///   - the acceptor never serves: it only queues connections, and a small
+///     pool of handler threads drains the queue FIFO, so concurrent clients
+///     queue fairly and one slow handler cannot block accept().
+///
+/// Responses always carry a proper status line, Content-Type,
+/// Content-Length and Connection: close (HTTP/1.0, one request per
+/// connection).  Port 0 binds an ephemeral port reported by port().
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace gsph::telemetry {
+
+struct HttpRequest {
+    std::string method; ///< "GET", "POST", ... (upper case as received)
+    std::string path;   ///< request target, e.g. "/tune"
+    std::string body;   ///< Content-Length bytes for POST/PUT; empty for GET
+};
+
+struct HttpResponse {
+    int status = 200;
+    std::string content_type = "text/plain; charset=utf-8";
+    std::string body;
+};
+
+/// Reason phrase for the status codes this layer emits ("Unknown" otherwise).
+const char* http_status_text(int status);
+
+struct HttpServerConfig {
+    std::uint16_t port = 0;    ///< 0: ephemeral, see HttpServer::port()
+    bool loopback_only = true; ///< bind 127.0.0.1 (default) vs 0.0.0.0
+    int backlog = 16;
+    int handler_threads = 1; ///< connections served concurrently
+    /// Per-connection deadline for receiving the *complete* request
+    /// (request line, headers and body).  Exceeding it answers 408.
+    double read_timeout_s = 5.0;
+    /// Upper bound on the total request size (line + headers + body).
+    /// Exceeding it answers 413 without buffering the excess.
+    std::size_t max_request_bytes = 1 << 20;
+};
+
+class HttpServer {
+public:
+    /// Called on a handler thread for every well-formed request.  Exceptions
+    /// escaping the handler become "500 Internal Server Error" responses.
+    using Handler = std::function<HttpResponse(const HttpRequest&)>;
+
+    HttpServer(HttpServerConfig config, Handler handler);
+    ~HttpServer(); ///< stops and joins if still running
+    HttpServer(const HttpServer&) = delete;
+    HttpServer& operator=(const HttpServer&) = delete;
+
+    /// Bind, listen and spawn the acceptor + handler threads.  Throws
+    /// std::runtime_error on bind/listen failure.
+    void start();
+    /// Stop all threads, close the listening socket and any queued
+    /// connections; idempotent.
+    void stop();
+    bool running() const { return running_.load(std::memory_order_acquire); }
+
+    /// Bound port (resolves ephemeral port 0); valid after start().
+    std::uint16_t port() const { return bound_port_; }
+
+    /// Requests answered so far (all statuses, 408/413 included).
+    std::uint64_t requests_served() const
+    {
+        return requests_.load(std::memory_order_relaxed);
+    }
+
+private:
+    void acceptor_loop();
+    void handler_loop();
+    void serve(int client_fd);
+    /// Reads one request within the deadline/size bounds.  Returns the
+    /// status to answer with: 200 with `request` filled in, or 400/408/413.
+    int read_request(int client_fd, HttpRequest& request) const;
+
+    HttpServerConfig config_;
+    Handler handler_;
+    int listen_fd_ = -1;
+    std::uint16_t bound_port_ = 0;
+    std::atomic<bool> running_{false};
+    std::atomic<std::uint64_t> requests_{0};
+
+    std::mutex queue_mutex_;
+    std::condition_variable queue_cv_;
+    std::deque<int> pending_; ///< accepted fds awaiting a handler thread
+
+    std::thread acceptor_;
+    std::vector<std::thread> handlers_;
+};
+
+/// Minimal blocking HTTP/1.0 client used by the CLI thin client, the
+/// --policy-from URL loader and the raw-socket tests.  Connects to
+/// host:port, sends one request and reads the response to EOF.  Returns
+/// false on connect/send/recv failure (status/body untouched).
+struct HttpClientResponse {
+    int status = 0;
+    std::string body;
+};
+bool http_request(const std::string& host, std::uint16_t port,
+                  const std::string& method, const std::string& path,
+                  const std::string& body, HttpClientResponse& out);
+
+/// Parse "http://HOST:PORT" (path ignored beyond the authority); returns
+/// false when `url` is not of that shape.
+bool parse_http_url(const std::string& url, std::string& host, std::uint16_t& port);
+
+} // namespace gsph::telemetry

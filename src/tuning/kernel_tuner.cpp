@@ -1,9 +1,11 @@
 #include "tuning/kernel_tuner.hpp"
 
 #include "telemetry/metrics.hpp"
+#include "tuning/freq_model.hpp"
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <cmath>
 #include <stdexcept>
 
 namespace gsph::tuning {
@@ -16,6 +18,23 @@ telemetry::Counter& sweep_counter(const char* name)
 }
 
 } // namespace
+
+const char* to_string(SweepStrategy strategy)
+{
+    switch (strategy) {
+        case SweepStrategy::kExhaustive: return "exhaustive";
+        case SweepStrategy::kModel: return "model";
+    }
+    return "exhaustive";
+}
+
+SweepStrategy sweep_strategy_from_string(const std::string& name)
+{
+    if (name == "exhaustive") return SweepStrategy::kExhaustive;
+    if (name == "model") return SweepStrategy::kModel;
+    throw std::invalid_argument("unknown sweep strategy '" + name +
+                                "' (expected exhaustive|model)");
+}
 
 const TuneConfig& TuneResult::best(Objective objective) const
 {
@@ -36,12 +55,40 @@ const TuneConfig& TuneResult::best(Objective objective) const
     return *best;
 }
 
+const TuneConfig& TuneResult::chosen_or_best(Objective objective) const
+{
+    if (chosen_index >= 0 && static_cast<std::size_t>(chosen_index) < configs.size()) {
+        return configs[static_cast<std::size_t>(chosen_index)];
+    }
+    return best(objective);
+}
+
 KernelTuner::KernelTuner(gpusim::GpuDeviceSpec spec, int iterations, int n_threads)
     : spec_(std::move(spec)), iterations_(iterations),
       n_threads_(util::ThreadPool::resolve_threads(n_threads))
 {
     spec_.validate();
     if (iterations_ < 1) throw std::invalid_argument("KernelTuner: iterations < 1");
+}
+
+TuneConfig KernelTuner::price_clock(const Launcher& launcher, double core_mhz,
+                                    int iterations) const
+{
+    gpusim::GpuDevice device(spec_);
+    device.set_clock_policy(gpusim::ClockPolicy::kLockedAppClock);
+    device.set_application_clocks(spec_.memory_clock_mhz, core_mhz);
+
+    // Warm-up launch (discarded), then measured iterations.
+    launcher(device);
+    const double t0 = device.now();
+    const double e0 = device.energy_j();
+    for (int i = 0; i < iterations; ++i) launcher(device);
+    TuneConfig out;
+    out.params["core_freq_mhz"] = core_mhz;
+    out.time_s = (device.now() - t0) / iterations;
+    out.energy_j = (device.energy_j() - e0) / iterations;
+    out.edp = out.time_s * out.energy_j;
+    return out;
 }
 
 TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
@@ -115,6 +162,90 @@ TuneResult KernelTuner::tune_kernel(const std::string& kernel_name,
     else {
         for (std::size_t i = 0; i < space.size(); ++i) price(i);
     }
+    result.launches =
+        static_cast<long>(space.size()) * static_cast<long>(1 + iterations_);
+    static telemetry::Counter& launches = sweep_counter("tuner.sweep.launches");
+    launches.inc(static_cast<double>(result.launches));
+    return result;
+}
+
+TuneResult KernelTuner::tune_kernel_model(const std::string& kernel_name,
+                                          const Launcher& launcher,
+                                          std::int64_t problem_size,
+                                          const std::vector<double>& frequencies,
+                                          const ModelSweepOptions& options)
+{
+    if (!launcher) throw std::invalid_argument("KernelTuner: null launcher");
+    if (frequencies.empty()) {
+        throw std::invalid_argument("KernelTuner: empty frequency band");
+    }
+    if (options.probe_iterations < 1) {
+        throw std::invalid_argument("KernelTuner: probe_iterations < 1");
+    }
+
+    static telemetry::Counter& configs_priced = sweep_counter("tuner.sweep.configs");
+    static telemetry::Counter& launches = sweep_counter("tuner.sweep.launches");
+    static telemetry::Counter& confirmed = sweep_counter("tuner.sweep.model_confirmed");
+    static telemetry::Counter& fallbacks = sweep_counter("tuner.sweep.model_fallbacks");
+
+    auto exhaustive_fallback = [&](long spent) {
+        TuneResult full = tune_kernel(kernel_name, launcher, problem_size,
+                                      {{"core_freq_mhz", frequencies}});
+        full.launches += spent; // probes already paid for are part of the cost
+        full.model_fallback = true;
+        fallbacks.inc();
+        return full;
+    };
+
+    // Too few distinct clocks for three probes plus a meaningful interior:
+    // the exhaustive sweep is at least as cheap, so just run it.
+    if (frequencies.size() < 4) return exhaustive_fallback(0);
+
+    TuneResult result;
+    result.kernel_name = kernel_name;
+
+    // Probe the band edges and midpoint (1 warmup + probe_iterations each),
+    // fit time(f) and power(f), and snap the model's EDP optimum to the
+    // candidate grid.
+    const std::size_t probe_idx[3] = {0, frequencies.size() / 2,
+                                      frequencies.size() - 1};
+    std::vector<ProbePoint> probes;
+    long spent = 0;
+    for (std::size_t pi : probe_idx) {
+        configs_priced.inc();
+        TuneConfig probe =
+            price_clock(launcher, frequencies[pi], options.probe_iterations);
+        spent += 1 + options.probe_iterations;
+        ProbePoint point;
+        point.mhz = frequencies[pi];
+        point.time_s = probe.time_s;
+        point.power_w = probe.time_s > 0.0 ? probe.energy_j / probe.time_s : 0.0;
+        probes.push_back(point);
+        result.configs.push_back(std::move(probe));
+    }
+    launches.inc(static_cast<double>(spent));
+
+    const FreqModelFit fit = fit_freq_model(probes);
+    if (!fit.valid) return exhaustive_fallback(spent);
+
+    // Confirm the model's pick at the tuner's full iteration count.  The
+    // measured point must land within tolerance of the prediction, or the
+    // model clearly does not describe this kernel and we pay for the truth.
+    const std::size_t pick = best_candidate_index(fit, frequencies);
+    configs_priced.inc();
+    TuneConfig confirm = price_clock(launcher, frequencies[pick], iterations_);
+    launches.inc(static_cast<double>(1 + iterations_));
+    spent += 1 + iterations_;
+    const double predicted_edp = fit.edp(frequencies[pick]);
+    const double rel_err = predicted_edp > 0.0
+        ? std::abs(confirm.edp - predicted_edp) / predicted_edp
+        : 1.0;
+    if (rel_err > options.confirm_tolerance) return exhaustive_fallback(spent);
+
+    result.chosen_index = static_cast<int>(result.configs.size());
+    result.configs.push_back(std::move(confirm));
+    result.launches = spent;
+    confirmed.inc();
     return result;
 }
 
@@ -134,13 +265,9 @@ std::vector<double> paper_frequency_band(const gpusim::GpuDeviceSpec& spec)
     return band;
 }
 
-std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
-                                                    const gpusim::GpuDeviceSpec& spec,
-                                                    std::vector<double> frequencies,
-                                                    int n_threads)
+std::vector<SweepCandidate> sweep_candidates(const sim::WorkloadTrace& trace)
 {
     if (trace.steps.empty()) throw std::invalid_argument("sweep: empty trace");
-    if (frequencies.empty()) frequencies = paper_frequency_band(spec);
 
     // Representative per-step work for every function: average over the
     // trace's steps, scaled to the trace's target particles-per-GPU.
@@ -159,13 +286,7 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
         }
     }
 
-    // Gather the candidate functions first (serially), so the returned
-    // sweep stays in function order no matter how the pricing is scheduled.
-    struct Candidate {
-        sph::SphFunction fn;
-        gpusim::KernelWork kernel;
-    };
-    std::vector<Candidate> candidates;
+    std::vector<SweepCandidate> candidates;
     for (int f = 0; f < sph::kSphFunctionCount; ++f) {
         if (occurrences[static_cast<std::size_t>(f)] == 0) continue;
         // Average the extensive quantities over steps *before* scaling to
@@ -179,30 +300,58 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
             1, static_cast<std::int64_t>(static_cast<double>(avg.launches) / denom));
         const gpusim::KernelWork kernel = gpusim::scaled(avg, trace.work_scale());
         if (kernel.flops <= 0.0 && kernel.dram_bytes <= 0.0) continue;
-        candidates.push_back(Candidate{static_cast<sph::SphFunction>(f), kernel});
+        candidates.push_back(SweepCandidate{static_cast<sph::SphFunction>(f), kernel});
     }
+    return candidates;
+}
 
+FunctionSweepEntry sweep_one_function(const SweepCandidate& candidate,
+                                      const gpusim::GpuDeviceSpec& spec,
+                                      const SweepOptions& options)
+{
     static telemetry::Counter& kernels_swept = sweep_counter("tuner.sweep.kernels");
+    kernels_swept.inc();
+
+    const std::vector<double> frequencies =
+        options.frequencies.empty() ? paper_frequency_band(spec) : options.frequencies;
+    KernelTuner tuner(spec, options.iterations, /*n_threads=*/1);
+    const gpusim::KernelWork& kernel = candidate.kernel;
+    const auto launcher = [&kernel](gpusim::GpuDevice& dev) { dev.execute(kernel); };
+
+    FunctionSweepEntry entry;
+    entry.fn = candidate.fn;
+    if (options.strategy == SweepStrategy::kModel) {
+        entry.result = tuner.tune_kernel_model(sph::to_string(entry.fn), launcher,
+                                               kernel.threads, frequencies,
+                                               options.model);
+    }
+    else {
+        entry.result = tuner.tune_kernel(sph::to_string(entry.fn), launcher,
+                                         kernel.threads,
+                                         {{"core_freq_mhz", frequencies}});
+    }
+    entry.best_edp_mhz =
+        entry.result.chosen_or_best(Objective::kEdp).params.at("core_freq_mhz");
+    entry.best_energy_mhz =
+        entry.result.best(Objective::kEnergy).params.at("core_freq_mhz");
+    return entry;
+}
+
+std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
+                                                    const gpusim::GpuDeviceSpec& spec,
+                                                    const SweepOptions& options)
+{
+    const std::vector<SweepCandidate> candidates = sweep_candidates(trace);
+
     // Each function's sweep builds its own fresh devices, so functions are
     // independent: parallelize across functions and keep every inner tuner
-    // serial (avoids nested pools oversubscribing the host).
+    // serial (avoids nested pools oversubscribing the host).  Writing by
+    // index keeps the sweep in function order for any thread count.
     std::vector<FunctionSweepEntry> sweep(candidates.size());
     auto sweep_one = [&](std::size_t i) {
-        kernels_swept.inc();
-        KernelTuner tuner(spec, /*iterations=*/7, /*n_threads=*/1);
-        FunctionSweepEntry entry;
-        entry.fn = candidates[i].fn;
-        const gpusim::KernelWork& kernel = candidates[i].kernel;
-        entry.result = tuner.tune_kernel(
-            sph::to_string(entry.fn),
-            [&kernel](gpusim::GpuDevice& dev) { dev.execute(kernel); },
-            kernel.threads, {{"core_freq_mhz", frequencies}});
-        entry.best_edp_mhz = entry.result.best(Objective::kEdp).params.at("core_freq_mhz");
-        entry.best_energy_mhz =
-            entry.result.best(Objective::kEnergy).params.at("core_freq_mhz");
-        sweep[i] = std::move(entry);
+        sweep[i] = sweep_one_function(candidates[i], spec, options);
     };
-    const int resolved = util::ThreadPool::resolve_threads(n_threads);
+    const int resolved = util::ThreadPool::resolve_threads(options.n_threads);
     if (resolved > 1 && candidates.size() > 1) {
         util::ThreadPool pool(
             std::min(resolved, static_cast<int>(candidates.size())));
@@ -212,6 +361,17 @@ std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& tr
         for (std::size_t i = 0; i < candidates.size(); ++i) sweep_one(i);
     }
     return sweep;
+}
+
+std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
+                                                    const gpusim::GpuDeviceSpec& spec,
+                                                    std::vector<double> frequencies,
+                                                    int n_threads)
+{
+    SweepOptions options;
+    options.frequencies = std::move(frequencies);
+    options.n_threads = n_threads;
+    return sweep_sph_functions(trace, spec, options);
 }
 
 core::FrequencyTable table_from_sweep(const std::vector<FunctionSweepEntry>& sweep,
@@ -237,7 +397,7 @@ audit_info_from_sweep(const std::vector<FunctionSweepEntry>& sweep)
         }
         if (!entry.result.configs.empty()) {
             info.predicted_edp[static_cast<std::size_t>(entry.fn)] =
-                entry.result.best(Objective::kEdp).edp;
+                entry.result.chosen_or_best(Objective::kEdp).edp;
         }
     }
     std::sort(candidates.begin(), candidates.end());

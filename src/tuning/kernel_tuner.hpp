@@ -34,11 +34,46 @@ struct TuneConfig {
 
 enum class Objective { kTime, kEnergy, kEdp, kEd2p };
 
+/// Search strategy for the offline sweep (mirror of the online tuner's
+/// core::TuneStrategy, kept separate to avoid a layering knot):
+///   kExhaustive  price every frequency (KernelTuner's brute_force)
+///   kModel       probe 3 clocks, fit the analytic freq model
+///                (tuning/freq_model.hpp), confirm the predicted optimum
+///                with one full-rate sample, fall back to exhaustive when
+///                the fit is degenerate or the confirmation misses
+enum class SweepStrategy { kExhaustive, kModel };
+
+const char* to_string(SweepStrategy strategy);
+/// Parses "exhaustive"/"model" (throws std::invalid_argument otherwise).
+SweepStrategy sweep_strategy_from_string(const std::string& name);
+
 struct TuneResult {
     std::string kernel_name;
     std::vector<TuneConfig> configs; ///< evaluation order
+    /// Model-strategy choice inside `configs` (-1: none, use best()).
+    /// Exhaustive results leave it -1; the model path pins its confirmed
+    /// configuration here so noisy single-iteration probes can never
+    /// shadow the confirmed optimum.
+    int chosen_index = -1;
+    /// Total kernel launches spent (warmups included) — the sweep's cost.
+    long launches = 0;
+    bool model_fallback = false; ///< model path degraded to exhaustive
 
     const TuneConfig& best(Objective objective) const;
+    /// The model-chosen config when set, best(objective) otherwise.
+    const TuneConfig& chosen_or_best(Objective objective) const;
+};
+
+/// Knobs of the model-steered search (probe / fit / confirm).
+struct ModelSweepOptions {
+    /// Measured launches per probe clock (each probe also pays one warmup).
+    /// Probes only seed the fit, so one launch is enough; the confirmation
+    /// runs at the tuner's full iteration count.
+    int probe_iterations = 1;
+    /// Accept the confirmation when measured EDP is within this relative
+    /// tolerance of the model's prediction; otherwise fall back to the
+    /// exhaustive sweep (correctness is never traded for speed).
+    double confirm_tolerance = 0.10;
 };
 
 class KernelTuner {
@@ -66,10 +101,29 @@ public:
                            std::int64_t problem_size,
                            const std::map<std::string, std::vector<double>>& params);
 
+    /// Model-steered variant of tune_kernel for the one tunable this
+    /// reproduction sweeps ("core_freq_mhz"): probe the band edges and
+    /// midpoint, fit the analytic freq model (freq_model.hpp), confirm the
+    /// predicted optimum with one full-rate measurement, and return a
+    /// result whose `chosen_index` points at the confirmed configuration.
+    /// Costs 3 probes + 1 confirmation instead of `frequencies.size()` full
+    /// configurations (14 vs 56 launches for the default 7-point band /
+    /// 7-iteration tuner: 25%).  Degenerate fits, failed confirmations, and
+    /// bands too small to probe fall back to the exhaustive sweep with
+    /// `model_fallback` set; `launches` always reports the true total cost.
+    TuneResult tune_kernel_model(const std::string& kernel_name,
+                                 const Launcher& launcher, std::int64_t problem_size,
+                                 const std::vector<double>& frequencies,
+                                 const ModelSweepOptions& options = {});
+
     const gpusim::GpuDeviceSpec& spec() const { return spec_; }
     int n_threads() const { return n_threads_; }
+    int iterations() const { return iterations_; }
 
 private:
+    TuneConfig price_clock(const Launcher& launcher, double core_mhz,
+                           int iterations) const;
+
     gpusim::GpuDeviceSpec spec_;
     int iterations_;
     int n_threads_;
@@ -87,13 +141,48 @@ struct FunctionSweepEntry {
     TuneResult result;
 };
 
-/// Sweep every SPH function that appears in `trace` over `frequencies`
-/// (empty: paper band), with the per-step work of that function as the
-/// kernel under test, scaled to the trace's particles-per-GPU.  Returns the
-/// per-function sweep results (Fig. 2) in function order.  `n_threads`
-/// (<= 0: hardware concurrency, 1: serial) sweeps the functions
-/// concurrently; each function's inner tuner stays serial to avoid
-/// oversubscription, and results are identical across thread counts.
+/// One function's kernel-under-test, distilled from a trace: the per-step
+/// work averaged over the trace's steps and scaled to its particles-per-GPU.
+struct SweepCandidate {
+    sph::SphFunction fn;
+    gpusim::KernelWork kernel;
+};
+
+/// Everything sweep_sph_functions needs besides the trace and device.
+struct SweepOptions {
+    std::vector<double> frequencies; ///< empty: paper_frequency_band(spec)
+    /// Host threads sweeping functions concurrently (<= 0: hardware
+    /// concurrency, 1: serial); inner tuners stay serial either way.
+    int n_threads = 1;
+    SweepStrategy strategy = SweepStrategy::kExhaustive;
+    int iterations = 7; ///< measured launches per full-rate configuration
+    ModelSweepOptions model;
+};
+
+/// The trace -> kernels-under-test distillation behind sweep_sph_functions,
+/// exposed so the tuning service can shard per-function sweeps across its
+/// own pool.  Returns candidates in function order; functions with no
+/// recorded work are skipped.  Throws on an empty trace.
+std::vector<SweepCandidate> sweep_candidates(const sim::WorkloadTrace& trace);
+
+/// Sweep a single candidate (serial inner tuner).  Deterministic in
+/// (candidate, spec, options): safe to run concurrently across candidates.
+FunctionSweepEntry sweep_one_function(const SweepCandidate& candidate,
+                                      const gpusim::GpuDeviceSpec& spec,
+                                      const SweepOptions& options);
+
+/// Sweep every SPH function that appears in `trace` over
+/// `options.frequencies` (empty: paper band), with the per-step work of
+/// that function as the kernel under test, scaled to the trace's
+/// particles-per-GPU.  Returns the per-function sweep results (Fig. 2) in
+/// function order.  `options.n_threads` sweeps the functions concurrently;
+/// each function's inner tuner stays serial to avoid oversubscription, and
+/// results are identical across thread counts.
+std::vector<FunctionSweepEntry> sweep_sph_functions(const sim::WorkloadTrace& trace,
+                                                    const gpusim::GpuDeviceSpec& spec,
+                                                    const SweepOptions& options);
+
+/// Back-compat convenience overload (exhaustive strategy).
 std::vector<FunctionSweepEntry> sweep_sph_functions(
     const sim::WorkloadTrace& trace, const gpusim::GpuDeviceSpec& spec,
     std::vector<double> frequencies = {}, int n_threads = 1);

@@ -1,0 +1,157 @@
+/// Raw-socket hardening tests for the shared HTTP layer, exercised through
+/// BOTH front-ends that use it: the tuning daemon and the metrics exporter.
+/// A well-behaved client never sees these paths — so they are driven with a
+/// hand-rolled socket, not the telemetry::http_request client:
+///
+///   - stalled / dribbled request past the read deadline  -> 408
+///   - declared Content-Length over the request-size cap  -> 413
+///   - actual bytes over the request-size cap             -> 413
+///   - garbage request line                               -> 400
+///
+/// plus the daemon-specific routing answers (400 on bad JSON, 404 on an
+/// unknown path, 405 on unsupported methods).
+
+#include "service/daemon.hpp"
+#include "telemetry/exporter.hpp"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+namespace gsph {
+namespace {
+
+/// Open a blocking TCP connection to 127.0.0.1:port, send `payload`, then
+/// (optionally after `linger`) read the response to EOF.
+std::string raw_exchange(std::uint16_t port, const std::string& payload,
+                         std::chrono::milliseconds linger = {})
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return "";
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        ::close(fd);
+        return "";
+    }
+    std::size_t sent = 0;
+    while (sent < payload.size()) {
+        const ssize_t n =
+            ::send(fd, payload.data() + sent, payload.size() - sent, 0);
+        if (n <= 0) break;
+        sent += static_cast<std::size_t>(n);
+    }
+    if (linger.count() > 0) std::this_thread::sleep_for(linger);
+    std::string response;
+    char buf[4096];
+    for (;;) {
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n <= 0) break;
+        response.append(buf, static_cast<std::size_t>(n));
+    }
+    ::close(fd);
+    return response;
+}
+
+std::string status_line(const std::string& response)
+{
+    return response.substr(0, response.find("\r\n"));
+}
+
+/// The hardening behaviours live in the shared HttpServer, so the same
+/// checks run against both servers via their bound port.
+void expect_hardened(std::uint16_t port)
+{
+    // Stalled client: connect, send half a request line, then nothing.
+    // The server must answer 408 once the read deadline passes instead of
+    // holding the handler thread hostage.
+    EXPECT_EQ(status_line(raw_exchange(port, "GET /healthz")),
+              "HTTP/1.0 408 Request Timeout");
+
+    // An honest Content-Length that exceeds the cap is refused before the
+    // body is read at all.
+    EXPECT_EQ(status_line(raw_exchange(
+                  port, "POST /tune HTTP/1.0\r\nContent-Length: 99999999\r\n"
+                        "\r\n")),
+              "HTTP/1.0 413 Payload Too Large");
+
+    // A client that streams bytes without ever finishing its headers is cut
+    // off as soon as the cap is crossed, not buffered to completion.
+    std::string flood = "POST /tune HTTP/1.0\r\n";
+    while (flood.size() < 64 * 1024) flood += "X-Junk: aaaaaaaaaaaaaaaa\r\n";
+    EXPECT_EQ(status_line(raw_exchange(port, flood)),
+              "HTTP/1.0 413 Payload Too Large");
+
+    // Garbage request line.
+    EXPECT_EQ(status_line(raw_exchange(port, "ojk\r\n\r\n")),
+              "HTTP/1.0 400 Bad Request");
+}
+
+TEST(ServiceHttp, DaemonAnswers408_413_400OnAbusiveClients)
+{
+    service::DaemonConfig config;
+    config.read_timeout_s = 0.2;       // stalled connections fail fast
+    config.max_request_bytes = 16 * 1024;
+    service::TuningDaemon daemon(config);
+    daemon.start();
+    expect_hardened(daemon.port());
+    daemon.stop();
+}
+
+TEST(ServiceHttp, ExporterAnswers408_413_400OnAbusiveClients)
+{
+    telemetry::ExporterConfig config;
+    config.read_timeout_s = 0.2;
+    config.max_request_bytes = 16 * 1024;
+    telemetry::MetricsExporter exporter(config);
+    exporter.start();
+    expect_hardened(exporter.port());
+    exporter.stop();
+}
+
+TEST(ServiceHttp, DaemonRoutesErrorsWithReasons)
+{
+    service::TuningDaemon daemon(service::DaemonConfig{});
+    daemon.start();
+    const std::uint16_t port = daemon.port();
+
+    // Bad JSON body: 400, and the reason is surfaced to the client.
+    const std::string bad_json = raw_exchange(
+        port, "POST /tune HTTP/1.0\r\nContent-Length: 9\r\n\r\nnot json!");
+    EXPECT_EQ(status_line(bad_json), "HTTP/1.0 400 Bad Request");
+    EXPECT_NE(bad_json.find("invalid tune request"), std::string::npos);
+
+    // Valid JSON that is not a valid tune request: still 400, with the
+    // offending field named.
+    const std::string body = "{\"schema\":\"greensph.tune_request/v1\"}";
+    const std::string incomplete = raw_exchange(
+        port, "POST /tune HTTP/1.0\r\nContent-Length: " +
+                  std::to_string(body.size()) + "\r\n\r\n" + body);
+    EXPECT_EQ(status_line(incomplete), "HTTP/1.0 400 Bad Request");
+
+    EXPECT_EQ(status_line(raw_exchange(
+                  port, "GET /nope HTTP/1.0\r\n\r\n")),
+              "HTTP/1.0 404 Not Found");
+    EXPECT_EQ(status_line(raw_exchange(
+                  port, "PUT /tune HTTP/1.0\r\nContent-Length: 0\r\n\r\n")),
+              "HTTP/1.0 405 Method Not Allowed");
+    EXPECT_EQ(status_line(raw_exchange(
+                  port, "GET /policy/deadbeef HTTP/1.0\r\n\r\n")),
+              "HTTP/1.0 404 Not Found");
+    EXPECT_EQ(status_line(raw_exchange(port, "GET /healthz HTTP/1.0\r\n\r\n")),
+              "HTTP/1.0 200 OK");
+
+    daemon.stop();
+}
+
+} // namespace
+} // namespace gsph

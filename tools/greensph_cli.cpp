@@ -8,6 +8,14 @@
 ///   greensph run    [options]
 ///       Record (or load) a workload trace and run it under a clock policy,
 ///       printing the device/function energy reports.
+///   greensph tuned  [options]
+///       Long-lived tuning service: accepts greensph.tune_request/v1 JSON
+///       over loopback HTTP (POST /tune), prices sweeps across --threads
+///       workers, and caches greensph.policy/v1 artifacts in a durable
+///       --store directory keyed by the canonical request hash.  Identical
+///       re-requests are served from the store without re-sweeping; GET
+///       /policy/<key>, /metrics and /healthz are also served.  Shuts down
+///       cleanly on SIGTERM/SIGINT.
 ///   greensph fleet  [options]
 ///       Simulate a whole cluster: --fleet-nodes nodes, a generated queue of
 ///       --jobs jobs (FCFS + conservative backfill), one cluster-wide
@@ -32,6 +40,15 @@
 ///   --objective time|energy|edp|ed2p  tuning objective   (edp)
 ///   --trace-in FILE    load a recorded trace instead of running physics
 ///   --trace-out FILE   save the recorded trace
+///   --port N           tuned: listen port (0 = ephemeral, echoed on stdout)
+///   --store DIR        tuned: durable policy-artifact directory
+///   --submit URL       tune: POST the sweep to a running tuning service
+///                      instead of sweeping locally
+///   --policy-from SRC  run --policy mandyn: apply a stored policy artifact
+///                      (SRC is a store directory or a tuning-service URL)
+///                      instead of tuning inline; the artifact must match
+///                      this run's canonical request hash or the run is
+///                      refused with a field-by-field reason
 ///   --csv FILE         write the per-function report as CSV
 ///   --trace-json FILE  write a Chrome-trace/Perfetto span timeline
 ///   --metrics-json FILE  dump the telemetry metrics registry as JSON
@@ -77,8 +94,11 @@
 #include "core/policy.hpp"
 #include "core/profiler.hpp"
 #include "core/report.hpp"
+#include "service/daemon.hpp"
+#include "service/tuning_service.hpp"
 #include "sim/driver.hpp"
 #include "telemetry/anomaly.hpp"
+#include "telemetry/http.hpp"
 #include "telemetry/exporter.hpp"
 #include "telemetry/ledger.hpp"
 #include "telemetry/metrics.hpp"
@@ -93,7 +113,9 @@
 #include "util/strings.hpp"
 
 #include <chrono>
+#include <csignal>
 #include <cstdint>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -121,6 +143,10 @@ struct Options {
     double particles_per_gpu = 450.0 * 450.0 * 450.0;
     std::string trace_in;
     std::string trace_out;
+    int port = 0;            ///< tuned: listen port (0: ephemeral)
+    std::string store_dir;   ///< tuned: durable policy store directory
+    std::string submit_url;  ///< tune: POST to a running service
+    std::string policy_from; ///< run: store dir or service URL for mandyn
     std::string csv_out;
     std::string trace_json;
     std::string metrics_json;
@@ -147,13 +173,15 @@ struct Options {
 
 void usage()
 {
-    std::cout << "usage: greensph <systems|tune|run|fleet> [options]\n"
+    std::cout << "usage: greensph <systems|tune|tuned|run|fleet> [options]\n"
               << "  --system cscs|lumi|minihpc   --workload turbulence|evrard|sedov\n"
               << "  --policy baseline|static:<mhz>|dvfs|mandyn|online\n"
               << "  --tune-strategy exhaustive|model   (online policy exploration)\n"
               << "  --ranks N --steps N --threads N --nside N --particles-per-gpu X\n"
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
+              << "  tuned: --port N --store DIR   tune: --submit URL\n"
+              << "  run:   --policy-from DIR|URL  (mandyn from a stored artifact)\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
               << "  --ledger FILE --metrics-port N --sample-every S --linger-s S\n"
               << "  --log-level debug|info|warn|error|off --log-filter STR --log-tids\n"
@@ -194,6 +222,10 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--particles-per-gpu") opt.particles_per_gpu = std::stod(next());
         else if (key == "--trace-in") opt.trace_in = next();
         else if (key == "--trace-out") opt.trace_out = next();
+        else if (key == "--port") opt.port = std::stoi(next());
+        else if (key == "--store") opt.store_dir = next();
+        else if (key == "--submit") opt.submit_url = next();
+        else if (key == "--policy-from") opt.policy_from = next();
         else if (key == "--csv") opt.csv_out = next();
         else if (key == "--trace-json") opt.trace_json = next();
         else if (key == "--metrics-json") opt.metrics_json = next();
@@ -313,6 +345,10 @@ void save_cli_options(checkpoint::StateWriter& w, const Options& opt)
     w.put_str("fault_spec", durable_fault_spec(opt));
     w.put_u64("fault_seed", opt.fault_seed);
     w.put_str("tune_strategy", opt.tune_strategy);
+    // Input source like trace_in: recorded for provenance, but absent from
+    // the config echo — a policy-from run and an inline-tuned run apply the
+    // same clock plan, so they share a config hash.
+    w.put_str("policy_from", opt.policy_from);
 }
 
 void apply_cli_options(const checkpoint::StateReader& r, Options& opt)
@@ -331,6 +367,7 @@ void apply_cli_options(const checkpoint::StateReader& r, Options& opt)
     // Absent from checkpoints written before the model strategy existed.
     opt.tune_strategy =
         r.has("tune_strategy") ? r.get_str("tune_strategy") : "exhaustive";
+    opt.policy_from = r.has("policy_from") ? r.get_str("policy_from") : "";
 }
 
 void save_metrics(checkpoint::StateWriter& w)
@@ -481,9 +518,7 @@ std::unique_ptr<core::FrequencyPolicy> make_policy(const Options& opt,
         return core::make_static_policy(std::stod(p.substr(7)));
     }
     if (p == "mandyn") {
-        // Tune for this system's device, then run with the table.
-        std::cout << "Tuning per-function clocks for " << system.gpu.name << "...\n";
-        return nullptr; // handled by caller (needs the trace)
+        return nullptr; // handled by caller (needs the trace / an artifact)
     }
     if (p == "online") {
         core::OnlineTunerConfig cfg;
@@ -519,19 +554,140 @@ tuning::Objective objective_from(const std::string& name)
     throw std::invalid_argument("unknown objective: " + name);
 }
 
+/// The canonical tune request this invocation stands for — the same
+/// construction on the submit side (`tune --submit`) and the consume side
+/// (`run --policy-from`), so both compute the same artifact key.
+service::TuneRequest make_tune_request(const Options& opt,
+                                       const sim::SystemSpec& system,
+                                       const sim::WorkloadTrace& trace)
+{
+    service::TuneRequest request;
+    request.device = system.gpu;
+    request.strategy = tuning::sweep_strategy_from_string(opt.tune_strategy);
+    request.trace = trace;
+    return request;
+}
+
+/// Fetch a policy artifact for `key` from a store directory or a running
+/// tuning service ("http://host:port").  Throws with an actionable message.
+std::string fetch_policy_artifact(const std::string& source, const std::string& key)
+{
+    std::string host;
+    std::uint16_t port = 0;
+    if (telemetry::parse_http_url(source, host, port)) {
+        telemetry::HttpClientResponse response;
+        if (!telemetry::http_request(host, port, "GET", "/policy/" + key, "",
+                                     response)) {
+            throw std::runtime_error("--policy-from: cannot reach tuning service at " +
+                                     source);
+        }
+        if (response.status == 404) {
+            throw std::runtime_error(
+                "--policy-from: service has no artifact for key " + key +
+                "; submit one first (greensph tune --submit " + source + ")");
+        }
+        if (response.status != 200) {
+            throw std::runtime_error("--policy-from: service error " +
+                                     std::to_string(response.status) + ": " +
+                                     response.body);
+        }
+        return response.body;
+    }
+    const std::string path =
+        (std::filesystem::path(source) / ("policy-" + key + ".json")).string();
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        throw std::runtime_error("--policy-from: no artifact at " + path +
+                                 " (expected canonical key " + key + ")");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/// Verify an artifact against the local request, refusing with one line per
+/// mismatched field — never silently apply clocks tuned for something else.
+service::PolicyArtifact checked_artifact(const std::string& text,
+                                         const service::TuneRequest& local,
+                                         const std::string& source)
+{
+    const auto artifact = service::PolicyArtifact::parse(text);
+    const auto mismatches = service::artifact_mismatches(artifact, local);
+    if (!mismatches.empty()) {
+        std::string message = "--policy-from: artifact " + artifact.key + " from " +
+                              source + " does not match this run's configuration:";
+        for (const auto& line : mismatches) message += "\n  - " + line;
+        throw std::runtime_error(message);
+    }
+    return artifact;
+}
+
+/// `tune --submit URL`: thin client — ship the request, print the table
+/// the service (or its cache) answered with.
+int tune_submit(const Options& opt, const sim::SystemSpec& system,
+                const sim::WorkloadTrace& trace)
+{
+    const service::TuneRequest request = make_tune_request(opt, system, trace);
+    std::string host;
+    std::uint16_t port = 0;
+    if (!telemetry::parse_http_url(opt.submit_url, host, port)) {
+        throw std::invalid_argument("bad --submit URL (expected http://host:port): " +
+                                    opt.submit_url);
+    }
+    const std::string key = service::request_key(request);
+    std::cout << "Submitting tune request " << key << " to " << opt.submit_url
+              << "...\n";
+    telemetry::HttpClientResponse response;
+    if (!telemetry::http_request(host, port, "POST", "/tune",
+                                 request.to_json().dump(), response)) {
+        throw std::runtime_error("cannot reach tuning service at " + opt.submit_url);
+    }
+    if (response.status != 200) {
+        throw std::runtime_error("tuning service error " +
+                                 std::to_string(response.status) + ": " +
+                                 response.body);
+    }
+    const auto artifact = service::PolicyArtifact::parse(response.body);
+
+    util::Table table({"Function", "Chosen clock [MHz]"});
+    for (const auto& entry : artifact.functions) {
+        table.add_row(
+            {sph::to_string(entry.fn), util::format_fixed(entry.best_edp_mhz, 0)});
+    }
+    table.print(std::cout);
+    std::cout << "Policy artifact " << artifact.key << " ("
+              << artifact.sample_launches << " kernel launches; producer: "
+              << artifact.producer << ")\n";
+    if (!opt.csv_out.empty()) {
+        std::ofstream out(opt.csv_out);
+        out << service::table_from_artifact(artifact).serialize();
+        std::cout << "Frequency table saved to " << opt.csv_out << "\n";
+    }
+    return 0;
+}
+
 int cmd_tune(const Options& opt)
 {
     telemetry::MetricsRegistry::global().reset();
     const auto faults_guard = install_faults(opt);
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
-    const auto sweep = tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
+    if (!opt.submit_url.empty()) return tune_submit(opt, system, trace);
+
+    tuning::SweepOptions sweep_options;
+    sweep_options.n_threads = opt.threads;
+    sweep_options.strategy = tuning::sweep_strategy_from_string(opt.tune_strategy);
+    const auto sweep = tuning::sweep_sph_functions(trace, system.gpu, sweep_options);
     const auto objective = objective_from(opt.objective);
 
     util::Table table({"Function", "Chosen clock [MHz]"});
     core::FrequencyTable freq_table(system.gpu.default_app_clock_mhz);
     for (const auto& entry : sweep) {
-        const double clock = entry.result.best(objective).params.at("core_freq_mhz");
+        const double clock = objective == tuning::Objective::kEdp
+                                 ? entry.result.chosen_or_best(objective).params.at(
+                                       "core_freq_mhz")
+                                 : entry.result.best(objective).params.at(
+                                       "core_freq_mhz");
         freq_table.set(entry.fn, clock);
         table.add_row({sph::to_string(entry.fn), util::format_fixed(clock, 0)});
     }
@@ -548,6 +704,41 @@ int cmd_tune(const Options& opt)
         }
         std::cout << "Metrics written to " << opt.metrics_json << "\n";
     }
+    return 0;
+}
+
+volatile std::sig_atomic_t g_shutdown_requested = 0;
+void handle_shutdown_signal(int) { g_shutdown_requested = 1; }
+
+/// `greensph tuned`: run the tuning service until SIGTERM/SIGINT.
+int cmd_tuned(const Options& opt)
+{
+    telemetry::MetricsRegistry::global().reset();
+    service::DaemonConfig cfg;
+    cfg.port = static_cast<std::uint16_t>(opt.port);
+    cfg.service.n_threads = opt.threads;
+    cfg.service.store_dir = opt.store_dir;
+    cfg.service.producer = "greensph tuned";
+    service::TuningDaemon daemon(cfg);
+    daemon.start();
+    // std::endl, not '\n': scripts parse this line from a pipe while the
+    // daemon is still running, so it must not sit in a stdio buffer.
+    std::cout << "Tuning service listening on 127.0.0.1:" << daemon.port()
+              << std::endl;
+    std::cout << "Policy store: "
+              << (opt.store_dir.empty() ? std::string("<memory only>")
+                                        : opt.store_dir)
+              << std::endl;
+
+    g_shutdown_requested = 0;
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGINT, handle_shutdown_signal);
+    while (g_shutdown_requested == 0) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    }
+    daemon.stop();
+    std::cout << "Tuning service stopped cleanly ("
+              << daemon.service().sweeps_run() << " sweep(s) run)\n";
     return 0;
 }
 
@@ -580,13 +771,35 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
 
+    if (!opt.policy_from.empty() && util::to_lower(opt.policy) != "mandyn") {
+        throw std::invalid_argument("--policy-from requires --policy mandyn");
+    }
     auto policy = make_policy(opt, system);
-    if (!policy) { // "mandyn": tune first
-        const auto sweep =
-            tuning::sweep_sph_functions(trace, system.gpu, {}, opt.threads);
-        policy = core::make_mandyn_policy(
-            tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
-            tuning::audit_info_from_sweep(sweep), system.gpu.vendor);
+    if (!policy) { // "mandyn": tune first (inline sweep or stored artifact)
+        if (!opt.policy_from.empty()) {
+            const service::TuneRequest local = make_tune_request(opt, system, trace);
+            const std::string key = service::request_key(local);
+            const auto artifact = checked_artifact(
+                fetch_policy_artifact(opt.policy_from, key), local, opt.policy_from);
+            std::cout << "Applying policy artifact " << artifact.key << " from "
+                      << opt.policy_from << " (no inline sweep)\n";
+            policy = core::make_mandyn_policy(
+                service::table_from_artifact(artifact),
+                service::audit_info_from_artifact(artifact), system.gpu.vendor);
+        }
+        else {
+            std::cout << "Tuning per-function clocks for " << system.gpu.name
+                      << "...\n";
+            tuning::SweepOptions sweep_options;
+            sweep_options.n_threads = opt.threads;
+            sweep_options.strategy =
+                tuning::sweep_strategy_from_string(opt.tune_strategy);
+            const auto sweep =
+                tuning::sweep_sph_functions(trace, system.gpu, sweep_options);
+            policy = core::make_mandyn_policy(
+                tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
+                tuning::audit_info_from_sweep(sweep), system.gpu.vendor);
+        }
     }
 
     sim::RunConfig cfg;
@@ -1109,6 +1322,7 @@ int main(int argc, char** argv)
         configure_logging(opt);
         if (opt.command == "systems") return cmd_systems();
         if (opt.command == "tune") return cmd_tune(opt);
+        if (opt.command == "tuned") return cmd_tuned(opt);
         if (opt.command == "run") {
             return cmd_run(opt, std::vector<std::string>(argv, argv + argc));
         }
