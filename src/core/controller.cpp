@@ -57,6 +57,7 @@ ClockStatus FrequencyController::apply(int rank, sph::SphFunction fn)
             rec.inputs.emplace_back("previous_mhz", previous);
             rec.inputs.emplace_back("backend_calls",
                                     static_cast<double>(backend_calls_));
+            rec.trace_id = audit_.trace_id;
             telemetry::audit_decision(std::move(rec));
         }
     }

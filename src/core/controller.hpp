@@ -33,6 +33,10 @@ struct ControllerAuditInfo {
     /// Predicted per-call EDP at the table's clock, per SPH function
     /// (<= 0: the table came without sweep predictions).
     std::array<double, sph::kSphFunctionCount> predicted_edp{};
+    /// Distributed trace id of the tune request / run that produced the
+    /// table (32 hex chars; empty: untraced).  Copied into every audited
+    /// DecisionRecord so the audit trail joins the distributed trace.
+    std::string trace_id;
 };
 
 class FrequencyController {

@@ -5,6 +5,7 @@
 #include "sim/driver.hpp" // work_jitter
 #include "sim/node.hpp"
 #include "telemetry/metrics.hpp"
+#include "telemetry/tracectx.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
 
@@ -12,6 +13,7 @@
 #include <cmath>
 #include <memory>
 #include <optional>
+#include <set>
 #include <stdexcept>
 
 namespace gsph::fleet {
@@ -127,6 +129,17 @@ FleetResult run_fleet(const FleetConfig& config)
     const int pool_threads = util::ThreadPool::resolve_threads(config.n_threads);
     std::optional<util::ThreadPool> pool;
     if (pool_threads > 1) pool.emplace(pool_threads);
+
+    // Deterministic fleet trace identity: derived from the config hash, so
+    // re-runs (and every --threads N) produce the same trace/span ids.
+    telemetry::SpanTracer* tracer = config.tracer;
+    const telemetry::TraceContext fleet_ctx =
+        telemetry::TraceContext::origin("fleet|" + config.config_hash);
+    std::set<int> open_job_spans; ///< job ids with a begun lifetime span
+    if (tracer) {
+        tracer->set_process_name(0, "greensph fleet");
+        tracer->set_thread_name(0, 0, "scheduler");
+    }
 
     auto& registry = telemetry::MetricsRegistry::global();
     auto& g_queue_depth = registry.gauge("fleet.queue_depth");
@@ -330,9 +343,12 @@ FleetResult run_fleet(const FleetConfig& config)
         // (1) admission: jobs that have arrived by the fleet time frontier.
         double frontier = 0.0;
         for (const NodeState& s : state) frontier = std::max(frontier, s.clock_s);
+        const double round_t0 = frontier;
+        int admitted = 0;
         while (next_arrival < jobs.size() &&
                jobs[next_arrival].arrival_s <= frontier) {
             queue.push_back(next_arrival++);
+            ++admitted;
         }
         if (queue.empty() && running.empty()) {
             if (next_arrival >= jobs.size()) break; // drained: done
@@ -342,6 +358,7 @@ FleetResult run_fleet(const FleetConfig& config)
             while (next_arrival < jobs.size() &&
                    jobs[next_arrival].arrival_s <= t0) {
                 queue.push_back(next_arrival++);
+                ++admitted;
             }
         }
 
@@ -398,6 +415,19 @@ FleetResult run_fleet(const FleetConfig& config)
             }
             rj.t_s = run_from;
             wait_sum += p.start_s - spec.arrival_s;
+            if (tracer) {
+                // One Gantt row per job: placement to teardown.
+                const int tid = 1 + spec.id;
+                const telemetry::TraceContext job_ctx =
+                    fleet_ctx.child("job " + std::to_string(spec.id));
+                tracer->set_thread_name(0, tid, spec.name);
+                tracer->begin(0, tid, spec.name, p.start_s, "fleet.job",
+                              {{"trace_id", job_ctx.trace_id()},
+                               {"span_id", job_ctx.span_id()},
+                               {"nodes", std::to_string(rj.nodes.size())},
+                               {"steps", std::to_string(spec.n_steps)}});
+                open_job_spans.insert(spec.id);
+            }
             running.push_back(std::move(rj));
         }
         std::vector<std::size_t> still_waiting;
@@ -523,6 +553,9 @@ FleetResult run_fleet(const FleetConfig& config)
             if (o.missed_deadline) ++deadline_misses;
             ++jobs_completed;
             outcomes.push_back(std::move(o));
+            if (tracer && open_job_spans.erase(rj.spec.id) > 0) {
+                tracer->end(0, 1 + rj.spec.id, t_fin);
+            }
 
             for (int i : rj.nodes) {
                 sim::Node& node = *nodes[static_cast<std::size_t>(i)];
@@ -549,14 +582,66 @@ FleetResult run_fleet(const FleetConfig& config)
                 busy_power += s.demand_w;
             }
         }
+        const double cluster_power =
+            busy_power + static_cast<double>(config.n_nodes - n_busy) *
+                             coordinator.node_idle_w();
         g_queue_depth.set(static_cast<double>(queue.size()));
         g_nodes_busy.set(static_cast<double>(n_busy));
         g_jobs_running.set(static_cast<double>(running.size()));
-        g_cluster_power.set(busy_power +
-                            static_cast<double>(config.n_nodes - n_busy) *
-                                coordinator.node_idle_w());
+        g_cluster_power.set(cluster_power);
         g_budget.set(config.budget_w);
         g_deadline_misses.set(static_cast<double>(deadline_misses));
+
+        double round_t1 = round_t0;
+        for (const NodeState& s : state) round_t1 = std::max(round_t1, s.clock_s);
+        if (tracer) {
+            // All timestamps are simulated seconds; the serial phases are
+            // instantaneous in sim time, so they nest as zero-width spans at
+            // the round start.  Emitted after the fact so the args can carry
+            // the round's observed counts.
+            const telemetry::TraceContext round_ctx =
+                fleet_ctx.child("round " + std::to_string(round));
+            tracer->begin(0, 0, "fleet.round", round_t0, "fleet",
+                          {{"trace_id", round_ctx.trace_id()},
+                           {"span_id", round_ctx.span_id()},
+                           {"round", std::to_string(round)}});
+            tracer->begin(0, 0, "fleet.admit", round_t0, "fleet",
+                          {{"jobs", std::to_string(admitted)}});
+            tracer->end(0, 0, round_t0);
+            tracer->begin(0, 0, "fleet.schedule", round_t0, "fleet",
+                          {{"placed", std::to_string(placements.size())},
+                           {"waiting", std::to_string(queue.size())}});
+            tracer->end(0, 0, round_t0);
+            tracer->begin(0, 0, "fleet.apportion", round_t0, "fleet",
+                          {{"policy", to_string(config.policy)},
+                           {"budget_w", std::to_string(config.budget_w)}});
+            tracer->end(0, 0, round_t0);
+            tracer->end(0, 0, round_t1); // fleet.round
+            tracer->counter(0, "fleet.queue_depth", round_t1,
+                            static_cast<double>(queue.size()));
+            tracer->counter(0, "fleet.cluster_power_w", round_t1, cluster_power);
+        }
+        if (config.monitor) {
+            FleetSample sample;
+            sample.round = round + 1;
+            sample.policy = to_string(config.policy);
+            sample.budget_w = config.budget_w;
+            sample.frontier_s = round_t1;
+            sample.queue_depth = queue.size();
+            sample.jobs_running = static_cast<int>(running.size());
+            sample.nodes_busy = n_busy;
+            sample.cluster_power_w = cluster_power;
+            sample.jobs_completed = jobs_completed;
+            sample.deadline_misses = deadline_misses;
+            if (tracer) sample.trace_id = fleet_ctx.trace_id();
+            for (int n = 0; n < config.n_nodes; ++n) {
+                const NodeState& s = state[static_cast<std::size_t>(n)];
+                sample.nodes.push_back({n, s.busy, s.demand_w,
+                                        caps[static_cast<std::size_t>(n)],
+                                        s.clock_s});
+            }
+            config.monitor->publish(std::move(sample));
+        }
 
         ++round;
         if (ckpt_writer && round % config.checkpoint_every == 0) {
@@ -578,6 +663,12 @@ FleetResult run_fleet(const FleetConfig& config)
         NodeState& s = state[static_cast<std::size_t>(n)];
         if (final_t > s.clock_s) node.sync_to(final_t);
         s.clock_s = final_t;
+    }
+    if (tracer) {
+        // Paused runs leave jobs mid-flight; close their spans at the pause
+        // frontier so the exported trace stays balanced.
+        for (int id : open_job_spans) tracer->end(0, 1 + id, final_t);
+        open_job_spans.clear();
     }
 
     FleetResult result;

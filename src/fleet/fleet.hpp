@@ -28,10 +28,12 @@
 #include "checkpoint/checkpoint.hpp"
 #include "core/frequency_table.hpp"
 #include "fleet/coordinator.hpp"
+#include "fleet/observer.hpp"
 #include "fleet/scheduler.hpp"
 #include "sim/system.hpp"
 #include "sim/workload.hpp"
 #include "slurmsim/slurm.hpp"
+#include "telemetry/tracer.hpp"
 
 #include <cstdint>
 #include <optional>
@@ -99,6 +101,18 @@ struct FleetConfig {
     /// Extra save/restore participants (CLI options, fault injector,
     /// metrics), snapshotted with every checkpoint; not owned.
     checkpoint::StateRegistry* checkpoint_participants = nullptr;
+
+    // --- observability (read-only taps; neither perturbs the result) -----
+    /// Receives one FleetSample per round for /fleet.json and the fleet.*
+    /// roll-up series; not owned, may be null.
+    FleetMonitor* monitor = nullptr;
+    /// Scheduler spans at simulated time: per-round "fleet.round" spans with
+    /// admit/schedule/apportion markers on the scheduler track plus one
+    /// lifetime span per job (placement -> teardown), all stamped with the
+    /// fleet's deterministic trace id (derived from config_hash).  Not
+    /// owned, may be null; spans are NOT checkpointed — a resumed run's
+    /// trace starts at the resume round.
+    telemetry::SpanTracer* tracer = nullptr;
 };
 
 /// Per-job outcome: the sacct record plus fleet-level context.

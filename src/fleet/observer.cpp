@@ -1,0 +1,111 @@
+#include "fleet/observer.hpp"
+
+#include "telemetry/json.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace gsph::fleet {
+
+namespace {
+
+std::string format_value(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+void FleetMonitor::publish(FleetSample sample)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    sample_ = std::move(sample);
+    published_ = true;
+}
+
+FleetSample FleetMonitor::sample() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return sample_;
+}
+
+std::string FleetMonitor::fleet_json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!published_) return {};
+    telemetry::Json doc = telemetry::Json::object();
+    doc["schema"] = "greensph.fleet/v1";
+    doc["round"] = static_cast<long>(sample_.round);
+    doc["policy"] = sample_.policy;
+    doc["budget_w"] = sample_.budget_w;
+    doc["frontier_s"] = sample_.frontier_s;
+    doc["queue_depth"] = static_cast<long>(sample_.queue_depth);
+    doc["jobs_running"] = static_cast<long>(sample_.jobs_running);
+    doc["nodes_busy"] = static_cast<long>(sample_.nodes_busy);
+    doc["cluster_power_w"] = sample_.cluster_power_w;
+    doc["jobs_completed"] = static_cast<long>(sample_.jobs_completed);
+    doc["deadline_misses"] = static_cast<long>(sample_.deadline_misses);
+    if (!sample_.trace_id.empty()) doc["trace_id"] = sample_.trace_id;
+    telemetry::Json nodes = telemetry::Json::array();
+    for (const FleetNodeSample& n : sample_.nodes) {
+        telemetry::Json node = telemetry::Json::object();
+        node["id"] = static_cast<long>(n.id);
+        node["busy"] = n.busy;
+        node["demand_w"] = n.demand_w;
+        node["cap_w"] = n.cap_w;
+        node["clock_s"] = n.clock_s;
+        nodes.push_back(std::move(node));
+    }
+    doc["nodes"] = std::move(nodes);
+    return doc.dump(2) + "\n";
+}
+
+std::string FleetMonitor::exposition() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!published_) return {};
+    const std::string label = "{policy=\"" + sample_.policy + "\"}";
+    std::string out;
+    auto gauge = [&](const std::string& family, const std::string& help,
+                     double value) {
+        out += "# HELP " + family + " " + help + "\n";
+        out += "# TYPE " + family + " gauge\n";
+        out += family + label + " " + format_value(value) + "\n";
+    };
+    gauge("greensph_fleet_policy_round", "completed scheduling rounds",
+          static_cast<double>(sample_.round));
+    gauge("greensph_fleet_policy_queue_depth", "jobs waiting for placement",
+          static_cast<double>(sample_.queue_depth));
+    gauge("greensph_fleet_policy_jobs_running", "jobs currently placed",
+          static_cast<double>(sample_.jobs_running));
+    gauge("greensph_fleet_policy_nodes_busy", "nodes with a placed job",
+          static_cast<double>(sample_.nodes_busy));
+    gauge("greensph_fleet_policy_cluster_power_w", "modelled cluster draw",
+          sample_.cluster_power_w);
+    gauge("greensph_fleet_policy_budget_w", "cluster-wide power budget (0: uncapped)",
+          sample_.budget_w);
+    gauge("greensph_fleet_policy_jobs_completed", "jobs finished so far",
+          static_cast<double>(sample_.jobs_completed));
+    gauge("greensph_fleet_policy_deadline_misses", "jobs finished past deadline",
+          static_cast<double>(sample_.deadline_misses));
+    // Busy-node demand spread: the roll-up that shows throttling pressure
+    // without one series per node (that detail lives in /fleet.json).
+    double lo = 0.0, hi = 0.0, sum = 0.0;
+    int busy = 0;
+    for (const FleetNodeSample& n : sample_.nodes) {
+        if (!n.busy) continue;
+        if (busy == 0 || n.demand_w < lo) lo = n.demand_w;
+        hi = std::max(hi, n.demand_w);
+        sum += n.demand_w;
+        ++busy;
+    }
+    gauge("greensph_fleet_policy_node_demand_min_w", "min busy-node measured power", lo);
+    gauge("greensph_fleet_policy_node_demand_max_w", "max busy-node measured power", hi);
+    gauge("greensph_fleet_policy_node_demand_mean_w", "mean busy-node measured power",
+          busy > 0 ? sum / busy : 0.0);
+    return out;
+}
+
+} // namespace gsph::fleet

@@ -1,0 +1,78 @@
+#pragma once
+/// \file observer.hpp
+/// \brief Live fleet observability: the /fleet.json snapshot and the
+///        rolled-up fleet.* exposition series.
+///
+/// run_fleet() publishes one FleetSample per round (the state after the
+/// serial merge — queue depth, busy nodes, measured cluster power, per-node
+/// detail).  A FleetMonitor double-buffers the latest sample behind a mutex
+/// so the MetricsExporter's SamplerThread can render it from another thread
+/// at its own cadence:
+///
+///   * fleet_json()  — `greensph.fleet/v1` document served as /fleet.json,
+///                     carrying the per-node array (id, busy, demand, cap,
+///                     clock) that would blow up series cardinality if it
+///                     went to the registry;
+///   * exposition()  — bounded-cardinality roll-ups labeled by policy
+///                     (`greensph_fleet_queue_depth{policy="negotiated"}`,
+///                     busy/running/power/budget/deadline series plus
+///                     min/mean/max of busy-node demand).
+///
+/// Publishing is observability-only: nothing here feeds back into
+/// scheduling or accounting, so an attached monitor cannot perturb the
+/// bit-identical fleet result.
+
+#include <cstddef>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gsph::fleet {
+
+struct FleetNodeSample {
+    int id = 0;
+    bool busy = false;
+    double demand_w = 0.0; ///< measured over the node's last step
+    double cap_w = 0.0;    ///< coordinator grant this round (0 = uncapped)
+    double clock_s = 0.0;  ///< node-local time
+};
+
+/// One round's fleet state (schema `greensph.fleet/v1` when rendered).
+struct FleetSample {
+    int round = 0;
+    std::string policy; ///< to_string(FleetPolicy)
+    double budget_w = 0.0;
+    double frontier_s = 0.0; ///< max node-local clock
+    std::size_t queue_depth = 0;
+    int jobs_running = 0;
+    int nodes_busy = 0;
+    double cluster_power_w = 0.0;
+    int jobs_completed = 0;
+    int deadline_misses = 0;
+    std::string trace_id; ///< fleet run's trace id (32 hex); may be empty
+    std::vector<FleetNodeSample> nodes;
+};
+
+class FleetMonitor {
+public:
+    /// Replace the current sample (called once per round by run_fleet).
+    void publish(FleetSample sample);
+
+    /// Latest sample (copy); round 0 / empty before the first publish.
+    FleetSample sample() const;
+
+    /// `greensph.fleet/v1` JSON document + trailing newline; empty string
+    /// before the first publish (the exporter then serves 404).
+    std::string fleet_json() const;
+
+    /// Rolled-up Prometheus series labeled by policy; empty before the
+    /// first publish.
+    std::string exposition() const;
+
+private:
+    mutable std::mutex mutex_;
+    FleetSample sample_;
+    bool published_ = false;
+};
+
+} // namespace gsph::fleet

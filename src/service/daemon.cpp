@@ -11,8 +11,38 @@ namespace gsph::service {
 using telemetry::HttpRequest;
 using telemetry::HttpResponse;
 
+namespace {
+
+/// Bounded-cardinality endpoint labels: keys and trace ids collapse to a
+/// placeholder so per-endpoint series don't grow with the keyspace.
+std::string daemon_endpoint(const std::string& path)
+{
+    const std::size_t q = path.find('?');
+    const std::string bare = q == std::string::npos ? path : path.substr(0, q);
+    if (bare.rfind("/policy/", 0) == 0) return "/policy/:key";
+    if (bare.rfind("/trace/", 0) == 0) return "/trace/:id";
+    return bare;
+}
+
+telemetry::SloConfig default_slo()
+{
+    telemetry::SloConfig slo;
+    // A sweep is the expensive path; everything else is a read that should
+    // answer fast.  Bad event = 5xx or slower than the objective.
+    slo.objectives.push_back({"/tune", 30.0, 0.01});
+    slo.objectives.push_back({"/policy/:key", 0.5, 0.01});
+    slo.objectives.push_back({"/metrics", 0.5, 0.01});
+    slo.objectives.push_back({"/healthz", 0.5, 0.01});
+    return slo;
+}
+
+} // namespace
+
 TuningDaemon::TuningDaemon(DaemonConfig config)
-    : config_(std::move(config)), service_(config_.service)
+    : config_(std::move(config)), service_(config_.service),
+      trace_store_(config_.trace_capacity),
+      slo_(std::make_unique<telemetry::SloTracker>(
+          config_.slo.objectives.empty() ? default_slo() : config_.slo))
 {
 }
 
@@ -27,6 +57,11 @@ void TuningDaemon::start()
     http_cfg.handler_threads = config_.handler_threads;
     http_cfg.read_timeout_s = config_.read_timeout_s;
     http_cfg.max_request_bytes = config_.max_request_bytes;
+    http_cfg.access_log_path = config_.access_log_path;
+    http_cfg.endpoint_of = daemon_endpoint;
+    http_cfg.observer = [this](const telemetry::HttpObservation& obs) {
+        slo_->observe(obs);
+    };
     server_ = std::make_unique<telemetry::HttpServer>(
         http_cfg, [this](const HttpRequest& r) { return respond(r); });
     server_->start();
@@ -64,14 +99,27 @@ HttpResponse TuningDaemon::respond(const HttpRequest& request)
             response.body = std::string("invalid tune request: ") + e.what() + "\n";
             return response;
         }
+        // One tracer per request: its finished span set is retrievable via
+        // GET /trace/<trace-id> for client-side merging.  The store keeps
+        // the tracer itself and renders JSON only when fetched, so the
+        // request path never pays for the export.
+        auto tracer = std::make_shared<telemetry::SpanTracer>();
+        tracer->set_process_name(kServicePid, "greensph tuned");
+        TraceScope scope{request.trace, tracer.get(), &clock_};
         try {
-            response.body = service_.tune(tune_request);
+            {
+                SpanGuard handle(scope, "http.POST /tune");
+                TraceScope inner = scope;
+                inner.ctx = handle.ctx();
+                response.body = service_.tune(tune_request, nullptr, inner);
+            }
             response.content_type = "application/json; charset=utf-8";
         }
         catch (const std::exception& e) {
             response.status = 500;
             response.body = std::string("sweep failed: ") + e.what() + "\n";
         }
+        trace_store_.put(request.trace.trace_id(), std::move(tracer));
         return response;
     }
     if (request.method == "GET" && request.path.rfind("/policy/", 0) == 0) {
@@ -86,9 +134,23 @@ HttpResponse TuningDaemon::respond(const HttpRequest& request)
         }
         return response;
     }
+    if (request.method == "GET" && request.path.rfind("/trace/", 0) == 0) {
+        const std::string trace_id = request.path.substr(7);
+        if (auto trace = trace_store_.get(trace_id)) {
+            response.body = *trace;
+            response.content_type = "application/json; charset=utf-8";
+        }
+        else {
+            response.status = 404;
+            response.body = "no trace for id " + trace_id + "\n";
+        }
+        return response;
+    }
     if (request.method == "GET" && request.path == "/metrics") {
         response.body =
             telemetry::render_prometheus(telemetry::MetricsRegistry::global().snapshot());
+        response.body += server_->metrics_exposition();
+        response.body += slo_->exposition();
         response.content_type = "text/plain; version=0.0.4; charset=utf-8";
         return response;
     }
@@ -102,8 +164,8 @@ HttpResponse TuningDaemon::respond(const HttpRequest& request)
         return response;
     }
     response.status = 404;
-    response.body = "unknown path; try POST /tune, /policy/<key>, /metrics or "
-                    "/healthz\n";
+    response.body = "unknown path; try POST /tune, /policy/<key>, /trace/<id>, "
+                    "/metrics or /healthz\n";
     return response;
 }
 

@@ -5,21 +5,33 @@
 /// Routes, all loopback by default (same hardening as the metrics
 /// exporter — per-connection read timeout, request-size cap, 408/413):
 ///
-///   POST /tune          body: greensph.tune_request/v1 JSON
-///                       -> 200 greensph.policy/v1 artifact (cached or
-///                          freshly swept), 400 with a reason for invalid
-///                          requests, 500 if the sweep itself failed
-///   GET  /policy/<key>  stored artifact by canonical key -> 200 or 404
-///   GET  /metrics       Prometheus exposition of the registry (includes
-///                       service.* and tuner.sweep.* counters — the
-///                       cache-hit witness CI asserts on)
-///   GET  /healthz       "ok\n"
+///   POST /tune            body: greensph.tune_request/v1 JSON
+///                         -> 200 greensph.policy/v1 artifact (cached or
+///                            freshly swept), 400 with a reason for invalid
+///                            requests, 500 if the sweep itself failed
+///   GET  /policy/<key>    stored artifact by canonical key -> 200 or 404
+///   GET  /trace/<id>      Chrome-trace JSON of a finished request's daemon
+///                         spans by trace id -> 200 or 404; the thin client
+///                         merges this into its own trace file so one
+///                         Perfetto document shows client -> daemon ->
+///                         worker causality
+///   GET  /metrics         Prometheus exposition of the registry (service.*
+///                         and tuner.sweep.* counters — the cache-hit
+///                         witness CI asserts on) plus the per-endpoint
+///                         http_requests_total{endpoint,code} / latency
+///                         series and SLO burn-rate gauges
+///   GET  /healthz         "ok\n"
 ///
-/// The daemon owns a TuningService; all tuning/caching semantics live
-/// there, this class only speaks HTTP.
+/// Every request carries a TraceContext (continued from the client's
+/// `traceparent` or originated deterministically), the response echoes it,
+/// and the optional JSONL access log records one greensph.access/v1 line
+/// per request.  The daemon owns a TuningService; all tuning/caching
+/// semantics live there, this class only speaks HTTP and records spans.
 
+#include "service/tracing.hpp"
 #include "service/tuning_service.hpp"
 #include "telemetry/http.hpp"
+#include "telemetry/slo.hpp"
 
 #include <memory>
 
@@ -32,6 +44,13 @@ struct DaemonConfig {
     double read_timeout_s = 10.0;
     /// Tune requests carry whole traces; allow bigger bodies than scrapes.
     std::size_t max_request_bytes = 8u << 20;
+    /// JSONL access log (greensph.access/v1); empty disables it.
+    std::string access_log_path;
+    /// Finished request traces retained for GET /trace/<id>.
+    std::size_t trace_capacity = 64;
+    /// Per-endpoint SLOs; empty objectives default to a /tune latency
+    /// objective sized for sweep latency plus tight read-path objectives.
+    telemetry::SloConfig slo;
     ServiceConfig service;
 };
 
@@ -51,12 +70,17 @@ public:
     std::uint16_t port() const;
 
     TuningService& service() { return service_; }
+    const telemetry::SloTracker& slo() const { return *slo_; }
+    TraceStore& traces() { return trace_store_; }
 
 private:
     telemetry::HttpResponse respond(const telemetry::HttpRequest& request);
 
     DaemonConfig config_;
     TuningService service_;
+    ServiceClock clock_;
+    TraceStore trace_store_;
+    std::unique_ptr<telemetry::SloTracker> slo_;
     std::unique_ptr<telemetry::HttpServer> server_;
 };
 

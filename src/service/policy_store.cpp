@@ -3,10 +3,14 @@
 #include "telemetry/metrics.hpp"
 #include "util/atomic_file.hpp"
 
+#include <algorithm>
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <stdexcept>
+#include <system_error>
+#include <vector>
 
 namespace gsph::service {
 
@@ -34,8 +38,12 @@ PolicyStore::PolicyStore(PolicyStoreConfig config) : config_(std::move(config))
     if (config_.max_entries < 1) {
         throw std::invalid_argument("PolicyStore: max_entries < 1");
     }
+    if (config_.ttl_s < 0.0) {
+        throw std::invalid_argument("PolicyStore: negative ttl_s");
+    }
     if (!config_.dir.empty()) {
         std::filesystem::create_directories(config_.dir);
+        gc(); // a restarted daemon starts from a pruned store
     }
 }
 
@@ -80,7 +88,90 @@ bool PolicyStore::put(const std::string& key, const std::string& artifact_text)
     }
     std::lock_guard<std::mutex> lock(mutex_);
     admit_locked(key, artifact_text);
+    gc_locked();
     return durable;
+}
+
+std::size_t PolicyStore::gc()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return gc_locked();
+}
+
+std::size_t PolicyStore::gc_locked()
+{
+    namespace fs = std::filesystem;
+    if (config_.dir.empty() ||
+        (config_.ttl_s <= 0.0 && config_.max_artifacts == 0)) {
+        return 0;
+    }
+    static telemetry::Counter& expired = store_counter("service.store.expired");
+
+    struct Artifact {
+        fs::file_time_type mtime;
+        std::string name; ///< tie-break so same-mtime pruning is stable
+        fs::path path;
+        std::string key;
+    };
+    std::vector<Artifact> artifacts;
+    std::error_code ec;
+    for (const auto& entry : fs::directory_iterator(config_.dir, ec)) {
+        if (!entry.is_regular_file(ec)) continue;
+        const std::string name = entry.path().filename().string();
+        if (name.rfind("policy-", 0) != 0 || name.size() <= 12 ||
+            name.compare(name.size() - 5, 5, ".json") != 0) {
+            continue; // not a store artifact; never touch it
+        }
+        Artifact a;
+        a.mtime = entry.last_write_time(ec);
+        if (ec) continue;
+        a.name = name;
+        a.path = entry.path();
+        a.key = name.substr(7, name.size() - 12);
+        artifacts.push_back(std::move(a));
+    }
+    std::sort(artifacts.begin(), artifacts.end(),
+              [](const Artifact& a, const Artifact& b) {
+                  return a.mtime != b.mtime ? a.mtime < b.mtime : a.name < b.name;
+              });
+
+    std::size_t pruned = 0;
+    const auto prune = [&](const Artifact& a) {
+        std::error_code rm_ec;
+        if (!fs::remove(a.path, rm_ec)) return;
+        ++pruned;
+        ++expired_;
+        expired.inc();
+        // Drop the memory tier too: an expired artifact must not be served.
+        const auto it = index_.find(a.key);
+        if (it != index_.end()) {
+            lru_.erase(it->second);
+            index_.erase(it);
+        }
+    };
+
+    std::size_t kept = artifacts.size();
+    if (config_.ttl_s > 0.0) {
+        const auto cutoff =
+            fs::file_time_type::clock::now() -
+            std::chrono::duration_cast<fs::file_time_type::duration>(
+                std::chrono::duration<double>(config_.ttl_s));
+        for (const Artifact& a : artifacts) {
+            if (a.mtime >= cutoff) break; // sorted: the rest are fresh
+            prune(a);
+            --kept;
+        }
+    }
+    if (config_.max_artifacts > 0 && kept > config_.max_artifacts) {
+        std::size_t excess = kept - config_.max_artifacts;
+        for (const Artifact& a : artifacts) {
+            if (excess == 0) break;
+            if (!fs::exists(a.path)) continue; // already TTL-pruned
+            prune(a);
+            --excess;
+        }
+    }
+    return pruned;
 }
 
 void PolicyStore::admit_locked(const std::string& key, std::string text)
@@ -119,6 +210,12 @@ std::uint64_t PolicyStore::evictions() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return evictions_;
+}
+
+std::uint64_t PolicyStore::expired() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return expired_;
 }
 
 } // namespace gsph::service

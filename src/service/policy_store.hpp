@@ -14,7 +14,14 @@
 /// A get() that misses memory but finds the file on disk re-admits it to
 /// the LRU and still counts as a hit — durability is the point of the disk
 /// tier.  Counters: service.store.hits / .misses / .evictions (evictions
-/// are memory-tier only; disk files are never deleted by the store).
+/// are memory-tier only) and service.store.expired (disk artifacts pruned
+/// by GC).
+///
+/// Disk GC: with a ttl or artifact cap configured, the store prunes the
+/// disk tier at startup and after every write — expired files first (mtime
+/// older than ttl_s), then the oldest files beyond max_artifacts.  Pruned
+/// keys are dropped from the memory tier too, so an expired artifact is
+/// never served from either tier.
 
 #include <cstddef>
 #include <list>
@@ -30,6 +37,10 @@ struct PolicyStoreConfig {
     std::string dir;
     /// Memory-tier capacity in artifacts; must be >= 1.
     std::size_t max_entries = 64;
+    /// Disk-tier TTL in seconds (by file mtime); 0 disables expiry.
+    double ttl_s = 0.0;
+    /// Disk-tier artifact cap, oldest pruned first; 0 disables the cap.
+    std::size_t max_artifacts = 0;
 };
 
 class PolicyStore {
@@ -50,13 +61,19 @@ public:
 
     const PolicyStoreConfig& config() const { return config_; }
 
+    /// Prune the disk tier now (TTL + cap); returns files deleted.  Runs
+    /// automatically at construction and after every put().
+    std::size_t gc();
+
     /// Lifetime counters (also exported via the metrics registry).
     std::uint64_t hits() const;
     std::uint64_t misses() const;
     std::uint64_t evictions() const;
+    std::uint64_t expired() const;
 
 private:
     void admit_locked(const std::string& key, std::string text);
+    std::size_t gc_locked();
 
     PolicyStoreConfig config_;
     mutable std::mutex mutex_;
@@ -70,6 +87,7 @@ private:
     std::uint64_t hits_ = 0;
     std::uint64_t misses_ = 0;
     std::uint64_t evictions_ = 0;
+    std::uint64_t expired_ = 0;
 };
 
 } // namespace gsph::service

@@ -1,0 +1,84 @@
+#include "service/tracing.hpp"
+
+namespace gsph::service {
+
+ServiceClock::ServiceClock() : start_(std::chrono::steady_clock::now()) {}
+
+double ServiceClock::now() const
+{
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start_)
+        .count();
+}
+
+int ServiceClock::tid() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::thread::id self = std::this_thread::get_id();
+    auto it = tids_.find(self);
+    if (it == tids_.end()) {
+        it = tids_.emplace(self, static_cast<int>(tids_.size())).first;
+    }
+    return it->second;
+}
+
+SpanGuard::SpanGuard(const TraceScope& scope, const std::string& name)
+{
+    if (!scope.active()) return;
+    tracer_ = scope.tracer;
+    clock_ = scope.clock;
+    ctx_ = scope.ctx.child(name);
+    tid_ = clock_->tid();
+    tracer_->begin(kServicePid, tid_, name, clock_->now(), "service",
+                   {{"trace_id", ctx_.trace_id()}, {"span_id", ctx_.span_id()}});
+}
+
+SpanGuard::~SpanGuard()
+{
+    if (tracer_ == nullptr) return;
+    tracer_->end(kServicePid, tid_, clock_->now());
+}
+
+TraceStore::TraceStore(std::size_t max_traces)
+    : max_traces_(max_traces < 1 ? 1 : max_traces)
+{
+}
+
+void TraceStore::put(const std::string& trace_id,
+                     std::shared_ptr<telemetry::SpanTracer> tracer)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(trace_id);
+    if (it != index_.end()) {
+        it->second->tracer = std::move(tracer);
+        it->second->rendered.clear();
+        lru_.splice(lru_.begin(), lru_, it->second);
+        return;
+    }
+    lru_.push_front(Entry{trace_id, std::move(tracer), {}});
+    index_[trace_id] = lru_.begin();
+    while (lru_.size() > max_traces_) {
+        index_.erase(lru_.back().trace_id);
+        lru_.pop_back();
+    }
+}
+
+std::optional<std::string> TraceStore::get(const std::string& trace_id) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = index_.find(trace_id);
+    if (it == index_.end()) return std::nullopt;
+    const Entry& entry = *it->second;
+    if (entry.rendered.empty() && entry.tracer != nullptr) {
+        entry.rendered = entry.tracer->to_chrome_json();
+    }
+    return entry.rendered;
+}
+
+std::size_t TraceStore::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return lru_.size();
+}
+
+} // namespace gsph::service

@@ -1,0 +1,119 @@
+#pragma once
+/// \file tracing.hpp
+/// \brief Daemon-side span recording: a shared service clock, RAII spans
+/// carrying the distributed TraceContext, and a bounded per-trace store.
+///
+/// The run-side SpanTracer records against *simulated* time; the service
+/// has no simulation, so spans are stamped from one steady ServiceClock
+/// (seconds since daemon start) shared by every request.  Each request gets
+/// its own SpanTracer so its finished trace can be exported — and fetched
+/// by the originating client via GET /trace/<trace-id> — as one standalone
+/// Chrome-trace JSON document.  Span events carry the trace/span ids in
+/// their Perfetto args, so a merged client+daemon file still shows which
+/// spans belong to which request.
+///
+/// Perfetto coordinates: the CLI thin client records as pid 0, the daemon
+/// as pid kServicePid; tids are stable small integers per OS thread (the
+/// handler thread and each sweep worker get their own track).
+
+#include "telemetry/tracectx.hpp"
+#include "telemetry/tracer.hpp"
+
+#include <chrono>
+#include <cstddef>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+
+namespace gsph::service {
+
+/// The daemon's Perfetto process id (the client uses 0).
+inline constexpr int kServicePid = 1;
+
+/// Steady wall clock (seconds since construction) plus a stable small
+/// integer per OS thread; shared by every request's tracer so one daemon
+/// timeline is consistent across requests.  Thread-safe.
+class ServiceClock {
+public:
+    ServiceClock();
+    double now() const; ///< seconds since construction
+    int tid() const;    ///< stable Perfetto tid for the calling thread
+
+private:
+    std::chrono::steady_clock::time_point start_;
+    mutable std::mutex mutex_;
+    mutable std::map<std::thread::id, int> tids_;
+};
+
+/// Everything TuningService needs to record spans for one request; an
+/// invalid ctx (or null tracer) disables tracing with no other effect.
+struct TraceScope {
+    telemetry::TraceContext ctx;
+    telemetry::SpanTracer* tracer = nullptr;
+    const ServiceClock* clock = nullptr;
+
+    bool active() const
+    {
+        return tracer != nullptr && clock != nullptr && ctx.valid();
+    }
+};
+
+/// RAII span on the scope's tracer: begins at construction with the child
+/// context derived from (scope.ctx, name), ends at destruction on the same
+/// thread.  Inert when the scope is inactive.
+class SpanGuard {
+public:
+    SpanGuard(const TraceScope& scope, const std::string& name);
+    ~SpanGuard();
+    SpanGuard(const SpanGuard&) = delete;
+    SpanGuard& operator=(const SpanGuard&) = delete;
+
+    /// The span's own context (pass to children / record in artifacts).
+    const telemetry::TraceContext& ctx() const { return ctx_; }
+
+private:
+    telemetry::SpanTracer* tracer_ = nullptr;
+    const ServiceClock* clock_ = nullptr;
+    telemetry::TraceContext ctx_;
+    int tid_ = 0;
+};
+
+/// Bounded LRU of finished request traces keyed by trace id; the daemon
+/// serves them on GET /trace/<trace-id> so the originating client can
+/// merge daemon spans into its own file.
+///
+/// put() takes the request's SpanTracer itself, NOT rendered JSON: the
+/// Chrome-trace text is rendered lazily on the first get() and memoized.
+/// Rendering is the expensive part of tracing (far more than recording the
+/// spans), and most request traces are never fetched — keeping it off the
+/// request path is what holds tracing overhead under the bench gate.
+class TraceStore {
+public:
+    explicit TraceStore(std::size_t max_traces = 64);
+
+    void put(const std::string& trace_id,
+             std::shared_ptr<telemetry::SpanTracer> tracer);
+    /// Chrome-trace JSON for `trace_id` (rendered on first fetch), or
+    /// nullopt when unknown / already evicted.
+    std::optional<std::string> get(const std::string& trace_id) const;
+    std::size_t size() const;
+
+private:
+    struct Entry {
+        std::string trace_id;
+        std::shared_ptr<telemetry::SpanTracer> tracer;
+        mutable std::string rendered; ///< memoized get() result
+    };
+
+    std::size_t max_traces_;
+    mutable std::mutex mutex_;
+    mutable std::list<Entry> lru_; ///< newest at front
+    std::unordered_map<std::string, std::list<Entry>::iterator> index_;
+};
+
+} // namespace gsph::service

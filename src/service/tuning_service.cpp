@@ -268,6 +268,7 @@ std::string PolicyArtifact::dump() const
     auto prov = telemetry::Json::object();
     prov["producer"] = producer;
     prov["sample_launches"] = sample_launches;
+    if (!trace_id.empty()) prov["trace_id"] = trace_id;
     j["provenance"] = std::move(prov);
     j["default_mhz"] = default_mhz;
     auto fns = telemetry::Json::array();
@@ -303,6 +304,9 @@ PolicyArtifact PolicyArtifact::parse(const std::string& text)
     if (j.contains("provenance")) {
         const telemetry::Json& prov = j.at("provenance");
         if (prov.contains("producer")) artifact.producer = prov.at("producer").as_string();
+        if (prov.contains("trace_id")) {
+            artifact.trace_id = prov.at("trace_id").as_string();
+        }
         if (prov.contains("sample_launches")) {
             artifact.sample_launches =
                 static_cast<long>(prov.at("sample_launches").as_number());
@@ -336,12 +340,14 @@ PolicyArtifact PolicyArtifact::parse(const std::string& text)
 
 PolicyArtifact artifact_from_sweep(const TuneRequest& request,
                                    const std::vector<tuning::FunctionSweepEntry>& sweep,
-                                   const std::string& producer)
+                                   const std::string& producer,
+                                   const std::string& trace_id)
 {
     PolicyArtifact artifact;
     artifact.key = request_key(request);
     artifact.identity = canonical_identity(request);
     artifact.producer = producer;
+    artifact.trace_id = trace_id;
     artifact.default_mhz = request.device.default_app_clock_mhz;
     for (const auto& entry : sweep) {
         PolicyArtifact::FunctionEntry f;
@@ -423,7 +429,8 @@ std::vector<std::string> artifact_mismatches(const PolicyArtifact& artifact,
 
 TuningService::TuningService(ServiceConfig config)
     : config_(std::move(config)), pool_(config_.n_threads),
-      store_(PolicyStoreConfig{config_.store_dir, config_.cache_entries})
+      store_(PolicyStoreConfig{config_.store_dir, config_.cache_entries,
+                               config_.store_ttl_s, config_.store_max_artifacts})
 {
 }
 
@@ -433,7 +440,8 @@ std::uint64_t TuningService::sweeps_run() const
     return sweeps_;
 }
 
-std::string TuningService::tune(const TuneRequest& request, bool* cache_hit)
+std::string TuningService::tune(const TuneRequest& request, bool* cache_hit,
+                                const TraceScope& scope)
 {
     static telemetry::Counter& requests = service_counter("service.requests");
     static telemetry::Counter& cache_hits = service_counter("service.cache_hits");
@@ -447,6 +455,7 @@ std::string TuningService::tune(const TuneRequest& request, bool* cache_hit)
     std::promise<std::string> promise;
     bool runner = false;
     {
+        SpanGuard lookup(scope, "store.lookup");
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         const auto it = inflight_.find(key);
         if (it != inflight_.end()) {
@@ -470,12 +479,13 @@ std::string TuningService::tune(const TuneRequest& request, bool* cache_hit)
         coalesced.inc();
         cache_hits.inc();
         if (cache_hit != nullptr) *cache_hit = true;
+        SpanGuard wait(scope, "singleflight.wait");
         return shared.get();
     }
 
     std::string text;
     try {
-        text = run_sweep(request);
+        text = run_sweep(request, scope);
     }
     catch (...) {
         {
@@ -485,7 +495,10 @@ std::string TuningService::tune(const TuneRequest& request, bool* cache_hit)
         promise.set_exception(std::current_exception());
         throw;
     }
-    store_.put(key, text);
+    {
+        SpanGuard commit(scope, "artifact.commit");
+        store_.put(key, text);
+    }
     {
         std::lock_guard<std::mutex> lock(inflight_mutex_);
         inflight_.erase(key);
@@ -496,7 +509,8 @@ std::string TuningService::tune(const TuneRequest& request, bool* cache_hit)
     return text;
 }
 
-std::string TuningService::run_sweep(const TuneRequest& request)
+std::string TuningService::run_sweep(const TuneRequest& request,
+                                     const TraceScope& scope)
 {
     static telemetry::Counter& sweeps = service_counter("service.sweeps");
     sweeps.inc();
@@ -521,7 +535,9 @@ std::string TuningService::run_sweep(const TuneRequest& request)
     std::vector<std::future<tuning::FunctionSweepEntry>> futures;
     futures.reserve(candidates.size());
     for (const auto& candidate : candidates) {
-        futures.push_back(pool_.submit([candidate, &request, &options] {
+        futures.push_back(pool_.submit([candidate, &request, &options, &scope] {
+            SpanGuard sweep_span(scope,
+                                 "sweep:" + std::string(sph::to_string(candidate.fn)));
             return tuning::sweep_one_function(candidate, request.device, options);
         }));
     }
@@ -529,7 +545,10 @@ std::string TuningService::run_sweep(const TuneRequest& request)
     sweep.reserve(futures.size());
     for (auto& future : futures) sweep.push_back(future.get());
 
-    return artifact_from_sweep(request, sweep, config_.producer).dump();
+    return artifact_from_sweep(request, sweep, config_.producer,
+                               scope.active() ? scope.ctx.trace_id()
+                                              : std::string{})
+        .dump();
 }
 
 } // namespace gsph::service

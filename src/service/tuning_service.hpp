@@ -29,6 +29,7 @@
 #include "core/frequency_table.hpp"
 #include "gpusim/device_spec.hpp"
 #include "service/policy_store.hpp"
+#include "service/tracing.hpp"
 #include "sim/workload.hpp"
 #include "telemetry/json.hpp"
 #include "tuning/kernel_tuner.hpp"
@@ -81,6 +82,10 @@ struct PolicyArtifact {
     std::string key;
     telemetry::Json identity; ///< canonical request identity (verbatim)
     std::string producer;     ///< provenance: who swept (argv-style)
+    /// Provenance: distributed trace id of the request whose sweep produced
+    /// this artifact (32 hex chars); empty for untraced producers.  Stored
+    /// verbatim, so cache hits return the *producing* request's id.
+    std::string trace_id;
     double default_mhz = 0.0;
     long sample_launches = 0; ///< total kernel launches the sweep cost
     struct FunctionEntry {
@@ -98,10 +103,12 @@ struct PolicyArtifact {
     static PolicyArtifact parse(const std::string& text);
 };
 
-/// Build the artifact for a completed sweep.
+/// Build the artifact for a completed sweep; `trace_id` (may be empty)
+/// lands in provenance.
 PolicyArtifact artifact_from_sweep(const TuneRequest& request,
                                    const std::vector<tuning::FunctionSweepEntry>& sweep,
-                                   const std::string& producer);
+                                   const std::string& producer,
+                                   const std::string& trace_id = {});
 
 /// Rebuild the ManDyn inputs from an artifact — bit-identical to what
 /// table_from_sweep / audit_info_from_sweep produced from the live sweep.
@@ -120,6 +127,10 @@ struct ServiceConfig {
     /// Store directory (empty: memory-only) and memory-tier capacity.
     std::string store_dir;
     std::size_t cache_entries = 64;
+    /// Disk-tier GC: TTL in seconds (0: never expire) and artifact cap
+    /// (0: unbounded); see PolicyStoreConfig.
+    double store_ttl_s = 0.0;
+    std::size_t store_max_artifacts = 0;
     /// Recorded in artifact provenance (argv-style producer string).
     std::string producer = "greensph tuned";
 };
@@ -132,14 +143,20 @@ public:
     /// Returns the artifact text; `cache_hit` (optional) reports whether a
     /// sweep was avoided.  Throws std::invalid_argument for bad requests;
     /// sweep failures propagate to every coalesced waiter.
-    std::string tune(const TuneRequest& request, bool* cache_hit = nullptr);
+    ///
+    /// With an active `scope`, spans are recorded for the store lookup, the
+    /// singleflight coalesce wait, each sharded per-function sweep and the
+    /// artifact commit, and a fresh sweep's artifact carries the scope's
+    /// trace id in provenance.
+    std::string tune(const TuneRequest& request, bool* cache_hit = nullptr,
+                     const TraceScope& scope = {});
 
     PolicyStore& store() { return store_; }
     const ServiceConfig& config() const { return config_; }
     std::uint64_t sweeps_run() const;
 
 private:
-    std::string run_sweep(const TuneRequest& request);
+    std::string run_sweep(const TuneRequest& request, const TraceScope& scope);
 
     ServiceConfig config_;
     util::ThreadPool pool_;

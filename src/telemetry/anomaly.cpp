@@ -17,6 +17,7 @@ const char* to_string(AlertKind kind)
     case AlertKind::kEdpRegression: return "edp_regression";
     case AlertKind::kVerifyMismatchStorm: return "verify_mismatch_storm";
     case AlertKind::kMgmtCallStall: return "mgmt_call_stall";
+    case AlertKind::kSloBurnRate: return "slo_burn_rate";
     }
     return "unknown";
 }

@@ -44,6 +44,11 @@ enum class AlertKind {
     kEdpRegression,
     kVerifyMismatchStorm,
     kMgmtCallStall,
+    /// Fired by telemetry::SloTracker (slo.hpp), not by AnomalyDetector:
+    /// an endpoint is consuming its error budget faster than the burn-rate
+    /// objective allows.  Shares the Alert record / counter / WARN-log
+    /// pipeline so SLO breaches surface exactly like anomaly alerts.
+    kSloBurnRate,
 };
 
 const char* to_string(AlertKind kind);
@@ -127,8 +132,11 @@ private:
     Baseline edp_;
     int steps_observed_ = 0;
     int last_clock_change_step_ = -1;
-    int last_fired_step_[4] = {-1, -1, -1, -1}; ///< per AlertKind cooldown
-    std::uint64_t fired_[4] = {0, 0, 0, 0};     ///< per-kind totals
+    /// Per-AlertKind cooldown/totals.  Sized for the full enum so
+    /// alert_count(kSloBurnRate) is safe, but the detector itself only
+    /// fires (and checkpoints) its own four kinds.
+    int last_fired_step_[5] = {-1, -1, -1, -1, -1};
+    std::uint64_t fired_[5] = {0, 0, 0, 0, 0};
     std::atomic<std::uint64_t> pending_stalls_{0}; ///< calls past threshold
     std::uint64_t stalled_calls_total_ = 0;
     std::vector<Alert> alerts_;

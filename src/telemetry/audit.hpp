@@ -41,6 +41,10 @@ struct DecisionRecord {
     /// Named decision inputs (sample counts, accumulated energy, previous
     /// clock, cap watts, ...) — the evidence the policy decided on.
     std::vector<std::pair<std::string, double>> inputs;
+    /// Distributed trace id (32 hex chars) of the request/run whose policy
+    /// produced this decision; empty when the run is untraced.  Ties audit
+    /// records to tune-request traces end to end.
+    std::string trace_id;
 };
 
 using DecisionSink = std::function<void(DecisionRecord&&)>;

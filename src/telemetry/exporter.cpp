@@ -66,10 +66,25 @@ void MetricsExporter::render_now()
         metrics += ledger_->top_exposition();
         attribution = ledger_->attribution_json().dump(2) + "\n";
     }
+    for (const auto& source : exposition_sources_) metrics += source();
+    std::map<std::string, std::string> extras;
+    for (const auto& [path, render] : json_endpoints_) extras[path] = render();
     std::lock_guard<std::mutex> lock(body_mutex_);
     metrics_body_ = std::move(metrics);
     summary_body_ = std::move(summary);
     attribution_body_ = std::move(attribution);
+    extra_bodies_ = std::move(extras);
+}
+
+void MetricsExporter::add_json_endpoint(std::string path,
+                                        std::function<std::string()> render)
+{
+    json_endpoints_.emplace_back(std::move(path), std::move(render));
+}
+
+void MetricsExporter::add_exposition_source(std::function<std::string()> render)
+{
+    exposition_sources_.push_back(std::move(render));
 }
 
 void MetricsExporter::publisher_loop()
@@ -128,9 +143,17 @@ HttpResponse MetricsExporter::respond(const HttpRequest& request) const
         }
     }
     else {
-        response.status = 404;
-        response.body = "unknown path; try /metrics, /healthz, /summary.json or "
-                        "/attribution.json\n";
+        std::lock_guard<std::mutex> lock(body_mutex_);
+        const auto it = extra_bodies_.find(request.path);
+        if (it != extra_bodies_.end() && !it->second.empty()) {
+            response.body = it->second;
+            response.content_type = "application/json; charset=utf-8";
+        }
+        else {
+            response.status = 404;
+            response.body = "unknown path; try /metrics, /healthz, /summary.json "
+                            "or /attribution.json\n";
+        }
     }
     return response;
 }

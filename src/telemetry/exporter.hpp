@@ -27,10 +27,14 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 namespace gsph::telemetry {
 
@@ -83,6 +87,17 @@ public:
     /// tests can force a fresh body without waiting a period.
     void render_now();
 
+    /// Register an extra JSON endpoint (e.g. "/fleet.json").  `render` is
+    /// invoked on the SamplerThread at the publish cadence and its output
+    /// double-buffered like the built-in bodies; an empty string serves 404.
+    /// Call before start(); render must be safe to call from another thread.
+    void add_json_endpoint(std::string path, std::function<std::string()> render);
+
+    /// Register an extra Prometheus exposition fragment appended to the
+    /// /metrics body each render pass (e.g. fleet.* roll-up series rendered
+    /// outside the global registry).  Same threading rules as above.
+    void add_exposition_source(std::function<std::string()> render);
+
 private:
     void publisher_loop();
     HttpResponse respond(const HttpRequest& request) const;
@@ -96,6 +111,10 @@ private:
     std::string metrics_body_;
     std::string summary_body_;
     std::string attribution_body_;
+    std::map<std::string, std::string> extra_bodies_; ///< path -> rendered JSON
+
+    std::vector<std::pair<std::string, std::function<std::string()>>> json_endpoints_;
+    std::vector<std::function<std::string()>> exposition_sources_;
 
     std::mutex stop_mutex_;
     std::condition_variable stop_cv_;

@@ -1,12 +1,18 @@
 #include "telemetry/http.hpp"
 
+#include "telemetry/digest.hpp"
+#include "telemetry/json.hpp"
+#include "util/checksum.hpp"
 #include "util/log.hpp"
 #include "util/strings.hpp"
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cmath>
+#include <cstdio>
 #include <cstring>
+#include <fcntl.h>
 #include <stdexcept>
 
 #include <arpa/inet.h>
@@ -31,9 +37,48 @@ int ms_until(Clock::time_point deadline)
     return static_cast<int>(std::min<long long>(left.count(), 1 << 30));
 }
 
-/// Case-insensitive header lookup inside a raw header block; empty when
-/// absent.  `headers` spans from after the request line to the blank line.
-std::string header_lookup(const std::string& headers, const std::string& name)
+Clock::time_point deadline_after(double seconds)
+{
+    return Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                              std::chrono::duration<double>(seconds));
+}
+
+std::string default_endpoint(const std::string& path)
+{
+    const std::size_t q = path.find('?');
+    return q == std::string::npos ? path : path.substr(0, q);
+}
+
+/// Label values land between double quotes in the exposition; the
+/// endpoints we serve never contain these, but a hostile path must not be
+/// able to break out of the label.
+std::string label_escape(const std::string& value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        if (c == '\\' || c == '"') out += '\\';
+        if (c == '\n') {
+            out += "\\n";
+            continue;
+        }
+        out += c;
+    }
+    return out;
+}
+
+std::string format_value(double v)
+{
+    if (std::isnan(v)) return "NaN";
+    if (std::isinf(v)) return v > 0 ? "+Inf" : "-Inf";
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string http_header_value(const std::string& headers, const std::string& name)
 {
     const std::string lowered = util::to_lower(headers);
     const std::string needle = util::to_lower(name) + ":";
@@ -52,7 +97,15 @@ std::string header_lookup(const std::string& headers, const std::string& name)
     return {};
 }
 
-} // namespace
+std::string HttpRequest::header(const std::string& name) const
+{
+    return http_header_value(headers, name);
+}
+
+std::string HttpClientResponse::header(const std::string& name) const
+{
+    return http_header_value(headers, name);
+}
 
 const char* http_status_text(int status)
 {
@@ -71,12 +124,13 @@ const char* http_status_text(int status)
 }
 
 HttpServer::HttpServer(HttpServerConfig config, Handler handler)
-    : config_(config), handler_(std::move(handler))
+    : config_(std::move(config)), handler_(std::move(handler))
 {
     if (!handler_) throw std::invalid_argument("HttpServer: null handler");
     if (config_.handler_threads < 1) config_.handler_threads = 1;
     if (config_.read_timeout_s <= 0.0) config_.read_timeout_s = 5.0;
     if (config_.max_request_bytes < 64) config_.max_request_bytes = 64;
+    if (!config_.endpoint_of) config_.endpoint_of = default_endpoint;
 }
 
 HttpServer::~HttpServer() { stop(); }
@@ -84,6 +138,14 @@ HttpServer::~HttpServer() { stop(); }
 void HttpServer::start()
 {
     if (running_.load(std::memory_order_acquire)) return;
+
+    if (!config_.access_log_path.empty() && !access_log_.is_open()) {
+        access_log_.open(config_.access_log_path, std::ios::app);
+        if (!access_log_) {
+            throw std::runtime_error("http: cannot open access log " +
+                                     config_.access_log_path);
+        }
+    }
 
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0) {
@@ -142,6 +204,8 @@ void HttpServer::stop()
         ::close(listen_fd_);
         listen_fd_ = -1;
     }
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    if (access_log_.is_open()) access_log_.close();
 }
 
 void HttpServer::acceptor_loop()
@@ -181,9 +245,7 @@ void HttpServer::handler_loop()
 
 int HttpServer::read_request(int client_fd, HttpRequest& request) const
 {
-    const auto deadline =
-        Clock::now() + std::chrono::duration_cast<Clock::duration>(
-                           std::chrono::duration<double>(config_.read_timeout_s));
+    const auto deadline = deadline_after(config_.read_timeout_s);
     std::string data;
     std::size_t header_end = std::string::npos;
     std::size_t body_needed = 0;
@@ -210,10 +272,10 @@ int HttpServer::read_request(int client_fd, HttpRequest& request) const
                     request.path[0] != '/') {
                     return 400;
                 }
-                const std::string headers = data.substr(
+                request.headers = data.substr(
                     line_end + 2, header_end - line_end - 2);
                 const std::string length_str =
-                    header_lookup(headers, "Content-Length");
+                    http_header_value(request.headers, "Content-Length");
                 if (!length_str.empty()) {
                     try {
                         const long long n = std::stoll(length_str);
@@ -265,8 +327,25 @@ int HttpServer::read_request(int client_fd, HttpRequest& request) const
 
 void HttpServer::serve(int client_fd)
 {
+    const auto t_start = Clock::now();
     HttpRequest request;
     const int read_status = read_request(client_fd, request);
+
+    // Stamp the request with its span context: continue the client's
+    // traceparent when one arrived, else originate deterministically from
+    // the request content plus a per-server sequence number (unique, never
+    // wall clock, so single-client traces reproduce exactly).
+    const std::uint64_t seq = trace_seq_.fetch_add(1, std::memory_order_relaxed);
+    TraceContext incoming;
+    if (parse_traceparent(request.header("traceparent"), incoming)) {
+        request.trace = incoming.child("http." + request.method + request.path);
+    }
+    else {
+        request.trace = TraceContext::origin(
+            request.method + "|" + request.path + "|" +
+            util::hex64(util::fnv1a64(request.body)) + "|" +
+            std::to_string(seq));
+    }
 
     HttpResponse response;
     if (read_status != 200) {
@@ -292,6 +371,12 @@ void HttpServer::serve(int client_fd)
                       http_status_text(response.status) + "\r\n";
     out += "Content-Type: " + response.content_type + "\r\n";
     out += "Content-Length: " + std::to_string(response.body.size()) + "\r\n";
+    if (request.trace.valid()) {
+        out += "traceparent: " + request.trace.traceparent() + "\r\n";
+    }
+    for (const auto& [name, value] : response.headers) {
+        out += name + ": " + value + "\r\n";
+    }
     out += "Connection: close\r\n\r\n";
     out += response.body;
 
@@ -303,27 +388,155 @@ void HttpServer::serve(int client_fd)
         sent += static_cast<std::size_t>(w);
     }
     requests_.fetch_add(1, std::memory_order_relaxed);
+
+    HttpObservation obs;
+    obs.endpoint = request.path.empty() ? std::string("<malformed>")
+                                        : config_.endpoint_of(request.path);
+    obs.method = request.method.empty() ? "-" : request.method;
+    obs.status = response.status;
+    obs.latency_s = std::chrono::duration<double>(Clock::now() - t_start).count();
+    obs.bytes_in = request.body.size();
+    obs.bytes_out = response.body.size();
+    obs.trace = request.trace;
+    observe(obs);
+}
+
+void HttpServer::observe(const HttpObservation& obs)
+{
+    {
+        std::lock_guard<std::mutex> lock(obs_mutex_);
+        ++requests_by_[{obs.endpoint, obs.status}];
+        auto it = latency_by_.find(obs.endpoint);
+        if (it == latency_by_.end()) {
+            it = latency_by_
+                     .emplace(obs.endpoint, std::make_unique<LogHistogram>())
+                     .first;
+        }
+        it->second->observe(obs.latency_s);
+
+        if (access_log_.is_open()) {
+            Json line = Json::object();
+            line["schema"] = "greensph.access/v1";
+            line["method"] = obs.method;
+            line["endpoint"] = obs.endpoint;
+            line["status"] = obs.status;
+            line["bytes_in"] = obs.bytes_in;
+            line["bytes_out"] = obs.bytes_out;
+            line["latency_s"] = obs.latency_s;
+            line["trace_id"] = obs.trace.trace_id();
+            line["span_id"] = obs.trace.span_id();
+            access_log_ << line.dump() << "\n";
+            access_log_.flush();
+        }
+    }
+    if (config_.observer) {
+        try {
+            config_.observer(obs);
+        }
+        catch (const std::exception& e) {
+            GSPH_LOG_WARN("http", "observer threw: " << e.what());
+        }
+    }
+}
+
+std::string HttpServer::metrics_exposition() const
+{
+    std::lock_guard<std::mutex> lock(obs_mutex_);
+    std::string out;
+    if (!requests_by_.empty()) {
+        out += "# HELP greensph_http_requests_total requests served by "
+               "endpoint and status code\n";
+        out += "# TYPE greensph_http_requests_total counter\n";
+        for (const auto& [key, count] : requests_by_) {
+            out += "greensph_http_requests_total{endpoint=\"" +
+                   label_escape(key.first) + "\",code=\"" +
+                   std::to_string(key.second) + "\"} " +
+                   std::to_string(count) + "\n";
+        }
+    }
+    if (!latency_by_.empty()) {
+        out += "# HELP greensph_http_request_latency_seconds per-endpoint "
+               "request latency digest\n";
+        out += "# TYPE greensph_http_request_latency_seconds gauge\n";
+        static constexpr std::pair<double, const char*> kQuantiles[] = {
+            {0.5, "0.5"}, {0.9, "0.9"}, {0.99, "0.99"}};
+        for (const auto& [endpoint, digest] : latency_by_) {
+            for (const auto& [q, q_label] : kQuantiles) {
+                out += "greensph_http_request_latency_seconds{endpoint=\"" +
+                       label_escape(endpoint) + "\",quantile=\"" + q_label +
+                       "\"} " + format_value(digest->quantile(q)) + "\n";
+            }
+        }
+    }
+    return out;
 }
 
 bool http_request(const std::string& host, std::uint16_t port,
                   const std::string& method, const std::string& path,
-                  const std::string& body, HttpClientResponse& out)
+                  const std::string& body, HttpClientResponse& out,
+                  const HttpClientOptions& options)
 {
+    out.error.clear();
     const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
-    if (fd < 0) return false;
+    if (fd < 0) {
+        out.error = std::string("socket: ") + std::strerror(errno);
+        return false;
+    }
     sockaddr_in addr{};
     addr.sin_family = AF_INET;
     addr.sin_port = htons(port);
     if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
         ::close(fd);
+        out.error = "invalid host address: " + host;
         return false;
     }
+
+    // Non-blocking connect under its own deadline, so an unreachable or
+    // wedged daemon cannot hang the thin client.
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+    const auto connect_deadline = deadline_after(
+        options.connect_timeout_s > 0.0 ? options.connect_timeout_s : 5.0);
     if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
-        ::close(fd);
-        return false;
+        if (errno != EINPROGRESS) {
+            out.error = std::string("connect: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        for (;;) {
+            const int wait_ms = ms_until(connect_deadline);
+            if (wait_ms == 0) {
+                out.error = "connect deadline exceeded after " +
+                            std::to_string(options.connect_timeout_s) + "s";
+                ::close(fd);
+                return false;
+            }
+            pollfd pfd{fd, POLLOUT, 0};
+            const int rc = ::poll(&pfd, 1, wait_ms);
+            if (rc == 0) continue; // re-check the deadline
+            if (rc < 0) {
+                if (errno == EINTR) continue;
+                out.error = std::string("connect poll: ") + std::strerror(errno);
+                ::close(fd);
+                return false;
+            }
+            int err = 0;
+            socklen_t err_len = sizeof(err);
+            ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+            if (err != 0) {
+                out.error = std::string("connect: ") + std::strerror(err);
+                ::close(fd);
+                return false;
+            }
+            break;
+        }
     }
+
     std::string request = method + " " + path + " HTTP/1.0\r\n";
     request += "Host: " + host + "\r\n";
+    if (!options.traceparent.empty()) {
+        request += "traceparent: " + options.traceparent + "\r\n";
+    }
     if (!body.empty() || method == "POST" || method == "PUT") {
         request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
         request += "Content-Type: application/json; charset=utf-8\r\n";
@@ -331,11 +544,36 @@ bool http_request(const std::string& host, std::uint16_t port,
     request += "Connection: close\r\n\r\n";
     request += body;
 
+    // One deadline covers send + full response read: a daemon that accepts
+    // the connection and then stalls surfaces as a clear timeout error.
+    const auto io_deadline =
+        deadline_after(options.timeout_s > 0.0 ? options.timeout_s : 30.0);
+    const auto timed_out = [&out, &options, fd](const char* what) {
+        out.error = std::string(what) + " deadline exceeded after " +
+                    std::to_string(options.timeout_s) + "s";
+        ::close(fd);
+        return false;
+    };
+
     std::size_t sent = 0;
     while (sent < request.size()) {
+        const int wait_ms = ms_until(io_deadline);
+        if (wait_ms == 0) return timed_out("send");
+        pollfd pfd{fd, POLLOUT, 0};
+        const int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc == 0) return timed_out("send");
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            out.error = std::string("send poll: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
         const ssize_t w = ::send(fd, request.data() + sent, request.size() - sent,
                                  MSG_NOSIGNAL);
         if (w <= 0) {
+            if (w < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+            out.error = std::string("send: ") +
+                        (w < 0 ? std::strerror(errno) : "connection closed");
             ::close(fd);
             return false;
         }
@@ -343,24 +581,55 @@ bool http_request(const std::string& host, std::uint16_t port,
     }
 
     std::string response;
-    char buf[8192];
-    ssize_t n = 0;
-    while ((n = ::recv(fd, buf, sizeof(buf), 0)) > 0) {
+    for (;;) {
+        const int wait_ms = ms_until(io_deadline);
+        if (wait_ms == 0) return timed_out("read");
+        pollfd pfd{fd, POLLIN, 0};
+        const int rc = ::poll(&pfd, 1, wait_ms);
+        if (rc == 0) return timed_out("read");
+        if (rc < 0) {
+            if (errno == EINTR) continue;
+            out.error = std::string("read poll: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
+        char buf[8192];
+        const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+        if (n == 0) break; // EOF: full HTTP/1.0 response received
+        if (n < 0) {
+            if (errno == EINTR || errno == EAGAIN) continue;
+            out.error = std::string("recv: ") + std::strerror(errno);
+            ::close(fd);
+            return false;
+        }
         response.append(buf, static_cast<std::size_t>(n));
     }
     ::close(fd);
 
     const std::size_t sp = response.find(' ');
-    if (sp == std::string::npos || response.size() < sp + 4) return false;
+    if (sp == std::string::npos || response.size() < sp + 4) {
+        out.error = "malformed response";
+        return false;
+    }
     try {
         out.status = std::stoi(response.substr(sp + 1, 3));
     }
     catch (const std::exception&) {
+        out.error = "malformed response status";
         return false;
     }
     const std::size_t split = response.find("\r\n\r\n");
-    out.body = split == std::string::npos ? std::string{}
-                                          : response.substr(split + 4);
+    if (split == std::string::npos) {
+        out.headers.clear();
+        out.body.clear();
+    }
+    else {
+        const std::size_t line_end = response.find("\r\n");
+        out.headers = line_end < split
+                          ? response.substr(line_end + 2, split - line_end - 2)
+                          : std::string{};
+        out.body = response.substr(split + 4);
+    }
     return true;
 }
 

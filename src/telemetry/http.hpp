@@ -1,7 +1,7 @@
 #pragma once
 /// \file http.hpp
 /// \brief Shared loopback HTTP/1.0 machinery: a hardened server and a tiny
-/// client.
+/// client, both trace-context aware.
 ///
 /// Generalized out of telemetry::MetricsExporter so the tuning service
 /// daemon (src/service) and the exporter serve through one implementation.
@@ -19,36 +19,84 @@
 ///     pool of handler threads drains the queue FIFO, so concurrent clients
 ///     queue fairly and one slow handler cannot block accept().
 ///
+/// Observability (the request plane's substrate):
+///
+///   - every request is stamped with a TraceContext: an incoming
+///     `traceparent` header is continued (same trace id, server-side child
+///     span), otherwise a deterministic origin is derived from the request
+///     itself; the response echoes the server's context in a `traceparent`
+///     header so clients can assert the round-trip;
+///   - per-endpoint request/status counters and latency digests are kept
+///     in-process and rendered as labeled Prometheus series via
+///     metrics_exposition(), ready to append to a /metrics body;
+///   - an optional JSONL access log (schema "greensph.access/v1") records
+///     one line per request with the trace/span ids;
+///   - an optional observer callback sees every finished request (the SLO
+///     tracker rides it).
+///
 /// Responses always carry a proper status line, Content-Type,
 /// Content-Length and Connection: close (HTTP/1.0, one request per
 /// connection).  Port 0 binds an ephemeral port reported by port().
+
+#include "telemetry/tracectx.hpp"
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <fstream>
 #include <functional>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace gsph::telemetry {
 
+class LogHistogram;
+
 struct HttpRequest {
-    std::string method; ///< "GET", "POST", ... (upper case as received)
-    std::string path;   ///< request target, e.g. "/tune"
-    std::string body;   ///< Content-Length bytes for POST/PUT; empty for GET
+    std::string method;  ///< "GET", "POST", ... (upper case as received)
+    std::string path;    ///< request target, e.g. "/tune"
+    std::string body;    ///< Content-Length bytes for POST/PUT; empty for GET
+    std::string headers; ///< raw header block (between request line and body)
+    /// Server-side span context for this request: continues the client's
+    /// `traceparent` header when present (same trace id, child span),
+    /// otherwise a deterministic origin derived from the request itself.
+    TraceContext trace;
+    /// Case-insensitive header lookup; empty when absent.
+    std::string header(const std::string& name) const;
 };
 
 struct HttpResponse {
     int status = 200;
     std::string content_type = "text/plain; charset=utf-8";
     std::string body;
+    /// Extra response headers emitted verbatim (name, value).  The server
+    /// appends the request's `traceparent` echo automatically.
+    std::vector<std::pair<std::string, std::string>> headers;
+};
+
+/// One finished request as seen by HttpServerConfig::observer.
+struct HttpObservation {
+    std::string endpoint; ///< normalized path (see endpoint_of)
+    std::string method;
+    int status = 0;
+    double latency_s = 0.0; ///< wall time from first read to response sent
+    std::size_t bytes_in = 0;
+    std::size_t bytes_out = 0;
+    TraceContext trace;
 };
 
 /// Reason phrase for the status codes this layer emits ("Unknown" otherwise).
 const char* http_status_text(int status);
+
+/// Case-insensitive lookup of `name` inside a raw header block (request or
+/// response); empty when absent.
+std::string http_header_value(const std::string& headers, const std::string& name);
 
 struct HttpServerConfig {
     std::uint16_t port = 0;    ///< 0: ephemeral, see HttpServer::port()
@@ -61,6 +109,16 @@ struct HttpServerConfig {
     /// Upper bound on the total request size (line + headers + body).
     /// Exceeding it answers 413 without buffering the excess.
     std::size_t max_request_bytes = 1 << 20;
+    /// JSONL access log path (schema "greensph.access/v1"), appended one
+    /// line per request; empty disables the log.
+    std::string access_log_path;
+    /// Maps a raw request path to the bounded-cardinality endpoint label
+    /// used by metrics and the access log (e.g. "/policy/abc" ->
+    /// "/policy/:key").  Default: the path up to any '?'.
+    std::function<std::string(const std::string& path)> endpoint_of;
+    /// Called after every response is sent (any thread); the SLO tracker
+    /// hooks in here.  Exceptions are swallowed.
+    std::function<void(const HttpObservation&)> observer;
 };
 
 class HttpServer {
@@ -91,6 +149,12 @@ public:
         return requests_.load(std::memory_order_relaxed);
     }
 
+    /// Labeled Prometheus series for the per-endpoint request plane:
+    /// greensph_http_requests_total{endpoint,code} counters plus
+    /// greensph_http_request_latency_seconds{endpoint,quantile} digests.
+    /// Append to a /metrics body; passes telemetry::check_exposition.
+    std::string metrics_exposition() const;
+
 private:
     void acceptor_loop();
     void handler_loop();
@@ -98,6 +162,7 @@ private:
     /// Reads one request within the deadline/size bounds.  Returns the
     /// status to answer with: 200 with `request` filled in, or 400/408/413.
     int read_request(int client_fd, HttpRequest& request) const;
+    void observe(const HttpObservation& obs);
 
     HttpServerConfig config_;
     Handler handler_;
@@ -105,26 +170,45 @@ private:
     std::uint16_t bound_port_ = 0;
     std::atomic<bool> running_{false};
     std::atomic<std::uint64_t> requests_{0};
+    std::atomic<std::uint64_t> trace_seq_{0}; ///< server-originated trace seq
 
     std::mutex queue_mutex_;
     std::condition_variable queue_cv_;
     std::deque<int> pending_; ///< accepted fds awaiting a handler thread
 
+    mutable std::mutex obs_mutex_;
+    std::map<std::pair<std::string, int>, std::uint64_t> requests_by_;
+    std::map<std::string, std::unique_ptr<LogHistogram>> latency_by_;
+    std::ofstream access_log_;
+
     std::thread acceptor_;
     std::vector<std::thread> handlers_;
 };
 
-/// Minimal blocking HTTP/1.0 client used by the CLI thin client, the
+/// Minimal HTTP/1.0 client used by the CLI thin client, the
 /// --policy-from URL loader and the raw-socket tests.  Connects to
 /// host:port, sends one request and reads the response to EOF.  Returns
-/// false on connect/send/recv failure (status/body untouched).
+/// false on connect/send/recv failure (status/body untouched, error set).
+struct HttpClientOptions {
+    double connect_timeout_s = 5.0; ///< deadline for the TCP connect
+    /// Total deadline for sending the request and reading the full
+    /// response; a hung server surfaces as a "deadline exceeded" error
+    /// instead of blocking the caller forever.
+    double timeout_s = 30.0;
+    std::string traceparent; ///< sent as a traceparent header when set
+};
 struct HttpClientResponse {
     int status = 0;
     std::string body;
+    std::string headers; ///< raw response header block
+    std::string error;   ///< why the request failed (empty on success)
+    /// Case-insensitive response-header lookup; empty when absent.
+    std::string header(const std::string& name) const;
 };
 bool http_request(const std::string& host, std::uint16_t port,
                   const std::string& method, const std::string& path,
-                  const std::string& body, HttpClientResponse& out);
+                  const std::string& body, HttpClientResponse& out,
+                  const HttpClientOptions& options = {});
 
 /// Parse "http://HOST:PORT" (path ignored beyond the authority); returns
 /// false when `url` is not of that shape.

@@ -273,6 +273,9 @@ Json AttributionLedger::decision_json_locked(const AuditedDecision& d) const
     for (double mhz : d.record.candidate_mhz) candidates.push_back(mhz);
     j["candidate_mhz"] = std::move(candidates);
     j["chosen_mhz"] = d.record.chosen_mhz;
+    // Untraced runs omit the key entirely so pre-tracing consumers (and
+    // byte-identity tests) see unchanged documents.
+    if (!d.record.trace_id.empty()) j["trace_id"] = d.record.trace_id;
     // Warmup / first-visit decisions carry no prediction; emitting the
     // struct default (0) here made every warmup decision count as a
     // misprediction downstream.  Mark them explicitly instead.
@@ -472,6 +475,11 @@ void AttributionLedger::save_state(checkpoint::StateWriter& writer) const
         writer.put_f64_vec(prefix + "candidate_mhz", dec.record.candidate_mhz);
         writer.put_f64(prefix + "chosen_mhz", dec.record.chosen_mhz);
         writer.put_f64(prefix + "predicted_edp", dec.record.predicted_edp);
+        // Written only when set: older checkpoints (and untraced runs)
+        // simply lack the key, and restore tolerates that via has().
+        if (!dec.record.trace_id.empty()) {
+            writer.put_str(prefix + "trace_id", dec.record.trace_id);
+        }
         writer.put_bool(prefix + "resolved", dec.resolved);
         writer.put_f64(prefix + "realized_edp", dec.realized_edp);
         writer.put_u64(prefix + "inputs", dec.record.inputs.size());
@@ -539,6 +547,9 @@ void AttributionLedger::restore_state(const checkpoint::StateReader& reader)
         dec.record.candidate_mhz = reader.get_f64_vec(prefix + "candidate_mhz");
         dec.record.chosen_mhz = reader.get_f64(prefix + "chosen_mhz");
         dec.record.predicted_edp = reader.get_f64(prefix + "predicted_edp");
+        if (reader.has(prefix + "trace_id")) {
+            dec.record.trace_id = reader.get_str(prefix + "trace_id");
+        }
         dec.resolved = reader.get_bool(prefix + "resolved");
         dec.realized_edp = reader.get_f64(prefix + "realized_edp");
         const std::uint64_t n_inputs = reader.get_u64(prefix + "inputs");

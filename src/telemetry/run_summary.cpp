@@ -69,6 +69,7 @@ Json run_summary_json(const sim::RunResult& result, const RunSummaryContext& con
         provenance["resumed_from"] = context.resumed_from;
         provenance["checkpoints_written"] = context.checkpoints_written;
         if (context.alerts.is_array()) provenance["alerts"] = context.alerts;
+        if (!context.trace_id.empty()) provenance["trace_id"] = context.trace_id;
         root["provenance"] = std::move(provenance);
     }
     return root;

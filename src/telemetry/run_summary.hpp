@@ -43,8 +43,9 @@ inline constexpr const char* kRunSummarySchema = "greensph.run_summary/v1";
 
 /// Version of the summary layout within the v1 schema; bump when fields are
 /// added so consumers can gate on it.  3: provenance gained "alerts" (live
-/// observability plane).
-inline constexpr int kRunSummaryFormatVersion = 3;
+/// observability plane).  4: provenance gained "trace_id" (distributed
+/// tracing), present only for traced runs.
+inline constexpr int kRunSummaryFormatVersion = 4;
 
 struct RunSummaryContext {
     std::string policy; ///< policy name ("Baseline", "ManDyn", ...)
@@ -60,6 +61,10 @@ struct RunSummaryContext {
     /// provenance only when it is an array, so runs without the plane keep
     /// their exact pre-plane documents.
     Json alerts;
+    /// Distributed trace id of the run (32 hex chars, derived from the
+    /// config hash so it is identical across --threads and resume); emitted
+    /// in provenance only when non-empty.
+    std::string trace_id;
 };
 
 /// Build the summary document for `result`.

@@ -1,0 +1,140 @@
+#include "telemetry/slo.hpp"
+
+#include "telemetry/metrics.hpp"
+#include "util/log.hpp"
+#include "util/strings.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace gsph::telemetry {
+
+namespace {
+
+std::string format_value(double v)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+    return buf;
+}
+
+} // namespace
+
+SloTracker::SloTracker(SloConfig config) : config_(std::move(config))
+{
+    if (config_.window_requests < 1) {
+        throw std::invalid_argument("SloTracker: window_requests < 1");
+    }
+    if (config_.min_requests < 1) config_.min_requests = 1;
+    if (!(config_.fast_burn > 0.0)) {
+        throw std::invalid_argument("SloTracker: fast_burn must be positive");
+    }
+    for (const SloObjective& o : config_.objectives) {
+        if (!(o.error_budget > 0.0) || o.error_budget > 1.0) {
+            throw std::invalid_argument("SloTracker: error_budget outside (0, 1]");
+        }
+        EndpointState state;
+        state.objective = o;
+        endpoints_.emplace(o.endpoint, std::move(state));
+    }
+}
+
+void SloTracker::observe(const HttpObservation& obs)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = endpoints_.find(obs.endpoint);
+    if (it == endpoints_.end()) return;
+    EndpointState& state = it->second;
+
+    const bool bad =
+        obs.status >= 500 || obs.latency_s > state.objective.latency_s;
+    state.window.push_back(bad);
+    if (bad) ++state.bad;
+    if (state.window.size() > config_.window_requests) {
+        if (state.window.front()) --state.bad;
+        state.window.pop_front();
+    }
+    ++state.seen;
+
+    if (state.window.size() < config_.min_requests) return;
+    const double bad_fraction = static_cast<double>(state.bad) /
+                                static_cast<double>(state.window.size());
+    const double burn = bad_fraction / state.objective.error_budget;
+    if (burn < config_.fast_burn) return;
+    const bool cooling =
+        state.last_alert_seen > 0 &&
+        state.seen - state.last_alert_seen <= config_.cooldown_requests;
+    if (cooling) return;
+
+    state.last_alert_seen = state.seen;
+    ++fired_;
+    MetricsRegistry::global().counter("alerts.slo_burn_rate").inc();
+    Alert alert;
+    alert.kind = AlertKind::kSloBurnRate;
+    alert.step = static_cast<int>(state.seen);
+    alert.value = burn;
+    alert.baseline = state.objective.error_budget;
+    alert.threshold = config_.fast_burn;
+    alert.message = "endpoint " + obs.endpoint + " burning error budget at " +
+                    util::format_fixed(burn, 1) + "x (bad fraction " +
+                    util::format_fixed(bad_fraction, 3) + ", budget " +
+                    util::format_fixed(state.objective.error_budget, 3) + ")";
+    GSPH_LOG_WARN("slo", "request " << state.seen << ": " << alert.message);
+    if (alerts_.size() < config_.max_alerts) alerts_.push_back(std::move(alert));
+}
+
+std::vector<Alert> SloTracker::alerts() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return alerts_;
+}
+
+std::uint64_t SloTracker::alert_count() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return fired_;
+}
+
+double SloTracker::burn_rate(const std::string& endpoint) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = endpoints_.find(endpoint);
+    if (it == endpoints_.end()) return 0.0;
+    const EndpointState& state = it->second;
+    if (state.window.size() < config_.min_requests) return 0.0;
+    const double bad_fraction = static_cast<double>(state.bad) /
+                                static_cast<double>(state.window.size());
+    return bad_fraction / state.objective.error_budget;
+}
+
+std::string SloTracker::exposition() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (endpoints_.empty()) return {};
+    std::string out;
+    out += "# HELP greensph_slo_burn_rate error-budget burn rate by "
+           "endpoint (1: consuming exactly the budget)\n";
+    out += "# TYPE greensph_slo_burn_rate gauge\n";
+    for (const auto& [endpoint, state] : endpoints_) {
+        double burn = 0.0;
+        if (state.window.size() >= config_.min_requests) {
+            burn = static_cast<double>(state.bad) /
+                   static_cast<double>(state.window.size()) /
+                   state.objective.error_budget;
+        }
+        out += "greensph_slo_burn_rate{endpoint=\"" + endpoint + "\"} " +
+               format_value(burn) + "\n";
+    }
+    return out;
+}
+
+Json SloTracker::alerts_json() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    Json arr = Json::array();
+    for (const Alert& alert : alerts_) arr.push_back(alert.to_json());
+    return arr;
+}
+
+} // namespace gsph::telemetry

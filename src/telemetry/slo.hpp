@@ -1,0 +1,89 @@
+#pragma once
+/// \file slo.hpp
+/// \brief Per-endpoint SLO tracking with burn-rate alerts.
+///
+/// The daemon's request plane gets service-level objectives: for each
+/// endpoint, a latency bound and an error budget.  A request is a *bad
+/// event* when it failed server-side (status >= 500) or exceeded the
+/// endpoint's latency objective; the tracker keeps a rolling window of the
+/// last N requests per endpoint and computes the burn rate — the fraction
+/// of bad events divided by the error budget.  Burn rate 1 means the
+/// budget is being consumed exactly as provisioned; a sustained burn rate
+/// of `fast_burn` (default 14.4, the classic fast-burn page threshold)
+/// fires an Alert.
+///
+/// Alerts ride the existing AnomalyDetector pipeline shape: the same
+/// telemetry::Alert record (kind kSloBurnRate), the same
+/// `alerts.slo_burn_rate` counter in the global registry, and the same
+/// WARN log line — so SLO breaches land wherever anomaly alerts already
+/// land.  exposition() additionally renders live
+/// `greensph_slo_burn_rate{endpoint}` gauges for /metrics.
+///
+/// Windows are request-counted, not wall-timed, so tests drive the tracker
+/// deterministically.
+
+#include "telemetry/anomaly.hpp"
+#include "telemetry/http.hpp"
+#include "telemetry/json.hpp"
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace gsph::telemetry {
+
+struct SloObjective {
+    std::string endpoint;        ///< endpoint label, e.g. "/tune"
+    double latency_s = 0.5;      ///< per-request latency objective
+    double error_budget = 0.01;  ///< tolerated bad-event fraction
+};
+
+struct SloConfig {
+    std::vector<SloObjective> objectives;
+    std::size_t window_requests = 200; ///< rolling window per endpoint
+    std::size_t min_requests = 20;     ///< no judgement before this many
+    double fast_burn = 14.4;           ///< burn rate that fires an alert
+    /// Per-endpoint quiet period after an alert, counted in requests.
+    std::size_t cooldown_requests = 200;
+    std::size_t max_alerts = 256; ///< bound on retained alert records
+};
+
+class SloTracker {
+public:
+    explicit SloTracker(SloConfig config);
+
+    /// Feed one finished request (any thread); designed to hang off
+    /// HttpServerConfig::observer.  Endpoints without an objective are
+    /// ignored.
+    void observe(const HttpObservation& obs);
+
+    std::vector<Alert> alerts() const;
+    std::uint64_t alert_count() const;
+    /// Current burn rate for `endpoint`; 0 when unknown or under-sampled.
+    double burn_rate(const std::string& endpoint) const;
+
+    /// Labeled greensph_slo_burn_rate{endpoint} gauges for /metrics;
+    /// passes telemetry::check_exposition.
+    std::string exposition() const;
+    Json alerts_json() const; ///< array of Alert::to_json()
+
+private:
+    struct EndpointState {
+        SloObjective objective;
+        std::deque<bool> window; ///< bad-event flags, newest at back
+        std::size_t bad = 0;     ///< bad events currently in the window
+        std::uint64_t seen = 0;  ///< requests observed (Alert::step)
+        std::uint64_t last_alert_seen = 0; ///< `seen` at last alert (0: none)
+    };
+
+    mutable std::mutex mutex_;
+    SloConfig config_;
+    std::map<std::string, EndpointState> endpoints_;
+    std::vector<Alert> alerts_;
+    std::uint64_t fired_ = 0;
+};
+
+} // namespace gsph::telemetry

@@ -1,0 +1,83 @@
+#include "telemetry/tracectx.hpp"
+
+#include "util/checksum.hpp"
+
+#include <cctype>
+
+namespace gsph::telemetry {
+
+namespace {
+
+/// FNV-1a with a domain salt; nudged off zero so derived ids are never the
+/// W3C invalid (all-zero) values.
+std::uint64_t salted_hash(const char* salt, const std::string& data)
+{
+    const std::uint64_t h = util::fnv1a64(std::string(salt) + "|" + data);
+    return h == 0 ? 0x517cc1b727220a95ULL : h;
+}
+
+bool parse_hex_u64(const std::string& text, std::size_t pos, std::size_t len,
+                   std::uint64_t& out)
+{
+    std::uint64_t value = 0;
+    for (std::size_t i = pos; i < pos + len; ++i) {
+        const char c = text[i];
+        int digit = 0;
+        if (c >= '0' && c <= '9') digit = c - '0';
+        else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+        else return false; // uppercase is invalid per W3C traceparent
+        value = (value << 4) | static_cast<std::uint64_t>(digit);
+    }
+    out = value;
+    return true;
+}
+
+} // namespace
+
+std::string TraceContext::trace_id() const
+{
+    return util::hex64(trace_hi) + util::hex64(trace_lo);
+}
+
+std::string TraceContext::span_id() const { return util::hex64(span); }
+
+std::string TraceContext::traceparent() const
+{
+    if (!valid()) return {};
+    return "00-" + trace_id() + "-" + span_id() + "-01";
+}
+
+TraceContext TraceContext::origin(const std::string& seed)
+{
+    TraceContext ctx;
+    ctx.trace_hi = salted_hash("greensph.trace.hi", seed);
+    ctx.trace_lo = salted_hash("greensph.trace.lo", seed);
+    ctx.span = salted_hash("greensph.span.root", seed);
+    return ctx;
+}
+
+TraceContext TraceContext::child(const std::string& name) const
+{
+    TraceContext ctx = *this;
+    ctx.span = salted_hash("greensph.span.child", span_id() + "|" + name);
+    return ctx;
+}
+
+bool parse_traceparent(const std::string& header, TraceContext& out)
+{
+    // 00-<32 hex>-<16 hex>-<2 hex>  =  2 + 1 + 32 + 1 + 16 + 1 + 2
+    if (header.size() != 55) return false;
+    if (header.compare(0, 3, "00-") != 0) return false;
+    if (header[35] != '-' || header[52] != '-') return false;
+    TraceContext ctx;
+    std::uint64_t flags = 0;
+    if (!parse_hex_u64(header, 3, 16, ctx.trace_hi)) return false;
+    if (!parse_hex_u64(header, 19, 16, ctx.trace_lo)) return false;
+    if (!parse_hex_u64(header, 36, 16, ctx.span)) return false;
+    if (!parse_hex_u64(header, 53, 2, flags)) return false;
+    if (!ctx.valid()) return false;
+    out = ctx;
+    return true;
+}
+
+} // namespace gsph::telemetry

@@ -33,7 +33,8 @@ void SpanTracer::flush_locked() const
 }
 
 void SpanTracer::begin(int pid, int tid, const std::string& name, double t_s,
-                       const std::string& category)
+                       const std::string& category,
+                       std::vector<std::pair<std::string, std::string>> args)
 {
     TraceEvent e;
     e.name = name;
@@ -42,6 +43,7 @@ void SpanTracer::begin(int pid, int tid, const std::string& name, double t_s,
     e.time_s = t_s;
     e.pid = pid;
     e.tid = tid;
+    e.args = std::move(args);
     {
         std::lock_guard<std::mutex> lock(mutex_);
         ++open_[{pid, tid}];
@@ -158,6 +160,11 @@ Json SpanTracer::to_json() const
         }
         else if (e.phase == 'i') {
             obj["s"] = "t"; // thread-scoped instant
+        }
+        if (!e.args.empty() && e.phase != 'C' && e.phase != 'M') {
+            Json args = Json::object();
+            for (const auto& [key, value] : e.args) args[key] = value;
+            obj["args"] = std::move(args);
         }
         array.push_back(std::move(obj));
     }

@@ -45,13 +45,17 @@ struct TraceEvent {
     int tid = 0;
     double counter_value = 0.0; ///< 'C' events only
     std::string metadata;       ///< 'M' events: the process/thread name
+    /// Extra "args" key/value pairs exported verbatim on 'B'/'i' events
+    /// (e.g. trace_id for distributed spans); shown by Perfetto on click.
+    std::vector<std::pair<std::string, std::string>> args;
 };
 
 class SpanTracer {
 public:
     /// Begin a span on (pid, tid) at simulated time `t_s`.
     void begin(int pid, int tid, const std::string& name, double t_s,
-               const std::string& category = "");
+               const std::string& category = "",
+               std::vector<std::pair<std::string, std::string>> args = {});
     /// End the innermost open span on (pid, tid); throws std::logic_error
     /// when none is open.
     void end(int pid, int tid, double t_s);

@@ -1,0 +1,127 @@
+/// SloTracker unit tests: burn-rate arithmetic on request-counted windows,
+/// the fast-burn alert with its cooldown, bad-event classification (5xx OR
+/// latency over objective), config validation, and the labeled
+/// greensph_slo_burn_rate exposition.
+
+#include "telemetry/slo.hpp"
+
+#include "telemetry/anomaly.hpp"
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace gsph::telemetry {
+namespace {
+
+SloConfig tune_slo(double latency_s = 0.5, double budget = 0.1)
+{
+    SloConfig config;
+    config.objectives = {{"/tune", latency_s, budget}};
+    config.window_requests = 10;
+    config.min_requests = 5;
+    config.fast_burn = 5.0;
+    config.cooldown_requests = 10;
+    return config;
+}
+
+HttpObservation request(int status, double latency_s)
+{
+    HttpObservation obs;
+    obs.endpoint = "/tune";
+    obs.method = "POST";
+    obs.status = status;
+    obs.latency_s = latency_s;
+    return obs;
+}
+
+TEST(SloTracker, UnderSampledReportsZeroBurn)
+{
+    SloTracker tracker(tune_slo());
+    for (int i = 0; i < 4; ++i) tracker.observe(request(500, 0.01));
+    EXPECT_EQ(tracker.burn_rate("/tune"), 0.0) << "below min_requests";
+    EXPECT_EQ(tracker.alert_count(), 0u);
+}
+
+TEST(SloTracker, BurnRateIsBadFractionOverBudget)
+{
+    SloTracker tracker(tune_slo(0.5, 0.1));
+    // 10-request window, 2 bad: one 500 and one latency breach.
+    tracker.observe(request(500, 0.01));
+    tracker.observe(request(200, 0.9));
+    for (int i = 0; i < 8; ++i) tracker.observe(request(200, 0.01));
+    EXPECT_NEAR(tracker.burn_rate("/tune"), (2.0 / 10.0) / 0.1, 1e-12);
+    EXPECT_EQ(tracker.alert_count(), 0u) << "2.0 burn is under fast_burn 5";
+    EXPECT_EQ(tracker.burn_rate("/unknown"), 0.0);
+}
+
+TEST(SloTracker, FastBurnFiresOnceThenCoolsDown)
+{
+    SloTracker tracker(tune_slo());
+    // Every request bad: burn = 1.0/0.1 = 10 >= fast_burn 5 at request 5.
+    for (int i = 0; i < 5; ++i) tracker.observe(request(500, 0.01));
+    EXPECT_EQ(tracker.alert_count(), 1u);
+    // Still burning inside the 10-request cooldown: no second alert...
+    for (int i = 0; i < 10; ++i) tracker.observe(request(500, 0.01));
+    EXPECT_EQ(tracker.alert_count(), 1u);
+    // ...but once the cooldown lapses the next bad request re-fires.
+    tracker.observe(request(500, 0.01));
+    EXPECT_EQ(tracker.alert_count(), 2u);
+
+    const auto alerts = tracker.alerts();
+    ASSERT_EQ(alerts.size(), 2u);
+    EXPECT_EQ(alerts[0].kind, AlertKind::kSloBurnRate);
+    EXPECT_NE(alerts[0].message.find("/tune"), std::string::npos);
+    EXPECT_GE(alerts[0].value, 5.0);
+}
+
+TEST(SloTracker, WindowSlidesOldBadEventsOut)
+{
+    SloTracker tracker(tune_slo());
+    for (int i = 0; i < 2; ++i) tracker.observe(request(500, 0.01));
+    // 10 good requests push both bad ones out of the 10-wide window.
+    for (int i = 0; i < 10; ++i) tracker.observe(request(200, 0.01));
+    EXPECT_EQ(tracker.burn_rate("/tune"), 0.0);
+}
+
+TEST(SloTracker, UntrackedEndpointsIgnored)
+{
+    SloTracker tracker(tune_slo());
+    HttpObservation obs = request(500, 9.0);
+    obs.endpoint = "/healthz";
+    for (int i = 0; i < 20; ++i) tracker.observe(obs);
+    EXPECT_EQ(tracker.alert_count(), 0u);
+    EXPECT_EQ(tracker.burn_rate("/healthz"), 0.0);
+}
+
+TEST(SloTracker, ConfigValidation)
+{
+    SloConfig bad_window = tune_slo();
+    bad_window.window_requests = 0;
+    EXPECT_THROW(SloTracker{bad_window}, std::invalid_argument);
+
+    SloConfig bad_burn = tune_slo();
+    bad_burn.fast_burn = 0.0;
+    EXPECT_THROW(SloTracker{bad_burn}, std::invalid_argument);
+
+    SloConfig bad_budget = tune_slo();
+    bad_budget.objectives[0].error_budget = 0.0;
+    EXPECT_THROW(SloTracker{bad_budget}, std::invalid_argument);
+    bad_budget.objectives[0].error_budget = 1.5;
+    EXPECT_THROW(SloTracker{bad_budget}, std::invalid_argument);
+}
+
+TEST(SloTracker, ExpositionRendersLabeledGauges)
+{
+    SloTracker tracker(tune_slo());
+    for (int i = 0; i < 5; ++i) tracker.observe(request(500, 0.01));
+    const std::string text = tracker.exposition();
+    EXPECT_NE(text.find("# TYPE greensph_slo_burn_rate gauge"),
+              std::string::npos);
+    EXPECT_NE(text.find("greensph_slo_burn_rate{endpoint=\"/tune\"} 10"),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace gsph::telemetry

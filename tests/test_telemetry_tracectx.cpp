@@ -1,0 +1,130 @@
+/// TraceContext unit tests: deterministic id derivation (equal seeds give
+/// equal contexts; distinct seeds and child names diverge), the W3C
+/// traceparent wire shape, and the parser's rejection of every malformed
+/// variant — wrong length, uppercase hex, all-zero ids, bad separators.
+
+#include "telemetry/tracectx.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cctype>
+#include <string>
+
+namespace gsph::telemetry {
+namespace {
+
+bool all_lower_hex(const std::string& s)
+{
+    return std::all_of(s.begin(), s.end(), [](unsigned char c) {
+        return std::isxdigit(c) && !std::isupper(c);
+    });
+}
+
+TEST(TraceContext, OriginIsDeterministic)
+{
+    const TraceContext a = TraceContext::origin("tune|abc123");
+    const TraceContext b = TraceContext::origin("tune|abc123");
+    ASSERT_TRUE(a.valid());
+    EXPECT_EQ(a.trace_id(), b.trace_id());
+    EXPECT_EQ(a.span_id(), b.span_id());
+    EXPECT_EQ(a.traceparent(), b.traceparent());
+}
+
+TEST(TraceContext, DistinctSeedsDiverge)
+{
+    const TraceContext a = TraceContext::origin("tune|abc123");
+    const TraceContext b = TraceContext::origin("tune|abc124");
+    const TraceContext c = TraceContext::origin("run|abc123");
+    EXPECT_NE(a.trace_id(), b.trace_id());
+    EXPECT_NE(a.trace_id(), c.trace_id());
+}
+
+TEST(TraceContext, ChildKeepsTraceIdDerivesSpan)
+{
+    const TraceContext root = TraceContext::origin("fleet|deadbeef");
+    const TraceContext child = root.child("job 3");
+    ASSERT_TRUE(child.valid());
+    EXPECT_EQ(child.trace_id(), root.trace_id());
+    EXPECT_NE(child.span_id(), root.span_id());
+    // Same (parent, name) reproduces the child; different names diverge.
+    EXPECT_EQ(root.child("job 3").span_id(), child.span_id());
+    EXPECT_NE(root.child("job 4").span_id(), child.span_id());
+    // Grandchildren chain off the child's span, not the root's.
+    EXPECT_NE(child.child("step").span_id(), root.child("step").span_id());
+}
+
+TEST(TraceContext, WireShape)
+{
+    const TraceContext ctx = TraceContext::origin("shape-test");
+    EXPECT_EQ(ctx.trace_id().size(), 32u);
+    EXPECT_EQ(ctx.span_id().size(), 16u);
+    EXPECT_TRUE(all_lower_hex(ctx.trace_id()));
+    EXPECT_TRUE(all_lower_hex(ctx.span_id()));
+    const std::string header = ctx.traceparent();
+    ASSERT_EQ(header.size(), 55u);
+    EXPECT_EQ(header.substr(0, 3), "00-");
+    EXPECT_EQ(header.substr(3, 32), ctx.trace_id());
+    EXPECT_EQ(header[35], '-');
+    EXPECT_EQ(header.substr(36, 16), ctx.span_id());
+    EXPECT_EQ(header.substr(52), "-01");
+}
+
+TEST(TraceContext, InvalidContextEncodesEmpty)
+{
+    const TraceContext none;
+    EXPECT_FALSE(none.valid());
+    EXPECT_TRUE(none.traceparent().empty());
+}
+
+TEST(TraceContext, ParseRoundTrip)
+{
+    const TraceContext ctx = TraceContext::origin("round-trip");
+    TraceContext parsed;
+    ASSERT_TRUE(parse_traceparent(ctx.traceparent(), parsed));
+    EXPECT_EQ(parsed.trace_hi, ctx.trace_hi);
+    EXPECT_EQ(parsed.trace_lo, ctx.trace_lo);
+    EXPECT_EQ(parsed.span, ctx.span);
+}
+
+TEST(TraceContext, ParseRejectsMalformed)
+{
+    const std::string good = TraceContext::origin("reject").traceparent();
+    TraceContext out;
+    out.span = 7; // sentinel: a failed parse must leave `out` untouched
+
+    EXPECT_FALSE(parse_traceparent("", out));
+    EXPECT_FALSE(parse_traceparent(good.substr(0, 54), out));  // short
+    EXPECT_FALSE(parse_traceparent(good + "0", out));          // long
+    std::string upper = good;
+    upper[3] = 'A'; // uppercase hex is invalid per W3C
+    EXPECT_FALSE(parse_traceparent(upper, out));
+    std::string bad_sep = good;
+    bad_sep[35] = '_';
+    EXPECT_FALSE(parse_traceparent(bad_sep, out));
+    const std::string zero_trace =
+        "00-00000000000000000000000000000000-00f067aa0ba902b7-01";
+    EXPECT_FALSE(parse_traceparent(zero_trace, out));
+    const std::string zero_span =
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-0000000000000000-01";
+    EXPECT_FALSE(parse_traceparent(zero_span, out));
+    const std::string not_hex =
+        "00-4bf92f3577b34da6a3ce929d0e0e473g-00f067aa0ba902b7-01";
+    EXPECT_FALSE(parse_traceparent(not_hex, out));
+    EXPECT_EQ(out.span, 7u) << "failed parses must not modify the output";
+}
+
+TEST(TraceContext, ParseAcceptsForeignFlags)
+{
+    // Flags other than 01 (e.g. not-sampled 00) still parse: the context is
+    // what matters, sampling is always on in this codebase.
+    const std::string header =
+        "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-00";
+    TraceContext out;
+    EXPECT_TRUE(parse_traceparent(header, out));
+    EXPECT_EQ(out.trace_id(), "4bf92f3577b34da6a3ce929d0e0e4736");
+    EXPECT_EQ(out.span_id(), "00f067aa0ba902b7");
+}
+
+} // namespace
+} // namespace gsph::telemetry

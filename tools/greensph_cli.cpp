@@ -105,6 +105,8 @@
 #include "telemetry/run_summary.hpp"
 #include "telemetry/run_tracer.hpp"
 #include "telemetry/sampler.hpp"
+#include "telemetry/tracectx.hpp"
+#include "telemetry/tracer.hpp"
 #include "tuning/kernel_tuner.hpp"
 #include "util/atomic_file.hpp"
 #include "util/checksum.hpp"
@@ -145,7 +147,11 @@ struct Options {
     std::string trace_out;
     int port = 0;            ///< tuned: listen port (0: ephemeral)
     std::string store_dir;   ///< tuned: durable policy store directory
+    double store_ttl_s = 0.0;            ///< tuned: artifact TTL (0: keep)
+    std::size_t store_max_artifacts = 0; ///< tuned: disk cap (0: unbounded)
+    std::string access_log;  ///< tuned: JSONL access log path
     std::string submit_url;  ///< tune: POST to a running service
+    double timeout_s = 30.0; ///< HTTP client read/total deadline (seconds)
     std::string policy_from; ///< run: store dir or service URL for mandyn
     std::string csv_out;
     std::string trace_json;
@@ -180,7 +186,10 @@ void usage()
               << "  --ranks N --steps N --threads N --nside N --particles-per-gpu X\n"
               << "  --objective time|energy|edp|ed2p\n"
               << "  --trace-in FILE --trace-out FILE --csv FILE\n"
-              << "  tuned: --port N --store DIR   tune: --submit URL\n"
+              << "  tuned: --port N --store DIR --store-ttl S --store-max-artifacts N\n"
+              << "         --access-log FILE   (JSONL greensph.access/v1)\n"
+              << "  tune:  --submit URL --timeout-s S  (--trace-json: merged\n"
+              << "         client+daemon Perfetto trace of the request)\n"
               << "  run:   --policy-from DIR|URL  (mandyn from a stored artifact)\n"
               << "  --trace-json FILE --metrics-json FILE --summary-json FILE\n"
               << "  --ledger FILE --metrics-port N --sample-every S --linger-s S\n"
@@ -224,7 +233,13 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--trace-out") opt.trace_out = next();
         else if (key == "--port") opt.port = std::stoi(next());
         else if (key == "--store") opt.store_dir = next();
+        else if (key == "--store-ttl") opt.store_ttl_s = std::stod(next());
+        else if (key == "--store-max-artifacts") {
+            opt.store_max_artifacts = static_cast<std::size_t>(std::stoull(next()));
+        }
+        else if (key == "--access-log") opt.access_log = next();
         else if (key == "--submit") opt.submit_url = next();
+        else if (key == "--timeout-s") opt.timeout_s = std::stod(next());
         else if (key == "--policy-from") opt.policy_from = next();
         else if (key == "--csv") opt.csv_out = next();
         else if (key == "--trace-json") opt.trace_json = next();
@@ -570,16 +585,18 @@ service::TuneRequest make_tune_request(const Options& opt,
 
 /// Fetch a policy artifact for `key` from a store directory or a running
 /// tuning service ("http://host:port").  Throws with an actionable message.
-std::string fetch_policy_artifact(const std::string& source, const std::string& key)
+std::string fetch_policy_artifact(const std::string& source, const std::string& key,
+                                  const telemetry::HttpClientOptions& options = {})
 {
     std::string host;
     std::uint16_t port = 0;
     if (telemetry::parse_http_url(source, host, port)) {
         telemetry::HttpClientResponse response;
         if (!telemetry::http_request(host, port, "GET", "/policy/" + key, "",
-                                     response)) {
-            throw std::runtime_error("--policy-from: cannot reach tuning service at " +
-                                     source);
+                                     response, options)) {
+            throw std::runtime_error(
+                "--policy-from: cannot reach tuning service at " + source +
+                (response.error.empty() ? "" : " (" + response.error + ")"));
         }
         if (response.status == 404) {
             throw std::runtime_error(
@@ -622,8 +639,45 @@ service::PolicyArtifact checked_artifact(const std::string& text,
     return artifact;
 }
 
-/// `tune --submit URL`: thin client — ship the request, print the table
-/// the service (or its cache) answered with.
+/// Merge a daemon-side Chrome-trace array (GET /trace/<id>) into the
+/// client's tracer output so one Perfetto document shows client -> daemon ->
+/// worker causality.  Daemon timestamps count from *its* ServiceClock epoch;
+/// shifting them so the earliest daemon event lands at the client's POST
+/// begin nests the handler spans inside the client HTTP span.
+telemetry::Json merge_request_trace(const telemetry::SpanTracer& client,
+                                    const std::string& daemon_json,
+                                    double client_post_begin_us)
+{
+    telemetry::Json merged = client.to_json();
+    const telemetry::Json daemon = telemetry::Json::parse(daemon_json);
+    double daemon_min_us = 0.0;
+    bool seen = false;
+    for (const telemetry::Json& event : daemon.items()) {
+        if (!event.contains("ts") || event.at("ph").as_string() == "M") continue;
+        const double ts = event.at("ts").as_number();
+        if (!seen || ts < daemon_min_us) daemon_min_us = ts;
+        seen = true;
+    }
+    const double offset_us = seen ? client_post_begin_us - daemon_min_us : 0.0;
+    for (const telemetry::Json& event : daemon.items()) {
+        telemetry::Json shifted = telemetry::Json::object();
+        for (const auto& [k, v] : event.members()) {
+            if (k == "ts" && event.at("ph").as_string() != "M") {
+                shifted[k] = v.as_number() + offset_us;
+            }
+            else {
+                shifted[k] = v;
+            }
+        }
+        merged.push_back(std::move(shifted));
+    }
+    return merged;
+}
+
+/// `tune --submit URL`: thin client — ship the request (originating the
+/// distributed trace context), print the table the service (or its cache)
+/// answered with, and with --trace-json fetch the daemon's spans for this
+/// request and write one merged Perfetto file.
 int tune_submit(const Options& opt, const sim::SystemSpec& system,
                 const sim::WorkloadTrace& trace)
 {
@@ -635,12 +689,42 @@ int tune_submit(const Options& opt, const sim::SystemSpec& system,
                                     opt.submit_url);
     }
     const std::string key = service::request_key(request);
+    // The trace context originates here, derived from the request key so a
+    // resubmission of the same request carries the same trace id.
+    const telemetry::TraceContext ctx = telemetry::TraceContext::origin("tune|" + key);
     std::cout << "Submitting tune request " << key << " to " << opt.submit_url
-              << "...\n";
+              << " (trace " << ctx.trace_id() << ")...\n";
+
+    telemetry::SpanTracer tracer;
+    tracer.set_process_name(0, "greensph tune (client)");
+    tracer.set_thread_name(0, 0, "client");
+    const auto epoch = std::chrono::steady_clock::now();
+    auto now_s = [&epoch] {
+        return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                             epoch)
+            .count();
+    };
+    tracer.begin(0, 0, "tune.submit", now_s(), "client",
+                 {{"trace_id", ctx.trace_id()},
+                  {"span_id", ctx.span_id()},
+                  {"key", key}});
+    const telemetry::TraceContext post_ctx = ctx.child("http.client POST /tune");
+    const double post_begin_s = now_s();
+    tracer.begin(0, 0, "http.client POST /tune", post_begin_s, "client",
+                 {{"trace_id", post_ctx.trace_id()},
+                  {"span_id", post_ctx.span_id()}});
+    telemetry::HttpClientOptions options;
+    options.timeout_s = opt.timeout_s;
+    options.traceparent = post_ctx.traceparent();
     telemetry::HttpClientResponse response;
-    if (!telemetry::http_request(host, port, "POST", "/tune",
-                                 request.to_json().dump(), response)) {
-        throw std::runtime_error("cannot reach tuning service at " + opt.submit_url);
+    const bool reached = telemetry::http_request(
+        host, port, "POST", "/tune", request.to_json().dump(), response, options);
+    tracer.end(0, 0, now_s());
+    if (!reached) {
+        throw std::runtime_error("cannot reach tuning service at " +
+                                 opt.submit_url +
+                                 (response.error.empty() ? "" :
+                                  " (" + response.error + ")"));
     }
     if (response.status != 200) {
         throw std::runtime_error("tuning service error " +
@@ -658,10 +742,39 @@ int tune_submit(const Options& opt, const sim::SystemSpec& system,
     std::cout << "Policy artifact " << artifact.key << " ("
               << artifact.sample_launches << " kernel launches; producer: "
               << artifact.producer << ")\n";
+    if (!artifact.trace_id.empty()) {
+        std::cout << "Produced by trace " << artifact.trace_id
+                  << (artifact.trace_id == ctx.trace_id() ? " (this request)"
+                                                          : " (cache hit)")
+                  << "\n";
+    }
     if (!opt.csv_out.empty()) {
         std::ofstream out(opt.csv_out);
         out << service::table_from_artifact(artifact).serialize();
         std::cout << "Frequency table saved to " << opt.csv_out << "\n";
+    }
+    if (!opt.trace_json.empty()) {
+        telemetry::HttpClientResponse trace_response;
+        std::string daemon_spans = "[]";
+        if (telemetry::http_request(host, port, "GET",
+                                    "/trace/" + ctx.trace_id(), "",
+                                    trace_response, options) &&
+            trace_response.status == 200) {
+            daemon_spans = trace_response.body;
+        }
+        else {
+            std::cerr << "warning: no daemon spans for trace " << ctx.trace_id()
+                      << "; writing client spans only\n";
+        }
+        tracer.end(0, 0, now_s()); // tune.submit
+        const telemetry::Json merged =
+            merge_request_trace(tracer, daemon_spans, post_begin_s * 1e6);
+        if (!util::atomic_write_file(opt.trace_json, merged.dump() + "\n")) {
+            std::cerr << "error: failed to write " << opt.trace_json << "\n";
+            return 1;
+        }
+        std::cout << "Request trace written to " << opt.trace_json
+                  << " (open in ui.perfetto.dev)\n";
     }
     return 0;
 }
@@ -716,8 +829,11 @@ int cmd_tuned(const Options& opt)
     telemetry::MetricsRegistry::global().reset();
     service::DaemonConfig cfg;
     cfg.port = static_cast<std::uint16_t>(opt.port);
+    cfg.access_log_path = opt.access_log;
     cfg.service.n_threads = opt.threads;
     cfg.service.store_dir = opt.store_dir;
+    cfg.service.store_ttl_s = opt.store_ttl_s;
+    cfg.service.store_max_artifacts = opt.store_max_artifacts;
     cfg.service.producer = "greensph tuned";
     service::TuningDaemon daemon(cfg);
     daemon.start();
@@ -771,6 +887,18 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
     const auto system = sim::system_by_name(opt.system);
     const auto trace = load_or_record(opt);
 
+    // Deterministic run trace identity: derived from the config hash, so it
+    // is identical for any --threads and across kill -> resume.  Only runs
+    // that opt into tracing (--policy-from or --trace-json) attach it to
+    // audit records and summary provenance; default runs keep their exact
+    // pre-tracing artifacts.
+    const bool traced_run = !opt.policy_from.empty() || !opt.trace_json.empty();
+    const telemetry::TraceContext run_ctx =
+        telemetry::TraceContext::origin("run|" + config_hash);
+    if (traced_run) {
+        std::cout << "Run trace id " << run_ctx.trace_id() << "\n";
+    }
+
     if (!opt.policy_from.empty() && util::to_lower(opt.policy) != "mandyn") {
         throw std::invalid_argument("--policy-from requires --policy mandyn");
     }
@@ -779,13 +907,20 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
         if (!opt.policy_from.empty()) {
             const service::TuneRequest local = make_tune_request(opt, system, trace);
             const std::string key = service::request_key(local);
+            telemetry::HttpClientOptions fetch_options;
+            fetch_options.timeout_s = opt.timeout_s;
+            fetch_options.traceparent =
+                run_ctx.child("policy.fetch " + key).traceparent();
             const auto artifact = checked_artifact(
-                fetch_policy_artifact(opt.policy_from, key), local, opt.policy_from);
+                fetch_policy_artifact(opt.policy_from, key, fetch_options), local,
+                opt.policy_from);
             std::cout << "Applying policy artifact " << artifact.key << " from "
                       << opt.policy_from << " (no inline sweep)\n";
-            policy = core::make_mandyn_policy(
-                service::table_from_artifact(artifact),
-                service::audit_info_from_artifact(artifact), system.gpu.vendor);
+            core::ControllerAuditInfo audit =
+                service::audit_info_from_artifact(artifact);
+            audit.trace_id = run_ctx.trace_id();
+            policy = core::make_mandyn_policy(service::table_from_artifact(artifact),
+                                              std::move(audit), system.gpu.vendor);
         }
         else {
             std::cout << "Tuning per-function clocks for " << system.gpu.name
@@ -796,9 +931,11 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
                 tuning::sweep_strategy_from_string(opt.tune_strategy);
             const auto sweep =
                 tuning::sweep_sph_functions(trace, system.gpu, sweep_options);
+            core::ControllerAuditInfo audit = tuning::audit_info_from_sweep(sweep);
+            if (traced_run) audit.trace_id = run_ctx.trace_id();
             policy = core::make_mandyn_policy(
                 tuning::table_from_sweep(sweep, system.gpu.default_app_clock_mhz),
-                tuning::audit_info_from_sweep(sweep), system.gpu.vendor);
+                std::move(audit), system.gpu.vendor);
         }
     }
 
@@ -1024,6 +1161,7 @@ int cmd_run(Options opt, const std::vector<std::string>& argv)
         if (resuming) ctx.resumed_from = opt.resume_dir;
         ctx.checkpoints_written = result.checkpoints_written;
         if (sampler) ctx.alerts = sampler->anomaly().alerts_json();
+        if (traced_run) ctx.trace_id = run_ctx.trace_id();
         if (!telemetry::write_run_summary(opt.summary_json, result, ctx)) {
             std::cerr << "error: failed to write " << opt.summary_json << "\n";
             return 1;
@@ -1240,11 +1378,25 @@ int cmd_fleet(Options opt, const std::vector<std::string>& argv)
                  [](const checkpoint::StateReader& r) { restore_metrics(r); });
     cfg.checkpoint_participants = &registry;
 
+    // Fleet observability plane: per-round snapshots for /fleet.json plus
+    // the policy-labeled fleet.* roll-up series, and (with --trace-json)
+    // scheduler/job spans at simulated time.
+    fleet::FleetMonitor monitor;
+    std::unique_ptr<telemetry::SpanTracer> fleet_tracer;
+    if (!opt.trace_json.empty()) {
+        fleet_tracer = std::make_unique<telemetry::SpanTracer>();
+        cfg.tracer = fleet_tracer.get();
+    }
     std::unique_ptr<telemetry::MetricsExporter> exporter;
     if (opt.metrics_port >= 0) {
+        cfg.monitor = &monitor;
         telemetry::ExporterConfig exp_cfg;
         exp_cfg.port = static_cast<std::uint16_t>(opt.metrics_port);
         exporter = std::make_unique<telemetry::MetricsExporter>(exp_cfg);
+        exporter->add_json_endpoint("/fleet.json",
+                                    [&monitor] { return monitor.fleet_json(); });
+        exporter->add_exposition_source(
+            [&monitor] { return monitor.exposition(); });
         exporter->start();
         // std::endl, not '\n': scripts parse this line from a pipe while the
         // fleet is still running.
@@ -1272,6 +1424,15 @@ int cmd_fleet(Options opt, const std::vector<std::string>& argv)
         exporter->stop();
         std::cout << "Metrics exporter stopped cleanly after "
                   << exporter->requests_served() << " request(s)\n";
+    }
+
+    if (fleet_tracer) {
+        if (!fleet_tracer->write_file(opt.trace_json)) {
+            std::cerr << "error: failed to write " << opt.trace_json << "\n";
+            return 1;
+        }
+        std::cout << "Fleet trace written to " << opt.trace_json
+                  << " (open in ui.perfetto.dev)\n";
     }
 
     std::cout << format_fleet_sacct(result) << "\n";

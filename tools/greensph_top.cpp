@@ -1,4 +1,4 @@
-/// greensph_top — terminal viewer for a live greensph run.
+/// greensph_top — terminal viewer for a live greensph run or daemon.
 ///
 /// Scrapes the /summary.json endpoint a `greensph run --metrics-port N`
 /// process serves and renders the per-rank live state (power, clock,
@@ -7,7 +7,14 @@
 /// metrics port), /attribution.json feeds a decisions pane: the last N
 /// policy decisions with chosen clock and predicted vs. realized EDP.
 ///
+/// Pointed at a `greensph tuned` daemon (which serves /metrics but no
+/// /summary.json), the viewer renders the request/trace pane instead:
+/// per-endpoint request counts by status code, latency quantiles and SLO
+/// error-budget burn rates, parsed from the labeled
+/// greensph_http_* / greensph_slo_* series.
+///
 ///   greensph_top [--port N] [--host H] [--watch S] [--once] [--decisions N]
+///                [--no-requests]
 ///
 /// --watch polls every S seconds (default 1.0) until the exporter goes
 /// away; --once prints a single snapshot and exits (useful in scripts and
@@ -21,8 +28,10 @@
 #include <chrono>
 #include <cstring>
 #include <iostream>
+#include <map>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include <arpa/inet.h>
 #include <netdb.h>
@@ -39,7 +48,8 @@ struct Options {
     int port = 9184;
     double watch_s = 1.0;
     bool once = false;
-    int decisions = 10; ///< decision-pane rows (0 hides the pane)
+    int decisions = 10;   ///< decision-pane rows (0 hides the pane)
+    bool requests = true; ///< request/trace pane from the labeled series
 };
 
 bool parse_args(int argc, char** argv, Options& opt)
@@ -55,6 +65,7 @@ bool parse_args(int argc, char** argv, Options& opt)
         else if (key == "--watch") opt.watch_s = std::stod(next());
         else if (key == "--once") opt.once = true;
         else if (key == "--decisions") opt.decisions = std::stoi(next());
+        else if (key == "--no-requests") opt.requests = false;
         else if (key == "--help" || key == "-h") return false;
         else throw std::invalid_argument("unknown option: " + key);
     }
@@ -180,6 +191,124 @@ void render_decisions(const telemetry::Json& attribution, int max_rows)
     table.print(std::cout);
 }
 
+/// One labeled sample from the Prometheus text exposition:
+/// `name{key="value",...} value`.
+struct LabeledSample {
+    std::map<std::string, std::string> labels;
+    double value = 0.0;
+};
+
+/// Collect every sample of one labeled family from /metrics text.  Lines
+/// that fail to parse are skipped (the pane degrades, never crashes).
+std::vector<LabeledSample> parse_family(const std::string& metrics,
+                                        const std::string& family)
+{
+    std::vector<LabeledSample> samples;
+    const std::string prefix = family + "{";
+    std::size_t pos = 0;
+    while (pos < metrics.size()) {
+        std::size_t eol = metrics.find('\n', pos);
+        if (eol == std::string::npos) eol = metrics.size();
+        const std::string line = metrics.substr(pos, eol - pos);
+        pos = eol + 1;
+        if (line.rfind(prefix, 0) != 0) continue;
+        LabeledSample sample;
+        std::size_t i = prefix.size();
+        bool ok = true;
+        while (i < line.size() && line[i] != '}') {
+            const std::size_t eq = line.find("=\"", i);
+            if (eq == std::string::npos) {
+                ok = false;
+                break;
+            }
+            const std::string key = line.substr(i, eq - i);
+            std::string value;
+            std::size_t j = eq + 2;
+            while (j < line.size() && line[j] != '"') {
+                if (line[j] == '\\' && j + 1 < line.size()) ++j;
+                value += line[j++];
+            }
+            if (j >= line.size()) {
+                ok = false;
+                break;
+            }
+            sample.labels[key] = std::move(value);
+            i = j + 1;
+            if (i < line.size() && line[i] == ',') ++i;
+        }
+        const std::size_t close = line.find('}', i);
+        if (!ok || close == std::string::npos) continue;
+        try {
+            sample.value = std::stod(line.substr(close + 1));
+        }
+        catch (const std::exception&) {
+            continue;
+        }
+        samples.push_back(std::move(sample));
+    }
+    return samples;
+}
+
+/// Request/trace pane from the labeled greensph_http_* / greensph_slo_*
+/// series a tuned daemon (or any traced HttpServer) exports.  Returns
+/// false when the scrape carries none of them — plain run exporters —
+/// so the caller can skip the pane silently.
+bool render_requests(const std::string& metrics)
+{
+    struct EndpointRow {
+        std::map<std::string, long> by_code;
+        long total = 0;
+        long errors = 0; ///< 5xx responses
+        double p50_s = -1.0, p99_s = -1.0, burn = -1.0;
+    };
+    std::map<std::string, EndpointRow> rows;
+    for (const LabeledSample& s :
+         parse_family(metrics, "greensph_http_requests_total")) {
+        auto endpoint = s.labels.find("endpoint");
+        auto code = s.labels.find("code");
+        if (endpoint == s.labels.end() || code == s.labels.end()) continue;
+        EndpointRow& row = rows[endpoint->second];
+        const long count = static_cast<long>(s.value);
+        row.by_code[code->second] += count;
+        row.total += count;
+        if (code->second.size() == 3 && code->second[0] == '5') row.errors += count;
+    }
+    for (const LabeledSample& s :
+         parse_family(metrics, "greensph_http_request_latency_seconds")) {
+        auto endpoint = s.labels.find("endpoint");
+        auto quantile = s.labels.find("quantile");
+        if (endpoint == s.labels.end() || quantile == s.labels.end()) continue;
+        EndpointRow& row = rows[endpoint->second];
+        if (quantile->second == "0.5") row.p50_s = s.value;
+        else if (quantile->second == "0.99") row.p99_s = s.value;
+    }
+    for (const LabeledSample& s : parse_family(metrics, "greensph_slo_burn_rate")) {
+        auto endpoint = s.labels.find("endpoint");
+        if (endpoint == s.labels.end()) continue;
+        rows[endpoint->second].burn = s.value;
+    }
+    if (rows.empty()) return false;
+
+    std::cout << "\nRequests by endpoint:\n";
+    util::Table table({"Endpoint", "Requests", "5xx", "By code", "p50 [ms]",
+                       "p99 [ms]", "SLO burn"});
+    for (const auto& [endpoint, row] : rows) {
+        std::string codes;
+        for (const auto& [code, count] : row.by_code) {
+            if (!codes.empty()) codes += " ";
+            codes += code + ":" + std::to_string(count);
+        }
+        table.add_row(
+            {endpoint, std::to_string(row.total), std::to_string(row.errors),
+             codes.empty() ? "-" : codes,
+             row.p50_s >= 0.0 ? util::format_fixed(row.p50_s * 1e3, 2) : "-",
+             row.p99_s >= 0.0 ? util::format_fixed(row.p99_s * 1e3, 2) : "-",
+             row.burn >= 0.0 ? util::format_fixed(row.burn, 2) : "-"});
+    }
+    table.print(std::cout);
+    return true;
+}
+
 } // namespace
 
 int main(int argc, char** argv)
@@ -188,7 +317,7 @@ int main(int argc, char** argv)
     try {
         if (!parse_args(argc, argv, opt)) {
             std::cout << "usage: greensph_top [--host H] [--port N] [--watch S] "
-                         "[--once] [--decisions N]\n";
+                         "[--once] [--decisions N] [--no-requests]\n";
             return 1;
         }
     }
@@ -199,21 +328,34 @@ int main(int argc, char** argv)
 
     bool scraped = false;
     for (;;) {
+        // A run exporter serves /summary.json; a tuned daemon serves only
+        // /metrics.  Either one is enough to keep the viewer alive.
         const std::string body = http_get(opt.host, opt.port, "/summary.json");
-        if (body.empty()) {
+        const std::string metrics =
+            opt.requests ? http_get(opt.host, opt.port, "/metrics") : std::string();
+        if (body.empty() && metrics.empty()) {
             if (scraped) break; // exporter went away: the run finished
             std::cerr << "no exporter at " << opt.host << ":" << opt.port
-                      << " (is a run active with --metrics-port?)\n";
+                      << " (is a run active with --metrics-port, or a tuned "
+                         "daemon?)\n";
             return 1;
         }
-        try {
-            render(telemetry::Json::parse(body));
+        if (!body.empty()) {
+            try {
+                render(telemetry::Json::parse(body));
+            }
+            catch (const std::exception& e) {
+                std::cerr << "error: bad /summary.json payload: " << e.what()
+                          << "\n";
+                return 1;
+            }
         }
-        catch (const std::exception& e) {
-            std::cerr << "error: bad /summary.json payload: " << e.what() << "\n";
-            return 1;
+        const bool requests_rendered = !metrics.empty() && render_requests(metrics);
+        if (body.empty() && !requests_rendered) {
+            std::cout << "exporter at " << opt.host << ":" << opt.port
+                      << " is up; no request series yet\n";
         }
-        if (opt.decisions > 0) {
+        if (!body.empty() && opt.decisions > 0) {
             // Optional pane: the endpoint 404s when the run carries no
             // ledger, and http_get maps any non-200 to an empty body.
             const std::string attribution =
